@@ -1,0 +1,485 @@
+// Benchmark harness: one bench per figure/result in the paper's
+// evaluation, plus ablations for the design choices DESIGN.md calls out.
+// Each bench regenerates the corresponding artifact; EXPERIMENTS.md
+// records paper-vs-measured. Run with:
+//
+//	go test -bench=. -benchmem .
+package mcaverify_test
+
+import (
+	"fmt"
+	"testing"
+
+	mcaverify "repro"
+	"repro/internal/explore"
+	"repro/internal/graph"
+	"repro/internal/mca"
+	"repro/internal/mcamodel"
+	"repro/internal/netsim"
+	"repro/internal/relalg"
+	"repro/internal/sat"
+)
+
+// ---- E1: Fig. 1 — the two-agent three-item worked example ----
+
+func fig1Agents() []*mca.Agent {
+	pol := mca.Policy{Target: 2, Utility: mca.FlatUtility{}, Rebid: mca.RebidOnChange}
+	a1 := mca.MustNewAgent(mca.Config{ID: 0, Items: 3, Base: []int64{10, 0, 30}, Policy: pol})
+	a2 := mca.MustNewAgent(mca.Config{ID: 1, Items: 3, Base: []int64{20, 15, 0}, Policy: pol})
+	return []*mca.Agent{a1, a2}
+}
+
+// BenchmarkFig1WorkedExample runs the Fig. 1 instance to consensus and
+// validates the paper's post-agreement state b=(20,15,30), a=(2,2,1).
+func BenchmarkFig1WorkedExample(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		agents := fig1Agents()
+		r, err := mca.NewSyncRunner(agents, graph.Complete(2))
+		if err != nil {
+			b.Fatal(err)
+		}
+		out := r.Run(10)
+		if !out.Converged {
+			b.Fatal("Fig.1 did not converge")
+		}
+		v := agents[0].View()
+		if v[0].Bid != 20 || v[0].Winner != 1 || v[1].Bid != 15 || v[1].Winner != 1 || v[2].Bid != 30 || v[2].Winner != 0 {
+			b.Fatalf("Fig.1 state mismatch: %+v", v)
+		}
+	}
+}
+
+// ---- E2: Fig. 2 — the oscillation counterexample ----
+
+func fig2Agents(util mca.Utility, release bool) []*mca.Agent {
+	pol := mca.Policy{Target: 2, Utility: util, Rebid: mca.RebidOnChange, ReleaseOutbid: release}
+	a1 := mca.MustNewAgent(mca.Config{ID: 0, Items: 2, Base: []int64{10, 15}, Policy: pol})
+	a2 := mca.MustNewAgent(mca.Config{ID: 1, Items: 2, Base: []int64{15, 10}, Policy: pol})
+	return []*mca.Agent{a1, a2}
+}
+
+// BenchmarkFig2Oscillation finds the oscillation counterexample for the
+// non-sub-modular + release-outbid policy pair by exhaustive search.
+func BenchmarkFig2Oscillation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		v := explore.Check(fig2Agents(mca.NonSubmodularSynergy{}, true), graph.Complete(2), explore.Options{})
+		if v.OK || v.Violation != explore.ViolationOscillation {
+			b.Fatalf("expected oscillation, got OK=%v violation=%v", v.OK, v.Violation)
+		}
+	}
+}
+
+// BenchmarkFig2SubmodularControl verifies the sub-modular control
+// configuration (same valuations) converges.
+func BenchmarkFig2SubmodularControl(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		v := explore.Check(fig2Agents(mca.SubmodularResidual{}, true), graph.Complete(2), explore.Options{})
+		if !v.OK {
+			b.Fatalf("control failed: %v", v.Violation)
+		}
+	}
+}
+
+// ---- E3: Result 1 — the policy combination matrix ----
+
+// BenchmarkResult1PolicyMatrix sweeps the four policy combinations and
+// checks that exactly non-sub-modular + release-outbid fails.
+func BenchmarkResult1PolicyMatrix(b *testing.B) {
+	utilities := []mca.Utility{mca.SubmodularResidual{}, mca.NonSubmodularSynergy{}}
+	for i := 0; i < b.N; i++ {
+		for _, u := range utilities {
+			for _, rel := range []bool{false, true} {
+				v := explore.Check(fig2Agents(u, rel), graph.Complete(2), explore.Options{})
+				wantFail := !u.Submodular() && rel
+				if v.OK == wantFail {
+					b.Fatalf("combo %s/release=%v: OK=%v want fail=%v", u.Name(), rel, v.OK, wantFail)
+				}
+			}
+		}
+	}
+	b.ReportMetric(4, "combos/op")
+}
+
+// ---- E4: Result 2 — the rebidding attack ----
+
+func attackAgents() []*mca.Agent {
+	pol := mca.Policy{Target: 1, Utility: mca.EscalatingUtility{Cap: 1 << 20}, Rebid: mca.RebidAlways}
+	a0 := mca.MustNewAgent(mca.Config{ID: 0, Items: 1, Base: []int64{10}, Policy: pol})
+	a1 := mca.MustNewAgent(mca.Config{ID: 1, Items: 1, Base: []int64{5}, Policy: pol})
+	return []*mca.Agent{a0, a1}
+}
+
+// BenchmarkResult2RebidAttack shows that removing the Remark 1 condition
+// breaks the consensus assertion within the message bound.
+func BenchmarkResult2RebidAttack(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		v := explore.Check(attackAgents(), graph.Complete(2), explore.Options{})
+		if v.OK {
+			b.Fatal("attack should break consensus")
+		}
+	}
+}
+
+// ---- E5: abstraction efficiency (naive vs optimized encodings) ----
+
+// BenchmarkEncodingNaive translates the pre-optimization model at the
+// paper's scope (3 pnodes, 2 vnodes) and reports clause counts.
+func BenchmarkEncodingNaive(b *testing.B) {
+	var clauses, vars int
+	for i := 0; i < b.N; i++ {
+		e, err := mcamodel.BuildNaive(mcamodel.PaperScope())
+		if err != nil {
+			b.Fatal(err)
+		}
+		m := mcamodel.MeasureTranslation(e)
+		clauses, vars = m.Clauses, m.PrimaryVars+m.AuxVars
+	}
+	b.ReportMetric(float64(clauses), "clauses")
+	b.ReportMetric(float64(vars), "vars")
+}
+
+// BenchmarkEncodingOptimized translates the optimized model at the same
+// scope; the clause metric should come out well below the naive one.
+func BenchmarkEncodingOptimized(b *testing.B) {
+	var clauses, vars int
+	for i := 0; i < b.N; i++ {
+		e, err := mcamodel.BuildOptimized(mcamodel.PaperScope())
+		if err != nil {
+			b.Fatal(err)
+		}
+		m := mcamodel.MeasureTranslation(e)
+		clauses, vars = m.Clauses, m.PrimaryVars+m.AuxVars
+	}
+	b.ReportMetric(float64(clauses), "clauses")
+	b.ReportMetric(float64(vars), "vars")
+}
+
+// BenchmarkEncodingCheckNaive/Optimized run the full consensus check
+// (translate + SAT solve) on both encodings, the end-to-end time the
+// paper's "a day vs under two hours" comparison is about.
+func BenchmarkEncodingCheckNaive(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e, err := mcamodel.BuildNaive(mcamodel.PaperScope())
+		if err != nil {
+			b.Fatal(err)
+		}
+		m := mcamodel.CheckConsensus(e, sat.Options{})
+		if m.CheckStatus == sat.StatusUnknown {
+			b.Fatal("check inconclusive")
+		}
+	}
+}
+
+func BenchmarkEncodingCheckOptimized(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e, err := mcamodel.BuildOptimized(mcamodel.PaperScope())
+		if err != nil {
+			b.Fatal(err)
+		}
+		m := mcamodel.CheckConsensus(e, sat.Options{})
+		if m.CheckStatus == sat.StatusUnknown {
+			b.Fatal("check inconclusive")
+		}
+	}
+}
+
+// ---- E6: the D·|J| consensus message bound ----
+
+// BenchmarkConsensusBound runs honest sub-modular auctions across
+// topologies and verifies convergence within the D·|J| round bound,
+// reporting the average rounds used.
+func BenchmarkConsensusBound(b *testing.B) {
+	tops := []graph.Topology{graph.TopologyLine, graph.TopologyRing, graph.TopologyStar, graph.TopologyComplete}
+	rounds := 0
+	runs := 0
+	for i := 0; i < b.N; i++ {
+		for ti, tp := range tops {
+			n, items := 4, 3
+			g := graph.Build(tp, n, int64(ti))
+			agents := make([]*mca.Agent, n)
+			for ai := range agents {
+				base := make([]int64, items)
+				for j := range base {
+					base[j] = int64(10 + (ai*7+j*3)%17)
+				}
+				agents[ai] = mca.MustNewAgent(mca.Config{
+					ID: mca.AgentID(ai), Items: items, Base: base,
+					Policy: mca.Policy{Target: items, Utility: mca.SubmodularResidual{}, ReleaseOutbid: true, Rebid: mca.RebidOnChange},
+				})
+			}
+			r, err := mca.NewSyncRunner(agents, g)
+			if err != nil {
+				b.Fatal(err)
+			}
+			bound := mca.MessageBound(g, items)
+			out := r.Run(bound + 1)
+			if !out.Converged {
+				b.Fatalf("%v: no consensus within D·|J|=%d rounds", tp, bound)
+			}
+			rounds += out.Rounds
+			runs++
+		}
+	}
+	b.ReportMetric(float64(rounds)/float64(runs), "rounds/run")
+}
+
+// ---- E7: the static model's uniqueID check ----
+
+// BenchmarkStaticUniqueIDCheck reproduces "check uniqueID for 3" on the
+// relational stack.
+func BenchmarkStaticUniqueIDCheck(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sc := mcamodel.Scope{PNodes: 3, VNodes: 2, Values: 3, States: 2, Msgs: 1}
+		e, err := mcamodel.BuildOptimized(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ok, _ := mcamodel.RunSatisfiable(e, sat.Options{})
+		if !ok {
+			b.Fatal("static model unsatisfiable")
+		}
+	}
+}
+
+// ---- Ablations ----
+
+// BenchmarkAblationResolutionFullTable vs MaxMerge: the full
+// asynchronous conflict table against the naive max-merge rule on the
+// same honest workload (max-merge cannot retract, so it is only run on
+// non-releasing agents where both converge).
+func BenchmarkAblationResolutionFullTable(b *testing.B) {
+	benchResolution(b, nil)
+}
+
+func BenchmarkAblationResolutionMaxMerge(b *testing.B) {
+	benchResolution(b, mca.MaxMergeResolve)
+}
+
+func benchResolution(b *testing.B, resolver mca.Resolver) {
+	for i := 0; i < b.N; i++ {
+		n, items := 4, 3
+		g := graph.Ring(n)
+		agents := make([]*mca.Agent, n)
+		for ai := range agents {
+			base := make([]int64, items)
+			for j := range base {
+				base[j] = int64(5 + (ai*5+j*2)%13)
+			}
+			agents[ai] = mca.MustNewAgent(mca.Config{
+				ID: mca.AgentID(ai), Items: items, Base: base,
+				Policy:   mca.Policy{Target: items, Utility: mca.FlatUtility{}, Rebid: mca.RebidNever},
+				Resolver: resolver,
+			})
+		}
+		r, err := mca.NewSyncRunner(agents, g)
+		if err != nil {
+			b.Fatal(err)
+		}
+		out := r.Run(40)
+		if !out.Converged {
+			b.Fatal("ablation workload did not converge")
+		}
+	}
+}
+
+// BenchmarkAblationVisitedSet explores the Fig. 1 instance with and
+// without state memoization.
+func BenchmarkAblationVisitedSetOn(b *testing.B) {
+	benchVisited(b, false)
+}
+
+func BenchmarkAblationVisitedSetOff(b *testing.B) {
+	benchVisited(b, true)
+}
+
+func benchVisited(b *testing.B, disable bool) {
+	states := 0
+	for i := 0; i < b.N; i++ {
+		v := explore.Check(fig1Agents(), graph.Complete(2), explore.Options{DisableVisitedSet: disable})
+		if !v.OK {
+			b.Fatalf("Fig.1 check failed: %v", v.Violation)
+		}
+		states = v.States
+	}
+	b.ReportMetric(float64(states), "states")
+}
+
+// BenchmarkAblationSATHeuristics compares VSIDS+restarts against static
+// ordering on the naive model's consensus check CNF.
+func BenchmarkAblationSATVSIDS(b *testing.B) {
+	benchSATOptions(b, sat.Options{})
+}
+
+func BenchmarkAblationSATStaticOrder(b *testing.B) {
+	benchSATOptions(b, sat.Options{DisableVSIDS: true, DisableRestarts: true, DisablePhaseSaving: true})
+}
+
+func benchSATOptions(b *testing.B, opts sat.Options) {
+	sc := mcamodel.Scope{PNodes: 2, VNodes: 2, Values: 3, States: 2, Msgs: 1}
+	for i := 0; i < b.N; i++ {
+		e, err := mcamodel.BuildOptimized(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m := mcamodel.CheckConsensus(e, opts)
+		if m.CheckStatus == sat.StatusUnknown {
+			b.Fatal("inconclusive")
+		}
+	}
+}
+
+// ---- Protocol-scale benches ----
+
+// BenchmarkSyncAuction measures the synchronous protocol across network
+// sizes.
+func BenchmarkSyncAuction(b *testing.B) {
+	for _, n := range []int{4, 8, 16} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				items := 4
+				g := graph.RandomConnected(n, 0.3, int64(n))
+				agents := make([]*mca.Agent, n)
+				for ai := range agents {
+					base := make([]int64, items)
+					for j := range base {
+						base[j] = int64(1 + (ai*11+j*7)%23)
+					}
+					agents[ai] = mca.MustNewAgent(mca.Config{
+						ID: mca.AgentID(ai), Items: items, Base: base,
+						Policy: mca.Policy{Target: 2, Utility: mca.SubmodularResidual{}, ReleaseOutbid: true, Rebid: mca.RebidOnChange},
+					})
+				}
+				r, err := mca.NewSyncRunner(agents, g)
+				if err != nil {
+					b.Fatal(err)
+				}
+				out := r.Run(4*mca.MessageBound(g, items) + 8)
+				if !out.Converged {
+					b.Fatalf("n=%d did not converge", n)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAsyncAuction measures the randomized asynchronous runner.
+func BenchmarkAsyncAuction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		n, items := 6, 3
+		g := graph.RandomConnected(n, 0.4, 11)
+		agents := make([]*mca.Agent, n)
+		for ai := range agents {
+			base := make([]int64, items)
+			for j := range base {
+				base[j] = int64(1 + (ai*13+j*5)%19)
+			}
+			agents[ai] = mca.MustNewAgent(mca.Config{
+				ID: mca.AgentID(ai), Items: items, Base: base,
+				Policy: mca.Policy{Target: items, Utility: mca.SubmodularResidual{}, ReleaseOutbid: true, Rebid: mca.RebidOnChange},
+			})
+		}
+		out := netsim.RunAsync(agents, g, int64(i), 100000)
+		if !out.Converged {
+			b.Fatal("async auction did not converge")
+		}
+	}
+}
+
+// BenchmarkEmbedding measures end-to-end virtual network embedding.
+func BenchmarkEmbedding(b *testing.B) {
+	g := mcaverify.RandomConnectedGraph(10, 0.3, 3)
+	for _, e := range g.Edges() {
+		g.AddWeightedEdge(e.U, e.V, 10)
+	}
+	phys := &mcaverify.PhysicalNetwork{Graph: g}
+	for i := 0; i < g.N(); i++ {
+		phys.Nodes = append(phys.Nodes, mcaverify.PhysicalNode{CPU: 200})
+	}
+	vnet := &mcaverify.VirtualNetwork{
+		Nodes: []mcaverify.VirtualNode{{CPU: 20}, {CPU: 30}, {CPU: 25}},
+		Links: []mcaverify.VirtualLink{{A: 0, B: 1, Bandwidth: 2}, {A: 1, B: 2, Bandwidth: 2}},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		emb, err := mcaverify.NewEmbedder(phys, mcaverify.EmbedOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := emb.Embed(vnet); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEncodingScalingSeries regenerates the E5 scope series
+// (2..4 agents), reporting the clause ratio at the largest scope.
+func BenchmarkEncodingScalingSeries(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		ms, err := mcamodel.ScalingSeries([]int{2, 3, 4}, mcamodel.PaperScope())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := ms[len(ms)-2:]
+		ratio = float64(last[1].Clauses) / float64(last[0].Clauses)
+	}
+	b.ReportMetric(ratio, "opt/naive-clauses")
+}
+
+// BenchmarkResult1SweepAPI exercises the library-level policy sweep.
+func BenchmarkResult1SweepAPI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := explore.PolicySweep(explore.DefaultCombos(), explore.SweepConfig{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		fails := 0
+		for _, r := range rows {
+			if !r.Verdict.OK {
+				fails++
+			}
+		}
+		if fails != 1 {
+			b.Fatalf("sweep fails = %d, want exactly 1", fails)
+		}
+	}
+}
+
+// BenchmarkDuplicateDeliveryCheck measures verification under
+// at-least-once channel fault injection.
+func BenchmarkDuplicateDeliveryCheck(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		v := explore.Check(fig1Agents(), graph.Complete(2),
+			explore.Options{DuplicateDeliveries: true, MaxStates: 500000})
+		if !v.OK {
+			b.Fatalf("duplicates broke Fig.1: %v", v.Violation)
+		}
+	}
+}
+
+// BenchmarkAblationSymmetryOn/Off: instance enumeration with and without
+// lex-leader symmetry breaking on a symmetric relational problem.
+func BenchmarkAblationSymmetryOff(b *testing.B) {
+	benchSymmetry(b, false)
+}
+
+func BenchmarkAblationSymmetryOn(b *testing.B) {
+	benchSymmetry(b, true)
+}
+
+func benchSymmetry(b *testing.B, breakSym bool) {
+	count := 0
+	for i := 0; i < b.N; i++ {
+		u := relalg.NewUniverse("a", "b", "c", "d", "e")
+		bounds := relalg.NewBounds(u)
+		r := relalg.NewRelation("r", 1)
+		bounds.BoundUpper(r, relalg.AllTuples(u, 1))
+		p := &relalg.Problem{Bounds: bounds, Formula: relalg.AtMost(relalg.R(r), 2)}
+		var classes []relalg.SymmetryClass
+		if breakSym {
+			classes = []relalg.SymmetryClass{{Atoms: []int{0, 1, 2, 3, 4}}}
+		}
+		count = relalg.CountInstances(p, classes)
+	}
+	b.ReportMetric(float64(count), "instances")
+}

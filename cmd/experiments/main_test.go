@@ -1,0 +1,32 @@
+package main
+
+import "testing"
+
+// Each experiment must run cleanly and reproduce its expected verdicts
+// (the experiment functions error on any mismatch with the paper).
+func TestAllExperiments(t *testing.T) {
+	if code := run(nil); code != 0 {
+		t.Fatalf("experiments exit = %d, want 0", code)
+	}
+}
+
+func TestSingleExperimentSelection(t *testing.T) {
+	if code := run([]string{"-only", "e1"}); code != 0 {
+		t.Fatalf("e1 exit = %d", code)
+	}
+	if code := run([]string{"-only", "E6"}); code != 0 {
+		t.Fatalf("case-insensitive selection failed")
+	}
+}
+
+func TestUnknownExperimentRejected(t *testing.T) {
+	if code := run([]string{"-only", "e99"}); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+}
+
+func TestBadFlagRejected(t *testing.T) {
+	if code := run([]string{"-nope"}); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+}

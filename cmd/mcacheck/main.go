@@ -1,0 +1,184 @@
+// Command mcacheck is the push-button convergence analysis of the
+// paper: it verifies the MCA consensus property for a chosen policy
+// combination and scope by exhaustively exploring asynchronous message
+// interleavings, and prints a counterexample trace when the property
+// fails.
+//
+// Usage:
+//
+//	mcacheck -agents 2 -items 2 -topology complete \
+//	         -utility nonsubmodular -release -rebid onchange
+//	mcacheck -sweep          # the Result 1 policy matrix
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/explore"
+	"repro/internal/graph"
+	"repro/internal/mca"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("mcacheck", flag.ContinueOnError)
+	agents := fs.Int("agents", 2, "number of agents")
+	items := fs.Int("items", 2, "number of items on auction")
+	topology := fs.String("topology", "complete", "agent network: line|ring|star|complete|random")
+	seed := fs.Int64("seed", 1, "seed for valuations and random topology")
+	utility := fs.String("utility", "submodular", "utility policy p_u: submodular|nonsubmodular|flat|escalating")
+	release := fs.Bool("release", true, "release-outbid policy p_RO")
+	rebid := fs.String("rebid", "onchange", "Remark 1 rebid rule: onchange|never|always")
+	target := fs.Int("target", 0, "target bundle size p_T (0 = number of items)")
+	maxStates := fs.Int("maxstates", 500000, "state exploration budget")
+	sweep := fs.Bool("sweep", false, "run the Result 1 policy sweep instead of a single check")
+	showTrace := fs.Bool("trace", true, "print the counterexample trace on failure")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *sweep {
+		return runSweep(*agents, *items, *seed, *maxStates)
+	}
+
+	util, err := parseUtility(*utility)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	rb, err := parseRebid(*rebid)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	tp, err := parseTopology(*topology)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	tgt := *target
+	if tgt <= 0 {
+		tgt = *items
+	}
+	pol := mca.Policy{Target: tgt, Utility: util, ReleaseOutbid: *release, Rebid: rb}
+	g := graph.Build(tp, *agents, *seed)
+	as, err := buildAgents(*agents, *items, pol, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+
+	fmt.Printf("checking consensus: %d agents (%s), %d items, p_u=%s p_RO=%v rebid=%s\n",
+		*agents, tp, *items, util.Name(), *release, rb)
+	v := explore.Check(as, g, explore.Options{MaxStates: *maxStates})
+	fmt.Printf("states=%d depth=%d exhausted=%v\n", v.States, v.MaxDepth, v.Exhausted)
+	if v.OK {
+		fmt.Println("RESULT: consensus VERIFIED for all message interleavings in scope")
+		return 0
+	}
+	if !v.Exhausted && v.Violation == explore.ViolationNone {
+		fmt.Println("RESULT: INCONCLUSIVE (state budget exhausted; raise -maxstates)")
+		return 3
+	}
+	fmt.Printf("RESULT: consensus VIOLATED (%v)\n", v.Violation)
+	if *showTrace && v.Trace != nil {
+		fmt.Println(v.Trace.String())
+	}
+	return 1
+}
+
+// runSweep reproduces Result 1: the policy combination matrix.
+func runSweep(agents, items int, seed int64, maxStates int) int {
+	utilities := []mca.Utility{mca.SubmodularResidual{}, mca.NonSubmodularSynergy{}}
+	fmt.Printf("Result 1 policy sweep (%d agents, %d items, complete graph):\n", agents, items)
+	fmt.Printf("%-26s %-10s %-12s %s\n", "utility (p_u)", "p_RO", "verdict", "violation")
+	code := 0
+	for _, u := range utilities {
+		for _, rel := range []bool{false, true} {
+			pol := mca.Policy{Target: items, Utility: u, ReleaseOutbid: rel, Rebid: mca.RebidOnChange}
+			as, err := buildAgents(agents, items, pol, seed)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 2
+			}
+			v := explore.Check(as, graph.Complete(agents), explore.Options{MaxStates: maxStates})
+			verdict := "converges"
+			if !v.OK {
+				verdict = "FAILS"
+				if u.Submodular() || !rel {
+					code = 1 // unexpected failure
+				}
+			}
+			fmt.Printf("%-26s %-10v %-12s %v\n", u.Name(), rel, verdict, v.Violation)
+		}
+	}
+	return code
+}
+
+// buildAgents creates mirrored antisymmetric valuations (the Fig. 2
+// pattern generalized) so that conflicts genuinely arise.
+func buildAgents(n, items int, pol mca.Policy, seed int64) ([]*mca.Agent, error) {
+	out := make([]*mca.Agent, n)
+	for i := 0; i < n; i++ {
+		base := make([]int64, items)
+		for j := 0; j < items; j++ {
+			base[j] = int64(10 + 5*((i+j)%items) + int(seed%3))
+		}
+		a, err := mca.NewAgent(mca.Config{ID: mca.AgentID(i), Items: items, Base: base, Policy: pol})
+		if err != nil {
+			return nil, err
+		}
+		out[i] = a
+	}
+	return out, nil
+}
+
+func parseUtility(s string) (mca.Utility, error) {
+	switch s {
+	case "submodular":
+		return mca.SubmodularResidual{}, nil
+	case "nonsubmodular":
+		return mca.NonSubmodularSynergy{}, nil
+	case "flat":
+		return mca.FlatUtility{}, nil
+	case "escalating":
+		return mca.EscalatingUtility{}, nil
+	default:
+		return nil, fmt.Errorf("unknown utility %q", s)
+	}
+}
+
+func parseRebid(s string) (mca.RebidMode, error) {
+	switch s {
+	case "onchange":
+		return mca.RebidOnChange, nil
+	case "never":
+		return mca.RebidNever, nil
+	case "always":
+		return mca.RebidAlways, nil
+	default:
+		return 0, fmt.Errorf("unknown rebid mode %q", s)
+	}
+}
+
+func parseTopology(s string) (graph.Topology, error) {
+	switch s {
+	case "line":
+		return graph.TopologyLine, nil
+	case "ring":
+		return graph.TopologyRing, nil
+	case "star":
+		return graph.TopologyStar, nil
+	case "complete":
+		return graph.TopologyComplete, nil
+	case "random":
+		return graph.TopologyRandomConnected, nil
+	default:
+		return 0, fmt.Errorf("unknown topology %q", s)
+	}
+}

@@ -1,0 +1,107 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/mca"
+)
+
+func TestParseUtility(t *testing.T) {
+	for name, sub := range map[string]bool{
+		"submodular": true, "nonsubmodular": false, "flat": true, "escalating": false,
+	} {
+		u, err := parseUtility(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if u.Submodular() != sub {
+			t.Errorf("%s: submodular = %v", name, u.Submodular())
+		}
+	}
+	if _, err := parseUtility("nope"); err == nil {
+		t.Error("unknown utility accepted")
+	}
+}
+
+func TestParseRebid(t *testing.T) {
+	cases := map[string]mca.RebidMode{
+		"onchange": mca.RebidOnChange,
+		"never":    mca.RebidNever,
+		"always":   mca.RebidAlways,
+	}
+	for s, want := range cases {
+		got, err := parseRebid(s)
+		if err != nil || got != want {
+			t.Errorf("%s: got %v, %v", s, got, err)
+		}
+	}
+	if _, err := parseRebid("bogus"); err == nil {
+		t.Error("unknown rebid mode accepted")
+	}
+}
+
+func TestParseTopology(t *testing.T) {
+	for s, want := range map[string]graph.Topology{
+		"line": graph.TopologyLine, "ring": graph.TopologyRing,
+		"star": graph.TopologyStar, "complete": graph.TopologyComplete,
+		"random": graph.TopologyRandomConnected,
+	} {
+		got, err := parseTopology(s)
+		if err != nil || got != want {
+			t.Errorf("%s: got %v, %v", s, got, err)
+		}
+	}
+	if _, err := parseTopology("torus"); err == nil {
+		t.Error("unknown topology accepted")
+	}
+}
+
+func TestRunVerifiedCombination(t *testing.T) {
+	code := run([]string{"-agents", "2", "-items", "2", "-utility", "submodular", "-trace=false"})
+	if code != 0 {
+		t.Fatalf("submodular check exit = %d, want 0", code)
+	}
+}
+
+func TestRunViolatedCombination(t *testing.T) {
+	code := run([]string{"-agents", "2", "-items", "2", "-utility", "nonsubmodular", "-release", "-trace=false"})
+	if code != 1 {
+		t.Fatalf("nonsubmodular+release exit = %d, want 1", code)
+	}
+}
+
+func TestRunSweepMatchesResult1(t *testing.T) {
+	if code := run([]string{"-sweep", "-agents", "2", "-items", "2"}); code != 0 {
+		t.Fatalf("sweep exit = %d, want 0 (expected combinations only)", code)
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-utility", "bogus"},
+		{"-rebid", "bogus"},
+		{"-topology", "bogus"},
+		{"-not-a-flag"},
+	} {
+		if code := run(args); code != 2 {
+			t.Fatalf("args %v: exit = %d, want 2", args, code)
+		}
+	}
+}
+
+func TestBuildAgents(t *testing.T) {
+	pol := mca.Policy{Target: 2, Utility: mca.FlatUtility{}, Rebid: mca.RebidOnChange}
+	as, err := buildAgents(3, 2, pol, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(as) != 3 {
+		t.Fatalf("agents = %d", len(as))
+	}
+	for i, a := range as {
+		if a.ID() != mca.AgentID(i) {
+			t.Fatalf("agent %d has id %d", i, a.ID())
+		}
+	}
+}

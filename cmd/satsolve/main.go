@@ -1,0 +1,83 @@
+// Command satsolve is a DIMACS CNF solver built on the library's CDCL
+// engine — the bottom of the verification stack, usable standalone.
+//
+// Usage:
+//
+//	satsolve [-stats] [-maxconflicts N] file.cnf
+//	cat file.cnf | satsolve
+//
+// Output follows the SAT-competition convention: an "s" status line and,
+// for satisfiable instances, a "v" model line.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/sat"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout))
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) int {
+	fs := flag.NewFlagSet("satsolve", flag.ContinueOnError)
+	stats := fs.Bool("stats", false, "print solver statistics")
+	maxConflicts := fs.Int64("maxconflicts", 0, "conflict budget (0 = unlimited)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	in := stdin
+	if fs.NArg() > 0 {
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		defer f.Close()
+		in = f
+	}
+
+	cnf, err := sat.ParseDIMACS(in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	solver := sat.NewSolverWithOptions(sat.Options{MaxConflicts: *maxConflicts})
+	if err := cnf.LoadInto(solver); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	status := solver.Solve()
+	if *stats {
+		st := solver.Stats()
+		fmt.Fprintf(stdout, "c conflicts=%d decisions=%d propagations=%d restarts=%d learnt=%d deleted=%d\n",
+			st.Conflicts, st.Decisions, st.Propagations, st.Restarts, st.Learnt, st.Deleted)
+		fmt.Fprintf(stdout, "c vars=%d clauses=%d\n", cnf.NumVars, cnf.NumClauses())
+	}
+	switch status {
+	case sat.StatusSat:
+		fmt.Fprintln(stdout, "s SATISFIABLE")
+		model := solver.Model()
+		fmt.Fprint(stdout, "v")
+		for v := 0; v < cnf.NumVars; v++ {
+			lit := v + 1
+			if !model[v] {
+				lit = -lit
+			}
+			fmt.Fprintf(stdout, " %d", lit)
+		}
+		fmt.Fprintln(stdout, " 0")
+		return 10
+	case sat.StatusUnsat:
+		fmt.Fprintln(stdout, "s UNSATISFIABLE")
+		return 20
+	default:
+		fmt.Fprintln(stdout, "s UNKNOWN")
+		return 0
+	}
+}

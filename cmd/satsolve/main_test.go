@@ -1,0 +1,60 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunSat(t *testing.T) {
+	in := strings.NewReader("p cnf 2 2\n1 2 0\n-1 0\n")
+	var out bytes.Buffer
+	code := run([]string{"-stats"}, in, &out)
+	if code != 10 {
+		t.Fatalf("exit code = %d, want 10", code)
+	}
+	s := out.String()
+	if !strings.Contains(s, "s SATISFIABLE") {
+		t.Fatalf("missing status line:\n%s", s)
+	}
+	if !strings.Contains(s, "v -1 2 0") {
+		t.Fatalf("model line wrong:\n%s", s)
+	}
+	if !strings.Contains(s, "c vars=2") {
+		t.Fatalf("stats missing:\n%s", s)
+	}
+}
+
+func TestRunUnsat(t *testing.T) {
+	in := strings.NewReader("p cnf 1 2\n1 0\n-1 0\n")
+	var out bytes.Buffer
+	code := run(nil, in, &out)
+	if code != 20 {
+		t.Fatalf("exit code = %d, want 20", code)
+	}
+	if !strings.Contains(out.String(), "s UNSATISFIABLE") {
+		t.Fatalf("missing unsat line:\n%s", out.String())
+	}
+}
+
+func TestRunParseError(t *testing.T) {
+	in := strings.NewReader("p dnf 1 1\n1 0\n")
+	var out bytes.Buffer
+	if code := run(nil, in, &out); code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+}
+
+func TestRunMissingFile(t *testing.T) {
+	var out bytes.Buffer
+	if code := run([]string{"/nonexistent/file.cnf"}, strings.NewReader(""), &out); code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var out bytes.Buffer
+	if code := run([]string{"-definitely-not-a-flag"}, strings.NewReader(""), &out); code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+}

@@ -1,0 +1,140 @@
+// Command vnmap embeds a virtual network onto a physical network with
+// the MCA auction and k-shortest-path link mapping, reading the problem
+// from JSON and writing the mapping as JSON.
+//
+// Input schema:
+//
+//	{
+//	  "physical": {
+//	    "nodes": [{"cpu": 100}, {"cpu": 80}],
+//	    "links": [{"a": 0, "b": 1, "bandwidth": 10}]
+//	  },
+//	  "virtual": {
+//	    "nodes": [{"cpu": 30}],
+//	    "links": []
+//	  }
+//	}
+//
+// Usage:
+//
+//	vnmap < request.json
+//	vnmap -k 5 request.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/graph"
+	"repro/internal/vnm"
+)
+
+type jsonPhysNode struct {
+	CPU int64 `json:"cpu"`
+}
+
+type jsonLink struct {
+	A         int     `json:"a"`
+	B         int     `json:"b"`
+	Bandwidth float64 `json:"bandwidth"`
+}
+
+type jsonVirtNode struct {
+	CPU int64 `json:"cpu"`
+}
+
+type request struct {
+	Physical struct {
+		Nodes []jsonPhysNode `json:"nodes"`
+		Links []jsonLink     `json:"links"`
+	} `json:"physical"`
+	Virtual struct {
+		Nodes []jsonVirtNode `json:"nodes"`
+		Links []jsonLink     `json:"links"`
+	} `json:"virtual"`
+}
+
+type response struct {
+	NodeMap   []int   `json:"node_map"`
+	LinkPaths [][]int `json:"link_paths"`
+	Rounds    int     `json:"auction_rounds"`
+	Utility   int64   `json:"network_utility"`
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout))
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) int {
+	fs := flag.NewFlagSet("vnmap", flag.ContinueOnError)
+	k := fs.Int("k", 3, "candidate paths per virtual link")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	in := stdin
+	if fs.NArg() > 0 {
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		defer f.Close()
+		in = f
+	}
+	var req request
+	dec := json.NewDecoder(in)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		fmt.Fprintf(os.Stderr, "vnmap: bad request: %v\n", err)
+		return 2
+	}
+
+	g := graph.New(len(req.Physical.Nodes))
+	for _, l := range req.Physical.Links {
+		g.AddWeightedEdge(l.A, l.B, l.Bandwidth)
+	}
+	phys := &vnm.PhysicalNetwork{Graph: g}
+	for _, n := range req.Physical.Nodes {
+		phys.Nodes = append(phys.Nodes, vnm.PhysicalNode{CPU: n.CPU})
+	}
+	vnet := &vnm.VirtualNetwork{}
+	for _, n := range req.Virtual.Nodes {
+		vnet.Nodes = append(vnet.Nodes, vnm.VirtualNode{CPU: n.CPU})
+	}
+	for _, l := range req.Virtual.Links {
+		vnet.Links = append(vnet.Links, vnm.VirtualLink{A: l.A, B: l.B, Bandwidth: l.Bandwidth})
+	}
+
+	emb, err := vnm.NewEmbedder(phys, vnm.Options{KPaths: *k})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vnmap: %v\n", err)
+		return 2
+	}
+	m, out, err := emb.Embed(vnet)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vnmap: %v\n", err)
+		return 1
+	}
+	if err := vnm.ValidateMapping(phys, vnet, m); err != nil {
+		fmt.Fprintf(os.Stderr, "vnmap: internal error, invalid mapping: %v\n", err)
+		return 1
+	}
+	resp := response{
+		NodeMap: m.NodeMap,
+		Rounds:  out.Rounds,
+		Utility: vnm.NetworkUtility(phys, vnet, m),
+	}
+	for _, p := range m.LinkPaths {
+		resp.LinkPaths = append(resp.LinkPaths, p.Nodes)
+	}
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(resp); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	return 0
+}

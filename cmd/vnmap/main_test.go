@@ -1,0 +1,65 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const okRequest = `{
+  "physical": {
+    "nodes": [{"cpu": 100}, {"cpu": 80}, {"cpu": 60}],
+    "links": [{"a": 0, "b": 1, "bandwidth": 10}, {"a": 1, "b": 2, "bandwidth": 10}]
+  },
+  "virtual": {
+    "nodes": [{"cpu": 30}, {"cpu": 40}],
+    "links": [{"a": 0, "b": 1, "bandwidth": 2}]
+  }
+}`
+
+func TestRunEmbeds(t *testing.T) {
+	var out bytes.Buffer
+	code := run(nil, strings.NewReader(okRequest), &out)
+	if code != 0 {
+		t.Fatalf("exit code = %d\n%s", code, out.String())
+	}
+	var resp response
+	if err := json.Unmarshal(out.Bytes(), &resp); err != nil {
+		t.Fatalf("bad JSON output: %v\n%s", err, out.String())
+	}
+	if len(resp.NodeMap) != 2 || len(resp.LinkPaths) != 1 {
+		t.Fatalf("incomplete mapping: %+v", resp)
+	}
+	if resp.Rounds <= 0 {
+		t.Fatalf("missing auction rounds: %+v", resp)
+	}
+}
+
+func TestRunInfeasible(t *testing.T) {
+	req := `{
+	  "physical": {"nodes": [{"cpu": 5}], "links": []},
+	  "virtual": {"nodes": [{"cpu": 50}], "links": []}
+	}`
+	var out bytes.Buffer
+	if code := run(nil, strings.NewReader(req), &out); code != 1 {
+		t.Fatalf("exit code = %d, want 1", code)
+	}
+}
+
+func TestRunBadJSON(t *testing.T) {
+	var out bytes.Buffer
+	if code := run(nil, strings.NewReader(`{"unknown_field": 1}`), &out); code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+	if code := run(nil, strings.NewReader(`not json`), &out); code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+}
+
+func TestRunKFlag(t *testing.T) {
+	var out bytes.Buffer
+	if code := run([]string{"-k", "5"}, strings.NewReader(okRequest), &out); code != 0 {
+		t.Fatalf("exit code = %d", code)
+	}
+}

@@ -1,0 +1,63 @@
+// Detector: the countermeasure the paper leaves as an open question.
+//
+// Footnote 7 of the paper sketches a defense against rebidding attacks:
+// sign messages and keep the bidding history of the first-hop
+// neighborhood, then ignore invalid rebids. This example runs an
+// escalating rebid attacker against an honest agent while the honest
+// agent feeds every received message through a Detector, and prints the
+// evidence that convicts the attacker.
+//
+// Run with: go run ./examples/detector
+package main
+
+import (
+	"fmt"
+	"log"
+
+	mcaverify "repro"
+)
+
+func main() {
+	honestPol := mcaverify.Policy{Target: 1, Utility: mcaverify.FlatUtility{}, Rebid: mcaverify.RebidOnChange}
+	attackPol := mcaverify.Policy{Target: 1, Utility: mcaverify.EscalatingUtility{Cap: 100}, Rebid: mcaverify.RebidAlways}
+
+	honest, err := mcaverify.NewAgent(mcaverify.AgentConfig{ID: 0, Items: 1, Base: []int64{10}, Policy: honestPol})
+	if err != nil {
+		log.Fatal(err)
+	}
+	attacker, err := mcaverify.NewAgent(mcaverify.AgentConfig{ID: 1, Items: 1, Base: []int64{5}, Policy: attackPol})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	det := mcaverify.NewDetector(honest.ID(), 1)
+	honest.BidPhase()
+	attacker.BidPhase()
+
+	fmt.Println("agent 0 (honest, values the item at 10) vs agent 1 (rebid attacker)")
+	for round := 1; round <= 5; round++ {
+		fromAttacker := attacker.Snapshot(honest.ID())
+		fromHonest := honest.Snapshot(attacker.ID())
+		violations := det.Observe(fromAttacker, honest.View())
+		honest.HandleMessage(fromAttacker)
+		attacker.HandleMessage(fromHonest)
+
+		entry := fromAttacker.View[0]
+		state := "free"
+		if entry.Winner != mcaverify.NoAgent {
+			state = fmt.Sprintf("agent %d at %d", entry.Winner, entry.Bid)
+		}
+		fmt.Printf("round %d: attacker reports item held by %s", round, state)
+		if len(violations) > 0 {
+			fmt.Printf("  <-- REMARK 1 VIOLATION: %s", violations[0])
+		}
+		fmt.Println()
+	}
+
+	if det.IsFlagged(attacker.ID()) {
+		fmt.Printf("\nattacker flagged with %d piece(s) of evidence; per the paper's\n", len(det.Evidence(attacker.ID())))
+		fmt.Println("countermeasure its subsequent bid messages would be ignored.")
+	} else {
+		fmt.Println("\nattacker not flagged (unexpected)")
+	}
+}

@@ -1,0 +1,41 @@
+// Model finder: the relational/SAT layer standalone.
+//
+// The program builds the paper's MCA Alloy model at the analysis scope
+// (3 physical nodes, 2 virtual nodes) in both encodings Section IV
+// compares — wide relations with Alloy-style Int versus the
+// bidTriple/value factoring — and prints the translation sizes and the
+// consensus check outcome, reproducing the abstraction-efficiency
+// experiment.
+//
+// Run with: go run ./examples/modelfinder
+package main
+
+import (
+	"fmt"
+	"log"
+
+	mcaverify "repro"
+)
+
+func main() {
+	scope := mcaverify.PaperModelScope()
+	fmt.Printf("MCA relational model at scope %s\n\n", scope)
+
+	naive, err := mcaverify.BuildNaiveModel(scope)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opt, err := mcaverify.BuildOptimizedModel(scope)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	mn := mcaverify.MeasureModel(naive)
+	mo := mcaverify.MeasureModel(opt)
+	fmt.Println("translation sizes (facts ∧ ¬consensus):")
+	fmt.Printf("  %s\n  %s\n", mn, mo)
+	fmt.Printf("\nclause reduction from the optimized abstractions: %.1f%%\n",
+		100*(1-float64(mo.Clauses)/float64(mn.Clauses)))
+	fmt.Println("(the paper reports 259K → 190K ≈ 27% at the same scope,")
+	fmt.Println(" with the check time dropping from about a day to under two hours)")
+}

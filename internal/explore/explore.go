@@ -1,0 +1,416 @@
+// Package explore is the explicit-state bounded model checker for MCA
+// dynamics. It plays the role of the Alloy Analyzer over the paper's
+// dynamic sub-model: the transition system whose states are the agents'
+// views plus the buffer of in-transit bid messages, and whose
+// transitions process one message at a time in any order (the
+// stateTransition fact). The checker exhaustively enumerates delivery
+// interleavings, quotients states by order-preserving relabeling of
+// logical clocks, and reports one of:
+//
+//   - OK: every reachable execution reaches max-consensus (agreement on
+//     winners and winning bids, conflict-free bundles) within the bound;
+//   - an oscillation counterexample: a reachable cycle of states with
+//     messages still flowing (the Fig. 2 instability);
+//   - a bound violation: a path processing more than the D·|J|-derived
+//     message budget without reaching consensus (the paper's consensus
+//     assertion with its val parameter);
+//   - a disagreement/conflict violation at quiescence.
+package explore
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/mca"
+	"repro/internal/netsim"
+	"repro/internal/trace"
+)
+
+// ViolationKind classifies a failed check.
+type ViolationKind int
+
+// Violation kinds.
+const (
+	// ViolationNone means the property held.
+	ViolationNone ViolationKind = iota
+	// ViolationOscillation is a reachable state cycle with pending
+	// messages: the protocol can loop forever (Fig. 2).
+	ViolationOscillation
+	// ViolationBoundExceeded is a path that processed the full message
+	// budget without reaching consensus (the paper's consensus assertion
+	// fails for this val).
+	ViolationBoundExceeded
+	// ViolationDisagreement is a quiescent state whose agents disagree.
+	ViolationDisagreement
+	// ViolationConflict is a quiescent state where two agents both
+	// believe they hold the same item.
+	ViolationConflict
+)
+
+// String names the violation.
+func (v ViolationKind) String() string {
+	switch v {
+	case ViolationNone:
+		return "none"
+	case ViolationOscillation:
+		return "oscillation"
+	case ViolationBoundExceeded:
+		return "bound-exceeded"
+	case ViolationDisagreement:
+		return "disagreement"
+	case ViolationConflict:
+		return "conflict"
+	default:
+		return fmt.Sprintf("violation(%d)", int(v))
+	}
+}
+
+// Options tunes a check.
+type Options struct {
+	// Bound is the message budget (the paper's val parameter). Zero
+	// derives D·|J| · BoundSlack from the agent graph.
+	Bound int
+	// BoundSlack multiplies the derived bound (default 4): the D·|J|
+	// bound from the consensus literature counts synchronized full
+	// exchanges, while the explorer counts single message deliveries.
+	BoundSlack int
+	// HardLimitFactor multiplies Bound to produce the absolute delivery
+	// cap (default 8). The consensus assertion counts state-changing
+	// deliveries against Bound; no-op deliveries merely drain queue
+	// backlog and are tolerated up to the hard limit, which catches
+	// genuinely diverging executions.
+	HardLimitFactor int
+	// MaxStates caps the number of distinct states visited (default
+	// 200000); exceeding it yields an inconclusive verdict.
+	MaxStates int
+	// QueueDepth bounds each directed channel to this many in-flight
+	// messages (default 2: the oldest plus the latest; the tail
+	// coalesces). 0 keeps the default; negative means unbounded.
+	QueueDepth int
+	// DisableVisitedSet turns off state memoization (ablation).
+	DisableVisitedSet bool
+	// DuplicateDeliveries additionally branches on delivering each
+	// pending message WITHOUT consuming it — fault injection for
+	// at-least-once channels. The MCA merge is idempotent, so honest
+	// configurations must still verify.
+	DuplicateDeliveries bool
+}
+
+func (o Options) withDefaults(g *graph.Graph, items int) Options {
+	if o.BoundSlack <= 0 {
+		o.BoundSlack = 4
+	}
+	if o.Bound <= 0 {
+		o.Bound = mca.MessageBound(g, items)*o.BoundSlack + 4
+	}
+	if o.HardLimitFactor <= 0 {
+		o.HardLimitFactor = 8
+	}
+	if o.MaxStates <= 0 {
+		o.MaxStates = 200000
+	}
+	if o.QueueDepth == 0 {
+		o.QueueDepth = 2
+	}
+	return o
+}
+
+func (o Options) hardLimit() int { return o.Bound * o.HardLimitFactor }
+
+// Verdict is the outcome of a check.
+type Verdict struct {
+	// OK reports that every explored execution satisfies the consensus
+	// property. Only meaningful when Exhausted.
+	OK bool
+	// Violation classifies the counterexample when !OK.
+	Violation ViolationKind
+	// Trace is the counterexample path (nil when OK).
+	Trace *trace.Recorder
+	// States is the number of distinct canonical states visited.
+	States int
+	// MaxDepth is the deepest delivery count reached.
+	MaxDepth int
+	// Exhausted reports whether the state space was fully explored
+	// within MaxStates.
+	Exhausted bool
+}
+
+// checker carries the DFS state.
+type checker struct {
+	agents  []*mca.Agent
+	net     *netsim.Network
+	g       *graph.Graph
+	opts    Options
+	visited map[[2]uint64]bool
+	onPath  map[[2]uint64]pathMark
+	path    []pathEntry
+	keyBuf  []byte
+	verdict *Verdict
+}
+
+type pathEntry struct {
+	label string
+	snaps []trace.AgentSnapshot
+}
+
+// pathMark remembers where a state first appeared on the DFS path and
+// how many state-changing deliveries had happened by then, so repeats
+// can be classified as genuine oscillations (progress made, state
+// recurred) versus benign no-op loops.
+type pathMark struct {
+	step    int
+	changes int
+}
+
+// Check explores all message interleavings of the MCA protocol over the
+// given agents and agent network, and verifies the consensus property.
+// Agents must be freshly constructed (pre-bid) and indexed by position.
+func Check(agents []*mca.Agent, g *graph.Graph, opts Options) Verdict {
+	if len(agents) == 0 {
+		return Verdict{OK: true, Exhausted: true}
+	}
+	opts = opts.withDefaults(g, agents[0].Items())
+	net := netsim.New(g, false)
+	if opts.QueueDepth > 0 {
+		net.LimitQueueDepth(opts.QueueDepth)
+	}
+	c := &checker{
+		agents:  agents,
+		net:     net,
+		g:       g,
+		opts:    opts,
+		visited: make(map[[2]uint64]bool),
+		onPath:  make(map[[2]uint64]pathMark),
+		verdict: &Verdict{},
+	}
+	// Initial transition: all agents bid and broadcast.
+	for _, a := range agents {
+		if a.BidPhase() {
+			c.net.Broadcast(a.ID(), a.Snapshot)
+		}
+	}
+	c.path = append(c.path, pathEntry{label: "initial bids", snaps: c.snapshots()})
+	c.dfs(0, 0)
+	c.verdict.Exhausted = c.verdict.States < opts.MaxStates
+	c.verdict.OK = c.verdict.Violation == ViolationNone && c.verdict.Exhausted
+	return *c.verdict
+}
+
+// dfs returns true when a violation has been found (stops the search).
+// depth counts all deliveries on the path; changes counts only the
+// deliveries that changed some agent's state, which is what the paper's
+// val bound budgets.
+func (c *checker) dfs(depth, changes int) bool {
+	if depth > c.verdict.MaxDepth {
+		c.verdict.MaxDepth = depth
+	}
+	if c.verdict.States >= c.opts.MaxStates {
+		return true // budget exhausted; inconclusive
+	}
+	key := c.canonKey()
+	if first, cyc := c.onPath[key]; cyc {
+		if changes > first.changes {
+			// The protocol did real work and still returned to an earlier
+			// state: a genuine oscillation.
+			c.fail(ViolationOscillation, fmt.Sprintf("state repeats (first seen at step %d): oscillation", first.step))
+			return true
+		}
+		// A no-op cycle (e.g. duplicated deliveries of stale messages):
+		// no progress, no violation — prune the branch.
+		return false
+	}
+	if !c.opts.DisableVisitedSet && c.visited[key] {
+		return false
+	}
+	c.verdict.States++
+
+	if c.net.Quiescent() {
+		// Quiescence: the reply-on-disagreement rule guarantees that any
+		// surviving pairwise disagreement would still have a message in
+		// flight, so a quiescent state must satisfy the consensus
+		// predicate and be conflict-free.
+		if !c.agreement() {
+			c.fail(ViolationDisagreement, "quiescent without agreement")
+			return true
+		}
+		if !c.conflictFree() {
+			c.fail(ViolationConflict, "agreement reached but bundles conflict")
+			return true
+		}
+		c.visited[key] = true
+		return false
+	}
+	if depth >= c.opts.hardLimit() {
+		c.fail(ViolationBoundExceeded, fmt.Sprintf("still active after %d deliveries (hard limit)", depth))
+		return true
+	}
+	if changes >= c.opts.Bound && !c.agreement() {
+		// The paper's consensus assertion: after the val message budget,
+		// max-consensus must hold.
+		c.fail(ViolationBoundExceeded, fmt.Sprintf("no consensus after %d effective deliveries (bound)", changes))
+		return true
+	}
+
+	c.onPath[key] = pathMark{step: len(c.path) - 1, changes: changes}
+	defer delete(c.onPath, key)
+
+	pending := c.net.Pending()
+	for _, e := range pending {
+		modes := []bool{true}
+		if c.opts.DuplicateDeliveries {
+			modes = []bool{true, false} // consume, then duplicate
+		}
+		for _, consume := range modes {
+			// Branch: deliver the head message on edge e, consuming it or
+			// (fault injection) leaving a duplicate in flight.
+			savedNet := c.net.Clone()
+			savedAgents := make([]mca.AgentState, len(c.agents))
+			for i, a := range c.agents {
+				savedAgents[i] = a.SaveState()
+			}
+			var m mca.Message
+			if consume {
+				m = c.net.Deliver(e)
+			} else {
+				m, _ = c.net.Peek(e)
+				m = m.Clone()
+			}
+			receiver := c.agents[e.To]
+			didChange := receiver.HandleMessage(m)
+			if didChange {
+				c.net.Broadcast(receiver.ID(), receiver.Snapshot)
+			} else if !mca.ViewsAgree(receiver.View(), m.View) {
+				c.net.Send(receiver.Snapshot(m.Sender))
+			}
+			label := "deliver"
+			if !consume {
+				label = "duplicate-deliver"
+			}
+			c.path = append(c.path, pathEntry{
+				label: fmt.Sprintf("%s %d->%d", label, e.From, e.To),
+				snaps: c.snapshots(),
+			})
+			nextChanges := changes
+			if didChange {
+				nextChanges++
+			}
+			stop := c.dfs(depth+1, nextChanges)
+			c.path = c.path[:len(c.path)-1]
+			c.net = savedNet
+			for i, a := range c.agents {
+				a.RestoreState(savedAgents[i])
+			}
+			if stop {
+				return true
+			}
+		}
+	}
+	if !c.opts.DisableVisitedSet {
+		c.visited[key] = true
+	}
+	return false
+}
+
+func (c *checker) agreement() bool {
+	for i := 1; i < len(c.agents); i++ {
+		if !c.agents[0].AgreesWith(c.agents[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func (c *checker) conflictFree() bool {
+	holder := make(map[mca.ItemID]mca.AgentID)
+	for _, a := range c.agents {
+		for _, j := range a.Bundle() {
+			if prev, taken := holder[j]; taken && prev != a.ID() {
+				return false
+			}
+			holder[j] = a.ID()
+		}
+	}
+	return true
+}
+
+func (c *checker) fail(kind ViolationKind, label string) {
+	if c.verdict.Violation != ViolationNone {
+		return // keep the first counterexample
+	}
+	c.verdict.Violation = kind
+	rec := trace.NewRecorder()
+	for _, pe := range c.path {
+		rec.Record(trace.Step{Label: pe.label, Agents: pe.snaps})
+	}
+	rec.Record(trace.Step{Label: "VIOLATION: " + label, Agents: c.snapshots()})
+	c.verdict.Trace = rec
+}
+
+func (c *checker) snapshots() []trace.AgentSnapshot {
+	out := make([]trace.AgentSnapshot, len(c.agents))
+	for i, a := range c.agents {
+		view := a.View()
+		bids := make([]int64, len(view))
+		winners := make([]int, len(view))
+		for j, bi := range view {
+			bids[j] = bi.Bid
+			winners[j] = int(bi.Winner)
+		}
+		bundle := a.Bundle()
+		bints := make([]int, len(bundle))
+		for k, b := range bundle {
+			bints[k] = int(b)
+		}
+		out[i] = trace.AgentSnapshot{ID: int(a.ID()), Bids: bids, Winner: winners, Bundle: bints}
+	}
+	return out
+}
+
+// canonKey serializes the global state with logical times replaced by
+// their dense rank — making the visited set a finite quotient of the
+// unbounded clock space — and hashes the result to a 128-bit key
+// (FNV-1a with two offsets; collisions are negligible at the state
+// counts explored).
+func (c *checker) canonKey() [2]uint64 {
+	// Collect every timestamp.
+	var times []int
+	sink := func(t int) { times = append(times, t) }
+	for _, a := range c.agents {
+		a.CollectTimes(sink)
+	}
+	for _, e := range c.net.Pending() {
+		for _, m := range c.net.Queue(e) {
+			mca.CollectMessageTimes(m, sink)
+		}
+	}
+	sort.Ints(times)
+	rankOf := make(map[int]int, len(times))
+	for _, t := range times {
+		if _, seen := rankOf[t]; !seen {
+			rankOf[t] = len(rankOf)
+		}
+	}
+	rank := func(t int) int { return rankOf[t] }
+
+	c.keyBuf = c.keyBuf[:0]
+	for _, a := range c.agents {
+		c.keyBuf = a.AppendCanonical(c.keyBuf, rank)
+	}
+	for _, e := range c.net.Pending() {
+		for _, m := range c.net.Queue(e) {
+			c.keyBuf = mca.AppendMessageCanonical(c.keyBuf, m, rank)
+		}
+	}
+	const (
+		offset1 = 14695981039346656037
+		offset2 = 1099511628211*31 + 7
+		prime   = 1099511628211
+	)
+	h1, h2 := uint64(offset1), uint64(offset2)
+	for _, b := range c.keyBuf {
+		h1 = (h1 ^ uint64(b)) * prime
+		h2 = (h2 ^ uint64(b)) * (prime + 2)
+	}
+	return [2]uint64{h1, h2}
+}

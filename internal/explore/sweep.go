@@ -1,0 +1,128 @@
+package explore
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/graph"
+	"repro/internal/mca"
+)
+
+// PolicyCombo is one cell of the Result 1 policy matrix.
+type PolicyCombo struct {
+	Utility       mca.Utility
+	ReleaseOutbid bool
+	Rebid         mca.RebidMode
+}
+
+// Label renders the combination.
+func (c PolicyCombo) Label() string {
+	return fmt.Sprintf("p_u=%s p_RO=%v rebid=%s", c.Utility.Name(), c.ReleaseOutbid, c.Rebid)
+}
+
+// SweepRow is one verified cell of the policy matrix.
+type SweepRow struct {
+	Combo   PolicyCombo
+	Verdict Verdict
+}
+
+// SweepConfig describes the scenario each combination is checked on.
+type SweepConfig struct {
+	// Agents is the number of agents (default 2).
+	Agents int
+	// Items is the number of items (default 2).
+	Items int
+	// Bases overrides the per-agent valuations; nil derives the mirrored
+	// antisymmetric pattern of Fig. 2 (each agent's favourite is another
+	// agent's second choice), which makes allocation conflicts genuine.
+	Bases [][]int64
+	// Graph overrides the agent network (default complete).
+	Graph *graph.Graph
+	// Options tunes each individual check.
+	Options Options
+}
+
+func (sc SweepConfig) withDefaults() SweepConfig {
+	if sc.Agents <= 0 {
+		sc.Agents = 2
+	}
+	if sc.Items <= 0 {
+		sc.Items = 2
+	}
+	if sc.Graph == nil {
+		sc.Graph = graph.Complete(sc.Agents)
+	}
+	if sc.Bases == nil {
+		sc.Bases = make([][]int64, sc.Agents)
+		for i := range sc.Bases {
+			sc.Bases[i] = make([]int64, sc.Items)
+			for j := range sc.Bases[i] {
+				sc.Bases[i][j] = int64(10 + 5*((i+j)%sc.Items))
+			}
+		}
+	}
+	return sc
+}
+
+// DefaultCombos is the Result 1 matrix: {sub-modular, non-sub-modular} ×
+// {keep, release-outbid}, honest Remark 1 semantics.
+func DefaultCombos() []PolicyCombo {
+	var out []PolicyCombo
+	for _, u := range []mca.Utility{mca.SubmodularResidual{}, mca.NonSubmodularSynergy{}} {
+		for _, rel := range []bool{false, true} {
+			out = append(out, PolicyCombo{Utility: u, ReleaseOutbid: rel, Rebid: mca.RebidOnChange})
+		}
+	}
+	return out
+}
+
+// PolicySweep checks the consensus property for every combination on the
+// configured scenario, returning one row per combination — the paper's
+// Result 1 experiment as a library call.
+func PolicySweep(combos []PolicyCombo, cfg SweepConfig) ([]SweepRow, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Bases) != cfg.Agents {
+		return nil, fmt.Errorf("explore: %d base vectors for %d agents", len(cfg.Bases), cfg.Agents)
+	}
+	rows := make([]SweepRow, 0, len(combos))
+	for _, combo := range combos {
+		agents := make([]*mca.Agent, cfg.Agents)
+		for i := range agents {
+			a, err := mca.NewAgent(mca.Config{
+				ID:    mca.AgentID(i),
+				Items: cfg.Items,
+				Base:  append([]int64(nil), cfg.Bases[i]...),
+				Policy: mca.Policy{
+					Target:        cfg.Items,
+					Utility:       combo.Utility,
+					ReleaseOutbid: combo.ReleaseOutbid,
+					Rebid:         combo.Rebid,
+				},
+			})
+			if err != nil {
+				return nil, err
+			}
+			agents[i] = a
+		}
+		rows = append(rows, SweepRow{Combo: combo, Verdict: Check(agents, cfg.Graph, cfg.Options)})
+	}
+	return rows, nil
+}
+
+// FormatSweep renders sweep rows as the Result 1 table.
+func FormatSweep(rows []SweepRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-26s %-8s %-16s %-12s %s\n", "utility (p_u)", "p_RO", "rebid", "verdict", "violation")
+	for _, r := range rows {
+		verdict := "converges"
+		if !r.Verdict.OK {
+			verdict = "FAILS"
+			if !r.Verdict.Exhausted && r.Verdict.Violation == ViolationNone {
+				verdict = "inconclusive"
+			}
+		}
+		fmt.Fprintf(&b, "%-26s %-8v %-16s %-12s %v\n",
+			r.Combo.Utility.Name(), r.Combo.ReleaseOutbid, r.Combo.Rebid, verdict, r.Verdict.Violation)
+	}
+	return b.String()
+}

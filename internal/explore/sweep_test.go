@@ -1,0 +1,76 @@
+package explore
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/mca"
+)
+
+func TestPolicySweepReproducesResult1(t *testing.T) {
+	rows, err := PolicySweep(DefaultCombos(), SweepConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(rows))
+	}
+	for _, r := range rows {
+		wantFail := !r.Combo.Utility.Submodular() && r.Combo.ReleaseOutbid
+		if r.Verdict.OK == wantFail {
+			t.Errorf("%s: OK=%v, want fail=%v", r.Combo.Label(), r.Verdict.OK, wantFail)
+		}
+	}
+}
+
+func TestPolicySweepCustomBases(t *testing.T) {
+	rows, err := PolicySweep(
+		[]PolicyCombo{{Utility: mca.FlatUtility{}, Rebid: mca.RebidOnChange}},
+		SweepConfig{Agents: 2, Items: 1, Bases: [][]int64{{7}, {3}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || !rows[0].Verdict.OK {
+		t.Fatalf("flat single-item sweep should verify: %+v", rows)
+	}
+}
+
+func TestPolicySweepBaseMismatch(t *testing.T) {
+	_, err := PolicySweep(DefaultCombos(), SweepConfig{Agents: 3, Bases: [][]int64{{1, 2}}})
+	if err == nil {
+		t.Fatal("mismatched bases accepted")
+	}
+}
+
+func TestPolicySweepCustomGraph(t *testing.T) {
+	rows, err := PolicySweep(
+		[]PolicyCombo{{Utility: mca.SubmodularResidual{}, Rebid: mca.RebidOnChange}},
+		SweepConfig{Agents: 3, Items: 1, Graph: graph.Line(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rows[0].Verdict.OK {
+		t.Fatalf("line-graph submodular sweep failed: %v", rows[0].Verdict.Violation)
+	}
+}
+
+func TestFormatSweep(t *testing.T) {
+	rows, err := PolicySweep(DefaultCombos(), SweepConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := FormatSweep(rows)
+	for _, want := range []string{"submodular-residual", "non-submodular-synergy", "FAILS", "converges", "oscillation"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("table missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestComboLabel(t *testing.T) {
+	c := PolicyCombo{Utility: mca.FlatUtility{}, ReleaseOutbid: true, Rebid: mca.RebidNever}
+	if !strings.Contains(c.Label(), "flat") || !strings.Contains(c.Label(), "rebid-never") {
+		t.Fatalf("label = %q", c.Label())
+	}
+}

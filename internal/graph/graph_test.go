@@ -1,0 +1,216 @@
+package graph
+
+import (
+	"testing"
+)
+
+func TestNewEmpty(t *testing.T) {
+	g := New(0)
+	if g.N() != 0 || g.M() != 0 {
+		t.Fatalf("empty graph: got n=%d m=%d", g.N(), g.M())
+	}
+	if !g.Connected() {
+		t.Fatal("empty graph should be connected by convention")
+	}
+}
+
+func TestAddRemoveEdge(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) {
+		t.Fatal("edge 0-1 missing in one direction")
+	}
+	if g.M() != 2 {
+		t.Fatalf("M = %d, want 2", g.M())
+	}
+	g.RemoveEdge(1, 0)
+	if g.HasEdge(0, 1) {
+		t.Fatal("edge 0-1 survived removal")
+	}
+	if g.M() != 1 {
+		t.Fatalf("after removal M = %d, want 1", g.M())
+	}
+}
+
+func TestWeightOverwrite(t *testing.T) {
+	g := New(2)
+	g.AddWeightedEdge(0, 1, 2.5)
+	g.AddWeightedEdge(1, 0, 7.0)
+	w, ok := g.Weight(0, 1)
+	if !ok || w != 7.0 {
+		t.Fatalf("weight = %v,%v want 7,true", w, ok)
+	}
+}
+
+func TestSelfLoopPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("self loop did not panic")
+		}
+	}()
+	New(2).AddEdge(1, 1)
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range node did not panic")
+		}
+	}()
+	New(2).AddEdge(0, 2)
+}
+
+func TestNeighborsSorted(t *testing.T) {
+	g := New(5)
+	g.AddEdge(2, 4)
+	g.AddEdge(2, 0)
+	g.AddEdge(2, 3)
+	got := g.Neighbors(2)
+	want := []int{0, 3, 4}
+	if len(got) != len(want) {
+		t.Fatalf("neighbors = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("neighbors = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1)
+	c := g.Clone()
+	c.AddEdge(1, 2)
+	if g.HasEdge(1, 2) {
+		t.Fatal("mutating clone affected original")
+	}
+	if !c.HasEdge(0, 1) {
+		t.Fatal("clone lost original edge")
+	}
+}
+
+func TestEdgesSortedCanonical(t *testing.T) {
+	g := New(4)
+	g.AddEdge(3, 1)
+	g.AddEdge(2, 0)
+	es := g.Edges()
+	if len(es) != 2 {
+		t.Fatalf("edges = %v", es)
+	}
+	if es[0].U != 0 || es[0].V != 2 || es[1].U != 1 || es[1].V != 3 {
+		t.Fatalf("edges not canonical: %v", es)
+	}
+}
+
+func TestBFSDistLine(t *testing.T) {
+	g := Line(5)
+	dist := g.BFSDist(0)
+	for i, d := range dist {
+		if d != i {
+			t.Fatalf("dist[%d] = %d, want %d", i, d, i)
+		}
+	}
+}
+
+func TestBFSDistUnreachable(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1)
+	dist := g.BFSDist(0)
+	if dist[2] != -1 {
+		t.Fatalf("dist to isolated node = %d, want -1", dist[2])
+	}
+}
+
+func TestConnected(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1)
+	if g.Connected() {
+		t.Fatal("disconnected graph reported connected")
+	}
+	g.AddEdge(1, 2)
+	if !g.Connected() {
+		t.Fatal("connected graph reported disconnected")
+	}
+}
+
+func TestDiameter(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *Graph
+		want int
+	}{
+		{"line5", Line(5), 4},
+		{"ring6", Ring(6), 3},
+		{"star7", Star(7), 2},
+		{"complete4", Complete(4), 1},
+		{"single", New(1), 0},
+	}
+	for _, c := range cases {
+		if got := c.g.Diameter(); got != c.want {
+			t.Errorf("%s: diameter = %d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+func TestDiameterDisconnected(t *testing.T) {
+	g := New(2)
+	if g.Diameter() != -1 {
+		t.Fatal("disconnected diameter should be -1")
+	}
+}
+
+func TestToplogyBuilders(t *testing.T) {
+	if Line(4).M() != 3 {
+		t.Error("line4 edge count")
+	}
+	if Ring(4).M() != 4 {
+		t.Error("ring4 edge count")
+	}
+	if Ring(2).M() != 1 {
+		t.Error("ring2 should degenerate to a single edge")
+	}
+	if Star(5).M() != 4 {
+		t.Error("star5 edge count")
+	}
+	if Complete(5).M() != 10 {
+		t.Error("complete5 edge count")
+	}
+}
+
+func TestBuildByName(t *testing.T) {
+	for _, tp := range []Topology{TopologyLine, TopologyRing, TopologyStar, TopologyComplete, TopologyRandomConnected} {
+		g := Build(tp, 5, 42)
+		if g.N() != 5 {
+			t.Errorf("%v: n = %d", tp, g.N())
+		}
+		if !g.Connected() {
+			t.Errorf("%v: not connected", tp)
+		}
+		if tp.String() == "" {
+			t.Errorf("%v: empty name", tp)
+		}
+	}
+}
+
+func TestRandomConnectedDeterministic(t *testing.T) {
+	a := RandomConnected(8, 0.3, 7)
+	b := RandomConnected(8, 0.3, 7)
+	if a.String() != b.String() {
+		t.Fatalf("same seed produced different graphs:\n%s\n%s", a, b)
+	}
+	c := RandomConnected(8, 0.3, 8)
+	if a.String() == c.String() {
+		t.Log("different seeds coincided (possible but unlikely); not failing")
+	}
+}
+
+func TestRandomConnectedAlwaysConnected(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		g := RandomConnected(10, 0.1, seed)
+		if !g.Connected() {
+			t.Fatalf("seed %d: disconnected", seed)
+		}
+	}
+}

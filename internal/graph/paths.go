@@ -1,0 +1,261 @@
+package graph
+
+import (
+	"container/heap"
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrNoPath is returned when no path exists between the requested endpoints.
+var ErrNoPath = errors.New("graph: no path between endpoints")
+
+// Path is a loop-free node sequence with its total edge weight.
+type Path struct {
+	Nodes []int
+	Cost  float64
+}
+
+// Equal reports whether two paths visit the same node sequence.
+func (p Path) Equal(q Path) bool {
+	if len(p.Nodes) != len(q.Nodes) {
+		return false
+	}
+	for i := range p.Nodes {
+		if p.Nodes[i] != q.Nodes[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Simple reports whether the path visits no node twice.
+func (p Path) Simple() bool {
+	seen := make(map[int]bool, len(p.Nodes))
+	for _, u := range p.Nodes {
+		if seen[u] {
+			return false
+		}
+		seen[u] = true
+	}
+	return true
+}
+
+type pqItem struct {
+	node int
+	dist float64
+}
+
+type pq []pqItem
+
+func (q pq) Len() int            { return len(q) }
+func (q pq) Less(i, j int) bool  { return q[i].dist < q[j].dist }
+func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// ShortestPath returns a minimum-weight path from src to dst (Dijkstra).
+// Edge weights must be non-negative.
+func (g *Graph) ShortestPath(src, dst int) (Path, error) {
+	return g.shortestPathAvoiding(src, dst, nil, nil)
+}
+
+// shortestPathAvoiding runs Dijkstra while skipping a set of removed nodes
+// and removed directed edges (encoded as [2]int{u,v}); both may be nil.
+func (g *Graph) shortestPathAvoiding(src, dst int, removedNodes map[int]bool, removedEdges map[[2]int]bool) (Path, error) {
+	g.check(src)
+	g.check(dst)
+	if removedNodes[src] || removedNodes[dst] {
+		return Path{}, ErrNoPath
+	}
+	dist := make([]float64, g.n)
+	prev := make([]int, g.n)
+	done := make([]bool, g.n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		prev[i] = -1
+	}
+	dist[src] = 0
+	q := &pq{{node: src, dist: 0}}
+	for q.Len() > 0 {
+		it := heap.Pop(q).(pqItem)
+		u := it.node
+		if done[u] {
+			continue
+		}
+		done[u] = true
+		if u == dst {
+			break
+		}
+		// Deterministic neighbor order keeps tie-broken paths stable
+		// across runs, which Yen's algorithm depends on for dedup.
+		for _, v := range g.Neighbors(u) {
+			if removedNodes[v] || removedEdges[[2]int{u, v}] {
+				continue
+			}
+			w := g.adj[u][v]
+			if nd := dist[u] + w; nd < dist[v] {
+				dist[v] = nd
+				prev[v] = u
+				heap.Push(q, pqItem{node: v, dist: nd})
+			}
+		}
+	}
+	if math.IsInf(dist[dst], 1) {
+		return Path{}, ErrNoPath
+	}
+	var nodes []int
+	for u := dst; u != -1; u = prev[u] {
+		nodes = append(nodes, u)
+	}
+	for i, j := 0, len(nodes)-1; i < j; i, j = i+1, j-1 {
+		nodes[i], nodes[j] = nodes[j], nodes[i]
+	}
+	return Path{Nodes: nodes, Cost: dist[dst]}, nil
+}
+
+// KShortestPaths returns up to k loop-free paths from src to dst in
+// non-decreasing cost order (Yen's algorithm). It returns ErrNoPath when
+// not even one path exists. The paper's virtual network mapping case study
+// maps virtual links onto physical loop-free paths with exactly this
+// primitive (Section II-B).
+func (g *Graph) KShortestPaths(src, dst, k int) ([]Path, error) {
+	if k <= 0 {
+		return nil, nil
+	}
+	first, err := g.ShortestPath(src, dst)
+	if err != nil {
+		return nil, err
+	}
+	paths := []Path{first}
+	var candidates []Path
+	for len(paths) < k {
+		last := paths[len(paths)-1]
+		// Each node of the previous path except the final one is a spur node.
+		for i := 0; i < len(last.Nodes)-1; i++ {
+			spur := last.Nodes[i]
+			root := last.Nodes[:i+1]
+			removedEdges := make(map[[2]int]bool)
+			for _, p := range paths {
+				if len(p.Nodes) > i && samePrefix(p.Nodes, root) {
+					u, v := p.Nodes[i], p.Nodes[i+1]
+					removedEdges[[2]int{u, v}] = true
+					removedEdges[[2]int{v, u}] = true
+				}
+			}
+			removedNodes := make(map[int]bool)
+			for _, u := range root[:len(root)-1] {
+				removedNodes[u] = true
+			}
+			spurPath, err := g.shortestPathAvoiding(spur, dst, removedNodes, removedEdges)
+			if err != nil {
+				continue
+			}
+			total := Path{Nodes: append(append([]int{}, root[:len(root)-1]...), spurPath.Nodes...)}
+			total.Cost = g.pathCost(total.Nodes)
+			if !total.Simple() {
+				continue
+			}
+			dup := false
+			for _, c := range candidates {
+				if c.Equal(total) {
+					dup = true
+					break
+				}
+			}
+			for _, p := range paths {
+				if p.Equal(total) {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				candidates = append(candidates, total)
+			}
+		}
+		if len(candidates) == 0 {
+			break
+		}
+		sort.Slice(candidates, func(i, j int) bool {
+			if candidates[i].Cost != candidates[j].Cost {
+				return candidates[i].Cost < candidates[j].Cost
+			}
+			return lessNodes(candidates[i].Nodes, candidates[j].Nodes)
+		})
+		paths = append(paths, candidates[0])
+		candidates = candidates[1:]
+	}
+	return paths, nil
+}
+
+func (g *Graph) pathCost(nodes []int) float64 {
+	c := 0.0
+	for i := 0; i+1 < len(nodes); i++ {
+		c += g.adj[nodes[i]][nodes[i+1]]
+	}
+	return c
+}
+
+func samePrefix(nodes, prefix []int) bool {
+	if len(nodes) < len(prefix) {
+		return false
+	}
+	for i := range prefix {
+		if nodes[i] != prefix[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func lessNodes(a, b []int) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+// AllSimplePaths enumerates every loop-free path from src to dst with at
+// most maxLen edges (maxLen <= 0 means unbounded). Intended for small
+// graphs: the test suite uses it as a brute-force oracle for Yen's
+// algorithm, and the VNM validity checker uses it on tiny instances.
+func (g *Graph) AllSimplePaths(src, dst, maxLen int) []Path {
+	g.check(src)
+	g.check(dst)
+	var out []Path
+	visited := make([]bool, g.n)
+	var cur []int
+	var rec func(u int)
+	rec = func(u int) {
+		visited[u] = true
+		cur = append(cur, u)
+		if u == dst {
+			nodes := append([]int{}, cur...)
+			out = append(out, Path{Nodes: nodes, Cost: g.pathCost(nodes)})
+		} else if maxLen <= 0 || len(cur)-1 < maxLen {
+			for _, v := range g.Neighbors(u) {
+				if !visited[v] {
+					rec(v)
+				}
+			}
+		}
+		visited[u] = false
+		cur = cur[:len(cur)-1]
+	}
+	rec(src)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Cost != out[j].Cost {
+			return out[i].Cost < out[j].Cost
+		}
+		return lessNodes(out[i].Nodes, out[j].Nodes)
+	})
+	return out
+}

@@ -1,0 +1,197 @@
+package graph
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestShortestPathLine(t *testing.T) {
+	g := Line(5)
+	p, err := g.ShortestPath(0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Cost != 4 || len(p.Nodes) != 5 {
+		t.Fatalf("path = %+v", p)
+	}
+}
+
+func TestShortestPathWeighted(t *testing.T) {
+	// 0-1-2 costs 2, direct 0-2 costs 5: the two-hop route must win.
+	g := New(3)
+	g.AddWeightedEdge(0, 1, 1)
+	g.AddWeightedEdge(1, 2, 1)
+	g.AddWeightedEdge(0, 2, 5)
+	p, err := g.ShortestPath(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Cost != 2 {
+		t.Fatalf("cost = %v, want 2 (path %v)", p.Cost, p.Nodes)
+	}
+}
+
+func TestShortestPathNoPath(t *testing.T) {
+	g := New(2)
+	if _, err := g.ShortestPath(0, 1); !errors.Is(err, ErrNoPath) {
+		t.Fatalf("err = %v, want ErrNoPath", err)
+	}
+}
+
+func TestShortestPathSelf(t *testing.T) {
+	g := New(1)
+	p, err := g.ShortestPath(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Cost != 0 || len(p.Nodes) != 1 {
+		t.Fatalf("self path = %+v", p)
+	}
+}
+
+func TestKShortestPathsDiamond(t *testing.T) {
+	//   1
+	//  / \
+	// 0   3    plus a longer belt 0-2-3
+	//  \ /
+	//   2
+	g := New(4)
+	g.AddWeightedEdge(0, 1, 1)
+	g.AddWeightedEdge(1, 3, 1)
+	g.AddWeightedEdge(0, 2, 2)
+	g.AddWeightedEdge(2, 3, 2)
+	paths, err := g.KShortestPaths(0, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 2 {
+		t.Fatalf("got %d paths, want 2: %v", len(paths), paths)
+	}
+	if paths[0].Cost != 2 || paths[1].Cost != 4 {
+		t.Fatalf("costs = %v, %v", paths[0].Cost, paths[1].Cost)
+	}
+}
+
+func TestKShortestPathsAreSimpleAndSorted(t *testing.T) {
+	g := RandomConnected(8, 0.4, 3)
+	paths, err := g.KShortestPaths(0, 7, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range paths {
+		if !p.Simple() {
+			t.Errorf("path %d not simple: %v", i, p.Nodes)
+		}
+		if i > 0 && paths[i-1].Cost > p.Cost {
+			t.Errorf("paths out of order at %d: %v > %v", i, paths[i-1].Cost, p.Cost)
+		}
+		for j := 0; j < i; j++ {
+			if paths[j].Equal(p) {
+				t.Errorf("duplicate path at %d and %d: %v", j, i, p.Nodes)
+			}
+		}
+	}
+}
+
+func TestKShortestAgainstBruteForce(t *testing.T) {
+	// On small graphs, Yen's results must be a prefix of the full
+	// cost-sorted enumeration of simple paths (comparing costs, since
+	// equal-cost orderings may differ).
+	for seed := int64(0); seed < 20; seed++ {
+		g := RandomConnected(6, 0.4, seed)
+		all := g.AllSimplePaths(0, 5, 0)
+		k := 4
+		paths, err := g.KShortestPaths(0, 5, k)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		want := len(all)
+		if want > k {
+			want = k
+		}
+		if len(paths) != want {
+			t.Fatalf("seed %d: got %d paths, want %d", seed, len(paths), want)
+		}
+		for i := range paths {
+			if paths[i].Cost != all[i].Cost {
+				t.Fatalf("seed %d: cost[%d] = %v, brute force %v", seed, i, paths[i].Cost, all[i].Cost)
+			}
+		}
+	}
+}
+
+func TestKShortestNoPath(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1)
+	if _, err := g.KShortestPaths(0, 2, 3); !errors.Is(err, ErrNoPath) {
+		t.Fatalf("err = %v, want ErrNoPath", err)
+	}
+}
+
+func TestKShortestZeroK(t *testing.T) {
+	g := Line(3)
+	paths, err := g.KShortestPaths(0, 2, 0)
+	if err != nil || paths != nil {
+		t.Fatalf("k=0: got %v, %v", paths, err)
+	}
+}
+
+func TestAllSimplePathsMaxLen(t *testing.T) {
+	g := Complete(4)
+	short := g.AllSimplePaths(0, 3, 1)
+	if len(short) != 1 {
+		t.Fatalf("maxLen=1 paths = %v", short)
+	}
+	all := g.AllSimplePaths(0, 3, 0)
+	// complete graph on 4 nodes: paths 0->3 = 1 direct + 2 two-hop + 2 three-hop
+	if len(all) != 5 {
+		t.Fatalf("got %d simple paths, want 5: %v", len(all), all)
+	}
+}
+
+// property: Dijkstra distance equals BFS hop distance on unweighted graphs.
+func TestShortestPathMatchesBFSProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(8)
+		g := RandomConnected(n, 0.3, seed)
+		src, dst := rng.Intn(n), rng.Intn(n)
+		p, err := g.ShortestPath(src, dst)
+		if err != nil {
+			return false
+		}
+		return int(p.Cost) == g.BFSDist(src)[dst]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// property: every path returned by KShortestPaths has a cost equal to the
+// sum of its edge weights and starts/ends at the requested endpoints.
+func TestKShortestEndpointProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed ^ 0x5f5f))
+		n := 3 + rng.Intn(6)
+		g := RandomConnected(n, 0.4, seed)
+		src, dst := 0, n-1
+		paths, err := g.KShortestPaths(src, dst, 5)
+		if err != nil {
+			return false
+		}
+		for _, p := range paths {
+			if p.Nodes[0] != src || p.Nodes[len(p.Nodes)-1] != dst {
+				return false
+			}
+			if p.Cost != g.pathCost(p.Nodes) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,165 @@
+package mca
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Detector implements the countermeasure the paper sketches in footnote
+// 7: "by keeping track of the bidding history of their first hop
+// neighborhood, agents could then detect rebidding attacks (condition in
+// Remark 1), ignoring subsequent invalid bid messages." A Detector
+// observes the messages an agent receives and flags senders that rebid
+// on an item after having been overbid on it, without an intervening
+// retraction of the overbidding claim.
+//
+// The paper assumes message signing makes sender identity reliable; the
+// simulator delivers messages with authentic sender fields, which plays
+// the same role.
+type Detector struct {
+	owner AgentID
+	items int
+
+	// history[sender][item] tracks the last claim state observed from
+	// each first-hop neighbor.
+	history map[AgentID][]observedClaim
+
+	// flagged senders and the evidence against them.
+	evidence map[AgentID][]Violation
+}
+
+type observedClaim struct {
+	// lastOwnBid is the sender's last observed own claim on the item
+	// (zero if it never claimed it).
+	lastOwnBid int64
+	hasClaimed bool
+	// overbidBy is the highest competing claim the sender has provably
+	// seen for the item (it reported it in a message), if any.
+	overbidBy  BidInfo
+	hasOverbid bool
+}
+
+// Violation is one piece of evidence of a Remark 1 violation.
+type Violation struct {
+	Sender AgentID
+	Item   ItemID
+	// PreviousBid is the sender's claim that was overbid.
+	PreviousBid int64
+	// Overbid is the competing claim the sender itself reported.
+	Overbid BidInfo
+	// RebidAt is the offending new claim.
+	RebidAt BidInfo
+}
+
+// String renders the evidence.
+func (v Violation) String() string {
+	return fmt.Sprintf("agent %d rebid item %d at %d (time %d) after acknowledging being overbid by agent %d at %d",
+		v.Sender, v.Item, v.RebidAt.Bid, v.RebidAt.Time, v.Overbid.Winner, v.Overbid.Bid)
+}
+
+// NewDetector creates a detector for an agent observing its neighbors.
+func NewDetector(owner AgentID, items int) *Detector {
+	return &Detector{
+		owner:    owner,
+		items:    items,
+		history:  make(map[AgentID][]observedClaim),
+		evidence: make(map[AgentID][]Violation),
+	}
+}
+
+// Observe feeds one received message through the detector and returns
+// any new violations it evidences. ownerView is the observing agent's
+// current view (pre-merge); it supplies standing-claim evidence the
+// sender may avoid acknowledging in its own messages. Pass nil to use
+// only the sender's self-reported history.
+func (d *Detector) Observe(m Message, ownerView []BidInfo) []Violation {
+	if len(m.View) != d.items {
+		panic(fmt.Sprintf("mca: detector for %d items observed view of %d", d.items, len(m.View)))
+	}
+	h, ok := d.history[m.Sender]
+	if !ok {
+		h = make([]observedClaim, d.items)
+		d.history[m.Sender] = h
+	}
+	var found []Violation
+	for j := 0; j < d.items; j++ {
+		entry := m.View[j]
+		oc := &h[j]
+		switch {
+		case entry.Winner == m.Sender:
+			// The sender claims the item. Two kinds of evidence convict a
+			// Remark 1 violation:
+			//
+			//  (a) the sender itself previously acknowledged a competing
+			//      claim that beat its own bid, with no retraction since;
+			//  (b) the observer's standing view holds a competing claim
+			//      that beat the sender's previous bid, and the message's
+			//      information vector proves the sender knew that claim
+			//      when it sent this message (InfoTimes[winner] at least
+			//      as fresh as the claim's generation time — an agent's
+			//      clock equals the claim time at the moment it bids, so
+			//      equality already implies the claim was seen).
+			prevOwn := BidInfo{Bid: oc.lastOwnBid, Winner: m.Sender}
+			if oc.hasClaimed && oc.hasOverbid && Beats(oc.overbidBy.Bid, oc.overbidBy.Winner, prevOwn) {
+				v := Violation{
+					Sender:      m.Sender,
+					Item:        ItemID(j),
+					PreviousBid: oc.lastOwnBid,
+					Overbid:     oc.overbidBy,
+					RebidAt:     entry,
+				}
+				d.evidence[m.Sender] = append(d.evidence[m.Sender], v)
+				found = append(found, v)
+			} else if oc.hasClaimed && ownerView != nil {
+				standing := ownerView[j]
+				if standing.Winner != NoAgent && standing.Winner != m.Sender &&
+					Beats(standing.Bid, standing.Winner, prevOwn) &&
+					m.InfoTimes[standing.Winner] >= standing.Time {
+					v := Violation{
+						Sender:      m.Sender,
+						Item:        ItemID(j),
+						PreviousBid: oc.lastOwnBid,
+						Overbid:     standing,
+						RebidAt:     entry,
+					}
+					d.evidence[m.Sender] = append(d.evidence[m.Sender], v)
+					found = append(found, v)
+				}
+			}
+			oc.hasClaimed = true
+			oc.lastOwnBid = entry.Bid
+		case entry.Winner == NoAgent:
+			// Retraction observed: whatever overbid stood is resolved;
+			// rebidding is legitimate again (RebidOnChange semantics).
+			oc.hasOverbid = false
+		default:
+			// The sender acknowledges some other agent's claim. If the
+			// sender had claimed this item before, it has now provably
+			// seen itself overbid.
+			if oc.hasClaimed {
+				oc.overbidBy = entry
+				oc.hasOverbid = true
+			}
+		}
+	}
+	return found
+}
+
+// Flagged returns the senders with at least one violation, sorted.
+func (d *Detector) Flagged() []AgentID {
+	out := make([]AgentID, 0, len(d.evidence))
+	for a := range d.evidence {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Evidence returns the recorded violations for a sender.
+func (d *Detector) Evidence(a AgentID) []Violation {
+	return append([]Violation(nil), d.evidence[a]...)
+}
+
+// IsFlagged reports whether the sender has been caught violating
+// Remark 1.
+func (d *Detector) IsFlagged(a AgentID) bool { return len(d.evidence[a]) > 0 }

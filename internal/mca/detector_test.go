@@ -1,0 +1,167 @@
+package mca
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// drive runs a two-agent exchange loop, feeding agent 0's detector with
+// every message from agent 1, and returns the detector.
+func driveWithDetector(t *testing.T, honest, suspect *Agent, rounds int) *Detector {
+	t.Helper()
+	det := NewDetector(honest.ID(), honest.Items())
+	honest.BidPhase()
+	suspect.BidPhase()
+	for r := 0; r < rounds; r++ {
+		mToHonest := suspect.Snapshot(honest.ID())
+		mToSuspect := honest.Snapshot(suspect.ID())
+		det.Observe(mToHonest, honest.View())
+		honest.HandleMessage(mToHonest)
+		suspect.HandleMessage(mToSuspect)
+	}
+	return det
+}
+
+func TestDetectorFlagsRebidAttacker(t *testing.T) {
+	honest := MustNewAgent(Config{ID: 0, Items: 1, Base: []int64{10},
+		Policy: Policy{Target: 1, Utility: FlatUtility{}, Rebid: RebidOnChange}})
+	attacker := MustNewAgent(Config{ID: 1, Items: 1, Base: []int64{5},
+		Policy: Policy{Target: 1, Utility: EscalatingUtility{Cap: 1 << 20}, Rebid: RebidAlways}})
+	det := driveWithDetector(t, honest, attacker, 6)
+	if !det.IsFlagged(1) {
+		t.Fatal("escalating rebidder not flagged")
+	}
+	ev := det.Evidence(1)
+	if len(ev) == 0 {
+		t.Fatal("no evidence recorded")
+	}
+	if ev[0].Sender != 1 || ev[0].Item != 0 {
+		t.Fatalf("evidence misattributed: %+v", ev[0])
+	}
+	if ev[0].String() == "" {
+		t.Error("empty violation string")
+	}
+	if got := det.Flagged(); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("flagged = %v", got)
+	}
+}
+
+func TestDetectorDoesNotFlagHonestLoser(t *testing.T) {
+	// Two honest agents: the loser concedes and never rebids while the
+	// winning claim stands.
+	a0 := MustNewAgent(Config{ID: 0, Items: 2, Base: []int64{10, 4},
+		Policy: Policy{Target: 2, Utility: FlatUtility{}, Rebid: RebidOnChange}})
+	a1 := MustNewAgent(Config{ID: 1, Items: 2, Base: []int64{6, 9},
+		Policy: Policy{Target: 2, Utility: FlatUtility{}, Rebid: RebidOnChange}})
+	det := driveWithDetector(t, a0, a1, 6)
+	if det.IsFlagged(1) {
+		t.Fatalf("honest agent flagged: %v", det.Evidence(1))
+	}
+	if len(det.Flagged()) != 0 {
+		t.Fatal("flag list should be empty")
+	}
+}
+
+func TestDetectorAllowsRebidAfterRetraction(t *testing.T) {
+	// An honest agent that re-bids after the overbidding claim is
+	// retracted (RebidOnChange) must not be flagged. Construct the
+	// message sequence by hand: the neighbor claims, concedes to agent 2,
+	// reports the retraction, then legitimately claims again.
+	det := NewDetector(0, 1)
+	seq := []Message{
+		{Sender: 1, Receiver: 0, View: []BidInfo{{Bid: 5, Winner: 1, Time: 1}}, InfoTimes: map[AgentID]int{1: 1}},
+		{Sender: 1, Receiver: 0, View: []BidInfo{{Bid: 9, Winner: 2, Time: 2}}, InfoTimes: map[AgentID]int{1: 2}},
+		{Sender: 1, Receiver: 0, View: []BidInfo{{Winner: NoAgent, Time: 3}}, InfoTimes: map[AgentID]int{1: 3}},
+		{Sender: 1, Receiver: 0, View: []BidInfo{{Bid: 5, Winner: 1, Time: 4}}, InfoTimes: map[AgentID]int{1: 4}},
+	}
+	for _, m := range seq {
+		if vs := det.Observe(m, nil); len(vs) != 0 {
+			t.Fatalf("legitimate rebid flagged: %v", vs)
+		}
+	}
+}
+
+func TestDetectorFlagsRebidWithoutRetraction(t *testing.T) {
+	det := NewDetector(0, 1)
+	seq := []Message{
+		{Sender: 1, Receiver: 0, View: []BidInfo{{Bid: 5, Winner: 1, Time: 1}}, InfoTimes: map[AgentID]int{1: 1}},
+		{Sender: 1, Receiver: 0, View: []BidInfo{{Bid: 9, Winner: 2, Time: 2}}, InfoTimes: map[AgentID]int{1: 2}},
+		// No retraction: agent 1 claims again while agent 2's 9 stands.
+		{Sender: 1, Receiver: 0, View: []BidInfo{{Bid: 10, Winner: 1, Time: 3}}, InfoTimes: map[AgentID]int{1: 3}},
+	}
+	var all []Violation
+	for _, m := range seq {
+		all = append(all, det.Observe(m, nil)...)
+	}
+	if len(all) != 1 {
+		t.Fatalf("violations = %v, want exactly 1", all)
+	}
+	if all[0].Overbid.Winner != 2 || all[0].RebidAt.Bid != 10 {
+		t.Fatalf("evidence wrong: %+v", all[0])
+	}
+}
+
+func TestDetectorHigherWinningRebidIsLegitimate(t *testing.T) {
+	// The sender was never overbid (its own claim simply grew — e.g. a
+	// refreshed bid after adding items): not a violation.
+	det := NewDetector(0, 1)
+	seq := []Message{
+		{Sender: 1, Receiver: 0, View: []BidInfo{{Bid: 5, Winner: 1, Time: 1}}, InfoTimes: map[AgentID]int{1: 1}},
+		{Sender: 1, Receiver: 0, View: []BidInfo{{Bid: 7, Winner: 1, Time: 2}}, InfoTimes: map[AgentID]int{1: 2}},
+	}
+	for _, m := range seq {
+		if vs := det.Observe(m, nil); len(vs) != 0 {
+			t.Fatalf("self-refresh flagged: %v", vs)
+		}
+	}
+}
+
+func TestDetectorWrongViewLengthPanics(t *testing.T) {
+	det := NewDetector(0, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	det.Observe(Message{Sender: 1, View: []BidInfo{{}}}, nil)
+}
+
+// End-to-end: running the attack over a network while every honest agent
+// runs a detector catches the attacker at all its neighbors.
+func TestDetectorEndToEndOnStar(t *testing.T) {
+	g := graph.Star(3) // hub 0, spokes 1, 2
+	honestPol := Policy{Target: 1, Utility: FlatUtility{}, Rebid: RebidOnChange}
+	attackPol := Policy{Target: 1, Utility: EscalatingUtility{Cap: 1 << 16}, Rebid: RebidAlways}
+	agents := []*Agent{
+		MustNewAgent(Config{ID: 0, Items: 1, Base: []int64{10}, Policy: honestPol}),
+		MustNewAgent(Config{ID: 1, Items: 1, Base: []int64{8}, Policy: attackPol}),
+		MustNewAgent(Config{ID: 2, Items: 1, Base: []int64{6}, Policy: honestPol}),
+	}
+	det := NewDetector(0, 1)
+	for _, a := range agents {
+		a.BidPhase()
+	}
+	for r := 0; r < 8; r++ {
+		snaps := make([]Message, len(agents))
+		for i, a := range agents {
+			snaps[i] = a.Snapshot(NoAgent)
+		}
+		for i, a := range agents {
+			for _, nb := range g.Neighbors(i) {
+				m := snaps[nb]
+				m.Receiver = a.ID()
+				if a.ID() == 0 && m.Sender == 1 {
+					det.Observe(m, a.View())
+				}
+				a.HandleMessage(m)
+			}
+		}
+	}
+	if !det.IsFlagged(1) {
+		t.Fatal("attacker not flagged by the hub")
+	}
+	if det.IsFlagged(2) {
+		t.Fatal("honest spoke flagged")
+	}
+}

@@ -1,0 +1,181 @@
+package mca
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func sortInts(xs []int) { sort.Ints(xs) }
+
+// checkAgentInvariants verifies the structural invariants every agent
+// must maintain regardless of message history:
+//
+//	I1: every bundle item is believed won by the agent itself;
+//	I2: bundle size never exceeds the target;
+//	I3: total bundle demand never exceeds capacity (when set);
+//	I4: the logical clock is at least every view timestamp;
+//	I5: blocked items are never in the bundle;
+//	I6: no duplicate items in the bundle.
+func checkAgentInvariants(t *testing.T, a *Agent) {
+	t.Helper()
+	view := a.View()
+	seen := map[ItemID]bool{}
+	for _, j := range a.Bundle() {
+		if view[j].Winner != a.ID() {
+			t.Fatalf("I1: agent %d holds item %d but believes winner %d", a.ID(), j, view[j].Winner)
+		}
+		if seen[j] {
+			t.Fatalf("I6: duplicate item %d in bundle %v", j, a.Bundle())
+		}
+		seen[j] = true
+	}
+	if len(a.Bundle()) > a.Policy().Target {
+		t.Fatalf("I2: bundle %v exceeds target %d", a.Bundle(), a.Policy().Target)
+	}
+	for _, bi := range view {
+		if bi.Time > a.Clock() {
+			t.Fatalf("I4: view time %d exceeds clock %d", bi.Time, a.Clock())
+		}
+	}
+	for j, blocked := range a.Lost() {
+		if blocked && seen[ItemID(j)] {
+			t.Fatalf("I5: blocked item %d in bundle", j)
+		}
+	}
+}
+
+// Fuzz the agent with random (but well-formed) message sequences and
+// check the invariants after every step.
+func TestAgentInvariantsUnderRandomMessages(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		items := 1 + rng.Intn(3)
+		nAgents := 2 + rng.Intn(3)
+		pol := Policy{
+			Target:        1 + rng.Intn(items),
+			Utility:       []Utility{SubmodularResidual{}, NonSubmodularSynergy{}, FlatUtility{}}[rng.Intn(3)],
+			ReleaseOutbid: rng.Intn(2) == 0,
+			Rebid:         []RebidMode{RebidOnChange, RebidNever, RebidAlways}[rng.Intn(3)],
+		}
+		base := make([]int64, items)
+		for j := range base {
+			base[j] = int64(rng.Intn(20) + 1)
+		}
+		a := MustNewAgent(Config{ID: 0, Items: items, Base: base, Policy: pol})
+		a.BidPhase()
+		checkAgentInvariants(t, a)
+		clock := 0
+		for step := 0; step < 25; step++ {
+			sender := AgentID(1 + rng.Intn(nAgents-1))
+			view := make([]BidInfo, items)
+			info := map[AgentID]int{}
+			for j := range view {
+				switch rng.Intn(4) {
+				case 0:
+					view[j] = BidInfo{Winner: NoAgent, Time: clock}
+				default:
+					w := AgentID(rng.Intn(nAgents))
+					clock++
+					view[j] = BidInfo{Bid: int64(rng.Intn(25) + 1), Winner: w, Time: clock}
+					if clock > info[w] {
+						info[w] = clock
+					}
+				}
+			}
+			clock++
+			info[sender] = clock
+			a.HandleMessage(Message{Sender: sender, Receiver: 0, View: view, InfoTimes: info})
+			checkAgentInvariants(t, a)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Save/restore must round-trip exactly (the explorer depends on it).
+func TestSaveRestoreRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := MustNewAgent(Config{ID: 0, Items: 2, Base: []int64{5, 9},
+			Policy: Policy{Target: 2, Utility: SubmodularResidual{}, ReleaseOutbid: true, Rebid: RebidOnChange}})
+		a.BidPhase()
+		// Random mutation via a message.
+		a.HandleMessage(Message{Sender: 1, Receiver: 0,
+			View: []BidInfo{
+				{Bid: int64(rng.Intn(20)), Winner: AgentID(rng.Intn(2)), Time: 3},
+				{Winner: NoAgent, Time: 2},
+			},
+			InfoTimes: map[AgentID]int{1: 3}})
+		saved := a.SaveState()
+		// Further mutation.
+		a.HandleMessage(Message{Sender: 1, Receiver: 0,
+			View:      []BidInfo{{Bid: 50, Winner: 1, Time: 9}, {Bid: 40, Winner: 1, Time: 10}},
+			InfoTimes: map[AgentID]int{1: 10}})
+		a.RestoreState(saved)
+		got := a.SaveState()
+		if len(got.View) != len(saved.View) || got.Clock != saved.Clock {
+			return false
+		}
+		for j := range saved.View {
+			if got.View[j] != saved.View[j] || got.Blocked[j] != saved.Blocked[j] || got.Block[j] != saved.Block[j] {
+				return false
+			}
+		}
+		if len(got.Bundle) != len(saved.Bundle) {
+			return false
+		}
+		for i := range saved.Bundle {
+			if got.Bundle[i] != saved.Bundle[i] {
+				return false
+			}
+		}
+		if len(got.InfoTime) != len(saved.InfoTime) {
+			return false
+		}
+		for k, v := range saved.InfoTime {
+			if got.InfoTime[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Canonical encodings must be injective on distinguishable states and
+// invariant under uniform time shifts (the rank quotient).
+func TestCanonicalEncodingTimeShiftInvariance(t *testing.T) {
+	mk := func(shift int) string {
+		a := MustNewAgent(Config{ID: 0, Items: 2, Base: []int64{5, 9},
+			Policy: Policy{Target: 2, Utility: FlatUtility{}, Rebid: RebidOnChange}})
+		a.BidPhase()
+		// Shift only the REMOTE timestamps: the dense rank must make the
+		// encoding invariant as long as the relative order of all times
+		// is unchanged. Remote times are far above local ones in both
+		// variants, so the order is preserved.
+		a.HandleMessage(Message{Sender: 1, Receiver: 0,
+			View:      []BidInfo{{Bid: 20, Winner: 1, Time: 50 + shift}, {Winner: NoAgent, Time: 40 + shift}},
+			InfoTimes: map[AgentID]int{1: 50 + shift}})
+		// Dense rank over every timestamp in the state, as the explorer
+		// computes it.
+		var times []int
+		a.CollectTimes(func(t int) { times = append(times, t) })
+		sortInts(times)
+		rankOf := map[int]int{}
+		for _, tm := range times {
+			if _, ok := rankOf[tm]; !ok {
+				rankOf[tm] = len(rankOf)
+			}
+		}
+		return string(a.AppendCanonical(nil, func(t int) int { return rankOf[t] }))
+	}
+	if mk(0) != mk(100) {
+		t.Fatal("canonical encoding not invariant under order-preserving time shift")
+	}
+}

@@ -1,0 +1,148 @@
+package mca
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Outcome summarizes a synchronous protocol run.
+type Outcome struct {
+	// Converged reports whether the run reached a stable consensus: no
+	// agent changed state during a full round and all views agree.
+	Converged bool
+	// Rounds is the number of exchange rounds executed.
+	Rounds int
+	// Messages is the total number of bid messages processed.
+	Messages int
+	// Allocation is the final item → winner map (meaningful when
+	// Converged; best-effort otherwise).
+	Allocation Allocation
+	// NetworkUtility is the sum of winning bids at termination — the
+	// quantity MCA maximizes approximately (Remark 3).
+	NetworkUtility int64
+}
+
+// SyncRunner drives a set of agents over an agent network in synchronous
+// rounds: every round, each agent receives the previous-round snapshot of
+// every neighbor (in neighbor order) and reacts. Synchronous rounds are
+// the deterministic execution used by examples, benches, and the D·|J|
+// message-bound experiment (E6); the exhaustive asynchronous semantics
+// live in internal/explore.
+type SyncRunner struct {
+	agents []*Agent
+	g      *graph.Graph
+}
+
+// NewSyncRunner wires agents to an agent network. Agent i communicates
+// with graph node i's neighbors.
+func NewSyncRunner(agents []*Agent, g *graph.Graph) (*SyncRunner, error) {
+	if len(agents) != g.N() {
+		return nil, fmt.Errorf("mca: %d agents on a %d-node network", len(agents), g.N())
+	}
+	for i, a := range agents {
+		if a.ID() != AgentID(i) {
+			return nil, fmt.Errorf("mca: agent at position %d has id %d", i, a.ID())
+		}
+	}
+	return &SyncRunner{agents: agents, g: g}, nil
+}
+
+// Agents returns the managed agents.
+func (r *SyncRunner) Agents() []*Agent { return r.agents }
+
+// Run executes up to maxRounds synchronous rounds and returns the
+// outcome. Round 0 is the initial bid phase; each subsequent round is a
+// full snapshot exchange.
+func (r *SyncRunner) Run(maxRounds int) Outcome {
+	var out Outcome
+	for _, a := range r.agents {
+		a.BidPhase()
+	}
+	for round := 1; round <= maxRounds; round++ {
+		out.Rounds = round
+		// Snapshot all views first: a synchronous round delivers the
+		// previous state, not mid-round updates.
+		snaps := make([]Message, len(r.agents))
+		for i, a := range r.agents {
+			snaps[i] = a.Snapshot(NoAgent)
+		}
+		changed := false
+		for i, a := range r.agents {
+			for _, nb := range r.g.Neighbors(i) {
+				m := snaps[nb]
+				m.Receiver = a.ID()
+				out.Messages++
+				if a.HandleMessage(m) {
+					changed = true
+				}
+			}
+		}
+		if !changed && r.Agreement() {
+			out.Converged = true
+			break
+		}
+	}
+	out.Allocation = r.CurrentAllocation()
+	out.NetworkUtility = r.networkUtility()
+	return out
+}
+
+// Agreement reports whether all agents' views agree on winners and
+// winner bids — the paper's consensusPred.
+func (r *SyncRunner) Agreement() bool {
+	for i := 1; i < len(r.agents); i++ {
+		if !r.agents[0].AgreesWith(r.agents[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// CurrentAllocation reconstructs the item → winner map from agent 0's
+// view (identical across agents once Agreement holds).
+func (r *SyncRunner) CurrentAllocation() Allocation {
+	view := r.agents[0].View()
+	alloc := make(Allocation, len(view))
+	for j, bi := range view {
+		alloc[j] = bi.Winner
+	}
+	return alloc
+}
+
+// ConflictFree verifies that no two agents both believe they hold the
+// same item — the core safety property of a distributed allocation.
+func (r *SyncRunner) ConflictFree() bool {
+	holders := make(map[ItemID]AgentID)
+	for _, a := range r.agents {
+		for _, j := range a.Bundle() {
+			if prev, taken := holders[j]; taken && prev != a.ID() {
+				return false
+			}
+			holders[j] = a.ID()
+		}
+	}
+	return true
+}
+
+func (r *SyncRunner) networkUtility() int64 {
+	var total int64
+	view := r.agents[0].View()
+	for _, bi := range view {
+		if bi.Winner != NoAgent {
+			total += bi.Bid
+		}
+	}
+	return total
+}
+
+// MessageBound returns the paper's consensus bound D·|J|: the number of
+// processed messages within which max-consensus must be reached on a
+// connected agent network of diameter D auctioning |J| items.
+func MessageBound(g *graph.Graph, items int) int {
+	d := g.Diameter()
+	if d < 1 {
+		d = 1
+	}
+	return d * items
+}

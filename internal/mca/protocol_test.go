@@ -1,0 +1,297 @@
+package mca
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+// buildAgents creates n agents over the given number of items with
+// deterministic pseudo-random base valuations and a shared policy.
+func buildAgents(n, items int, pol Policy, seed int64) []*Agent {
+	rng := rand.New(rand.NewSource(seed))
+	agents := make([]*Agent, n)
+	for i := range agents {
+		base := make([]int64, items)
+		for j := range base {
+			base[j] = int64(rng.Intn(40) + 1)
+		}
+		agents[i] = MustNewAgent(Config{ID: AgentID(i), Items: items, Base: base, Policy: pol})
+	}
+	return agents
+}
+
+func submodularPolicy(target int) Policy {
+	return Policy{Target: target, Utility: SubmodularResidual{}, Rebid: RebidOnChange, ReleaseOutbid: true}
+}
+
+func TestSyncRunnerValidation(t *testing.T) {
+	g := graph.Complete(2)
+	agents := buildAgents(3, 2, submodularPolicy(2), 1)
+	if _, err := NewSyncRunner(agents, g); err == nil {
+		t.Fatal("agent/node count mismatch must error")
+	}
+	bad := buildAgents(2, 2, submodularPolicy(2), 1)
+	bad[0], bad[1] = bad[1], bad[0]
+	if _, err := NewSyncRunner(bad, g); err == nil {
+		t.Fatal("misordered agent ids must error")
+	}
+}
+
+func TestSyncConvergesCompleteGraph(t *testing.T) {
+	agents := buildAgents(3, 4, submodularPolicy(2), 7)
+	r, err := NewSyncRunner(agents, graph.Complete(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := r.Run(50)
+	if !out.Converged {
+		t.Fatalf("did not converge: %+v", out)
+	}
+	if !r.ConflictFree() {
+		t.Fatal("allocation has conflicts")
+	}
+	if !r.Agreement() {
+		t.Fatal("views disagree at convergence")
+	}
+}
+
+func TestSyncConvergesLineGraph(t *testing.T) {
+	agents := buildAgents(5, 3, submodularPolicy(2), 11)
+	r, err := NewSyncRunner(agents, graph.Line(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := r.Run(100)
+	if !out.Converged {
+		t.Fatalf("line graph run did not converge: %+v", out)
+	}
+	if !r.ConflictFree() {
+		t.Fatal("conflict in allocation")
+	}
+}
+
+// E6 shape: with sub-modular utilities and honest agents, consensus is
+// reached within D·|J| rounds on every topology/seed tried.
+func TestConsensusWithinMessageBound(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(5)
+		items := 1 + rng.Intn(4)
+		g := graph.RandomConnected(n, 0.3, seed)
+		agents := buildAgents(n, items, submodularPolicy(items), seed)
+		r, err := NewSyncRunner(agents, g)
+		if err != nil {
+			return false
+		}
+		bound := MessageBound(g, items)
+		out := r.Run(bound + 1) // the bound counts rounds of full exchange
+		return out.Converged && r.ConflictFree()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Winner bids under the pure max-merge rule are monotonically
+// non-decreasing per item — the max-consensus invariant of Definition 1.
+func TestMaxConsensusMonotonicityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(4)
+		items := 1 + rng.Intn(3)
+		g := graph.RandomConnected(n, 0.4, seed)
+		pol := Policy{Target: items, Utility: FlatUtility{}, Rebid: RebidNever}
+		agents := make([]*Agent, n)
+		for i := range agents {
+			base := make([]int64, items)
+			for j := range base {
+				base[j] = int64(rng.Intn(30) + 1)
+			}
+			agents[i] = MustNewAgent(Config{
+				ID: AgentID(i), Items: items, Base: base, Policy: pol,
+				Resolver: MaxMergeResolve,
+			})
+		}
+		r, err := NewSyncRunner(agents, g)
+		if err != nil {
+			return false
+		}
+		for _, a := range r.Agents() {
+			a.BidPhase()
+		}
+		prev := make([][]BidInfo, n)
+		for round := 0; round < 10; round++ {
+			snaps := make([]Message, n)
+			for i, a := range r.Agents() {
+				prev[i] = a.View()
+				snaps[i] = a.Snapshot(NoAgent)
+			}
+			for i, a := range r.Agents() {
+				for _, nb := range g.Neighbors(i) {
+					m := snaps[nb]
+					m.Receiver = a.ID()
+					a.HandleMessage(m)
+				}
+			}
+			for i, a := range r.Agents() {
+				cur := a.View()
+				for j := range cur {
+					if cur[j].Bid < prev[i][j].Bid {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Definition 1 directly: under max-merge with flat utilities, after
+// enough rounds every agent's bid vector equals the component-wise max
+// of all initial bid vectors.
+func TestMaxConsensusReachesComponentwiseMax(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed ^ 0x77))
+		n := 2 + rng.Intn(4)
+		items := 1 + rng.Intn(3)
+		g := graph.RandomConnected(n, 0.4, seed)
+		pol := Policy{Target: items, Utility: FlatUtility{}, Rebid: RebidNever}
+		agents := make([]*Agent, n)
+		maxBid := make([]int64, items)
+		for i := range agents {
+			base := make([]int64, items)
+			for j := range base {
+				base[j] = int64(rng.Intn(30) + 1)
+				if base[j] > maxBid[j] {
+					maxBid[j] = base[j]
+				}
+			}
+			agents[i] = MustNewAgent(Config{
+				ID: AgentID(i), Items: items, Base: base, Policy: pol,
+				Resolver: MaxMergeResolve,
+			})
+		}
+		r, err := NewSyncRunner(agents, g)
+		if err != nil {
+			return false
+		}
+		r.Run(g.Diameter()*items + 2)
+		for _, a := range r.Agents() {
+			for j, bi := range a.View() {
+				if bi.Bid != maxBid[j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSyncOutcomeFields(t *testing.T) {
+	agents := buildAgents(2, 2, submodularPolicy(2), 3)
+	r, err := NewSyncRunner(agents, graph.Complete(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := r.Run(20)
+	if out.Messages == 0 || out.Rounds == 0 {
+		t.Fatalf("outcome counters empty: %+v", out)
+	}
+	if len(out.Allocation) != 2 {
+		t.Fatalf("allocation length = %d", len(out.Allocation))
+	}
+	if out.Converged && out.NetworkUtility <= 0 {
+		t.Fatalf("converged with no utility: %+v", out)
+	}
+}
+
+func TestMessageBound(t *testing.T) {
+	if got := MessageBound(graph.Line(4), 3); got != 9 {
+		t.Fatalf("bound = %d, want 9 (diameter 3 * 3 items)", got)
+	}
+	if got := MessageBound(graph.Complete(3), 2); got != 2 {
+		t.Fatalf("bound = %d, want 2", got)
+	}
+	if got := MessageBound(graph.New(1), 5); got != 5 {
+		t.Fatalf("single-node bound = %d, want 5", got)
+	}
+}
+
+// Fig. 2 in synchronous form: non-sub-modular utility + release-outbid
+// oscillates and never converges; the sub-modular control with identical
+// bases converges.
+func fig2Agents(util Utility, release bool) []*Agent {
+	pol := Policy{Target: 2, Utility: util, Rebid: RebidOnChange, ReleaseOutbid: release}
+	// Engineered Fig. 2 valuations: each agent prefers the other's
+	// high-value item once its bundle has grown.
+	a1 := MustNewAgent(Config{ID: 0, Items: 2, Base: []int64{10, 15}, Policy: pol})
+	a2 := MustNewAgent(Config{ID: 1, Items: 2, Base: []int64{15, 10}, Policy: pol})
+	return []*Agent{a1, a2}
+}
+
+func TestFig2NonSubmodularReleaseOscillates(t *testing.T) {
+	agents := fig2Agents(NonSubmodularSynergy{}, true)
+	r, err := NewSyncRunner(agents, graph.Complete(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := r.Run(60)
+	if out.Converged {
+		t.Fatalf("non-submodular + release-outbid should oscillate, converged in %d rounds: %+v", out.Rounds, out)
+	}
+}
+
+func TestFig2SubmodularControlConverges(t *testing.T) {
+	agents := fig2Agents(SubmodularResidual{}, true)
+	r, err := NewSyncRunner(agents, graph.Complete(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := r.Run(60)
+	if !out.Converged {
+		t.Fatalf("submodular control should converge: %+v", out)
+	}
+	if !r.ConflictFree() {
+		t.Fatal("conflict in submodular allocation")
+	}
+}
+
+func TestFig2NonSubmodularNoReleaseConverges(t *testing.T) {
+	agents := fig2Agents(NonSubmodularSynergy{}, false)
+	r, err := NewSyncRunner(agents, graph.Complete(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := r.Run(60)
+	if !out.Converged {
+		t.Fatalf("non-submodular without release should converge: %+v", out)
+	}
+}
+
+func TestRebidAttackStallsConsensus(t *testing.T) {
+	// Honest agent 0 vs escalating attacker 1 on one item: consensus is
+	// not reached within the paper's message bound.
+	honest := MustNewAgent(Config{ID: 0, Items: 1, Base: []int64{10},
+		Policy: Policy{Target: 1, Utility: FlatUtility{}, Rebid: RebidOnChange}})
+	attacker := MustNewAgent(Config{ID: 1, Items: 1, Base: []int64{5},
+		Policy: Policy{Target: 1, Utility: EscalatingUtility{Cap: 1000}, Rebid: RebidAlways}})
+	g := graph.Complete(2)
+	r, err := NewSyncRunner([]*Agent{honest, attacker}, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := MessageBound(g, 1)
+	out := r.Run(bound + 1)
+	if out.Converged {
+		t.Fatalf("rebid attack should stall consensus past the bound: %+v", out)
+	}
+}

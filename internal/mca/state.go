@@ -1,0 +1,197 @@
+package mca
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// appendVarint appends a zig-zag-free signed int encoding (values here
+// are small and non-negative after ranking; negative ids use a bias).
+func appendVarint(buf []byte, v int64) []byte {
+	u := uint64(v+1) << 1 // bias -1 (NoAgent) to non-negative
+	for u >= 0x80 {
+		buf = append(buf, byte(u)|0x80)
+		u >>= 7
+	}
+	return append(buf, byte(u))
+}
+
+// AppendCanonical appends a compact deterministic binary encoding of the
+// agent state with every timestamp passed through rank. The explorer
+// hashes the result, so the encoding must be injective per field order.
+func (a *Agent) AppendCanonical(buf []byte, rank func(int) int) []byte {
+	buf = appendVarint(buf, int64(a.id))
+	for _, bi := range a.view {
+		buf = appendVarint(buf, bi.Bid)
+		buf = appendVarint(buf, int64(bi.Winner))
+		buf = appendVarint(buf, int64(rank(bi.Time)))
+	}
+	buf = appendVarint(buf, int64(len(a.bundle)))
+	for _, j := range a.bundle {
+		buf = appendVarint(buf, int64(j))
+	}
+	for j, bl := range a.blocked {
+		if bl {
+			bi := a.block[j]
+			buf = appendVarint(buf, int64(j))
+			buf = appendVarint(buf, bi.Bid)
+			buf = appendVarint(buf, int64(bi.Winner))
+			buf = appendVarint(buf, int64(rank(bi.Time)))
+		}
+	}
+	buf = appendVarint(buf, -1) // blocked-section terminator
+	buf = appendVarint(buf, int64(rank(a.clock)))
+	ids := make([]int, 0, len(a.infoTime))
+	for k := range a.infoTime {
+		ids = append(ids, int(k))
+	}
+	sort.Ints(ids)
+	for _, k := range ids {
+		buf = appendVarint(buf, int64(k))
+		buf = appendVarint(buf, int64(rank(a.infoTime[AgentID(k)])))
+	}
+	return appendVarint(buf, -1)
+}
+
+// AppendMessageCanonical appends a compact deterministic binary encoding
+// of a message with timestamps ranked.
+func AppendMessageCanonical(buf []byte, m Message, rank func(int) int) []byte {
+	buf = appendVarint(buf, int64(m.Sender))
+	buf = appendVarint(buf, int64(m.Receiver))
+	for _, bi := range m.View {
+		buf = appendVarint(buf, bi.Bid)
+		buf = appendVarint(buf, int64(bi.Winner))
+		buf = appendVarint(buf, int64(rank(bi.Time)))
+	}
+	ids := make([]int, 0, len(m.InfoTimes))
+	for k := range m.InfoTimes {
+		ids = append(ids, int(k))
+	}
+	sort.Ints(ids)
+	for _, k := range ids {
+		buf = appendVarint(buf, int64(k))
+		buf = appendVarint(buf, int64(rank(m.InfoTimes[AgentID(k)])))
+	}
+	return appendVarint(buf, -1)
+}
+
+// AgentState is a deep snapshot of an agent's mutable state, used by the
+// exhaustive explorer to branch over message interleavings.
+type AgentState struct {
+	View     []BidInfo
+	Bundle   []ItemID
+	Blocked  []bool
+	Block    []BidInfo
+	Clock    int
+	InfoTime map[AgentID]int
+}
+
+// SaveState captures the agent's mutable state.
+func (a *Agent) SaveState() AgentState {
+	it := make(map[AgentID]int, len(a.infoTime))
+	for k, v := range a.infoTime {
+		it[k] = v
+	}
+	return AgentState{
+		View:     append([]BidInfo(nil), a.view...),
+		Bundle:   append([]ItemID(nil), a.bundle...),
+		Blocked:  append([]bool(nil), a.blocked...),
+		Block:    append([]BidInfo(nil), a.block...),
+		Clock:    a.clock,
+		InfoTime: it,
+	}
+}
+
+// RestoreState reinstates a previously saved state.
+func (a *Agent) RestoreState(s AgentState) {
+	copy(a.view, s.View)
+	a.bundle = append(a.bundle[:0], s.Bundle...)
+	copy(a.blocked, s.Blocked)
+	copy(a.block, s.Block)
+	a.clock = s.Clock
+	a.infoTime = make(map[AgentID]int, len(s.InfoTime))
+	for k, v := range s.InfoTime {
+		a.infoTime[k] = v
+	}
+}
+
+// Items returns the number of items the agent bids on.
+func (a *Agent) Items() int { return a.items }
+
+// CollectTimes feeds every logical timestamp in the agent's state to
+// sink. The explorer uses this to build a dense rank of all timestamps:
+// two global states that differ only by a time-order-preserving
+// relabeling of clocks are behaviorally equivalent, so hashing the
+// ranked form turns the unbounded clock space into a finite quotient.
+func (a *Agent) CollectTimes(sink func(int)) {
+	for _, bi := range a.view {
+		sink(bi.Time)
+	}
+	for _, bi := range a.block {
+		sink(bi.Time)
+	}
+	for _, t := range a.infoTime {
+		sink(t)
+	}
+	sink(a.clock)
+}
+
+// EncodeCanonical writes a deterministic encoding of the agent state
+// with every timestamp passed through rank.
+func (a *Agent) EncodeCanonical(b *strings.Builder, rank func(int) int) {
+	fmt.Fprintf(b, "A%d|", a.id)
+	for j, bi := range a.view {
+		fmt.Fprintf(b, "v%d:%d,%d,%d;", j, bi.Bid, bi.Winner, rank(bi.Time))
+	}
+	b.WriteString("m:")
+	for _, j := range a.bundle {
+		fmt.Fprintf(b, "%d,", j)
+	}
+	b.WriteString("|x:")
+	for j, bl := range a.blocked {
+		if bl {
+			bi := a.block[j]
+			fmt.Fprintf(b, "%d=%d,%d,%d;", j, bi.Bid, bi.Winner, rank(bi.Time))
+		}
+	}
+	fmt.Fprintf(b, "|c:%d|s:", rank(a.clock))
+	ids := make([]int, 0, len(a.infoTime))
+	for k := range a.infoTime {
+		ids = append(ids, int(k))
+	}
+	sort.Ints(ids)
+	for _, k := range ids {
+		fmt.Fprintf(b, "%d=%d;", k, rank(a.infoTime[AgentID(k)]))
+	}
+	b.WriteString("$")
+}
+
+// CollectMessageTimes feeds every timestamp in a message to sink.
+func CollectMessageTimes(m Message, sink func(int)) {
+	for _, bi := range m.View {
+		sink(bi.Time)
+	}
+	for _, t := range m.InfoTimes {
+		sink(t)
+	}
+}
+
+// EncodeMessageCanonical writes a deterministic encoding of a message
+// with timestamps ranked.
+func EncodeMessageCanonical(b *strings.Builder, m Message, rank func(int) int) {
+	fmt.Fprintf(b, "M%d>%d|", m.Sender, m.Receiver)
+	for j, bi := range m.View {
+		fmt.Fprintf(b, "%d:%d,%d,%d;", j, bi.Bid, bi.Winner, rank(bi.Time))
+	}
+	b.WriteString("s:")
+	ids := make([]int, 0, len(m.InfoTimes))
+	for k := range m.InfoTimes {
+		ids = append(ids, int(k))
+	}
+	sort.Ints(ids)
+	for _, k := range ids {
+		fmt.Fprintf(b, "%d=%d;", k, rank(m.InfoTimes[AgentID(k)]))
+	}
+	b.WriteString("$")
+}

@@ -1,0 +1,155 @@
+package mca
+
+import "testing"
+
+// Receiver is agent 1, sender is agent 2, third parties 3 and 4.
+const (
+	rcv AgentID = 1
+	snd AgentID = 2
+	m3  AgentID = 3
+	m4  AgentID = 4
+)
+
+// fresh builds a Freshness from an explicit sender info vector mapping
+// agent → latest information time. The second argument is kept by the
+// call sites for historical symmetry and ignored.
+func fresh(senderInfo, _ map[AgentID]int) Freshness {
+	return Freshness{
+		SenderKnowsAfter: func(m AgentID, t int) bool { return senderInfo[m] > t },
+	}
+}
+
+func none() map[AgentID]int { return map[AgentID]int{} }
+
+type resolveCase struct {
+	name   string
+	local  BidInfo
+	remote BidInfo
+	fr     Freshness
+	want   Action
+}
+
+func runCases(t *testing.T, cases []resolveCase) {
+	t.Helper()
+	for _, c := range cases {
+		if got := Resolve(rcv, snd, c.local, c.remote, c.fr); got != c.want {
+			t.Errorf("%s: got %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestResolveSameWinner(t *testing.T) {
+	runCases(t, []resolveCase{
+		{"both none", BidInfo{Winner: NoAgent}, BidInfo{Winner: NoAgent, Time: 9}, fresh(none(), none()), ActionLeave},
+		{"fresher generation adopted", BidInfo{Bid: 5, Winner: m3, Time: 1}, BidInfo{Bid: 7, Winner: m3, Time: 2}, fresh(none(), none()), ActionUpdate},
+		{"stale generation left", BidInfo{Bid: 7, Winner: m3, Time: 3}, BidInfo{Bid: 5, Winner: m3, Time: 2}, fresh(none(), none()), ActionLeave},
+		{"same winner sender fresher", BidInfo{Bid: 5, Winner: snd, Time: 1}, BidInfo{Bid: 7, Winner: snd, Time: 4}, fresh(none(), none()), ActionUpdate},
+	})
+}
+
+func TestResolveReceiverHolds(t *testing.T) {
+	runCases(t, []resolveCase{
+		{"live higher claim wins", BidInfo{Bid: 5, Winner: rcv, Time: 1}, BidInfo{Bid: 9, Winner: snd, Time: 2}, fresh(none(), none()), ActionUpdate},
+		{"lower claim left", BidInfo{Bid: 9, Winner: rcv, Time: 1}, BidInfo{Bid: 5, Winner: snd, Time: 2}, fresh(none(), none()), ActionLeave},
+		{"tie to lower id left", BidInfo{Bid: 5, Winner: rcv, Time: 1}, BidInfo{Bid: 5, Winner: snd, Time: 2}, fresh(none(), none()), ActionLeave},
+		{"tie lost to lower id", BidInfo{Bid: 5, Winner: rcv, Time: 1}, BidInfo{Bid: 5, Winner: 0, Time: 2}, fresh(none(), none()), ActionUpdate},
+		{"old but higher claim wins", BidInfo{Bid: 5, Winner: rcv, Time: 9}, BidInfo{Bid: 99, Winner: m3, Time: 2},
+			fresh(none(), none()), ActionUpdate},
+		{"retraction report left", BidInfo{Bid: 5, Winner: rcv, Time: 1}, BidInfo{Winner: NoAgent, Time: 2}, fresh(none(), none()), ActionLeave},
+	})
+}
+
+func TestResolveSenderHeld(t *testing.T) {
+	// Receiver believes the SENDER holds the item; message says otherwise.
+	informed := map[AgentID]int{snd: 9}
+	runCases(t, []resolveCase{
+		{"pre-claim message ignored", BidInfo{Bid: 5, Winner: snd, Time: 7}, BidInfo{Winner: NoAgent, Time: 2},
+			fresh(map[AgentID]int{snd: 6}, none()), ActionLeave},
+		{"informed retraction adopted", BidInfo{Bid: 5, Winner: snd, Time: 7}, BidInfo{Winner: NoAgent, Time: 8},
+			fresh(informed, none()), ActionUpdate},
+		{"mutual confusion resets", BidInfo{Bid: 5, Winner: snd, Time: 7}, BidInfo{Bid: 5, Winner: rcv, Time: 8},
+			fresh(informed, none()), ActionReset},
+		{"renounced to third adopted", BidInfo{Bid: 9, Winner: snd, Time: 7}, BidInfo{Bid: 5, Winner: m3, Time: 8},
+			fresh(informed, none()), ActionUpdate},
+		{"renounced to weaker third adopted", BidInfo{Bid: 9, Winner: snd, Time: 7}, BidInfo{Bid: 5, Winner: m3, Time: 2},
+			fresh(informed, none()), ActionUpdate},
+	})
+}
+
+func TestResolveFreeSlot(t *testing.T) {
+	runCases(t, []resolveCase{
+		{"live claim adopted", BidInfo{Winner: NoAgent}, BidInfo{Bid: 7, Winner: m3, Time: 2}, fresh(none(), none()), ActionUpdate},
+		{"sender claim adopted", BidInfo{Winner: NoAgent}, BidInfo{Bid: 7, Winner: snd, Time: 2}, fresh(none(), none()), ActionUpdate},
+		{"old claim still adopted on free slot", BidInfo{Winner: NoAgent}, BidInfo{Bid: 7, Winner: m3, Time: 2},
+			fresh(none(), none()), ActionUpdate},
+		{"stale attribution to receiver ignored", BidInfo{Winner: NoAgent}, BidInfo{Bid: 7, Winner: rcv, Time: 2}, fresh(none(), none()), ActionLeave},
+	})
+}
+
+func TestResolveThirdPartyHeld(t *testing.T) {
+	// Receiver believes m3 holds it (claim generated at time 5).
+	local := BidInfo{Bid: 6, Winner: m3, Time: 5}
+	informed := map[AgentID]int{m3: 9} // sender knows m3's state after time 5
+	runCases(t, []resolveCase{
+		{"live higher claim wins outright", local, BidInfo{Bid: 9, Winner: snd, Time: 2}, fresh(none(), none()), ActionUpdate},
+		{"live higher third claim wins", local, BidInfo{Bid: 9, Winner: m4, Time: 2}, fresh(none(), none()), ActionUpdate},
+		{"old higher claim still wins", local, BidInfo{Bid: 9, Winner: m4, Time: 2},
+			fresh(none(), none()), ActionUpdate},
+		{"uninformed weaker report left", local, BidInfo{Bid: 3, Winner: snd, Time: 2}, fresh(none(), none()), ActionLeave},
+		{"informed release adopted", local, BidInfo{Winner: NoAgent, Time: 8}, fresh(informed, none()), ActionUpdate},
+		{"uninformed release left", local, BidInfo{Winner: NoAgent, Time: 8}, fresh(none(), none()), ActionLeave},
+		{"informed weaker claim triggers re-auction", local, BidInfo{Bid: 3, Winner: snd, Time: 8}, fresh(informed, none()), ActionReset},
+		{"informed attribution to receiver resets", local, BidInfo{Bid: 3, Winner: rcv, Time: 8}, fresh(informed, none()), ActionReset},
+		{"informed weaker third replacement resets", local, BidInfo{Bid: 3, Winner: m4, Time: 2},
+			fresh(informed, none()), ActionReset},
+	})
+}
+
+func TestMaxMergeResolve(t *testing.T) {
+	cases := []resolveCase{
+		{"both empty", BidInfo{Winner: NoAgent}, BidInfo{Winner: NoAgent}, Freshness{}, ActionLeave},
+		{"remote empty", BidInfo{Bid: 5, Winner: rcv}, BidInfo{Winner: NoAgent}, Freshness{}, ActionLeave},
+		{"local empty", BidInfo{Winner: NoAgent}, BidInfo{Bid: 5, Winner: snd}, Freshness{}, ActionUpdate},
+		{"remote higher", BidInfo{Bid: 5, Winner: rcv}, BidInfo{Bid: 9, Winner: snd}, Freshness{}, ActionUpdate},
+		{"remote lower", BidInfo{Bid: 9, Winner: rcv}, BidInfo{Bid: 5, Winner: snd}, Freshness{}, ActionLeave},
+		{"tie lower id wins", BidInfo{Bid: 5, Winner: snd}, BidInfo{Bid: 5, Winner: 0}, Freshness{}, ActionUpdate},
+	}
+	for _, c := range cases {
+		if got := MaxMergeResolve(rcv, snd, c.local, c.remote, c.fr); got != c.want {
+			t.Errorf("%s: got %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+// The full table never adopts a dominated live direct claim from the
+// sender while the receiver holds the item.
+func TestResolveNeverAdoptsDominatedSenderClaim(t *testing.T) {
+	for bid := int64(0); bid < 10; bid++ {
+		local := BidInfo{Bid: 9, Winner: rcv, Time: 9}
+		remote := BidInfo{Bid: bid, Winner: snd, Time: 99}
+		if got := Resolve(rcv, snd, local, remote, fresh(none(), none())); got == ActionUpdate {
+			t.Fatalf("adopted dominated claim bid=%d", bid)
+		}
+	}
+}
+
+// Exhaustive totality: every cell returns a defined action for every
+// winner pair and freshness combination.
+func TestResolveTotal(t *testing.T) {
+	winners := []AgentID{rcv, snd, m3, m4, NoAgent}
+	infos := []map[AgentID]int{none(), {snd: 9}, {m3: 9}, {m4: 9}, {snd: 9, m3: 9, m4: 9}}
+	for _, lw := range winners {
+		for _, rw := range winners {
+			for _, si := range infos {
+				for _, ri := range infos {
+					local := BidInfo{Bid: 5, Winner: lw, Time: 5}
+					remote := BidInfo{Bid: 7, Winner: rw, Time: 6}
+					got := Resolve(rcv, snd, local, remote, fresh(si, ri))
+					if got != ActionLeave && got != ActionUpdate && got != ActionReset {
+						t.Fatalf("undefined action %v for local=%v remote=%v", got, lw, rw)
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,150 @@
+// Package mcamodel encodes the paper's Alloy model of the Max-Consensus
+// Auction — applied to the virtual network mapping problem — on the
+// relational kernel, in the two variants Section IV compares:
+//
+//   - the Naive encoding uses wide relations (the ternary initBids /
+//     msgBids relations and quaternary state-indexed bid and winner
+//     relations) together with an explicit integer-order relation, the
+//     way the paper's first model used Alloy ternary relations and Int;
+//   - the Optimized encoding factors every wide relation through
+//     bidTriple and bidVector atoms connected by binary fields, and
+//     replaces integers with a value signature ordered by a succ chain —
+//     the abstractions the paper introduced to shrink the SAT translation
+//     from ≈259K to ≈190K clauses at scope (3 pnodes, 2 vnodes).
+//
+// Both encodings express the same bounded-trace semantics: an initial
+// bidding state, one bid message processed per transition (the
+// stateTransition fact), a max-bid update rule at the receiver with
+// frame conditions, and the consensus predicate over the final state.
+// Experiment E5 builds both at the same scope and compares clause
+// counts and translation/solve times.
+package mcamodel
+
+import (
+	"fmt"
+
+	"repro/internal/relalg"
+)
+
+// Scope fixes the model size, mirroring "for 3 pnode, 2 vnode, ...".
+type Scope struct {
+	PNodes int // physical nodes (agents)
+	VNodes int // virtual nodes (items)
+	Values int // bid magnitude atoms actually needed (optimized encoding)
+	States int // trace length (netState atoms)
+	Msgs   int // message atoms
+	// IntBitwidth is the Alloy-style integer bitwidth used by the NAIVE
+	// encoding: like Alloy's predefined Int, it materializes 2^bitwidth
+	// integer atoms regardless of how many bid magnitudes the model
+	// actually needs — one of the two inefficiencies (together with the
+	// wide relations) that the paper's optimized model removes. Zero
+	// defaults to 4, Alloy's default bitwidth.
+	IntBitwidth int
+	// Triples bounds the bidTriple pool (optimized encoding only);
+	// zero derives a default from the other dimensions.
+	Triples int
+	// BidVectors bounds the bidVector pool (optimized encoding only);
+	// zero derives PNodes*States.
+	BidVectors int
+}
+
+// PaperScope is the scope of the paper's efficiency experiment:
+// 3 physical nodes and 2 virtual nodes.
+func PaperScope() Scope {
+	return Scope{PNodes: 3, VNodes: 2, Values: 4, States: 3, Msgs: 2, IntBitwidth: 4}
+}
+
+func (sc Scope) withDefaults() Scope {
+	if sc.IntBitwidth == 0 {
+		sc.IntBitwidth = 4
+	}
+	if sc.Triples == 0 {
+		sc.Triples = sc.VNodes * sc.PNodes * 2
+	}
+	if sc.BidVectors == 0 {
+		sc.BidVectors = sc.PNodes * sc.States
+	}
+	return sc
+}
+
+// Validate rejects degenerate scopes.
+func (sc Scope) Validate() error {
+	if sc.PNodes < 1 || sc.VNodes < 1 || sc.Values < 2 || sc.States < 2 || sc.Msgs < 1 {
+		return fmt.Errorf("mcamodel: degenerate scope %+v", sc)
+	}
+	return nil
+}
+
+// String renders the scope.
+func (sc Scope) String() string {
+	return fmt.Sprintf("%dp/%dv/%dval/%dst/%dmsg", sc.PNodes, sc.VNodes, sc.Values, sc.States, sc.Msgs)
+}
+
+// Encoding is a fully built model: bounds plus the background (facts and
+// transition system) and the consensus assertion.
+type Encoding struct {
+	Name       string
+	Scope      Scope
+	Bounds     *relalg.Bounds
+	Background relalg.Formula
+	// Consensus is the assertion: the final state satisfies
+	// consensusPred (all agents agree on winners and winning bids).
+	Consensus relalg.Formula
+}
+
+// atomNames generates prefixed atom names.
+func atomNames(prefix string, n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("%s$%d", prefix, i)
+	}
+	return out
+}
+
+// exactUnary bounds rel to exactly the named atoms.
+func exactUnary(b *relalg.Bounds, rel *relalg.Relation, names []string) {
+	ts := relalg.NewTupleSet(b.Universe(), 1)
+	for _, n := range names {
+		ts.AddNames(n)
+	}
+	b.BoundExactly(rel, ts)
+}
+
+// exactChain bounds rel to the successor chain over the named atoms.
+func exactChain(b *relalg.Bounds, rel *relalg.Relation, names []string) {
+	ts := relalg.NewTupleSet(b.Universe(), 2)
+	for i := 0; i+1 < len(names); i++ {
+		ts.AddNames(names[i], names[i+1])
+	}
+	b.BoundExactly(rel, ts)
+}
+
+// exactOrder bounds rel to the strict total order (i < j pairs).
+func exactOrder(b *relalg.Bounds, rel *relalg.Relation, names []string) {
+	ts := relalg.NewTupleSet(b.Universe(), 2)
+	for i := range names {
+		for j := i + 1; j < len(names); j++ {
+			ts.AddNames(names[i], names[j])
+		}
+	}
+	b.BoundExactly(rel, ts)
+}
+
+// upperProduct bounds rel's upper bound to the product of the given atom
+// groups (arity = number of groups).
+func upperProduct(b *relalg.Bounds, rel *relalg.Relation, groups ...[]string) {
+	u := b.Universe()
+	ts := relalg.NewTupleSet(u, len(groups))
+	var rec func(d int, t relalg.Tuple)
+	rec = func(d int, t relalg.Tuple) {
+		if d == len(groups) {
+			ts.Add(append(relalg.Tuple{}, t...))
+			return
+		}
+		for _, name := range groups[d] {
+			rec(d+1, append(t, u.AtomIndex(name)))
+		}
+	}
+	rec(0, nil)
+	b.BoundUpper(rel, ts)
+}

@@ -1,0 +1,186 @@
+package mcamodel
+
+import (
+	"testing"
+
+	"repro/internal/relalg"
+	"repro/internal/sat"
+)
+
+func tinyScope() Scope {
+	return Scope{PNodes: 2, VNodes: 1, Values: 2, States: 2, Msgs: 1}
+}
+
+func TestScopeValidate(t *testing.T) {
+	bad := []Scope{
+		{},
+		{PNodes: 1, VNodes: 1, Values: 1, States: 2, Msgs: 1},
+		{PNodes: 1, VNodes: 1, Values: 2, States: 1, Msgs: 1},
+	}
+	for _, sc := range bad {
+		if sc.Validate() == nil {
+			t.Errorf("scope %+v should be invalid", sc)
+		}
+	}
+	if PaperScope().Validate() != nil {
+		t.Error("paper scope must validate")
+	}
+	if PaperScope().String() == "" {
+		t.Error("scope string")
+	}
+}
+
+func TestNaiveBuilds(t *testing.T) {
+	e, err := BuildNaive(tinyScope())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Name != "naive" || e.Bounds == nil || e.Background == nil || e.Consensus == nil {
+		t.Fatal("incomplete encoding")
+	}
+}
+
+func TestOptimizedBuilds(t *testing.T) {
+	e, err := BuildOptimized(tinyScope())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Name != "optimized" {
+		t.Fatal("name")
+	}
+}
+
+func TestBothRejectBadScope(t *testing.T) {
+	if _, err := BuildNaive(Scope{}); err == nil {
+		t.Error("naive accepted bad scope")
+	}
+	if _, err := BuildOptimized(Scope{}); err == nil {
+		t.Error("optimized accepted bad scope")
+	}
+}
+
+// Both encodings must admit executions (the model is not vacuous).
+func TestBothSatisfiable(t *testing.T) {
+	for _, build := range []func(Scope) (*Encoding, error){BuildNaive, BuildOptimized} {
+		e, err := build(tinyScope())
+		if err != nil {
+			t.Fatal(err)
+		}
+		ok, m := RunSatisfiable(e, sat.Options{})
+		if !ok {
+			t.Fatalf("%s: background unsatisfiable (%+v)", e.Name, m)
+		}
+	}
+}
+
+// The found instance must satisfy the background per the evaluator
+// (translator/evaluator agreement on the full model formula).
+func TestInstanceReEvaluates(t *testing.T) {
+	e, err := BuildNaive(tinyScope())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := relalg.Solve(&relalg.Problem{Bounds: e.Bounds, Formula: e.Background})
+	if res.Status != sat.StatusSat {
+		t.Fatal("unsat background")
+	}
+	if !relalg.NewEvaluator(res.Instance).EvalFormula(e.Background) {
+		t.Fatal("instance fails re-evaluation")
+	}
+}
+
+// E5 shape at the paper's scope: the optimized encoding produces fewer
+// clauses and fewer variables than the naive one.
+func TestOptimizedSmallerThanNaive(t *testing.T) {
+	naive, err := BuildNaive(PaperScope())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := BuildOptimized(PaperScope())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mn := MeasureTranslation(naive)
+	mo := MeasureTranslation(opt)
+	if mo.Clauses >= mn.Clauses {
+		t.Fatalf("optimized (%d clauses) not smaller than naive (%d clauses)", mo.Clauses, mn.Clauses)
+	}
+	t.Logf("naive:     %s", mn)
+	t.Logf("optimized: %s", mo)
+	t.Logf("clause reduction: %.1f%%", 100*(1-float64(mo.Clauses)/float64(mn.Clauses)))
+}
+
+// Clause counts are deterministic across rebuilds.
+func TestMeasurementDeterministic(t *testing.T) {
+	build := func() Measurement {
+		e, err := BuildNaive(tinyScope())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return MeasureTranslation(e)
+	}
+	a, b := build(), build()
+	if a.Clauses != b.Clauses || a.PrimaryVars != b.PrimaryVars || a.AuxVars != b.AuxVars {
+		t.Fatalf("nondeterministic translation: %+v vs %+v", a, b)
+	}
+}
+
+// The consensus check on the naive tiny scope must find a counterexample
+// (a single message between two agents cannot reconcile both directions)
+// and agree with the optimized encoding's verdict.
+func TestConsensusCheckAgreesAcrossEncodings(t *testing.T) {
+	n, err := BuildNaive(tinyScope())
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := BuildOptimized(tinyScope())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mn := CheckConsensus(n, sat.Options{})
+	mo := CheckConsensus(o, sat.Options{})
+	if mn.CheckStatus != mo.CheckStatus {
+		t.Fatalf("encodings disagree: naive=%v optimized=%v", mn.CheckStatus, mo.CheckStatus)
+	}
+	if mn.CheckStatus != sat.StatusSat {
+		t.Fatalf("expected a counterexample at the tiny scope, got %v", mn.CheckStatus)
+	}
+	if mn.String() == "" || mo.String() == "" {
+		t.Error("measurement strings")
+	}
+}
+
+// The encoding gap holds across a scope series (2..4 agents), and clause
+// counts grow monotonically with scope within each encoding.
+func TestScalingSeriesShape(t *testing.T) {
+	base := PaperScope()
+	ms, err := ScalingSeries([]int{2, 3, 4}, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 6 {
+		t.Fatalf("measurements = %d, want 6", len(ms))
+	}
+	var naive, opt []Measurement
+	for _, m := range ms {
+		if m.Encoding == "naive" {
+			naive = append(naive, m)
+		} else {
+			opt = append(opt, m)
+		}
+	}
+	for i := range naive {
+		if opt[i].Clauses >= naive[i].Clauses {
+			t.Errorf("scope %s: optimized %d >= naive %d clauses",
+				naive[i].Scope, opt[i].Clauses, naive[i].Clauses)
+		}
+	}
+	for i := 1; i < len(naive); i++ {
+		if naive[i].Clauses <= naive[i-1].Clauses {
+			t.Errorf("naive clause count not growing: %d -> %d", naive[i-1].Clauses, naive[i].Clauses)
+		}
+		if opt[i].Clauses <= opt[i-1].Clauses {
+			t.Errorf("optimized clause count not growing: %d -> %d", opt[i-1].Clauses, opt[i].Clauses)
+		}
+	}
+}

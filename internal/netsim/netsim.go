@@ -1,0 +1,207 @@
+// Package netsim simulates the asynchronous message network between MCA
+// agents: one logical channel per directed edge of the agent graph,
+// holding the latest unprocessed bid message in transit. It corresponds
+// to the buffMsgs relation of the paper's netState signature.
+//
+// Two layers use it: the randomized asynchronous runner here (seeded,
+// for simulation experiments), and the exhaustive interleaving explorer
+// in internal/explore (for verification).
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/mca"
+)
+
+// Edge is a directed agent-to-agent channel.
+type Edge struct {
+	From, To mca.AgentID
+}
+
+// Network holds the in-transit messages. With Coalesce (the default used
+// by verification), each directed edge carries at most the latest
+// snapshot from its sender — the standard gossip abstraction for
+// max-consensus protocols, which keeps the reachable state space finite.
+// Without it, each edge is an unbounded FIFO queue.
+type Network struct {
+	g        *graph.Graph
+	coalesce bool
+	maxDepth int // per-edge queue bound (0 = unbounded); tail coalesces when full
+	queues   map[Edge][]mca.Message
+}
+
+// New creates an empty network over the agent graph. coalesce selects
+// latest-snapshot semantics per edge.
+func New(g *graph.Graph, coalesce bool) *Network {
+	return &Network{g: g, coalesce: coalesce, queues: make(map[Edge][]mca.Message)}
+}
+
+// Graph returns the agent graph.
+func (n *Network) Graph() *graph.Graph { return n.g }
+
+// LimitQueueDepth bounds each directed edge to at most k in-flight
+// messages: when full, the newest queued message is replaced by the new
+// one (the head — the oldest in-flight message — is preserved, so stale
+// deliveries remain representable). This mirrors the bounded message
+// scope of the paper's Alloy analysis and keeps the explorer's state
+// space finite. k <= 0 restores unbounded queues.
+func (n *Network) LimitQueueDepth(k int) { n.maxDepth = k }
+
+// Coalesce reports the channel semantics.
+func (n *Network) Coalesce() bool { return n.coalesce }
+
+// Send enqueues a message on the edge (m.Sender, m.Receiver). The edge
+// must exist in the agent graph.
+func (n *Network) Send(m mca.Message) {
+	if !n.g.HasEdge(int(m.Sender), int(m.Receiver)) {
+		panic(fmt.Sprintf("netsim: no edge %d->%d", m.Sender, m.Receiver))
+	}
+	e := Edge{From: m.Sender, To: m.Receiver}
+	if n.coalesce {
+		n.queues[e] = []mca.Message{m}
+		return
+	}
+	if n.maxDepth > 0 && len(n.queues[e]) >= n.maxDepth {
+		n.queues[e][len(n.queues[e])-1] = m
+		return
+	}
+	n.queues[e] = append(n.queues[e], m)
+}
+
+// Broadcast sends the snapshot function's output to every neighbor of
+// agent from.
+func (n *Network) Broadcast(from mca.AgentID, snapshot func(to mca.AgentID) mca.Message) {
+	for _, nb := range n.g.Neighbors(int(from)) {
+		n.Send(snapshot(mca.AgentID(nb)))
+	}
+}
+
+// Pending returns the edges that currently carry at least one message,
+// in deterministic sorted order.
+func (n *Network) Pending() []Edge {
+	out := make([]Edge, 0, len(n.queues))
+	for e, q := range n.queues {
+		if len(q) > 0 {
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		return out[i].To < out[j].To
+	})
+	return out
+}
+
+// Quiescent reports whether no messages are in transit.
+func (n *Network) Quiescent() bool { return len(n.Pending()) == 0 }
+
+// InFlight counts in-transit messages.
+func (n *Network) InFlight() int {
+	c := 0
+	for _, q := range n.queues {
+		c += len(q)
+	}
+	return c
+}
+
+// Deliver pops the head message of the given edge. It panics if the edge
+// is empty.
+func (n *Network) Deliver(e Edge) mca.Message {
+	q := n.queues[e]
+	if len(q) == 0 {
+		panic(fmt.Sprintf("netsim: deliver on empty edge %d->%d", e.From, e.To))
+	}
+	m := q[0]
+	rest := q[1:]
+	if len(rest) == 0 {
+		delete(n.queues, e)
+	} else {
+		n.queues[e] = rest
+	}
+	return m
+}
+
+// Queue returns the in-order messages currently queued on the edge.
+func (n *Network) Queue(e Edge) []mca.Message { return n.queues[e] }
+
+// Peek returns the head message of the edge without removing it.
+func (n *Network) Peek(e Edge) (mca.Message, bool) {
+	q := n.queues[e]
+	if len(q) == 0 {
+		return mca.Message{}, false
+	}
+	return q[0], true
+}
+
+// Clone deep-copies the network (used by the exhaustive explorer).
+func (n *Network) Clone() *Network {
+	c := New(n.g, n.coalesce)
+	c.maxDepth = n.maxDepth
+	for e, q := range n.queues {
+		cq := make([]mca.Message, len(q))
+		for i, m := range q {
+			cq[i] = m.Clone()
+		}
+		c.queues[e] = cq
+	}
+	return c
+}
+
+// AsyncOutcome summarizes a randomized asynchronous run.
+type AsyncOutcome struct {
+	// Converged reports quiescence with agreement.
+	Converged bool
+	// Deliveries is the number of messages processed.
+	Deliveries int
+}
+
+// RunAsync drives the agents with a seeded random delivery order until
+// quiescence with agreement or until maxDeliveries messages have been
+// processed. It is the simulation counterpart of the explorer: the same
+// per-edge FIFO semantics and reply-on-disagreement rule, one random
+// path instead of all paths.
+func RunAsync(agents []*mca.Agent, g *graph.Graph, seed int64, maxDeliveries int) AsyncOutcome {
+	n := New(g, false)
+	for _, a := range agents {
+		if a.BidPhase() {
+			n.Broadcast(a.ID(), a.Snapshot)
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var out AsyncOutcome
+	for out.Deliveries < maxDeliveries {
+		pending := n.Pending()
+		if len(pending) == 0 {
+			break
+		}
+		e := pending[rng.Intn(len(pending))]
+		m := n.Deliver(e)
+		out.Deliveries++
+		receiver := agents[e.To]
+		if receiver.HandleMessage(m) {
+			n.Broadcast(receiver.ID(), receiver.Snapshot)
+		} else if !mca.ViewsAgree(receiver.View(), m.View) {
+			// The receiver kept a view that contradicts the sender's:
+			// reply so the disagreement cannot silently persist at
+			// quiescence.
+			n.Send(receiver.Snapshot(m.Sender))
+		}
+	}
+	if n.Quiescent() {
+		agree := true
+		for i := 1; i < len(agents); i++ {
+			if !agents[0].AgreesWith(agents[i]) {
+				agree = false
+				break
+			}
+		}
+		out.Converged = agree
+	}
+	return out
+}

@@ -1,0 +1,433 @@
+package relalg
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Relation is a declared relation with a fixed arity. Relations are
+// compared by identity: declare each once and reuse the pointer.
+type Relation struct {
+	Name  string
+	Arity int
+}
+
+// NewRelation declares a relation.
+func NewRelation(name string, arity int) *Relation {
+	if arity < 1 {
+		panic(fmt.Sprintf("relalg: relation %q arity %d < 1", name, arity))
+	}
+	return &Relation{Name: name, Arity: arity}
+}
+
+// Var is a quantified variable ranging over single atoms (scalar). It is
+// bound by ForAll/Exists declarations and used as a unary expression.
+type Var struct {
+	Name string
+}
+
+// NewVar declares a quantification variable.
+func NewVar(name string) *Var { return &Var{Name: name} }
+
+// Expr is a relational expression. Arity is statically determined.
+type Expr interface {
+	ExprArity() int
+	exprString() string
+}
+
+// Expression node types.
+type (
+	// RelExpr is a relation leaf.
+	RelExpr struct{ R *Relation }
+	// VarExpr is a quantified-variable leaf (arity 1).
+	VarExpr struct{ V *Var }
+	// ConstExpr is one of the constant expressions: identity relation
+	// (arity 2), universal unary set, or the empty set of a given arity.
+	ConstExpr struct {
+		Kind  ConstKind
+		arity int
+	}
+	// BinExpr combines two expressions.
+	BinExpr struct {
+		Op   BinOp
+		L, R Expr
+	}
+	// UnExpr is transpose or (reflexive) transitive closure of a binary
+	// expression.
+	UnExpr struct {
+		Op UnOp
+		E  Expr
+	}
+)
+
+// ConstKind selects a constant expression.
+type ConstKind int
+
+// Constant expression kinds.
+const (
+	ConstIden ConstKind = iota + 1 // identity over the universe, arity 2
+	ConstUniv                      // all atoms, arity 1
+	ConstNone                      // empty set of recorded arity
+)
+
+// BinOp is a binary expression operator.
+type BinOp int
+
+// Binary operators.
+const (
+	OpUnion BinOp = iota + 1
+	OpIntersect
+	OpDifference
+	OpJoin
+	OpProduct
+)
+
+// UnOp is a unary expression operator.
+type UnOp int
+
+// Unary operators.
+const (
+	OpTranspose        UnOp = iota + 1
+	OpClosure               // ^e, transitive closure
+	OpReflexiveClosure      // *e = ^e + iden
+)
+
+// AtomExpr denotes a fixed single atom — a constant scalar expression.
+// It corresponds to referring to a named atom directly in an Alloy model.
+type AtomExpr struct {
+	Atom int
+	Name string
+}
+
+// ExprArity implements Expr.
+func (e *AtomExpr) ExprArity() int     { return 1 }
+func (e *AtomExpr) exprString() string { return e.Name }
+
+// SingleExpr returns the constant singleton expression for a named atom.
+func SingleExpr(u *Universe, name string) Expr {
+	return &AtomExpr{Atom: u.AtomIndex(name), Name: name}
+}
+
+// R lifts a relation to an expression.
+func R(r *Relation) Expr { return &RelExpr{R: r} }
+
+// V lifts a variable to a unary expression.
+func V(v *Var) Expr { return &VarExpr{V: v} }
+
+// Iden is the identity relation over the universe.
+func Iden() Expr { return &ConstExpr{Kind: ConstIden, arity: 2} }
+
+// Univ is the set of all atoms.
+func Univ() Expr { return &ConstExpr{Kind: ConstUniv, arity: 1} }
+
+// None is the empty relation of the given arity.
+func None(arity int) Expr { return &ConstExpr{Kind: ConstNone, arity: arity} }
+
+// Union is e1 + e2 (same arity).
+func Union(l, r Expr) Expr { return binExpr(OpUnion, l, r) }
+
+// Intersect is e1 & e2 (same arity).
+func Intersect(l, r Expr) Expr { return binExpr(OpIntersect, l, r) }
+
+// Difference is e1 - e2 (same arity).
+func Difference(l, r Expr) Expr { return binExpr(OpDifference, l, r) }
+
+// Join is the relational join e1.e2 (inner join on the last/first column).
+func Join(l, r Expr) Expr {
+	if l.ExprArity()+r.ExprArity()-2 < 1 {
+		panic("relalg: join of two unary expressions has arity 0")
+	}
+	return &BinExpr{Op: OpJoin, L: l, R: r}
+}
+
+// Product is the cartesian product e1 -> e2.
+func Product(l, r Expr) Expr { return &BinExpr{Op: OpProduct, L: l, R: r} }
+
+// Transpose is ~e (arity 2 only).
+func Transpose(e Expr) Expr {
+	mustBinary(e, "transpose")
+	return &UnExpr{Op: OpTranspose, E: e}
+}
+
+// Closure is ^e, the transitive closure (arity 2 only).
+func Closure(e Expr) Expr {
+	mustBinary(e, "closure")
+	return &UnExpr{Op: OpClosure, E: e}
+}
+
+// ReflexiveClosure is *e = ^e + iden (arity 2 only).
+func ReflexiveClosure(e Expr) Expr {
+	mustBinary(e, "reflexive closure")
+	return &UnExpr{Op: OpReflexiveClosure, E: e}
+}
+
+func binExpr(op BinOp, l, r Expr) Expr {
+	if l.ExprArity() != r.ExprArity() {
+		panic(fmt.Sprintf("relalg: %v of arity %d and %d", op, l.ExprArity(), r.ExprArity()))
+	}
+	return &BinExpr{Op: op, L: l, R: r}
+}
+
+func mustBinary(e Expr, what string) {
+	if e.ExprArity() != 2 {
+		panic(fmt.Sprintf("relalg: %s of arity-%d expression", what, e.ExprArity()))
+	}
+}
+
+// ExprArity implements Expr.
+func (e *RelExpr) ExprArity() int   { return e.R.Arity }
+func (e *VarExpr) ExprArity() int   { return 1 }
+func (e *ConstExpr) ExprArity() int { return e.arity }
+
+// ExprArity implements Expr.
+func (e *BinExpr) ExprArity() int {
+	switch e.Op {
+	case OpJoin:
+		return e.L.ExprArity() + e.R.ExprArity() - 2
+	case OpProduct:
+		return e.L.ExprArity() + e.R.ExprArity()
+	default:
+		return e.L.ExprArity()
+	}
+}
+
+// ExprArity implements Expr.
+func (e *UnExpr) ExprArity() int { return 2 }
+
+func (e *RelExpr) exprString() string { return e.R.Name }
+func (e *VarExpr) exprString() string { return e.V.Name }
+func (e *ConstExpr) exprString() string {
+	switch e.Kind {
+	case ConstIden:
+		return "iden"
+	case ConstUniv:
+		return "univ"
+	default:
+		return fmt.Sprintf("none/%d", e.arity)
+	}
+}
+
+func (e *BinExpr) exprString() string {
+	op := map[BinOp]string{OpUnion: "+", OpIntersect: "&", OpDifference: "-", OpJoin: ".", OpProduct: "->"}[e.Op]
+	return "(" + e.L.exprString() + " " + op + " " + e.R.exprString() + ")"
+}
+
+func (e *UnExpr) exprString() string {
+	op := map[UnOp]string{OpTranspose: "~", OpClosure: "^", OpReflexiveClosure: "*"}[e.Op]
+	return op + e.E.exprString()
+}
+
+// ExprString renders an expression for diagnostics.
+func ExprString(e Expr) string { return e.exprString() }
+
+// Formula is a relational logic formula.
+type Formula interface {
+	fmlString() string
+}
+
+// Formula node types.
+type (
+	// BoolFormula is the constant true/false formula.
+	BoolFormula struct{ Value bool }
+	// CompareFormula asserts subset or equality between expressions.
+	CompareFormula struct {
+		Op   CompareOp
+		L, R Expr
+	}
+	// MultFormula asserts a multiplicity (some/no/one/lone) of an expression.
+	MultFormula struct {
+		Mult Mult
+		E    Expr
+	}
+	// NotFormula negates a formula.
+	NotFormula struct{ F Formula }
+	// NaryFormula combines formulas with and/or.
+	NaryFormula struct {
+		Op CombineOp
+		Fs []Formula
+	}
+	// QuantFormula quantifies a scalar variable over a unary expression.
+	QuantFormula struct {
+		Quant Quant
+		V     *Var
+		Over  Expr
+		Body  Formula
+	}
+	// CardFormula compares the cardinality of an expression with a constant.
+	CardFormula struct {
+		Op CardOp
+		E  Expr
+		K  int
+	}
+)
+
+// CompareOp is subset or equality.
+type CompareOp int
+
+// Comparison operators.
+const (
+	OpSubset CompareOp = iota + 1
+	OpEqual
+)
+
+// Mult is an expression multiplicity.
+type Mult int
+
+// Multiplicities.
+const (
+	MultSome Mult = iota + 1
+	MultNo
+	MultOne
+	MultLone
+)
+
+// CombineOp is a boolean connective for NaryFormula.
+type CombineOp int
+
+// Connectives.
+const (
+	OpAnd CombineOp = iota + 1
+	OpOr
+)
+
+// Quant selects universal or existential quantification.
+type Quant int
+
+// Quantifiers.
+const (
+	QuantAll Quant = iota + 1
+	QuantSome
+)
+
+// CardOp compares cardinalities.
+type CardOp int
+
+// Cardinality comparison operators.
+const (
+	CardLE CardOp = iota + 1
+	CardGE
+)
+
+// TrueF is the constant true formula.
+func TrueF() Formula { return &BoolFormula{Value: true} }
+
+// FalseF is the constant false formula.
+func FalseF() Formula { return &BoolFormula{Value: false} }
+
+// Subset asserts l ⊆ r (in Alloy: "l in r").
+func Subset(l, r Expr) Formula {
+	if l.ExprArity() != r.ExprArity() {
+		panic("relalg: subset of different arities")
+	}
+	return &CompareFormula{Op: OpSubset, L: l, R: r}
+}
+
+// Equal asserts l = r.
+func Equal(l, r Expr) Formula {
+	if l.ExprArity() != r.ExprArity() {
+		panic("relalg: equality of different arities")
+	}
+	return &CompareFormula{Op: OpEqual, L: l, R: r}
+}
+
+// Some asserts e is non-empty.
+func Some(e Expr) Formula { return &MultFormula{Mult: MultSome, E: e} }
+
+// No asserts e is empty.
+func No(e Expr) Formula { return &MultFormula{Mult: MultNo, E: e} }
+
+// One asserts e has exactly one tuple.
+func One(e Expr) Formula { return &MultFormula{Mult: MultOne, E: e} }
+
+// Lone asserts e has at most one tuple.
+func Lone(e Expr) Formula { return &MultFormula{Mult: MultLone, E: e} }
+
+// Not negates a formula.
+func Not(f Formula) Formula { return &NotFormula{F: f} }
+
+// And conjoins formulas (empty = true).
+func And(fs ...Formula) Formula { return &NaryFormula{Op: OpAnd, Fs: fs} }
+
+// Or disjoins formulas (empty = false).
+func Or(fs ...Formula) Formula { return &NaryFormula{Op: OpOr, Fs: fs} }
+
+// Implies is material implication.
+func Implies(a, b Formula) Formula { return Or(Not(a), b) }
+
+// Iff is bi-implication.
+func Iff(a, b Formula) Formula { return And(Implies(a, b), Implies(b, a)) }
+
+// ForAll quantifies v universally over the unary expression over.
+func ForAll(v *Var, over Expr, body Formula) Formula {
+	if over.ExprArity() != 1 {
+		panic("relalg: quantification over non-unary expression")
+	}
+	return &QuantFormula{Quant: QuantAll, V: v, Over: over, Body: body}
+}
+
+// Exists quantifies v existentially over the unary expression over.
+func Exists(v *Var, over Expr, body Formula) Formula {
+	if over.ExprArity() != 1 {
+		panic("relalg: quantification over non-unary expression")
+	}
+	return &QuantFormula{Quant: QuantSome, V: v, Over: over, Body: body}
+}
+
+// AtMost asserts #e <= k.
+func AtMost(e Expr, k int) Formula { return &CardFormula{Op: CardLE, E: e, K: k} }
+
+// AtLeast asserts #e >= k.
+func AtLeast(e Expr, k int) Formula { return &CardFormula{Op: CardGE, E: e, K: k} }
+
+func (f *BoolFormula) fmlString() string {
+	if f.Value {
+		return "true"
+	}
+	return "false"
+}
+
+func (f *CompareFormula) fmlString() string {
+	op := " in "
+	if f.Op == OpEqual {
+		op = " = "
+	}
+	return f.L.exprString() + op + f.R.exprString()
+}
+
+func (f *MultFormula) fmlString() string {
+	m := map[Mult]string{MultSome: "some", MultNo: "no", MultOne: "one", MultLone: "lone"}[f.Mult]
+	return m + " " + f.E.exprString()
+}
+
+func (f *NotFormula) fmlString() string { return "!(" + f.F.fmlString() + ")" }
+
+func (f *NaryFormula) fmlString() string {
+	op := " && "
+	if f.Op == OpOr {
+		op = " || "
+	}
+	parts := make([]string, len(f.Fs))
+	for i, sub := range f.Fs {
+		parts[i] = sub.fmlString()
+	}
+	return "(" + strings.Join(parts, op) + ")"
+}
+
+func (f *QuantFormula) fmlString() string {
+	q := "all"
+	if f.Quant == QuantSome {
+		q = "some"
+	}
+	return q + " " + f.V.Name + ": " + f.Over.exprString() + " | " + f.Body.fmlString()
+}
+
+func (f *CardFormula) fmlString() string {
+	op := "<="
+	if f.Op == CardGE {
+		op = ">="
+	}
+	return fmt.Sprintf("#%s %s %d", f.E.exprString(), op, f.K)
+}
+
+// FormulaString renders a formula for diagnostics.
+func FormulaString(f Formula) string { return f.fmlString() }

@@ -1,0 +1,99 @@
+package relalg
+
+import "fmt"
+
+// Bounds assigns every relation of a problem a lower bound (tuples that
+// must be present) and an upper bound (tuples that may be present). The
+// gap between the two is the search space: one boolean variable per
+// undetermined tuple, exactly as in Kodkod.
+type Bounds struct {
+	u     *Universe
+	order []*Relation
+	lower map[*Relation]*TupleSet
+	upper map[*Relation]*TupleSet
+}
+
+// NewBounds creates an empty bounds map over a universe.
+func NewBounds(u *Universe) *Bounds {
+	return &Bounds{
+		u:     u,
+		lower: make(map[*Relation]*TupleSet),
+		upper: make(map[*Relation]*TupleSet),
+	}
+}
+
+// Universe returns the bounded universe.
+func (b *Bounds) Universe() *Universe { return b.u }
+
+// Bound sets the lower and upper bound of r. The lower bound must be a
+// subset of the upper bound; both must match r's arity.
+func (b *Bounds) Bound(r *Relation, lower, upper *TupleSet) {
+	if lower.Arity() != r.Arity || upper.Arity() != r.Arity {
+		panic(fmt.Sprintf("relalg: bound arity mismatch for %s", r.Name))
+	}
+	if !upper.ContainsAll(lower) {
+		panic(fmt.Sprintf("relalg: lower bound of %s not within upper bound", r.Name))
+	}
+	if _, dup := b.upper[r]; !dup {
+		b.order = append(b.order, r)
+	}
+	b.lower[r] = lower.Clone()
+	b.upper[r] = upper.Clone()
+}
+
+// BoundExactly fixes r to exactly the given tuple set (lower = upper).
+func (b *Bounds) BoundExactly(r *Relation, ts *TupleSet) { b.Bound(r, ts, ts) }
+
+// BoundUpper sets an empty lower bound and the given upper bound.
+func (b *Bounds) BoundUpper(r *Relation, upper *TupleSet) {
+	b.Bound(r, NewTupleSet(b.u, r.Arity), upper)
+}
+
+// Lower returns the lower bound of r (nil if unbounded).
+func (b *Bounds) Lower(r *Relation) *TupleSet { return b.lower[r] }
+
+// Upper returns the upper bound of r (nil if unbounded).
+func (b *Bounds) Upper(r *Relation) *TupleSet { return b.upper[r] }
+
+// Relations returns the bounded relations in declaration order.
+func (b *Bounds) Relations() []*Relation { return b.order }
+
+// Instance is a concrete valuation: one tuple set per relation. It is
+// what the model finder returns and what the evaluator consumes.
+type Instance struct {
+	u   *Universe
+	rel map[*Relation]*TupleSet
+}
+
+// NewInstance creates an empty instance over a universe.
+func NewInstance(u *Universe) *Instance {
+	return &Instance{u: u, rel: make(map[*Relation]*TupleSet)}
+}
+
+// Universe returns the instance's universe.
+func (in *Instance) Universe() *Universe { return in.u }
+
+// Set assigns the tuple set of r.
+func (in *Instance) Set(r *Relation, ts *TupleSet) {
+	if ts.Arity() != r.Arity {
+		panic(fmt.Sprintf("relalg: instance arity mismatch for %s", r.Name))
+	}
+	in.rel[r] = ts
+}
+
+// Get returns the tuple set of r (empty if unset).
+func (in *Instance) Get(r *Relation) *TupleSet {
+	if ts, ok := in.rel[r]; ok {
+		return ts
+	}
+	return NewTupleSet(in.u, r.Arity)
+}
+
+// String renders the instance relation by relation.
+func (in *Instance) String() string {
+	s := ""
+	for r, ts := range in.rel {
+		s += r.Name + " = " + ts.String() + "\n"
+	}
+	return s
+}

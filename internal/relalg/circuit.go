@@ -1,0 +1,282 @@
+package relalg
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/sat"
+)
+
+// Node is a boolean circuit node reference. Negation is arithmetic:
+// -n denotes NOT n. The constants TrueNode and FalseNode are fixed IDs.
+// Node 0 is invalid.
+type Node int32
+
+// Circuit constants.
+const (
+	TrueNode  Node = 1
+	FalseNode Node = -1
+)
+
+type gate struct {
+	satVar   sat.Var // for input nodes; -1 for AND gates
+	children []Node  // for AND gates; nil for inputs
+}
+
+// Circuit builds an and-inverter-style boolean circuit with structural
+// hashing, backed by SAT variables for its inputs. It mirrors Kodkod's
+// boolean-circuit layer: the relational translator creates one input per
+// undetermined tuple and composes gates, and ToCNF performs the Tseitin
+// transformation that the clause-count experiment (E5) measures.
+type Circuit struct {
+	solver *sat.Solver
+	gates  []gate // index = node id - 2 (ids 2.. are real nodes)
+	cache  map[string]Node
+
+	gateVar map[Node]sat.Var // Tseitin variable per AND gate
+	clauses int
+}
+
+// NewCircuit creates a circuit whose inputs and Tseitin variables are
+// allocated in the given solver.
+func NewCircuit(s *sat.Solver) *Circuit {
+	return &Circuit{solver: s, cache: make(map[string]Node), gateVar: make(map[Node]sat.Var)}
+}
+
+// NewInput allocates a fresh input node backed by a fresh SAT variable.
+func (c *Circuit) NewInput() Node {
+	v := c.solver.NewVar()
+	c.gates = append(c.gates, gate{satVar: v})
+	return Node(len(c.gates) + 1) // ids start at 2
+}
+
+// InputVar returns the SAT variable of an input node.
+func (c *Circuit) InputVar(n Node) sat.Var {
+	g := c.gate(n)
+	if g.children != nil {
+		panic("relalg: InputVar on a gate node")
+	}
+	return g.satVar
+}
+
+func (c *Circuit) gate(n Node) *gate {
+	if n < 0 {
+		n = -n
+	}
+	if n < 2 || int(n)-2 >= len(c.gates) {
+		panic(fmt.Sprintf("relalg: invalid node %d", n))
+	}
+	return &c.gates[n-2]
+}
+
+// Not negates a node.
+func (c *Circuit) Not(n Node) Node { return -n }
+
+// And builds the conjunction of the given nodes with simplification and
+// structural hashing.
+func (c *Circuit) And(ns ...Node) Node {
+	// Flatten one level, drop TRUE, fail on FALSE, dedupe, detect x∧¬x.
+	uniq := make([]Node, 0, len(ns))
+	seen := make(map[Node]bool, len(ns))
+	for _, n := range ns {
+		switch n {
+		case TrueNode:
+			continue
+		case FalseNode:
+			return FalseNode
+		case 0:
+			panic("relalg: zero node in And")
+		}
+		if seen[n] {
+			continue
+		}
+		if seen[-n] {
+			return FalseNode
+		}
+		seen[n] = true
+		uniq = append(uniq, n)
+	}
+	switch len(uniq) {
+	case 0:
+		return TrueNode
+	case 1:
+		return uniq[0]
+	}
+	sort.Slice(uniq, func(i, j int) bool { return uniq[i] < uniq[j] })
+	key := andKey(uniq)
+	if n, ok := c.cache[key]; ok {
+		return n
+	}
+	c.gates = append(c.gates, gate{satVar: -1, children: uniq})
+	n := Node(len(c.gates) + 1)
+	c.cache[key] = n
+	return n
+}
+
+// Or builds the disjunction via De Morgan.
+func (c *Circuit) Or(ns ...Node) Node {
+	neg := make([]Node, len(ns))
+	for i, n := range ns {
+		neg[i] = -n
+	}
+	return -c.And(neg...)
+}
+
+// Implies builds a → b.
+func (c *Circuit) Implies(a, b Node) Node { return c.Or(-a, b) }
+
+// Iff builds a ↔ b.
+func (c *Circuit) Iff(a, b Node) Node {
+	return c.And(c.Implies(a, b), c.Implies(b, a))
+}
+
+// AtMostOne builds the pairwise at-most-one constraint.
+func (c *Circuit) AtMostOne(ns ...Node) Node {
+	var parts []Node
+	for i := 0; i < len(ns); i++ {
+		for j := i + 1; j < len(ns); j++ {
+			parts = append(parts, c.Or(-ns[i], -ns[j]))
+		}
+	}
+	return c.And(parts...)
+}
+
+// CardLE builds a sequential-counter circuit asserting that at most k of
+// the given nodes are true.
+func (c *Circuit) CardLE(ns []Node, k int) Node {
+	if k < 0 {
+		return FalseNode
+	}
+	if k >= len(ns) {
+		return TrueNode
+	}
+	counts := c.counter(ns, k+1)
+	// at most k true  ⇔  NOT (at least k+1 true)
+	return -counts[k]
+}
+
+// CardGE builds a circuit asserting that at least k nodes are true.
+func (c *Circuit) CardGE(ns []Node, k int) Node {
+	if k <= 0 {
+		return TrueNode
+	}
+	if k > len(ns) {
+		return FalseNode
+	}
+	counts := c.counter(ns, k)
+	return counts[k-1]
+}
+
+// counter returns nodes counts[j] ⇔ "at least j+1 of ns are true", for
+// j in [0, width).
+func (c *Circuit) counter(ns []Node, width int) []Node {
+	counts := make([]Node, width)
+	for j := range counts {
+		counts[j] = FalseNode
+	}
+	for _, x := range ns {
+		next := make([]Node, width)
+		for j := 0; j < width; j++ {
+			carryIn := TrueNode
+			if j > 0 {
+				carryIn = counts[j-1]
+			}
+			// at least j+1 after x ⇔ (at least j+1 before) ∨ (x ∧ at least j before)
+			next[j] = c.Or(counts[j], c.And(x, carryIn))
+		}
+		counts = next
+	}
+	return counts
+}
+
+func andKey(ns []Node) string {
+	var b strings.Builder
+	b.Grow(len(ns) * 8)
+	for _, n := range ns {
+		fmt.Fprintf(&b, "%d,", n)
+	}
+	return b.String()
+}
+
+// litFor returns the SAT literal representing node n, creating Tseitin
+// variables (and their defining clauses) for AND gates on demand.
+func (c *Circuit) litFor(n Node) sat.Lit {
+	neg := n < 0
+	pos := n
+	if neg {
+		pos = -n
+	}
+	if pos == TrueNode {
+		panic("relalg: constant node has no literal; handle before litFor")
+	}
+	g := c.gate(pos)
+	var v sat.Var
+	if g.children == nil {
+		v = g.satVar
+	} else {
+		var ok bool
+		v, ok = c.gateVar[pos]
+		if !ok {
+			v = c.solver.NewVar()
+			c.gateVar[pos] = v
+			// Defining clauses: v ↔ AND(children)
+			childLits := make([]sat.Lit, len(g.children))
+			for i, ch := range g.children {
+				childLits[i] = c.litOrConst(ch)
+			}
+			// v → child_i
+			long := make([]sat.Lit, 0, len(childLits)+1)
+			long = append(long, sat.PosLit(v))
+			for _, cl := range childLits {
+				c.addClause(sat.NegLit(v), cl)
+				long = append(long, cl.Not())
+			}
+			// (AND children) → v
+			c.addClause(long...)
+		}
+	}
+	return sat.MkLit(v, neg)
+}
+
+// litOrConst is litFor but tolerates constants by materializing a frozen
+// variable for them (constants inside gate children are already
+// simplified away by And, so this is defensive).
+func (c *Circuit) litOrConst(n Node) sat.Lit {
+	if n == TrueNode || n == FalseNode {
+		v := c.solver.NewVar()
+		if n == TrueNode {
+			c.addClause(sat.PosLit(v))
+		} else {
+			c.addClause(sat.NegLit(v))
+		}
+		return sat.PosLit(v)
+	}
+	return c.litFor(n)
+}
+
+func (c *Circuit) addClause(lits ...sat.Lit) {
+	c.clauses++
+	// ErrAddAfterUnsat means the formula is already unsatisfiable; the
+	// subsequent Solve call reports that, so the error is safely ignored.
+	_ = c.solver.AddClause(lits...)
+}
+
+// Assert adds clauses forcing node n to be true.
+func (c *Circuit) Assert(n Node) {
+	switch n {
+	case TrueNode:
+		return
+	case FalseNode:
+		// Assert the empty clause: formula is unsatisfiable.
+		c.addClause()
+		return
+	}
+	c.addClause(c.litFor(n))
+}
+
+// NumClauses returns the number of CNF clauses emitted so far.
+func (c *Circuit) NumClauses() int { return c.clauses }
+
+// NumGateVars returns the number of Tseitin auxiliary variables created.
+func (c *Circuit) NumGateVars() int { return len(c.gateVar) }

@@ -1,0 +1,238 @@
+package relalg
+
+import (
+	"testing"
+
+	"repro/internal/sat"
+)
+
+// solveWith asserts the node and solves, returning satisfiability and
+// the model values of the given inputs.
+func solveWith(t *testing.T, c *Circuit, s *sat.Solver, root Node, inputs []Node) (bool, []bool) {
+	t.Helper()
+	c.Assert(root)
+	if s.Solve() != sat.StatusSat {
+		return false, nil
+	}
+	vals := make([]bool, len(inputs))
+	for i, in := range inputs {
+		vals[i] = s.Value(c.InputVar(in)) == sat.True
+	}
+	return true, vals
+}
+
+func newCircuit() (*Circuit, *sat.Solver) {
+	s := sat.NewSolver()
+	return NewCircuit(s), s
+}
+
+func TestAndSimplifications(t *testing.T) {
+	c, _ := newCircuit()
+	a := c.NewInput()
+	b := c.NewInput()
+	if c.And() != TrueNode {
+		t.Error("empty And should be true")
+	}
+	if c.And(a) != a {
+		t.Error("unary And should be identity")
+	}
+	if c.And(a, FalseNode) != FalseNode {
+		t.Error("And with false should be false")
+	}
+	if c.And(a, TrueNode) != a {
+		t.Error("And with true should drop the constant")
+	}
+	if c.And(a, -a) != FalseNode {
+		t.Error("And(a, ¬a) should be false")
+	}
+	if c.And(a, a, b) != c.And(a, b) {
+		t.Error("duplicates should merge and hash-cons")
+	}
+}
+
+func TestOrViaDeMorgan(t *testing.T) {
+	c, s := newCircuit()
+	a := c.NewInput()
+	b := c.NewInput()
+	or := c.Or(a, b)
+	// Force a false and b true: or must be satisfiable with that model.
+	c.Assert(-a)
+	c.Assert(b)
+	ok, _ := solveWith(t, c, s, or, nil)
+	if !ok {
+		t.Fatal("a=false, b=true should satisfy a∨b")
+	}
+}
+
+func TestOrEmptyIsFalse(t *testing.T) {
+	c, _ := newCircuit()
+	if c.Or() != FalseNode {
+		t.Error("empty Or should be false")
+	}
+}
+
+func TestImpliesAndIff(t *testing.T) {
+	c, s := newCircuit()
+	a := c.NewInput()
+	b := c.NewInput()
+	c.Assert(c.Implies(a, b))
+	c.Assert(a)
+	if s.Solve() != sat.StatusSat {
+		t.Fatal("a ∧ (a→b) should be sat")
+	}
+	if s.Value(c.InputVar(b)) != sat.True {
+		t.Fatal("modus ponens: b must be true")
+	}
+
+	c2, s2 := newCircuit()
+	x := c2.NewInput()
+	y := c2.NewInput()
+	c2.Assert(c2.Iff(x, y))
+	c2.Assert(x)
+	c2.Assert(-y)
+	if s2.Solve() != sat.StatusUnsat {
+		t.Fatal("x ∧ ¬y ∧ (x↔y) should be unsat")
+	}
+}
+
+func TestAtMostOne(t *testing.T) {
+	c, s := newCircuit()
+	ins := []Node{c.NewInput(), c.NewInput(), c.NewInput()}
+	c.Assert(c.AtMostOne(ins...))
+	c.Assert(ins[0])
+	c.Assert(ins[1])
+	if s.Solve() != sat.StatusUnsat {
+		t.Fatal("two true inputs should violate at-most-one")
+	}
+}
+
+// Exhaustive check of the sequential counter: for every n ≤ 4, k ≤ n and
+// every assignment, CardLE/CardGE agree with popcount.
+func TestCardinalityCircuitsExhaustive(t *testing.T) {
+	for n := 1; n <= 4; n++ {
+		for k := 0; k <= n; k++ {
+			for mask := 0; mask < 1<<uint(n); mask++ {
+				pop := 0
+				for i := 0; i < n; i++ {
+					if mask&(1<<uint(i)) != 0 {
+						pop++
+					}
+				}
+				// CardLE
+				c, s := newCircuit()
+				ins := make([]Node, n)
+				for i := range ins {
+					ins[i] = c.NewInput()
+					if mask&(1<<uint(i)) != 0 {
+						c.Assert(ins[i])
+					} else {
+						c.Assert(-ins[i])
+					}
+				}
+				c.Assert(c.CardLE(ins, k))
+				gotLE := s.Solve() == sat.StatusSat
+				if gotLE != (pop <= k) {
+					t.Fatalf("CardLE(n=%d k=%d mask=%b): sat=%v pop=%d", n, k, mask, gotLE, pop)
+				}
+				// CardGE
+				c2, s2 := newCircuit()
+				ins2 := make([]Node, n)
+				for i := range ins2 {
+					ins2[i] = c2.NewInput()
+					if mask&(1<<uint(i)) != 0 {
+						c2.Assert(ins2[i])
+					} else {
+						c2.Assert(-ins2[i])
+					}
+				}
+				c2.Assert(c2.CardGE(ins2, k))
+				gotGE := s2.Solve() == sat.StatusSat
+				if gotGE != (pop >= k) {
+					t.Fatalf("CardGE(n=%d k=%d mask=%b): sat=%v pop=%d", n, k, mask, gotGE, pop)
+				}
+			}
+		}
+	}
+}
+
+func TestCardinalityEdgeCases(t *testing.T) {
+	c, _ := newCircuit()
+	ins := []Node{c.NewInput(), c.NewInput()}
+	if c.CardLE(ins, -1) != FalseNode {
+		t.Error("CardLE with negative k should be false")
+	}
+	if c.CardLE(ins, 2) != TrueNode {
+		t.Error("CardLE with k >= n should be true")
+	}
+	if c.CardGE(ins, 0) != TrueNode {
+		t.Error("CardGE with k <= 0 should be true")
+	}
+	if c.CardGE(ins, 3) != FalseNode {
+		t.Error("CardGE with k > n should be false")
+	}
+}
+
+func TestAssertConstants(t *testing.T) {
+	c, s := newCircuit()
+	c.Assert(TrueNode) // no-op
+	if s.Solve() != sat.StatusSat {
+		t.Fatal("asserting true should keep the formula sat")
+	}
+	c2, s2 := newCircuit()
+	c2.Assert(FalseNode)
+	if s2.Solve() != sat.StatusUnsat {
+		t.Fatal("asserting false should make the formula unsat")
+	}
+}
+
+func TestHashConsingReusesGates(t *testing.T) {
+	c, _ := newCircuit()
+	a := c.NewInput()
+	b := c.NewInput()
+	g1 := c.And(a, b)
+	g2 := c.And(b, a)
+	if g1 != g2 {
+		t.Fatal("commuted And not hash-consed")
+	}
+	before := c.NumGateVars()
+	c.Assert(g1)
+	c.Assert(g2)
+	if c.NumGateVars() != before+1 {
+		t.Fatalf("gate var created twice: %d -> %d", before, c.NumGateVars())
+	}
+}
+
+func TestClauseCountGrowsMonotonically(t *testing.T) {
+	c, _ := newCircuit()
+	a := c.NewInput()
+	b := c.NewInput()
+	n0 := c.NumClauses()
+	c.Assert(c.And(a, b))
+	if c.NumClauses() <= n0 {
+		t.Fatal("asserting a gate should emit clauses")
+	}
+}
+
+func TestInputVarOnGatePanics(t *testing.T) {
+	c, _ := newCircuit()
+	a := c.NewInput()
+	b := c.NewInput()
+	g := c.And(a, b)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("InputVar on a gate should panic")
+		}
+	}()
+	c.InputVar(g)
+}
+
+func TestInvalidNodePanics(t *testing.T) {
+	c, _ := newCircuit()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid node should panic")
+		}
+	}()
+	c.Not(0)
+	c.And(Node(0))
+}

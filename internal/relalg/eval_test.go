@@ -1,0 +1,212 @@
+package relalg
+
+import "testing"
+
+// fixture: a three-atom universe with an edge relation a->b->c.
+func evalFixture() (*Universe, *Relation, *Instance) {
+	u := NewUniverse("a", "b", "c")
+	edge := NewRelation("edge", 2)
+	inst := NewInstance(u)
+	inst.Set(edge, NewTupleSet(u, 2).AddNames("a", "b").AddNames("b", "c"))
+	return u, edge, inst
+}
+
+func TestEvalRelationLeaf(t *testing.T) {
+	_, edge, inst := evalFixture()
+	ev := NewEvaluator(inst)
+	if got := ev.EvalExpr(R(edge)).Len(); got != 2 {
+		t.Fatalf("edge len = %d", got)
+	}
+}
+
+func TestEvalUnionIntersectDifference(t *testing.T) {
+	u, edge, inst := evalFixture()
+	other := NewRelation("other", 2)
+	inst.Set(other, NewTupleSet(u, 2).AddNames("a", "b").AddNames("c", "a"))
+	ev := NewEvaluator(inst)
+	if got := ev.EvalExpr(Union(R(edge), R(other))).Len(); got != 3 {
+		t.Errorf("union len = %d, want 3", got)
+	}
+	if got := ev.EvalExpr(Intersect(R(edge), R(other))).Len(); got != 1 {
+		t.Errorf("intersect len = %d, want 1", got)
+	}
+	diff := ev.EvalExpr(Difference(R(edge), R(other)))
+	if diff.Len() != 1 || !diff.Contains(Tuple{1, 2}) {
+		t.Errorf("difference = %v", diff)
+	}
+}
+
+func TestEvalJoin(t *testing.T) {
+	u, edge, inst := evalFixture()
+	ev := NewEvaluator(inst)
+	// edge.edge = {(a,c)}
+	j := ev.EvalExpr(Join(R(edge), R(edge)))
+	if j.Len() != 1 || !j.Contains(Tuple{0, 2}) {
+		t.Fatalf("edge.edge = %v", j)
+	}
+	// a.edge = {b}
+	a := SingleTuples(u, "a")
+	single := NewRelation("singleA", 1)
+	inst.Set(single, a)
+	j2 := ev.EvalExpr(Join(R(single), R(edge)))
+	if j2.Len() != 1 || !j2.Contains(Tuple{1}) {
+		t.Fatalf("a.edge = %v", j2)
+	}
+}
+
+func TestEvalProduct(t *testing.T) {
+	u, _, inst := evalFixture()
+	s1 := NewRelation("s1", 1)
+	s2 := NewRelation("s2", 1)
+	inst.Set(s1, SingleTuples(u, "a", "b"))
+	inst.Set(s2, SingleTuples(u, "c"))
+	ev := NewEvaluator(inst)
+	p := ev.EvalExpr(Product(R(s1), R(s2)))
+	if p.Len() != 2 || !p.Contains(Tuple{0, 2}) || !p.Contains(Tuple{1, 2}) {
+		t.Fatalf("product = %v", p)
+	}
+}
+
+func TestEvalTranspose(t *testing.T) {
+	_, edge, inst := evalFixture()
+	ev := NewEvaluator(inst)
+	tr := ev.EvalExpr(Transpose(R(edge)))
+	if !tr.Contains(Tuple{1, 0}) || !tr.Contains(Tuple{2, 1}) || tr.Len() != 2 {
+		t.Fatalf("transpose = %v", tr)
+	}
+}
+
+func TestEvalClosure(t *testing.T) {
+	_, edge, inst := evalFixture()
+	ev := NewEvaluator(inst)
+	cl := ev.EvalExpr(Closure(R(edge)))
+	// ^edge = {(a,b),(b,c),(a,c)}
+	if cl.Len() != 3 || !cl.Contains(Tuple{0, 2}) {
+		t.Fatalf("closure = %v", cl)
+	}
+	rcl := ev.EvalExpr(ReflexiveClosure(R(edge)))
+	if rcl.Len() != 6 {
+		t.Fatalf("reflexive closure = %v", rcl)
+	}
+}
+
+func TestEvalConsts(t *testing.T) {
+	u, _, inst := evalFixture()
+	ev := NewEvaluator(inst)
+	if got := ev.EvalExpr(Iden()).Len(); got != u.Size() {
+		t.Errorf("iden len = %d", got)
+	}
+	if got := ev.EvalExpr(Univ()).Len(); got != u.Size() {
+		t.Errorf("univ len = %d", got)
+	}
+	if got := ev.EvalExpr(None(2)).Len(); got != 0 {
+		t.Errorf("none len = %d", got)
+	}
+}
+
+func TestEvalCompareFormulas(t *testing.T) {
+	_, edge, inst := evalFixture()
+	ev := NewEvaluator(inst)
+	if !ev.EvalFormula(Subset(R(edge), R(edge))) {
+		t.Error("edge in edge should hold")
+	}
+	if !ev.EvalFormula(Equal(R(edge), R(edge))) {
+		t.Error("edge = edge should hold")
+	}
+	if ev.EvalFormula(Subset(Iden(), R(edge))) {
+		t.Error("iden in edge should fail")
+	}
+}
+
+func TestEvalMultFormulas(t *testing.T) {
+	_, edge, inst := evalFixture()
+	ev := NewEvaluator(inst)
+	if !ev.EvalFormula(Some(R(edge))) || ev.EvalFormula(No(R(edge))) {
+		t.Error("some/no broken")
+	}
+	if ev.EvalFormula(One(R(edge))) || ev.EvalFormula(Lone(R(edge))) {
+		t.Error("one/lone on two-tuple set should fail")
+	}
+	if !ev.EvalFormula(Lone(None(1))) || ev.EvalFormula(One(None(1))) {
+		t.Error("lone/one on empty set")
+	}
+}
+
+func TestEvalQuantifiers(t *testing.T) {
+	_, edge, inst := evalFixture()
+	ev := NewEvaluator(inst)
+	x := NewVar("x")
+	// all x: univ | lone x.edge — each atom has at most one successor.
+	f := ForAll(x, Univ(), Lone(Join(V(x), R(edge))))
+	if !ev.EvalFormula(f) {
+		t.Error("functional edge property should hold")
+	}
+	// some x: univ | x.edge = none — atom c has no successor.
+	g := Exists(x, Univ(), No(Join(V(x), R(edge))))
+	if !ev.EvalFormula(g) {
+		t.Error("sink existence should hold")
+	}
+	// all x: univ | some x.edge — fails for c.
+	h := ForAll(x, Univ(), Some(Join(V(x), R(edge))))
+	if ev.EvalFormula(h) {
+		t.Error("total edge property should fail")
+	}
+}
+
+func TestEvalNestedQuantifiers(t *testing.T) {
+	_, edge, inst := evalFixture()
+	ev := NewEvaluator(inst)
+	x := NewVar("x")
+	y := NewVar("y")
+	// all x | all y | x->y in edge implies not (y->x in edge) — antisymmetry
+	f := ForAll(x, Univ(), ForAll(y, Univ(),
+		Implies(Subset(Product(V(x), V(y)), R(edge)),
+			Not(Subset(Product(V(y), V(x)), R(edge))))))
+	if !ev.EvalFormula(f) {
+		t.Error("antisymmetry should hold on a->b->c")
+	}
+}
+
+func TestEvalCardinality(t *testing.T) {
+	_, edge, inst := evalFixture()
+	ev := NewEvaluator(inst)
+	if !ev.EvalFormula(AtMost(R(edge), 2)) || ev.EvalFormula(AtMost(R(edge), 1)) {
+		t.Error("AtMost broken")
+	}
+	if !ev.EvalFormula(AtLeast(R(edge), 2)) || ev.EvalFormula(AtLeast(R(edge), 3)) {
+		t.Error("AtLeast broken")
+	}
+}
+
+func TestEvalBoolConnectives(t *testing.T) {
+	_, _, inst := evalFixture()
+	ev := NewEvaluator(inst)
+	if !ev.EvalFormula(And(TrueF(), TrueF())) || ev.EvalFormula(And(TrueF(), FalseF())) {
+		t.Error("and")
+	}
+	if !ev.EvalFormula(Or(FalseF(), TrueF())) || ev.EvalFormula(Or()) {
+		t.Error("or")
+	}
+	if !ev.EvalFormula(Implies(FalseF(), FalseF())) {
+		t.Error("implies")
+	}
+	if !ev.EvalFormula(Iff(TrueF(), TrueF())) || ev.EvalFormula(Iff(TrueF(), FalseF())) {
+		t.Error("iff")
+	}
+	if !ev.EvalFormula(Not(FalseF())) {
+		t.Error("not")
+	}
+}
+
+func TestExprFormulaStrings(t *testing.T) {
+	edge := NewRelation("edge", 2)
+	x := NewVar("x")
+	e := Union(Join(V(x), R(edge)), None(1))
+	if ExprString(e) == "" {
+		t.Error("empty expr string")
+	}
+	f := ForAll(x, Univ(), Some(Join(V(x), R(edge))))
+	if FormulaString(f) == "" {
+		t.Error("empty formula string")
+	}
+}

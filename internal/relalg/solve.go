@@ -1,0 +1,172 @@
+package relalg
+
+import (
+	"time"
+
+	"repro/internal/sat"
+)
+
+// TranslationStats reports the size of the CNF produced for a problem —
+// the quantity the paper's "Abstractions Efficiency" experiment compares
+// between the naive and the optimized MCA model encodings.
+type TranslationStats struct {
+	PrimaryVars   int           // one per undetermined tuple
+	AuxVars       int           // Tseitin gate variables
+	Clauses       int           // CNF clauses emitted
+	TranslateTime time.Duration // relational → CNF time
+	SolveTime     time.Duration // SAT search time
+}
+
+// TotalVars is the complete SAT variable count.
+func (s TranslationStats) TotalVars() int { return s.PrimaryVars + s.AuxVars }
+
+// Problem is a bounded relational satisfiability problem.
+type Problem struct {
+	Bounds  *Bounds
+	Formula Formula
+	// SolverOptions tunes the underlying SAT solver.
+	SolverOptions sat.Options
+}
+
+// Result is the outcome of Solve or Check.
+type Result struct {
+	Status      sat.Status
+	Instance    *Instance // satisfying instance (Solve) or counterexample (Check); nil when unsat
+	Stats       TranslationStats
+	SolverStats sat.Stats
+}
+
+// Solve searches for an instance within bounds satisfying the formula
+// (Alloy's "run" command).
+func Solve(p *Problem) Result {
+	solver := sat.NewSolverWithOptions(p.SolverOptions)
+	circuit := NewCircuit(solver)
+	tr := NewTranslator(p.Bounds, circuit)
+
+	start := time.Now()
+	root := tr.TranslateFormula(p.Formula)
+	circuit.Assert(root)
+	translateTime := time.Since(start)
+
+	stats := TranslationStats{
+		PrimaryVars:   tr.NumPrimaryVars(),
+		AuxVars:       circuit.NumGateVars(),
+		Clauses:       circuit.NumClauses(),
+		TranslateTime: translateTime,
+	}
+
+	start = time.Now()
+	status := solver.Solve()
+	stats.SolveTime = time.Since(start)
+
+	res := Result{Status: status, Stats: stats, SolverStats: solver.Stats()}
+	if status == sat.StatusSat {
+		res.Instance = decode(tr, solver)
+	}
+	return res
+}
+
+// Check verifies that the assertion holds under the axioms within bounds
+// (Alloy's "check" command): it solves axioms ∧ ¬assertion. A SAT answer
+// is a counterexample to the assertion; UNSAT means the assertion holds
+// in every instance within the bounds.
+func Check(b *Bounds, axioms, assertion Formula, opts sat.Options) Result {
+	return Solve(&Problem{
+		Bounds:        b,
+		Formula:       And(axioms, Not(assertion)),
+		SolverOptions: opts,
+	})
+}
+
+// TranslateOnly builds the CNF without solving — used by the clause-count
+// experiment (E5) where only translation size matters.
+func TranslateOnly(b *Bounds, f Formula) TranslationStats {
+	solver := sat.NewSolver()
+	circuit := NewCircuit(solver)
+	tr := NewTranslator(b, circuit)
+	start := time.Now()
+	root := tr.TranslateFormula(f)
+	circuit.Assert(root)
+	return TranslationStats{
+		PrimaryVars:   tr.NumPrimaryVars(),
+		AuxVars:       circuit.NumGateVars(),
+		Clauses:       circuit.NumClauses(),
+		TranslateTime: time.Since(start),
+	}
+}
+
+func decode(tr *Translator, solver *sat.Solver) *Instance {
+	b := tr.bounds
+	inst := NewInstance(b.Universe())
+	for _, r := range b.Relations() {
+		ts := b.Lower(r).Clone()
+		usize := b.Universe().Size()
+		for k, v := range tr.PrimaryVars(r) {
+			if solver.Value(v) == sat.True {
+				ts.Add(keyToTuple(k, usize, r.Arity))
+			}
+		}
+		inst.Set(r, ts)
+	}
+	return inst
+}
+
+// Enumerator iterates over all instances of a problem, in some order,
+// by adding blocking clauses over the primary variables after each model.
+type Enumerator struct {
+	solver *sat.Solver
+	tr     *Translator
+	bounds *Bounds
+	stats  TranslationStats
+	done   bool
+}
+
+// NewEnumerator prepares instance enumeration for a problem.
+func NewEnumerator(p *Problem) *Enumerator {
+	solver := sat.NewSolverWithOptions(p.SolverOptions)
+	circuit := NewCircuit(solver)
+	tr := NewTranslator(p.Bounds, circuit)
+	root := tr.TranslateFormula(p.Formula)
+	circuit.Assert(root)
+	return &Enumerator{
+		solver: solver,
+		tr:     tr,
+		bounds: p.Bounds,
+		stats: TranslationStats{
+			PrimaryVars: tr.NumPrimaryVars(),
+			AuxVars:     circuit.NumGateVars(),
+			Clauses:     circuit.NumClauses(),
+		},
+	}
+}
+
+// Stats returns the translation statistics.
+func (e *Enumerator) Stats() TranslationStats { return e.stats }
+
+// Next returns the next instance, or nil when exhausted.
+func (e *Enumerator) Next() *Instance {
+	if e.done {
+		return nil
+	}
+	if e.solver.Solve() != sat.StatusSat {
+		e.done = true
+		return nil
+	}
+	inst := decode(e.tr, e.solver)
+	// Block this valuation of the primary variables.
+	var block []sat.Lit
+	for _, r := range e.bounds.Relations() {
+		for _, v := range e.tr.PrimaryVars(r) {
+			block = append(block, sat.MkLit(v, e.solver.Value(v) == sat.True))
+		}
+	}
+	if len(block) == 0 {
+		// Fully determined problem: at most one instance.
+		e.done = true
+		return inst
+	}
+	if err := e.solver.AddClause(block...); err != nil {
+		e.done = true
+	}
+	return inst
+}

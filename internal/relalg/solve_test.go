@@ -1,0 +1,321 @@
+package relalg
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sat"
+)
+
+func TestSolveTrivialSat(t *testing.T) {
+	u := NewUniverse("a", "b")
+	b := NewBounds(u)
+	r := NewRelation("r", 1)
+	b.BoundUpper(r, AllTuples(u, 1))
+	res := Solve(&Problem{Bounds: b, Formula: Some(R(r))})
+	if res.Status != sat.StatusSat {
+		t.Fatalf("status = %v", res.Status)
+	}
+	if res.Instance.Get(r).Len() == 0 {
+		t.Fatal("instance should make r non-empty")
+	}
+}
+
+func TestSolveUnsat(t *testing.T) {
+	u := NewUniverse("a", "b")
+	b := NewBounds(u)
+	r := NewRelation("r", 1)
+	b.BoundUpper(r, AllTuples(u, 1))
+	res := Solve(&Problem{Bounds: b, Formula: And(Some(R(r)), No(R(r)))})
+	if res.Status != sat.StatusUnsat {
+		t.Fatalf("status = %v", res.Status)
+	}
+	if res.Instance != nil {
+		t.Fatal("unsat result should have nil instance")
+	}
+}
+
+func TestSolveRespectsLowerBound(t *testing.T) {
+	u := NewUniverse("a", "b", "c")
+	b := NewBounds(u)
+	r := NewRelation("r", 1)
+	b.Bound(r, SingleTuples(u, "a"), AllTuples(u, 1))
+	res := Solve(&Problem{Bounds: b, Formula: TrueF()})
+	if res.Status != sat.StatusSat {
+		t.Fatal(res.Status)
+	}
+	if !res.Instance.Get(r).Contains(Tuple{0}) {
+		t.Fatal("lower bound tuple missing from instance")
+	}
+}
+
+// The paper's uniqueID assertion (Section III): two distinct pnodes must
+// have different ids. Without an injectivity fact the assertion has a
+// counterexample; with the fact it holds.
+func TestCheckUniqueIDStyle(t *testing.T) {
+	u := NewUniverse("n1", "n2", "id1", "id2")
+	nodes := SingleTuples(u, "n1", "n2")
+	ids := SingleTuples(u, "id1", "id2")
+	b := NewBounds(u)
+	pnode := NewRelation("pnode", 1)
+	idRel := NewRelation("id", 2)
+	b.BoundExactly(pnode, nodes)
+	upper := NewTupleSet(u, 2)
+	for _, n := range nodes.Tuples() {
+		for _, i := range ids.Tuples() {
+			upper.Add(Tuple{n[0], i[0]})
+		}
+	}
+	b.BoundUpper(idRel, upper)
+
+	x := NewVar("x")
+	// Each node has exactly one id.
+	funcFact := ForAll(x, R(pnode), One(Join(V(x), R(idRel))))
+
+	y := NewVar("y")
+	distinctIDs := ForAll(x, R(pnode), ForAll(y, R(pnode),
+		Or(Subset(V(x), V(y)), // x = y
+			Not(Equal(Join(V(x), R(idRel)), Join(V(y), R(idRel)))))))
+
+	// Without injectivity: counterexample exists.
+	res := Check(b, funcFact, distinctIDs, sat.Options{})
+	if res.Status != sat.StatusSat {
+		t.Fatalf("expected counterexample, got %v", res.Status)
+	}
+	// The counterexample must violate the assertion but satisfy the fact.
+	ev := NewEvaluator(res.Instance)
+	if !ev.EvalFormula(funcFact) {
+		t.Fatal("counterexample violates the fact")
+	}
+	if ev.EvalFormula(distinctIDs) {
+		t.Fatal("counterexample satisfies the assertion?")
+	}
+
+	// With injectivity as an extra fact: assertion verified (UNSAT).
+	inj := ForAll(x, R(pnode), ForAll(y, R(pnode),
+		Or(Subset(V(x), V(y)),
+			No(Intersect(Join(V(x), R(idRel)), Join(V(y), R(idRel)))))))
+	res2 := Check(b, And(funcFact, inj), distinctIDs, sat.Options{})
+	if res2.Status != sat.StatusUnsat {
+		t.Fatalf("assertion should hold, got %v", res2.Status)
+	}
+}
+
+func TestSolveInstanceSatisfiesFormula(t *testing.T) {
+	// Random formulas over two unary and one binary relation: every SAT
+	// instance must re-evaluate to true (translator/evaluator agreement).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		u := NewUniverse("a", "b", "c")
+		b := NewBounds(u)
+		s1 := NewRelation("s1", 1)
+		s2 := NewRelation("s2", 1)
+		e := NewRelation("e", 2)
+		b.BoundUpper(s1, AllTuples(u, 1))
+		b.BoundUpper(s2, AllTuples(u, 1))
+		b.BoundUpper(e, AllTuples(u, 2))
+		formula := randomFormula(rng, s1, s2, e, 3)
+		res := Solve(&Problem{Bounds: b, Formula: formula})
+		if res.Status != sat.StatusSat {
+			return true // nothing to validate
+		}
+		return NewEvaluator(res.Instance).EvalFormula(formula)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckCounterexampleFalsifiesAssertion(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed ^ 0x1234))
+		u := NewUniverse("a", "b", "c")
+		b := NewBounds(u)
+		s1 := NewRelation("s1", 1)
+		s2 := NewRelation("s2", 1)
+		e := NewRelation("e", 2)
+		b.BoundUpper(s1, AllTuples(u, 1))
+		b.BoundUpper(s2, AllTuples(u, 1))
+		b.BoundUpper(e, AllTuples(u, 2))
+		axiom := randomFormula(rng, s1, s2, e, 2)
+		assertion := randomFormula(rng, s1, s2, e, 2)
+		res := Check(b, axiom, assertion, sat.Options{})
+		if res.Status != sat.StatusSat {
+			return true
+		}
+		ev := NewEvaluator(res.Instance)
+		return ev.EvalFormula(axiom) && !ev.EvalFormula(assertion)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// randomFormula builds a small random formula over the given relations.
+func randomFormula(rng *rand.Rand, s1, s2, e *Relation, depth int) Formula {
+	unary := func() Expr {
+		switch rng.Intn(4) {
+		case 0:
+			return R(s1)
+		case 1:
+			return R(s2)
+		case 2:
+			return Univ()
+		default:
+			return Join(Univ(), R(e)) // image of e
+		}
+	}
+	binary := func() Expr {
+		switch rng.Intn(3) {
+		case 0:
+			return R(e)
+		case 1:
+			return Transpose(R(e))
+		default:
+			return Closure(R(e))
+		}
+	}
+	if depth <= 0 {
+		switch rng.Intn(6) {
+		case 0:
+			return Some(unary())
+		case 1:
+			return No(unary())
+		case 2:
+			return Lone(unary())
+		case 3:
+			return Subset(unary(), unary())
+		case 4:
+			return AtMost(binary(), rng.Intn(4))
+		default:
+			return AtLeast(unary(), rng.Intn(3))
+		}
+	}
+	switch rng.Intn(5) {
+	case 0:
+		return And(randomFormula(rng, s1, s2, e, depth-1), randomFormula(rng, s1, s2, e, depth-1))
+	case 1:
+		return Or(randomFormula(rng, s1, s2, e, depth-1), randomFormula(rng, s1, s2, e, depth-1))
+	case 2:
+		return Not(randomFormula(rng, s1, s2, e, depth-1))
+	case 3:
+		x := NewVar("qx")
+		body := Some(Join(V(x), binary()))
+		if rng.Intn(2) == 0 {
+			return ForAll(x, unary(), body)
+		}
+		return Exists(x, unary(), body)
+	default:
+		return randomFormula(rng, s1, s2, e, 0)
+	}
+}
+
+func TestEnumeratorCountsModels(t *testing.T) {
+	// r is any subset of {a,b,c} with some r: 2^3 - 1 = 7 instances.
+	u := NewUniverse("a", "b", "c")
+	b := NewBounds(u)
+	r := NewRelation("r", 1)
+	b.BoundUpper(r, AllTuples(u, 1))
+	en := NewEnumerator(&Problem{Bounds: b, Formula: Some(R(r))})
+	count := 0
+	seen := map[string]bool{}
+	for inst := en.Next(); inst != nil; inst = en.Next() {
+		count++
+		key := inst.Get(r).String()
+		if seen[key] {
+			t.Fatalf("duplicate instance %s", key)
+		}
+		seen[key] = true
+		if count > 10 {
+			t.Fatal("runaway enumeration")
+		}
+	}
+	if count != 7 {
+		t.Fatalf("enumerated %d instances, want 7", count)
+	}
+}
+
+func TestEnumeratorFullyDetermined(t *testing.T) {
+	u := NewUniverse("a")
+	b := NewBounds(u)
+	r := NewRelation("r", 1)
+	b.BoundExactly(r, SingleTuples(u, "a"))
+	en := NewEnumerator(&Problem{Bounds: b, Formula: Some(R(r))})
+	if en.Next() == nil {
+		t.Fatal("expected one instance")
+	}
+	if en.Next() != nil {
+		t.Fatal("expected exactly one instance")
+	}
+}
+
+func TestTranslateOnlyCounts(t *testing.T) {
+	u := NewUniverse("a", "b", "c")
+	b := NewBounds(u)
+	e := NewRelation("e", 2)
+	b.BoundUpper(e, AllTuples(u, 2))
+	x := NewVar("x")
+	f := ForAll(x, Univ(), Lone(Join(V(x), R(e))))
+	st := TranslateOnly(b, f)
+	if st.PrimaryVars != 9 {
+		t.Errorf("primary vars = %d, want 9", st.PrimaryVars)
+	}
+	if st.Clauses == 0 || st.AuxVars == 0 {
+		t.Errorf("expected non-trivial CNF, got %+v", st)
+	}
+	if st.TotalVars() != st.PrimaryVars+st.AuxVars {
+		t.Error("TotalVars inconsistent")
+	}
+}
+
+func TestCardinalityEncodingAgainstEnumeration(t *testing.T) {
+	// #r <= 2 over a 4-atom unary relation has C(4,0)+C(4,1)+C(4,2) = 11 models.
+	u := NewUniverse("a", "b", "c", "d")
+	b := NewBounds(u)
+	r := NewRelation("r", 1)
+	b.BoundUpper(r, AllTuples(u, 1))
+	en := NewEnumerator(&Problem{Bounds: b, Formula: AtMost(R(r), 2)})
+	count := 0
+	for inst := en.Next(); inst != nil; inst = en.Next() {
+		if inst.Get(r).Len() > 2 {
+			t.Fatalf("instance violates #r<=2: %v", inst.Get(r))
+		}
+		count++
+	}
+	if count != 11 {
+		t.Fatalf("models = %d, want 11", count)
+	}
+	// #r >= 3: C(4,3)+C(4,4) = 5 models.
+	en = NewEnumerator(&Problem{Bounds: b, Formula: AtLeast(R(r), 3)})
+	count = 0
+	for inst := en.Next(); inst != nil; inst = en.Next() {
+		if inst.Get(r).Len() < 3 {
+			t.Fatalf("instance violates #r>=3: %v", inst.Get(r))
+		}
+		count++
+	}
+	if count != 5 {
+		t.Fatalf("models = %d, want 5", count)
+	}
+}
+
+func TestClosureTranslationSemantics(t *testing.T) {
+	// Find an instance where ^e connects a to c but e does not directly.
+	u := NewUniverse("a", "b", "c")
+	b := NewBounds(u)
+	e := NewRelation("e", 2)
+	b.BoundUpper(e, AllTuples(u, 2))
+	aToC := Product(SingleExpr(u, "a"), SingleExpr(u, "c"))
+	f := And(
+		Subset(aToC, Closure(R(e))),
+		Not(Subset(aToC, R(e))),
+	)
+	res := Solve(&Problem{Bounds: b, Formula: f})
+	if res.Status != sat.StatusSat {
+		t.Fatalf("status = %v", res.Status)
+	}
+	if !NewEvaluator(res.Instance).EvalFormula(f) {
+		t.Fatal("closure instance fails re-evaluation")
+	}
+}

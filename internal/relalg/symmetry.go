@@ -1,0 +1,137 @@
+package relalg
+
+import "repro/internal/sat"
+
+// SymmetryClass names a set of interchangeable atoms: atoms that appear
+// identically in every lower bound and symmetrically in every upper
+// bound, so any permutation of them maps instances to instances. The
+// spec layer's generated signature atoms (pnode$0, pnode$1, ...) are the
+// canonical example — exactly the symmetry Kodkod detects and breaks.
+type SymmetryClass struct {
+	// Atoms are the interchangeable atom indices, in canonical order.
+	Atoms []int
+}
+
+// BreakSymmetry emits lex-leader style symmetry-breaking clauses for the
+// given classes into the circuit, over the primary variables of the
+// bounded relations. For each pair of ADJACENT atoms (a, b) in a class,
+// it asserts that the combined membership vector of a is
+// lexicographically no smaller than that of b across every unary
+// relation slot and every row/column of the binary relations (with the
+// other coordinate remapped through the transposition) — a sound
+// partial ordering: every instance has a representative satisfying it
+// under the transposition subgroup, so Solve/Check satisfiability
+// verdicts for symmetric problems are preserved while the model count
+// (and search space) shrinks. Relations of arity three and above are
+// left unconstrained, which keeps the predicate sound.
+func (tr *Translator) BreakSymmetry(circuit *Circuit, classes []SymmetryClass) {
+	for _, cls := range classes {
+		for i := 0; i+1 < len(cls.Atoms); i++ {
+			a, b := cls.Atoms[i], cls.Atoms[i+1]
+			tr.lexLeaderPair(circuit, a, b)
+		}
+	}
+}
+
+// lexLeaderPair asserts vec(a) >= vec(b) lexicographically, where the
+// two vectors pair up the membership bits that the transposition (a b)
+// exchanges: atom membership in unary relations, and rows/columns of
+// binary relations with the other coordinate remapped through the
+// transposition. (Relations of arity three and above are left free; the
+// predicate stays sound — it only removes instances whose transposed
+// twin is kept.)
+func (tr *Translator) lexLeaderPair(circuit *Circuit, a, b int) {
+	swap := func(x int) int {
+		switch x {
+		case a:
+			return b
+		case b:
+			return a
+		default:
+			return x
+		}
+	}
+	var bitsA, bitsB []Node
+	usize := tr.usize
+	for _, r := range tr.bounds.Relations() {
+		m := tr.relMatrices[r]
+		switch r.Arity {
+		case 1:
+			bitsA = append(bitsA, m.get(uint64(a)))
+			bitsB = append(bitsB, m.get(uint64(b)))
+		case 2:
+			for y := 0; y < usize; y++ {
+				ys := swap(y)
+				bitsA = append(bitsA, m.get(uint64(a*usize+y)))
+				bitsB = append(bitsB, m.get(uint64(b*usize+ys)))
+				bitsA = append(bitsA, m.get(uint64(y*usize+a)))
+				bitsB = append(bitsB, m.get(uint64(ys*usize+b)))
+			}
+		}
+	}
+	// Lex >=: wherever every earlier bit pair is equal, bitA must not be
+	// strictly below bitB (¬bitA ∧ bitB forbidden).
+	prefixEq := TrueNode
+	for i := range bitsA {
+		below := circuit.And(circuit.Not(bitsA[i]), bitsB[i])
+		circuit.Assert(circuit.Implies(prefixEq, circuit.Not(below)))
+		prefixEq = circuit.And(prefixEq, circuit.Iff(bitsA[i], bitsB[i]))
+	}
+}
+
+// SolveWithSymmetry is Solve plus lex-leader symmetry breaking over the
+// given classes. The satisfiability verdict matches Solve's for problems
+// whose bounds and formula are invariant under permutations within each
+// class; instance enumeration returns one representative per orbit
+// (fewer instances, same coverage up to symmetry).
+func SolveWithSymmetry(p *Problem, classes []SymmetryClass) Result {
+	solver := sat.NewSolverWithOptions(p.SolverOptions)
+	circuit := NewCircuit(solver)
+	tr := NewTranslator(p.Bounds, circuit)
+	root := tr.TranslateFormula(p.Formula)
+	circuit.Assert(root)
+	tr.BreakSymmetry(circuit, classes)
+	stats := TranslationStats{
+		PrimaryVars: tr.NumPrimaryVars(),
+		AuxVars:     circuit.NumGateVars(),
+		Clauses:     circuit.NumClauses(),
+	}
+	status := solver.Solve()
+	res := Result{Status: status, Stats: stats, SolverStats: solver.Stats()}
+	if status == sat.StatusSat {
+		res.Instance = decode(tr, solver)
+	}
+	return res
+}
+
+// CountInstances exhaustively counts instances of a problem, optionally
+// under symmetry breaking — used to validate orbit reduction.
+func CountInstances(p *Problem, classes []SymmetryClass) int {
+	solver := sat.NewSolver()
+	circuit := NewCircuit(solver)
+	tr := NewTranslator(p.Bounds, circuit)
+	circuit.Assert(tr.TranslateFormula(p.Formula))
+	if classes != nil {
+		tr.BreakSymmetry(circuit, classes)
+	}
+	count := 0
+	for solver.Solve() == sat.StatusSat {
+		count++
+		var block []sat.Lit
+		for _, r := range p.Bounds.Relations() {
+			for _, v := range tr.PrimaryVars(r) {
+				block = append(block, sat.MkLit(v, solver.Value(v) == sat.True))
+			}
+		}
+		if len(block) == 0 {
+			break
+		}
+		if err := solver.AddClause(block...); err != nil {
+			break
+		}
+		if count > 1<<20 {
+			panic("relalg: instance count runaway")
+		}
+	}
+	return count
+}

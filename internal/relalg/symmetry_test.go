@@ -1,0 +1,114 @@
+package relalg
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sat"
+)
+
+// symmetric one-unary-relation problem: r ⊆ {a,b,c} with #r = 1.
+func symmetricProblem() (*Problem, []SymmetryClass) {
+	u := NewUniverse("a", "b", "c")
+	b := NewBounds(u)
+	r := NewRelation("r", 1)
+	b.BoundUpper(r, AllTuples(u, 1))
+	p := &Problem{Bounds: b, Formula: And(AtLeast(R(r), 1), AtMost(R(r), 1))}
+	return p, []SymmetryClass{{Atoms: []int{0, 1, 2}}}
+}
+
+func TestSymmetryPreservesSatisfiability(t *testing.T) {
+	p, classes := symmetricProblem()
+	plain := Solve(p)
+	sym := SolveWithSymmetry(p, classes)
+	if plain.Status != sym.Status {
+		t.Fatalf("verdicts differ: %v vs %v", plain.Status, sym.Status)
+	}
+	if sym.Status != sat.StatusSat {
+		t.Fatal("singleton problem should be sat")
+	}
+}
+
+func TestSymmetryReducesInstanceCount(t *testing.T) {
+	p, classes := symmetricProblem()
+	full := CountInstances(p, nil)
+	reduced := CountInstances(p, classes)
+	if full != 3 {
+		t.Fatalf("full count = %d, want 3 (one per atom)", full)
+	}
+	if reduced != 1 {
+		t.Fatalf("reduced count = %d, want 1 orbit representative", reduced)
+	}
+}
+
+func TestSymmetryOnSubsetProblem(t *testing.T) {
+	// All subsets of a 3-atom set: 8 instances, C(3,k) orbits collapse to
+	// one representative per size: 4 representatives (k = 0..3).
+	u := NewUniverse("a", "b", "c")
+	b := NewBounds(u)
+	r := NewRelation("r", 1)
+	b.BoundUpper(r, AllTuples(u, 1))
+	p := &Problem{Bounds: b, Formula: TrueF()}
+	full := CountInstances(p, nil)
+	reduced := CountInstances(p, []SymmetryClass{{Atoms: []int{0, 1, 2}}})
+	if full != 8 {
+		t.Fatalf("full = %d, want 8", full)
+	}
+	if reduced != 4 {
+		t.Fatalf("reduced = %d, want 4 (one per cardinality)", reduced)
+	}
+}
+
+// Property: for random symmetric formulas (built only from cardinality
+// constraints, which are permutation-invariant), symmetry breaking never
+// changes the satisfiability verdict.
+func TestSymmetryVerdictPreservationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		u := NewUniverse("a", "b", "c", "d")
+		b := NewBounds(u)
+		r := NewRelation("r", 1)
+		s := NewRelation("s", 1)
+		b.BoundUpper(r, AllTuples(u, 1))
+		b.BoundUpper(s, AllTuples(u, 1))
+		// Random permutation-invariant constraints.
+		var fs []Formula
+		for i := 0; i < 3; i++ {
+			e := []Expr{R(r), R(s), Union(R(r), R(s)), Intersect(R(r), R(s))}[rng.Intn(4)]
+			k := rng.Intn(4)
+			if rng.Intn(2) == 0 {
+				fs = append(fs, AtMost(e, k))
+			} else {
+				fs = append(fs, AtLeast(e, k))
+			}
+		}
+		p := &Problem{Bounds: b, Formula: And(fs...)}
+		classes := []SymmetryClass{{Atoms: []int{0, 1, 2, 3}}}
+		return Solve(p).Status == SolveWithSymmetry(p, classes).Status
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSymmetryInstanceStillValid(t *testing.T) {
+	p, classes := symmetricProblem()
+	res := SolveWithSymmetry(p, classes)
+	if res.Status != sat.StatusSat {
+		t.Fatal("unsat")
+	}
+	if !NewEvaluator(res.Instance).EvalFormula(p.Formula) {
+		t.Fatal("symmetry-broken instance violates the formula")
+	}
+}
+
+func TestSymmetryAddsClauses(t *testing.T) {
+	p, classes := symmetricProblem()
+	plain := Solve(p)
+	sym := SolveWithSymmetry(p, classes)
+	if sym.Stats.Clauses <= plain.Stats.Clauses {
+		t.Fatalf("symmetry predicate emitted no clauses: %d vs %d",
+			sym.Stats.Clauses, plain.Stats.Clauses)
+	}
+}

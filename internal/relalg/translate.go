@@ -1,0 +1,353 @@
+package relalg
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sat"
+)
+
+// matrix is a sparse boolean matrix: tuple key → circuit node. Absent
+// keys denote FalseNode. All keys share one arity.
+type matrix struct {
+	arity int
+	cells map[uint64]Node
+}
+
+func newMatrix(arity int) *matrix {
+	return &matrix{arity: arity, cells: make(map[uint64]Node)}
+}
+
+func (m *matrix) set(k uint64, n Node) {
+	if n == FalseNode {
+		delete(m.cells, k)
+		return
+	}
+	m.cells[k] = n
+}
+
+func (m *matrix) get(k uint64) Node {
+	if n, ok := m.cells[k]; ok {
+		return n
+	}
+	return FalseNode
+}
+
+// keys returns the populated tuple keys in sorted order. All translation
+// loops iterate in this order so gate creation — and therefore CNF size,
+// which experiment E5 measures — is deterministic across runs.
+func (m *matrix) keys() []uint64 {
+	ks := make([]uint64, 0, len(m.cells))
+	for k := range m.cells {
+		ks = append(ks, k)
+	}
+	sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
+	return ks
+}
+
+// Translator converts relational expressions and formulas over bounded
+// relations into a boolean circuit, Kodkod-style.
+type Translator struct {
+	bounds  *Bounds
+	circuit *Circuit
+	usize   int
+
+	// relVars maps (relation, tuple key) to the input node of that
+	// undetermined tuple; determined tuples are constants.
+	relMatrices map[*Relation]*matrix
+	primaryVars map[*Relation]map[uint64]sat.Var
+
+	env map[*Var]int // quantified variable -> atom
+}
+
+// NewTranslator prepares a translator over the given bounds, allocating
+// one primary SAT variable (via the circuit) per undetermined tuple.
+func NewTranslator(b *Bounds, c *Circuit) *Translator {
+	tr := &Translator{
+		bounds:      b,
+		circuit:     c,
+		usize:       b.Universe().Size(),
+		relMatrices: make(map[*Relation]*matrix),
+		primaryVars: make(map[*Relation]map[uint64]sat.Var),
+		env:         make(map[*Var]int),
+	}
+	for _, r := range b.Relations() {
+		lower, upper := b.Lower(r), b.Upper(r)
+		m := newMatrix(r.Arity)
+		vars := make(map[uint64]sat.Var)
+		for _, t := range upper.Tuples() {
+			k := t.key(tr.usize)
+			if lower.Contains(t) {
+				m.set(k, TrueNode)
+			} else {
+				in := c.NewInput()
+				m.set(k, in)
+				vars[k] = c.InputVar(in)
+			}
+		}
+		tr.relMatrices[r] = m
+		tr.primaryVars[r] = vars
+	}
+	return tr
+}
+
+// PrimaryVars exposes the primary variable of each undetermined tuple,
+// used for model decoding and blocking-clause enumeration.
+func (tr *Translator) PrimaryVars(r *Relation) map[uint64]sat.Var { return tr.primaryVars[r] }
+
+// NumPrimaryVars counts undetermined tuples across all relations.
+func (tr *Translator) NumPrimaryVars() int {
+	n := 0
+	for _, vs := range tr.primaryVars {
+		n += len(vs)
+	}
+	return n
+}
+
+// TranslateExpr builds the boolean matrix of e.
+func (tr *Translator) TranslateExpr(e Expr) *matrix {
+	switch x := e.(type) {
+	case *RelExpr:
+		m, ok := tr.relMatrices[x.R]
+		if !ok {
+			panic(fmt.Sprintf("relalg: relation %q has no bounds", x.R.Name))
+		}
+		return m
+	case *VarExpr:
+		a, ok := tr.env[x.V]
+		if !ok {
+			panic(fmt.Sprintf("relalg: unbound variable %q", x.V.Name))
+		}
+		m := newMatrix(1)
+		m.set(uint64(a), TrueNode)
+		return m
+	case *AtomExpr:
+		m := newMatrix(1)
+		m.set(uint64(x.Atom), TrueNode)
+		return m
+	case *ConstExpr:
+		switch x.Kind {
+		case ConstIden:
+			m := newMatrix(2)
+			for a := 0; a < tr.usize; a++ {
+				m.set(Tuple{a, a}.key(tr.usize), TrueNode)
+			}
+			return m
+		case ConstUniv:
+			m := newMatrix(1)
+			for a := 0; a < tr.usize; a++ {
+				m.set(uint64(a), TrueNode)
+			}
+			return m
+		default:
+			return newMatrix(x.arity)
+		}
+	case *BinExpr:
+		return tr.translateBin(x)
+	case *UnExpr:
+		return tr.translateUn(x)
+	}
+	panic(fmt.Sprintf("relalg: unhandled expression %T", e))
+}
+
+func (tr *Translator) translateBin(x *BinExpr) *matrix {
+	l := tr.TranslateExpr(x.L)
+	r := tr.TranslateExpr(x.R)
+	switch x.Op {
+	case OpUnion:
+		out := newMatrix(l.arity)
+		for _, k := range l.keys() {
+			out.set(k, l.cells[k])
+		}
+		for _, k := range r.keys() {
+			out.set(k, tr.circuit.Or(out.get(k), r.cells[k]))
+		}
+		return out
+	case OpIntersect:
+		out := newMatrix(l.arity)
+		for _, k := range l.keys() {
+			if rn, ok := r.cells[k]; ok {
+				out.set(k, tr.circuit.And(l.cells[k], rn))
+			}
+		}
+		return out
+	case OpDifference:
+		out := newMatrix(l.arity)
+		for _, k := range l.keys() {
+			out.set(k, tr.circuit.And(l.cells[k], -r.get(k)))
+		}
+		return out
+	case OpJoin:
+		return tr.join(l, r)
+	case OpProduct:
+		out := newMatrix(l.arity + r.arity)
+		shift := pow(tr.usize, r.arity)
+		for _, lk := range l.keys() {
+			for _, rk := range r.keys() {
+				out.set(lk*shift+rk, tr.circuit.And(l.cells[lk], r.cells[rk]))
+			}
+		}
+		return out
+	}
+	panic("relalg: unhandled binary op")
+}
+
+func (tr *Translator) join(l, r *matrix) *matrix {
+	out := newMatrix(l.arity + r.arity - 2)
+	// Split l keys into (prefix, last) and r keys into (first, suffix).
+	rsuffix := pow(tr.usize, r.arity-1)
+	acc := make(map[uint64][]Node)
+	var accKeys []uint64
+	for _, lk := range l.keys() {
+		lprefix := lk / uint64(tr.usize)
+		llast := lk % uint64(tr.usize)
+		for _, rk := range r.keys() {
+			rfirst := rk / rsuffix
+			if rfirst != llast {
+				continue
+			}
+			rsuf := rk % rsuffix
+			outKey := lprefix*rsuffix + rsuf
+			if _, ok := acc[outKey]; !ok {
+				accKeys = append(accKeys, outKey)
+			}
+			acc[outKey] = append(acc[outKey], tr.circuit.And(l.cells[lk], r.cells[rk]))
+		}
+	}
+	sort.Slice(accKeys, func(i, j int) bool { return accKeys[i] < accKeys[j] })
+	for _, k := range accKeys {
+		out.set(k, tr.circuit.Or(acc[k]...))
+	}
+	return out
+}
+
+func (tr *Translator) translateUn(x *UnExpr) *matrix {
+	m := tr.TranslateExpr(x.E)
+	switch x.Op {
+	case OpTranspose:
+		out := newMatrix(2)
+		for _, k := range m.keys() {
+			a := k / uint64(tr.usize)
+			b := k % uint64(tr.usize)
+			out.set(b*uint64(tr.usize)+a, m.cells[k])
+		}
+		return out
+	case OpClosure, OpReflexiveClosure:
+		// Iterative squaring: after ceil(log2(usize)) rounds the matrix
+		// covers all simple path lengths.
+		cur := m
+		for steps := 1; steps < tr.usize; steps *= 2 {
+			sq := tr.join(cur, cur)
+			next := newMatrix(2)
+			for _, k := range cur.keys() {
+				next.set(k, cur.cells[k])
+			}
+			for _, k := range sq.keys() {
+				next.set(k, tr.circuit.Or(next.get(k), sq.cells[k]))
+			}
+			cur = next
+		}
+		if x.Op == OpReflexiveClosure {
+			out := newMatrix(2)
+			for _, k := range cur.keys() {
+				out.set(k, cur.cells[k])
+			}
+			for a := 0; a < tr.usize; a++ {
+				out.set(Tuple{a, a}.key(tr.usize), TrueNode)
+			}
+			return out
+		}
+		return cur
+	}
+	panic("relalg: unhandled unary op")
+}
+
+// TranslateFormula builds the circuit node of f.
+func (tr *Translator) TranslateFormula(f Formula) Node {
+	c := tr.circuit
+	switch x := f.(type) {
+	case *BoolFormula:
+		if x.Value {
+			return TrueNode
+		}
+		return FalseNode
+	case *CompareFormula:
+		l := tr.TranslateExpr(x.L)
+		r := tr.TranslateExpr(x.R)
+		sub := func(a, b *matrix) Node {
+			var parts []Node
+			for _, k := range a.keys() {
+				parts = append(parts, c.Implies(a.cells[k], b.get(k)))
+			}
+			return c.And(parts...)
+		}
+		if x.Op == OpSubset {
+			return sub(l, r)
+		}
+		return c.And(sub(l, r), sub(r, l))
+	case *MultFormula:
+		m := tr.TranslateExpr(x.E)
+		entries := make([]Node, 0, len(m.cells))
+		for _, k := range m.keys() {
+			entries = append(entries, m.cells[k])
+		}
+		switch x.Mult {
+		case MultSome:
+			return c.Or(entries...)
+		case MultNo:
+			return -c.Or(entries...)
+		case MultOne:
+			return c.And(c.Or(entries...), c.AtMostOne(entries...))
+		default:
+			return c.AtMostOne(entries...)
+		}
+	case *NotFormula:
+		return -tr.TranslateFormula(x.F)
+	case *NaryFormula:
+		parts := make([]Node, len(x.Fs))
+		for i, sub := range x.Fs {
+			parts[i] = tr.TranslateFormula(sub)
+		}
+		if x.Op == OpAnd {
+			return c.And(parts...)
+		}
+		return c.Or(parts...)
+	case *QuantFormula:
+		over := tr.TranslateExpr(x.Over)
+		var parts []Node
+		for _, k := range over.keys() {
+			guard := over.cells[k]
+			tr.env[x.V] = int(k)
+			body := tr.TranslateFormula(x.Body)
+			delete(tr.env, x.V)
+			if x.Quant == QuantAll {
+				parts = append(parts, c.Implies(guard, body))
+			} else {
+				parts = append(parts, c.And(guard, body))
+			}
+		}
+		if x.Quant == QuantAll {
+			return c.And(parts...)
+		}
+		return c.Or(parts...)
+	case *CardFormula:
+		m := tr.TranslateExpr(x.E)
+		entries := make([]Node, 0, len(m.cells))
+		for _, k := range m.keys() {
+			entries = append(entries, m.cells[k])
+		}
+		if x.Op == CardLE {
+			return c.CardLE(entries, x.K)
+		}
+		return c.CardGE(entries, x.K)
+	}
+	panic(fmt.Sprintf("relalg: unhandled formula %T", f))
+}
+
+func pow(base, exp int) uint64 {
+	r := uint64(1)
+	for i := 0; i < exp; i++ {
+		r *= uint64(base)
+	}
+	return r
+}

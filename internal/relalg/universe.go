@@ -1,0 +1,231 @@
+// Package relalg implements a bounded relational logic kernel in the
+// style of Kodkod, the model-finding engine underneath the Alloy
+// Analyzer. A problem consists of a finite universe of atoms, relations
+// with lower/upper tuple-set bounds, and a first-order relational
+// formula. The kernel translates the formula into a boolean circuit over
+// one variable per undetermined tuple, converts the circuit to CNF via
+// Tseitin encoding, and delegates satisfiability to internal/sat.
+//
+// The paper's Alloy model (signatures, facts, predicates, assertions)
+// compiles onto this kernel through internal/spec.
+package relalg
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Universe is an ordered finite set of named atoms. Atom indices are
+// dense in [0, Size()).
+type Universe struct {
+	atoms []string
+	index map[string]int
+}
+
+// NewUniverse creates a universe over the given distinct atom names.
+func NewUniverse(atoms ...string) *Universe {
+	u := &Universe{index: make(map[string]int, len(atoms))}
+	for _, a := range atoms {
+		if _, dup := u.index[a]; dup {
+			panic(fmt.Sprintf("relalg: duplicate atom %q", a))
+		}
+		u.index[a] = len(u.atoms)
+		u.atoms = append(u.atoms, a)
+	}
+	return u
+}
+
+// Size returns the number of atoms.
+func (u *Universe) Size() int { return len(u.atoms) }
+
+// Atom returns the name of atom i.
+func (u *Universe) Atom(i int) string { return u.atoms[i] }
+
+// AtomIndex returns the index of the named atom.
+func (u *Universe) AtomIndex(name string) int {
+	i, ok := u.index[name]
+	if !ok {
+		panic(fmt.Sprintf("relalg: unknown atom %q", name))
+	}
+	return i
+}
+
+// HasAtom reports whether the named atom exists.
+func (u *Universe) HasAtom(name string) bool {
+	_, ok := u.index[name]
+	return ok
+}
+
+// Tuple is an ordered sequence of atom indices.
+type Tuple []int
+
+// String renders the tuple using atom names from u.
+func (t Tuple) String(u *Universe) string {
+	parts := make([]string, len(t))
+	for i, a := range t {
+		parts[i] = u.Atom(a)
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// key encodes a tuple as a compact comparable value for a universe of
+// size usize. Arity is implied by the owning TupleSet.
+func (t Tuple) key(usize int) uint64 {
+	var k uint64
+	for _, a := range t {
+		k = k*uint64(usize) + uint64(a)
+	}
+	return k
+}
+
+func keyToTuple(k uint64, usize, arity int) Tuple {
+	t := make(Tuple, arity)
+	for i := arity - 1; i >= 0; i-- {
+		t[i] = int(k % uint64(usize))
+		k /= uint64(usize)
+	}
+	return t
+}
+
+// TupleSet is a set of tuples of one fixed arity over a universe.
+type TupleSet struct {
+	u     *Universe
+	arity int
+	set   map[uint64]struct{}
+}
+
+// NewTupleSet returns an empty tuple set of the given arity.
+func NewTupleSet(u *Universe, arity int) *TupleSet {
+	if arity < 1 {
+		panic(fmt.Sprintf("relalg: arity %d < 1", arity))
+	}
+	return &TupleSet{u: u, arity: arity, set: make(map[uint64]struct{})}
+}
+
+// Arity returns the tuple arity.
+func (s *TupleSet) Arity() int { return s.arity }
+
+// Len returns the number of tuples.
+func (s *TupleSet) Len() int { return len(s.set) }
+
+// Add inserts a tuple given by atom indices.
+func (s *TupleSet) Add(t Tuple) *TupleSet {
+	if len(t) != s.arity {
+		panic(fmt.Sprintf("relalg: tuple arity %d != set arity %d", len(t), s.arity))
+	}
+	for _, a := range t {
+		if a < 0 || a >= s.u.Size() {
+			panic(fmt.Sprintf("relalg: atom index %d out of range", a))
+		}
+	}
+	s.set[t.key(s.u.Size())] = struct{}{}
+	return s
+}
+
+// AddNames inserts a tuple given by atom names.
+func (s *TupleSet) AddNames(names ...string) *TupleSet {
+	t := make(Tuple, len(names))
+	for i, n := range names {
+		t[i] = s.u.AtomIndex(n)
+	}
+	return s.Add(t)
+}
+
+// Contains reports membership.
+func (s *TupleSet) Contains(t Tuple) bool {
+	if len(t) != s.arity {
+		return false
+	}
+	_, ok := s.set[t.key(s.u.Size())]
+	return ok
+}
+
+// Tuples returns the tuples in deterministic (sorted) order.
+func (s *TupleSet) Tuples() []Tuple {
+	keys := make([]uint64, 0, len(s.set))
+	for k := range s.set {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	out := make([]Tuple, len(keys))
+	for i, k := range keys {
+		out[i] = keyToTuple(k, s.u.Size(), s.arity)
+	}
+	return out
+}
+
+// Clone returns a deep copy.
+func (s *TupleSet) Clone() *TupleSet {
+	c := NewTupleSet(s.u, s.arity)
+	for k := range s.set {
+		c.set[k] = struct{}{}
+	}
+	return c
+}
+
+// UnionWith inserts all tuples of o (same arity required).
+func (s *TupleSet) UnionWith(o *TupleSet) *TupleSet {
+	if o.arity != s.arity {
+		panic("relalg: union of different arities")
+	}
+	for k := range o.set {
+		s.set[k] = struct{}{}
+	}
+	return s
+}
+
+// ContainsAll reports whether every tuple of o is in s.
+func (s *TupleSet) ContainsAll(o *TupleSet) bool {
+	if o.arity != s.arity {
+		return false
+	}
+	for k := range o.set {
+		if _, ok := s.set[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports set equality.
+func (s *TupleSet) Equal(o *TupleSet) bool {
+	return s.arity == o.arity && len(s.set) == len(o.set) && s.ContainsAll(o)
+}
+
+// String renders the set using atom names.
+func (s *TupleSet) String() string {
+	parts := make([]string, 0, s.Len())
+	for _, t := range s.Tuples() {
+		parts = append(parts, t.String(s.u))
+	}
+	return "{" + strings.Join(parts, " ") + "}"
+}
+
+// AllTuples returns the full product space of the given arity.
+func AllTuples(u *Universe, arity int) *TupleSet {
+	s := NewTupleSet(u, arity)
+	t := make(Tuple, arity)
+	var rec func(i int)
+	rec = func(i int) {
+		if i == arity {
+			s.Add(append(Tuple(nil), t...))
+			return
+		}
+		for a := 0; a < u.Size(); a++ {
+			t[i] = a
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	return s
+}
+
+// SingleTuples returns a unary tuple set containing the named atoms.
+func SingleTuples(u *Universe, names ...string) *TupleSet {
+	s := NewTupleSet(u, 1)
+	for _, n := range names {
+		s.AddNames(n)
+	}
+	return s
+}

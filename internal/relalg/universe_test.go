@@ -1,0 +1,108 @@
+package relalg
+
+import "testing"
+
+func TestUniverseBasics(t *testing.T) {
+	u := NewUniverse("a", "b", "c")
+	if u.Size() != 3 {
+		t.Fatalf("size = %d", u.Size())
+	}
+	if u.Atom(1) != "b" || u.AtomIndex("c") != 2 {
+		t.Fatal("atom lookup broken")
+	}
+	if !u.HasAtom("a") || u.HasAtom("z") {
+		t.Fatal("HasAtom broken")
+	}
+}
+
+func TestUniverseDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate atom did not panic")
+		}
+	}()
+	NewUniverse("a", "a")
+}
+
+func TestTupleSetAddContains(t *testing.T) {
+	u := NewUniverse("a", "b", "c")
+	s := NewTupleSet(u, 2)
+	s.AddNames("a", "b").AddNames("b", "c")
+	if s.Len() != 2 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	if !s.Contains(Tuple{0, 1}) || s.Contains(Tuple{1, 0}) {
+		t.Fatal("contains broken")
+	}
+	if s.Contains(Tuple{0}) {
+		t.Fatal("arity mismatch should not be contained")
+	}
+}
+
+func TestTupleSetArityPanics(t *testing.T) {
+	u := NewUniverse("a")
+	s := NewTupleSet(u, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong arity Add did not panic")
+		}
+	}()
+	s.Add(Tuple{0})
+}
+
+func TestTupleSetTuplesSorted(t *testing.T) {
+	u := NewUniverse("a", "b", "c")
+	s := NewTupleSet(u, 1)
+	s.AddNames("c").AddNames("a").AddNames("b")
+	ts := s.Tuples()
+	if len(ts) != 3 || ts[0][0] != 0 || ts[1][0] != 1 || ts[2][0] != 2 {
+		t.Fatalf("tuples = %v", ts)
+	}
+}
+
+func TestTupleSetOps(t *testing.T) {
+	u := NewUniverse("a", "b")
+	s := SingleTuples(u, "a")
+	o := SingleTuples(u, "b")
+	union := s.Clone().UnionWith(o)
+	if union.Len() != 2 {
+		t.Fatal("union")
+	}
+	if !union.ContainsAll(s) || !union.ContainsAll(o) {
+		t.Fatal("ContainsAll")
+	}
+	if union.Equal(s) || !union.Equal(union.Clone()) {
+		t.Fatal("Equal")
+	}
+}
+
+func TestAllTuples(t *testing.T) {
+	u := NewUniverse("a", "b", "c")
+	if got := AllTuples(u, 2).Len(); got != 9 {
+		t.Fatalf("all binary tuples = %d, want 9", got)
+	}
+	if got := AllTuples(u, 3).Len(); got != 27 {
+		t.Fatalf("all ternary tuples = %d, want 27", got)
+	}
+}
+
+func TestTupleKeyRoundTrip(t *testing.T) {
+	u := NewUniverse("a", "b", "c", "d")
+	for _, tu := range []Tuple{{0, 0, 0}, {3, 2, 1}, {1, 3, 2}} {
+		k := tu.key(u.Size())
+		got := keyToTuple(k, u.Size(), 3)
+		for i := range tu {
+			if got[i] != tu[i] {
+				t.Fatalf("roundtrip %v -> %v", tu, got)
+			}
+		}
+	}
+}
+
+func TestTupleSetString(t *testing.T) {
+	u := NewUniverse("x", "y")
+	s := NewTupleSet(u, 2).AddNames("x", "y")
+	if s.String() != "{(x, y)}" {
+		t.Fatalf("string = %q", s.String())
+	}
+}

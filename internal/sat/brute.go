@@ -1,0 +1,126 @@
+package sat
+
+// SolveBrute decides satisfiability of a CNF by plain DPLL without
+// learning. It is the reference oracle the property tests compare the
+// CDCL solver against, and the baseline for the heuristics ablation
+// benches. It returns the status and, when satisfiable, a model.
+func SolveBrute(f *CNF) (Status, []bool) {
+	assign := make([]LBool, f.NumVars)
+	if m, ok := dpll(f, assign); ok {
+		model := make([]bool, f.NumVars)
+		for i, b := range m {
+			model[i] = b == True
+		}
+		return StatusSat, model
+	}
+	return StatusUnsat, nil
+}
+
+// dpll performs unit propagation then splits on the first unassigned var.
+func dpll(f *CNF, assign []LBool) ([]LBool, bool) {
+	// Unit propagation to fixpoint.
+	for {
+		progress := false
+		for _, c := range f.Clauses {
+			unassigned := -1
+			nUnassigned := 0
+			satisfied := false
+			for i, l := range c {
+				switch evalLit(assign, l) {
+				case True:
+					satisfied = true
+				case Undef:
+					nUnassigned++
+					unassigned = i
+				}
+				if satisfied {
+					break
+				}
+			}
+			if satisfied {
+				continue
+			}
+			switch nUnassigned {
+			case 0:
+				return nil, false // falsified clause
+			case 1:
+				l := c[unassigned]
+				if l.Neg() {
+					assign[l.Var()] = False
+				} else {
+					assign[l.Var()] = True
+				}
+				progress = true
+			}
+		}
+		if !progress {
+			break
+		}
+	}
+	// Find a split variable.
+	split := -1
+	for v, b := range assign {
+		if b == Undef {
+			split = v
+			break
+		}
+	}
+	if split == -1 {
+		if evalAll(f, assign) {
+			return assign, true
+		}
+		return nil, false
+	}
+	for _, val := range []LBool{True, False} {
+		next := append([]LBool(nil), assign...)
+		next[split] = val
+		if m, ok := dpll(f, next); ok {
+			return m, true
+		}
+	}
+	return nil, false
+}
+
+func evalLit(assign []LBool, l Lit) LBool {
+	b := assign[l.Var()]
+	if l.Neg() {
+		return b.Not()
+	}
+	return b
+}
+
+func evalAll(f *CNF, assign []LBool) bool {
+	for _, c := range f.Clauses {
+		ok := false
+		for _, l := range c {
+			if evalLit(assign, l) == True {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// CountModels enumerates the number of satisfying assignments over the
+// first n variables by exhaustive search. Only usable for small n; the
+// relalg tests use it to validate instance enumeration.
+func CountModels(f *CNF, n int) int {
+	if n > 24 {
+		panic("sat: CountModels limited to 24 variables")
+	}
+	count := 0
+	model := make([]bool, f.NumVars)
+	for mask := 0; mask < 1<<uint(n); mask++ {
+		for v := 0; v < n; v++ {
+			model[v] = mask&(1<<uint(v)) != 0
+		}
+		if f.Eval(model) {
+			count++
+		}
+	}
+	return count
+}

@@ -1,0 +1,141 @@
+package sat
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// CNF is a formula in conjunctive normal form, independent of any solver
+// instance. Variables are 0-based; the DIMACS reader/writer shifts by one.
+type CNF struct {
+	NumVars int
+	Clauses [][]Lit
+}
+
+// AddClause appends a clause, growing NumVars as needed.
+func (f *CNF) AddClause(lits ...Lit) {
+	c := append([]Lit(nil), lits...)
+	for _, l := range c {
+		if int(l.Var()) >= f.NumVars {
+			f.NumVars = int(l.Var()) + 1
+		}
+	}
+	f.Clauses = append(f.Clauses, c)
+}
+
+// NumClauses returns the number of clauses.
+func (f *CNF) NumClauses() int { return len(f.Clauses) }
+
+// LoadInto creates the formula's variables and clauses in a solver. If
+// the formula becomes unsatisfiable at the root level partway through,
+// loading stops early and returns nil: the solver will answer UNSAT.
+func (f *CNF) LoadInto(s *Solver) error {
+	for s.NumVars() < f.NumVars {
+		s.NewVar()
+	}
+	for _, c := range f.Clauses {
+		if err := s.AddClause(c...); err != nil {
+			if errors.Is(err, ErrAddAfterUnsat) {
+				return nil
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+// Eval reports whether the assignment (indexed by variable) satisfies
+// every clause.
+func (f *CNF) Eval(model []bool) bool {
+	for _, c := range f.Clauses {
+		sat := false
+		for _, l := range c {
+			v := int(l.Var())
+			if v < len(model) && model[v] != l.Neg() {
+				sat = true
+				break
+			}
+		}
+		if !sat {
+			return false
+		}
+	}
+	return true
+}
+
+// ParseDIMACS reads a CNF in DIMACS format. Comment lines (c ...) and the
+// problem line (p cnf V C) are handled; clause terminator is 0.
+func ParseDIMACS(r io.Reader) (*CNF, error) {
+	f := &CNF{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<24)
+	var cur []Lit
+	declaredVars := -1
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "c") {
+			continue
+		}
+		if strings.HasPrefix(line, "p") {
+			fields := strings.Fields(line)
+			if len(fields) != 4 || fields[1] != "cnf" {
+				return nil, fmt.Errorf("sat: malformed problem line %q", line)
+			}
+			v, err := strconv.Atoi(fields[2])
+			if err != nil {
+				return nil, fmt.Errorf("sat: bad var count in %q: %w", line, err)
+			}
+			declaredVars = v
+			continue
+		}
+		for _, tok := range strings.Fields(line) {
+			n, err := strconv.Atoi(tok)
+			if err != nil {
+				return nil, fmt.Errorf("sat: bad literal %q: %w", tok, err)
+			}
+			if n == 0 {
+				f.AddClause(cur...)
+				cur = cur[:0]
+				continue
+			}
+			v := n
+			if v < 0 {
+				v = -v
+			}
+			cur = append(cur, MkLit(Var(v-1), n < 0))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("sat: reading DIMACS: %w", err)
+	}
+	if len(cur) > 0 {
+		return nil, fmt.Errorf("sat: unterminated clause %v", cur)
+	}
+	if declaredVars > f.NumVars {
+		f.NumVars = declaredVars
+	}
+	return f, nil
+}
+
+// WriteDIMACS emits the formula in DIMACS format.
+func (f *CNF) WriteDIMACS(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "p cnf %d %d\n", f.NumVars, len(f.Clauses)); err != nil {
+		return err
+	}
+	for _, c := range f.Clauses {
+		for _, l := range c {
+			if _, err := fmt.Fprintf(bw, "%s ", l); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(bw, "0"); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

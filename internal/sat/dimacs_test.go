@@ -1,0 +1,114 @@
+package sat
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestParseDIMACSBasic(t *testing.T) {
+	in := `c a comment
+p cnf 3 2
+1 -2 0
+2 3 0
+`
+	f, err := ParseDIMACS(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumVars != 3 || f.NumClauses() != 2 {
+		t.Fatalf("parsed vars=%d clauses=%d", f.NumVars, f.NumClauses())
+	}
+	if f.Clauses[0][0] != PosLit(0) || f.Clauses[0][1] != NegLit(1) {
+		t.Fatalf("clause 0 = %v", f.Clauses[0])
+	}
+}
+
+func TestParseDIMACSMultilineClause(t *testing.T) {
+	in := "p cnf 2 1\n1\n2 0\n"
+	f, err := ParseDIMACS(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumClauses() != 1 || len(f.Clauses[0]) != 2 {
+		t.Fatalf("parsed %v", f.Clauses)
+	}
+}
+
+func TestParseDIMACSErrors(t *testing.T) {
+	cases := []string{
+		"p cnf x 2\n1 0\n",
+		"p dnf 1 1\n1 0\n",
+		"p cnf 1 1\n1 z 0\n",
+		"p cnf 1 1\n1\n", // unterminated clause
+	}
+	for _, in := range cases {
+		if _, err := ParseDIMACS(strings.NewReader(in)); err == nil {
+			t.Errorf("input %q: expected error", in)
+		}
+	}
+}
+
+func TestDIMACSRoundTrip(t *testing.T) {
+	f := randomCNF(10, 30, 3, 11)
+	var buf bytes.Buffer
+	if err := f.WriteDIMACS(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g, err := ParseDIMACS(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVars != f.NumVars || g.NumClauses() != f.NumClauses() {
+		t.Fatalf("roundtrip mismatch: vars %d/%d clauses %d/%d",
+			g.NumVars, f.NumVars, g.NumClauses(), f.NumClauses())
+	}
+	for i := range f.Clauses {
+		for j := range f.Clauses[i] {
+			if f.Clauses[i][j] != g.Clauses[i][j] {
+				t.Fatalf("clause %d differs: %v vs %v", i, f.Clauses[i], g.Clauses[i])
+			}
+		}
+	}
+}
+
+func TestCNFEval(t *testing.T) {
+	f := &CNF{}
+	f.AddClause(PosLit(0), NegLit(1))
+	if !f.Eval([]bool{true, true}) {
+		t.Error("model {t,t} should satisfy (x ∨ ¬y)")
+	}
+	if f.Eval([]bool{false, true}) {
+		t.Error("model {f,t} should falsify (x ∨ ¬y)")
+	}
+}
+
+func TestCountModels(t *testing.T) {
+	f := &CNF{}
+	f.AddClause(PosLit(0), PosLit(1))
+	if got := CountModels(f, 2); got != 3 {
+		t.Fatalf("CountModels = %d, want 3", got)
+	}
+}
+
+func TestSolveBruteSat(t *testing.T) {
+	f := &CNF{}
+	f.AddClause(PosLit(0), PosLit(1))
+	f.AddClause(NegLit(0))
+	status, model := SolveBrute(f)
+	if status != StatusSat {
+		t.Fatalf("status = %v", status)
+	}
+	if model[0] || !model[1] {
+		t.Fatalf("model = %v, want [false true]", model)
+	}
+}
+
+func TestSolveBruteUnsat(t *testing.T) {
+	f := &CNF{}
+	f.AddClause(PosLit(0))
+	f.AddClause(NegLit(0))
+	if status, _ := SolveBrute(f); status != StatusUnsat {
+		t.Fatalf("status = %v, want UNSAT", status)
+	}
+}

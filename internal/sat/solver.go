@@ -1,0 +1,629 @@
+package sat
+
+import (
+	"errors"
+	"sort"
+)
+
+// ErrAddAfterUnsat is returned by AddClause once the formula is known
+// unsatisfiable at the root level.
+var ErrAddAfterUnsat = errors.New("sat: clause added to a solver already proven unsat")
+
+type clause struct {
+	lits     []Lit
+	learnt   bool
+	activity float64
+}
+
+type watcher struct {
+	c       *clause
+	blocker Lit // a literal whose truth satisfies the clause cheaply
+}
+
+// Options tunes solver behaviour. The zero value selects production
+// defaults (VSIDS on, restarts on, clause deletion on).
+type Options struct {
+	// DisableVSIDS branches on the lowest-indexed unassigned variable
+	// instead of activity order. Used by the heuristic ablation bench.
+	DisableVSIDS bool
+	// DisableRestarts turns off Luby restarts.
+	DisableRestarts bool
+	// DisablePhaseSaving always decides the negative polarity first.
+	DisablePhaseSaving bool
+	// MaxConflicts aborts the search with StatusUnknown after this many
+	// conflicts (0 = unlimited).
+	MaxConflicts int64
+}
+
+// Solver is a CDCL SAT solver. Create with NewSolver, add variables with
+// NewVar and clauses with AddClause, then call Solve. After a SAT answer,
+// Value reads the model; more clauses may then be added (e.g. blocking
+// clauses for model enumeration) and Solve called again.
+type Solver struct {
+	opts Options
+
+	clauses []*clause // problem clauses
+	learnts []*clause
+
+	watches [][]watcher // indexed by Lit: clauses watching l.Not() ... see attach
+
+	assigns  []LBool // indexed by Var
+	level    []int
+	reason   []*clause
+	activity []float64
+	phase    []bool // saved polarity: true = last assigned true
+
+	trail    []Lit
+	trailLim []int
+	qhead    int
+
+	order  *varHeap
+	varInc float64
+
+	claInc float64
+
+	ok    bool // false once UNSAT at root level
+	stats Stats
+
+	// scratch buffers for analyze
+	seen      []bool
+	analyzeCl []Lit
+	clearList []Lit
+}
+
+// NewSolver returns a solver with default options.
+func NewSolver() *Solver { return NewSolverWithOptions(Options{}) }
+
+// NewSolverWithOptions returns a solver with the given tuning options.
+func NewSolverWithOptions(opts Options) *Solver {
+	s := &Solver{opts: opts, varInc: 1, claInc: 1, ok: true}
+	s.order = newVarHeap(&s.activity)
+	return s
+}
+
+// NumVars returns the number of variables created so far.
+func (s *Solver) NumVars() int { return len(s.assigns) }
+
+// NumClauses returns the number of problem (non-learnt) clauses.
+func (s *Solver) NumClauses() int { return len(s.clauses) }
+
+// NumLearnts returns the current number of learnt clauses.
+func (s *Solver) NumLearnts() int { return len(s.learnts) }
+
+// Stats returns a copy of the solver counters.
+func (s *Solver) Stats() Stats { return s.stats }
+
+// NewVar allocates a fresh variable and returns it.
+func (s *Solver) NewVar() Var {
+	v := Var(len(s.assigns))
+	s.assigns = append(s.assigns, Undef)
+	s.level = append(s.level, -1)
+	s.reason = append(s.reason, nil)
+	s.activity = append(s.activity, 0)
+	s.phase = append(s.phase, false)
+	s.seen = append(s.seen, false)
+	s.watches = append(s.watches, nil, nil)
+	s.order.insert(v)
+	return v
+}
+
+// NewVars allocates n fresh variables and returns the first one.
+func (s *Solver) NewVars(n int) Var {
+	first := Var(len(s.assigns))
+	for i := 0; i < n; i++ {
+		s.NewVar()
+	}
+	return first
+}
+
+func (s *Solver) valueLit(l Lit) LBool {
+	b := s.assigns[l.Var()]
+	if l.Neg() {
+		return b.Not()
+	}
+	return b
+}
+
+// Value returns the model value of v after a SAT answer (Undef if the
+// variable was never assigned, which can happen for variables not
+// occurring in any clause).
+func (s *Solver) Value(v Var) LBool { return s.assigns[v] }
+
+// ValueLit returns the model value of a literal after a SAT answer.
+func (s *Solver) ValueLit(l Lit) LBool { return s.valueLit(l) }
+
+func (s *Solver) decisionLevel() int { return len(s.trailLim) }
+
+// AddClause adds a clause over the given literals. It returns
+// ErrAddAfterUnsat if the solver is already in an unsatisfiable state,
+// and silently strengthens/discards tautological or falsified input:
+// duplicate literals are merged, true clauses dropped, false literals
+// removed (at root level). Adding the empty clause makes the formula
+// unsat. Calling AddClause after a SAT answer resets the search state and
+// invalidates the model, so read Model first when enumerating.
+func (s *Solver) AddClause(lits ...Lit) error {
+	if !s.ok {
+		return ErrAddAfterUnsat
+	}
+	if s.decisionLevel() != 0 {
+		s.backtrack(0)
+	}
+	ls := append([]Lit(nil), lits...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i] < ls[j] })
+	out := ls[:0]
+	var prev Lit = LitUndef
+	for _, l := range ls {
+		if l.Var() < 0 || int(l.Var()) >= s.NumVars() {
+			panic("sat: literal over undeclared variable")
+		}
+		if l == prev {
+			continue // duplicate
+		}
+		if prev != LitUndef && l == prev.Not() {
+			return nil // tautology p ∨ ¬p
+		}
+		switch s.valueLit(l) {
+		case True:
+			return nil // already satisfied at root
+		case False:
+			continue // falsified at root: drop literal
+		}
+		out = append(out, l)
+		prev = l
+	}
+	switch len(out) {
+	case 0:
+		s.ok = false
+		return nil
+	case 1:
+		s.uncheckedEnqueue(out[0], nil)
+		if s.propagate() != nil {
+			s.ok = false
+		}
+		return nil
+	}
+	c := &clause{lits: out}
+	s.clauses = append(s.clauses, c)
+	s.attach(c)
+	return nil
+}
+
+// attach registers the first two literals of c as watched.
+func (s *Solver) attach(c *clause) {
+	// watches[l] holds clauses that must be inspected when l becomes
+	// true-negated, i.e. when the watched literal l.Not() is falsified.
+	l0, l1 := c.lits[0], c.lits[1]
+	s.watches[l0.Not()] = append(s.watches[l0.Not()], watcher{c: c, blocker: l1})
+	s.watches[l1.Not()] = append(s.watches[l1.Not()], watcher{c: c, blocker: l0})
+}
+
+func (s *Solver) detach(c *clause) {
+	for _, l := range []Lit{c.lits[0].Not(), c.lits[1].Not()} {
+		ws := s.watches[l]
+		for i := range ws {
+			if ws[i].c == c {
+				ws[i] = ws[len(ws)-1]
+				s.watches[l] = ws[:len(ws)-1]
+				break
+			}
+		}
+	}
+}
+
+func (s *Solver) uncheckedEnqueue(l Lit, from *clause) {
+	v := l.Var()
+	if l.Neg() {
+		s.assigns[v] = False
+	} else {
+		s.assigns[v] = True
+	}
+	s.level[v] = s.decisionLevel()
+	s.reason[v] = from
+	s.phase[v] = !l.Neg()
+	s.trail = append(s.trail, l)
+}
+
+// propagate performs unit propagation; it returns the conflicting clause
+// or nil.
+func (s *Solver) propagate() *clause {
+	for s.qhead < len(s.trail) {
+		p := s.trail[s.qhead] // p is true; clauses watching p must move
+		s.qhead++
+		s.stats.Propagations++
+		ws := s.watches[p]
+		kept := ws[:0]
+		var conflict *clause
+		for i := 0; i < len(ws); i++ {
+			w := ws[i]
+			if conflict != nil {
+				kept = append(kept, w)
+				continue
+			}
+			if s.valueLit(w.blocker) == True {
+				kept = append(kept, w)
+				continue
+			}
+			c := w.c
+			// Normalize so lits[1] is the falsified watcher (== p.Not()).
+			if c.lits[0] == p.Not() {
+				c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+			}
+			first := c.lits[0]
+			if first != w.blocker && s.valueLit(first) == True {
+				kept = append(kept, watcher{c: c, blocker: first})
+				continue
+			}
+			// Look for a new literal to watch.
+			moved := false
+			for k := 2; k < len(c.lits); k++ {
+				if s.valueLit(c.lits[k]) != False {
+					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
+					nl := c.lits[1].Not()
+					s.watches[nl] = append(s.watches[nl], watcher{c: c, blocker: first})
+					moved = true
+					break
+				}
+			}
+			if moved {
+				continue
+			}
+			// Clause is unit or conflicting.
+			kept = append(kept, watcher{c: c, blocker: first})
+			if s.valueLit(first) == False {
+				conflict = c
+				s.qhead = len(s.trail)
+			} else {
+				s.uncheckedEnqueue(first, c)
+			}
+		}
+		s.watches[p] = kept
+		if conflict != nil {
+			return conflict
+		}
+	}
+	return nil
+}
+
+func (s *Solver) bumpVar(v Var) {
+	s.activity[v] += s.varInc
+	if s.activity[v] > 1e100 {
+		for i := range s.activity {
+			s.activity[i] *= 1e-100
+		}
+		s.varInc *= 1e-100
+	}
+	s.order.update(v)
+}
+
+func (s *Solver) decayVar() { s.varInc /= 0.95 }
+
+func (s *Solver) bumpClause(c *clause) {
+	c.activity += s.claInc
+	if c.activity > 1e20 {
+		for _, lc := range s.learnts {
+			lc.activity *= 1e-20
+		}
+		s.claInc *= 1e-20
+	}
+}
+
+func (s *Solver) decayClause() { s.claInc /= 0.999 }
+
+// analyze performs first-UIP conflict analysis. It fills s.analyzeCl with
+// the learnt clause (asserting literal first) and returns the backtrack
+// level.
+func (s *Solver) analyze(conflict *clause) int {
+	s.analyzeCl = s.analyzeCl[:0]
+	s.analyzeCl = append(s.analyzeCl, LitUndef) // room for the asserting literal
+	counter := 0
+	var p Lit = LitUndef
+	idx := len(s.trail) - 1
+	c := conflict
+	for {
+		if c.learnt {
+			s.bumpClause(c)
+		}
+		start := 0
+		if p != LitUndef {
+			start = 1 // lits[0] is p itself when following a reason
+		}
+		for _, q := range c.lits[start:] {
+			v := q.Var()
+			if s.seen[v] || s.level[v] == 0 {
+				continue
+			}
+			s.seen[v] = true
+			s.bumpVar(v)
+			if s.level[v] == s.decisionLevel() {
+				counter++
+			} else {
+				s.analyzeCl = append(s.analyzeCl, q)
+			}
+		}
+		// Select next literal on the trail to expand.
+		for !s.seen[s.trail[idx].Var()] {
+			idx--
+		}
+		p = s.trail[idx]
+		idx--
+		s.seen[p.Var()] = false
+		counter--
+		if counter == 0 {
+			break
+		}
+		c = s.reason[p.Var()]
+	}
+	s.analyzeCl[0] = p.Not()
+
+	// Mark remaining seen for minimization; remember every mark so all of
+	// them — including literals dropped by minimization — are cleared at
+	// the end.
+	for _, l := range s.analyzeCl[1:] {
+		s.seen[l.Var()] = true
+		s.clearList = append(s.clearList, l)
+	}
+	// Recursive clause minimization: drop literals implied by the rest.
+	j := 1
+	for i := 1; i < len(s.analyzeCl); i++ {
+		l := s.analyzeCl[i]
+		if s.reason[l.Var()] == nil || !s.litRedundant(l, 0) {
+			s.analyzeCl[j] = l
+			j++
+		}
+	}
+	s.analyzeCl = s.analyzeCl[:j]
+
+	// Compute backtrack level = max level among lits[1:].
+	btLevel := 0
+	if len(s.analyzeCl) > 1 {
+		maxI := 1
+		for i := 2; i < len(s.analyzeCl); i++ {
+			if s.level[s.analyzeCl[i].Var()] > s.level[s.analyzeCl[maxI].Var()] {
+				maxI = i
+			}
+		}
+		s.analyzeCl[1], s.analyzeCl[maxI] = s.analyzeCl[maxI], s.analyzeCl[1]
+		btLevel = s.level[s.analyzeCl[1].Var()]
+	}
+	// Clear seen marks (including any set during litRedundant).
+	for _, l := range s.analyzeCl {
+		s.seen[l.Var()] = false
+	}
+	for _, l := range s.clearList {
+		s.seen[l.Var()] = false
+	}
+	s.clearList = s.clearList[:0]
+	return btLevel
+}
+
+// litRedundant reports whether literal l is implied by the other literals
+// of the learnt clause (limited-depth recursive minimization).
+func (s *Solver) litRedundant(l Lit, depth int) bool {
+	if depth > 16 {
+		return false
+	}
+	c := s.reason[l.Var()]
+	if c == nil {
+		return false
+	}
+	for _, q := range c.lits {
+		if q.Var() == l.Var() {
+			continue
+		}
+		v := q.Var()
+		if s.level[v] == 0 || s.seen[v] {
+			continue
+		}
+		if s.reason[v] == nil {
+			return false
+		}
+		if !s.litRedundant(q, depth+1) {
+			return false
+		}
+		// q proved redundant: mark so siblings can reuse the result.
+		s.seen[v] = true
+		s.clearList = append(s.clearList, q)
+	}
+	return true
+}
+
+// backtrack undoes assignments above the given level.
+func (s *Solver) backtrack(toLevel int) {
+	if s.decisionLevel() <= toLevel {
+		return
+	}
+	bound := s.trailLim[toLevel]
+	for i := len(s.trail) - 1; i >= bound; i-- {
+		v := s.trail[i].Var()
+		s.assigns[v] = Undef
+		s.reason[v] = nil
+		s.level[v] = -1
+		s.order.insert(v)
+	}
+	s.trail = s.trail[:bound]
+	s.trailLim = s.trailLim[:toLevel]
+	s.qhead = len(s.trail)
+}
+
+// pickBranchVar selects the next decision variable, or -1 if all assigned.
+func (s *Solver) pickBranchVar() Var {
+	if s.opts.DisableVSIDS {
+		for v := 0; v < s.NumVars(); v++ {
+			if s.assigns[v] == Undef {
+				return Var(v)
+			}
+		}
+		return -1
+	}
+	for !s.order.empty() {
+		v := s.order.removeMax()
+		if s.assigns[v] == Undef {
+			return v
+		}
+	}
+	return -1
+}
+
+// reduceDB removes the less active half of the learnt clauses (never
+// clauses that are the reason of a current assignment, never binaries).
+func (s *Solver) reduceDB() {
+	sort.Slice(s.learnts, func(i, j int) bool {
+		return s.learnts[i].activity > s.learnts[j].activity
+	})
+	locked := make(map[*clause]bool)
+	for _, r := range s.reason {
+		if r != nil {
+			locked[r] = true
+		}
+	}
+	keep := s.learnts[:0]
+	limit := len(s.learnts) / 2
+	for i, c := range s.learnts {
+		if i < limit || len(c.lits) == 2 || locked[c] {
+			keep = append(keep, c)
+		} else {
+			s.detach(c)
+			s.stats.Deleted++
+		}
+	}
+	s.learnts = keep
+}
+
+// luby returns the i-th element (1-based) of the Luby restart sequence
+// 1,1,2,1,1,2,4,1,1,2,1,1,2,4,8,...
+func luby(i int64) int64 {
+	x := i - 1
+	// Find the finite subsequence containing x and its size.
+	size, seq := int64(1), 0
+	for size < x+1 {
+		seq++
+		size = 2*size + 1
+	}
+	for size-1 != x {
+		size = (size - 1) >> 1
+		seq--
+		x %= size
+	}
+	return int64(1) << uint(seq)
+}
+
+// Solve runs the CDCL search and returns StatusSat, StatusUnsat, or
+// StatusUnknown when Options.MaxConflicts is exceeded.
+func (s *Solver) Solve() Status { return s.SolveAssuming() }
+
+// SolveAssuming solves under the given assumption literals: they are
+// decided first and never flipped, so an UNSAT answer means "unsat
+// under these assumptions" while the clause database stays reusable —
+// the standard incremental-SAT interface.
+func (s *Solver) SolveAssuming(assumptions ...Lit) Status {
+	if !s.ok {
+		return StatusUnsat
+	}
+	s.backtrack(0)
+	if conflict := s.propagate(); conflict != nil {
+		s.ok = false
+		return StatusUnsat
+	}
+	for _, a := range assumptions {
+		switch s.valueLit(a) {
+		case True:
+			continue
+		case False:
+			s.backtrack(0)
+			return StatusUnsat
+		}
+		s.trailLim = append(s.trailLim, len(s.trail))
+		s.uncheckedEnqueue(a, nil)
+		if s.propagate() != nil {
+			s.backtrack(0)
+			return StatusUnsat
+		}
+	}
+	// The floor is the decision level actually created: duplicate or
+	// already-satisfied assumptions open no level of their own.
+	return s.search(s.decisionLevel())
+}
+
+// search runs the CDCL loop, never backtracking past floorLevel (the
+// assumption levels).
+func (s *Solver) search(floorLevel int) Status {
+	restart := int64(1)
+	budget := int64(100) * luby(restart)
+	conflictsAtRestart := int64(0)
+	maxLearnts := int64(len(s.clauses)/3 + 100)
+	for {
+		conflict := s.propagate()
+		if conflict != nil {
+			s.stats.Conflicts++
+			conflictsAtRestart++
+			if s.decisionLevel() <= floorLevel {
+				if floorLevel == 0 {
+					s.ok = false
+				} else {
+					s.backtrack(0)
+				}
+				return StatusUnsat
+			}
+			btLevel := s.analyze(conflict)
+			learnt := append([]Lit(nil), s.analyzeCl...)
+			if btLevel < floorLevel {
+				btLevel = floorLevel
+			}
+			s.backtrack(btLevel)
+			if len(learnt) == 1 {
+				s.uncheckedEnqueue(learnt[0], nil)
+			} else {
+				c := &clause{lits: learnt, learnt: true, activity: s.claInc}
+				s.learnts = append(s.learnts, c)
+				s.stats.Learnt++
+				s.attach(c)
+				s.uncheckedEnqueue(learnt[0], c)
+			}
+			s.decayVar()
+			s.decayClause()
+			if s.opts.MaxConflicts > 0 && s.stats.Conflicts >= s.opts.MaxConflicts {
+				s.backtrack(0)
+				return StatusUnknown
+			}
+			continue
+		}
+		if !s.opts.DisableRestarts && conflictsAtRestart >= budget {
+			s.stats.Restarts++
+			restart++
+			budget = int64(100) * luby(restart)
+			conflictsAtRestart = 0
+			s.backtrack(floorLevel)
+			continue
+		}
+		if int64(len(s.learnts)) >= maxLearnts+int64(len(s.trail)) {
+			s.reduceDB()
+			maxLearnts += maxLearnts / 10
+		}
+		v := s.pickBranchVar()
+		if v < 0 {
+			return StatusSat // all variables assigned, no conflict
+		}
+		s.stats.Decisions++
+		s.trailLim = append(s.trailLim, len(s.trail))
+		neg := !s.phase[v]
+		if s.opts.DisablePhaseSaving {
+			neg = true
+		}
+		s.uncheckedEnqueue(MkLit(v, neg), nil)
+	}
+}
+
+// Model returns the satisfying assignment as a []bool indexed by
+// variable. Unconstrained variables default to false. Only meaningful
+// after Solve returned StatusSat.
+func (s *Solver) Model() []bool {
+	m := make([]bool, s.NumVars())
+	for v := range m {
+		m[v] = s.assigns[v] == True
+	}
+	return m
+}
+
+// ResetSearch backtracks to level 0 so more clauses can be added after a
+// SAT answer (model enumeration).
+func (s *Solver) ResetSearch() { s.backtrack(0) }

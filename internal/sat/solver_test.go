@@ -1,0 +1,484 @@
+package sat
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustAdd(t *testing.T, s *Solver, lits ...Lit) {
+	t.Helper()
+	if err := s.AddClause(lits...); err != nil {
+		t.Fatalf("AddClause(%v): %v", lits, err)
+	}
+}
+
+func TestEmptyFormulaSat(t *testing.T) {
+	s := NewSolver()
+	if got := s.Solve(); got != StatusSat {
+		t.Fatalf("empty formula: %v", got)
+	}
+}
+
+func TestSingleUnit(t *testing.T) {
+	s := NewSolver()
+	v := s.NewVar()
+	mustAdd(t, s, PosLit(v))
+	if s.Solve() != StatusSat {
+		t.Fatal("unit clause unsat?")
+	}
+	if s.Value(v) != True {
+		t.Fatalf("value = %v, want true", s.Value(v))
+	}
+}
+
+func TestContradictionUnsat(t *testing.T) {
+	s := NewSolver()
+	v := s.NewVar()
+	mustAdd(t, s, PosLit(v))
+	mustAdd(t, s, NegLit(v))
+	if s.Solve() != StatusUnsat {
+		t.Fatal("x ∧ ¬x should be unsat")
+	}
+}
+
+func TestEmptyClauseUnsat(t *testing.T) {
+	s := NewSolver()
+	s.NewVar()
+	mustAdd(t, s) // empty clause
+	if s.Solve() != StatusUnsat {
+		t.Fatal("empty clause should make the formula unsat")
+	}
+	if err := s.AddClause(); !errors.Is(err, ErrAddAfterUnsat) {
+		t.Fatalf("err = %v, want ErrAddAfterUnsat", err)
+	}
+}
+
+func TestTautologyDropped(t *testing.T) {
+	s := NewSolver()
+	v := s.NewVar()
+	mustAdd(t, s, PosLit(v), NegLit(v))
+	if s.NumClauses() != 0 {
+		t.Fatal("tautology should not be stored")
+	}
+	if s.Solve() != StatusSat {
+		t.Fatal("tautology-only formula should be sat")
+	}
+}
+
+func TestDuplicateLiteralsMerged(t *testing.T) {
+	s := NewSolver()
+	v := s.NewVar()
+	w := s.NewVar()
+	mustAdd(t, s, PosLit(v), PosLit(v), PosLit(w))
+	if s.Solve() != StatusSat {
+		t.Fatal("sat expected")
+	}
+}
+
+func TestImplicationChain(t *testing.T) {
+	// x0 ∧ (x0→x1) ∧ (x1→x2) ... forces all true.
+	s := NewSolver()
+	const n = 20
+	vs := make([]Var, n)
+	for i := range vs {
+		vs[i] = s.NewVar()
+	}
+	mustAdd(t, s, PosLit(vs[0]))
+	for i := 0; i+1 < n; i++ {
+		mustAdd(t, s, NegLit(vs[i]), PosLit(vs[i+1]))
+	}
+	if s.Solve() != StatusSat {
+		t.Fatal("chain should be sat")
+	}
+	for i, v := range vs {
+		if s.Value(v) != True {
+			t.Fatalf("x%d = %v, want true", i, s.Value(v))
+		}
+	}
+}
+
+func TestPigeonhole(t *testing.T) {
+	// PHP(n+1, n) is a classic unsat family that requires real conflict
+	// analysis to finish quickly.
+	for _, n := range []int{3, 4, 5} {
+		s := NewSolver()
+		// p[i][j]: pigeon i in hole j.
+		p := make([][]Var, n+1)
+		for i := range p {
+			p[i] = make([]Var, n)
+			for j := range p[i] {
+				p[i][j] = s.NewVar()
+			}
+		}
+		for i := 0; i <= n; i++ {
+			lits := make([]Lit, n)
+			for j := 0; j < n; j++ {
+				lits[j] = PosLit(p[i][j])
+			}
+			mustAdd(t, s, lits...)
+		}
+		for j := 0; j < n; j++ {
+			for i := 0; i <= n; i++ {
+				for k := i + 1; k <= n; k++ {
+					mustAdd(t, s, NegLit(p[i][j]), NegLit(p[k][j]))
+				}
+			}
+		}
+		if got := s.Solve(); got != StatusUnsat {
+			t.Fatalf("PHP(%d,%d) = %v, want UNSAT", n+1, n, got)
+		}
+	}
+}
+
+func TestGraphColoringSat(t *testing.T) {
+	// A 5-cycle is 3-colorable but not 2-colorable.
+	solveCycleColoring := func(colors int) Status {
+		s := NewSolver()
+		const n = 5
+		x := make([][]Var, n)
+		for i := range x {
+			x[i] = make([]Var, colors)
+			for c := range x[i] {
+				x[i][c] = s.NewVar()
+			}
+		}
+		for i := 0; i < n; i++ {
+			lits := make([]Lit, colors)
+			for c := 0; c < colors; c++ {
+				lits[c] = PosLit(x[i][c])
+			}
+			mustAdd(t, s, lits...)
+		}
+		for i := 0; i < n; i++ {
+			j := (i + 1) % n
+			for c := 0; c < colors; c++ {
+				mustAdd(t, s, NegLit(x[i][c]), NegLit(x[j][c]))
+			}
+		}
+		return s.Solve()
+	}
+	if solveCycleColoring(3) != StatusSat {
+		t.Error("C5 should be 3-colorable")
+	}
+	if solveCycleColoring(2) != StatusUnsat {
+		t.Error("C5 should not be 2-colorable")
+	}
+}
+
+func TestModelSatisfiesFormula(t *testing.T) {
+	f := randomCNF(30, 120, 3, 99)
+	s := NewSolver()
+	if err := f.LoadInto(s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Solve() == StatusSat {
+		if !f.Eval(s.Model()) {
+			t.Fatal("returned model does not satisfy the formula")
+		}
+	}
+}
+
+func TestIncrementalEnumeration(t *testing.T) {
+	// Enumerate all 4 models of (x ∨ y): block each model and re-solve.
+	s := NewSolver()
+	x := s.NewVar()
+	y := s.NewVar()
+	mustAdd(t, s, PosLit(x), PosLit(y))
+	count := 0
+	for s.Solve() == StatusSat {
+		count++
+		if count > 10 {
+			t.Fatal("enumeration runaway")
+		}
+		m := s.Model()
+		block := make([]Lit, 2)
+		for i, v := range []Var{x, y} {
+			block[i] = MkLit(v, m[v]) // negate the model
+		}
+		mustAdd(t, s, block...)
+	}
+	if count != 3 {
+		t.Fatalf("enumerated %d models of (x ∨ y), want 3", count)
+	}
+}
+
+func TestMaxConflictsBudget(t *testing.T) {
+	s := NewSolverWithOptions(Options{MaxConflicts: 1})
+	// PHP(5,4) needs more than one conflict.
+	n := 4
+	p := make([][]Var, n+1)
+	for i := range p {
+		p[i] = make([]Var, n)
+		for j := range p[i] {
+			p[i][j] = s.NewVar()
+		}
+	}
+	for i := 0; i <= n; i++ {
+		lits := make([]Lit, n)
+		for j := 0; j < n; j++ {
+			lits[j] = PosLit(p[i][j])
+		}
+		mustAdd(t, s, lits...)
+	}
+	for j := 0; j < n; j++ {
+		for i := 0; i <= n; i++ {
+			for k := i + 1; k <= n; k++ {
+				mustAdd(t, s, NegLit(p[i][j]), NegLit(p[k][j]))
+			}
+		}
+	}
+	if got := s.Solve(); got != StatusUnknown {
+		t.Fatalf("budgeted solve = %v, want UNKNOWN", got)
+	}
+}
+
+func TestOptionsVariants(t *testing.T) {
+	// All heuristic variants must stay sound.
+	variants := []Options{
+		{},
+		{DisableVSIDS: true},
+		{DisableRestarts: true},
+		{DisablePhaseSaving: true},
+		{DisableVSIDS: true, DisableRestarts: true, DisablePhaseSaving: true},
+	}
+	f := randomCNF(20, 85, 3, 5)
+	want, _ := SolveBrute(f)
+	for i, opt := range variants {
+		s := NewSolverWithOptions(opt)
+		if err := f.LoadInto(s); err != nil {
+			t.Fatal(err)
+		}
+		if got := s.Solve(); got != want {
+			t.Errorf("variant %d: got %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestStatsPopulated(t *testing.T) {
+	f := randomCNF(25, 106, 3, 7)
+	s := NewSolver()
+	if err := f.LoadInto(s); err != nil {
+		t.Fatal(err)
+	}
+	s.Solve()
+	st := s.Stats()
+	if st.Decisions == 0 && st.Propagations == 0 {
+		t.Error("stats never incremented")
+	}
+}
+
+func TestLuby(t *testing.T) {
+	want := []int64{1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8}
+	for i, w := range want {
+		if got := luby(int64(i + 1)); got != w {
+			t.Fatalf("luby(%d) = %d, want %d", i+1, got, w)
+		}
+	}
+}
+
+// randomCNF builds a random k-CNF with the given clause count.
+func randomCNF(vars, clauses, k int, seed int64) *CNF {
+	rng := rand.New(rand.NewSource(seed))
+	f := &CNF{NumVars: vars}
+	for i := 0; i < clauses; i++ {
+		seen := map[int]bool{}
+		var c []Lit
+		for len(c) < k {
+			v := rng.Intn(vars)
+			if seen[v] {
+				continue
+			}
+			seen[v] = true
+			c = append(c, MkLit(Var(v), rng.Intn(2) == 0))
+		}
+		f.AddClause(c...)
+	}
+	return f
+}
+
+// Property: CDCL and DPLL agree on satisfiability of random small CNFs,
+// and any SAT model actually satisfies the formula.
+func TestCDCLAgreesWithDPLLProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		vars := 5 + rng.Intn(9)
+		clauses := vars * (3 + rng.Intn(3))
+		cnf := randomCNF(vars, clauses, 3, seed)
+		bruteStatus, _ := SolveBrute(cnf)
+		s := NewSolver()
+		if err := cnf.LoadInto(s); err != nil {
+			return false
+		}
+		got := s.Solve()
+		if got != bruteStatus {
+			return false
+		}
+		if got == StatusSat && !cnf.Eval(s.Model()) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: mixed clause sizes (1..4) behave identically too — exercises
+// unit handling and binary-clause watches.
+func TestMixedClauseSizesProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed ^ 0x9e3779b9))
+		vars := 4 + rng.Intn(8)
+		cnf := &CNF{NumVars: vars}
+		nc := vars * 3
+		for i := 0; i < nc; i++ {
+			k := 1 + rng.Intn(4)
+			var c []Lit
+			seen := map[int]bool{}
+			for len(c) < k {
+				v := rng.Intn(vars)
+				if seen[v] {
+					continue
+				}
+				seen[v] = true
+				c = append(c, MkLit(Var(v), rng.Intn(2) == 0))
+			}
+			cnf.AddClause(c...)
+		}
+		bruteStatus, _ := SolveBrute(cnf)
+		s := NewSolver()
+		if err := cnf.LoadInto(s); err != nil {
+			return false
+		}
+		got := s.Solve()
+		if got != bruteStatus {
+			return false
+		}
+		return got != StatusSat || cnf.Eval(s.Model())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLitHelpers(t *testing.T) {
+	v := Var(5)
+	p := PosLit(v)
+	n := NegLit(v)
+	if p.Var() != v || n.Var() != v {
+		t.Fatal("Var roundtrip")
+	}
+	if p.Neg() || !n.Neg() {
+		t.Fatal("Neg flags")
+	}
+	if p.Not() != n || n.Not() != p {
+		t.Fatal("Not involution")
+	}
+	if p.String() != "6" || n.String() != "-6" {
+		t.Fatalf("String: %s %s", p, n)
+	}
+	if LitUndef.String() != "?" {
+		t.Fatal("LitUndef string")
+	}
+}
+
+func TestLBool(t *testing.T) {
+	if True.Not() != False || False.Not() != True || Undef.Not() != Undef {
+		t.Fatal("LBool.Not")
+	}
+	if True.String() != "true" || False.String() != "false" || Undef.String() != "undef" {
+		t.Fatal("LBool.String")
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	if StatusSat.String() != "SAT" || StatusUnsat.String() != "UNSAT" || StatusUnknown.String() != "UNKNOWN" {
+		t.Fatal("Status.String")
+	}
+}
+
+func TestSolveAssumingBasic(t *testing.T) {
+	s := NewSolver()
+	x := s.NewVar()
+	y := s.NewVar()
+	mustAdd(t, s, PosLit(x), PosLit(y)) // x ∨ y
+	if s.SolveAssuming(NegLit(x)) != StatusSat {
+		t.Fatal("assuming ¬x should be sat (y true)")
+	}
+	if s.Value(y) != True {
+		t.Fatal("y must be true under ¬x")
+	}
+	if s.SolveAssuming(NegLit(x), NegLit(y)) != StatusUnsat {
+		t.Fatal("assuming ¬x ∧ ¬y should be unsat")
+	}
+	// The solver stays reusable: without assumptions it is still sat.
+	if s.Solve() != StatusSat {
+		t.Fatal("solver not reusable after assumption UNSAT")
+	}
+}
+
+func TestSolveAssumingConflictingAssumptions(t *testing.T) {
+	s := NewSolver()
+	x := s.NewVar()
+	if s.SolveAssuming(PosLit(x), NegLit(x)) != StatusUnsat {
+		t.Fatal("contradictory assumptions should be unsat")
+	}
+	if s.Solve() != StatusSat {
+		t.Fatal("solver must remain usable")
+	}
+}
+
+func TestSolveAssumingAgainstBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed ^ 0x51ab))
+		vars := 5 + rng.Intn(6)
+		cnf := randomCNF(vars, vars*3, 3, seed)
+		s := NewSolver()
+		if err := cnf.LoadInto(s); err != nil {
+			return false
+		}
+		// Random assumptions over two variables.
+		a1 := MkLit(Var(rng.Intn(vars)), rng.Intn(2) == 0)
+		a2 := MkLit(Var(rng.Intn(vars)), rng.Intn(2) == 0)
+		got := s.SolveAssuming(a1, a2)
+		// Brute force: conjoin the assumptions as unit clauses.
+		ref := &CNF{NumVars: cnf.NumVars}
+		for _, c := range cnf.Clauses {
+			ref.AddClause(c...)
+		}
+		ref.AddClause(a1)
+		ref.AddClause(a2)
+		want, _ := SolveBrute(ref)
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveAssumingRepeatedIncremental(t *testing.T) {
+	// Incremental probing: solve the same instance under each single
+	// assumption; results must match one-shot solvers.
+	cnf := randomCNF(12, 40, 3, 77)
+	inc := NewSolver()
+	if err := cnf.LoadInto(inc); err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < cnf.NumVars; v++ {
+		for _, neg := range []bool{false, true} {
+			a := MkLit(Var(v), neg)
+			got := inc.SolveAssuming(a)
+			ref := &CNF{NumVars: cnf.NumVars}
+			for _, c := range cnf.Clauses {
+				ref.AddClause(c...)
+			}
+			ref.AddClause(a)
+			want, _ := SolveBrute(ref)
+			if got != want {
+				t.Fatalf("assumption %v: got %v want %v", a, got, want)
+			}
+		}
+	}
+}

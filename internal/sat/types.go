@@ -1,0 +1,116 @@
+// Package sat implements a complete CDCL boolean satisfiability solver.
+//
+// It is the bottom layer of the verification stack: the relational logic
+// kernel (internal/relalg) translates bounded first-order relational
+// formulas into CNF exactly the way the Alloy Analyzer's Kodkod engine
+// does, and this solver plays the role of MiniSat. The implementation
+// uses the standard modern toolkit: two-watched-literal propagation,
+// VSIDS branching with phase saving, first-UIP conflict analysis with
+// recursive clause minimization, Luby restarts, and learnt-clause
+// database reduction.
+package sat
+
+import "fmt"
+
+// Var is a 0-based propositional variable index.
+type Var int
+
+// Lit is a literal: variable 2*v for the positive polarity, 2*v+1 for the
+// negative. The zero Lit is the positive literal of variable 0; use
+// LitUndef for "no literal".
+type Lit int
+
+// LitUndef is the sentinel "no literal" value.
+const LitUndef Lit = -1
+
+// MkLit builds a literal from a variable and a sign (true = negated).
+func MkLit(v Var, neg bool) Lit {
+	if neg {
+		return Lit(2*int(v) + 1)
+	}
+	return Lit(2 * int(v))
+}
+
+// PosLit returns the positive literal of v.
+func PosLit(v Var) Lit { return MkLit(v, false) }
+
+// NegLit returns the negative literal of v.
+func NegLit(v Var) Lit { return MkLit(v, true) }
+
+// Var returns the literal's variable.
+func (l Lit) Var() Var { return Var(l >> 1) }
+
+// Neg reports whether the literal is negated.
+func (l Lit) Neg() bool { return l&1 == 1 }
+
+// Not returns the complementary literal.
+func (l Lit) Not() Lit { return l ^ 1 }
+
+// String renders the literal in DIMACS style ("3", "-7").
+func (l Lit) String() string {
+	if l == LitUndef {
+		return "?"
+	}
+	if l.Neg() {
+		return fmt.Sprintf("-%d", int(l.Var())+1)
+	}
+	return fmt.Sprintf("%d", int(l.Var())+1)
+}
+
+// LBool is a three-valued boolean: True, False, or Undef.
+type LBool int8
+
+// Three-valued constants. Undef is the zero value so fresh assignment
+// vectors start unassigned.
+const (
+	Undef LBool = 0
+	True  LBool = 1
+	False LBool = -1
+)
+
+// Not returns the three-valued negation.
+func (b LBool) Not() LBool { return -b }
+
+// String renders the truth value.
+func (b LBool) String() string {
+	switch b {
+	case True:
+		return "true"
+	case False:
+		return "false"
+	default:
+		return "undef"
+	}
+}
+
+// Status is the outcome of a Solve call.
+type Status int
+
+// Solve outcomes.
+const (
+	StatusUnknown Status = iota // budget exhausted before an answer
+	StatusSat
+	StatusUnsat
+)
+
+// String renders the status.
+func (s Status) String() string {
+	switch s {
+	case StatusSat:
+		return "SAT"
+	case StatusUnsat:
+		return "UNSAT"
+	default:
+		return "UNKNOWN"
+	}
+}
+
+// Stats aggregates solver counters, reported by Solver.Stats.
+type Stats struct {
+	Conflicts    int64
+	Decisions    int64
+	Propagations int64
+	Restarts     int64
+	Learnt       int64
+	Deleted      int64
+}

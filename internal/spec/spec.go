@@ -1,0 +1,322 @@
+// Package spec provides an Alloy-flavoured modeling surface on top of
+// the relational kernel (internal/relalg): signatures with multiplicity-
+// annotated fields, facts, predicates, assertions, and the run/check
+// commands with per-signature scopes. A Model corresponds to an Alloy
+// module; Check corresponds to "check <assert> for <scope>" and Run to
+// "run <pred> for <scope>". Scopes generate the atom universe and the
+// relation bounds exactly the way the Alloy Analyzer does before handing
+// the problem to Kodkod.
+package spec
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/relalg"
+	"repro/internal/sat"
+)
+
+// Mult is a field multiplicity, mirroring Alloy's one/lone/some/set
+// annotations on field declarations.
+type Mult int
+
+// Field multiplicities.
+const (
+	// One: every owner atom maps to exactly one target.
+	One Mult = iota + 1
+	// Lone: at most one target per owner.
+	Lone
+	// Some: at least one target per owner.
+	Some
+	// Set: unconstrained.
+	Set
+)
+
+// String names the multiplicity.
+func (m Mult) String() string {
+	switch m {
+	case One:
+		return "one"
+	case Lone:
+		return "lone"
+	case Some:
+		return "some"
+	default:
+		return "set"
+	}
+}
+
+// Sig is an Alloy signature: a set of atoms whose size is fixed per
+// command by a scope.
+type Sig struct {
+	Name string
+	rel  *relalg.Relation
+}
+
+// Field is a binary relation from an owner signature to a target
+// signature with a multiplicity, as in "pcp: one Int" or
+// "pconnections: some pnode".
+type Field struct {
+	Name   string
+	Owner  *Sig
+	Target *Sig
+	Mult   Mult
+	rel    *relalg.Relation
+}
+
+// Model is an Alloy module under construction: signatures, fields, and
+// facts.
+type Model struct {
+	name   string
+	sigs   []*Sig
+	fields []*Field
+	facts  []namedFormula
+}
+
+type namedFormula struct {
+	name string
+	// build constructs the formula once sigs/fields are bound; it runs at
+	// command time so facts can quantify over signatures.
+	f relalg.Formula
+}
+
+// NewModel creates an empty model.
+func NewModel(name string) *Model { return &Model{name: name} }
+
+// Name returns the module name.
+func (m *Model) Name() string { return m.name }
+
+// Sig declares a signature.
+func (m *Model) Sig(name string) *Sig {
+	s := &Sig{Name: name, rel: relalg.NewRelation(name, 1)}
+	m.sigs = append(m.sigs, s)
+	return s
+}
+
+// Field declares a binary field from owner to target with the given
+// multiplicity.
+func (m *Model) Field(owner *Sig, name string, target *Sig, mult Mult) *Field {
+	f := &Field{
+		Name:   name,
+		Owner:  owner,
+		Target: target,
+		Mult:   mult,
+		rel:    relalg.NewRelation(owner.Name+"."+name, 2),
+	}
+	m.fields = append(m.fields, f)
+	return f
+}
+
+// Fact adds a named constraint that must hold in every instance.
+func (m *Model) Fact(name string, f relalg.Formula) {
+	m.facts = append(m.facts, namedFormula{name: name, f: f})
+}
+
+// Expr lifts the signature to a relational expression.
+func (s *Sig) Expr() relalg.Expr { return relalg.R(s.rel) }
+
+// Expr lifts the field to a relational expression.
+func (f *Field) Expr() relalg.Expr { return relalg.R(f.rel) }
+
+// Join is v.field — navigation from a quantified variable.
+func (f *Field) Join(v *relalg.Var) relalg.Expr {
+	return relalg.Join(relalg.V(v), relalg.R(f.rel))
+}
+
+// Scope fixes the number of atoms per signature for one command,
+// mirroring "for 3 pnode, 2 vnode".
+type Scope map[*Sig]int
+
+// Command is a prepared run/check invocation.
+type Command struct {
+	model    *Model
+	scope    Scope
+	universe *relalg.Universe
+	bounds   *relalg.Bounds
+	atomsOf  map[*Sig][]string
+}
+
+// Atoms returns the atom names generated for a signature.
+func (c *Command) Atoms(s *Sig) []string { return c.atomsOf[s] }
+
+// Universe returns the generated universe.
+func (c *Command) Universe() *relalg.Universe { return c.universe }
+
+// Bounds returns the generated bounds (exact for signatures, upper
+// bounds products for fields).
+func (c *Command) Bounds() *relalg.Bounds { return c.bounds }
+
+// NewCommand generates the universe and bounds for a scope. Signature
+// atom sets are exact (sigName$0 .. sigName$k-1), field bounds are the
+// full owner×target product — exactly Alloy's default bounds.
+func NewCommand(m *Model, scope Scope) (*Command, error) {
+	var atoms []string
+	atomsOf := make(map[*Sig][]string)
+	for _, s := range m.sigs {
+		n, ok := scope[s]
+		if !ok {
+			return nil, fmt.Errorf("spec: scope missing for sig %s", s.Name)
+		}
+		if n < 0 {
+			return nil, fmt.Errorf("spec: negative scope %d for sig %s", n, s.Name)
+		}
+		for i := 0; i < n; i++ {
+			name := fmt.Sprintf("%s$%d", s.Name, i)
+			atoms = append(atoms, name)
+			atomsOf[s] = append(atomsOf[s], name)
+		}
+	}
+	u := relalg.NewUniverse(atoms...)
+	b := relalg.NewBounds(u)
+	for _, s := range m.sigs {
+		ts := relalg.NewTupleSet(u, 1)
+		for _, a := range atomsOf[s] {
+			ts.AddNames(a)
+		}
+		b.BoundExactly(s.rel, ts)
+	}
+	for _, f := range m.fields {
+		upper := relalg.NewTupleSet(u, 2)
+		for _, oa := range atomsOf[f.Owner] {
+			for _, ta := range atomsOf[f.Target] {
+				upper.AddNames(oa, ta)
+			}
+		}
+		b.BoundUpper(f.rel, upper)
+	}
+	return &Command{model: m, scope: scope, universe: u, bounds: b, atomsOf: atomsOf}, nil
+}
+
+// background conjoins all facts plus the implicit multiplicity and
+// typing constraints of every field.
+func (c *Command) background() relalg.Formula {
+	fs := make([]relalg.Formula, 0, len(c.model.facts)+len(c.model.fields))
+	for _, f := range c.model.fields {
+		v := relalg.NewVar("__" + f.Name)
+		nav := relalg.Join(relalg.V(v), relalg.R(f.rel))
+		var multF relalg.Formula
+		switch f.Mult {
+		case One:
+			multF = relalg.One(nav)
+		case Lone:
+			multF = relalg.Lone(nav)
+		case Some:
+			multF = relalg.Some(nav)
+		default:
+			multF = relalg.TrueF()
+		}
+		fs = append(fs, relalg.ForAll(v, f.Owner.Expr(), multF))
+	}
+	for _, nf := range c.model.facts {
+		fs = append(fs, nf.f)
+	}
+	return relalg.And(fs...)
+}
+
+// Result is the outcome of a command.
+type Result struct {
+	// Satisfiable: for Run, an instance was found; for Check, a
+	// counterexample was found (the assertion does NOT hold).
+	Satisfiable bool
+	// Instance is the found instance/counterexample (nil otherwise).
+	Instance *relalg.Instance
+	// Stats reports translation sizes — the quantity compared by the
+	// paper's "Abstractions Efficiency" experiment.
+	Stats relalg.TranslationStats
+}
+
+// Run searches for an instance satisfying the facts plus the given
+// predicate (Alloy's "run").
+func (c *Command) Run(pred relalg.Formula) Result {
+	res := relalg.Solve(&relalg.Problem{
+		Bounds:  c.bounds,
+		Formula: relalg.And(c.background(), pred),
+	})
+	return Result{
+		Satisfiable: res.Status == sat.StatusSat,
+		Instance:    res.Instance,
+		Stats:       res.Stats,
+	}
+}
+
+// Check verifies the assertion against the facts within the scope
+// (Alloy's "check"): Satisfiable=true means a counterexample exists.
+func (c *Command) Check(assertion relalg.Formula) Result {
+	res := relalg.Check(c.bounds, c.background(), assertion, sat.Options{})
+	return Result{
+		Satisfiable: res.Status == sat.StatusSat,
+		Instance:    res.Instance,
+		Stats:       res.Stats,
+	}
+}
+
+// TranslateOnly measures the CNF size of facts ∧ ¬assertion without
+// solving (clause-count experiments).
+func (c *Command) TranslateOnly(assertion relalg.Formula) relalg.TranslationStats {
+	return relalg.TranslateOnly(c.bounds, relalg.And(c.background(), relalg.Not(assertion)))
+}
+
+// Enumerate returns up to max instances satisfying the facts plus the
+// predicate (Alloy's instance enumeration; max <= 0 means all).
+func (c *Command) Enumerate(pred relalg.Formula, max int) []*relalg.Instance {
+	en := relalg.NewEnumerator(&relalg.Problem{
+		Bounds:  c.bounds,
+		Formula: relalg.And(c.background(), pred),
+	})
+	var out []*relalg.Instance
+	for inst := en.Next(); inst != nil; inst = en.Next() {
+		out = append(out, inst)
+		if max > 0 && len(out) >= max {
+			break
+		}
+	}
+	return out
+}
+
+// SymmetryClasses returns one symmetry class per signature: the
+// generated atoms of a signature are interchangeable whenever the facts
+// and the checked formula do not name individual atoms, which is the
+// common case for spec-built models. Pass the classes to
+// relalg.SolveWithSymmetry (or CountInstances) to prune symmetric
+// instances, exactly as the Alloy Analyzer's symmetry breaking does.
+func (c *Command) SymmetryClasses() []relalg.SymmetryClass {
+	var out []relalg.SymmetryClass
+	for _, s := range c.model.sigs {
+		atoms := c.atomsOf[s]
+		if len(atoms) < 2 {
+			continue
+		}
+		cls := relalg.SymmetryClass{}
+		for _, a := range atoms {
+			cls.Atoms = append(cls.Atoms, c.universe.AtomIndex(a))
+		}
+		out = append(out, cls)
+	}
+	return out
+}
+
+// SigOf finds a declared signature by name (nil if absent).
+func (m *Model) SigOf(name string) *Sig {
+	for _, s := range m.sigs {
+		if s.Name == name {
+			return s
+		}
+	}
+	return nil
+}
+
+// Sigs lists the declared signatures in declaration order.
+func (m *Model) Sigs() []*Sig { return m.sigs }
+
+// Fields lists the declared fields in declaration order.
+func (m *Model) Fields() []*Field { return m.fields }
+
+// FactNames lists fact names (sorted) for diagnostics.
+func (m *Model) FactNames() []string {
+	out := make([]string, 0, len(m.facts))
+	for _, f := range m.facts {
+		out = append(out, f.name)
+	}
+	sort.Strings(out)
+	return out
+}

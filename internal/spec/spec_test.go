@@ -1,0 +1,270 @@
+package spec
+
+import (
+	"testing"
+
+	"repro/internal/relalg"
+)
+
+// pnodeModel reproduces the static skeleton from Section III of the
+// paper: pnode signatures with id fields.
+func pnodeModel() (*Model, *Sig, *Sig, *Field) {
+	m := NewModel("mca-static")
+	pnode := m.Sig("pnode")
+	id := m.Sig("id")
+	idField := m.Field(pnode, "pid", id, One)
+	return m, pnode, id, idField
+}
+
+func TestScopeGeneratesAtoms(t *testing.T) {
+	m, pnode, id, _ := pnodeModel()
+	cmd, err := NewCommand(m, Scope{pnode: 3, id: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cmd.Atoms(pnode)) != 3 || len(cmd.Atoms(id)) != 2 {
+		t.Fatalf("atoms: %v / %v", cmd.Atoms(pnode), cmd.Atoms(id))
+	}
+	if cmd.Universe().Size() != 5 {
+		t.Fatalf("universe size = %d", cmd.Universe().Size())
+	}
+}
+
+func TestScopeMissingSigErrors(t *testing.T) {
+	m, pnode, _, _ := pnodeModel()
+	if _, err := NewCommand(m, Scope{pnode: 2}); err == nil {
+		t.Fatal("missing scope must error")
+	}
+}
+
+func TestScopeNegativeErrors(t *testing.T) {
+	m, pnode, id, _ := pnodeModel()
+	if _, err := NewCommand(m, Scope{pnode: -1, id: 1}); err == nil {
+		t.Fatal("negative scope must error")
+	}
+}
+
+func TestRunFindsInstanceRespectingMultiplicity(t *testing.T) {
+	m, pnode, id, idField := pnodeModel()
+	cmd, err := NewCommand(m, Scope{pnode: 2, id: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := cmd.Run(relalg.TrueF())
+	if !res.Satisfiable {
+		t.Fatal("expected an instance")
+	}
+	// Every pnode must have exactly one id (One multiplicity).
+	ev := relalg.NewEvaluator(res.Instance)
+	x := relalg.NewVar("x")
+	oneID := relalg.ForAll(x, pnode.Expr(), relalg.One(idField.Join(x)))
+	if !ev.EvalFormula(oneID) {
+		t.Fatalf("instance violates One multiplicity:\n%s", res.Instance)
+	}
+}
+
+// The paper's uniqueID assertion: without an injectivity fact it has a
+// counterexample; adding the fact verifies it ("check uniqueID for 3").
+func TestCheckUniqueID(t *testing.T) {
+	m, pnode, _, idField := pnodeModel()
+	x := relalg.NewVar("n1")
+	y := relalg.NewVar("n2")
+	uniqueID := relalg.ForAll(x, pnode.Expr(), relalg.ForAll(y, pnode.Expr(),
+		relalg.Or(
+			relalg.Subset(relalg.V(x), relalg.V(y)),
+			relalg.Not(relalg.Equal(idField.Join(x), idField.Join(y))),
+		)))
+
+	cmd, err := NewCommand(m, Scope{pnode: 3, m.SigOf("id"): 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := cmd.Check(uniqueID)
+	if !res.Satisfiable {
+		t.Fatal("uniqueID should have a counterexample without injectivity")
+	}
+	// Counterexample must violate the assertion.
+	if relalg.NewEvaluator(res.Instance).EvalFormula(uniqueID) {
+		t.Fatal("counterexample satisfies the assertion")
+	}
+
+	// Add injectivity as a fact and re-check: no counterexample.
+	m2, pnode2, id2, idField2 := pnodeModel()
+	x2 := relalg.NewVar("n1")
+	y2 := relalg.NewVar("n2")
+	m2.Fact("injectiveIDs", relalg.ForAll(x2, pnode2.Expr(), relalg.ForAll(y2, pnode2.Expr(),
+		relalg.Or(
+			relalg.Subset(relalg.V(x2), relalg.V(y2)),
+			relalg.No(relalg.Intersect(idField2.Join(x2), idField2.Join(y2))),
+		))))
+	uniqueID2 := relalg.ForAll(x2, pnode2.Expr(), relalg.ForAll(y2, pnode2.Expr(),
+		relalg.Or(
+			relalg.Subset(relalg.V(x2), relalg.V(y2)),
+			relalg.Not(relalg.Equal(idField2.Join(x2), idField2.Join(y2))),
+		)))
+	cmd2, err := NewCommand(m2, Scope{pnode2: 3, id2: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2 := cmd2.Check(uniqueID2)
+	if res2.Satisfiable {
+		t.Fatalf("uniqueID should hold with injective ids; counterexample:\n%s", res2.Instance)
+	}
+}
+
+// The paper's pconnectivity fact: undirected links modeled as symmetric
+// directed pairs.
+func TestSymmetricConnectionsFact(t *testing.T) {
+	m := NewModel("net")
+	pnode := m.Sig("pnode")
+	conn := m.Field(pnode, "pconnections", pnode, Set)
+	m.Fact("pconnectivity", relalg.Equal(conn.Expr(), relalg.Transpose(conn.Expr())))
+
+	cmd, err := NewCommand(m, Scope{pnode: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := cmd.Run(relalg.Some(conn.Expr()))
+	if !res.Satisfiable {
+		t.Fatal("expected a connected instance")
+	}
+	ev := relalg.NewEvaluator(res.Instance)
+	if !ev.EvalFormula(relalg.Equal(conn.Expr(), relalg.Transpose(conn.Expr()))) {
+		t.Fatalf("instance violates symmetry:\n%s", res.Instance)
+	}
+}
+
+func TestMultiplicityVariants(t *testing.T) {
+	for _, mult := range []Mult{One, Lone, Some, Set} {
+		m := NewModel("m")
+		a := m.Sig("a")
+		b := m.Sig("b")
+		f := m.Field(a, "f", b, mult)
+		cmd, err := NewCommand(m, Scope{a: 2, b: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := cmd.Run(relalg.TrueF())
+		if !res.Satisfiable {
+			t.Fatalf("mult %v: no instance", mult)
+		}
+		ev := relalg.NewEvaluator(res.Instance)
+		x := relalg.NewVar("x")
+		var want relalg.Formula
+		switch mult {
+		case One:
+			want = relalg.ForAll(x, a.Expr(), relalg.One(f.Join(x)))
+		case Lone:
+			want = relalg.ForAll(x, a.Expr(), relalg.Lone(f.Join(x)))
+		case Some:
+			want = relalg.ForAll(x, a.Expr(), relalg.Some(f.Join(x)))
+		default:
+			want = relalg.TrueF()
+		}
+		if !ev.EvalFormula(want) {
+			t.Fatalf("mult %v violated:\n%s", mult, res.Instance)
+		}
+		if mult.String() == "" {
+			t.Fatal("empty mult name")
+		}
+	}
+}
+
+func TestTranslateOnlyStats(t *testing.T) {
+	m, pnode, id, idField := pnodeModel()
+	x := relalg.NewVar("x")
+	assertion := relalg.ForAll(x, pnode.Expr(), relalg.Some(idField.Join(x)))
+	cmd, err := NewCommand(m, Scope{pnode: 3, id: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := cmd.TranslateOnly(assertion)
+	if st.Clauses == 0 || st.PrimaryVars == 0 {
+		t.Fatalf("stats empty: %+v", st)
+	}
+}
+
+func TestModelAccessors(t *testing.T) {
+	m, pnode, _, _ := pnodeModel()
+	m.Fact("f1", relalg.TrueF())
+	if m.Name() != "mca-static" {
+		t.Error("name")
+	}
+	if m.SigOf("pnode") != pnode || m.SigOf("nope") != nil {
+		t.Error("SigOf")
+	}
+	if len(m.Sigs()) != 2 || len(m.Fields()) != 1 {
+		t.Error("sig/field lists")
+	}
+	if len(m.FactNames()) != 1 || m.FactNames()[0] != "f1" {
+		t.Error("fact names")
+	}
+}
+
+func TestEmptyScopeSig(t *testing.T) {
+	m := NewModel("m")
+	a := m.Sig("a")
+	cmd, err := NewCommand(m, Scope{a: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := cmd.Run(relalg.No(a.Expr()))
+	if !res.Satisfiable {
+		t.Fatal("empty sig instance should exist")
+	}
+}
+
+func TestEnumerateInstances(t *testing.T) {
+	m := NewModel("enum")
+	a := m.Sig("a")
+	r := m.Field(a, "r", a, Lone)
+	cmd, err := NewCommand(m, Scope{a: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Lone self-map on 2 atoms: each atom maps to one of {nothing, a0, a1}
+	// → 9 instances.
+	all := cmd.Enumerate(relalg.TrueF(), 0)
+	if len(all) != 9 {
+		t.Fatalf("enumerated %d instances, want 9", len(all))
+	}
+	// Every instance respects the multiplicity.
+	x := relalg.NewVar("x")
+	loneF := relalg.ForAll(x, a.Expr(), relalg.Lone(r.Join(x)))
+	for _, inst := range all {
+		if !relalg.NewEvaluator(inst).EvalFormula(loneF) {
+			t.Fatalf("instance violates lone:\n%s", inst)
+		}
+	}
+	// The max cap works.
+	if got := cmd.Enumerate(relalg.TrueF(), 3); len(got) != 3 {
+		t.Fatalf("capped enumeration = %d", len(got))
+	}
+}
+
+func TestSymmetryClassesFromSigs(t *testing.T) {
+	m := NewModel("sym")
+	a := m.Sig("a")
+	b := m.Sig("b")
+	m.Field(a, "r", b, Lone)
+	cmd, err := NewCommand(m, Scope{a: 3, b: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	classes := cmd.SymmetryClasses()
+	if len(classes) != 2 || len(classes[0].Atoms) != 3 || len(classes[1].Atoms) != 2 {
+		t.Fatalf("classes = %+v", classes)
+	}
+	// Symmetry breaking preserves the verdict of a symmetric run.
+	plain := relalg.Solve(&relalg.Problem{Bounds: cmd.Bounds(), Formula: relalg.TrueF()})
+	sym := relalg.SolveWithSymmetry(&relalg.Problem{Bounds: cmd.Bounds(), Formula: relalg.TrueF()}, classes)
+	if plain.Status != sym.Status {
+		t.Fatalf("verdicts differ: %v vs %v", plain.Status, sym.Status)
+	}
+	// And reduces the instance count.
+	full := relalg.CountInstances(&relalg.Problem{Bounds: cmd.Bounds(), Formula: relalg.TrueF()}, nil)
+	reduced := relalg.CountInstances(&relalg.Problem{Bounds: cmd.Bounds(), Formula: relalg.TrueF()}, classes)
+	if reduced >= full {
+		t.Fatalf("no orbit reduction: %d vs %d", reduced, full)
+	}
+}

@@ -1,0 +1,66 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func sampleStep(label string) Step {
+	return Step{
+		Label: label,
+		Agents: []AgentSnapshot{
+			{ID: 0, Bids: []int64{10, 30}, Winner: []int{0, 1}, Bundle: []int{0}},
+			{ID: 1, Bids: []int64{20, 0}, Winner: []int{1, -1}, Bundle: []int{1}},
+		},
+	}
+}
+
+func TestRecorderAccumulates(t *testing.T) {
+	r := NewRecorder()
+	if r.Len() != 0 {
+		t.Fatal("fresh recorder not empty")
+	}
+	r.Record(sampleStep("round 1"))
+	r.Record(sampleStep("round 2"))
+	if r.Len() != 2 || len(r.Steps()) != 2 {
+		t.Fatalf("len = %d", r.Len())
+	}
+}
+
+func TestStringRendersLabelsAndAgents(t *testing.T) {
+	r := NewRecorder()
+	r.Record(sampleStep("deliver 1->0"))
+	s := r.String()
+	for _, want := range []string{"deliver 1->0", "a0:", "a1:", "b={10,30}"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("missing %q in:\n%s", want, s)
+		}
+	}
+	// Unassigned items render as --.
+	if !strings.Contains(s, "--") {
+		t.Errorf("missing -- placeholder:\n%s", s)
+	}
+}
+
+func TestItemNames(t *testing.T) {
+	r := NewRecorder()
+	r.ItemNames = []string{"A", "B"}
+	r.Record(sampleStep("x"))
+	s := r.String()
+	if !strings.Contains(s, "m={A}") || !strings.Contains(s, "A:a0") {
+		t.Errorf("item names not used:\n%s", s)
+	}
+}
+
+func TestSummary(t *testing.T) {
+	r := NewRecorder()
+	if !strings.Contains(r.Summary(), "empty") {
+		t.Error("empty summary")
+	}
+	r.Record(sampleStep("s1"))
+	r.Record(sampleStep("s2"))
+	sum := r.Summary()
+	if !strings.Contains(sum, "2 steps") || !strings.Contains(sum, "a0:") {
+		t.Errorf("summary = %q", sum)
+	}
+}

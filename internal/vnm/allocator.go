@@ -1,0 +1,118 @@
+package vnm
+
+import (
+	"fmt"
+)
+
+// Allocator embeds a SEQUENCE of virtual network requests onto one
+// substrate, depleting node CPU and link bandwidth as slices are
+// admitted — the online arrival workload that motivates distributed
+// embedding in the paper's introduction (federated providers embedding
+// wide-area cloud services). Each request runs its own MCA auction over
+// the residual capacities.
+type Allocator struct {
+	phys *PhysicalNetwork
+	opts Options
+	// residualCPU tracks per-node remaining capacity.
+	residualCPU []int64
+	// residualBW tracks per-edge remaining bandwidth keyed by canonical
+	// (min,max) node pair.
+	residualBW map[[2]int]float64
+	admitted   []*Mapping
+}
+
+// NewAllocator prepares an online allocator over a substrate. The
+// substrate is not mutated; residual capacities are tracked internally.
+func NewAllocator(phys *PhysicalNetwork, opts Options) (*Allocator, error) {
+	if err := phys.Validate(); err != nil {
+		return nil, err
+	}
+	a := &Allocator{
+		phys:       phys,
+		opts:       opts,
+		residualBW: make(map[[2]int]float64),
+	}
+	for _, n := range phys.Nodes {
+		a.residualCPU = append(a.residualCPU, n.CPU)
+	}
+	for _, e := range phys.Graph.Edges() {
+		a.residualBW[[2]int{e.U, e.V}] = e.Weight
+	}
+	return a, nil
+}
+
+// ResidualCPU returns the remaining CPU of a physical node.
+func (a *Allocator) ResidualCPU(node int) int64 { return a.residualCPU[node] }
+
+// ResidualBandwidth returns the remaining bandwidth of the physical
+// edge {u,v}.
+func (a *Allocator) ResidualBandwidth(u, v int) float64 {
+	if u > v {
+		u, v = v, u
+	}
+	return a.residualBW[[2]int{u, v}]
+}
+
+// Admitted returns the mappings accepted so far.
+func (a *Allocator) Admitted() []*Mapping { return a.admitted }
+
+// residualNetwork materializes the current residual capacities as a
+// PhysicalNetwork for one auction round.
+func (a *Allocator) residualNetwork() *PhysicalNetwork {
+	g := a.phys.Graph.Clone()
+	for _, e := range g.Edges() {
+		g.AddWeightedEdge(e.U, e.V, a.ResidualBandwidth(e.U, e.V))
+	}
+	nodes := make([]PhysicalNode, len(a.residualCPU))
+	for i, c := range a.residualCPU {
+		nodes[i] = PhysicalNode{CPU: c}
+	}
+	return &PhysicalNetwork{Graph: g, Nodes: nodes}
+}
+
+// Admit embeds one request on the residual substrate and, on success,
+// commits its resource usage. A failed request leaves the allocator
+// unchanged (admission control).
+func (a *Allocator) Admit(vnet *VirtualNetwork) (*Mapping, error) {
+	res := a.residualNetwork()
+	emb, err := NewEmbedder(res, a.opts)
+	if err != nil {
+		return nil, err
+	}
+	m, _, err := emb.Embed(vnet)
+	if err != nil {
+		return nil, err
+	}
+	if err := ValidateMapping(res, vnet, m); err != nil {
+		return nil, fmt.Errorf("vnm: allocator produced invalid mapping: %w", err)
+	}
+	// Commit.
+	for j, pi := range m.NodeMap {
+		a.residualCPU[pi] -= vnet.Nodes[j].CPU
+	}
+	for li, p := range m.LinkPaths {
+		bw := vnet.Links[li].Bandwidth
+		for i := 0; i+1 < len(p.Nodes); i++ {
+			u, v := p.Nodes[i], p.Nodes[i+1]
+			if u > v {
+				u, v = v, u
+			}
+			a.residualBW[[2]int{u, v}] -= bw
+		}
+	}
+	a.admitted = append(a.admitted, m)
+	return m, nil
+}
+
+// Utilization reports the fraction of total CPU currently allocated.
+func (a *Allocator) Utilization() float64 {
+	var total, used int64
+	for i, n := range a.phys.Nodes {
+		total += n.CPU
+		used += n.CPU - a.residualCPU[i]
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(used) / float64(total)
+}

@@ -1,0 +1,153 @@
+package vnm
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestAllocatorAdmitsSequence(t *testing.T) {
+	phys := substrate(graph.Complete(3), 50, 20)
+	alloc, err := NewAllocator(phys, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := &VirtualNetwork{
+		Nodes: []VirtualNode{{CPU: 20}, {CPU: 20}},
+		Links: []VirtualLink{{A: 0, B: 1, Bandwidth: 3}},
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := alloc.Admit(req); err != nil {
+			t.Fatalf("request %d rejected: %v", i, err)
+		}
+	}
+	if len(alloc.Admitted()) != 3 {
+		t.Fatalf("admitted = %d", len(alloc.Admitted()))
+	}
+	if alloc.Utilization() <= 0 {
+		t.Fatal("utilization should be positive")
+	}
+}
+
+func TestAllocatorDepletesAndRejects(t *testing.T) {
+	phys := substrate(graph.Complete(2), 30, 10)
+	alloc, err := NewAllocator(phys, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := &VirtualNetwork{Nodes: []VirtualNode{{CPU: 25}, {CPU: 25}}}
+	if _, err := alloc.Admit(big); err != nil {
+		t.Fatalf("first big request should fit: %v", err)
+	}
+	// Residuals are 5 per node: the same request must now be rejected.
+	if _, err := alloc.Admit(big); !errors.Is(err, ErrNoMapping) {
+		t.Fatalf("depleted substrate accepted request: %v", err)
+	}
+	// But a small one still fits.
+	small := &VirtualNetwork{Nodes: []VirtualNode{{CPU: 4}}}
+	if _, err := alloc.Admit(small); err != nil {
+		t.Fatalf("small request rejected: %v", err)
+	}
+}
+
+func TestAllocatorRejectionLeavesStateUnchanged(t *testing.T) {
+	phys := substrate(graph.Complete(2), 20, 10)
+	alloc, err := NewAllocator(phys, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := []int64{alloc.ResidualCPU(0), alloc.ResidualCPU(1)}
+	huge := &VirtualNetwork{Nodes: []VirtualNode{{CPU: 500}}}
+	if _, err := alloc.Admit(huge); err == nil {
+		t.Fatal("huge request admitted")
+	}
+	if alloc.ResidualCPU(0) != before[0] || alloc.ResidualCPU(1) != before[1] {
+		t.Fatal("failed admission mutated residual state")
+	}
+	if len(alloc.Admitted()) != 0 {
+		t.Fatal("failed admission recorded")
+	}
+}
+
+func TestAllocatorTracksBandwidth(t *testing.T) {
+	phys := substrate(graph.Line(2), 100, 10)
+	alloc, err := NewAllocator(phys, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Force the two virtual nodes apart: each node fits only one.
+	phys.Nodes[0] = PhysicalNode{CPU: 100}
+	req := &VirtualNetwork{
+		Nodes: []VirtualNode{{CPU: 60}, {CPU: 60}},
+		Links: []VirtualLink{{A: 0, B: 1, Bandwidth: 6}},
+	}
+	m, err := alloc.Admit(req)
+	if err != nil {
+		t.Fatalf("first request rejected: %v", err)
+	}
+	if m.NodeMap[0] == m.NodeMap[1] {
+		t.Fatalf("virtual nodes should be split: %v", m.NodeMap)
+	}
+	if got := alloc.ResidualBandwidth(0, 1); got != 4 {
+		t.Fatalf("residual bandwidth = %v, want 4", got)
+	}
+	// A second link demanding 6 exceeds the remaining 4.
+	req2 := &VirtualNetwork{
+		Nodes: []VirtualNode{{CPU: 30}, {CPU: 30}},
+		Links: []VirtualLink{{A: 0, B: 1, Bandwidth: 6}},
+	}
+	if _, err := alloc.Admit(req2); !errors.Is(err, ErrNoMapping) {
+		t.Fatalf("bandwidth-starved request accepted: %v", err)
+	}
+}
+
+func TestAllocatorValidation(t *testing.T) {
+	bad := &PhysicalNetwork{Graph: graph.Complete(2), Nodes: []PhysicalNode{{CPU: 1}}}
+	if _, err := NewAllocator(bad, Options{}); err == nil {
+		t.Fatal("invalid substrate accepted")
+	}
+}
+
+// Online workload: admit random requests until the first rejection;
+// everything admitted must remain a valid embedding against the
+// ORIGINAL substrate capacities in aggregate.
+func TestAllocatorAggregateFeasibility(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	phys := substrate(graph.RandomConnected(5, 0.5, 9), 60, 50)
+	alloc, err := NewAllocator(phys, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	type placed struct {
+		vnet *VirtualNetwork
+		m    *Mapping
+	}
+	var all []placed
+	for i := 0; i < 20; i++ {
+		req := &VirtualNetwork{
+			Nodes: []VirtualNode{{CPU: int64(10 + rng.Intn(15))}},
+		}
+		m, err := alloc.Admit(req)
+		if err != nil {
+			break
+		}
+		all = append(all, placed{req, m})
+	}
+	if len(all) == 0 {
+		t.Fatal("nothing admitted")
+	}
+	// Aggregate CPU usage per node must respect original capacities.
+	used := make([]int64, phys.Graph.N())
+	for _, p := range all {
+		for j, pi := range p.m.NodeMap {
+			used[pi] += p.vnet.Nodes[j].CPU
+		}
+	}
+	for i, u := range used {
+		if u > phys.Nodes[i].CPU {
+			t.Fatalf("node %d over-committed: %d > %d", i, u, phys.Nodes[i].CPU)
+		}
+	}
+}

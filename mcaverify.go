@@ -1,0 +1,254 @@
+// Package mcaverify is the public API of the MCA verification library:
+// a Go reproduction of "An Alloy Verification Model for Consensus-Based
+// Auction Protocols" (Mirzaei & Esposito, ICDCS 2015).
+//
+// The library provides three layers:
+//
+//   - the Max-Consensus Auction protocol itself (agents, policies, the
+//     asynchronous conflict-resolution table, synchronous and randomized
+//     asynchronous runners);
+//   - a verification stack that replaces the Alloy Analyzer: an
+//     explicit-state bounded model checker over all message
+//     interleavings, and a relational-logic-to-SAT pipeline with the
+//     paper's MCA model in its naive and optimized encodings;
+//   - the virtual network mapping case study (MCA node auction plus
+//     k-shortest-path link mapping).
+//
+// Quick start:
+//
+//	pol := mcaverify.Policy{Target: 2, Utility: mcaverify.SubmodularResidual{}, Rebid: mcaverify.RebidOnChange}
+//	a0, _ := mcaverify.NewAgent(mcaverify.AgentConfig{ID: 0, Items: 3, Base: []int64{10, 0, 30}, Policy: pol})
+//	a1, _ := mcaverify.NewAgent(mcaverify.AgentConfig{ID: 1, Items: 3, Base: []int64{20, 15, 0}, Policy: pol})
+//	verdict := mcaverify.CheckConvergence([]*mcaverify.Agent{a0, a1}, mcaverify.CompleteGraph(2), mcaverify.CheckOptions{})
+//	fmt.Println(verdict.OK)
+package mcaverify
+
+import (
+	"repro/internal/explore"
+	"repro/internal/graph"
+	"repro/internal/mca"
+	"repro/internal/mcamodel"
+	"repro/internal/netsim"
+	"repro/internal/vnm"
+)
+
+// ---- Protocol layer (internal/mca) ----
+
+// Core protocol types.
+type (
+	// Agent is one MCA participant.
+	Agent = mca.Agent
+	// AgentConfig constructs an Agent.
+	AgentConfig = mca.Config
+	// AgentID identifies an agent; ties break toward lower IDs.
+	AgentID = mca.AgentID
+	// ItemID identifies an item on auction.
+	ItemID = mca.ItemID
+	// BidInfo is one view entry: bid, winner, generation time.
+	BidInfo = mca.BidInfo
+	// Message is an MCA bid message.
+	Message = mca.Message
+	// Policy instantiates the protocol's variant aspects (p_T, p_u, p_RO,
+	// Remark 1).
+	Policy = mca.Policy
+	// Utility is the bidding utility function interface (p_u).
+	Utility = mca.Utility
+	// RebidMode instantiates the Remark 1 condition.
+	RebidMode = mca.RebidMode
+	// Outcome summarizes a synchronous protocol run.
+	Outcome = mca.Outcome
+	// SyncRunner drives agents in synchronous rounds.
+	SyncRunner = mca.SyncRunner
+	// Allocation maps items to winners.
+	Allocation = mca.Allocation
+)
+
+// Utility implementations.
+type (
+	// SubmodularResidual is the residual-capacity sub-modular utility.
+	SubmodularResidual = mca.SubmodularResidual
+	// NonSubmodularSynergy violates Definition 2 (Result 1's culprit).
+	NonSubmodularSynergy = mca.NonSubmodularSynergy
+	// FlatUtility bids constant base valuations.
+	FlatUtility = mca.FlatUtility
+	// EscalatingUtility is the Result 2 rebidding attacker's generator.
+	EscalatingUtility = mca.EscalatingUtility
+	// FuncUtility wraps a custom marginal function.
+	FuncUtility = mca.FuncUtility
+)
+
+// Rebid modes.
+const (
+	// RebidOnChange is the paper's MCA semantics for Remark 1.
+	RebidOnChange = mca.RebidOnChange
+	// RebidNever blocks outbid items forever.
+	RebidNever = mca.RebidNever
+	// RebidAlways removes the Remark 1 condition (the attack).
+	RebidAlways = mca.RebidAlways
+)
+
+// NoAgent is the NULL winner.
+const NoAgent = mca.NoAgent
+
+// NewAgent validates a configuration and builds an agent.
+func NewAgent(cfg AgentConfig) (*Agent, error) { return mca.NewAgent(cfg) }
+
+// Detector implements the rebid-attack countermeasure the paper
+// sketches (footnote 7): it observes received messages and flags
+// neighbors that violate the Remark 1 no-rebid condition.
+type Detector = mca.Detector
+
+// DetectorViolation is one piece of rebid-attack evidence.
+type DetectorViolation = mca.Violation
+
+// NewDetector creates a detector for an agent observing its first-hop
+// neighborhood.
+func NewDetector(owner AgentID, items int) *Detector { return mca.NewDetector(owner, items) }
+
+// NewSyncRunner wires agents to an agent network for synchronous rounds.
+func NewSyncRunner(agents []*Agent, g *Graph) (*SyncRunner, error) {
+	return mca.NewSyncRunner(agents, g)
+}
+
+// MessageBound returns the paper's D·|J| consensus message bound.
+func MessageBound(g *Graph, items int) int { return mca.MessageBound(g, items) }
+
+// ---- Agent network topologies (internal/graph) ----
+
+// Graph is the agent/substrate network type.
+type Graph = graph.Graph
+
+// LineGraph returns the n-node path topology.
+func LineGraph(n int) *Graph { return graph.Line(n) }
+
+// RingGraph returns the n-node cycle topology.
+func RingGraph(n int) *Graph { return graph.Ring(n) }
+
+// StarGraph returns the n-node star topology.
+func StarGraph(n int) *Graph { return graph.Star(n) }
+
+// CompleteGraph returns the n-node complete topology.
+func CompleteGraph(n int) *Graph { return graph.Complete(n) }
+
+// RandomConnectedGraph returns a seeded random connected topology.
+func RandomConnectedGraph(n int, p float64, seed int64) *Graph {
+	return graph.RandomConnected(n, p, seed)
+}
+
+// ---- Verification layer (internal/explore) ----
+
+// Verification types.
+type (
+	// CheckOptions tunes the bounded model checker.
+	CheckOptions = explore.Options
+	// Verdict is a check outcome with counterexample trace.
+	Verdict = explore.Verdict
+	// ViolationKind classifies counterexamples.
+	ViolationKind = explore.ViolationKind
+)
+
+// Violation kinds.
+const (
+	// ViolationNone means the consensus property held.
+	ViolationNone = explore.ViolationNone
+	// ViolationOscillation is a reachable protocol cycle (Fig. 2).
+	ViolationOscillation = explore.ViolationOscillation
+	// ViolationBoundExceeded is a path exceeding the val message budget.
+	ViolationBoundExceeded = explore.ViolationBoundExceeded
+	// ViolationDisagreement is quiescence without agreement.
+	ViolationDisagreement = explore.ViolationDisagreement
+	// ViolationConflict is an item held by two agents.
+	ViolationConflict = explore.ViolationConflict
+)
+
+// CheckConvergence exhaustively explores all asynchronous message
+// interleavings and verifies the consensus property — the push-button
+// analysis of the paper applied through the explicit-state checker.
+// Agents must be freshly constructed.
+func CheckConvergence(agents []*Agent, g *Graph, opts CheckOptions) Verdict {
+	return explore.Check(agents, g, opts)
+}
+
+// Policy sweep (Result 1) types.
+type (
+	// PolicyCombo is one cell of the Result 1 policy matrix.
+	PolicyCombo = explore.PolicyCombo
+	// SweepRow is one verified matrix cell.
+	SweepRow = explore.SweepRow
+	// SweepConfig scopes the sweep scenario.
+	SweepConfig = explore.SweepConfig
+)
+
+// DefaultPolicyCombos returns the paper's Result 1 matrix.
+func DefaultPolicyCombos() []PolicyCombo { return explore.DefaultCombos() }
+
+// PolicySweep verifies the consensus property for every policy
+// combination — the paper's Result 1 experiment as a library call.
+func PolicySweep(combos []PolicyCombo, cfg SweepConfig) ([]SweepRow, error) {
+	return explore.PolicySweep(combos, cfg)
+}
+
+// FormatSweep renders sweep rows as the Result 1 table.
+func FormatSweep(rows []SweepRow) string { return explore.FormatSweep(rows) }
+
+// RunAsync simulates one seeded random asynchronous execution.
+func RunAsync(agents []*Agent, g *Graph, seed int64, maxDeliveries int) netsim.AsyncOutcome {
+	return netsim.RunAsync(agents, g, seed, maxDeliveries)
+}
+
+// ---- Bounded relational model (internal/mcamodel) ----
+
+// Relational model types.
+type (
+	// ModelScope sizes the bounded relational MCA model.
+	ModelScope = mcamodel.Scope
+	// ModelEncoding is a built naive/optimized model.
+	ModelEncoding = mcamodel.Encoding
+	// ModelMeasurement is one row of the encoding-efficiency experiment.
+	ModelMeasurement = mcamodel.Measurement
+)
+
+// PaperModelScope is the paper's efficiency-experiment scope (3 pnodes,
+// 2 vnodes).
+func PaperModelScope() ModelScope { return mcamodel.PaperScope() }
+
+// BuildNaiveModel constructs the pre-optimization relational encoding.
+func BuildNaiveModel(sc ModelScope) (*ModelEncoding, error) { return mcamodel.BuildNaive(sc) }
+
+// BuildOptimizedModel constructs the optimized relational encoding.
+func BuildOptimizedModel(sc ModelScope) (*ModelEncoding, error) { return mcamodel.BuildOptimized(sc) }
+
+// MeasureModel reports the CNF translation size of an encoding.
+func MeasureModel(e *ModelEncoding) ModelMeasurement { return mcamodel.MeasureTranslation(e) }
+
+// ---- Case study (internal/vnm) ----
+
+// Virtual network mapping types.
+type (
+	// PhysicalNetwork is the substrate network.
+	PhysicalNetwork = vnm.PhysicalNetwork
+	// PhysicalNode is a substrate node with CPU capacity.
+	PhysicalNode = vnm.PhysicalNode
+	// VirtualNetwork is an embedding request.
+	VirtualNetwork = vnm.VirtualNetwork
+	// VirtualNode is a requested node with CPU demand.
+	VirtualNode = vnm.VirtualNode
+	// VirtualLink is a requested link with bandwidth demand.
+	VirtualLink = vnm.VirtualLink
+	// VNMapping is a complete embedding.
+	VNMapping = vnm.Mapping
+	// EmbedOptions tunes the embedder.
+	EmbedOptions = vnm.Options
+	// Embedder runs MCA-based virtual network embedding.
+	Embedder = vnm.Embedder
+)
+
+// NewEmbedder prepares an MCA-based embedder over a substrate.
+func NewEmbedder(phys *PhysicalNetwork, opts EmbedOptions) (*Embedder, error) {
+	return vnm.NewEmbedder(phys, opts)
+}
+
+// ValidateMapping checks an embedding against capacities and paths.
+func ValidateMapping(phys *PhysicalNetwork, vnet *VirtualNetwork, m *VNMapping) error {
+	return vnm.ValidateMapping(phys, vnet, m)
+}

@@ -1,0 +1,137 @@
+package mcaverify_test
+
+import (
+	"testing"
+
+	mcaverify "repro"
+)
+
+// The quickstart flow from the package documentation must work verbatim.
+func TestQuickstartFlow(t *testing.T) {
+	pol := mcaverify.Policy{Target: 2, Utility: mcaverify.SubmodularResidual{}, Rebid: mcaverify.RebidOnChange}
+	a0, err := mcaverify.NewAgent(mcaverify.AgentConfig{ID: 0, Items: 3, Base: []int64{10, 2, 30}, Policy: pol})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1, err := mcaverify.NewAgent(mcaverify.AgentConfig{ID: 1, Items: 3, Base: []int64{20, 15, 2}, Policy: pol})
+	if err != nil {
+		t.Fatal(err)
+	}
+	verdict := mcaverify.CheckConvergence([]*mcaverify.Agent{a0, a1}, mcaverify.CompleteGraph(2), mcaverify.CheckOptions{})
+	if !verdict.OK {
+		t.Fatalf("quickstart check failed: %v", verdict.Violation)
+	}
+}
+
+func TestFacadeSyncRun(t *testing.T) {
+	pol := mcaverify.Policy{Target: 1, Utility: mcaverify.FlatUtility{}, Rebid: mcaverify.RebidOnChange}
+	var agents []*mcaverify.Agent
+	for i := 0; i < 3; i++ {
+		a, err := mcaverify.NewAgent(mcaverify.AgentConfig{
+			ID: mcaverify.AgentID(i), Items: 2, Base: []int64{int64(10 + i), int64(20 - i)}, Policy: pol,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		agents = append(agents, a)
+	}
+	g := mcaverify.RingGraph(3)
+	r, err := mcaverify.NewSyncRunner(agents, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := r.Run(2*mcaverify.MessageBound(g, 2) + 2)
+	if !out.Converged {
+		t.Fatalf("sync run did not converge: %+v", out)
+	}
+}
+
+func TestFacadeAsyncRun(t *testing.T) {
+	pol := mcaverify.Policy{Target: 1, Utility: mcaverify.FlatUtility{}, Rebid: mcaverify.RebidOnChange}
+	var agents []*mcaverify.Agent
+	for i := 0; i < 2; i++ {
+		a, err := mcaverify.NewAgent(mcaverify.AgentConfig{
+			ID: mcaverify.AgentID(i), Items: 1, Base: []int64{int64(5 + i)}, Policy: pol,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		agents = append(agents, a)
+	}
+	out := mcaverify.RunAsync(agents, mcaverify.CompleteGraph(2), 42, 500)
+	if !out.Converged {
+		t.Fatalf("async run did not converge: %+v", out)
+	}
+}
+
+func TestFacadeTopologies(t *testing.T) {
+	if mcaverify.LineGraph(4).Diameter() != 3 {
+		t.Error("line")
+	}
+	if mcaverify.StarGraph(5).Diameter() != 2 {
+		t.Error("star")
+	}
+	if !mcaverify.RandomConnectedGraph(6, 0.3, 1).Connected() {
+		t.Error("random connected")
+	}
+}
+
+func TestFacadeModelMeasurement(t *testing.T) {
+	sc := mcaverify.ModelScope{PNodes: 2, VNodes: 1, Values: 2, States: 2, Msgs: 1}
+	n, err := mcaverify.BuildNaiveModel(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := mcaverify.BuildOptimizedModel(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mn, mo := mcaverify.MeasureModel(n), mcaverify.MeasureModel(o)
+	if mn.Clauses == 0 || mo.Clauses == 0 {
+		t.Fatal("zero clause counts")
+	}
+	if mcaverify.PaperModelScope().PNodes != 3 {
+		t.Error("paper scope")
+	}
+}
+
+func TestFacadeEmbedding(t *testing.T) {
+	g := mcaverify.CompleteGraph(3)
+	for _, e := range g.Edges() {
+		g.AddWeightedEdge(e.U, e.V, 10)
+	}
+	phys := &mcaverify.PhysicalNetwork{
+		Graph: g,
+		Nodes: []mcaverify.PhysicalNode{{CPU: 50}, {CPU: 50}, {CPU: 50}},
+	}
+	emb, err := mcaverify.NewEmbedder(phys, mcaverify.EmbedOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vnet := &mcaverify.VirtualNetwork{
+		Nodes: []mcaverify.VirtualNode{{CPU: 10}, {CPU: 20}},
+		Links: []mcaverify.VirtualLink{{A: 0, B: 1, Bandwidth: 2}},
+	}
+	m, _, err := emb.Embed(vnet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mcaverify.ValidateMapping(phys, vnet, m); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestViolationConstantsDistinct(t *testing.T) {
+	kinds := []mcaverify.ViolationKind{
+		mcaverify.ViolationNone, mcaverify.ViolationOscillation,
+		mcaverify.ViolationBoundExceeded, mcaverify.ViolationDisagreement,
+		mcaverify.ViolationConflict,
+	}
+	seen := map[mcaverify.ViolationKind]bool{}
+	for _, k := range kinds {
+		if seen[k] {
+			t.Fatalf("duplicate violation constant %v", k)
+		}
+		seen[k] = true
+	}
+}
