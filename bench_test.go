@@ -8,6 +8,7 @@ package mcaverify_test
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	mcaverify "repro"
@@ -16,6 +17,7 @@ import (
 	"repro/internal/mca"
 	"repro/internal/mcamodel"
 	"repro/internal/netsim"
+	"repro/internal/portfolio"
 	"repro/internal/relalg"
 	"repro/internal/sat"
 )
@@ -454,6 +456,164 @@ func BenchmarkDuplicateDeliveryCheck(b *testing.B) {
 		if !v.OK {
 			b.Fatalf("duplicates broke Fig.1: %v", v.Violation)
 		}
+	}
+}
+
+// ---- E8/E9: the parallel verification engine ----
+
+// BenchmarkEncodingCheckPortfolio runs the paper-scope optimized
+// consensus check through the SAT portfolio. Member 0 of the portfolio
+// is the reference configuration, so on any machine this is within
+// scheduling noise of BenchmarkEncodingCheckOptimized, and on a
+// multi-core machine the diversified racers can only win earlier.
+func BenchmarkEncodingCheckPortfolio(b *testing.B) {
+	benchParallelCheck(b, relalg.ParallelOptions{Workers: runtime.GOMAXPROCS(0)})
+}
+
+// BenchmarkEncodingCheckCube runs the same check through
+// cube-and-conquer with a 2^4 split.
+func BenchmarkEncodingCheckCube(b *testing.B) {
+	benchParallelCheck(b, relalg.ParallelOptions{Workers: runtime.GOMAXPROCS(0), CubeVars: 4})
+}
+
+func benchParallelCheck(b *testing.B, par relalg.ParallelOptions) {
+	for i := 0; i < b.N; i++ {
+		e, err := mcamodel.BuildOptimized(mcamodel.PaperScope())
+		if err != nil {
+			b.Fatal(err)
+		}
+		m := mcamodel.CheckConsensusParallel(e, sat.Options{}, par)
+		if m.CheckStatus == sat.StatusUnknown {
+			b.Fatal("check inconclusive")
+		}
+	}
+}
+
+// BenchmarkConsensusSolve* isolates the SAT-solving phase of the
+// consensus query at a scope above the paper's (4 pnodes, 3 vnodes):
+// the CNF is translated once, then each backend solves it from scratch
+// per iteration. Serial pays the same clause load as the parallel
+// backends, so this is the apples-to-apples "solving the query"
+// comparison; with one worker the portfolio degenerates to the serial
+// reference configuration plus scheduling noise.
+func consensusQueryCNF(b *testing.B) *sat.CNF {
+	b.Helper()
+	sc := mcamodel.Scope{PNodes: 4, VNodes: 3, Values: 4, States: 3, Msgs: 2, IntBitwidth: 4}
+	e, err := mcamodel.BuildOptimized(sc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cnf, _ := relalg.TranslateToCNF(e.Bounds, relalg.And(e.Background, relalg.Not(e.Consensus)))
+	return cnf
+}
+
+func BenchmarkConsensusSolveSerial(b *testing.B) {
+	cnf := consensusQueryCNF(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := sat.NewSolver()
+		if err := cnf.LoadInto(s); err != nil {
+			b.Fatal(err)
+		}
+		if s.Solve() == sat.StatusUnknown {
+			b.Fatal("inconclusive")
+		}
+	}
+}
+
+func BenchmarkConsensusSolvePortfolio(b *testing.B) {
+	cnf := consensusQueryCNF(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := portfolio.SolvePortfolio(cnf, portfolio.Options{Workers: runtime.GOMAXPROCS(0)})
+		if res.Status == sat.StatusUnknown {
+			b.Fatal("inconclusive")
+		}
+	}
+}
+
+func BenchmarkConsensusSolveCube(b *testing.B) {
+	cnf := consensusQueryCNF(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := portfolio.SolveCube(cnf, portfolio.Options{Workers: runtime.GOMAXPROCS(0), CubeVars: 4})
+		if res.Status == sat.StatusUnknown {
+			b.Fatal("inconclusive")
+		}
+	}
+}
+
+// BenchmarkPortfolioRaceUnsat races the portfolio on a hard UNSAT
+// instance (pigeonhole), where diversified restart schedules genuinely
+// diverge in runtime.
+func BenchmarkPortfolioRaceUnsat(b *testing.B) {
+	f := sat.PigeonholeCNF(7)
+	for i := 0; i < b.N; i++ {
+		res := portfolio.SolvePortfolio(f, portfolio.Options{Workers: runtime.GOMAXPROCS(0)})
+		if res.Status != sat.StatusUnsat {
+			b.Fatalf("PHP = %v", res.Status)
+		}
+	}
+}
+
+// BenchmarkCubeAndConquerUnsat splits the same instance into 2^5 cubes.
+func BenchmarkCubeAndConquerUnsat(b *testing.B) {
+	f := sat.PigeonholeCNF(7)
+	for i := 0; i < b.N; i++ {
+		res := portfolio.SolveCube(f, portfolio.Options{Workers: runtime.GOMAXPROCS(0), CubeVars: 5})
+		if res.Status != sat.StatusUnsat {
+			b.Fatalf("PHP = %v", res.Status)
+		}
+	}
+}
+
+// BenchmarkExploreSerial/ParallelExplore* explore the same ~100K-state
+// three-agent instance with the serial DFS and the sharded frontier at
+// increasing worker counts. Worker counts beyond GOMAXPROCS only add
+// scheduling overhead, so the interesting rows are the ones up to the
+// machine's core count; verdict and state count are asserted identical
+// across all rows.
+func exploreBenchAgents() []*mca.Agent {
+	pol := mca.Policy{Target: 2, Utility: mca.FlatUtility{}, Rebid: mca.RebidOnChange}
+	bases := [][]int64{{12, 8}, {8, 12}, {4, 8}}
+	agents := make([]*mca.Agent, len(bases))
+	for i, bb := range bases {
+		agents[i] = mca.MustNewAgent(mca.Config{ID: mca.AgentID(i), Items: 2, Base: bb, Policy: pol})
+	}
+	return agents
+}
+
+func BenchmarkExploreSerial(b *testing.B) {
+	states := 0
+	for i := 0; i < b.N; i++ {
+		v := explore.Check(exploreBenchAgents(), graph.Ring(3), explore.Options{MaxStates: 2000000})
+		if !v.OK {
+			b.Fatalf("bench instance failed: %v", v.Violation)
+		}
+		states = v.States
+	}
+	b.ReportMetric(float64(states), "states")
+}
+
+func BenchmarkParallelExplore(b *testing.B) {
+	var refStates int
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			states := 0
+			for i := 0; i < b.N; i++ {
+				v := explore.CheckParallel(exploreBenchAgents(), graph.Ring(3), explore.Options{MaxStates: 2000000}, workers)
+				if !v.OK {
+					b.Fatalf("workers=%d failed: %v", workers, v.Violation)
+				}
+				states = v.States
+			}
+			if refStates == 0 {
+				refStates = states
+			} else if states != refStates {
+				b.Fatalf("workers=%d explored %d states, want %d", workers, states, refStates)
+			}
+			b.ReportMetric(float64(states), "states")
+		})
 	}
 }
 

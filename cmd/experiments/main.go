@@ -6,19 +6,22 @@
 // Usage:
 //
 //	experiments            # all experiments
-//	experiments -only e5   # a single experiment (e1..e7)
+//	experiments -only e5   # a single experiment (e1..e8)
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
+	"time"
 
 	"repro/internal/explore"
 	"repro/internal/graph"
 	"repro/internal/mca"
 	"repro/internal/mcamodel"
+	"repro/internal/relalg"
 	"repro/internal/sat"
 )
 
@@ -28,7 +31,7 @@ func main() {
 
 func run(args []string) int {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
-	only := fs.String("only", "", "run a single experiment: e1..e7 (default all)")
+	only := fs.String("only", "", "run a single experiment: e1..e8 (default all)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -40,12 +43,13 @@ func run(args []string) int {
 		"e5": e5Encodings,
 		"e6": e6Bound,
 		"e7": e7Static,
+		"e8": e8ParallelExplore,
 	}
-	order := []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7"}
+	order := []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8"}
 	sel := order
 	if *only != "" {
 		if _, ok := all[strings.ToLower(*only)]; !ok {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q (want e1..e7)\n", *only)
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (want e1..e8)\n", *only)
 			return 2
 		}
 		sel = []string{strings.ToLower(*only)}
@@ -197,6 +201,22 @@ func e5Encodings() error {
 	fmt.Printf("  %s\n  %s\n", mn, mo)
 	fmt.Printf("clause reduction: %.1f%% (paper: 259K -> 190K, ~27%%)\n",
 		100*(1-float64(mo.Clauses)/float64(mn.Clauses)))
+
+	// Parallel-vs-serial: the same consensus check on the optimized
+	// encoding, solved sequentially, by the solver portfolio, and by
+	// cube-and-conquer. All three must agree on the verdict.
+	workers := runtime.GOMAXPROCS(0)
+	serial := mcamodel.CheckConsensus(o, sat.Options{})
+	pf := mcamodel.CheckConsensusParallel(o, sat.Options{}, relalg.ParallelOptions{Workers: workers})
+	cc := mcamodel.CheckConsensusParallel(o, sat.Options{}, relalg.ParallelOptions{Workers: workers, CubeVars: 4})
+	fmt.Printf("consensus check, optimized encoding (workers=%d):\n", workers)
+	fmt.Printf("  %-22s solve=%8s %s\n", "serial", serial.Solve.Round(time.Millisecond), serial.CheckStatus)
+	fmt.Printf("  %-22s solve=%8s %s\n", "portfolio", pf.Solve.Round(time.Millisecond), pf.CheckStatus)
+	fmt.Printf("  %-22s solve=%8s %s\n", "cube-and-conquer (2^4)", cc.Solve.Round(time.Millisecond), cc.CheckStatus)
+	if pf.CheckStatus != serial.CheckStatus || cc.CheckStatus != serial.CheckStatus {
+		return fmt.Errorf("parallel backends disagree with serial: serial=%v portfolio=%v cube=%v",
+			serial.CheckStatus, pf.CheckStatus, cc.CheckStatus)
+	}
 	return nil
 }
 
@@ -225,6 +245,40 @@ func e6Bound() error {
 			return fmt.Errorf("%v: not converged within the bound", tp)
 		}
 		fmt.Printf("%-10s %-6d %-6d %-8d %-8d\n", tp, g.Diameter(), items, bound, out.Rounds)
+	}
+	return nil
+}
+
+func e8ParallelExplore() error {
+	header("E8 — sharded parallel exploration vs serial DFS")
+	mk := func() []*mca.Agent {
+		bases := [][]int64{{12, 8}, {8, 12}, {4, 8}}
+		agents := make([]*mca.Agent, len(bases))
+		for i, b := range bases {
+			agents[i] = mca.MustNewAgent(mca.Config{
+				ID: mca.AgentID(i), Items: len(b), Base: b,
+				Policy: mca.Policy{Target: 2, Utility: mca.FlatUtility{}, Rebid: mca.RebidOnChange},
+			})
+		}
+		return agents
+	}
+	opts := explore.Options{MaxStates: 2000000}
+	g := graph.Ring(3)
+
+	start := time.Now()
+	serial := explore.Check(mk(), g, opts)
+	serialTime := time.Since(start)
+	workers := runtime.GOMAXPROCS(0)
+	start = time.Now()
+	par := explore.CheckParallel(mk(), g, opts, workers)
+	parTime := time.Since(start)
+
+	fmt.Printf("3-agent ring, 2 items, flat utility (~100K states):\n")
+	fmt.Printf("  %-28s states=%-8d %8s OK=%v\n", "serial DFS", serial.States, serialTime.Round(time.Millisecond), serial.OK)
+	fmt.Printf("  %-28s states=%-8d %8s OK=%v\n",
+		fmt.Sprintf("sharded BFS (workers=%d)", workers), par.States, parTime.Round(time.Millisecond), par.OK)
+	if par.OK != serial.OK {
+		return fmt.Errorf("parallel explorer disagrees with serial: %v vs %v", par.OK, serial.OK)
 	}
 	return nil
 }

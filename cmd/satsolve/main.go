@@ -3,11 +3,13 @@
 //
 // Usage:
 //
-//	satsolve [-stats] [-maxconflicts N] file.cnf
+//	satsolve [-stats] [-maxconflicts N] [-workers N] [-cube K] file.cnf
 //	cat file.cnf | satsolve
 //
-// Output follows the SAT-competition convention: an "s" status line and,
-// for satisfiable instances, a "v" model line.
+// -workers races a portfolio of N diversified solvers; -cube splits the
+// formula into 2^K cubes solved concurrently (cube-and-conquer). Output
+// follows the SAT-competition convention: an "s" status line and, for
+// satisfiable instances, a "v" model line.
 package main
 
 import (
@@ -15,7 +17,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 
+	"repro/internal/portfolio"
 	"repro/internal/sat"
 )
 
@@ -27,6 +31,8 @@ func run(args []string, stdin io.Reader, stdout io.Writer) int {
 	fs := flag.NewFlagSet("satsolve", flag.ContinueOnError)
 	stats := fs.Bool("stats", false, "print solver statistics")
 	maxConflicts := fs.Int64("maxconflicts", 0, "conflict budget (0 = unlimited)")
+	workers := fs.Int("workers", 1, "parallel solvers: >1 races a portfolio, 0 means one per core; with -cube, sizes the cube worker pool")
+	cube := fs.Int("cube", 0, "cube-and-conquer on 2^K cubes (0 = off); workers default to one per core")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -47,14 +53,38 @@ func run(args []string, stdin io.Reader, stdout io.Writer) int {
 		fmt.Fprintln(os.Stderr, err)
 		return 2
 	}
-	solver := sat.NewSolverWithOptions(sat.Options{MaxConflicts: *maxConflicts})
-	if err := cnf.LoadInto(solver); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		return 2
+	opts := sat.Options{MaxConflicts: *maxConflicts}
+	var status sat.Status
+	var model []bool
+	var st sat.Stats
+	if *workers != 1 || *cube > 0 {
+		pw := *workers
+		if pw == 0 || (*cube > 0 && pw == 1) {
+			pw = runtime.GOMAXPROCS(0) // default: one worker per core
+		}
+		res := portfolio.Solve(cnf, portfolio.Options{Workers: pw, CubeVars: *cube, Base: opts})
+		status, model, st = res.Status, res.Model, res.Stats
+		if *stats {
+			if *cube > 0 {
+				fmt.Fprintf(stdout, "c cube-and-conquer cubes=%d unsat-cubes=%d workers=%d\n",
+					res.Cubes, res.UnsatCubes, pw)
+			} else {
+				fmt.Fprintf(stdout, "c portfolio workers=%d winner=%d\n", pw, res.Winner)
+			}
+		}
+	} else {
+		solver := sat.NewSolverWithOptions(opts)
+		if err := cnf.LoadInto(solver); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		status = solver.Solve()
+		st = solver.Stats()
+		if status == sat.StatusSat {
+			model = solver.Model()
+		}
 	}
-	status := solver.Solve()
 	if *stats {
-		st := solver.Stats()
 		fmt.Fprintf(stdout, "c conflicts=%d decisions=%d propagations=%d restarts=%d learnt=%d deleted=%d\n",
 			st.Conflicts, st.Decisions, st.Propagations, st.Restarts, st.Learnt, st.Deleted)
 		fmt.Fprintf(stdout, "c vars=%d clauses=%d\n", cnf.NumVars, cnf.NumClauses())
@@ -62,7 +92,6 @@ func run(args []string, stdin io.Reader, stdout io.Writer) int {
 	switch status {
 	case sat.StatusSat:
 		fmt.Fprintln(stdout, "s SATISFIABLE")
-		model := solver.Model()
 		fmt.Fprint(stdout, "v")
 		for v := 0; v < cnf.NumVars; v++ {
 			lit := v + 1

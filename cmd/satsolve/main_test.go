@@ -58,3 +58,35 @@ func TestRunBadFlag(t *testing.T) {
 		t.Fatalf("exit code = %d, want 2", code)
 	}
 }
+
+func TestRunPortfolioWorkers(t *testing.T) {
+	in := strings.NewReader("p cnf 2 2\n1 2 0\n-1 0\n")
+	var out bytes.Buffer
+	code := run([]string{"-stats", "-workers", "3"}, in, &out)
+	if code != 10 {
+		t.Fatalf("exit code = %d, want 10\n%s", code, out.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "s SATISFIABLE") || !strings.Contains(s, "v -1 2 0") {
+		t.Fatalf("portfolio output wrong:\n%s", s)
+	}
+	if !strings.Contains(s, "c portfolio workers=3") {
+		t.Fatalf("portfolio stats missing:\n%s", s)
+	}
+}
+
+func TestRunCubeUnsat(t *testing.T) {
+	in := strings.NewReader("p cnf 2 4\n1 2 0\n1 -2 0\n-1 2 0\n-1 -2 0\n")
+	var out bytes.Buffer
+	code := run([]string{"-stats", "-cube", "2", "-workers", "2"}, in, &out)
+	if code != 20 {
+		t.Fatalf("exit code = %d, want 20\n%s", code, out.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "s UNSATISFIABLE") {
+		t.Fatalf("missing unsat line:\n%s", s)
+	}
+	if !strings.Contains(s, "c cube-and-conquer cubes=4 unsat-cubes=4") {
+		t.Fatalf("cube stats missing:\n%s", s)
+	}
+}

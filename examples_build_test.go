@@ -1,0 +1,19 @@
+package mcaverify_test
+
+import (
+	"os/exec"
+	"testing"
+)
+
+// TestExamplesBuild compiles every example program. The examples have
+// no test files of their own, so without this smoke check a refactor of
+// the public API could break them silently.
+func TestExamplesBuild(t *testing.T) {
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go toolchain not on PATH")
+	}
+	out, err := exec.Command("go", "build", "./examples/...").CombinedOutput()
+	if err != nil {
+		t.Fatalf("examples failed to build: %v\n%s", err, out)
+	}
+}

@@ -19,7 +19,6 @@ package explore
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/graph"
 	"repro/internal/mca"
@@ -88,7 +87,9 @@ type Options struct {
 	// messages (default 2: the oldest plus the latest; the tail
 	// coalesces). 0 keeps the default; negative means unbounded.
 	QueueDepth int
-	// DisableVisitedSet turns off state memoization (ablation).
+	// DisableVisitedSet turns off state memoization (ablation). Serial
+	// Check only; CheckParallel ignores it — its seen-set is also the
+	// sharding structure.
 	DisableVisitedSet bool
 	// DuplicateDeliveries additionally branches on delivering each
 	// pending message WITHOUT consuming it — fault injection for
@@ -144,14 +145,21 @@ type checker struct {
 	opts    Options
 	visited map[[2]uint64]bool
 	onPath  map[[2]uint64]pathMark
-	path    []pathEntry
-	keyBuf  []byte
-	verdict *Verdict
-}
-
-type pathEntry struct {
-	label string
-	snaps []trace.AgentSnapshot
+	// path is the current delivery sequence; counterexample traces are
+	// rebuilt by replaying it from the initial state, so the hot loop
+	// never materializes snapshots.
+	path    []stepRec
+	states0 []mca.AgentState
+	net0    *netsim.Network
+	keys    keyScratch
+	// snapStack and agentStack hold one queue snapshot / agent-state
+	// save per recursion depth so every branch reuses its depth's
+	// storage instead of allocating; edgeBuf is shared across depths
+	// (consumed before recursing).
+	snapStack  []netsim.QueueSnapshot
+	agentStack [][]mca.AgentState
+	edgeBuf    []netsim.Edge
+	verdict    *Verdict
 }
 
 // pathMark remembers where a state first appeared on the DFS path and
@@ -190,7 +198,8 @@ func Check(agents []*mca.Agent, g *graph.Graph, opts Options) Verdict {
 			c.net.Broadcast(a.ID(), a.Snapshot)
 		}
 	}
-	c.path = append(c.path, pathEntry{label: "initial bids", snaps: c.snapshots()})
+	c.states0 = saveStates(agents)
+	c.net0 = c.net.Clone()
 	c.dfs(0, 0)
 	c.verdict.Exhausted = c.verdict.States < opts.MaxStates
 	c.verdict.OK = c.verdict.Violation == ViolationNone && c.verdict.Exhausted
@@ -252,7 +261,7 @@ func (c *checker) dfs(depth, changes int) bool {
 		return true
 	}
 
-	c.onPath[key] = pathMark{step: len(c.path) - 1, changes: changes}
+	c.onPath[key] = pathMark{step: len(c.path), changes: changes}
 	defer delete(c.onPath, key)
 
 	pending := c.net.Pending()
@@ -263,41 +272,30 @@ func (c *checker) dfs(depth, changes int) bool {
 		}
 		for _, consume := range modes {
 			// Branch: deliver the head message on edge e, consuming it or
-			// (fault injection) leaving a duplicate in flight.
-			savedNet := c.net.Clone()
-			savedAgents := make([]mca.AgentState, len(c.agents))
+			// (fault injection) leaving a duplicate in flight. Only the
+			// queues a delivery can touch are snapshotted; the recursion
+			// below rolls its own deliveries back, so rolling back this
+			// one afterwards restores the state exactly.
+			for depth >= len(c.snapStack) {
+				c.snapStack = append(c.snapStack, netsim.QueueSnapshot{})
+				c.agentStack = append(c.agentStack, make([]mca.AgentState, len(c.agents)))
+			}
+			snap := &c.snapStack[depth]
+			c.edgeBuf = affectedEdges(c.edgeBuf, c.net, e)
+			c.net.Capture(snap, c.edgeBuf...)
+			savedAgents := c.agentStack[depth]
 			for i, a := range c.agents {
-				savedAgents[i] = a.SaveState()
+				a.SaveStateInto(&savedAgents[i])
 			}
-			var m mca.Message
-			if consume {
-				m = c.net.Deliver(e)
-			} else {
-				m, _ = c.net.Peek(e)
-				m = m.Clone()
-			}
-			receiver := c.agents[e.To]
-			didChange := receiver.HandleMessage(m)
-			if didChange {
-				c.net.Broadcast(receiver.ID(), receiver.Snapshot)
-			} else if !mca.ViewsAgree(receiver.View(), m.View) {
-				c.net.Send(receiver.Snapshot(m.Sender))
-			}
-			label := "deliver"
-			if !consume {
-				label = "duplicate-deliver"
-			}
-			c.path = append(c.path, pathEntry{
-				label: fmt.Sprintf("%s %d->%d", label, e.From, e.To),
-				snaps: c.snapshots(),
-			})
+			didChange := applyDelivery(c.agents, c.net, e, consume)
+			c.path = append(c.path, stepRec{edge: e, consume: consume})
 			nextChanges := changes
 			if didChange {
 				nextChanges++
 			}
 			stop := c.dfs(depth+1, nextChanges)
 			c.path = c.path[:len(c.path)-1]
-			c.net = savedNet
+			c.net.Rollback(snap)
 			for i, a := range c.agents {
 				a.RestoreState(savedAgents[i])
 			}
@@ -312,18 +310,59 @@ func (c *checker) dfs(depth, changes int) bool {
 	return false
 }
 
-func (c *checker) agreement() bool {
-	for i := 1; i < len(c.agents); i++ {
-		if !c.agents[0].AgreesWith(c.agents[i]) {
+// affectedEdges appends to buf the edges a delivery on e can modify:
+// e itself plus every outgoing edge of the receiver (re-broadcast and
+// reply targets).
+func affectedEdges(buf []netsim.Edge, net *netsim.Network, e netsim.Edge) []netsim.Edge {
+	buf = append(buf[:0], e)
+	for _, nb := range net.Neighbors(int(e.To)) {
+		buf = append(buf, netsim.Edge{From: e.To, To: mca.AgentID(nb)})
+	}
+	return buf
+}
+
+// applyDelivery delivers the head message of edge e — consuming it, or
+// (duplicate fault injection) leaving it in flight — and applies the
+// protocol's response rules: a changed receiver re-broadcasts its view,
+// and an unchanged receiver that disagrees with the sender replies so
+// the disagreement cannot silently persist at quiescence. This is the
+// single transition function shared by the serial DFS and the sharded
+// parallel frontier.
+func applyDelivery(agents []*mca.Agent, net *netsim.Network, e netsim.Edge, consume bool) bool {
+	var m mca.Message
+	if consume {
+		m = net.Deliver(e)
+	} else {
+		// No clone needed: messages are immutable once sent and
+		// HandleMessage only reads its argument (the same invariant
+		// netsim.Network.Clone relies on to share message values).
+		m, _ = net.Peek(e)
+	}
+	receiver := agents[e.To]
+	didChange := receiver.HandleMessage(m)
+	if didChange {
+		net.Broadcast(receiver.ID(), receiver.Snapshot)
+	} else if !mca.ViewsAgree(receiver.View(), m.View) {
+		net.Send(receiver.Snapshot(m.Sender))
+	}
+	return didChange
+}
+
+// agreementOf reports whether all agents pairwise agree on winners and
+// winning bids.
+func agreementOf(agents []*mca.Agent) bool {
+	for i := 1; i < len(agents); i++ {
+		if !agents[0].AgreesWith(agents[i]) {
 			return false
 		}
 	}
 	return true
 }
 
-func (c *checker) conflictFree() bool {
+// conflictFreeOf reports whether no item is held by two bundles.
+func conflictFreeOf(agents []*mca.Agent) bool {
 	holder := make(map[mca.ItemID]mca.AgentID)
-	for _, a := range c.agents {
+	for _, a := range agents {
 		for _, j := range a.Bundle() {
 			if prev, taken := holder[j]; taken && prev != a.ID() {
 				return false
@@ -334,22 +373,22 @@ func (c *checker) conflictFree() bool {
 	return true
 }
 
+func (c *checker) agreement() bool { return agreementOf(c.agents) }
+
+func (c *checker) conflictFree() bool { return conflictFreeOf(c.agents) }
+
 func (c *checker) fail(kind ViolationKind, label string) {
 	if c.verdict.Violation != ViolationNone {
 		return // keep the first counterexample
 	}
 	c.verdict.Violation = kind
-	rec := trace.NewRecorder()
-	for _, pe := range c.path {
-		rec.Record(trace.Step{Label: pe.label, Agents: pe.snaps})
-	}
-	rec.Record(trace.Step{Label: "VIOLATION: " + label, Agents: c.snapshots()})
-	c.verdict.Trace = rec
+	c.verdict.Trace = replayTrace(cloneAgents(c.agents), c.states0, c.net0, c.path, label)
 }
 
-func (c *checker) snapshots() []trace.AgentSnapshot {
-	out := make([]trace.AgentSnapshot, len(c.agents))
-	for i, a := range c.agents {
+// agentSnapshots captures the trace-level view of every agent.
+func agentSnapshots(agents []*mca.Agent) []trace.AgentSnapshot {
+	out := make([]trace.AgentSnapshot, len(agents))
+	for i, a := range agents {
 		view := a.View()
 		bids := make([]int64, len(view))
 		winners := make([]int, len(view))
@@ -371,46 +410,8 @@ func (c *checker) snapshots() []trace.AgentSnapshot {
 // their dense rank — making the visited set a finite quotient of the
 // unbounded clock space — and hashes the result to a 128-bit key
 // (FNV-1a with two offsets; collisions are negligible at the state
-// counts explored).
+// counts explored). The computation lives in keyScratch.key, shared
+// with the parallel frontier's per-worker hashing.
 func (c *checker) canonKey() [2]uint64 {
-	// Collect every timestamp.
-	var times []int
-	sink := func(t int) { times = append(times, t) }
-	for _, a := range c.agents {
-		a.CollectTimes(sink)
-	}
-	for _, e := range c.net.Pending() {
-		for _, m := range c.net.Queue(e) {
-			mca.CollectMessageTimes(m, sink)
-		}
-	}
-	sort.Ints(times)
-	rankOf := make(map[int]int, len(times))
-	for _, t := range times {
-		if _, seen := rankOf[t]; !seen {
-			rankOf[t] = len(rankOf)
-		}
-	}
-	rank := func(t int) int { return rankOf[t] }
-
-	c.keyBuf = c.keyBuf[:0]
-	for _, a := range c.agents {
-		c.keyBuf = a.AppendCanonical(c.keyBuf, rank)
-	}
-	for _, e := range c.net.Pending() {
-		for _, m := range c.net.Queue(e) {
-			c.keyBuf = mca.AppendMessageCanonical(c.keyBuf, m, rank)
-		}
-	}
-	const (
-		offset1 = 14695981039346656037
-		offset2 = 1099511628211*31 + 7
-		prime   = 1099511628211
-	)
-	h1, h2 := uint64(offset1), uint64(offset2)
-	for _, b := range c.keyBuf {
-		h1 = (h1 ^ uint64(b)) * prime
-		h2 = (h2 ^ uint64(b)) * (prime + 2)
-	}
-	return [2]uint64{h1, h2}
+	return c.keys.key(c.agents, c.net)
 }

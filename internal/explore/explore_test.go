@@ -2,6 +2,7 @@ package explore
 
 import (
 	"math/rand"
+	"runtime"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -23,6 +24,7 @@ func agentsWithBases(bases [][]int64, pol mca.Policy) []*mca.Agent {
 }
 
 func TestCheckEmptyAgents(t *testing.T) {
+	t.Parallel()
 	v := Check(nil, graph.New(0), Options{})
 	if !v.OK {
 		t.Fatal("empty system should trivially hold")
@@ -30,6 +32,7 @@ func TestCheckEmptyAgents(t *testing.T) {
 }
 
 func TestCheckFig1Converges(t *testing.T) {
+	t.Parallel()
 	// The paper's Fig. 1 instance: all interleavings converge.
 	agents := agentsWithBases([][]int64{{10, 0, 30}, {20, 15, 0}}, honestPolicy(2, mca.FlatUtility{}, false))
 	v := Check(agents, graph.Complete(2), Options{})
@@ -42,6 +45,7 @@ func TestCheckFig1Converges(t *testing.T) {
 }
 
 func TestCheckSubmodularReleaseConverges(t *testing.T) {
+	t.Parallel()
 	agents := agentsWithBases([][]int64{{10, 15}, {15, 10}}, honestPolicy(2, mca.SubmodularResidual{}, true))
 	v := Check(agents, graph.Complete(2), Options{})
 	if !v.OK {
@@ -52,6 +56,7 @@ func TestCheckSubmodularReleaseConverges(t *testing.T) {
 // Result 1: the non-sub-modular utility combined with release-outbid
 // breaks convergence — the checker finds an oscillation counterexample.
 func TestResult1NonSubmodularReleaseOscillates(t *testing.T) {
+	t.Parallel()
 	agents := agentsWithBases([][]int64{{10, 15}, {15, 10}}, honestPolicy(2, mca.NonSubmodularSynergy{}, true))
 	v := Check(agents, graph.Complete(2), Options{})
 	if v.OK {
@@ -68,6 +73,7 @@ func TestResult1NonSubmodularReleaseOscillates(t *testing.T) {
 // Result 1 control: the same non-sub-modular utility WITHOUT
 // release-outbid verifies.
 func TestResult1NonSubmodularNoReleaseConverges(t *testing.T) {
+	t.Parallel()
 	agents := agentsWithBases([][]int64{{10, 15}, {15, 10}}, honestPolicy(2, mca.NonSubmodularSynergy{}, false))
 	v := Check(agents, graph.Complete(2), Options{})
 	if !v.OK {
@@ -79,6 +85,7 @@ func TestResult1NonSubmodularNoReleaseConverges(t *testing.T) {
 // may rebid on items they lost, bidding above the known maximum — the
 // rebidding attack / misconfiguration) breaks consensus within the bound.
 func TestResult2RebidAttack(t *testing.T) {
+	t.Parallel()
 	mk := func(id mca.AgentID, base int64) *mca.Agent {
 		return mca.MustNewAgent(mca.Config{ID: id, Items: 1, Base: []int64{base},
 			Policy: mca.Policy{Target: 1, Utility: mca.EscalatingUtility{Cap: 1 << 20}, Rebid: mca.RebidAlways}})
@@ -99,6 +106,7 @@ func TestResult2RebidAttack(t *testing.T) {
 // the item but consensus is still (eventually) reached — the denial of
 // service needs sustained mutual rebidding.
 func TestSingleAttackerHijacksButConverges(t *testing.T) {
+	t.Parallel()
 	honest := mca.MustNewAgent(mca.Config{ID: 0, Items: 1, Base: []int64{10},
 		Policy: mca.Policy{Target: 1, Utility: mca.FlatUtility{}, Rebid: mca.RebidOnChange}})
 	attacker := mca.MustNewAgent(mca.Config{ID: 1, Items: 1, Base: []int64{5},
@@ -115,6 +123,7 @@ func TestSingleAttackerHijacksButConverges(t *testing.T) {
 // Result 2 control: with the Remark 1 condition restored (same utilities,
 // honest rebid mode), the system verifies.
 func TestResult2ControlVerifies(t *testing.T) {
+	t.Parallel()
 	a0 := mca.MustNewAgent(mca.Config{ID: 0, Items: 1, Base: []int64{10},
 		Policy: mca.Policy{Target: 1, Utility: mca.FlatUtility{}, Rebid: mca.RebidOnChange}})
 	a1 := mca.MustNewAgent(mca.Config{ID: 1, Items: 1, Base: []int64{5},
@@ -126,6 +135,7 @@ func TestResult2ControlVerifies(t *testing.T) {
 }
 
 func TestCheckThreeAgentLine(t *testing.T) {
+	t.Parallel()
 	// Multi-hop: agent 1 relays between 0 and 2.
 	agents := agentsWithBases(
 		[][]int64{{9, 3}, {5, 5}, {3, 9}},
@@ -137,11 +147,16 @@ func TestCheckThreeAgentLine(t *testing.T) {
 }
 
 func TestCheckSubmodularThreeAgents(t *testing.T) {
+	t.Parallel()
 	// The paper's own analysis scope: 3 physical nodes, 2 virtual nodes.
+	// This is by far the largest exhaustive exploration in the suite
+	// (~330K states), so it runs on the sharded parallel frontier with
+	// one worker per core; serial coverage of three-agent scopes lives
+	// in the cheaper line-topology tests.
 	agents := agentsWithBases(
 		[][]int64{{12, 8}, {8, 12}, {4, 8}},
 		honestPolicy(2, mca.SubmodularResidual{}, true))
-	v := Check(agents, graph.Ring(3), Options{MaxStates: 2000000})
+	v := CheckParallel(agents, graph.Ring(3), Options{MaxStates: 2000000}, runtime.GOMAXPROCS(0))
 	if !v.OK {
 		t.Fatalf("3-agent ring failed: violation=%v exhausted=%v states=%d\n%s",
 			v.Violation, v.Exhausted, v.States, traceString(v))
@@ -154,6 +169,7 @@ func TestCheckSubmodularThreeAgents(t *testing.T) {
 // exhaustive exploration cost grows steeply with scope, exactly as the
 // paper reports for the Alloy Analyzer.
 func TestCheckRandomHonestInstancesProperty(t *testing.T) {
+	t.Parallel()
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		items := 1 + rng.Intn(2) // 1-2 items
@@ -173,13 +189,21 @@ func TestCheckRandomHonestInstancesProperty(t *testing.T) {
 	}
 }
 
-// Three honest agents, one item, line topology: exhaustive multi-hop check.
+// Three honest agents, one item, line topology: exhaustive multi-hop
+// check, alternating between the serial DFS and the sharded frontier so
+// the seeds double as cross-engine agreement checks.
 func TestCheckThreeAgentsOneItemExhaustive(t *testing.T) {
+	t.Parallel()
 	for seed := int64(0); seed < 6; seed++ {
 		rng := rand.New(rand.NewSource(seed))
 		bases := [][]int64{{int64(rng.Intn(9) + 1)}, {int64(rng.Intn(9) + 1)}, {int64(rng.Intn(9) + 1)}}
 		agents := agentsWithBases(bases, honestPolicy(1, mca.SubmodularResidual{}, true))
-		v := Check(agents, graph.Line(3), Options{MaxStates: 2000000})
+		var v Verdict
+		if seed%2 == 0 {
+			v = Check(agents, graph.Line(3), Options{MaxStates: 2000000})
+		} else {
+			v = CheckParallel(agents, graph.Line(3), Options{MaxStates: 2000000}, runtime.GOMAXPROCS(0))
+		}
 		if !v.OK {
 			t.Fatalf("seed %d bases %v: violation=%v exhausted=%v states=%d\n%s",
 				seed, bases, v.Violation, v.Exhausted, v.States, traceString(v))
@@ -188,6 +212,7 @@ func TestCheckThreeAgentsOneItemExhaustive(t *testing.T) {
 }
 
 func TestVerdictFieldsPopulated(t *testing.T) {
+	t.Parallel()
 	agents := agentsWithBases([][]int64{{10, 0, 30}, {20, 15, 0}}, honestPolicy(2, mca.FlatUtility{}, false))
 	v := Check(agents, graph.Complete(2), Options{})
 	if v.States == 0 || v.MaxDepth == 0 {
@@ -199,6 +224,7 @@ func TestVerdictFieldsPopulated(t *testing.T) {
 }
 
 func TestMaxStatesInconclusive(t *testing.T) {
+	t.Parallel()
 	agents := agentsWithBases([][]int64{{10, 15}, {15, 10}}, honestPolicy(2, mca.SubmodularResidual{}, true))
 	v := Check(agents, graph.Complete(2), Options{MaxStates: 2})
 	if v.Exhausted {
@@ -210,6 +236,7 @@ func TestMaxStatesInconclusive(t *testing.T) {
 }
 
 func TestDisableVisitedSetAblation(t *testing.T) {
+	t.Parallel()
 	agents1 := agentsWithBases([][]int64{{10, 0, 30}, {20, 15, 0}}, honestPolicy(2, mca.FlatUtility{}, false))
 	withSet := Check(agents1, graph.Complete(2), Options{})
 	agents2 := agentsWithBases([][]int64{{10, 0, 30}, {20, 15, 0}}, honestPolicy(2, mca.FlatUtility{}, false))
@@ -223,6 +250,7 @@ func TestDisableVisitedSetAblation(t *testing.T) {
 }
 
 func TestViolationStrings(t *testing.T) {
+	t.Parallel()
 	kinds := []ViolationKind{ViolationNone, ViolationOscillation, ViolationBoundExceeded,
 		ViolationDisagreement, ViolationConflict, ViolationKind(42)}
 	for _, k := range kinds {
@@ -233,6 +261,7 @@ func TestViolationStrings(t *testing.T) {
 }
 
 func TestOscillationTraceMentionsDeliveries(t *testing.T) {
+	t.Parallel()
 	agents := agentsWithBases([][]int64{{10, 15}, {15, 10}}, honestPolicy(2, mca.NonSubmodularSynergy{}, true))
 	v := Check(agents, graph.Complete(2), Options{})
 	if v.Trace == nil {
@@ -254,6 +283,7 @@ func traceString(v Verdict) string {
 // Fault injection: with at-least-once delivery (duplicates), honest
 // configurations still verify — the MCA merge is idempotent.
 func TestCheckTolerantOfDuplicateDeliveries(t *testing.T) {
+	t.Parallel()
 	agents := agentsWithBases([][]int64{{10, 0, 30}, {20, 15, 0}}, honestPolicy(2, mca.FlatUtility{}, false))
 	v := Check(agents, graph.Complete(2), Options{DuplicateDeliveries: true, MaxStates: 500000})
 	if !v.OK {
@@ -262,6 +292,7 @@ func TestCheckTolerantOfDuplicateDeliveries(t *testing.T) {
 }
 
 func TestDuplicateDeliveriesStillFindOscillation(t *testing.T) {
+	t.Parallel()
 	agents := agentsWithBases([][]int64{{10, 15}, {15, 10}}, honestPolicy(2, mca.NonSubmodularSynergy{}, true))
 	v := Check(agents, graph.Complete(2), Options{DuplicateDeliveries: true})
 	if v.OK {
@@ -270,6 +301,7 @@ func TestDuplicateDeliveriesStillFindOscillation(t *testing.T) {
 }
 
 func TestOptionsDefaults(t *testing.T) {
+	t.Parallel()
 	o := Options{}.withDefaults(graph.Complete(2), 2)
 	if o.Bound <= 0 || o.MaxStates <= 0 || o.QueueDepth != 2 || o.HardLimitFactor != 8 {
 		t.Fatalf("defaults: %+v", o)
@@ -285,6 +317,7 @@ func TestOptionsDefaults(t *testing.T) {
 }
 
 func TestExplicitBoundRespected(t *testing.T) {
+	t.Parallel()
 	// With an explicit tiny bound, even converging configurations can be
 	// flagged — the assertion fails for too-small val, exactly as the
 	// paper's consensus assertion depends on its val parameter.
@@ -299,6 +332,7 @@ func TestExplicitBoundRespected(t *testing.T) {
 }
 
 func TestUnboundedQueueDepthStillVerifiesSmallScope(t *testing.T) {
+	t.Parallel()
 	agents := agentsWithBases([][]int64{{7}, {3}}, honestPolicy(1, mca.FlatUtility{}, false))
 	v := Check(agents, graph.Complete(2), Options{QueueDepth: -1})
 	if !v.OK {

@@ -1,0 +1,763 @@
+package explore
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/graph"
+	"repro/internal/mca"
+	"repro/internal/netsim"
+	"repro/internal/trace"
+)
+
+// CheckParallel is the sharded parallel counterpart of Check: the same
+// bounded verification of the MCA consensus property, run as a
+// level-synchronous breadth-first exploration partitioned across
+// workers. The canonical-state space is hash-partitioned: each worker
+// owns the shard of states whose key hashes to it, keeps that shard's
+// seen-set without locking, and expands only states it owns; successor
+// states are routed to their owners between levels.
+//
+// The verdict is deterministic in the worker count:
+//
+//   - levels impose a global exploration order, so the set of states
+//     examined before a stop is worker-count independent;
+//   - within a level, each shard processes its items in a sorted order
+//     and violations are merged with a fixed tie-break, so the reported
+//     counterexample is stable;
+//   - oscillations are detected after the frontier drains, by finding a
+//     strongly connected component of the explored state graph that
+//     contains a state-changing transition — the graph-level equivalent
+//     of the serial checker's "state repeats with progress made" path
+//     check — and the witness cycle is chosen deterministically.
+//
+// Verdicts agree with the serial checker on exhausted state spaces,
+// with one deliberate exception: the paper's val-bound assertion is
+// path-dependent, and when several same-length paths reach a state the
+// serial DFS checks whichever its traversal order happens to keep
+// while the sharded frontier always keeps the most-violating (highest
+// effective-change) path — so CheckParallel can flag a bound violation
+// the serial checker's order-dependent pruning misses, never the
+// reverse. Inconclusive (budget-capped) runs report Exhausted=false
+// exactly like Check. Options.DisableVisitedSet (the
+// serial checker's memoization ablation) is not supported here and is
+// ignored: the hash-partitioned seen-set is what shards the state
+// space, so the sharded frontier cannot run without it.
+// The MaxStates budget is enforced
+// at level granularity — a level in flight completes before the stop,
+// so the explored count may overshoot the cap by up to one frontier
+// width (the price of keeping the stopping point worker-count
+// independent).
+func CheckParallel(agents []*mca.Agent, g *graph.Graph, opts Options, workers int) Verdict {
+	if len(agents) == 0 {
+		return Verdict{OK: true, Exhausted: true}
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	opts = opts.withDefaults(g, agents[0].Items())
+
+	// Initial transition: all agents bid and broadcast.
+	net0 := netsim.New(g, false)
+	if opts.QueueDepth > 0 {
+		net0.LimitQueueDepth(opts.QueueDepth)
+	}
+	for _, a := range agents {
+		if a.BidPhase() {
+			net0.Broadcast(a.ID(), a.Snapshot)
+		}
+	}
+	states0 := saveStates(agents)
+
+	shards := make([]*shardWorker, workers)
+	for i := range shards {
+		shards[i] = &shardWorker{
+			self:     i,
+			replicas: cloneAgents(agents),
+			sealed:   make(map[[2]uint64]*pathNode),
+			fresh:    make(map[[2]uint64]*pathNode),
+		}
+	}
+
+	rootKey := shards[0].keys.key(shards[0].replicas, net0)
+	root := workItem{
+		node:     &pathNode{key: rootKey},
+		stateBuf: encodeStates(agents, nil),
+		net:      net0.Clone(),
+		routeH:   routeSeed,
+	}
+	frontier := make([][]workItem, workers)
+	frontier[shardOf(rootKey, workers)] = []workItem{root}
+
+	verdict := &Verdict{}
+	var chosen *violationRec
+	totalStates := 0
+	completed := false
+
+	for level := 0; ; level++ {
+		empty := true
+		for _, items := range frontier {
+			if len(items) > 0 {
+				empty = false
+				verdict.MaxDepth = level
+				break
+			}
+		}
+		if empty {
+			completed = true
+			break
+		}
+
+		results := make([]levelResult, workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				results[w] = shards[w].processLevel(frontier[w], opts, shards)
+			}(w)
+		}
+		wg.Wait()
+		for _, s := range shards {
+			s.seal()
+		}
+
+		next := make([][]workItem, workers)
+		var viols []violationRec
+		for w := range results {
+			totalStates += results[w].newStates
+			viols = append(viols, results[w].violations...)
+			for d, items := range results[w].out {
+				next[d] = append(next[d], items...)
+			}
+		}
+		frontier = next
+
+		if len(viols) > 0 {
+			// All violations in a level sit at the same depth; break ties
+			// deterministically so the counterexample is stable across
+			// worker counts and runs.
+			sort.Slice(viols, func(i, j int) bool {
+				a, b := viols[i], viols[j]
+				if a.kind != b.kind {
+					return a.kind < b.kind
+				}
+				if a.node.key != b.node.key {
+					return keyLess(a.node.key, b.node.key)
+				}
+				return a.routeH < b.routeH
+			})
+			chosen = &viols[0]
+			break
+		}
+		if totalStates >= opts.MaxStates {
+			break // budget exhausted; inconclusive
+		}
+	}
+
+	verdict.States = totalStates
+	verdict.Exhausted = totalStates < opts.MaxStates
+	if chosen != nil {
+		verdict.Violation = chosen.kind
+		verdict.Trace = replayTrace(cloneAgents(agents), states0, net0, treeSteps(chosen.node), chosen.label)
+	} else if completed && verdict.Exhausted {
+		total := 0
+		for _, s := range shards {
+			total += len(s.edges)
+		}
+		allEdges := make([]edgeRec, 0, total)
+		for _, s := range shards {
+			allEdges = append(allEdges, s.edges...)
+		}
+		if osc := findOscillation(allEdges, mergeNodes(shards)); osc != nil {
+			verdict.Violation = ViolationOscillation
+			verdict.Trace = replayTrace(cloneAgents(agents), states0, net0, osc.steps, osc.label)
+		}
+	}
+	verdict.OK = verdict.Violation == ViolationNone && verdict.Exhausted
+	return *verdict
+}
+
+// routeSeed is the FNV-1a offset basis used for route fingerprints.
+const routeSeed = 14695981039346656037
+
+// pathNode is one node of the breadth-first exploration tree: the state
+// reached, the delivery that reached it, and its parent. Paths share
+// prefixes, so the retained tree costs O(states), and a counterexample
+// is reconstructed by replaying the root-to-node delivery sequence.
+type pathNode struct {
+	parent  *pathNode
+	edge    netsim.Edge
+	consume bool
+	depth   int
+	changes int
+	key     [2]uint64
+}
+
+// workItem is a frontier entry: a reached state (agent states packed
+// into one pointer-free byte buffer, plus the in-flight messages) and a
+// deterministic route fingerprint used only for tie-breaking.
+type workItem struct {
+	node     *pathNode
+	stateBuf []byte
+	net      *netsim.Network
+	routeH   uint64
+}
+
+// stepRec is one delivery of a replayable counterexample path.
+type stepRec struct {
+	edge    netsim.Edge
+	consume bool
+}
+
+// edgeRec is one explored transition of the state graph, kept for the
+// end-of-run oscillation analysis.
+type edgeRec struct {
+	from, to  [2]uint64
+	step      stepRec
+	didChange bool
+}
+
+type violationRec struct {
+	kind   ViolationKind
+	label  string
+	node   *pathNode
+	routeH uint64
+}
+
+// shardWorker owns one hash shard of the canonical-state space. The
+// seen-set is split in two to allow lock-free cross-shard reads:
+// `sealed` holds states processed in *earlier* levels and is only
+// updated at the level barrier, so any worker may consult any shard's
+// sealed set while generating successors (pruning most already-known
+// states at the producer, before allocating a frontier item); `fresh`
+// collects the states processed in the current level and is touched
+// only by the owning worker. Everything else (replicas, scratch
+// buffers, tree index) is worker-private, so the level loop needs no
+// locks — only the barrier between levels.
+type shardWorker struct {
+	self     int // this worker's shard index
+	replicas []*mca.Agent
+	keys     keyScratch
+	snap     netsim.QueueSnapshot
+	edgeBuf  []netsim.Edge
+	sealed   map[[2]uint64]*pathNode
+	fresh    map[[2]uint64]*pathNode
+	// edges accumulates every explored transition for the end-of-run
+	// oscillation analysis. This is the memory cost of detecting cycles
+	// deterministically in a BFS (the serial DFS sees them on its path
+	// instead): O(states × branching) compact pointer-free records,
+	// only consulted when the frontier drains without a violation.
+	edges []edgeRec
+}
+
+// seal merges the current level's states into the sealed set. Called at
+// the barrier, never concurrently with processLevel.
+func (w *shardWorker) seal() {
+	for k, n := range w.fresh {
+		w.sealed[k] = n
+	}
+	clear(w.fresh)
+}
+
+// keyScratch reuses the canonical-key working storage (serialization
+// buffer, timestamp list) across the millions of key computations a
+// large exploration performs.
+type keyScratch struct {
+	buf   []byte
+	times []int
+}
+
+// key computes the 128-bit canonical state key like canonicalKey, with
+// zero steady-state allocation: timestamps are ranked by binary search
+// in the deduplicated sorted list instead of a rank table.
+func (ks *keyScratch) key(agents []*mca.Agent, net *netsim.Network) [2]uint64 {
+	ks.times = ks.times[:0]
+	sink := func(t int) { ks.times = append(ks.times, t) }
+	for _, a := range agents {
+		a.CollectTimes(sink)
+	}
+	pending := net.Pending()
+	for _, e := range pending {
+		for _, m := range net.Queue(e) {
+			mca.CollectMessageTimes(m, sink)
+		}
+	}
+	sort.Ints(ks.times)
+	uniq := ks.times[:0]
+	for i, t := range ks.times {
+		if i == 0 || t != uniq[len(uniq)-1] {
+			uniq = append(uniq, t)
+		}
+	}
+	rank := func(t int) int { return sort.SearchInts(uniq, t) }
+
+	ks.buf = ks.buf[:0]
+	for _, a := range agents {
+		ks.buf = a.AppendCanonical(ks.buf, rank)
+	}
+	for _, e := range pending {
+		for _, m := range net.Queue(e) {
+			ks.buf = mca.AppendMessageCanonical(ks.buf, m, rank)
+		}
+	}
+	const (
+		offset1 = 14695981039346656037
+		offset2 = 1099511628211*31 + 7
+		prime   = 1099511628211
+	)
+	h1, h2 := uint64(offset1), uint64(offset2)
+	for _, b := range ks.buf {
+		h1 = (h1 ^ uint64(b)) * prime
+		h2 = (h2 ^ uint64(b)) * (prime + 2)
+	}
+	return [2]uint64{h1, h2}
+}
+
+type levelResult struct {
+	newStates  int
+	out        [][]workItem
+	violations []violationRec
+}
+
+func shardOf(key [2]uint64, workers int) int {
+	return int(key[0] % uint64(workers))
+}
+
+func keyLess(a, b [2]uint64) bool {
+	if a[0] != b[0] {
+		return a[0] < b[0]
+	}
+	return a[1] < b[1]
+}
+
+func saveStates(agents []*mca.Agent) []mca.AgentState {
+	out := make([]mca.AgentState, len(agents))
+	for i, a := range agents {
+		out[i] = a.SaveState()
+	}
+	return out
+}
+
+func cloneAgents(agents []*mca.Agent) []*mca.Agent {
+	out := make([]*mca.Agent, len(agents))
+	for i, a := range agents {
+		out[i] = a.Clone()
+	}
+	return out
+}
+
+// encodeStates packs every agent's mutable state into one buffer.
+func encodeStates(agents []*mca.Agent, buf []byte) []byte {
+	for _, a := range agents {
+		buf = a.AppendState(buf)
+	}
+	return buf
+}
+
+func (w *shardWorker) restoreBuf(buf []byte) {
+	for _, a := range w.replicas {
+		buf = a.DecodeState(buf)
+	}
+}
+
+// processLevel runs one shard's slice of a BFS level: deduplicate
+// against the shard's seen-set, check each new state for violations,
+// expand its successors, and route them to their owning shards.
+// shards is read-only here except for w itself: other shards' sealed
+// sets are consulted to prune successors already processed in earlier
+// levels before allocating a frontier item for them.
+func (w *shardWorker) processLevel(items []workItem, opts Options, shards []*shardWorker) levelResult {
+	workers := len(shards)
+	res := levelResult{out: make([][]workItem, workers)}
+	// Multiple paths can reach the same state within one level; process
+	// them in a fixed order so the surviving representative — and with
+	// it the recorded changes count and tree path — is deterministic.
+	// Higher changes first: the most-violating path represents the state.
+	sort.Slice(items, func(i, j int) bool {
+		a, b := items[i], items[j]
+		if a.node.key != b.node.key {
+			return keyLess(a.node.key, b.node.key)
+		}
+		if a.node.changes != b.node.changes {
+			return a.node.changes > b.node.changes
+		}
+		return a.routeH < b.routeH
+	})
+	for _, it := range items {
+		if _, dup := w.sealed[it.node.key]; dup {
+			continue
+		}
+		if _, dup := w.fresh[it.node.key]; dup {
+			continue
+		}
+		w.fresh[it.node.key] = it.node
+		res.newStates++
+
+		w.restoreBuf(it.stateBuf)
+		if it.net.Quiescent() {
+			// Quiescence: the reply-on-disagreement rule guarantees any
+			// surviving disagreement still has a message in flight, so a
+			// quiescent state must agree and be conflict-free.
+			if !agreementOf(w.replicas) {
+				res.violations = append(res.violations, violationRec{
+					kind: ViolationDisagreement, label: "quiescent without agreement",
+					node: it.node, routeH: it.routeH,
+				})
+			} else if !conflictFreeOf(w.replicas) {
+				res.violations = append(res.violations, violationRec{
+					kind: ViolationConflict, label: "agreement reached but bundles conflict",
+					node: it.node, routeH: it.routeH,
+				})
+			}
+			continue
+		}
+		if it.node.depth >= opts.hardLimit() {
+			res.violations = append(res.violations, violationRec{
+				kind:  ViolationBoundExceeded,
+				label: fmt.Sprintf("still active after %d deliveries (hard limit)", it.node.depth),
+				node:  it.node, routeH: it.routeH,
+			})
+			continue
+		}
+		if it.node.changes >= opts.Bound && !agreementOf(w.replicas) {
+			// The paper's consensus assertion: after the val message
+			// budget, max-consensus must hold.
+			res.violations = append(res.violations, violationRec{
+				kind:  ViolationBoundExceeded,
+				label: fmt.Sprintf("no consensus after %d effective deliveries (bound)", it.node.changes),
+				node:  it.node, routeH: it.routeH,
+			})
+			continue
+		}
+
+		for _, e := range it.net.Pending() {
+			modes := []bool{true}
+			if opts.DuplicateDeliveries {
+				modes = []bool{true, false} // consume, then duplicate
+			}
+			for _, consume := range modes {
+				// Try the delivery on the item's network in place and
+				// roll it back afterwards; only surviving successors pay
+				// for a network clone.
+				w.edgeBuf = affectedEdges(w.edgeBuf, it.net, e)
+				it.net.Capture(&w.snap, w.edgeBuf...)
+				w.restoreBuf(it.stateBuf)
+				didChange := applyDelivery(w.replicas, it.net, e, consume)
+				key := w.keys.key(w.replicas, it.net)
+				w.edges = append(w.edges, edgeRec{
+					from: it.node.key, to: key,
+					step: stepRec{edge: e, consume: consume}, didChange: didChange,
+				})
+				d := shardOf(key, workers)
+				// Producer-side pruning: a successor its owner already
+				// processed (in an earlier level, or — for self-owned
+				// states — this one) would be discarded on arrival;
+				// skip building the frontier item. The edge above is
+				// still recorded for the oscillation analysis.
+				_, dup := shards[d].sealed[key]
+				if !dup && d == w.self {
+					_, dup = w.fresh[key]
+				}
+				if !dup {
+					changes := it.node.changes
+					if didChange {
+						changes++
+					}
+					succ := workItem{
+						node: &pathNode{
+							parent: it.node, edge: e, consume: consume,
+							depth: it.node.depth + 1, changes: changes, key: key,
+						},
+						stateBuf: encodeStates(w.replicas, nil),
+						net:      it.net.Clone(),
+						routeH:   routeHash(it.routeH, e, consume),
+					}
+					res.out[d] = append(res.out[d], succ)
+				}
+				it.net.Rollback(&w.snap)
+			}
+		}
+	}
+	return res
+}
+
+// routeHash extends a path fingerprint by one delivery (FNV-1a).
+func routeHash(h uint64, e netsim.Edge, consume bool) uint64 {
+	const prime = 1099511628211
+	h = (h ^ uint64(e.From)) * prime
+	h = (h ^ uint64(e.To)) * prime
+	if consume {
+		h = (h ^ 1) * prime
+	} else {
+		h = (h ^ 2) * prime
+	}
+	return h
+}
+
+// treeSteps reconstructs the root-to-node delivery sequence.
+func treeSteps(n *pathNode) []stepRec {
+	var steps []stepRec
+	for ; n != nil && n.parent != nil; n = n.parent {
+		steps = append(steps, stepRec{edge: n.edge, consume: n.consume})
+	}
+	for i, j := 0, len(steps)-1; i < j; i, j = i+1, j-1 {
+		steps[i], steps[j] = steps[j], steps[i]
+	}
+	return steps
+}
+
+func mergeNodes(shards []*shardWorker) map[[2]uint64]*pathNode {
+	out := make(map[[2]uint64]*pathNode)
+	for _, s := range shards {
+		for k, n := range s.sealed {
+			out[k] = n
+		}
+		for k, n := range s.fresh {
+			out[k] = n
+		}
+	}
+	return out
+}
+
+// replayTrace re-executes a delivery sequence from the initial
+// (post-bid) state, recording the step labels and agent snapshots of a
+// counterexample trace. Both explorers build their traces this way, so
+// the hot exploration loops never materialize snapshots. replicas are
+// scratch agents (mutated freely); states0/net0 are the initial state.
+func replayTrace(replicas []*mca.Agent, states0 []mca.AgentState, net0 *netsim.Network, steps []stepRec, label string) *trace.Recorder {
+	for i, a := range replicas {
+		a.RestoreState(states0[i])
+	}
+	net := net0.Clone()
+	rec := trace.NewRecorder()
+	rec.Record(trace.Step{Label: "initial bids", Agents: agentSnapshots(replicas)})
+	for _, st := range steps {
+		applyDelivery(replicas, net, st.edge, st.consume)
+		name := "deliver"
+		if !st.consume {
+			name = "duplicate-deliver"
+		}
+		rec.Record(trace.Step{
+			Label:  fmt.Sprintf("%s %d->%d", name, st.edge.From, st.edge.To),
+			Agents: agentSnapshots(replicas),
+		})
+	}
+	rec.Record(trace.Step{Label: "VIOLATION: " + label, Agents: agentSnapshots(replicas)})
+	return rec
+}
+
+// oscillation is a deterministic witness for a progress cycle.
+type oscillation struct {
+	steps []stepRec
+	label string
+}
+
+// findOscillation searches the explored state graph for a cycle that
+// contains at least one state-changing transition — the graph form of
+// the serial checker's "same canonical state recurs after effective
+// progress" rule. Such a cycle exists iff some strongly connected
+// component contains a didChange edge. The witness is selected
+// deterministically: the candidate edge minimizing (depth of its
+// source, source key, target key), completed into a cycle by a
+// shortest path back through the component over sorted adjacency.
+func findOscillation(edges []edgeRec, nodes map[[2]uint64]*pathNode) *oscillation {
+	if len(edges) == 0 {
+		return nil
+	}
+	// Deterministic node indexing: sorted canonical keys.
+	keys := make([][2]uint64, 0, len(nodes))
+	for k := range nodes {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keyLess(keys[i], keys[j]) })
+	id := make(map[[2]uint64]int, len(keys))
+	for i, k := range keys {
+		id[k] = i
+	}
+
+	sort.Slice(edges, func(i, j int) bool {
+		a, b := edges[i], edges[j]
+		if a.from != b.from {
+			return keyLess(a.from, b.from)
+		}
+		if a.to != b.to {
+			return keyLess(a.to, b.to)
+		}
+		if a.step.edge != b.step.edge {
+			if a.step.edge.From != b.step.edge.From {
+				return a.step.edge.From < b.step.edge.From
+			}
+			return a.step.edge.To < b.step.edge.To
+		}
+		return a.step.consume && !b.step.consume
+	})
+	adj := make([][]int, len(keys)) // node -> indices into edges
+	for i, e := range edges {
+		u, okU := id[e.from]
+		_, okV := id[e.to]
+		if !okU || !okV {
+			continue // endpoint outside the explored set (budget stop)
+		}
+		adj[u] = append(adj[u], i)
+	}
+
+	comp := sccKosaraju(len(keys), edges, id, adj)
+
+	var cand *edgeRec
+	for i := range edges {
+		e := &edges[i]
+		if !e.didChange {
+			continue
+		}
+		u, okU := id[e.from]
+		v, okV := id[e.to]
+		if !okU || !okV || comp[u] != comp[v] {
+			continue
+		}
+		if cand == nil || oscCandLess(e, cand, nodes) {
+			cand = e
+		}
+	}
+	if cand == nil {
+		return nil
+	}
+
+	// Complete the cycle: shortest path target -> source inside the
+	// component (empty for a self-loop).
+	u, v := id[cand.from], id[cand.to]
+	cyc := cyclePath(v, u, comp, adj, edges, id)
+	steps := append(treeSteps(nodes[cand.from]), cand.step)
+	steps = append(steps, cyc...)
+	return &oscillation{
+		steps: steps,
+		label: fmt.Sprintf("state repeats (first reached after %d deliveries): oscillation", nodes[cand.from].depth),
+	}
+}
+
+func oscCandLess(a, b *edgeRec, nodes map[[2]uint64]*pathNode) bool {
+	da, db := nodes[a.from].depth, nodes[b.from].depth
+	if da != db {
+		return da < db
+	}
+	if a.from != b.from {
+		return keyLess(a.from, b.from)
+	}
+	if a.to != b.to {
+		return keyLess(a.to, b.to)
+	}
+	return a.step.consume && !b.step.consume
+}
+
+// cyclePath finds a shortest delivery path from node v back to node u
+// staying inside their strongly connected component. Adjacency is
+// pre-sorted, so the BFS — and with it the witness cycle — is
+// deterministic. Returns nil when v == u (self-loop cycle).
+func cyclePath(v, u int, comp []int, adj [][]int, edges []edgeRec, id map[[2]uint64]int) []stepRec {
+	if v == u {
+		return nil
+	}
+	type hop struct {
+		prev    int
+		edgeIdx int
+	}
+	from := map[int]hop{v: {prev: -1, edgeIdx: -1}}
+	queue := []int{v}
+	for len(queue) > 0 {
+		x := queue[0]
+		queue = queue[1:]
+		for _, ei := range adj[x] {
+			y := id[edges[ei].to]
+			if comp[y] != comp[u] {
+				continue
+			}
+			if _, seen := from[y]; seen {
+				continue
+			}
+			from[y] = hop{prev: x, edgeIdx: ei}
+			if y == u {
+				var steps []stepRec
+				for n := u; n != v; n = from[n].prev {
+					steps = append(steps, edges[from[n].edgeIdx].step)
+				}
+				for i, j := 0, len(steps)-1; i < j; i, j = i+1, j-1 {
+					steps[i], steps[j] = steps[j], steps[i]
+				}
+				return steps
+			}
+			queue = append(queue, y)
+		}
+	}
+	// Unreachable: u and v are in the same SCC by construction.
+	return nil
+}
+
+// sccKosaraju labels each node with its strongly-connected-component id
+// (iterative two-pass Kosaraju).
+func sccKosaraju(n int, edges []edgeRec, id map[[2]uint64]int, adj [][]int) []int {
+	radj := make([][]int, n)
+	for i := range edges {
+		u, okU := id[edges[i].from]
+		v, okV := id[edges[i].to]
+		if !okU || !okV {
+			continue
+		}
+		radj[v] = append(radj[v], u)
+	}
+	// Pass 1: finish order on the forward graph.
+	order := make([]int, 0, n)
+	visited := make([]bool, n)
+	type frame struct {
+		node int
+		next int
+	}
+	for s := 0; s < n; s++ {
+		if visited[s] {
+			continue
+		}
+		visited[s] = true
+		stack := []frame{{node: s}}
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if f.next < len(adj[f.node]) {
+				y := id[edges[adj[f.node][f.next]].to]
+				f.next++
+				if !visited[y] {
+					visited[y] = true
+					stack = append(stack, frame{node: y})
+				}
+				continue
+			}
+			order = append(order, f.node)
+			stack = stack[:len(stack)-1]
+		}
+	}
+	// Pass 2: reverse graph in reverse finish order.
+	comp := make([]int, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	nc := 0
+	for i := len(order) - 1; i >= 0; i-- {
+		s := order[i]
+		if comp[s] != -1 {
+			continue
+		}
+		comp[s] = nc
+		stack := []int{s}
+		for len(stack) > 0 {
+			x := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, y := range radj[x] {
+				if comp[y] == -1 {
+					comp[y] = nc
+					stack = append(stack, y)
+				}
+			}
+		}
+		nc++
+	}
+	return comp
+}

@@ -9,6 +9,7 @@ import (
 )
 
 func TestPolicySweepReproducesResult1(t *testing.T) {
+	t.Parallel()
 	rows, err := PolicySweep(DefaultCombos(), SweepConfig{})
 	if err != nil {
 		t.Fatal(err)
@@ -25,6 +26,7 @@ func TestPolicySweepReproducesResult1(t *testing.T) {
 }
 
 func TestPolicySweepCustomBases(t *testing.T) {
+	t.Parallel()
 	rows, err := PolicySweep(
 		[]PolicyCombo{{Utility: mca.FlatUtility{}, Rebid: mca.RebidOnChange}},
 		SweepConfig{Agents: 2, Items: 1, Bases: [][]int64{{7}, {3}}})
@@ -37,6 +39,7 @@ func TestPolicySweepCustomBases(t *testing.T) {
 }
 
 func TestPolicySweepBaseMismatch(t *testing.T) {
+	t.Parallel()
 	_, err := PolicySweep(DefaultCombos(), SweepConfig{Agents: 3, Bases: [][]int64{{1, 2}}})
 	if err == nil {
 		t.Fatal("mismatched bases accepted")
@@ -44,6 +47,7 @@ func TestPolicySweepBaseMismatch(t *testing.T) {
 }
 
 func TestPolicySweepCustomGraph(t *testing.T) {
+	t.Parallel()
 	rows, err := PolicySweep(
 		[]PolicyCombo{{Utility: mca.SubmodularResidual{}, Rebid: mca.RebidOnChange}},
 		SweepConfig{Agents: 3, Items: 1, Graph: graph.Line(3)})
@@ -56,6 +60,7 @@ func TestPolicySweepCustomGraph(t *testing.T) {
 }
 
 func TestFormatSweep(t *testing.T) {
+	t.Parallel()
 	rows, err := PolicySweep(DefaultCombos(), SweepConfig{})
 	if err != nil {
 		t.Fatal(err)
@@ -69,6 +74,7 @@ func TestFormatSweep(t *testing.T) {
 }
 
 func TestComboLabel(t *testing.T) {
+	t.Parallel()
 	c := PolicyCombo{Utility: mca.FlatUtility{}, ReleaseOutbid: true, Rebid: mca.RebidNever}
 	if !strings.Contains(c.Label(), "flat") || !strings.Contains(c.Label(), "rebid-never") {
 		t.Fatalf("label = %q", c.Label())

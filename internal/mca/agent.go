@@ -99,6 +99,34 @@ func NewAgent(cfg Config) (*Agent, error) {
 	return a, nil
 }
 
+// Clone returns an independent deep copy of the agent: same
+// configuration, same current state, no shared mutable storage. The
+// parallel explorer gives each worker its own replica set so workers
+// can replay states concurrently without locking.
+func (a *Agent) Clone() *Agent {
+	c := &Agent{
+		id:       a.id,
+		items:    a.items,
+		base:     append([]int64(nil), a.base...),
+		policy:   a.policy,
+		capacity: a.capacity,
+		resolve:  a.resolve,
+		view:     append([]BidInfo(nil), a.view...),
+		bundle:   append([]ItemID(nil), a.bundle...),
+		clock:    a.clock,
+		blocked:  append([]bool(nil), a.blocked...),
+		block:    append([]BidInfo(nil), a.block...),
+		infoTime: make(map[AgentID]int, len(a.infoTime)),
+	}
+	if a.demands != nil {
+		c.demands = append([]int64(nil), a.demands...)
+	}
+	for k, v := range a.infoTime {
+		c.infoTime[k] = v
+	}
+	return c
+}
+
 // MustNewAgent is NewAgent for static configurations known to be valid.
 func MustNewAgent(cfg Config) *Agent {
 	a, err := NewAgent(cfg)

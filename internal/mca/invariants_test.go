@@ -2,6 +2,7 @@ package mca
 
 import (
 	"math/rand"
+	"reflect"
 	"sort"
 	"testing"
 	"testing/quick"
@@ -177,5 +178,37 @@ func TestCanonicalEncodingTimeShiftInvariance(t *testing.T) {
 	}
 	if mk(0) != mk(100) {
 		t.Fatal("canonical encoding not invariant under order-preserving time shift")
+	}
+}
+
+// AppendState/DecodeState must round-trip the full mutable state after
+// an arbitrary protocol prefix (compared via SaveState deep equality).
+func TestStateCodecRoundTrip(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		pol := Policy{Target: 2, Utility: SubmodularResidual{}, ReleaseOutbid: seed%2 == 0, Rebid: RebidOnChange}
+		a := MustNewAgent(Config{ID: 0, Items: 3, Base: []int64{10, 7, 5}, Policy: pol})
+		b := MustNewAgent(Config{ID: 1, Items: 3, Base: []int64{6, 12, 9}, Policy: pol})
+		a.BidPhase()
+		b.BidPhase()
+		for i := 0; i < 6; i++ {
+			if rng.Intn(2) == 0 {
+				a.HandleMessage(b.Snapshot(0))
+			} else {
+				b.HandleMessage(a.Snapshot(1))
+			}
+		}
+		want := a.SaveState()
+		buf := a.AppendState(nil)
+		// Scribble over the agent, then decode back.
+		a.HandleMessage(b.Snapshot(0))
+		rest := a.DecodeState(buf)
+		if len(rest) != 0 {
+			t.Fatalf("seed %d: %d unconsumed bytes", seed, len(rest))
+		}
+		got := a.SaveState()
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("seed %d: state codec mismatch:\nwant %+v\ngot  %+v", seed, want, got)
+		}
 	}
 }

@@ -89,31 +89,147 @@ type AgentState struct {
 
 // SaveState captures the agent's mutable state.
 func (a *Agent) SaveState() AgentState {
-	it := make(map[AgentID]int, len(a.infoTime))
-	for k, v := range a.infoTime {
-		it[k] = v
+	var s AgentState
+	a.SaveStateInto(&s)
+	return s
+}
+
+// SaveStateInto captures the agent's mutable state into s, reusing s's
+// existing storage — the allocation-free form the explorers use on
+// their per-branch hot path.
+func (a *Agent) SaveStateInto(s *AgentState) {
+	s.View = append(s.View[:0], a.view...)
+	s.Bundle = append(s.Bundle[:0], a.bundle...)
+	s.Blocked = append(s.Blocked[:0], a.blocked...)
+	s.Block = append(s.Block[:0], a.block...)
+	s.Clock = a.clock
+	if s.InfoTime == nil {
+		s.InfoTime = make(map[AgentID]int, len(a.infoTime))
+	} else {
+		clear(s.InfoTime)
 	}
-	return AgentState{
-		View:     append([]BidInfo(nil), a.view...),
-		Bundle:   append([]ItemID(nil), a.bundle...),
-		Blocked:  append([]bool(nil), a.blocked...),
-		Block:    append([]BidInfo(nil), a.block...),
-		Clock:    a.clock,
-		InfoTime: it,
+	for k, v := range a.infoTime {
+		s.InfoTime[k] = v
 	}
 }
 
-// RestoreState reinstates a previously saved state.
+// RestoreState reinstates a previously saved state. The agent's own
+// storage is reused (the explorers restore millions of times on their
+// hot path); the AgentState is not aliased afterwards.
 func (a *Agent) RestoreState(s AgentState) {
 	copy(a.view, s.View)
 	a.bundle = append(a.bundle[:0], s.Bundle...)
 	copy(a.blocked, s.Blocked)
 	copy(a.block, s.Block)
 	a.clock = s.Clock
-	a.infoTime = make(map[AgentID]int, len(s.InfoTime))
+	clear(a.infoTime)
 	for k, v := range s.InfoTime {
 		a.infoTime[k] = v
 	}
+}
+
+// AppendState appends a compact binary encoding of the agent's full
+// mutable state (absolute timestamps, unlike AppendCanonical) to buf.
+// DecodeState reverses it. The parallel explorer stores frontier states
+// this way: one pointer-free byte slice per global state instead of a
+// tree of slices and maps, which the garbage collector never has to
+// scan.
+func (a *Agent) AppendState(buf []byte) []byte {
+	for _, bi := range a.view {
+		buf = appendVarint(buf, bi.Bid)
+		buf = appendVarint(buf, int64(bi.Winner))
+		buf = appendVarint(buf, int64(bi.Time))
+	}
+	buf = appendVarint(buf, int64(len(a.bundle)))
+	for _, j := range a.bundle {
+		buf = appendVarint(buf, int64(j))
+	}
+	for j, bl := range a.blocked {
+		if bl {
+			bi := a.block[j]
+			buf = appendVarint(buf, int64(j))
+			buf = appendVarint(buf, bi.Bid)
+			buf = appendVarint(buf, int64(bi.Winner))
+			buf = appendVarint(buf, int64(bi.Time))
+		}
+	}
+	buf = appendVarint(buf, -1) // blocked-section terminator
+	buf = appendVarint(buf, int64(a.clock))
+	buf = appendVarint(buf, int64(len(a.infoTime)))
+	ids := make([]int, 0, len(a.infoTime))
+	for k := range a.infoTime {
+		ids = append(ids, int(k))
+	}
+	sort.Ints(ids)
+	for _, k := range ids {
+		buf = appendVarint(buf, int64(k))
+		buf = appendVarint(buf, int64(a.infoTime[AgentID(k)]))
+	}
+	return buf
+}
+
+// readVarint reverses appendVarint.
+func readVarint(buf []byte) (int64, []byte) {
+	var u uint64
+	var shift uint
+	for i, b := range buf {
+		u |= uint64(b&0x7f) << shift
+		if b < 0x80 {
+			return int64(u>>1) - 1, buf[i+1:]
+		}
+		shift += 7
+	}
+	panic("mca: truncated state encoding")
+}
+
+// DecodeState restores the agent's mutable state from an AppendState
+// encoding, returning the unconsumed remainder of buf.
+func (a *Agent) DecodeState(buf []byte) []byte {
+	var v int64
+	for j := range a.view {
+		bi := &a.view[j]
+		bi.Bid, buf = readVarint(buf)
+		v, buf = readVarint(buf)
+		bi.Winner = AgentID(v)
+		v, buf = readVarint(buf)
+		bi.Time = int(v)
+	}
+	v, buf = readVarint(buf)
+	a.bundle = a.bundle[:0]
+	for i := int64(0); i < v; i++ {
+		var j int64
+		j, buf = readVarint(buf)
+		a.bundle = append(a.bundle, ItemID(j))
+	}
+	for j := range a.blocked {
+		a.blocked[j] = false
+		a.block[j] = BidInfo{}
+	}
+	for {
+		v, buf = readVarint(buf)
+		if v < 0 {
+			break
+		}
+		bi := &a.block[v]
+		a.blocked[v] = true
+		bi.Bid, buf = readVarint(buf)
+		var w int64
+		w, buf = readVarint(buf)
+		bi.Winner = AgentID(w)
+		w, buf = readVarint(buf)
+		bi.Time = int(w)
+	}
+	v, buf = readVarint(buf)
+	a.clock = int(v)
+	v, buf = readVarint(buf)
+	clear(a.infoTime)
+	for i := int64(0); i < v; i++ {
+		var k, t int64
+		k, buf = readVarint(buf)
+		t, buf = readVarint(buf)
+		a.infoTime[AgentID(k)] = int(t)
+	}
+	return buf
 }
 
 // Items returns the number of items the agent bids on.

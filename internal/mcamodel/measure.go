@@ -62,6 +62,24 @@ func CheckConsensus(e *Encoding, opts sat.Options) Measurement {
 	}
 }
 
+// CheckConsensusParallel is CheckConsensus on the parallel SAT backend:
+// the same translation, solved by a solver portfolio or — with
+// par.CubeVars > 0 — cube-and-conquer. The E5 experiment runs it next
+// to the serial check to report the parallel-vs-serial comparison.
+func CheckConsensusParallel(e *Encoding, opts sat.Options, par relalg.ParallelOptions) Measurement {
+	res := relalg.CheckParallel(e.Bounds, e.Background, e.Consensus, opts, par)
+	return Measurement{
+		Encoding:    e.Name,
+		Scope:       e.Scope,
+		PrimaryVars: res.Stats.PrimaryVars,
+		AuxVars:     res.Stats.AuxVars,
+		Clauses:     res.Stats.Clauses,
+		Translate:   res.Stats.TranslateTime,
+		Solve:       res.Stats.SolveTime,
+		CheckStatus: res.Status,
+	}
+}
+
 // ScalingSeries measures both encodings across a series of scopes with
 // growing agent counts — the series form of the E5 experiment, showing
 // how the encoding gap evolves with scope.

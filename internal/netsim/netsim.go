@@ -32,13 +32,23 @@ type Network struct {
 	coalesce bool
 	maxDepth int // per-edge queue bound (0 = unbounded); tail coalesces when full
 	queues   map[Edge][]mca.Message
+	nbrs     [][]int // sorted neighbor lists; immutable, shared by clones
 }
 
 // New creates an empty network over the agent graph. coalesce selects
 // latest-snapshot semantics per edge.
 func New(g *graph.Graph, coalesce bool) *Network {
-	return &Network{g: g, coalesce: coalesce, queues: make(map[Edge][]mca.Message)}
+	nbrs := make([][]int, g.N())
+	for u := range nbrs {
+		nbrs[u] = g.Neighbors(u)
+	}
+	return &Network{g: g, coalesce: coalesce, queues: make(map[Edge][]mca.Message), nbrs: nbrs}
 }
+
+// Neighbors returns the sorted neighbor list of node u, cached at
+// construction so the delivery hot paths never rebuild it. Callers must
+// not modify the returned slice.
+func (n *Network) Neighbors(u int) []int { return n.nbrs[u] }
 
 // Graph returns the agent graph.
 func (n *Network) Graph() *graph.Graph { return n.g }
@@ -75,7 +85,7 @@ func (n *Network) Send(m mca.Message) {
 // Broadcast sends the snapshot function's output to every neighbor of
 // agent from.
 func (n *Network) Broadcast(from mca.AgentID, snapshot func(to mca.AgentID) mca.Message) {
-	for _, nb := range n.g.Neighbors(int(from)) {
+	for _, nb := range n.nbrs[from] {
 		n.Send(snapshot(mca.AgentID(nb)))
 	}
 }
@@ -98,8 +108,11 @@ func (n *Network) Pending() []Edge {
 	return out
 }
 
-// Quiescent reports whether no messages are in transit.
-func (n *Network) Quiescent() bool { return len(n.Pending()) == 0 }
+// Quiescent reports whether no messages are in transit. The queue map
+// never holds empty entries (Deliver and Rollback delete them), so the
+// map size answers directly — this sits on the explorers' per-state
+// hot path.
+func (n *Network) Quiescent() bool { return len(n.queues) == 0 }
 
 // InFlight counts in-transit messages.
 func (n *Network) InFlight() int {
@@ -139,18 +152,55 @@ func (n *Network) Peek(e Edge) (mca.Message, bool) {
 	return q[0], true
 }
 
-// Clone deep-copies the network (used by the exhaustive explorer).
+// Clone copies the network (used by the exhaustive explorers). Queue
+// slices are copied but the Message values inside are shared: a message
+// is immutable once sent (Agent.Snapshot builds fresh storage per
+// message, and receivers only read), so clones may alias message
+// contents safely — which keeps cloning cheap on the explorers' hot
+// path.
 func (n *Network) Clone() *Network {
-	c := New(n.g, n.coalesce)
-	c.maxDepth = n.maxDepth
+	c := &Network{
+		g:        n.g,
+		coalesce: n.coalesce,
+		maxDepth: n.maxDepth,
+		queues:   make(map[Edge][]mca.Message, len(n.queues)),
+		nbrs:     n.nbrs,
+	}
 	for e, q := range n.queues {
-		cq := make([]mca.Message, len(q))
-		for i, m := range q {
-			cq[i] = m.Clone()
-		}
-		c.queues[e] = cq
+		c.queues[e] = append([]mca.Message(nil), q...)
 	}
 	return c
+}
+
+// QueueSnapshot captures the queues of a few edges so a delivery can be
+// tried on a network in place and rolled back — the explorers' cheap
+// alternative to cloning the whole network per branch. A delivery on
+// edge e can only touch e itself plus the receiver's outgoing edges
+// (re-broadcast or reply), so capturing that set suffices.
+type QueueSnapshot struct {
+	edges []Edge
+	saved [][]mca.Message
+}
+
+// Capture records the current queue contents of the given edges.
+// The snapshot may be reused across Capture calls to amortize storage.
+func (n *Network) Capture(snap *QueueSnapshot, edges ...Edge) {
+	snap.edges = append(snap.edges[:0], edges...)
+	snap.saved = snap.saved[:0]
+	for _, e := range edges {
+		snap.saved = append(snap.saved, append([]mca.Message(nil), n.queues[e]...))
+	}
+}
+
+// Rollback reinstates the captured queues.
+func (n *Network) Rollback(snap *QueueSnapshot) {
+	for i, e := range snap.edges {
+		if len(snap.saved[i]) == 0 {
+			delete(n.queues, e)
+		} else {
+			n.queues[e] = snap.saved[i]
+		}
+	}
 }
 
 // AsyncOutcome summarizes a randomized asynchronous run.

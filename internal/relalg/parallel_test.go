@@ -1,0 +1,79 @@
+package relalg
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sat"
+)
+
+// Property: the parallel backend (portfolio and cube-and-conquer) agrees
+// with the sequential solve on random relational problems, and its SAT
+// instances re-evaluate to true.
+func TestParallelSolveAgreesWithSerialProperty(t *testing.T) {
+	backends := []ParallelOptions{
+		{Workers: 2},
+		{Workers: 3, CubeVars: 2},
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed ^ 0x9a7a11e1))
+		u := NewUniverse("a", "b", "c")
+		b := NewBounds(u)
+		s1 := NewRelation("s1", 1)
+		s2 := NewRelation("s2", 1)
+		e := NewRelation("e", 2)
+		b.BoundUpper(s1, AllTuples(u, 1))
+		b.BoundUpper(s2, AllTuples(u, 1))
+		b.BoundUpper(e, AllTuples(u, 2))
+		formula := randomFormula(rng, s1, s2, e, 3)
+		serial := Solve(&Problem{Bounds: b, Formula: formula})
+		for _, par := range backends {
+			p := par
+			res := Solve(&Problem{Bounds: b, Formula: formula, Parallel: &p})
+			if res.Status != serial.Status {
+				return false
+			}
+			if res.Status == sat.StatusSat && !NewEvaluator(res.Instance).EvalFormula(formula) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckParallelUnsat(t *testing.T) {
+	// Some(r) with r bounded above by all tuples: asserting Some(r) under
+	// the axiom Some(r) has no counterexample.
+	u := NewUniverse("a", "b")
+	b := NewBounds(u)
+	r := NewRelation("r", 1)
+	b.BoundUpper(r, AllTuples(u, 1))
+	res := CheckParallel(b, Some(R(r)), Some(R(r)), sat.Options{}, ParallelOptions{Workers: 2})
+	if res.Status != sat.StatusUnsat {
+		t.Fatalf("assertion implied by axiom must verify, got %v", res.Status)
+	}
+	if res.Instance != nil {
+		t.Fatal("unsat result should carry no instance")
+	}
+	if res.Stats.Clauses == 0 {
+		t.Fatal("translation stats missing")
+	}
+}
+
+func TestCheckParallelCounterexample(t *testing.T) {
+	u := NewUniverse("a", "b")
+	b := NewBounds(u)
+	r := NewRelation("r", 1)
+	b.BoundUpper(r, AllTuples(u, 1))
+	res := CheckParallel(b, TrueF(), No(R(r)), sat.Options{}, ParallelOptions{Workers: 2, CubeVars: 1})
+	if res.Status != sat.StatusSat {
+		t.Fatalf("No(r) is not a theorem, got %v", res.Status)
+	}
+	if res.Instance == nil || res.Instance.Get(r).Len() == 0 {
+		t.Fatal("counterexample must make r non-empty")
+	}
+}

@@ -3,6 +3,7 @@ package relalg
 import (
 	"time"
 
+	"repro/internal/portfolio"
 	"repro/internal/sat"
 )
 
@@ -20,12 +21,27 @@ type TranslationStats struct {
 // TotalVars is the complete SAT variable count.
 func (s TranslationStats) TotalVars() int { return s.PrimaryVars + s.AuxVars }
 
+// ParallelOptions selects the parallel SAT backend for a problem: a
+// portfolio of diversified solvers racing on the CNF, or — with
+// CubeVars > 0 — a cube-and-conquer split into 2^CubeVars concurrently
+// solved cubes. See internal/portfolio.
+type ParallelOptions struct {
+	// Workers is the number of concurrent solvers (0 = GOMAXPROCS).
+	Workers int
+	// CubeVars switches to cube-and-conquer on that many split
+	// variables; 0 keeps the pure portfolio race.
+	CubeVars int
+}
+
 // Problem is a bounded relational satisfiability problem.
 type Problem struct {
 	Bounds  *Bounds
 	Formula Formula
 	// SolverOptions tunes the underlying SAT solver.
 	SolverOptions sat.Options
+	// Parallel, when non-nil, solves the translated CNF with the
+	// parallel engine instead of a single sequential solver.
+	Parallel *ParallelOptions
 }
 
 // Result is the outcome of Solve or Check.
@@ -55,6 +71,25 @@ func Solve(p *Problem) Result {
 		TranslateTime: translateTime,
 	}
 
+	if p.Parallel != nil {
+		// Hand the translated formula to the parallel engine: export the
+		// CNF the circuit emitted into the translation solver and race
+		// fresh solvers on it.
+		cnf := solver.ExportCNF()
+		start = time.Now()
+		pres := portfolio.Solve(cnf, portfolio.Options{
+			Workers:  p.Parallel.Workers,
+			CubeVars: p.Parallel.CubeVars,
+			Base:     p.SolverOptions,
+		})
+		stats.SolveTime = time.Since(start)
+		res := Result{Status: pres.Status, Stats: stats, SolverStats: pres.Stats}
+		if pres.Status == sat.StatusSat {
+			res.Instance = decodeModel(tr, pres.Model)
+		}
+		return res
+	}
+
 	start = time.Now()
 	status := solver.Solve()
 	stats.SolveTime = time.Since(start)
@@ -78,6 +113,36 @@ func Check(b *Bounds, axioms, assertion Formula, opts sat.Options) Result {
 	})
 }
 
+// CheckParallel is Check with the parallel SAT backend.
+func CheckParallel(b *Bounds, axioms, assertion Formula, opts sat.Options, par ParallelOptions) Result {
+	return Solve(&Problem{
+		Bounds:        b,
+		Formula:       And(axioms, Not(assertion)),
+		SolverOptions: opts,
+		Parallel:      &par,
+	})
+}
+
+// TranslateToCNF builds the CNF for a bounded formula and returns it as
+// a standalone formula together with the translation stats — the bridge
+// for callers that want to drive the SAT backend themselves (solver
+// portfolios, DIMACS export, repeated solving of one translation).
+func TranslateToCNF(b *Bounds, f Formula) (*sat.CNF, TranslationStats) {
+	solver := sat.NewSolver()
+	circuit := NewCircuit(solver)
+	tr := NewTranslator(b, circuit)
+	start := time.Now()
+	root := tr.TranslateFormula(f)
+	circuit.Assert(root)
+	stats := TranslationStats{
+		PrimaryVars:   tr.NumPrimaryVars(),
+		AuxVars:       circuit.NumGateVars(),
+		Clauses:       circuit.NumClauses(),
+		TranslateTime: time.Since(start),
+	}
+	return solver.ExportCNF(), stats
+}
+
 // TranslateOnly builds the CNF without solving — used by the clause-count
 // experiment (E5) where only translation size matters.
 func TranslateOnly(b *Bounds, f Formula) TranslationStats {
@@ -96,13 +161,23 @@ func TranslateOnly(b *Bounds, f Formula) TranslationStats {
 }
 
 func decode(tr *Translator, solver *sat.Solver) *Instance {
+	return decodeWith(tr, func(v sat.Var) bool { return solver.Value(v) == sat.True })
+}
+
+// decodeModel decodes an instance from a plain model vector (the
+// parallel engine's output).
+func decodeModel(tr *Translator, model []bool) *Instance {
+	return decodeWith(tr, func(v sat.Var) bool { return int(v) < len(model) && model[v] })
+}
+
+func decodeWith(tr *Translator, value func(sat.Var) bool) *Instance {
 	b := tr.bounds
 	inst := NewInstance(b.Universe())
 	for _, r := range b.Relations() {
 		ts := b.Lower(r).Clone()
 		usize := b.Universe().Size()
 		for k, v := range tr.PrimaryVars(r) {
-			if solver.Value(v) == sat.True {
+			if value(v) {
 				ts.Add(keyToTuple(k, usize, r.Arity))
 			}
 		}

@@ -1,0 +1,178 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCancelStopsSearch(t *testing.T) {
+	// PHP(11,10) takes far longer than the cancel budget; the solver must
+	// come back with UNKNOWN shortly after the check starts firing.
+	f := PigeonholeCNF(10)
+	s := NewSolver()
+	if err := f.LoadInto(s); err != nil {
+		t.Fatal(err)
+	}
+	polls := 0
+	s.SetCancel(func() bool {
+		polls++
+		return polls > 3
+	})
+	if got := s.Solve(); got != StatusUnknown {
+		t.Fatalf("cancelled solve = %v, want UNKNOWN", got)
+	}
+	if polls < 4 {
+		t.Fatalf("cancel check polled %d times, want >= 4", polls)
+	}
+}
+
+func TestCancelledSolverStaysUsable(t *testing.T) {
+	f := PigeonholeCNF(6)
+	s := NewSolver()
+	if err := f.LoadInto(s); err != nil {
+		t.Fatal(err)
+	}
+	fired := false
+	s.SetCancel(func() bool { fired = true; return true })
+	if got := s.Solve(); got != StatusUnknown {
+		t.Fatalf("cancelled solve = %v, want UNKNOWN", got)
+	}
+	if !fired {
+		t.Fatal("cancel check never polled")
+	}
+	// Remove the check: the same solver finishes the proof, keeping the
+	// clauses it learnt before the cancel.
+	s.SetCancel(nil)
+	if got := s.Solve(); got != StatusUnsat {
+		t.Fatalf("resumed solve = %v, want UNSAT", got)
+	}
+}
+
+func TestNilCancelNeverTriggers(t *testing.T) {
+	f := PigeonholeCNF(5)
+	s := NewSolver()
+	if err := f.LoadInto(s); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Solve(); got != StatusUnsat {
+		t.Fatalf("solve = %v, want UNSAT", got)
+	}
+}
+
+// Property: every diversification option combination agrees with the
+// brute-force oracle, and SAT models check out.
+func TestDiversifiedOptionsAgreeWithBrute(t *testing.T) {
+	variants := []Options{
+		{InvertPhase: true},
+		{RestartBase: 16},
+		{RestartBase: 512},
+		{RandSeed: 7, RandomPolarityFreq: 0.2},
+		{RandSeed: 99, RandomPolarityFreq: 0.5, InvertPhase: true},
+		{DisablePhaseSaving: true, RestartBase: 32},
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		vars := 5 + rng.Intn(8)
+		cnf := randomCNF(vars, vars*4, 3, seed)
+		want, _ := SolveBrute(cnf)
+		for _, opts := range variants {
+			s := NewSolverWithOptions(opts)
+			if err := cnf.LoadInto(s); err != nil {
+				return false
+			}
+			got := s.Solve()
+			if got != want {
+				return false
+			}
+			if got == StatusSat && !cnf.Eval(s.Model()) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Same Options must reproduce the same search: the random stream is
+// seeded, never wall-clock dependent.
+func TestRandomPolarityDeterministic(t *testing.T) {
+	cnf := randomCNF(12, 48, 3, 42)
+	opts := Options{RandSeed: 5, RandomPolarityFreq: 0.3}
+	run := func() (Status, Stats) {
+		s := NewSolverWithOptions(opts)
+		if err := cnf.LoadInto(s); err != nil {
+			t.Fatal(err)
+		}
+		return s.Solve(), s.Stats()
+	}
+	st1, stats1 := run()
+	st2, stats2 := run()
+	if st1 != st2 || stats1 != stats2 {
+		t.Fatalf("same options diverged: %v/%+v vs %v/%+v", st1, stats1, st2, stats2)
+	}
+}
+
+// Property: ExportCNF round-trips — a fresh solver loaded from the
+// export answers like the original, and original models satisfy the
+// exported formula (the export only strengthens by root facts).
+func TestExportCNFEquivalent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed ^ 0x51ed))
+		vars := 4 + rng.Intn(8)
+		cnf := &CNF{NumVars: vars}
+		for i := 0; i < vars*3; i++ {
+			k := 1 + rng.Intn(3)
+			seen := map[int]bool{}
+			var c []Lit
+			for len(c) < k {
+				v := rng.Intn(vars)
+				if seen[v] {
+					continue
+				}
+				seen[v] = true
+				c = append(c, MkLit(Var(v), rng.Intn(2) == 0))
+			}
+			cnf.AddClause(c...)
+		}
+		want, _ := SolveBrute(cnf)
+
+		orig := NewSolver()
+		if err := cnf.LoadInto(orig); err != nil {
+			return false
+		}
+		exported := orig.ExportCNF()
+		if exported.NumVars < cnf.NumVars {
+			return false
+		}
+		reload := NewSolver()
+		if err := exported.LoadInto(reload); err != nil {
+			return false
+		}
+		got := reload.Solve()
+		if got != want {
+			return false
+		}
+		return got != StatusSat || cnf.Eval(reload.Model())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExportCNFUnsatRoot(t *testing.T) {
+	s := NewSolver()
+	v := s.NewVar()
+	mustAdd(t, s, PosLit(v))
+	mustAdd(t, s, NegLit(v))
+	f := s.ExportCNF()
+	reload := NewSolver()
+	if err := f.LoadInto(reload); err != nil {
+		t.Fatal(err)
+	}
+	if got := reload.Solve(); got != StatusUnsat {
+		t.Fatalf("reloaded root-unsat export = %v, want UNSAT", got)
+	}
+}

@@ -21,7 +21,11 @@ type watcher struct {
 }
 
 // Options tunes solver behaviour. The zero value selects production
-// defaults (VSIDS on, restarts on, clause deletion on).
+// defaults (VSIDS on, restarts on, clause deletion on). The fields
+// beyond the ablation switches exist to diversify the members of a
+// solver portfolio (internal/portfolio): each racing solver gets a
+// different polarity default, restart cadence, and random perturbation
+// seed so they explore different parts of the search space.
 type Options struct {
 	// DisableVSIDS branches on the lowest-indexed unassigned variable
 	// instead of activity order. Used by the heuristic ablation bench.
@@ -33,6 +37,19 @@ type Options struct {
 	// MaxConflicts aborts the search with StatusUnknown after this many
 	// conflicts (0 = unlimited).
 	MaxConflicts int64
+	// InvertPhase starts every variable with the positive polarity
+	// instead of the negative one (phase saving still updates it).
+	InvertPhase bool
+	// RestartBase scales the Luby restart sequence (conflicts before the
+	// first restart). 0 means the default of 100.
+	RestartBase int64
+	// RandSeed seeds the solver's deterministic pseudo-random stream
+	// (used only when RandomPolarityFreq > 0). 0 selects a fixed seed,
+	// so equal Options always reproduce the same search.
+	RandSeed uint64
+	// RandomPolarityFreq is the probability (0..1) that a decision uses
+	// a random polarity instead of the saved phase.
+	RandomPolarityFreq float64
 }
 
 // Solver is a CDCL SAT solver. Create with NewSolver, add variables with
@@ -65,6 +82,12 @@ type Solver struct {
 	ok    bool // false once UNSAT at root level
 	stats Stats
 
+	rng uint64 // xorshift state for RandomPolarityFreq
+
+	// cancelled is polled periodically inside search; when it reports
+	// true the solve returns StatusUnknown. Set via SetCancel.
+	cancelled func() bool
+
 	// scratch buffers for analyze
 	seen      []bool
 	analyzeCl []Lit
@@ -77,8 +100,28 @@ func NewSolver() *Solver { return NewSolverWithOptions(Options{}) }
 // NewSolverWithOptions returns a solver with the given tuning options.
 func NewSolverWithOptions(opts Options) *Solver {
 	s := &Solver{opts: opts, varInc: 1, claInc: 1, ok: true}
+	s.rng = opts.RandSeed
+	if s.rng == 0 {
+		s.rng = 0x9e3779b97f4a7c15
+	}
 	s.order = newVarHeap(&s.activity)
 	return s
+}
+
+// SetCancel installs a cooperative cancellation check. The search loop
+// polls it periodically (every few dozen conflicts/decisions); when it
+// reports true, Solve returns StatusUnknown. The solver stays usable —
+// a later Solve resumes with the learnt clauses intact. Passing nil
+// removes the check. Used by the portfolio engine to stop losers once
+// one racer has answered.
+func (s *Solver) SetCancel(cancelled func() bool) { s.cancelled = cancelled }
+
+// nextRand advances the solver's xorshift64 stream.
+func (s *Solver) nextRand() uint64 {
+	s.rng ^= s.rng << 13
+	s.rng ^= s.rng >> 7
+	s.rng ^= s.rng << 17
+	return s.rng
 }
 
 // NumVars returns the number of variables created so far.
@@ -100,7 +143,7 @@ func (s *Solver) NewVar() Var {
 	s.level = append(s.level, -1)
 	s.reason = append(s.reason, nil)
 	s.activity = append(s.activity, 0)
-	s.phase = append(s.phase, false)
+	s.phase = append(s.phase, s.opts.InvertPhase)
 	s.seen = append(s.seen, false)
 	s.watches = append(s.watches, nil, nil)
 	s.order.insert(v)
@@ -547,11 +590,28 @@ func (s *Solver) SolveAssuming(assumptions ...Lit) Status {
 // search runs the CDCL loop, never backtracking past floorLevel (the
 // assumption levels).
 func (s *Solver) search(floorLevel int) Status {
+	restartBase := s.opts.RestartBase
+	if restartBase <= 0 {
+		restartBase = 100
+	}
 	restart := int64(1)
-	budget := int64(100) * luby(restart)
+	budget := restartBase * luby(restart)
 	conflictsAtRestart := int64(0)
 	maxLearnts := int64(len(s.clauses)/3 + 100)
+	sinceCancelPoll := 0
 	for {
+		// Cooperative cancellation: every iteration ends in a conflict or
+		// a decision, so polling on a shared counter here bounds the
+		// latency of a portfolio cancel without a check in the hot
+		// propagation loop.
+		sinceCancelPoll++
+		if sinceCancelPoll >= 64 {
+			sinceCancelPoll = 0
+			if s.cancelled != nil && s.cancelled() {
+				s.backtrack(0)
+				return StatusUnknown
+			}
+		}
 		conflict := s.propagate()
 		if conflict != nil {
 			s.stats.Conflicts++
@@ -590,7 +650,7 @@ func (s *Solver) search(floorLevel int) Status {
 		if !s.opts.DisableRestarts && conflictsAtRestart >= budget {
 			s.stats.Restarts++
 			restart++
-			budget = int64(100) * luby(restart)
+			budget = restartBase * luby(restart)
 			conflictsAtRestart = 0
 			s.backtrack(floorLevel)
 			continue
@@ -608,6 +668,12 @@ func (s *Solver) search(floorLevel int) Status {
 		neg := !s.phase[v]
 		if s.opts.DisablePhaseSaving {
 			neg = true
+		}
+		if s.opts.RandomPolarityFreq > 0 {
+			r := s.nextRand()
+			if float64(r%1000)/1000 < s.opts.RandomPolarityFreq {
+				neg = r&(1<<32) != 0
+			}
 		}
 		s.uncheckedEnqueue(MkLit(v, neg), nil)
 	}
@@ -627,3 +693,28 @@ func (s *Solver) Model() []bool {
 // ResetSearch backtracks to level 0 so more clauses can be added after a
 // SAT answer (model enumeration).
 func (s *Solver) ResetSearch() { s.backtrack(0) }
+
+// ExportCNF snapshots the solver's problem (non-learnt) clauses and
+// root-level units as a standalone CNF over the same variable indexing.
+// The export is equivalent to the clauses originally added: AddClause's
+// root-level simplifications (dropped satisfied clauses, removed false
+// literals) are all justified by the exported unit clauses. This is the
+// bridge from the relational translator — which emits clauses straight
+// into one solver — to the portfolio engine, which must load the same
+// formula into many solvers.
+func (s *Solver) ExportCNF() *CNF {
+	f := &CNF{NumVars: s.NumVars()}
+	if !s.ok {
+		f.AddClause() // empty clause: known unsat at root
+		return f
+	}
+	for v := 0; v < s.NumVars(); v++ {
+		if s.level[v] == 0 && s.assigns[v] != Undef && s.reason[v] == nil {
+			f.AddClause(MkLit(Var(v), s.assigns[v] == False))
+		}
+	}
+	for _, c := range s.clauses {
+		f.AddClause(c.lits...)
+	}
+	return f
+}

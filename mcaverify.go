@@ -169,6 +169,14 @@ func CheckConvergence(agents []*Agent, g *Graph, opts CheckOptions) Verdict {
 	return explore.Check(agents, g, opts)
 }
 
+// CheckConvergenceParallel is CheckConvergence on the sharded parallel
+// frontier: the same verdict and a deterministic counterexample at any
+// worker count, with the state space partitioned across workers.
+// workers <= 0 uses one worker per CPU.
+func CheckConvergenceParallel(agents []*Agent, g *Graph, opts CheckOptions, workers int) Verdict {
+	return explore.CheckParallel(agents, g, opts, workers)
+}
+
 // Policy sweep (Result 1) types.
 type (
 	// PolicyCombo is one cell of the Result 1 policy matrix.

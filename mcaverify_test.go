@@ -135,3 +135,24 @@ func TestViolationConstantsDistinct(t *testing.T) {
 		seen[k] = true
 	}
 }
+
+// The parallel facade must agree with the serial one.
+func TestFacadeParallelConvergence(t *testing.T) {
+	mk := func() []*mcaverify.Agent {
+		pol := mcaverify.Policy{Target: 2, Utility: mcaverify.SubmodularResidual{}, Rebid: mcaverify.RebidOnChange}
+		a0, err := mcaverify.NewAgent(mcaverify.AgentConfig{ID: 0, Items: 3, Base: []int64{10, 2, 30}, Policy: pol})
+		if err != nil {
+			t.Fatal(err)
+		}
+		a1, err := mcaverify.NewAgent(mcaverify.AgentConfig{ID: 1, Items: 3, Base: []int64{20, 15, 2}, Policy: pol})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return []*mcaverify.Agent{a0, a1}
+	}
+	serial := mcaverify.CheckConvergence(mk(), mcaverify.CompleteGraph(2), mcaverify.CheckOptions{})
+	par := mcaverify.CheckConvergenceParallel(mk(), mcaverify.CompleteGraph(2), mcaverify.CheckOptions{}, 3)
+	if par.OK != serial.OK || !par.OK {
+		t.Fatalf("facade parallel OK=%v, serial OK=%v", par.OK, serial.OK)
+	}
+}
