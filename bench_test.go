@@ -7,11 +7,13 @@
 package mcaverify_test
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"testing"
 
 	mcaverify "repro"
+	"repro/internal/engine"
 	"repro/internal/explore"
 	"repro/internal/graph"
 	"repro/internal/mca"
@@ -642,4 +644,75 @@ func benchSymmetry(b *testing.B, breakSym bool) {
 		count = relalg.CountInstances(p, classes)
 	}
 	b.ReportMetric(float64(count), "instances")
+}
+
+// ---- Engine layer: batch runner throughput ----
+
+// benchSweepScenarios builds a mixed sweep (policies × faults) of
+// simulation-checked scenarios, sized for throughput measurement.
+func benchSweepScenarios(n int) []engine.Scenario {
+	utilities := []mca.Utility{mca.SubmodularResidual{}, mca.NonSubmodularSynergy{}}
+	faults := []netsim.Faults{
+		{Drop: 0.2},
+		{Delay: 2},
+		{Partitions: [][]int{{0}, {1}}, HealAfter: 2},
+	}
+	g := graph.Complete(2)
+	out := make([]engine.Scenario, 0, n)
+	for i := 0; len(out) < n; i++ {
+		u := utilities[i%len(utilities)]
+		pol := mca.Policy{Target: 2, Utility: u, ReleaseOutbid: i%2 == 0, Rebid: mca.RebidOnChange}
+		out = append(out, engine.Scenario{
+			Name: fmt.Sprintf("bench-%d", i),
+			AgentSpecs: []mca.Config{
+				{ID: 0, Items: 2, Base: []int64{10, 15}, Policy: pol},
+				{ID: 1, Items: 2, Base: []int64{15, 10}, Policy: pol},
+			},
+			Graph:  g,
+			Faults: faults[i%len(faults)],
+		})
+	}
+	return out
+}
+
+// BenchmarkRunnerSweep measures batch-runner throughput
+// (scenarios/sec) by worker count on a 96-scenario fault-model sweep —
+// the tracking metric for sweep-scaling work.
+func BenchmarkRunnerSweep(b *testing.B) {
+	scenarios := benchSweepScenarios(96)
+	eng := engine.Simulation{Runs: 4}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			r := engine.NewRunner(engine.RunnerOptions{Workers: workers, Engine: eng})
+			var sum engine.Summary
+			for i := 0; i < b.N; i++ {
+				_, sum = r.Run(context.Background(), scenarios)
+				if sum.Total != len(scenarios) || sum.Errors != 0 {
+					b.Fatalf("sweep broken: %+v", sum)
+				}
+			}
+			perSec := float64(len(scenarios)) * float64(b.N) / b.Elapsed().Seconds()
+			b.ReportMetric(perSec, "scenarios/s")
+		})
+	}
+}
+
+// BenchmarkVerifyExplicit measures single-scenario engine overhead
+// against the direct explore.Check call it wraps.
+func BenchmarkVerifyExplicit(b *testing.B) {
+	pol := mca.Policy{Target: 2, Utility: mca.SubmodularResidual{}, Rebid: mca.RebidOnChange}
+	s := engine.Scenario{
+		Name: "bench",
+		AgentSpecs: []mca.Config{
+			{ID: 0, Items: 2, Base: []int64{10, 15}, Policy: pol},
+			{ID: 1, Items: 2, Base: []int64{15, 10}, Policy: pol},
+		},
+		Graph: graph.Complete(2),
+	}
+	for i := 0; i < b.N; i++ {
+		res := engine.Explicit{}.Verify(context.Background(), s)
+		if res.Status != engine.StatusHolds {
+			b.Fatalf("bench scenario failed: %v", res.Status)
+		}
+	}
 }

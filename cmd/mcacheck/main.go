@@ -1,24 +1,31 @@
 // Command mcacheck is the push-button convergence analysis of the
 // paper: it verifies the MCA consensus property for a chosen policy
-// combination and scope by exhaustively exploring asynchronous message
-// interleavings, and prints a counterexample trace when the property
-// fails.
+// combination and scope through the engine layer — exhaustively (the
+// serial DFS or the sharded parallel frontier) or, under probabilistic
+// network faults, by seeded simulation — and prints a counterexample
+// trace when the property fails.
 //
 // Usage:
 //
 //	mcacheck -agents 2 -items 2 -topology complete \
 //	         -utility nonsubmodular -release -rebid onchange
+//	mcacheck -workers 8                    # sharded parallel frontier
+//	mcacheck -drop 0.2 -delay 3 -runs 32   # fault-model simulation
+//	mcacheck -timeout 30s                  # deadline on the search
 //	mcacheck -sweep          # the Result 1 policy matrix
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
+	"repro/internal/engine"
 	"repro/internal/explore"
 	"repro/internal/graph"
 	"repro/internal/mca"
+	"repro/internal/netsim"
 )
 
 func main() {
@@ -36,14 +43,26 @@ func run(args []string) int {
 	rebid := fs.String("rebid", "onchange", "Remark 1 rebid rule: onchange|never|always")
 	target := fs.Int("target", 0, "target bundle size p_T (0 = number of items)")
 	maxStates := fs.Int("maxstates", 500000, "state exploration budget")
+	workers := fs.Int("workers", 0, "0 = serial DFS; N or -1 (per CPU) = sharded parallel frontier")
+	drop := fs.Float64("drop", 0, "message drop probability (switches to seeded simulation)")
+	delay := fs.Int("delay", 0, "message delivery delay in ticks (switches to seeded simulation)")
+	runs := fs.Int("runs", 32, "simulated executions when a probabilistic/timed fault model is set")
+	timeout := fs.Duration("timeout", 0, "abort the check after this long (0 = no deadline)")
 	sweep := fs.Bool("sweep", false, "run the Result 1 policy sweep instead of a single check")
 	showTrace := fs.Bool("trace", true, "print the counterexample trace on failure")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	if *sweep {
-		return runSweep(*agents, *items, *seed, *maxStates)
+		return runSweep(ctx, *agents, *items, *seed, *maxStates)
 	}
 
 	util, err := parseUtility(*utility)
@@ -67,73 +86,121 @@ func run(args []string) int {
 	}
 	pol := mca.Policy{Target: tgt, Utility: util, ReleaseOutbid: *release, Rebid: rb}
 	g := graph.Build(tp, *agents, *seed)
-	as, err := buildAgents(*agents, *items, pol, *seed)
+	specs, err := buildSpecs(*agents, *items, pol, *seed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 2
 	}
 
-	fmt.Printf("checking consensus: %d agents (%s), %d items, p_u=%s p_RO=%v rebid=%s\n",
-		*agents, tp, *items, util.Name(), *release, rb)
-	v := explore.Check(as, g, explore.Options{MaxStates: *maxStates})
-	fmt.Printf("states=%d depth=%d exhausted=%v\n", v.States, v.MaxDepth, v.Exhausted)
-	if v.OK {
+	scenario := engine.Scenario{
+		Name:       "mcacheck",
+		AgentSpecs: specs,
+		Graph:      g,
+		Explore:    explore.Options{MaxStates: *maxStates},
+		Faults:     netsim.Faults{Drop: *drop, Delay: *delay},
+	}
+	var eng engine.Engine = engine.Explicit{Workers: *workers}
+	if !scenario.Faults.None() {
+		eng = engine.Simulation{Runs: *runs, Seed: *seed}
+	}
+
+	fmt.Printf("checking consensus: %d agents (%s), %d items, p_u=%s p_RO=%v rebid=%s engine=%s\n",
+		*agents, tp, *items, util.Name(), *release, rb, eng.Name())
+	res := eng.Verify(ctx, scenario)
+	sampled := res.Stats.Runs > 0
+	if sampled {
+		fmt.Printf("runs=%d converged=%d deliveries=%d dropped=%d\n",
+			res.Stats.Runs, res.Stats.Converged, res.Stats.Deliveries, res.Stats.Dropped)
+	} else {
+		fmt.Printf("states=%d depth=%d exhausted=%v\n", res.Stats.States, res.Stats.MaxDepth, res.Stats.Exhausted)
+	}
+	switch res.Status {
+	case engine.StatusHolds:
 		fmt.Println("RESULT: consensus VERIFIED for all message interleavings in scope")
 		return 0
-	}
-	if !v.Exhausted && v.Violation == explore.ViolationNone {
-		fmt.Println("RESULT: INCONCLUSIVE (state budget exhausted; raise -maxstates)")
+	case engine.StatusInconclusive:
+		if res.Err != nil {
+			fmt.Printf("RESULT: INCONCLUSIVE (%v)\n", res.Err)
+		} else {
+			fmt.Println("RESULT: INCONCLUSIVE (state budget exhausted; raise -maxstates)")
+		}
 		return 3
+	case engine.StatusError:
+		fmt.Fprintln(os.Stderr, res.Err)
+		return 2
 	}
-	fmt.Printf("RESULT: consensus VIOLATED (%v)\n", v.Violation)
-	if *showTrace && v.Trace != nil {
-		fmt.Println(v.Trace.String())
+	if sampled {
+		fmt.Printf("RESULT: consensus FAILED in %d of %d simulated runs\n",
+			res.Stats.Runs-res.Stats.Converged, res.Stats.Runs)
+	} else {
+		fmt.Printf("RESULT: consensus VIOLATED (%v)\n", res.Violation)
+	}
+	if *showTrace && res.Trace != nil {
+		fmt.Println(res.Trace.String())
 	}
 	return 1
 }
 
-// runSweep reproduces Result 1: the policy combination matrix.
-func runSweep(agents, items int, seed int64, maxStates int) int {
-	utilities := []mca.Utility{mca.SubmodularResidual{}, mca.NonSubmodularSynergy{}}
+// runSweep reproduces Result 1 as a batch-runner workload: every policy
+// combination becomes one scenario, verified on the worker pool.
+func runSweep(ctx context.Context, agents, items int, seed int64, maxStates int) int {
+	type combo struct {
+		util mca.Utility
+		rel  bool
+	}
+	var combos []combo
+	for _, u := range []mca.Utility{mca.SubmodularResidual{}, mca.NonSubmodularSynergy{}} {
+		for _, rel := range []bool{false, true} {
+			combos = append(combos, combo{u, rel})
+		}
+	}
+	scenarios := make([]engine.Scenario, len(combos))
+	for i, c := range combos {
+		pol := mca.Policy{Target: items, Utility: c.util, ReleaseOutbid: c.rel, Rebid: mca.RebidOnChange}
+		specs, err := buildSpecs(agents, items, pol, seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		scenarios[i] = engine.Scenario{
+			Name:       fmt.Sprintf("%s/p_RO=%v", c.util.Name(), c.rel),
+			AgentSpecs: specs,
+			Graph:      graph.Complete(agents),
+			Explore:    explore.Options{MaxStates: maxStates},
+		}
+	}
+	results, _ := engine.NewRunner(engine.RunnerOptions{}).Run(ctx, scenarios)
+
 	fmt.Printf("Result 1 policy sweep (%d agents, %d items, complete graph):\n", agents, items)
 	fmt.Printf("%-26s %-10s %-12s %s\n", "utility (p_u)", "p_RO", "verdict", "violation")
 	code := 0
-	for _, u := range utilities {
-		for _, rel := range []bool{false, true} {
-			pol := mca.Policy{Target: items, Utility: u, ReleaseOutbid: rel, Rebid: mca.RebidOnChange}
-			as, err := buildAgents(agents, items, pol, seed)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				return 2
+	for i, res := range results {
+		verdict := "converges"
+		if res.Status != engine.StatusHolds {
+			verdict = "FAILS"
+			if combos[i].util.Submodular() || !combos[i].rel {
+				code = 1 // unexpected failure
 			}
-			v := explore.Check(as, graph.Complete(agents), explore.Options{MaxStates: maxStates})
-			verdict := "converges"
-			if !v.OK {
-				verdict = "FAILS"
-				if u.Submodular() || !rel {
-					code = 1 // unexpected failure
-				}
-			}
-			fmt.Printf("%-26s %-10v %-12s %v\n", u.Name(), rel, verdict, v.Violation)
 		}
+		fmt.Printf("%-26s %-10v %-12s %v\n", combos[i].util.Name(), combos[i].rel, verdict, res.Violation)
 	}
 	return code
 }
 
-// buildAgents creates mirrored antisymmetric valuations (the Fig. 2
+// buildSpecs creates mirrored antisymmetric valuations (the Fig. 2
 // pattern generalized) so that conflicts genuinely arise.
-func buildAgents(n, items int, pol mca.Policy, seed int64) ([]*mca.Agent, error) {
-	out := make([]*mca.Agent, n)
+func buildSpecs(n, items int, pol mca.Policy, seed int64) ([]mca.Config, error) {
+	out := make([]mca.Config, n)
 	for i := 0; i < n; i++ {
 		base := make([]int64, items)
 		for j := 0; j < items; j++ {
 			base[j] = int64(10 + 5*((i+j)%items) + int(seed%3))
 		}
-		a, err := mca.NewAgent(mca.Config{ID: mca.AgentID(i), Items: items, Base: base, Policy: pol})
-		if err != nil {
+		cfg := mca.Config{ID: mca.AgentID(i), Items: items, Base: base, Policy: pol}
+		if _, err := mca.NewAgent(cfg); err != nil {
 			return nil, err
 		}
-		out[i] = a
+		out[i] = cfg
 	}
 	return out, nil
 }

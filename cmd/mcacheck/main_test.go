@@ -90,18 +90,32 @@ func TestRunBadFlags(t *testing.T) {
 	}
 }
 
-func TestBuildAgents(t *testing.T) {
+func TestBuildSpecs(t *testing.T) {
 	pol := mca.Policy{Target: 2, Utility: mca.FlatUtility{}, Rebid: mca.RebidOnChange}
-	as, err := buildAgents(3, 2, pol, 1)
+	specs, err := buildSpecs(3, 2, pol, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(as) != 3 {
-		t.Fatalf("agents = %d", len(as))
+	if len(specs) != 3 {
+		t.Fatalf("specs = %d", len(specs))
 	}
-	for i, a := range as {
-		if a.ID() != mca.AgentID(i) {
-			t.Fatalf("agent %d has id %d", i, a.ID())
+	for i, cfg := range specs {
+		if cfg.ID != mca.AgentID(i) {
+			t.Fatalf("spec %d has id %d", i, cfg.ID)
 		}
+	}
+}
+
+func TestRunSimulationEngineSelected(t *testing.T) {
+	code := run([]string{"-agents", "2", "-items", "2", "-drop", "0.99", "-runs", "4", "-trace=false"})
+	if code != 1 {
+		t.Fatalf("lossy simulation exit = %d, want 1 (non-convergence)", code)
+	}
+}
+
+func TestRunParallelWorkers(t *testing.T) {
+	code := run([]string{"-agents", "2", "-items", "2", "-utility", "submodular", "-workers", "2", "-trace=false"})
+	if code != 0 {
+		t.Fatalf("parallel check exit = %d, want 0", code)
 	}
 }

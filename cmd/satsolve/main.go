@@ -3,16 +3,19 @@
 //
 // Usage:
 //
-//	satsolve [-stats] [-maxconflicts N] [-workers N] [-cube K] file.cnf
+//	satsolve [-stats] [-maxconflicts N] [-workers N] [-cube K] [-timeout D] file.cnf
 //	cat file.cnf | satsolve
 //
 // -workers races a portfolio of N diversified solvers; -cube splits the
-// formula into 2^K cubes solved concurrently (cube-and-conquer). Output
+// formula into 2^K cubes solved concurrently (cube-and-conquer);
+// -timeout aborts the search after a wall-clock deadline through the
+// engine layer's cooperative cancellation (exit "s UNKNOWN"). Output
 // follows the SAT-competition convention: an "s" status line and, for
 // satisfiable instances, a "v" model line.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -33,8 +36,18 @@ func run(args []string, stdin io.Reader, stdout io.Writer) int {
 	maxConflicts := fs.Int64("maxconflicts", 0, "conflict budget (0 = unlimited)")
 	workers := fs.Int("workers", 1, "parallel solvers: >1 races a portfolio, 0 means one per core; with -cube, sizes the cube worker pool")
 	cube := fs.Int("cube", 0, "cube-and-conquer on 2^K cubes (0 = off); workers default to one per core")
+	timeout := fs.Duration("timeout", 0, "wall-clock deadline for the search (0 = none)")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	ctx := context.Background()
+	var cancelled func() bool
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+		cancelled = func() bool { return ctx.Err() != nil }
 	}
 
 	in := stdin
@@ -62,7 +75,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) int {
 		if pw == 0 || (*cube > 0 && pw == 1) {
 			pw = runtime.GOMAXPROCS(0) // default: one worker per core
 		}
-		res := portfolio.Solve(cnf, portfolio.Options{Workers: pw, CubeVars: *cube, Base: opts})
+		res := portfolio.Solve(cnf, portfolio.Options{Workers: pw, CubeVars: *cube, Base: opts, Cancel: cancelled})
 		status, model, st = res.Status, res.Model, res.Stats
 		if *stats {
 			if *cube > 0 {
@@ -77,6 +90,9 @@ func run(args []string, stdin io.Reader, stdout io.Writer) int {
 		if err := cnf.LoadInto(solver); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return 2
+		}
+		if cancelled != nil {
+			solver.SetCancel(cancelled)
 		}
 		status = solver.Solve()
 		st = solver.Stats()

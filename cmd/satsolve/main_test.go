@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+
+	"repro/internal/sat"
 )
 
 func TestRunSat(t *testing.T) {
@@ -88,5 +90,23 @@ func TestRunCubeUnsat(t *testing.T) {
 	}
 	if !strings.Contains(s, "c cube-and-conquer cubes=4 unsat-cubes=4") {
 		t.Fatalf("cube stats missing:\n%s", s)
+	}
+}
+
+// TestRunTimeout: a pigeonhole instance far beyond the 1ns deadline
+// must come back UNKNOWN through the cooperative cancellation, for both
+// the serial and the portfolio paths.
+func TestRunTimeout(t *testing.T) {
+	var dimacs strings.Builder
+	if err := sat.PigeonholeCNF(10).WriteDIMACS(&dimacs); err != nil {
+		t.Fatal(err)
+	}
+	for _, extra := range [][]string{nil, {"-workers", "2"}} {
+		args := append([]string{"-timeout", "1ns"}, extra...)
+		var out bytes.Buffer
+		code := run(args, strings.NewReader(dimacs.String()), &out)
+		if code != 0 || !strings.Contains(out.String(), "s UNKNOWN") {
+			t.Fatalf("args %v: exit=%d output:\n%s", args, code, out.String())
+		}
 	}
 }

@@ -1,18 +1,21 @@
-// Policy sweep: Result 1 of the paper, push-button.
+// Policy sweep: Result 1 of the paper, push-button, on the engine
+// layer.
 //
-// The program verifies the MCA convergence property under every
-// combination of the utility policy (sub-modular vs non-sub-modular) and
-// the release-outbid policy, by exhaustively exploring all asynchronous
-// message interleavings. Exactly one combination fails — non-sub-modular
-// bidding with release-outbid — and the program prints its oscillation
-// counterexample, the paper's Fig. 2.
+// The program builds one verification Scenario per combination of the
+// utility policy (sub-modular vs non-sub-modular) and the
+// release-outbid policy, and verifies the whole batch on the runner's
+// worker pool. Exactly one combination fails — non-sub-modular bidding
+// with release-outbid — and the program prints its oscillation
+// counterexample, the paper's Fig. 2. A second sweep rechecks every
+// combination under an adversarial network (message drops), where
+// convergence degrades for all of them.
 //
 // Run with: go run ./examples/policysweep
 package main
 
 import (
+	"context"
 	"fmt"
-	"log"
 
 	mcaverify "repro"
 )
@@ -29,41 +32,60 @@ func main() {
 		{mcaverify.NonSubmodularSynergy{}, true},
 	}
 
-	fmt.Println("MCA convergence under policy combinations (2 agents, 2 items):")
-	fmt.Printf("%-26s %-14s %s\n", "utility (p_u)", "release (p_RO)", "verdict")
-
-	var oscillation *mcaverify.Verdict
-	for _, c := range combos {
+	// One Scenario per combination: the Fig. 2 valuation pattern (each
+	// agent's preferred item is the other's second choice).
+	scenarios := make([]mcaverify.Scenario, len(combos))
+	for i, c := range combos {
 		pol := mcaverify.Policy{
 			Target:        2,
 			Utility:       c.util,
 			ReleaseOutbid: c.release,
 			Rebid:         mcaverify.RebidOnChange,
 		}
-		// The Fig. 2 valuation pattern: each agent's preferred item is the
-		// other's second choice.
-		a1, err := mcaverify.NewAgent(mcaverify.AgentConfig{ID: 0, Items: 2, Base: []int64{10, 15}, Policy: pol})
-		if err != nil {
-			log.Fatal(err)
+		scenarios[i] = mcaverify.Scenario{
+			Name: fmt.Sprintf("%s/release=%v", c.util.Name(), c.release),
+			AgentSpecs: []mcaverify.AgentConfig{
+				{ID: 0, Items: 2, Base: []int64{10, 15}, Policy: pol},
+				{ID: 1, Items: 2, Base: []int64{15, 10}, Policy: pol},
+			},
+			Graph: mcaverify.CompleteGraph(2),
 		}
-		a2, err := mcaverify.NewAgent(mcaverify.AgentConfig{ID: 1, Items: 2, Base: []int64{15, 10}, Policy: pol})
-		if err != nil {
-			log.Fatal(err)
-		}
-		v := mcaverify.CheckConvergence([]*mcaverify.Agent{a1, a2}, mcaverify.CompleteGraph(2), mcaverify.CheckOptions{})
+	}
+
+	fmt.Println("MCA convergence under policy combinations (2 agents, 2 items):")
+	fmt.Printf("%-26s %-14s %s\n", "utility (p_u)", "release (p_RO)", "verdict")
+
+	results, _ := mcaverify.VerifyAll(context.Background(), scenarios, mcaverify.RunnerOptions{})
+	var oscillation *mcaverify.Result
+	for i, res := range results {
 		verdict := "converges (verified)"
-		if !v.OK {
-			verdict = fmt.Sprintf("FAILS (%v)", v.Violation)
-			if v.Violation == mcaverify.ViolationOscillation {
-				vv := v
+		if res.Status != mcaverify.ResultHolds {
+			verdict = fmt.Sprintf("FAILS (%v)", res.Violation)
+			if res.Violation == mcaverify.ViolationOscillation {
+				vv := res
 				oscillation = &vv
 			}
 		}
-		fmt.Printf("%-26s %-14v %s\n", c.util.Name(), c.release, verdict)
+		fmt.Printf("%-26s %-14v %s\n", combos[i].util.Name(), combos[i].release, verdict)
 	}
 
 	if oscillation != nil {
 		fmt.Println("\noscillation counterexample (the paper's Fig. 2):")
 		fmt.Println(oscillation.Trace.String())
 	}
+
+	// The same sweep under an adversarial network: 30% message loss,
+	// checked by seeded simulation — conditions the paper's Alloy model
+	// cannot express.
+	for i := range scenarios {
+		scenarios[i].Faults = mcaverify.NetworkFaults{Drop: 0.3}
+	}
+	fmt.Println("same sweep under 30% message loss (seeded simulation):")
+	results, sum := mcaverify.VerifyAll(context.Background(), scenarios, mcaverify.RunnerOptions{})
+	for i, res := range results {
+		fmt.Printf("%-26s %-14v converged %d/%d runs\n",
+			combos[i].util.Name(), combos[i].release, res.Stats.Converged, res.Stats.Runs)
+	}
+	fmt.Printf("sweep summary: %d holds, %d violated of %d scenarios\n",
+		sum.Holds, sum.Violated, sum.Total)
 }

@@ -1,0 +1,256 @@
+// Package engine unifies every checker in the repository behind one
+// Scenario/Engine abstraction. The paper's contribution is checking one
+// MCA model many ways — Alloy-style explicit bounds, naive vs optimized
+// relational encodings, synchronous vs asynchronous networks — and this
+// package makes "one model, many checkers" a first-class production
+// workload:
+//
+//   - a Scenario is a plain value describing what to verify: the agents
+//     (as rebuildable configs), the agent graph, the network semantics
+//     and fault model, the property bounds, and optionally a bounded
+//     relational model for the SAT backends;
+//   - an Engine turns a Scenario into a unified Result under a
+//     context.Context (cancellation and deadlines are plumbed down to
+//     the DFS, the sharded frontier, and the SAT search loops). Three
+//     adapters cover the verification stack: Explicit (serial DFS or
+//     sharded parallel frontier), SAT (naive/optimized encoding ×
+//     serial/portfolio/cube solving), and Simulation (seeded randomized
+//     runs under network fault models the Alloy model cannot express);
+//   - a Runner streams Results from a worker pool over scenario sets,
+//     making policy sweeps, substrate sweeps, scale sweeps, and
+//     adversarial-network sweeps batch workloads with deterministic
+//     aggregation at any worker count.
+package engine
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/explore"
+	"repro/internal/graph"
+	"repro/internal/mca"
+	"repro/internal/netsim"
+	"repro/internal/relalg"
+	"repro/internal/sat"
+	"repro/internal/trace"
+)
+
+// RelationalModel is a bounded relational verification problem: axioms
+// (the model's facts and transition system) and an assertion to check
+// within bounds. mcamodel.Encoding implements it; engine deliberately
+// does not import mcamodel so that mcamodel's legacy entry points can
+// route through this package.
+type RelationalModel interface {
+	// ModelName names the encoding (e.g. "naive", "optimized").
+	ModelName() string
+	// RelationalProblem returns the bounds, the axioms, and the
+	// assertion whose violation the SAT engine searches for.
+	RelationalProblem() (b *relalg.Bounds, axioms, assertion relalg.Formula)
+}
+
+// Scenario is one verification scenario: everything an Engine needs to
+// check the MCA consensus property one way. It is a value — agents are
+// described by configs and rebuilt fresh for every Verify call — so a
+// Scenario can be copied, varied, and scheduled thousands of times.
+type Scenario struct {
+	// Name labels the scenario in results and sweep reports.
+	Name string
+
+	// AgentSpecs describes the protocol agents; each Verify builds fresh
+	// agents from the specs. Preferred over Agents for batch workloads.
+	AgentSpecs []mca.Config
+	// Agents optionally provides pre-built (freshly constructed) agents
+	// instead of specs; Verify clones them so the originals stay pristine.
+	// Ignored when AgentSpecs is non-empty.
+	Agents []*mca.Agent
+	// Graph is the agent network topology.
+	Graph *graph.Graph
+
+	// Explore carries the property bounds and channel semantics for the
+	// dynamic checkers (message budget, state budget, queue depth,
+	// duplicate-delivery fault injection). Its Cancel field is owned by
+	// the engine layer and overwritten from the context.
+	Explore explore.Options
+
+	// Faults is the network fault model. The Simulation engine honours
+	// all of it; the Explicit engine accepts only a permanent partition
+	// (checked exactly on the partition-masked graph) and rejects
+	// probabilistic or timed faults, which have no exhaustive semantics.
+	Faults netsim.Faults
+
+	// Model, when non-nil, is the bounded relational model for the SAT
+	// backends; scenarios without it are dynamic-only.
+	Model RelationalModel
+	// Solver tunes the underlying SAT solver for the SAT backends.
+	Solver sat.Options
+}
+
+// agents materializes fresh protocol agents for one Verify call.
+func (s *Scenario) agents() ([]*mca.Agent, error) {
+	if len(s.AgentSpecs) > 0 {
+		out := make([]*mca.Agent, len(s.AgentSpecs))
+		for i, cfg := range s.AgentSpecs {
+			a, err := mca.NewAgent(cfg)
+			if err != nil {
+				return nil, fmt.Errorf("engine: scenario %q agent %d: %w", s.Name, i, err)
+			}
+			out[i] = a
+		}
+		return out, nil
+	}
+	out := make([]*mca.Agent, len(s.Agents))
+	for i, a := range s.Agents {
+		out[i] = a.Clone()
+	}
+	return out, nil
+}
+
+// Status classifies a Result.
+type Status int
+
+// Result statuses.
+const (
+	// StatusHolds: the property was verified (exhaustive engines) or
+	// held on every simulated execution (Simulation engine).
+	StatusHolds Status = iota
+	// StatusViolated: a counterexample was found.
+	StatusViolated
+	// StatusInconclusive: the search was cancelled or exhausted its
+	// budget before an answer.
+	StatusInconclusive
+	// StatusError: the scenario could not be run by this engine.
+	StatusError
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case StatusHolds:
+		return "holds"
+	case StatusViolated:
+		return "violated"
+	case StatusInconclusive:
+		return "inconclusive"
+	case StatusError:
+		return "error"
+	default:
+		return fmt.Sprintf("status(%d)", int(s))
+	}
+}
+
+// Stats aggregates the per-engine effort counters into one shape.
+type Stats struct {
+	// Explicit-state: states visited, deepest path, full exploration.
+	States    int
+	MaxDepth  int
+	Exhausted bool
+	// SAT: translation sizes and times.
+	PrimaryVars   int
+	AuxVars       int
+	Clauses       int
+	TranslateTime time.Duration
+	SolveTime     time.Duration
+	// Simulation: executions run, how many converged, message effort.
+	Runs       int
+	Converged  int
+	Deliveries int
+	Dropped    int
+	// Wall is the end-to-end duration of the Verify call.
+	Wall time.Duration
+}
+
+// Result is the unified verdict every engine returns.
+type Result struct {
+	// Index is the scenario's position in a Runner batch; -1 for a
+	// direct Verify call.
+	Index int
+	// Scenario and Engine name the work and the adapter that did it.
+	Scenario string
+	Engine   string
+	// Status is the unified verdict.
+	Status Status
+	// Violation classifies dynamic counterexamples (Explicit engine).
+	Violation explore.ViolationKind
+	// Trace is the counterexample trace, when one exists.
+	Trace *trace.Recorder
+	// SATStatus is the raw SAT answer of the SAT engine: StatusSat
+	// means a counterexample instance to the assertion exists.
+	SATStatus sat.Status
+	// ExplicitVerdict preserves the full explicit-state verdict for
+	// compatibility wrappers; nil for other engines.
+	ExplicitVerdict *explore.Verdict
+	// Stats are the effort counters.
+	Stats Stats
+	// Err reports scenario/engine mismatches and cancellation causes.
+	Err error
+}
+
+// errorResult builds a StatusError result.
+func errorResult(s *Scenario, engineName string, err error) Result {
+	return Result{Index: -1, Scenario: s.Name, Engine: engineName, Status: StatusError, Err: err}
+}
+
+// Engine is one way of checking a Scenario. Implementations are small
+// configuration values, safe to copy and share across goroutines; all
+// per-run state lives inside Verify.
+type Engine interface {
+	// Name identifies the adapter and its configuration.
+	Name() string
+	// Verify checks the scenario, honouring ctx cancellation and
+	// deadlines; a cancelled run reports StatusInconclusive with the
+	// context's error.
+	Verify(ctx context.Context, s Scenario) Result
+}
+
+// cancelHook adapts a context to the cooperative Cancel callbacks the
+// solver layers poll. A nil-safe fast path keeps fault-free hot loops
+// free of interface calls when the context cannot be cancelled.
+func cancelHook(ctx context.Context) func() bool {
+	if ctx == nil || ctx.Done() == nil {
+		return nil
+	}
+	return func() bool { return ctx.Err() != nil }
+}
+
+// combineCancel merges a caller-provided cancellation hook (e.g. a
+// Scenario's Explore.Cancel) with the context's, so neither silently
+// disables the other.
+func combineCancel(a, b func() bool) func() bool {
+	switch {
+	case a == nil:
+		return b
+	case b == nil:
+		return a
+	}
+	return func() bool { return a() || b() }
+}
+
+// Auto picks the natural engine for each scenario: SAT when a
+// relational model is attached, Simulation when the fault model has a
+// probabilistic or timed component, Explicit otherwise.
+type Auto struct {
+	// Workers configures the chosen engine's parallelism (explicit
+	// frontier shards or SAT portfolio members). 0 keeps each engine's
+	// serial default.
+	Workers int
+}
+
+// Name identifies the adapter.
+func (a Auto) Name() string { return "auto" }
+
+// EngineFor returns the engine Auto would use for the scenario.
+func (a Auto) EngineFor(s Scenario) Engine {
+	if s.Model != nil {
+		return SAT{Workers: a.Workers}
+	}
+	if !s.Faults.None() && !s.Faults.StaticPartitionOnly() {
+		return Simulation{}
+	}
+	return Explicit{Workers: a.Workers}
+}
+
+// Verify dispatches to the selected engine.
+func (a Auto) Verify(ctx context.Context, s Scenario) Result {
+	return a.EngineFor(s).Verify(ctx, s)
+}

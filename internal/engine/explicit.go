@@ -1,0 +1,91 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/explore"
+)
+
+// Explicit is the explicit-state backend adapter: the exhaustive
+// bounded model checker over all message interleavings, run either as
+// the serial DFS or as the sharded level-synchronous parallel frontier.
+type Explicit struct {
+	// Workers selects the backend: 0 runs the serial DFS; any other
+	// value runs the sharded parallel frontier with that many shards
+	// (negative means one per CPU). Workers=1 is the one-shard frontier,
+	// not the DFS: the two algorithms are kept distinct because their
+	// val-bound verdicts can differ on order-dependent prunes.
+	Workers int
+}
+
+// Name identifies the adapter.
+func (e Explicit) Name() string {
+	if e.serial() {
+		return "explicit"
+	}
+	if e.Workers < 0 {
+		return "explicit-parallel"
+	}
+	return fmt.Sprintf("explicit-parallel(%d)", e.Workers)
+}
+
+func (e Explicit) serial() bool { return e.Workers == 0 }
+
+// Verify exhaustively checks the consensus property for the scenario.
+// Fault models: a permanent partition is checked exactly (on the
+// partition-masked graph, where a disconnected protocol genuinely
+// cannot agree); probabilistic or timed faults are rejected — they have
+// no exhaustive semantics and belong to the Simulation engine.
+func (e Explicit) Verify(ctx context.Context, s Scenario) Result {
+	start := time.Now()
+	if s.Graph == nil {
+		return errorResult(&s, e.Name(), fmt.Errorf("engine: scenario %q has no agent graph", s.Name))
+	}
+	if !s.Faults.None() && !s.Faults.StaticPartitionOnly() {
+		return errorResult(&s, e.Name(), fmt.Errorf(
+			"engine: scenario %q has probabilistic or timed faults; exhaustive checking supports only permanent partitions (use the Simulation engine)", s.Name))
+	}
+	agents, err := s.agents()
+	if err != nil {
+		return errorResult(&s, e.Name(), err)
+	}
+	g := s.Faults.ApplyPartitions(s.Graph)
+	opts := s.Explore
+	opts.Cancel = combineCancel(opts.Cancel, cancelHook(ctx))
+
+	var v explore.Verdict
+	if e.serial() {
+		v = explore.Check(agents, g, opts)
+	} else {
+		v = explore.CheckParallel(agents, g, opts, e.Workers)
+	}
+
+	res := Result{
+		Index:           -1,
+		Scenario:        s.Name,
+		Engine:          e.Name(),
+		Violation:       v.Violation,
+		Trace:           v.Trace,
+		ExplicitVerdict: &v,
+		Stats: Stats{
+			States:    v.States,
+			MaxDepth:  v.MaxDepth,
+			Exhausted: v.Exhausted,
+			Wall:      time.Since(start),
+		},
+	}
+	switch {
+	case v.OK:
+		res.Status = StatusHolds
+	case v.Violation != explore.ViolationNone:
+		res.Status = StatusViolated
+	default:
+		res.Status = StatusInconclusive
+		if ctx != nil && ctx.Err() != nil {
+			res.Err = ctx.Err()
+		}
+	}
+	return res
+}

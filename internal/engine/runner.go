@@ -1,0 +1,151 @@
+package engine
+
+import (
+	"context"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/explore"
+)
+
+// RunnerOptions configures a batch runner.
+type RunnerOptions struct {
+	// Workers is the size of the scenario worker pool (0 = one per CPU).
+	// It schedules whole scenarios; combine with parallel engines
+	// (Explicit{Workers}, SAT{Workers}) for intra-scenario parallelism.
+	Workers int
+	// Engine runs every scenario; nil defaults to Auto{}, which picks
+	// the natural backend per scenario.
+	Engine Engine
+	// EngineFor, when non-nil, overrides Engine per scenario.
+	EngineFor func(Scenario) Engine
+}
+
+func (o RunnerOptions) withDefaults() RunnerOptions {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.Engine == nil {
+		o.Engine = Auto{}
+	}
+	return o
+}
+
+func (o RunnerOptions) engineFor(s Scenario) Engine {
+	if o.EngineFor != nil {
+		if e := o.EngineFor(s); e != nil {
+			return e
+		}
+	}
+	return o.Engine
+}
+
+// Runner schedules verification scenarios over a worker pool. Results
+// are deterministic in the scenario set and engines — worker count and
+// scheduling order only change wall-clock, never a verdict or the
+// aggregated report.
+type Runner struct {
+	opts RunnerOptions
+}
+
+// NewRunner builds a batch runner.
+func NewRunner(opts RunnerOptions) *Runner {
+	return &Runner{opts: opts.withDefaults()}
+}
+
+// Stream verifies the scenarios on the worker pool and sends each
+// Result as soon as it is ready, in completion order; Result.Index maps
+// it back to its scenario. The channel closes when the batch is done or
+// the context is cancelled (pending scenarios then report
+// StatusInconclusive). The consumer must drain the channel.
+func (r *Runner) Stream(ctx context.Context, scenarios []Scenario) <-chan Result {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	out := make(chan Result, r.opts.Workers)
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < r.opts.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				s := scenarios[i]
+				var res Result
+				if ctx.Err() != nil {
+					// The batch was cancelled before this scenario started:
+					// report it inconclusive instead of running it.
+					res = Result{Scenario: s.Name, Engine: "runner", Status: StatusInconclusive, Err: ctx.Err()}
+				} else {
+					res = r.opts.engineFor(s).Verify(ctx, s)
+				}
+				res.Index = i
+				out <- res
+			}
+		}()
+	}
+	go func() {
+		for i := range scenarios {
+			jobs <- i
+		}
+		close(jobs)
+		wg.Wait()
+		close(out)
+	}()
+	return out
+}
+
+// Run verifies the scenarios and returns the results indexed by
+// scenario position, plus the aggregated summary — identical output at
+// any worker count.
+func (r *Runner) Run(ctx context.Context, scenarios []Scenario) ([]Result, Summary) {
+	start := time.Now()
+	results := make([]Result, len(scenarios))
+	for res := range r.Stream(ctx, scenarios) {
+		results[res.Index] = res
+	}
+	sum := Summarize(results)
+	sum.Wall = time.Since(start)
+	return results, sum
+}
+
+// Summary aggregates a batch of results.
+type Summary struct {
+	Total        int
+	Holds        int
+	Violated     int
+	Inconclusive int
+	Errors       int
+	// Violations counts dynamic counterexamples by kind.
+	Violations map[explore.ViolationKind]int
+	// Scenarios lists the names of violated scenarios, sorted.
+	Scenarios []string
+	// Wall is the batch duration (excluded from determinism guarantees).
+	Wall time.Duration
+}
+
+// Summarize aggregates results deterministically: the summary depends
+// only on the multiset of results, not on completion order.
+func Summarize(results []Result) Summary {
+	sum := Summary{Total: len(results), Violations: make(map[explore.ViolationKind]int)}
+	for _, res := range results {
+		switch res.Status {
+		case StatusHolds:
+			sum.Holds++
+		case StatusViolated:
+			sum.Violated++
+			if res.Violation != explore.ViolationNone {
+				sum.Violations[res.Violation]++
+			}
+			sum.Scenarios = append(sum.Scenarios, res.Scenario)
+		case StatusInconclusive:
+			sum.Inconclusive++
+		case StatusError:
+			sum.Errors++
+		}
+	}
+	sort.Strings(sum.Scenarios)
+	return sum
+}

@@ -1,0 +1,214 @@
+package engine_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/explore"
+	"repro/internal/graph"
+	"repro/internal/mca"
+	"repro/internal/mcamodel"
+	"repro/internal/netsim"
+)
+
+// sweepScenarios builds a heterogeneous batch mixing policy, topology,
+// and network-fault dimensions: the production sweep workload. With 4
+// utilities × 2 release modes × 3 topologies × (reliable + 3 fault
+// models) plus a relational tier it exceeds 100 scenarios.
+func sweepScenarios(t testing.TB) []engine.Scenario {
+	utilities := []mca.Utility{
+		mca.SubmodularResidual{}, mca.NonSubmodularSynergy{},
+		mca.FlatUtility{}, mca.EscalatingUtility{Cap: 1 << 10},
+	}
+	graphs := map[string]*graph.Graph{
+		"complete2": graph.Complete(2),
+		"line3":     graph.Line(3),
+		"star3":     graph.Star(3),
+		"ring4":     graph.Ring(4),
+	}
+	faults := map[string]netsim.Faults{
+		"reliable":  {},
+		"drop":      {Drop: 0.25},
+		"delay":     {Delay: 3},
+		"partition": {Partitions: [][]int{{0}, {1, 2}}, HealAfter: 2},
+	}
+	var out []engine.Scenario
+	for _, u := range utilities {
+		for _, release := range []bool{false, true} {
+			for gname, g := range graphs {
+				n := g.N()
+				specs := make([]mca.Config, n)
+				for i := 0; i < n; i++ {
+					base := []int64{int64(10 + 5*(i%2)), int64(15 - 5*(i%2))}
+					specs[i] = mca.Config{
+						ID: mca.AgentID(i), Items: 2, Base: base,
+						Policy: mca.Policy{Target: 2, Utility: u, ReleaseOutbid: release, Rebid: mca.RebidOnChange},
+					}
+				}
+				for fname, f := range faults {
+					if fname == "partition" && n < 3 {
+						continue
+					}
+					out = append(out, engine.Scenario{
+						Name:       fmt.Sprintf("%s/release=%v/%s/%s", u.Name(), release, gname, fname),
+						AgentSpecs: specs,
+						Graph:      g,
+						Explore:    explore.Options{MaxStates: 30000},
+						Faults:     f,
+					})
+				}
+			}
+		}
+	}
+	// Relational tier: the bounded SAT models ride in the same batch.
+	for _, e := range satModels(t) {
+		out = append(out, engine.Scenario{Name: "model/" + e.Name, Model: e})
+	}
+	if len(out) < 100 {
+		t.Fatalf("sweep too small: %d scenarios", len(out))
+	}
+	return out
+}
+
+// satModels builds both encodings at a small scope for sweep use.
+func satModels(t testing.TB) []*mcamodel.Encoding {
+	sc := mcamodel.Scope{PNodes: 2, VNodes: 2, Values: 3, States: 2, Msgs: 1, IntBitwidth: 3}
+	n, err := mcamodel.BuildNaive(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := mcamodel.BuildOptimized(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []*mcamodel.Encoding{n, o}
+}
+
+// comparable strips the non-deterministic parts (wall clock, traces) of
+// a result down to the fields the determinism guarantee covers.
+type comparable struct {
+	Index     int
+	Scenario  string
+	Engine    string
+	Status    engine.Status
+	Violation explore.ViolationKind
+	States    int
+	Runs      int
+	Converged int
+}
+
+func comparableResults(results []engine.Result) []comparable {
+	out := make([]comparable, len(results))
+	for i, r := range results {
+		out[i] = comparable{
+			Index: r.Index, Scenario: r.Scenario, Engine: r.Engine,
+			Status: r.Status, Violation: r.Violation,
+			States: r.Stats.States, Runs: r.Stats.Runs, Converged: r.Stats.Converged,
+		}
+	}
+	return out
+}
+
+// TestRunnerSweepDeterministicAcrossWorkerCounts is the acceptance
+// test: a ≥100-scenario sweep including drop, delay, and partition
+// fault models completes with identical per-scenario results and
+// aggregate summary at any worker count.
+func TestRunnerSweepDeterministicAcrossWorkerCounts(t *testing.T) {
+	scenarios := sweepScenarios(t)
+	t.Logf("sweep size: %d scenarios", len(scenarios))
+
+	var baseline []comparable
+	var baseSummary engine.Summary
+	for _, workers := range []int{1, 2, 8} {
+		r := engine.NewRunner(engine.RunnerOptions{Workers: workers})
+		results, sum := r.Run(context.Background(), scenarios)
+		for i, res := range results {
+			if res.Index != i {
+				t.Fatalf("workers=%d: result %d has index %d", workers, i, res.Index)
+			}
+			if res.Status == engine.StatusError {
+				t.Fatalf("workers=%d: scenario %q errored: %v", workers, res.Scenario, res.Err)
+			}
+		}
+		comp := comparableResults(results)
+		sum.Wall = 0
+		if baseline == nil {
+			baseline, baseSummary = comp, sum
+			if sum.Violated == 0 {
+				t.Fatal("sweep found no violations: fault and adversarial scenarios missing their counterexamples")
+			}
+			if sum.Holds == 0 {
+				t.Fatal("sweep verified nothing: fixture broken")
+			}
+			continue
+		}
+		for i := range comp {
+			if comp[i] != baseline[i] {
+				t.Fatalf("workers=%d: result %d diverged:\n  got  %+v\n  want %+v", workers, i, comp[i], baseline[i])
+			}
+		}
+		if fmt.Sprintf("%+v", sum) != fmt.Sprintf("%+v", baseSummary) {
+			t.Fatalf("workers=%d: summary diverged:\n  got  %+v\n  want %+v", workers, sum, baseSummary)
+		}
+	}
+	if baseSummary.Total != len(scenarios) ||
+		baseSummary.Holds+baseSummary.Violated+baseSummary.Inconclusive+baseSummary.Errors != baseSummary.Total {
+		t.Fatalf("summary does not partition the batch: %+v", baseSummary)
+	}
+}
+
+// TestRunnerStreamDeliversEveryIndex checks streaming completeness.
+func TestRunnerStreamDeliversEveryIndex(t *testing.T) {
+	scenarios := sweepScenarios(t)[:24]
+	r := engine.NewRunner(engine.RunnerOptions{Workers: 4})
+	seen := make(map[int]bool)
+	for res := range r.Stream(context.Background(), scenarios) {
+		if seen[res.Index] {
+			t.Fatalf("index %d delivered twice", res.Index)
+		}
+		seen[res.Index] = true
+	}
+	if len(seen) != len(scenarios) {
+		t.Fatalf("stream delivered %d of %d results", len(seen), len(scenarios))
+	}
+}
+
+// TestRunnerEngineForOverride routes chosen scenarios to a different
+// engine.
+func TestRunnerEngineForOverride(t *testing.T) {
+	scenarios := sweepScenarios(t)[:8]
+	r := engine.NewRunner(engine.RunnerOptions{
+		Workers: 2,
+		EngineFor: func(s engine.Scenario) engine.Engine {
+			return engine.Simulation{Runs: 2}
+		},
+	})
+	results, _ := r.Run(context.Background(), scenarios)
+	for _, res := range results {
+		if res.Engine != "simulation" {
+			t.Fatalf("scenario %q ran on %s", res.Scenario, res.Engine)
+		}
+	}
+}
+
+// TestRunnerCancelledBatch: cancelling mid-batch still delivers one
+// result per scenario, with unstarted work marked inconclusive.
+func TestRunnerCancelledBatch(t *testing.T) {
+	scenarios := sweepScenarios(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	r := engine.NewRunner(engine.RunnerOptions{Workers: 2})
+	count := 0
+	for res := range r.Stream(ctx, scenarios) {
+		count++
+		if count == 5 {
+			cancel()
+		}
+		_ = res
+	}
+	if count != len(scenarios) {
+		t.Fatalf("cancelled stream delivered %d of %d results", count, len(scenarios))
+	}
+}

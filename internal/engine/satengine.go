@@ -1,0 +1,96 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/relalg"
+	"repro/internal/sat"
+)
+
+// SAT is the relational/SAT backend adapter: it translates the
+// scenario's bounded relational model to CNF (axioms ∧ ¬assertion, the
+// Alloy "check" form) and decides it serially, with a diversified
+// solver portfolio, or with cube-and-conquer.
+type SAT struct {
+	// Workers selects the solving strategy: 0 runs one sequential
+	// solver; any other value races a portfolio of that many members
+	// (negative means one per CPU).
+	Workers int
+	// CubeVars switches the parallel path to cube-and-conquer on
+	// 2^CubeVars cubes; it implies the parallel path even when Workers
+	// is unset.
+	CubeVars int
+}
+
+// Name identifies the adapter.
+func (e SAT) Name() string {
+	switch {
+	case e.CubeVars > 0:
+		return fmt.Sprintf("sat-cube(2^%d)", e.CubeVars)
+	case e.serial():
+		return "sat"
+	case e.Workers < 0:
+		return "sat-portfolio"
+	default:
+		return fmt.Sprintf("sat-portfolio(%d)", e.Workers)
+	}
+}
+
+func (e SAT) serial() bool { return e.Workers == 0 && e.CubeVars == 0 }
+
+// Verify decides the scenario's relational assertion within bounds. An
+// UNSAT answer verifies the assertion for every instance in scope; a
+// SAT answer is a counterexample instance; Unknown (budget or
+// cancellation) is inconclusive.
+func (e SAT) Verify(ctx context.Context, s Scenario) Result {
+	start := time.Now()
+	if s.Model == nil {
+		return errorResult(&s, e.Name(), fmt.Errorf("engine: scenario %q has no relational model for the SAT backend", s.Name))
+	}
+	bounds, axioms, assertion := s.Model.RelationalProblem()
+	p := &relalg.Problem{
+		Bounds: bounds,
+		// Alloy's check command: a model of axioms ∧ ¬assertion is a
+		// counterexample to the assertion.
+		Formula:       relalg.And(axioms, relalg.Not(assertion)),
+		SolverOptions: s.Solver,
+		Cancel:        cancelHook(ctx),
+	}
+	if !e.serial() {
+		workers := e.Workers
+		if workers < 0 {
+			workers = 0 // portfolio default: one member per CPU
+		}
+		p.Parallel = &relalg.ParallelOptions{Workers: workers, CubeVars: e.CubeVars}
+	}
+	r := relalg.Solve(p)
+
+	res := Result{
+		Index:     -1,
+		Scenario:  s.Name,
+		Engine:    e.Name(),
+		SATStatus: r.Status,
+		Stats: Stats{
+			PrimaryVars:   r.Stats.PrimaryVars,
+			AuxVars:       r.Stats.AuxVars,
+			Clauses:       r.Stats.Clauses,
+			TranslateTime: r.Stats.TranslateTime,
+			SolveTime:     r.Stats.SolveTime,
+			Wall:          time.Since(start),
+		},
+	}
+	switch r.Status {
+	case sat.StatusUnsat:
+		res.Status = StatusHolds
+	case sat.StatusSat:
+		res.Status = StatusViolated
+	default:
+		res.Status = StatusInconclusive
+		if ctx != nil && ctx.Err() != nil {
+			res.Err = ctx.Err()
+		}
+	}
+	return res
+}

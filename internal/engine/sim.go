@@ -1,0 +1,88 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/mca"
+	"repro/internal/netsim"
+)
+
+// Simulation is the randomized-execution adapter: it runs a batch of
+// seeded asynchronous executions under the scenario's network fault
+// model (message drops, delivery delays, partitions) and reports
+// whether every execution converged. Unlike the exhaustive engines its
+// Holds verdict is empirical — it covers the sampled schedules, not all
+// of them — which is exactly the trade that makes adversarial network
+// sweeps tractable at production scale.
+type Simulation struct {
+	// Runs is the number of seeded executions (default 16).
+	Runs int
+	// Seed offsets the per-run seeds, so distinct Simulation values
+	// sample distinct schedule sets. Run i uses Seed + i.
+	Seed int64
+	// MaxDeliveries caps each run's delivery ticks; 0 derives
+	// 8 × the D·|J| consensus bound from the scenario graph.
+	MaxDeliveries int
+}
+
+// Name identifies the adapter.
+func (e Simulation) Name() string { return "simulation" }
+
+func (e Simulation) withDefaults() Simulation {
+	if e.Runs <= 0 {
+		e.Runs = 16
+	}
+	return e
+}
+
+// Verify samples seeded executions under the fault model. The verdict
+// is deterministic in (Scenario, Simulation): every run's schedule and
+// fault coin flips derive from its seed.
+func (e Simulation) Verify(ctx context.Context, s Scenario) Result {
+	start := time.Now()
+	e = e.withDefaults()
+	if s.Graph == nil {
+		return errorResult(&s, e.Name(), fmt.Errorf("engine: scenario %q has no agent graph", s.Name))
+	}
+	maxDeliveries := e.MaxDeliveries
+	if maxDeliveries <= 0 {
+		// Derived once per scenario: MessageBound walks the graph
+		// diameter, which is invariant across the runs.
+		items := 0
+		if len(s.AgentSpecs) > 0 {
+			items = s.AgentSpecs[0].Items
+		} else if len(s.Agents) > 0 {
+			items = s.Agents[0].Items()
+		}
+		maxDeliveries = 8 * (mca.MessageBound(s.Graph, items) + 1)
+	}
+	res := Result{Index: -1, Scenario: s.Name, Engine: e.Name(), Status: StatusHolds}
+	for i := 0; i < e.Runs; i++ {
+		if ctx != nil && ctx.Err() != nil {
+			res.Status = StatusInconclusive
+			res.Err = ctx.Err()
+			break
+		}
+		agents, err := s.agents()
+		if err != nil {
+			return errorResult(&s, e.Name(), err)
+		}
+		out := netsim.RunAsyncWith(agents, s.Graph, netsim.AsyncConfig{
+			Seed:          e.Seed + int64(i),
+			MaxDeliveries: maxDeliveries,
+			Faults:        s.Faults,
+		})
+		res.Stats.Runs++
+		res.Stats.Deliveries += out.Deliveries
+		res.Stats.Dropped += out.Dropped
+		if out.Converged {
+			res.Stats.Converged++
+		} else {
+			res.Status = StatusViolated
+		}
+	}
+	res.Stats.Wall = time.Since(start)
+	return res
+}

@@ -96,6 +96,11 @@ type Options struct {
 	// at-least-once channels. The MCA merge is idempotent, so honest
 	// configurations must still verify.
 	DuplicateDeliveries bool
+	// Cancel, when non-nil, is polled periodically during exploration;
+	// once it returns true the check stops and reports an inconclusive
+	// (Exhausted=false) verdict. This is the cooperative hook the engine
+	// layer drives from context cancellation and deadlines.
+	Cancel func() bool
 }
 
 func (o Options) withDefaults(g *graph.Graph, items int) Options {
@@ -160,6 +165,7 @@ type checker struct {
 	agentStack [][]mca.AgentState
 	edgeBuf    []netsim.Edge
 	verdict    *Verdict
+	cancelled  bool
 }
 
 // pathMark remembers where a state first appeared on the DFS path and
@@ -201,7 +207,7 @@ func Check(agents []*mca.Agent, g *graph.Graph, opts Options) Verdict {
 	c.states0 = saveStates(agents)
 	c.net0 = c.net.Clone()
 	c.dfs(0, 0)
-	c.verdict.Exhausted = c.verdict.States < opts.MaxStates
+	c.verdict.Exhausted = !c.cancelled && c.verdict.States < opts.MaxStates
 	c.verdict.OK = c.verdict.Violation == ViolationNone && c.verdict.Exhausted
 	return *c.verdict
 }
@@ -216,6 +222,10 @@ func (c *checker) dfs(depth, changes int) bool {
 	}
 	if c.verdict.States >= c.opts.MaxStates {
 		return true // budget exhausted; inconclusive
+	}
+	if c.opts.Cancel != nil && c.verdict.States&255 == 0 && c.opts.Cancel() {
+		c.cancelled = true
+		return true // cancelled; inconclusive
 	}
 	key := c.canonKey()
 	if first, cyc := c.onPath[key]; cyc {

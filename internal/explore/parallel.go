@@ -95,8 +95,16 @@ func CheckParallel(agents []*mca.Agent, g *graph.Graph, opts Options, workers in
 	var chosen *violationRec
 	totalStates := 0
 	completed := false
+	cancelled := false
 
 	for level := 0; ; level++ {
+		// Cancellation is checked at the level barrier: a level in flight
+		// completes, keeping the stopping point worker-count independent
+		// like the MaxStates budget below.
+		if opts.Cancel != nil && opts.Cancel() {
+			cancelled = true
+			break
+		}
 		empty := true
 		for _, items := range frontier {
 			if len(items) > 0 {
@@ -158,7 +166,7 @@ func CheckParallel(agents []*mca.Agent, g *graph.Graph, opts Options, workers in
 	}
 
 	verdict.States = totalStates
-	verdict.Exhausted = totalStates < opts.MaxStates
+	verdict.Exhausted = !cancelled && totalStates < opts.MaxStates
 	if chosen != nil {
 		verdict.Violation = chosen.kind
 		verdict.Trace = replayTrace(cloneAgents(agents), states0, net0, treeSteps(chosen.node), chosen.label)

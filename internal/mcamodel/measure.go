@@ -1,9 +1,11 @@
 package mcamodel
 
 import (
+	"context"
 	"fmt"
 	"time"
 
+	"repro/internal/engine"
 	"repro/internal/relalg"
 	"repro/internal/sat"
 )
@@ -47,19 +49,10 @@ func MeasureTranslation(e *Encoding) Measurement {
 // CheckConsensus runs the full check (facts ∧ ¬consensus): a SAT answer
 // is a counterexample trace within the scope; UNSAT verifies consensus
 // for every instance of the bounded model. Solver options allow budget
-// caps for the benchmark harness.
+// caps for the benchmark harness. It is a thin compatibility wrapper
+// over the engine layer's SAT adapter.
 func CheckConsensus(e *Encoding, opts sat.Options) Measurement {
-	res := relalg.Check(e.Bounds, e.Background, e.Consensus, opts)
-	return Measurement{
-		Encoding:    e.Name,
-		Scope:       e.Scope,
-		PrimaryVars: res.Stats.PrimaryVars,
-		AuxVars:     res.Stats.AuxVars,
-		Clauses:     res.Stats.Clauses,
-		Translate:   res.Stats.TranslateTime,
-		Solve:       res.Stats.SolveTime,
-		CheckStatus: res.Status,
-	}
+	return checkVia(e, opts, engine.SAT{})
 }
 
 // CheckConsensusParallel is CheckConsensus on the parallel SAT backend:
@@ -67,7 +60,17 @@ func CheckConsensus(e *Encoding, opts sat.Options) Measurement {
 // par.CubeVars > 0 — cube-and-conquer. The E5 experiment runs it next
 // to the serial check to report the parallel-vs-serial comparison.
 func CheckConsensusParallel(e *Encoding, opts sat.Options, par relalg.ParallelOptions) Measurement {
-	res := relalg.CheckParallel(e.Bounds, e.Background, e.Consensus, opts, par)
+	workers := par.Workers
+	if workers == 0 {
+		workers = -1 // parallel default: one member per CPU
+	}
+	return checkVia(e, opts, engine.SAT{Workers: workers, CubeVars: par.CubeVars})
+}
+
+// checkVia routes a consensus check through an engine adapter and
+// repackages the unified Result as the legacy Measurement row.
+func checkVia(e *Encoding, opts sat.Options, eng engine.Engine) Measurement {
+	res := eng.Verify(context.Background(), engine.Scenario{Name: e.Name, Model: e, Solver: opts})
 	return Measurement{
 		Encoding:    e.Name,
 		Scope:       e.Scope,
@@ -76,7 +79,7 @@ func CheckConsensusParallel(e *Encoding, opts sat.Options, par relalg.ParallelOp
 		Clauses:     res.Stats.Clauses,
 		Translate:   res.Stats.TranslateTime,
 		Solve:       res.Stats.SolveTime,
-		CheckStatus: res.Status,
+		CheckStatus: res.SATStatus,
 	}
 }
 

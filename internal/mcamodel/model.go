@@ -92,6 +92,15 @@ type Encoding struct {
 	Consensus relalg.Formula
 }
 
+// ModelName implements engine.RelationalModel.
+func (e *Encoding) ModelName() string { return e.Name }
+
+// RelationalProblem implements engine.RelationalModel: the background
+// facts are the axioms and the consensus predicate is the assertion.
+func (e *Encoding) RelationalProblem() (*relalg.Bounds, relalg.Formula, relalg.Formula) {
+	return e.Bounds, e.Background, e.Consensus
+}
+
 // atomNames generates prefixed atom names.
 func atomNames(prefix string, n int) []string {
 	out := make([]string, n)

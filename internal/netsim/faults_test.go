@@ -1,0 +1,171 @@
+package netsim
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/mca"
+)
+
+func faultAgents(t *testing.T, n, items int) []*mca.Agent {
+	t.Helper()
+	out := make([]*mca.Agent, n)
+	for i := 0; i < n; i++ {
+		base := make([]int64, items)
+		for j := range base {
+			base[j] = int64(10 + 5*((i+j)%items))
+		}
+		a, err := mca.NewAgent(mca.Config{
+			ID: mca.AgentID(i), Items: items, Base: base,
+			Policy: mca.Policy{Target: items, Utility: mca.SubmodularResidual{}, Rebid: mca.RebidOnChange},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = a
+	}
+	return out
+}
+
+func TestRunAsyncWithNoFaultsMatchesRunAsync(t *testing.T) {
+	g := graph.Ring(4)
+	for seed := int64(1); seed <= 5; seed++ {
+		a := RunAsync(faultAgents(t, 4, 3), g, seed, 500)
+		b := RunAsyncWith(faultAgents(t, 4, 3), g, AsyncConfig{Seed: seed, MaxDeliveries: 500})
+		if a != b {
+			t.Fatalf("seed %d: RunAsync=%+v RunAsyncWith=%+v", seed, a, b)
+		}
+		if !a.Converged {
+			t.Fatalf("seed %d: reliable run did not converge", seed)
+		}
+	}
+}
+
+func TestRunAsyncWithIsDeterministic(t *testing.T) {
+	g := graph.Complete(3)
+	cfg := AsyncConfig{Seed: 42, MaxDeliveries: 300, Faults: Faults{Drop: 0.3, Delay: 2}}
+	first := RunAsyncWith(faultAgents(t, 3, 2), g, cfg)
+	for i := 0; i < 3; i++ {
+		again := RunAsyncWith(faultAgents(t, 3, 2), g, cfg)
+		if again != first {
+			t.Fatalf("run %d diverged: %+v vs %+v", i, again, first)
+		}
+	}
+}
+
+func TestDropFaultLosesMessages(t *testing.T) {
+	g := graph.Complete(3)
+	out := RunAsyncWith(faultAgents(t, 3, 2), g, AsyncConfig{
+		Seed: 7, MaxDeliveries: 400, Faults: Faults{Drop: 0.5},
+	})
+	if out.Dropped == 0 {
+		t.Fatalf("drop=0.5 run dropped nothing: %+v", out)
+	}
+}
+
+func TestCertainDropNeverConverges(t *testing.T) {
+	g := graph.Complete(2)
+	out := RunAsyncWith(faultAgents(t, 2, 2), g, AsyncConfig{
+		Seed: 1, MaxDeliveries: 200, Faults: Faults{Drop: 1},
+	})
+	if out.Deliveries != 0 {
+		t.Fatalf("drop=1 processed %d messages", out.Deliveries)
+	}
+	if out.Converged {
+		t.Fatal("drop=1 converged despite total loss")
+	}
+}
+
+func TestDelayPreservesConvergence(t *testing.T) {
+	g := graph.Ring(4)
+	out := RunAsyncWith(faultAgents(t, 4, 3), g, AsyncConfig{
+		Seed: 3, MaxDeliveries: 2000, Faults: Faults{Delay: 5},
+	})
+	if !out.Converged {
+		t.Fatalf("delayed but reliable run did not converge: %+v", out)
+	}
+}
+
+func TestPerEdgeDelayOverride(t *testing.T) {
+	g := graph.Complete(2)
+	out := RunAsyncWith(faultAgents(t, 2, 2), g, AsyncConfig{
+		Seed: 5, MaxDeliveries: 500,
+		Faults: Faults{DelayEdge: map[Edge]int{{From: 0, To: 1}: 10}},
+	})
+	if !out.Converged {
+		t.Fatalf("asymmetric delay broke convergence: %+v", out)
+	}
+}
+
+func TestPermanentPartitionBlocksAgreement(t *testing.T) {
+	g := graph.Complete(4)
+	out := RunAsyncWith(faultAgents(t, 4, 2), g, AsyncConfig{
+		Seed: 9, MaxDeliveries: 1000,
+		Faults: Faults{Partitions: [][]int{{0, 1}, {2, 3}}},
+	})
+	if out.Converged {
+		t.Fatal("agents agreed across a permanent partition")
+	}
+}
+
+func TestHealedPartitionRecovers(t *testing.T) {
+	g := graph.Complete(3)
+	// Messages crossing a healing cut are held, not lost, so consensus
+	// must complete once the partition ends.
+	out := RunAsyncWith(faultAgents(t, 3, 2), g, AsyncConfig{
+		Seed: 11, MaxDeliveries: 2000,
+		Faults: Faults{Partitions: [][]int{{0}, {1, 2}}, HealAfter: 6},
+	})
+	if !out.Converged {
+		t.Fatalf("partition healed but no convergence: %+v", out)
+	}
+}
+
+func TestHealedTotalCutRecovers(t *testing.T) {
+	// A star whose hub is cut off severs every edge: nothing is
+	// deliverable while the partition is active, the clock must advance
+	// to the heal tick, and the held messages then complete consensus.
+	g := graph.Star(3)
+	out := RunAsyncWith(faultAgents(t, 3, 2), g, AsyncConfig{
+		Seed: 13, MaxDeliveries: 2000,
+		Faults: Faults{Partitions: [][]int{{0}, {1, 2}}, HealAfter: 5},
+	})
+	if !out.Converged {
+		t.Fatalf("total cut healed but no convergence: %+v", out)
+	}
+}
+
+func TestApplyPartitionsMasksCrossEdges(t *testing.T) {
+	g := graph.Complete(4)
+	f := Faults{Partitions: [][]int{{0, 1}, {2, 3}}}
+	masked := f.ApplyPartitions(g)
+	if masked.HasEdge(0, 2) || masked.HasEdge(1, 3) {
+		t.Fatal("cross-partition edge survived masking")
+	}
+	if !masked.HasEdge(0, 1) || !masked.HasEdge(2, 3) {
+		t.Fatal("intra-partition edge removed")
+	}
+	if g.HasEdge(0, 2) != true {
+		t.Fatal("original graph mutated")
+	}
+}
+
+func TestFaultsClassification(t *testing.T) {
+	if !(Faults{}).None() {
+		t.Fatal("zero Faults not None")
+	}
+	if (Faults{Drop: 0.1}).None() || !(Faults{Drop: 0.1}).Probabilistic() {
+		t.Fatal("drop misclassified")
+	}
+	if (Faults{Delay: 1}).Probabilistic() {
+		t.Fatal("pure delay classified probabilistic")
+	}
+	f := Faults{Partitions: [][]int{{0}, {1}}}
+	if !f.StaticPartitionOnly() {
+		t.Fatal("permanent partition not static")
+	}
+	f.HealAfter = 3
+	if f.StaticPartitionOnly() {
+		t.Fatal("healing partition classified static")
+	}
+}

@@ -10,7 +10,6 @@ package netsim
 
 import (
 	"fmt"
-	"math/rand"
 	"sort"
 
 	"repro/internal/graph"
@@ -209,49 +208,15 @@ type AsyncOutcome struct {
 	Converged bool
 	// Deliveries is the number of messages processed.
 	Deliveries int
+	// Dropped is the number of messages lost to the fault model.
+	Dropped int
 }
 
 // RunAsync drives the agents with a seeded random delivery order until
 // quiescence with agreement or until maxDeliveries messages have been
 // processed. It is the simulation counterpart of the explorer: the same
 // per-edge FIFO semantics and reply-on-disagreement rule, one random
-// path instead of all paths.
+// path instead of all paths. It is RunAsyncWith on a reliable network.
 func RunAsync(agents []*mca.Agent, g *graph.Graph, seed int64, maxDeliveries int) AsyncOutcome {
-	n := New(g, false)
-	for _, a := range agents {
-		if a.BidPhase() {
-			n.Broadcast(a.ID(), a.Snapshot)
-		}
-	}
-	rng := rand.New(rand.NewSource(seed))
-	var out AsyncOutcome
-	for out.Deliveries < maxDeliveries {
-		pending := n.Pending()
-		if len(pending) == 0 {
-			break
-		}
-		e := pending[rng.Intn(len(pending))]
-		m := n.Deliver(e)
-		out.Deliveries++
-		receiver := agents[e.To]
-		if receiver.HandleMessage(m) {
-			n.Broadcast(receiver.ID(), receiver.Snapshot)
-		} else if !mca.ViewsAgree(receiver.View(), m.View) {
-			// The receiver kept a view that contradicts the sender's:
-			// reply so the disagreement cannot silently persist at
-			// quiescence.
-			n.Send(receiver.Snapshot(m.Sender))
-		}
-	}
-	if n.Quiescent() {
-		agree := true
-		for i := 1; i < len(agents); i++ {
-			if !agents[0].AgreesWith(agents[i]) {
-				agree = false
-				break
-			}
-		}
-		out.Converged = agree
-	}
-	return out
+	return RunAsyncWith(agents, g, AsyncConfig{Seed: seed, MaxDeliveries: maxDeliveries})
 }

@@ -40,6 +40,19 @@ type Options struct {
 	// Base is the solver configuration every member starts from; the
 	// portfolio diversifies it per member.
 	Base sat.Options
+	// Cancel, when non-nil, cancels the whole parallel solve
+	// cooperatively: every member polls it alongside the internal
+	// winner-takes-all flag. A cancelled solve returns StatusUnknown.
+	Cancel func() bool
+}
+
+// memberCancel combines the race's internal done flag with the caller's
+// external cancellation hook.
+func memberCancel(done *atomic.Bool, external func() bool) func() bool {
+	if external == nil {
+		return done.Load
+	}
+	return func() bool { return done.Load() || external() }
 }
 
 func (o Options) withDefaults() Options {
@@ -146,7 +159,7 @@ func SolvePortfolio(f *sat.CNF, opts Options) Result {
 			if err := f.LoadInto(s); err != nil {
 				return
 			}
-			s.SetCancel(done.Load)
+			s.SetCancel(memberCancel(&done, opts.Cancel))
 			status := s.Solve()
 			if status == sat.StatusUnknown {
 				return // cancelled or conflict budget exhausted
@@ -258,7 +271,7 @@ func SolveCube(f *sat.CNF, opts Options) Result {
 			if err := f.LoadInto(s); err != nil {
 				return
 			}
-			s.SetCancel(done.Load)
+			s.SetCancel(memberCancel(&done, opts.Cancel))
 			assumptions := make([]sat.Lit, k)
 			for cube := range cubes {
 				if done.Load() {

@@ -42,6 +42,11 @@ type Problem struct {
 	// Parallel, when non-nil, solves the translated CNF with the
 	// parallel engine instead of a single sequential solver.
 	Parallel *ParallelOptions
+	// Cancel, when non-nil, is polled cooperatively during the SAT
+	// search (serial or parallel); once it returns true the solve stops
+	// with StatusUnknown. Driven by the engine layer from
+	// context.Context cancellation and deadlines.
+	Cancel func() bool
 }
 
 // Result is the outcome of Solve or Check.
@@ -81,6 +86,7 @@ func Solve(p *Problem) Result {
 			Workers:  p.Parallel.Workers,
 			CubeVars: p.Parallel.CubeVars,
 			Base:     p.SolverOptions,
+			Cancel:   p.Cancel,
 		})
 		stats.SolveTime = time.Since(start)
 		res := Result{Status: pres.Status, Stats: stats, SolverStats: pres.Stats}
@@ -90,6 +96,9 @@ func Solve(p *Problem) Result {
 		return res
 	}
 
+	if p.Cancel != nil {
+		solver.SetCancel(p.Cancel)
+	}
 	start = time.Now()
 	status := solver.Solve()
 	stats.SolveTime = time.Since(start)

@@ -36,9 +36,19 @@ func NewAllocator(phys *PhysicalNetwork, opts Options) (*Allocator, error) {
 		a.residualCPU = append(a.residualCPU, n.CPU)
 	}
 	for _, e := range phys.Graph.Edges() {
-		a.residualBW[[2]int{e.U, e.V}] = e.Weight
+		a.residualBW[bwKey(e.U, e.V)] = e.Weight
 	}
 	return a, nil
+}
+
+// bwKey normalizes an edge to the canonical (min,max) key every
+// residualBW access uses; seeding and lookups must agree on it no
+// matter which orientation the edge arrives in.
+func bwKey(u, v int) [2]int {
+	if u > v {
+		u, v = v, u
+	}
+	return [2]int{u, v}
 }
 
 // ResidualCPU returns the remaining CPU of a physical node.
@@ -47,10 +57,7 @@ func (a *Allocator) ResidualCPU(node int) int64 { return a.residualCPU[node] }
 // ResidualBandwidth returns the remaining bandwidth of the physical
 // edge {u,v}.
 func (a *Allocator) ResidualBandwidth(u, v int) float64 {
-	if u > v {
-		u, v = v, u
-	}
-	return a.residualBW[[2]int{u, v}]
+	return a.residualBW[bwKey(u, v)]
 }
 
 // Admitted returns the mappings accepted so far.
@@ -93,11 +100,7 @@ func (a *Allocator) Admit(vnet *VirtualNetwork) (*Mapping, error) {
 	for li, p := range m.LinkPaths {
 		bw := vnet.Links[li].Bandwidth
 		for i := 0; i+1 < len(p.Nodes); i++ {
-			u, v := p.Nodes[i], p.Nodes[i+1]
-			if u > v {
-				u, v = v, u
-			}
-			a.residualBW[[2]int{u, v}] -= bw
+			a.residualBW[bwKey(p.Nodes[i], p.Nodes[i+1])] -= bw
 		}
 	}
 	a.admitted = append(a.admitted, m)

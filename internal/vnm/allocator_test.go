@@ -151,3 +151,160 @@ func TestAllocatorAggregateFeasibility(t *testing.T) {
 		}
 	}
 }
+
+// Regression: residualBW must be seeded under the same canonical
+// (min,max) key that ResidualBandwidth and Admit read, regardless of
+// the orientation edges are inserted or traversed in. The substrate
+// here is built entirely from reversed (high,low) edge insertions, and
+// the committed path is queried in both orientations.
+func TestAllocatorReversedEdgeSubstrate(t *testing.T) {
+	g := graph.New(3)
+	// Reversed insertion order: (2,1), (1,0), (2,0).
+	g.AddWeightedEdge(2, 1, 7)
+	g.AddWeightedEdge(1, 0, 7)
+	g.AddWeightedEdge(2, 0, 7)
+	phys := &PhysicalNetwork{
+		Graph: g,
+		Nodes: []PhysicalNode{{CPU: 50}, {CPU: 50}, {CPU: 50}},
+	}
+	alloc, err := NewAllocator(phys, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range [][2]int{{2, 1}, {1, 0}, {2, 0}} {
+		if got := alloc.ResidualBandwidth(e[0], e[1]); got != 7 {
+			t.Fatalf("edge %v residual = %v, want 7 (unnormalized seeding)", e, got)
+		}
+		if got := alloc.ResidualBandwidth(e[1], e[0]); got != 7 {
+			t.Fatalf("edge %v reversed residual = %v, want 7", e, got)
+		}
+	}
+	req := &VirtualNetwork{
+		Nodes: []VirtualNode{{CPU: 30}, {CPU: 30}},
+		Links: []VirtualLink{{A: 0, B: 1, Bandwidth: 3}},
+	}
+	m, err := alloc.Admit(req)
+	if err != nil {
+		t.Fatalf("request rejected on reversed-edge substrate: %v", err)
+	}
+	// The link path's hops must have been debited in canonical key
+	// space: both query orientations agree and total bandwidth dropped.
+	p := m.LinkPaths[0]
+	for i := 0; i+1 < len(p.Nodes); i++ {
+		u, v := p.Nodes[i], p.Nodes[i+1]
+		fwd, rev := alloc.ResidualBandwidth(u, v), alloc.ResidualBandwidth(v, u)
+		if fwd != rev {
+			t.Fatalf("hop %d-%d residuals disagree: %v vs %v", u, v, fwd, rev)
+		}
+		if fwd != 4 {
+			t.Fatalf("hop %d-%d residual = %v, want 4", u, v, fwd)
+		}
+	}
+}
+
+// Rejection paths: insufficient residual CPU, insufficient residual
+// bandwidth, and the guarantee that a rejected request leaves both
+// residual ledgers untouched.
+func TestAllocatorRejectionPaths(t *testing.T) {
+	snapshot := func(a *Allocator, g *graph.Graph) ([]int64, map[[2]int]float64) {
+		cpu := make([]int64, g.N())
+		for i := range cpu {
+			cpu[i] = a.ResidualCPU(i)
+		}
+		bw := make(map[[2]int]float64)
+		for _, e := range g.Edges() {
+			bw[[2]int{e.U, e.V}] = a.ResidualBandwidth(e.U, e.V)
+		}
+		return cpu, bw
+	}
+	requireUnchanged := func(t *testing.T, a *Allocator, g *graph.Graph, cpu []int64, bw map[[2]int]float64) {
+		t.Helper()
+		for i := range cpu {
+			if a.ResidualCPU(i) != cpu[i] {
+				t.Fatalf("rejection changed residual CPU of node %d: %d -> %d", i, cpu[i], a.ResidualCPU(i))
+			}
+		}
+		for k, w := range bw {
+			if got := a.ResidualBandwidth(k[0], k[1]); got != w {
+				t.Fatalf("rejection changed residual bandwidth of %v: %v -> %v", k, w, got)
+			}
+		}
+		if len(a.Admitted()) != 0 {
+			t.Fatal("rejected request recorded as admitted")
+		}
+	}
+
+	t.Run("insufficient-cpu", func(t *testing.T) {
+		g := graph.Complete(2)
+		phys := substrate(g, 20, 100)
+		alloc, err := NewAllocator(phys, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cpu, bw := snapshot(alloc, g)
+		req := &VirtualNetwork{Nodes: []VirtualNode{{CPU: 21}}}
+		if _, err := alloc.Admit(req); !errors.Is(err, ErrNoMapping) {
+			t.Fatalf("CPU-starved request: %v", err)
+		}
+		requireUnchanged(t, alloc, g, cpu, bw)
+	})
+
+	t.Run("insufficient-bandwidth", func(t *testing.T) {
+		g := graph.Line(2)
+		phys := substrate(g, 100, 5)
+		alloc, err := NewAllocator(phys, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cpu, bw := snapshot(alloc, g)
+		// CPU forces a split across the two nodes; the only link cannot
+		// carry bandwidth 6 > 5.
+		req := &VirtualNetwork{
+			Nodes: []VirtualNode{{CPU: 60}, {CPU: 60}},
+			Links: []VirtualLink{{A: 0, B: 1, Bandwidth: 6}},
+		}
+		if _, err := alloc.Admit(req); !errors.Is(err, ErrNoMapping) {
+			t.Fatalf("bandwidth-starved request: %v", err)
+		}
+		requireUnchanged(t, alloc, g, cpu, bw)
+	})
+
+	t.Run("untouched-after-partial-depletion", func(t *testing.T) {
+		g := graph.Complete(2)
+		phys := substrate(g, 30, 10)
+		alloc, err := NewAllocator(phys, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ok := &VirtualNetwork{
+			Nodes: []VirtualNode{{CPU: 20}, {CPU: 20}},
+			Links: []VirtualLink{{A: 0, B: 1, Bandwidth: 4}},
+		}
+		if _, err := alloc.Admit(ok); err != nil {
+			t.Fatalf("first request should fit: %v", err)
+		}
+		cpu, bw := snapshot(alloc, g)
+		admitted := len(alloc.Admitted())
+		// Residuals are 10 CPU per node and 6 bandwidth: too big now.
+		big := &VirtualNetwork{
+			Nodes: []VirtualNode{{CPU: 11}, {CPU: 11}},
+			Links: []VirtualLink{{A: 0, B: 1, Bandwidth: 7}},
+		}
+		if _, err := alloc.Admit(big); !errors.Is(err, ErrNoMapping) {
+			t.Fatalf("oversized request: %v", err)
+		}
+		for i := range cpu {
+			if alloc.ResidualCPU(i) != cpu[i] {
+				t.Fatalf("rejection changed residual CPU of node %d", i)
+			}
+		}
+		for k, w := range bw {
+			if got := alloc.ResidualBandwidth(k[0], k[1]); got != w {
+				t.Fatalf("rejection changed residual bandwidth of %v: %v -> %v", k, w, got)
+			}
+		}
+		if len(alloc.Admitted()) != admitted {
+			t.Fatal("rejected request changed the admitted list")
+		}
+	})
+}

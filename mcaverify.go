@@ -2,7 +2,7 @@
 // a Go reproduction of "An Alloy Verification Model for Consensus-Based
 // Auction Protocols" (Mirzaei & Esposito, ICDCS 2015).
 //
-// The library provides three layers:
+// The library provides four layers:
 //
 //   - the Max-Consensus Auction protocol itself (agents, policies, the
 //     asynchronous conflict-resolution table, synchronous and randomized
@@ -11,6 +11,11 @@
 //     explicit-state bounded model checker over all message
 //     interleavings, and a relational-logic-to-SAT pipeline with the
 //     paper's MCA model in its naive and optimized encodings;
+//   - the engine layer that unifies those checkers: a Scenario value
+//     describes what to verify (agents, topology, network semantics and
+//     fault model, bounds), Verify checks it on any backend with
+//     context cancellation, and Runner sweeps thousands of scenarios
+//     concurrently with deterministic aggregation;
 //   - the virtual network mapping case study (MCA node auction plus
 //     k-shortest-path link mapping).
 //
@@ -24,6 +29,9 @@
 package mcaverify
 
 import (
+	"context"
+
+	"repro/internal/engine"
 	"repro/internal/explore"
 	"repro/internal/graph"
 	"repro/internal/mca"
@@ -164,9 +172,13 @@ const (
 // CheckConvergence exhaustively explores all asynchronous message
 // interleavings and verifies the consensus property — the push-button
 // analysis of the paper applied through the explicit-state checker.
-// Agents must be freshly constructed.
+// Agents must be freshly constructed. It is a thin compatibility
+// wrapper over the engine layer's Explicit adapter; prefer Verify for
+// new code.
 func CheckConvergence(agents []*Agent, g *Graph, opts CheckOptions) Verdict {
-	return explore.Check(agents, g, opts)
+	res := engine.Explicit{}.Verify(context.Background(),
+		Scenario{Agents: agents, Graph: g, Explore: opts})
+	return *res.ExplicitVerdict
 }
 
 // CheckConvergenceParallel is CheckConvergence on the sharded parallel
@@ -174,7 +186,85 @@ func CheckConvergence(agents []*Agent, g *Graph, opts CheckOptions) Verdict {
 // worker count, with the state space partitioned across workers.
 // workers <= 0 uses one worker per CPU.
 func CheckConvergenceParallel(agents []*Agent, g *Graph, opts CheckOptions, workers int) Verdict {
-	return explore.CheckParallel(agents, g, opts, workers)
+	if workers <= 0 {
+		workers = -1 // the parallel frontier, sized one shard per CPU
+	}
+	res := engine.Explicit{Workers: workers}.Verify(context.Background(),
+		Scenario{Agents: agents, Graph: g, Explore: opts})
+	return *res.ExplicitVerdict
+}
+
+// ---- Engine layer (internal/engine) ----
+
+// Engine layer types: one Scenario, many checkers, one Result shape.
+type (
+	// Scenario describes one verification scenario: agents (as
+	// rebuildable specs or pre-built values), topology, network
+	// semantics and fault model, property bounds, and optionally a
+	// bounded relational model for the SAT backends.
+	Scenario = engine.Scenario
+	// Result is the unified verdict every engine returns.
+	Result = engine.Result
+	// ResultStatus classifies a Result.
+	ResultStatus = engine.Status
+	// Engine checks a Scenario one way; implementations are small
+	// copyable configuration values.
+	Engine = engine.Engine
+	// ExplicitEngine is the exhaustive explicit-state backend (serial
+	// DFS or sharded parallel frontier).
+	ExplicitEngine = engine.Explicit
+	// SATEngine is the relational/SAT backend (serial, portfolio, or
+	// cube-and-conquer).
+	SATEngine = engine.SAT
+	// SimulationEngine samples seeded executions under network fault
+	// models.
+	SimulationEngine = engine.Simulation
+	// AutoEngine picks the natural backend per scenario.
+	AutoEngine = engine.Auto
+	// NetworkFaults is the adversarial network model: per-edge drop
+	// probability, delivery delay, partitions.
+	NetworkFaults = netsim.Faults
+	// Runner sweeps scenario sets over a worker pool.
+	Runner = engine.Runner
+	// RunnerOptions configures a Runner.
+	RunnerOptions = engine.RunnerOptions
+	// SweepSummary aggregates a batch of results deterministically.
+	SweepSummary = engine.Summary
+)
+
+// Result statuses.
+const (
+	// ResultHolds: the property was verified.
+	ResultHolds = engine.StatusHolds
+	// ResultViolated: a counterexample was found.
+	ResultViolated = engine.StatusViolated
+	// ResultInconclusive: cancelled or out of budget before an answer.
+	ResultInconclusive = engine.StatusInconclusive
+	// ResultError: the scenario could not be run by the engine.
+	ResultError = engine.StatusError
+)
+
+// Verify checks one scenario on the given engine (nil selects the
+// natural backend automatically), honouring ctx cancellation and
+// deadlines — the unified entry point over every checker in the
+// library.
+func Verify(ctx context.Context, s Scenario, e Engine) Result {
+	if e == nil {
+		e = engine.Auto{}
+	}
+	return e.Verify(ctx, s)
+}
+
+// NewRunner builds a batch runner that streams results from a worker
+// pool over scenario sets — policy sweeps, substrate sweeps, scale
+// sweeps, and adversarial-network sweeps as one production workload.
+func NewRunner(opts RunnerOptions) *Runner { return engine.NewRunner(opts) }
+
+// VerifyAll runs every scenario on the runner's worker pool and returns
+// the results indexed by scenario position plus a deterministic
+// aggregate summary.
+func VerifyAll(ctx context.Context, scenarios []Scenario, opts RunnerOptions) ([]Result, SweepSummary) {
+	return engine.NewRunner(opts).Run(ctx, scenarios)
 }
 
 // Policy sweep (Result 1) types.

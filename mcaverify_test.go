@@ -1,6 +1,7 @@
 package mcaverify_test
 
 import (
+	"context"
 	"testing"
 
 	mcaverify "repro"
@@ -154,5 +155,55 @@ func TestFacadeParallelConvergence(t *testing.T) {
 	par := mcaverify.CheckConvergenceParallel(mk(), mcaverify.CompleteGraph(2), mcaverify.CheckOptions{}, 3)
 	if par.OK != serial.OK || !par.OK {
 		t.Fatalf("facade parallel OK=%v, serial OK=%v", par.OK, serial.OK)
+	}
+}
+
+// TestVerifyFacade drives the engine layer through the public API: one
+// Scenario checked on the automatic, explicit, parallel, and
+// simulation backends, all agreeing.
+func TestVerifyFacade(t *testing.T) {
+	pol := mcaverify.Policy{Target: 2, Utility: mcaverify.SubmodularResidual{}, Rebid: mcaverify.RebidOnChange}
+	s := mcaverify.Scenario{
+		Name: "facade",
+		AgentSpecs: []mcaverify.AgentConfig{
+			{ID: 0, Items: 2, Base: []int64{10, 15}, Policy: pol},
+			{ID: 1, Items: 2, Base: []int64{15, 10}, Policy: pol},
+		},
+		Graph: mcaverify.CompleteGraph(2),
+	}
+	for _, e := range []mcaverify.Engine{nil, mcaverify.ExplicitEngine{}, mcaverify.ExplicitEngine{Workers: 2}, mcaverify.SimulationEngine{Runs: 4}} {
+		res := mcaverify.Verify(context.Background(), s, e)
+		if res.Status != mcaverify.ResultHolds {
+			t.Fatalf("engine %v: %v (err=%v)", e, res.Status, res.Err)
+		}
+	}
+}
+
+// TestVerifyAllFacade sweeps a small batch, including a fault-model
+// scenario, and checks the aggregate summary is coherent.
+func TestVerifyAllFacade(t *testing.T) {
+	pol := mcaverify.Policy{Target: 2, Utility: mcaverify.SubmodularResidual{}, Rebid: mcaverify.RebidOnChange}
+	specs := []mcaverify.AgentConfig{
+		{ID: 0, Items: 2, Base: []int64{10, 15}, Policy: pol},
+		{ID: 1, Items: 2, Base: []int64{15, 10}, Policy: pol},
+	}
+	g := mcaverify.CompleteGraph(2)
+	scenarios := []mcaverify.Scenario{
+		{Name: "reliable", AgentSpecs: specs, Graph: g},
+		{Name: "lossy", AgentSpecs: specs, Graph: g, Faults: mcaverify.NetworkFaults{Drop: 0.9}},
+		{Name: "partitioned", AgentSpecs: specs, Graph: g, Faults: mcaverify.NetworkFaults{Partitions: [][]int{{0}, {1}}}},
+	}
+	results, sum := mcaverify.VerifyAll(context.Background(), scenarios, mcaverify.RunnerOptions{Workers: 2})
+	if len(results) != len(scenarios) || sum.Total != len(scenarios) {
+		t.Fatalf("result count %d, summary %+v", len(results), sum)
+	}
+	if results[0].Status != mcaverify.ResultHolds {
+		t.Fatalf("reliable scenario: %v", results[0].Status)
+	}
+	if results[1].Status != mcaverify.ResultViolated || results[2].Status != mcaverify.ResultViolated {
+		t.Fatalf("fault scenarios: %v, %v", results[1].Status, results[2].Status)
+	}
+	if sum.Holds != 1 || sum.Violated != 2 {
+		t.Fatalf("summary wrong: %+v", sum)
 	}
 }
