@@ -13,6 +13,7 @@ import (
 	"testing"
 
 	mcaverify "repro"
+	"repro/internal/cache"
 	"repro/internal/engine"
 	"repro/internal/explore"
 	"repro/internal/graph"
@@ -695,6 +696,49 @@ func BenchmarkRunnerSweep(b *testing.B) {
 			b.ReportMetric(perSec, "scenarios/s")
 		})
 	}
+}
+
+// BenchmarkRunnerSweepCached contrasts a cold sweep (every scenario
+// verified) with a warm sweep over the content-addressed result cache
+// (every scenario a cache hit) — the speedup repeated production sweeps
+// get from skipping already-verified scenarios.
+func BenchmarkRunnerSweepCached(b *testing.B) {
+	scenarios := benchSweepScenarios(96)
+	// Distinct content per scenario: the cache is content-addressed, so
+	// identical cells would collide and turn the cold pass warm.
+	for i := range scenarios {
+		scenarios[i].AgentSpecs[0].Base = []int64{int64(10 + i), 15}
+		scenarios[i].AgentSpecs[1].Base = []int64{15, int64(10 + i)}
+	}
+	eng := engine.Simulation{Runs: 4}
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c, err := cache.New(cache.Options{Capacity: len(scenarios)})
+			if err != nil {
+				b.Fatal(err)
+			}
+			r := engine.NewRunner(engine.RunnerOptions{Workers: 4, Engine: eng, Cache: c})
+			if _, sum := r.Run(context.Background(), scenarios); sum.CacheHits != 0 {
+				b.Fatalf("cold pass hit the cache: %+v", sum)
+			}
+		}
+		b.ReportMetric(float64(len(scenarios))*float64(b.N)/b.Elapsed().Seconds(), "scenarios/s")
+	})
+	b.Run("warm", func(b *testing.B) {
+		c, err := cache.New(cache.Options{Capacity: len(scenarios)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		r := engine.NewRunner(engine.RunnerOptions{Workers: 4, Engine: eng, Cache: c})
+		r.Run(context.Background(), scenarios) // warm the cache
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, sum := r.Run(context.Background(), scenarios); sum.CacheHits != sum.Total {
+				b.Fatalf("warm pass missed the cache: %+v", sum)
+			}
+		}
+		b.ReportMetric(float64(len(scenarios))*float64(b.N)/b.Elapsed().Seconds(), "scenarios/s")
+	})
 }
 
 // BenchmarkVerifyExplicit measures single-scenario engine overhead

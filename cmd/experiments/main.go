@@ -34,7 +34,7 @@ func main() {
 
 func run(args []string) int {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
-	only := fs.String("only", "", "run a single experiment: e1..e8 (default all)")
+	only := fs.String("only", "", "run a single experiment: e1..e9 (default all)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}

@@ -13,6 +13,13 @@
 //	mcacheck -drop 0.2 -delay 3 -runs 32   # fault-model simulation
 //	mcacheck -timeout 30s                  # deadline on the search
 //	mcacheck -sweep          # the Result 1 policy matrix
+//	mcacheck -scenario examples/scenarios/line3.json   # scenario file
+//
+// With -scenario the check runs a saved scenario document (the JSON
+// format of docs/SCENARIO_FORMAT.md) instead of building one from
+// flags; the natural engine is picked per scenario (SAT for relational
+// models, simulation for probabilistic faults, explicit otherwise) and
+// -workers/-timeout still apply.
 package main
 
 import (
@@ -26,6 +33,10 @@ import (
 	"repro/internal/graph"
 	"repro/internal/mca"
 	"repro/internal/netsim"
+
+	// Register the mca-model codec so -scenario files with relational
+	// models decode.
+	_ "repro/internal/mcamodel"
 )
 
 func main() {
@@ -49,6 +60,7 @@ func run(args []string) int {
 	runs := fs.Int("runs", 32, "simulated executions when a probabilistic/timed fault model is set")
 	timeout := fs.Duration("timeout", 0, "abort the check after this long (0 = no deadline)")
 	sweep := fs.Bool("sweep", false, "run the Result 1 policy sweep instead of a single check")
+	scenarioFile := fs.String("scenario", "", "verify a scenario JSON file (docs/SCENARIO_FORMAT.md) instead of building one from flags")
 	showTrace := fs.Bool("trace", true, "print the counterexample trace on failure")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -63,6 +75,9 @@ func run(args []string) int {
 
 	if *sweep {
 		return runSweep(ctx, *agents, *items, *seed, *maxStates)
+	}
+	if *scenarioFile != "" {
+		return runScenarioFile(ctx, *scenarioFile, *workers, *showTrace)
 	}
 
 	util, err := parseUtility(*utility)
@@ -106,17 +121,51 @@ func run(args []string) int {
 
 	fmt.Printf("checking consensus: %d agents (%s), %d items, p_u=%s p_RO=%v rebid=%s engine=%s\n",
 		*agents, tp, *items, util.Name(), *release, rb, eng.Name())
-	res := eng.Verify(ctx, scenario)
+	return report(eng.Verify(ctx, scenario), *showTrace)
+}
+
+// runScenarioFile verifies a saved scenario document on its natural
+// engine.
+func runScenarioFile(ctx context.Context, path string, workers int, showTrace bool) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	scenario, err := engine.DecodeScenario(data)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	eng := engine.Auto{Workers: workers}
+	fmt.Printf("checking scenario %q from %s (engine=%s)\n",
+		scenario.Name, path, eng.EngineFor(scenario).Name())
+	return report(eng.Verify(ctx, scenario), showTrace)
+}
+
+// report prints a unified result in mcacheck's output format and maps
+// it to the exit code: 0 holds, 1 violated, 2 error, 3 inconclusive.
+func report(res engine.Result, showTrace bool) int {
 	sampled := res.Stats.Runs > 0
-	if sampled {
+	relational := res.Stats.Clauses > 0
+	switch {
+	case sampled:
 		fmt.Printf("runs=%d converged=%d deliveries=%d dropped=%d\n",
 			res.Stats.Runs, res.Stats.Converged, res.Stats.Deliveries, res.Stats.Dropped)
-	} else {
+	case relational:
+		fmt.Printf("vars=%d (+%d aux) clauses=%d translate=%v solve=%v\n",
+			res.Stats.PrimaryVars, res.Stats.AuxVars, res.Stats.Clauses,
+			res.Stats.TranslateTime, res.Stats.SolveTime)
+	default:
 		fmt.Printf("states=%d depth=%d exhausted=%v\n", res.Stats.States, res.Stats.MaxDepth, res.Stats.Exhausted)
 	}
 	switch res.Status {
 	case engine.StatusHolds:
-		fmt.Println("RESULT: consensus VERIFIED for all message interleavings in scope")
+		if sampled {
+			fmt.Printf("RESULT: consensus HELD in all %d simulated runs\n", res.Stats.Runs)
+		} else {
+			fmt.Println("RESULT: consensus VERIFIED for all message interleavings in scope")
+		}
 		return 0
 	case engine.StatusInconclusive:
 		if res.Err != nil {
@@ -129,13 +178,16 @@ func run(args []string) int {
 		fmt.Fprintln(os.Stderr, res.Err)
 		return 2
 	}
-	if sampled {
+	switch {
+	case sampled:
 		fmt.Printf("RESULT: consensus FAILED in %d of %d simulated runs\n",
 			res.Stats.Runs-res.Stats.Converged, res.Stats.Runs)
-	} else {
+	case relational:
+		fmt.Println("RESULT: consensus VIOLATED (counterexample instance within bounds)")
+	default:
 		fmt.Printf("RESULT: consensus VIOLATED (%v)\n", res.Violation)
 	}
-	if *showTrace && res.Trace != nil {
+	if showTrace && res.Trace != nil {
 		fmt.Println(res.Trace.String())
 	}
 	return 1

@@ -1,6 +1,9 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/graph"
@@ -110,6 +113,45 @@ func TestRunSimulationEngineSelected(t *testing.T) {
 	code := run([]string{"-agents", "2", "-items", "2", "-drop", "0.99", "-runs", "4", "-trace=false"})
 	if code != 1 {
 		t.Fatalf("lossy simulation exit = %d, want 1 (non-convergence)", code)
+	}
+}
+
+func writeScenario(t *testing.T, doc string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "scenario.json")
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunScenarioFile(t *testing.T) {
+	holds := `{
+  "version": 1,
+  "name": "file-demo",
+  "agents": [
+    {"id": 0, "items": 2, "base": [10, 15],
+     "policy": {"target": 2, "utility": {"kind": "submodular-residual"}, "release_outbid": true, "rebid": "on-change"}},
+    {"id": 1, "items": 2, "base": [15, 10],
+     "policy": {"target": 2, "utility": {"kind": "submodular-residual"}, "release_outbid": true, "rebid": "on-change"}}
+  ],
+  "graph": {"nodes": 2, "edges": [{"u": 0, "v": 1}]}
+}`
+	if code := run([]string{"-scenario", writeScenario(t, holds), "-trace=false"}); code != 0 {
+		t.Fatalf("holds scenario exit = %d, want 0", code)
+	}
+	violated := strings.ReplaceAll(holds, "submodular-residual", "non-submodular-synergy")
+	if code := run([]string{"-scenario", writeScenario(t, violated), "-trace=false"}); code != 1 {
+		t.Fatalf("violated scenario exit = %d, want 1", code)
+	}
+}
+
+func TestRunScenarioFileErrors(t *testing.T) {
+	if code := run([]string{"-scenario", "no-such-file.json"}); code != 2 {
+		t.Fatalf("missing file exit = %d, want 2", code)
+	}
+	if code := run([]string{"-scenario", writeScenario(t, `{"version": 42}`)}); code != 2 {
+		t.Fatalf("bad version exit = %d, want 2", code)
 	}
 }
 

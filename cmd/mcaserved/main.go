@@ -1,0 +1,393 @@
+// Command mcaserved serves the verification engine over HTTP: scenarios
+// and sweep files go in as JSON (the codec format of
+// docs/SCENARIO_FORMAT.md), unified results come back out, and a
+// content-addressed result cache makes repeated verification of the
+// same scenario a lookup instead of a search.
+//
+// Endpoints:
+//
+//	POST /verify       one scenario document -> one result document
+//	POST /sweep        one sweep document -> NDJSON result stream,
+//	                   one result per line, then a summary line
+//	GET  /cache/stats  cache effectiveness counters
+//	GET  /healthz      liveness probe
+//
+// Engine selection is per request via query parameters:
+// ?engine=auto|explicit|simulation|sat (default auto), &cube=K (SAT
+// cube-and-conquer), &runs=N and &seed=S (simulation), and &timeout=30s
+// within the server's -maxtimeout. &workers=N means per-engine
+// parallelism on /verify (frontier shards, portfolio members) and the
+// scenario pool size on /sweep (per-scenario engines stay serial
+// there, so sweep cache keys are independent of pool size). Shutdown is
+// graceful:
+// SIGINT/SIGTERM stops accepting connections and lets in-flight
+// verifications finish (their contexts are cancelled after the
+// drain period).
+//
+// Usage:
+//
+//	mcaserved -addr :8080 -cachesize 4096 -cachedir /var/lib/mcaserved
+//	curl -d @examples/scenarios/line3.json 'localhost:8080/verify'
+//	curl -d @examples/scenarios/policy-faults-sweep.json 'localhost:8080/sweep?workers=8'
+//	curl localhost:8080/cache/stats
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/url"
+	"os"
+	"os/signal"
+	"strconv"
+	"syscall"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/engine"
+
+	// Register the mca-model codec so SAT scenarios decode.
+	_ "repro/internal/mcamodel"
+)
+
+func main() {
+	fs := flag.NewFlagSet("mcaserved", flag.ExitOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	workers := fs.Int("workers", 0, "sweep worker pool size (0 = one per CPU)")
+	cacheSize := fs.Int("cachesize", 4096, "in-memory result cache capacity (0 = default, negative = unbounded)")
+	cacheDir := fs.String("cachedir", "", "directory for persistent result cache (empty = memory only; the directory grows unbounded — prune externally)")
+	defTimeout := fs.Duration("timeout", 60*time.Second, "default per-request verification timeout")
+	maxTimeout := fs.Duration("maxtimeout", 10*time.Minute, "upper bound on client-requested timeouts")
+	maxBody := fs.Int64("maxbody", 32<<20, "maximum request body bytes")
+	fs.Parse(os.Args[1:])
+
+	c, err := cache.New(cache.Options{Capacity: *cacheSize, Dir: *cacheDir})
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := &http.Server{
+		Addr: *addr,
+		Handler: newServer(serverConfig{
+			Workers:        *workers,
+			Cache:          c,
+			DefaultTimeout: *defTimeout,
+			MaxTimeout:     *maxTimeout,
+			MaxBody:        *maxBody,
+		}),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("mcaserved listening on %s (cache capacity %d, dir %q)", *addr, *cacheSize, *cacheDir)
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	// Restore the default signal disposition before draining, so a
+	// second SIGINT/SIGTERM genuinely kills the process instead of
+	// being swallowed by the (still registered) notify channel.
+	stop()
+	log.Print("mcaserved draining (second signal aborts immediately)")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("shutdown: %v", err)
+	}
+}
+
+// serverConfig parameterizes the handler so tests can drive it through
+// httptest without a listener.
+type serverConfig struct {
+	Workers        int
+	Cache          *cache.Cache
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	MaxBody        int64
+}
+
+func (c serverConfig) withDefaults() serverConfig {
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 60 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 10 * time.Minute
+	}
+	if c.MaxBody <= 0 {
+		c.MaxBody = 32 << 20
+	}
+	return c
+}
+
+type server struct {
+	cfg serverConfig
+}
+
+// newServer builds the service handler.
+func newServer(cfg serverConfig) http.Handler {
+	s := &server{cfg: cfg.withDefaults()}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/verify", s.handleVerify)
+	mux.HandleFunc("/sweep", s.handleSweep)
+	mux.HandleFunc("/cache/stats", s.handleCacheStats)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		io.WriteString(w, `{"ok":true}`+"\n")
+	})
+	return mux
+}
+
+// bodyErrorStatus distinguishes an over-limit body (413) from a read
+// failure (400), so clients do not misreport size limits as malformed
+// documents.
+func bodyErrorStatus(err error) int {
+	var tooLarge *http.MaxBytesError
+	if errors.As(err, &tooLarge) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
+}
+
+// httpError writes a JSON error body with the given status.
+func httpError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+// readBody slurps a size-capped request body.
+func (s *server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, error) {
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBody))
+	if err != nil {
+		return nil, fmt.Errorf("reading body: %w", err)
+	}
+	return data, nil
+}
+
+func intParam(q url.Values, name string) (int, error) {
+	v := q.Get(name)
+	if v == "" {
+		return 0, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, fmt.Errorf("bad %s %q", name, v)
+	}
+	return n, nil
+}
+
+// engineFromQuery builds the engine the request asked for. engineWorkers
+// is the per-engine parallelism (frontier shards, portfolio members):
+// /verify takes it from ?workers=, while /sweep pins it to 0 because
+// there ?workers= sizes the scenario pool instead.
+func engineFromQuery(r *http.Request, engineWorkers int) (engine.Engine, error) {
+	q := r.URL.Query()
+	workers := engineWorkers
+	cube, err := intParam(q, "cube")
+	if err != nil {
+		return nil, err
+	}
+	runs, err := intParam(q, "runs")
+	if err != nil {
+		return nil, err
+	}
+	var seed int64
+	if v := q.Get("seed"); v != "" {
+		seed, err = strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad seed %q", v)
+		}
+	}
+	switch kind := q.Get("engine"); kind {
+	case "", "auto":
+		return engine.Auto{Workers: workers}, nil
+	case "explicit":
+		return engine.Explicit{Workers: workers}, nil
+	case "simulation":
+		return engine.Simulation{Runs: runs, Seed: seed}, nil
+	case "sat":
+		return engine.SAT{Workers: workers, CubeVars: cube}, nil
+	default:
+		return nil, fmt.Errorf("unknown engine %q (want auto|explicit|simulation|sat)", kind)
+	}
+}
+
+// requestContext applies the effective verification timeout: the
+// ?timeout= parameter clamped to the server maximum, or the default.
+func (s *server) requestContext(r *http.Request) (context.Context, context.CancelFunc, error) {
+	d := s.cfg.DefaultTimeout
+	if v := r.URL.Query().Get("timeout"); v != "" {
+		parsed, err := time.ParseDuration(v)
+		if err != nil || parsed <= 0 {
+			return nil, nil, fmt.Errorf("bad timeout %q", v)
+		}
+		d = parsed
+	}
+	if d > s.cfg.MaxTimeout {
+		d = s.cfg.MaxTimeout
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), d)
+	return ctx, cancel, nil
+}
+
+func (s *server) handleVerify(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, errors.New("POST a scenario document"))
+		return
+	}
+	body, err := s.readBody(w, r)
+	if err != nil {
+		httpError(w, bodyErrorStatus(err), err)
+		return
+	}
+	scenario, err := engine.DecodeScenario(body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	engineWorkers, err := intParam(r.URL.Query(), "workers")
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	eng, err := engineFromQuery(r, engineWorkers)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	ctx, cancel, err := s.requestContext(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	defer cancel()
+
+	res := engine.VerifyCached(ctx, eng, scenario, resultCache(s.cfg.Cache))
+	data, err := engine.EncodeResult(&res)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(append(data, '\n'))
+}
+
+// resultCache adapts the optional *cache.Cache to the engine's cache
+// interface without smuggling a typed nil into it.
+func resultCache(c *cache.Cache) engine.ResultCache {
+	if c == nil {
+		return nil
+	}
+	return c
+}
+
+func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, errors.New("POST a sweep document"))
+		return
+	}
+	body, err := s.readBody(w, r)
+	if err != nil {
+		httpError(w, bodyErrorStatus(err), err)
+		return
+	}
+	scenarios, err := engine.ExpandSweep(body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	// For sweeps ?workers= sizes the scenario pool (falling back to the
+	// -workers server default); per-scenario engines stay serial, which
+	// also keeps sweep cache keys independent of the chosen pool size.
+	poolWorkers, err := intParam(r.URL.Query(), "workers")
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if poolWorkers == 0 {
+		poolWorkers = s.cfg.Workers
+	}
+	eng, err := engineFromQuery(r, 0)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	ctx, cancel, err := s.requestContext(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	defer cancel()
+
+	runner := engine.NewRunner(engine.RunnerOptions{
+		Workers: poolWorkers,
+		Engine:  eng,
+		Cache:   resultCache(s.cfg.Cache),
+	})
+
+	// NDJSON: one result per line as soon as it completes, then one
+	// summary line. Failures after the first byte can only be reported
+	// by truncating the stream, which the missing summary line signals.
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	results := make([]engine.Result, len(scenarios))
+	start := time.Now()
+	aborted := false
+	for res := range runner.Stream(ctx, scenarios) {
+		results[res.Index] = res
+		if aborted {
+			continue // keep draining so the worker pool can exit
+		}
+		data, err := engine.EncodeResult(&res)
+		if err == nil {
+			_, err = w.Write(append(data, '\n'))
+		}
+		if err != nil {
+			// Client gone or unencodable result: cancel the batch and
+			// drain. The truncated stream (no summary line) tells the
+			// client the sweep did not complete.
+			log.Printf("sweep: aborting stream at %q: %v", res.Scenario, err)
+			aborted = true
+			cancel()
+			continue
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	if aborted {
+		return
+	}
+	sum := engine.Summarize(results)
+	sum.Wall = time.Since(start)
+	line, err := engine.EncodeSummary(&sum)
+	if err != nil {
+		log.Printf("sweep: encoding summary: %v", err)
+		return
+	}
+	w.Write([]byte(`{"summary":`))
+	w.Write(line)
+	w.Write([]byte("}\n"))
+}
+
+func (s *server) handleCacheStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, errors.New("GET"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if s.cfg.Cache == nil {
+		io.WriteString(w, `{"enabled":false}`+"\n")
+		return
+	}
+	json.NewEncoder(w).Encode(s.cfg.Cache.Stats())
+}

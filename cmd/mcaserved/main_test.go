@@ -1,0 +1,344 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/engine"
+)
+
+const scenarioDoc = `{
+  "version": 1,
+  "name": "served-demo",
+  "agents": [
+    {"id": 0, "items": 2, "base": [10, 15],
+     "policy": {"target": 2, "utility": {"kind": "submodular-residual"}, "release_outbid": true, "rebid": "on-change"}},
+    {"id": 1, "items": 2, "base": [15, 10],
+     "policy": {"target": 2, "utility": {"kind": "submodular-residual"}, "release_outbid": true, "rebid": "on-change"}}
+  ],
+  "graph": {"nodes": 2, "edges": [{"u": 0, "v": 1}]}
+}`
+
+const oscillatingDoc = `{
+  "version": 1,
+  "name": "served-oscillation",
+  "agents": [
+    {"id": 0, "items": 2, "base": [10, 15],
+     "policy": {"target": 2, "utility": {"kind": "non-submodular-synergy"}, "release_outbid": true, "rebid": "on-change"}},
+    {"id": 1, "items": 2, "base": [15, 10],
+     "policy": {"target": 2, "utility": {"kind": "non-submodular-synergy"}, "release_outbid": true, "rebid": "on-change"}}
+  ],
+  "graph": {"nodes": 2, "edges": [{"u": 0, "v": 1}]}
+}`
+
+const sweepRequest = `{
+  "version": 1,
+  "name": "served-sweep",
+  "base": {
+    "name": "base",
+    "agents": [
+      {"id": 0, "items": 2, "base": [10, 15],
+       "policy": {"target": 2, "utility": {"kind": "submodular-residual"}, "release_outbid": true, "rebid": "on-change"}},
+      {"id": 1, "items": 2, "base": [15, 10],
+       "policy": {"target": 2, "utility": {"kind": "submodular-residual"}, "release_outbid": true, "rebid": "on-change"}}
+    ],
+    "graph": {"nodes": 2, "edges": [{"u": 0, "v": 1}]}
+  },
+  "axes": [
+    {"axis": "policy", "variants": [
+      {"name": "honest", "scenario": {}},
+      {"name": "greedy", "scenario": {"agents": [
+        {"id": 0, "items": 2, "base": [10, 15],
+         "policy": {"target": 2, "utility": {"kind": "non-submodular-synergy"}, "release_outbid": true, "rebid": "on-change"}},
+        {"id": 1, "items": 2, "base": [15, 10],
+         "policy": {"target": 2, "utility": {"kind": "non-submodular-synergy"}, "release_outbid": true, "rebid": "on-change"}}
+      ]}}
+    ]},
+    {"axis": "mode", "variants": [
+      {"name": "plain", "scenario": {}},
+      {"name": "dup", "scenario": {"explore": {"duplicate_deliveries": true}}}
+    ]}
+  ]
+}`
+
+func testServer(t *testing.T) (*httptest.Server, *cache.Cache) {
+	t.Helper()
+	c, err := cache.New(cache.Options{Capacity: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(newServer(serverConfig{
+		Workers:        2,
+		Cache:          c,
+		DefaultTimeout: 30 * time.Second,
+	}))
+	t.Cleanup(srv.Close)
+	return srv, c
+}
+
+func postJSON(t *testing.T, url, body string) *http.Response {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+func TestVerifyEndpoint(t *testing.T) {
+	srv, _ := testServer(t)
+	for _, tc := range []struct {
+		doc  string
+		want engine.Status
+	}{
+		{scenarioDoc, engine.StatusHolds},
+		{oscillatingDoc, engine.StatusViolated},
+	} {
+		resp := postJSON(t, srv.URL+"/verify", tc.doc)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d", resp.StatusCode)
+		}
+		var buf bytes.Buffer
+		if _, err := buf.ReadFrom(resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		res, err := engine.DecodeResult(buf.Bytes())
+		if err != nil {
+			t.Fatalf("decode: %v\n%s", err, buf.Bytes())
+		}
+		if res.Status != tc.want {
+			t.Fatalf("verdict %v, want %v", res.Status, tc.want)
+		}
+		if tc.want == engine.StatusViolated && res.Trace == nil {
+			t.Fatal("violated result lost its counterexample trace")
+		}
+	}
+}
+
+func TestVerifyCacheRoundTrip(t *testing.T) {
+	srv, c := testServer(t)
+	first := postJSON(t, srv.URL+"/verify", scenarioDoc)
+	var buf bytes.Buffer
+	buf.ReadFrom(first.Body)
+	r1, err := engine.DecodeResult(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Cached {
+		t.Fatal("first request served from an empty cache")
+	}
+
+	second := postJSON(t, srv.URL+"/verify", scenarioDoc)
+	buf.Reset()
+	buf.ReadFrom(second.Body)
+	r2, err := engine.DecodeResult(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r2.Cached {
+		t.Fatal("repeat request missed the cache")
+	}
+	if r2.Status != r1.Status || r2.Stats.States != r1.Stats.States {
+		t.Fatalf("cached verdict differs: %+v vs %+v", r2, r1)
+	}
+	if st := c.Stats(); st.Hits != 1 || st.Puts != 1 {
+		t.Fatalf("cache stats %+v", st)
+	}
+
+	// The stats endpoint reports the same counters.
+	resp, err := http.Get(srv.URL + "/cache/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st cache.Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Hits != 1 || st.Puts != 1 || st.Entries != 1 {
+		t.Fatalf("/cache/stats reported %+v", st)
+	}
+}
+
+func TestVerifyRejectsBadInput(t *testing.T) {
+	srv, _ := testServer(t)
+	for name, tc := range map[string]struct {
+		path string
+		body string
+	}{
+		"not-json":       {"/verify", "hello"},
+		"unknown-field":  {"/verify", `{"version":1,"mystery":2}`},
+		"wrong-version":  {"/verify", `{"version":9}`},
+		"bad-engine":     {"/verify?engine=quantum", scenarioDoc},
+		"bad-workers":    {"/verify?workers=lots", scenarioDoc},
+		"bad-timeout":    {"/verify?timeout=-3", scenarioDoc},
+		"sweep-bad-base": {"/sweep", `{"version":1}`},
+	} {
+		t.Run(name, func(t *testing.T) {
+			resp := postJSON(t, srv.URL+tc.path, tc.body)
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("status %d, want 400", resp.StatusCode)
+			}
+			var e map[string]string
+			if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || e["error"] == "" {
+				t.Fatalf("error body missing: %v %v", e, err)
+			}
+		})
+	}
+	resp, err := http.Get(srv.URL + "/verify")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /verify: status %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestOversizedBodyIs413(t *testing.T) {
+	c, err := cache.New(cache.Options{Capacity: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(newServer(serverConfig{Cache: c, MaxBody: 64}))
+	t.Cleanup(srv.Close)
+	resp := postJSON(t, srv.URL+"/verify", scenarioDoc)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status %d, want 413", resp.StatusCode)
+	}
+}
+
+func TestSweepEndpointStreamsNDJSON(t *testing.T) {
+	srv, _ := testServer(t)
+	resp := postJSON(t, srv.URL+"/sweep", sweepRequest)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content type %q", ct)
+	}
+	var resultLines int
+	var sawSummary bool
+	holds, violated := 0, 0
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if bytes.HasPrefix(line, []byte(`{"summary":`)) {
+			var wrapper struct {
+				Summary json.RawMessage `json:"summary"`
+			}
+			if err := json.Unmarshal(line, &wrapper); err != nil {
+				t.Fatalf("summary line: %v\n%s", err, line)
+			}
+			sum, err := engine.DecodeSummary(wrapper.Summary)
+			if err != nil {
+				t.Fatalf("summary: %v\n%s", err, wrapper.Summary)
+			}
+			if sum.Total != 4 || sum.Holds != holds || sum.Violated != violated {
+				t.Fatalf("summary %+v (saw %d holds, %d violated)", sum, holds, violated)
+			}
+			sawSummary = true
+			continue
+		}
+		res, err := engine.DecodeResult(line)
+		if err != nil {
+			t.Fatalf("result line: %v\n%s", err, line)
+		}
+		resultLines++
+		switch res.Status {
+		case engine.StatusHolds:
+			holds++
+		case engine.StatusViolated:
+			violated++
+		default:
+			t.Fatalf("cell %q: %v (err %v)", res.Scenario, res.Status, res.Err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if resultLines != 4 || !sawSummary {
+		t.Fatalf("stream had %d result lines, summary=%v", resultLines, sawSummary)
+	}
+	// The honest cells hold, the greedy (non-submodular + release) cells
+	// oscillate — Result 1 served over HTTP.
+	if holds != 2 || violated != 2 {
+		t.Fatalf("holds=%d violated=%d, want 2/2", holds, violated)
+	}
+}
+
+// TestSweepWarmPassIsCached repeats the sweep and expects every
+// conclusive cell to come back as a cache hit.
+func TestSweepWarmPassIsCached(t *testing.T) {
+	srv, _ := testServer(t)
+	postJSON(t, srv.URL+"/sweep", sweepRequest).Body.Close()
+	resp := postJSON(t, srv.URL+"/sweep", sweepRequest)
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if bytes.HasPrefix(line, []byte(`{"summary":`)) {
+			var wrapper struct {
+				Summary json.RawMessage `json:"summary"`
+			}
+			if err := json.Unmarshal(line, &wrapper); err != nil {
+				t.Fatal(err)
+			}
+			sum, err := engine.DecodeSummary(wrapper.Summary)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sum.CacheHits != sum.Total {
+				t.Fatalf("warm sweep: %d hits of %d", sum.CacheHits, sum.Total)
+			}
+			return
+		}
+		res, err := engine.DecodeResult(line)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Cached {
+			t.Fatalf("cell %q not served from cache", res.Scenario)
+		}
+	}
+	t.Fatal("no summary line")
+}
+
+// TestVerifyTimeoutReportsInconclusive drives a heavyweight scenario
+// with a tiny per-request timeout through the cancellation plumbing.
+func TestVerifyTimeoutReportsInconclusive(t *testing.T) {
+	srv, c := testServer(t)
+	heavy := `{
+  "version": 1,
+  "name": "heavy",
+  "agents": [
+    {"id": 0, "items": 3, "base": [10, 15, 20],
+     "policy": {"target": 3, "utility": {"kind": "submodular-residual"}, "release_outbid": true, "rebid": "on-change"}},
+    {"id": 1, "items": 3, "base": [20, 10, 15],
+     "policy": {"target": 3, "utility": {"kind": "submodular-residual"}, "release_outbid": true, "rebid": "on-change"}},
+    {"id": 2, "items": 3, "base": [15, 20, 10],
+     "policy": {"target": 3, "utility": {"kind": "submodular-residual"}, "release_outbid": true, "rebid": "on-change"}}
+  ],
+  "graph": {"nodes": 3, "edges": [{"u": 0, "v": 1}, {"u": 1, "v": 2}, {"u": 0, "v": 2}]}
+}`
+	resp := postJSON(t, srv.URL+"/verify?timeout=1ms", heavy)
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	res, err := engine.DecodeResult(buf.Bytes())
+	if err != nil {
+		t.Fatalf("decode: %v\n%s", err, buf.Bytes())
+	}
+	if res.Status != engine.StatusInconclusive {
+		t.Fatalf("status %v, want inconclusive", res.Status)
+	}
+	if c.Len() != 0 {
+		t.Fatal("inconclusive result cached")
+	}
+}

@@ -1,0 +1,118 @@
+// Cached sweep: scenarios as data, verified twice — the second pass
+// served from the content-addressed result cache.
+//
+// The program demonstrates the full scenario-as-data loop:
+//
+//  1. a scenario is built in Go, encoded to canonical JSON with
+//     EncodeScenario, and decoded back (the bytes are what mcacheck
+//     -scenario and mcaserved /verify consume);
+//  2. a sweep document (a base scenario plus policy × network axes) is
+//     expanded into its scenario grid with ExpandSweep;
+//  3. the grid runs twice through a Runner wired to a verification
+//     cache — the cold pass verifies every cell, the warm pass is pure
+//     cache hits and finishes orders of magnitude faster.
+//
+// Run with: go run ./examples/cachedsweep
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	mcaverify "repro"
+)
+
+const sweepDoc = `{
+  "version": 1,
+  "name": "cached-demo",
+  "base": {
+    "agents": [
+      {"id": 0, "items": 2, "base": [10, 15],
+       "policy": {"target": 2, "utility": {"kind": "submodular-residual"}, "release_outbid": true, "rebid": "on-change"}},
+      {"id": 1, "items": 2, "base": [15, 10],
+       "policy": {"target": 2, "utility": {"kind": "submodular-residual"}, "release_outbid": true, "rebid": "on-change"}}
+    ],
+    "graph": {"nodes": 2, "edges": [{"u": 0, "v": 1}]}
+  },
+  "axes": [
+    {"axis": "policy", "variants": [
+      {"name": "submodular", "scenario": {}},
+      {"name": "synergy", "scenario": {"agents": [
+        {"id": 0, "items": 2, "base": [10, 15],
+         "policy": {"target": 2, "utility": {"kind": "non-submodular-synergy"}, "release_outbid": true, "rebid": "on-change"}},
+        {"id": 1, "items": 2, "base": [15, 10],
+         "policy": {"target": 2, "utility": {"kind": "non-submodular-synergy"}, "release_outbid": true, "rebid": "on-change"}}
+      ]}}
+    ]},
+    {"axis": "network", "variants": [
+      {"name": "reliable", "scenario": {}},
+      {"name": "drop20", "scenario": {"faults": {"drop": 0.2}}},
+      {"name": "drop40", "scenario": {"faults": {"drop": 0.4}}},
+      {"name": "delay2", "scenario": {"faults": {"delay": 2}}}
+    ]},
+    {"axis": "mode", "variants": [
+      {"name": "plain", "scenario": {}},
+      {"name": "at-least-once", "scenario": {"explore": {"duplicate_deliveries": true}}}
+    ]}
+  ]
+}`
+
+func main() {
+	ctx := context.Background()
+
+	// 1. One scenario as canonical JSON and back.
+	pol := mcaverify.Policy{Target: 2, Utility: mcaverify.SubmodularResidual{}, ReleaseOutbid: true, Rebid: mcaverify.RebidOnChange}
+	s := mcaverify.Scenario{
+		Name: "codec-demo",
+		AgentSpecs: []mcaverify.AgentConfig{
+			{ID: 0, Items: 2, Base: []int64{10, 15}, Policy: pol},
+			{ID: 1, Items: 2, Base: []int64{15, 10}, Policy: pol},
+		},
+		Graph: mcaverify.CompleteGraph(2),
+	}
+	data, err := mcaverify.EncodeScenario(&s)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("canonical scenario document (%d bytes):\n%s\n\n", len(data), data)
+	decoded, err := mcaverify.DecodeScenario(data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res := mcaverify.Verify(ctx, decoded, nil)
+	fmt.Printf("decoded scenario verifies: %v (%d states)\n\n", res.Status, res.Stats.States)
+
+	// 2. A sweep document expands into its grid.
+	scenarios, err := mcaverify.ExpandSweep([]byte(sweepDoc))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sweep grid: %d scenarios (policy x network x delivery mode)\n", len(scenarios))
+
+	// 3. Cold pass vs warm pass over the result cache.
+	c, err := mcaverify.NewCache(mcaverify.CacheOptions{Capacity: 1024})
+	if err != nil {
+		log.Fatal(err)
+	}
+	runner := mcaverify.NewRunner(mcaverify.RunnerOptions{Workers: 4, Cache: c})
+
+	start := time.Now()
+	_, coldSum := runner.Run(ctx, scenarios)
+	cold := time.Since(start)
+
+	start = time.Now()
+	_, warmSum := runner.Run(ctx, scenarios)
+	warm := time.Since(start)
+
+	fmt.Printf("cold pass: %d holds, %d violated, %d cache hits in %v\n",
+		coldSum.Holds, coldSum.Violated, coldSum.CacheHits, cold.Round(time.Microsecond))
+	fmt.Printf("warm pass: %d holds, %d violated, %d cache hits in %v\n",
+		warmSum.Holds, warmSum.Violated, warmSum.CacheHits, warm.Round(time.Microsecond))
+	if warm > 0 {
+		fmt.Printf("speedup: %.0fx\n", float64(cold)/float64(warm))
+	}
+	st := c.Stats()
+	fmt.Printf("cache: %d entries, %d hits, %d misses, %d puts\n", st.Entries, st.Hits, st.Misses, st.Puts)
+}

@@ -1,0 +1,207 @@
+package cache
+
+import (
+	"container/list"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/engine"
+)
+
+// Options configures a Cache.
+type Options struct {
+	// Capacity bounds the in-memory entry count; at most Capacity
+	// results are held before least-recently-used eviction. 0 defaults
+	// to 4096; negative means unbounded.
+	Capacity int
+	// Dir, when non-empty, enables the on-disk persistence layer in
+	// that directory (created if absent).
+	Dir string
+}
+
+// Stats is a point-in-time snapshot of cache effectiveness counters.
+type Stats struct {
+	// Entries and Capacity describe the in-memory tier.
+	Entries  int `json:"entries"`
+	Capacity int `json:"capacity"`
+	// Hits counts Gets answered from memory, DiskHits those answered
+	// from the persistence layer, Misses those answered by neither.
+	Hits     uint64 `json:"hits"`
+	DiskHits uint64 `json:"disk_hits"`
+	Misses   uint64 `json:"misses"`
+	// Puts counts stores, Evictions LRU removals from memory.
+	Puts      uint64 `json:"puts"`
+	Evictions uint64 `json:"evictions"`
+	// DiskErrors counts persistence failures (the cache degrades to
+	// memory-only rather than failing the verification).
+	DiskErrors uint64 `json:"disk_errors"`
+}
+
+// Cache is a content-addressed Result store implementing
+// engine.ResultCache.
+type Cache struct {
+	capacity int
+	dir      string
+
+	mu    sync.Mutex
+	ll    *list.List // most recent at front; values are *entry
+	idx   map[string]*list.Element
+	stats Stats
+}
+
+type entry struct {
+	key string
+	res engine.Result
+}
+
+// New builds a cache. With a Dir set, the directory is created
+// immediately so configuration errors surface at startup rather than on
+// the first Put.
+func New(o Options) (*Cache, error) {
+	if o.Capacity == 0 {
+		o.Capacity = 4096
+	}
+	if o.Dir != "" {
+		if err := os.MkdirAll(o.Dir, 0o755); err != nil {
+			return nil, fmt.Errorf("cache: %w", err)
+		}
+	}
+	return &Cache{
+		capacity: o.Capacity,
+		dir:      o.Dir,
+		ll:       list.New(),
+		idx:      map[string]*list.Element{},
+	}, nil
+}
+
+// Get returns the cached result for key. Memory is consulted first,
+// then the disk layer; a disk hit is promoted into memory.
+func (c *Cache) Get(key string) (engine.Result, bool) {
+	c.mu.Lock()
+	if el, ok := c.idx[key]; ok {
+		c.ll.MoveToFront(el)
+		c.stats.Hits++
+		res := el.Value.(*entry).res
+		c.mu.Unlock()
+		return res, true
+	}
+	c.mu.Unlock()
+
+	if c.dir != "" {
+		if res, ok := c.loadDisk(key); ok {
+			c.mu.Lock()
+			c.stats.DiskHits++
+			c.insertLocked(key, res)
+			c.mu.Unlock()
+			return res, true
+		}
+	}
+
+	c.mu.Lock()
+	c.stats.Misses++
+	c.mu.Unlock()
+	return engine.Result{}, false
+}
+
+// Put stores the result under key, evicting least-recently-used
+// memory entries beyond capacity and persisting to disk when enabled.
+func (c *Cache) Put(key string, res engine.Result) {
+	c.mu.Lock()
+	c.stats.Puts++
+	c.insertLocked(key, res)
+	c.mu.Unlock()
+
+	if c.dir != "" {
+		if err := c.storeDisk(key, res); err != nil {
+			c.mu.Lock()
+			c.stats.DiskErrors++
+			c.mu.Unlock()
+		}
+	}
+}
+
+func (c *Cache) insertLocked(key string, res engine.Result) {
+	if el, ok := c.idx[key]; ok {
+		el.Value.(*entry).res = res
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.idx[key] = c.ll.PushFront(&entry{key: key, res: res})
+	for c.capacity > 0 && c.ll.Len() > c.capacity {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		delete(c.idx, last.Value.(*entry).key)
+		c.stats.Evictions++
+	}
+}
+
+// Len reports the in-memory entry count.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats snapshots the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.stats
+	st.Entries = c.ll.Len()
+	st.Capacity = c.capacity
+	return st
+}
+
+// path maps a key (a hex content hash) to its file.
+func (c *Cache) path(key string) string {
+	return filepath.Join(c.dir, key+".json")
+}
+
+func (c *Cache) loadDisk(key string) (engine.Result, bool) {
+	data, err := os.ReadFile(c.path(key))
+	if err != nil {
+		return engine.Result{}, false
+	}
+	res, err := engine.DecodeResult(data)
+	if err != nil {
+		// A corrupt or foreign file is treated as a miss, not an error:
+		// the entry will simply be recomputed and rewritten.
+		c.mu.Lock()
+		c.stats.DiskErrors++
+		c.mu.Unlock()
+		return engine.Result{}, false
+	}
+	return res, true
+}
+
+func (c *Cache) storeDisk(key string, res engine.Result) error {
+	data, err := engine.EncodeResult(&res)
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(c.dir, "put-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	// Rename is atomic within the directory: readers see either the old
+	// file or the complete new one, never a partial write.
+	if err := os.Rename(tmp.Name(), c.path(key)); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}
+
+// The compile-time check that Cache satisfies the Runner's cache hook.
+var _ engine.ResultCache = (*Cache)(nil)

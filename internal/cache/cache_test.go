@@ -1,0 +1,180 @@
+package cache
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/engine"
+)
+
+func res(name string) engine.Result {
+	return engine.Result{Index: -1, Scenario: name, Engine: "explicit", Status: engine.StatusHolds}
+}
+
+func TestHitMiss(t *testing.T) {
+	c, err := New(Options{Capacity: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get("k1"); ok {
+		t.Fatal("empty cache hit")
+	}
+	c.Put("k1", res("a"))
+	got, ok := c.Get("k1")
+	if !ok || got.Scenario != "a" {
+		t.Fatalf("get after put: ok=%v res=%+v", ok, got)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Puts != 1 || st.Entries != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c, err := New(Options{Capacity: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put("a", res("a"))
+	c.Put("b", res("b"))
+	// Touch a so b becomes the least recently used.
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a missing")
+	}
+	c.Put("c", res("c"))
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b survived eviction")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("recently used a evicted")
+	}
+	if _, ok := c.Get("c"); !ok {
+		t.Fatal("newest c evicted")
+	}
+	st := c.Stats()
+	if st.Evictions != 1 || st.Entries != 2 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestPutOverwrites(t *testing.T) {
+	c, err := New(Options{Capacity: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put("k", res("old"))
+	c.Put("k", res("new"))
+	got, ok := c.Get("k")
+	if !ok || got.Scenario != "new" {
+		t.Fatalf("overwrite lost: %+v", got)
+	}
+	if st := c.Stats(); st.Entries != 1 || st.Evictions != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestUnboundedCapacity(t *testing.T) {
+	c, err := New(Options{Capacity: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10000; i++ {
+		c.Put(fmt.Sprintf("k%d", i), res("x"))
+	}
+	if st := c.Stats(); st.Entries != 10000 || st.Evictions != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestDiskPersistence(t *testing.T) {
+	dir := t.TempDir()
+	c1, err := New(Options{Capacity: 8, Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1.Put("deadbeef", res("persisted"))
+
+	// A fresh cache over the same directory — a service restart — must
+	// serve the result from disk and promote it to memory.
+	c2, err := New(Options{Capacity: 8, Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c2.Get("deadbeef")
+	if !ok || got.Scenario != "persisted" {
+		t.Fatalf("disk miss after restart: ok=%v res=%+v", ok, got)
+	}
+	st := c2.Stats()
+	if st.DiskHits != 1 || st.Entries != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	// Second Get is a memory hit.
+	if _, ok := c2.Get("deadbeef"); !ok {
+		t.Fatal("promoted entry missing")
+	}
+	if st := c2.Stats(); st.Hits != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestDiskEvictionKeepsFile(t *testing.T) {
+	dir := t.TempDir()
+	c, err := New(Options{Capacity: 1, Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put("k1", res("one"))
+	c.Put("k2", res("two")) // evicts k1 from memory only
+	if _, ok := c.Get("k1"); !ok {
+		t.Fatal("evicted entry lost from the durable tier")
+	}
+	if st := c.Stats(); st.DiskHits != 1 || st.Evictions < 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestCorruptDiskFileIsAMiss(t *testing.T) {
+	dir := t.TempDir()
+	c, err := New(Options{Capacity: 4, Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "bad.json"), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get("bad"); ok {
+		t.Fatal("corrupt file served as a hit")
+	}
+	if st := c.Stats(); st.DiskErrors != 1 || st.Misses != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+// TestConcurrentAccess hammers one cache from many goroutines; the race
+// detector (CI runs the suite with -race) guards the locking.
+func TestConcurrentAccess(t *testing.T) {
+	c, err := New(Options{Capacity: 32, Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("k%d", i%64)
+				if _, ok := c.Get(key); !ok {
+					c.Put(key, res(key))
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Len() == 0 {
+		t.Fatal("cache empty after concurrent load")
+	}
+}

@@ -1,0 +1,24 @@
+// Package cache is the content-addressed verification result cache:
+// it maps the canonical hash of a (scenario, engine) pair — see
+// engine.CacheKey — to the engine's Result, so repeated sweeps skip
+// scenarios that are already verified.
+//
+// The cache is an in-memory LRU with an optional on-disk persistence
+// layer. Memory answers hot lookups; when a directory is configured,
+// every stored result is also written there (one canonical-JSON file
+// per key, written atomically via rename) and memory misses fall back
+// to disk, so a service restart keeps its verified corpus. LRU eviction
+// applies to memory only — disk is the durable tier and is never
+// garbage-collected by this package.
+//
+// Caching is sound because everything around it is deterministic: the
+// engines produce the same Result for the same (Scenario, Engine)
+// value, and the codec's canonical encoding gives equal scenarios equal
+// keys. Only conclusive results are stored by the Runner, so a cached
+// verdict is exactly the verdict re-verification would produce.
+//
+// All methods are safe for concurrent use; the Runner's worker pool
+// hits one shared Cache. Results are returned by value, but the
+// counterexample Trace inside a Result is a shared pointer — treat
+// cached traces as read-only.
+package cache

@@ -1,0 +1,995 @@
+package engine
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/explore"
+	"repro/internal/graph"
+	"repro/internal/mca"
+	"repro/internal/netsim"
+	"repro/internal/sat"
+	"repro/internal/trace"
+)
+
+// SchemaVersion is the current version of the scenario/result/sweep
+// JSON schema. Decoders accept exactly this version; the version field
+// is mandatory so future schema changes can migrate old files
+// explicitly instead of misreading them.
+const SchemaVersion = 1
+
+// CacheEpoch is folded into every content address (CacheKey). Bump it
+// whenever a checker's semantics change — a verdict-affecting fix in
+// explore, sat, relalg, netsim, or an engine adapter — so persistent
+// caches (mcaserved -cachedir) stop serving verdicts computed by the
+// old code instead of replaying them forever. SchemaVersion guards only
+// the wire format; this guards the meaning of a cached Result.
+const CacheEpoch = 1
+
+// Codec invariants:
+//
+//   - Encoding is canonical: field order is fixed, defaults are
+//     omitted, and every set-valued field (graph edges, per-edge fault
+//     overrides, partition blocks) is sorted. Two semantically equal
+//     scenarios encode to the same bytes, which is what makes the
+//     content-addressed result cache sound.
+//   - Decoding is strict: unknown fields, a missing or wrong version,
+//     and unknown enum tokens are errors, never silently ignored.
+//   - Round trips are exact: DecodeScenario(EncodeScenario(s)) yields a
+//     scenario that re-encodes to byte-identical JSON.
+//
+// Scenarios carrying non-data values cannot be encoded: pre-built
+// *mca.Agent values (use AgentSpecs), a custom mca.Resolver, a
+// FuncUtility, or a RelationalModel whose package has not registered a
+// ModelCodec. Explore.Cancel is owned by the engine layer and is never
+// serialized.
+
+// ---- wire types ----
+//
+// The wire structs mirror the in-memory types field by field; their
+// struct order is the canonical field order of the format.
+
+type scenarioJSON struct {
+	Version int          `json:"version"`
+	Name    string       `json:"name,omitempty"`
+	Agents  []agentJSON  `json:"agents,omitempty"`
+	Graph   *graphJSON   `json:"graph,omitempty"`
+	Explore *exploreJSON `json:"explore,omitempty"`
+	Faults  *faultsJSON  `json:"faults,omitempty"`
+	Model   *modelJSON   `json:"model,omitempty"`
+	Solver  *solverJSON  `json:"solver,omitempty"`
+}
+
+type agentJSON struct {
+	ID       int        `json:"id"`
+	Items    int        `json:"items"`
+	Base     []int64    `json:"base,omitempty"`
+	Demands  []int64    `json:"demands,omitempty"`
+	Capacity int64      `json:"capacity,omitempty"`
+	Policy   policyJSON `json:"policy"`
+}
+
+type policyJSON struct {
+	Target        int          `json:"target"`
+	Utility       *utilityJSON `json:"utility,omitempty"`
+	ReleaseOutbid bool         `json:"release_outbid,omitempty"`
+	Rebid         string       `json:"rebid,omitempty"`
+	BidsPerRound  int          `json:"bids_per_round,omitempty"`
+}
+
+type utilityJSON struct {
+	Kind string `json:"kind"`
+	// submodular-residual
+	Decay int64 `json:"decay,omitempty"`
+	// non-submodular-synergy
+	SynergyNum int64 `json:"synergy_num,omitempty"`
+	SynergyDen int64 `json:"synergy_den,omitempty"`
+	// escalating-attack
+	Step int64 `json:"step,omitempty"`
+	Cap  int64 `json:"cap,omitempty"`
+}
+
+type graphJSON struct {
+	Nodes int        `json:"nodes"`
+	Edges []edgeJSON `json:"edges,omitempty"`
+}
+
+type edgeJSON struct {
+	U int `json:"u"`
+	V int `json:"v"`
+	// W is the edge weight; omitted for the default weight 1. A pointer
+	// keeps an explicit weight of 0 distinct from "unweighted".
+	W *float64 `json:"w,omitempty"`
+}
+
+type exploreJSON struct {
+	Bound               int  `json:"bound,omitempty"`
+	BoundSlack          int  `json:"bound_slack,omitempty"`
+	HardLimitFactor     int  `json:"hard_limit_factor,omitempty"`
+	MaxStates           int  `json:"max_states,omitempty"`
+	QueueDepth          int  `json:"queue_depth,omitempty"`
+	DisableVisitedSet   bool `json:"disable_visited_set,omitempty"`
+	DuplicateDeliveries bool `json:"duplicate_deliveries,omitempty"`
+}
+
+type faultsJSON struct {
+	Drop       float64         `json:"drop,omitempty"`
+	DropEdge   []edgeFaultJSON `json:"drop_edge,omitempty"`
+	Delay      int             `json:"delay,omitempty"`
+	DelayEdge  []edgeFaultJSON `json:"delay_edge,omitempty"`
+	Partitions [][]int         `json:"partitions,omitempty"`
+	HealAfter  int             `json:"heal_after,omitempty"`
+}
+
+type edgeFaultJSON struct {
+	From  int     `json:"from"`
+	To    int     `json:"to"`
+	Drop  float64 `json:"drop,omitempty"`
+	Delay int     `json:"delay,omitempty"`
+}
+
+type modelJSON struct {
+	Kind string          `json:"kind"`
+	Spec json.RawMessage `json:"spec"`
+}
+
+type solverJSON struct {
+	DisableVSIDS       bool    `json:"disable_vsids,omitempty"`
+	DisableRestarts    bool    `json:"disable_restarts,omitempty"`
+	DisablePhaseSaving bool    `json:"disable_phase_saving,omitempty"`
+	MaxConflicts       int64   `json:"max_conflicts,omitempty"`
+	InvertPhase        bool    `json:"invert_phase,omitempty"`
+	RestartBase        int64   `json:"restart_base,omitempty"`
+	RandSeed           uint64  `json:"rand_seed,omitempty"`
+	RandomPolarityFreq float64 `json:"random_polarity_freq,omitempty"`
+}
+
+// ---- model codec registry ----
+
+// ModelCodec serializes one family of RelationalModel implementations.
+// Packages that provide models register a codec (typically from init),
+// the way image formats register decoders: importing the package makes
+// its scenarios serializable.
+type ModelCodec struct {
+	// Kind tags the family in the wire format ({"kind": ..., "spec": ...}).
+	Kind string
+	// Encode returns the spec document for a model of this family, or
+	// ok=false when the model belongs to a different codec.
+	Encode func(m RelationalModel) (spec json.RawMessage, ok bool, err error)
+	// Decode rebuilds a model from its spec document. It must decode
+	// strictly and reject unknown fields.
+	Decode func(spec json.RawMessage) (RelationalModel, error)
+}
+
+var (
+	modelCodecsMu sync.RWMutex
+	modelCodecs   = map[string]ModelCodec{}
+)
+
+// RegisterModelCodec installs a model codec; registering two codecs
+// with the same kind panics, mirroring http.Handle and gob.Register.
+func RegisterModelCodec(c ModelCodec) {
+	if c.Kind == "" || c.Encode == nil || c.Decode == nil {
+		panic("engine: RegisterModelCodec requires Kind, Encode, and Decode")
+	}
+	modelCodecsMu.Lock()
+	defer modelCodecsMu.Unlock()
+	if _, dup := modelCodecs[c.Kind]; dup {
+		panic(fmt.Sprintf("engine: model codec %q registered twice", c.Kind))
+	}
+	modelCodecs[c.Kind] = c
+}
+
+func encodeModel(m RelationalModel) (*modelJSON, error) {
+	modelCodecsMu.RLock()
+	kinds := make([]string, 0, len(modelCodecs))
+	for k := range modelCodecs {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	codecs := make([]ModelCodec, len(kinds))
+	for i, k := range kinds {
+		codecs[i] = modelCodecs[k]
+	}
+	modelCodecsMu.RUnlock()
+	for _, c := range codecs {
+		spec, ok, err := c.Encode(m)
+		if err != nil {
+			return nil, fmt.Errorf("engine: model codec %q: %w", c.Kind, err)
+		}
+		if ok {
+			return &modelJSON{Kind: c.Kind, Spec: spec}, nil
+		}
+	}
+	return nil, fmt.Errorf("engine: no registered model codec accepts %q (%T); import the model package so its codec registers", m.ModelName(), m)
+}
+
+func decodeModel(w *modelJSON) (RelationalModel, error) {
+	modelCodecsMu.RLock()
+	c, ok := modelCodecs[w.Kind]
+	modelCodecsMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("engine: unknown model kind %q; import the package that registers it", w.Kind)
+	}
+	m, err := c.Decode(w.Spec)
+	if err != nil {
+		return nil, fmt.Errorf("engine: model kind %q: %w", w.Kind, err)
+	}
+	return m, nil
+}
+
+// ---- enum codecs ----
+
+func encodeRebid(m mca.RebidMode) (string, error) {
+	switch m {
+	case 0:
+		return "", nil
+	case mca.RebidOnChange:
+		return "on-change", nil
+	case mca.RebidNever:
+		return "never", nil
+	case mca.RebidAlways:
+		return "always", nil
+	}
+	return "", fmt.Errorf("engine: unencodable rebid mode %d", int(m))
+}
+
+func decodeRebid(s string) (mca.RebidMode, error) {
+	switch s {
+	case "":
+		return 0, nil
+	case "on-change":
+		return mca.RebidOnChange, nil
+	case "never":
+		return mca.RebidNever, nil
+	case "always":
+		return mca.RebidAlways, nil
+	}
+	return 0, fmt.Errorf("engine: unknown rebid mode %q (want on-change|never|always)", s)
+}
+
+func encodeUtility(u mca.Utility) (*utilityJSON, error) {
+	switch u := u.(type) {
+	case nil:
+		return nil, nil
+	case mca.SubmodularResidual:
+		return &utilityJSON{Kind: "submodular-residual", Decay: u.Decay}, nil
+	case mca.NonSubmodularSynergy:
+		return &utilityJSON{Kind: "non-submodular-synergy", SynergyNum: u.SynergyNum, SynergyDen: u.SynergyDen}, nil
+	case mca.FlatUtility:
+		return &utilityJSON{Kind: "flat"}, nil
+	case mca.EscalatingUtility:
+		return &utilityJSON{Kind: "escalating-attack", Step: u.Step, Cap: u.Cap}, nil
+	}
+	return nil, fmt.Errorf("engine: utility %q (%T) is not serializable; use one of the named mca utilities", u.Name(), u)
+}
+
+func decodeUtility(w *utilityJSON) (mca.Utility, error) {
+	if w == nil {
+		return nil, nil
+	}
+	switch w.Kind {
+	case "submodular-residual":
+		return mca.SubmodularResidual{Decay: w.Decay}, nil
+	case "non-submodular-synergy":
+		return mca.NonSubmodularSynergy{SynergyNum: w.SynergyNum, SynergyDen: w.SynergyDen}, nil
+	case "flat":
+		return mca.FlatUtility{}, nil
+	case "escalating-attack":
+		return mca.EscalatingUtility{Step: w.Step, Cap: w.Cap}, nil
+	}
+	return nil, fmt.Errorf("engine: unknown utility kind %q", w.Kind)
+}
+
+func encodeStatus(s Status) (string, error) {
+	switch s {
+	case StatusHolds, StatusViolated, StatusInconclusive, StatusError:
+		return s.String(), nil
+	}
+	return "", fmt.Errorf("engine: unencodable status %d", int(s))
+}
+
+func decodeStatus(s string) (Status, error) {
+	for _, v := range []Status{StatusHolds, StatusViolated, StatusInconclusive, StatusError} {
+		if s == v.String() {
+			return v, nil
+		}
+	}
+	return 0, fmt.Errorf("engine: unknown status %q", s)
+}
+
+func encodeViolation(v explore.ViolationKind) (string, error) {
+	switch v {
+	case explore.ViolationNone:
+		return "", nil
+	case explore.ViolationOscillation, explore.ViolationBoundExceeded,
+		explore.ViolationDisagreement, explore.ViolationConflict:
+		return v.String(), nil
+	}
+	return "", fmt.Errorf("engine: unencodable violation kind %d", int(v))
+}
+
+func decodeViolation(s string) (explore.ViolationKind, error) {
+	if s == "" {
+		return explore.ViolationNone, nil
+	}
+	for _, v := range []explore.ViolationKind{explore.ViolationOscillation,
+		explore.ViolationBoundExceeded, explore.ViolationDisagreement, explore.ViolationConflict} {
+		if s == v.String() {
+			return v, nil
+		}
+	}
+	return 0, fmt.Errorf("engine: unknown violation kind %q", s)
+}
+
+func encodeSATStatus(s sat.Status) (string, error) {
+	switch s {
+	case sat.StatusUnknown:
+		return "", nil
+	case sat.StatusSat:
+		return "sat", nil
+	case sat.StatusUnsat:
+		return "unsat", nil
+	}
+	return "", fmt.Errorf("engine: unencodable SAT status %d", int(s))
+}
+
+func decodeSATStatus(s string) (sat.Status, error) {
+	switch s {
+	case "":
+		return sat.StatusUnknown, nil
+	case "sat":
+		return sat.StatusSat, nil
+	case "unsat":
+		return sat.StatusUnsat, nil
+	}
+	return 0, fmt.Errorf("engine: unknown SAT status %q", s)
+}
+
+// ---- scenario encode ----
+
+// EncodeScenario renders the scenario as canonical versioned JSON: a
+// deterministic byte string suitable for files, the wire, and content
+// addressing. See the codec invariants at the top of this file for what
+// cannot be encoded.
+func EncodeScenario(s *Scenario) ([]byte, error) {
+	w, err := scenarioToWire(s)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(w)
+}
+
+func scenarioToWire(s *Scenario) (*scenarioJSON, error) {
+	if len(s.Agents) > 0 && len(s.AgentSpecs) == 0 {
+		return nil, fmt.Errorf("engine: scenario %q holds pre-built agents; only AgentSpecs scenarios are serializable", s.Name)
+	}
+	if s.Explore.Cancel != nil {
+		// Cancel is a runtime hook, never data; encoding proceeds without it.
+		s2 := *s
+		s2.Explore.Cancel = nil
+		s = &s2
+	}
+	w := &scenarioJSON{Version: SchemaVersion, Name: s.Name}
+	for _, cfg := range s.AgentSpecs {
+		if cfg.Resolver != nil {
+			return nil, fmt.Errorf("engine: scenario %q agent %d has a custom resolver; only the default conflict table is serializable", s.Name, cfg.ID)
+		}
+		util, err := encodeUtility(cfg.Policy.Utility)
+		if err != nil {
+			return nil, fmt.Errorf("engine: scenario %q agent %d: %w", s.Name, cfg.ID, err)
+		}
+		rebid, err := encodeRebid(cfg.Policy.Rebid)
+		if err != nil {
+			return nil, fmt.Errorf("engine: scenario %q agent %d: %w", s.Name, cfg.ID, err)
+		}
+		w.Agents = append(w.Agents, agentJSON{
+			ID:       int(cfg.ID),
+			Items:    cfg.Items,
+			Base:     cfg.Base,
+			Demands:  cfg.Demands,
+			Capacity: cfg.Capacity,
+			Policy: policyJSON{
+				Target:        cfg.Policy.Target,
+				Utility:       util,
+				ReleaseOutbid: cfg.Policy.ReleaseOutbid,
+				Rebid:         rebid,
+				BidsPerRound:  cfg.Policy.BidsPerRound,
+			},
+		})
+	}
+	if s.Graph != nil {
+		gw := &graphJSON{Nodes: s.Graph.N()}
+		for _, e := range s.Graph.Edges() { // sorted by (U, V)
+			we := edgeJSON{U: e.U, V: e.V}
+			if e.Weight != 1 {
+				w := e.Weight
+				we.W = &w
+			}
+			gw.Edges = append(gw.Edges, we)
+		}
+		w.Graph = gw
+	}
+	if ex := (exploreJSON{
+		Bound:               s.Explore.Bound,
+		BoundSlack:          s.Explore.BoundSlack,
+		HardLimitFactor:     s.Explore.HardLimitFactor,
+		MaxStates:           s.Explore.MaxStates,
+		QueueDepth:          s.Explore.QueueDepth,
+		DisableVisitedSet:   s.Explore.DisableVisitedSet,
+		DuplicateDeliveries: s.Explore.DuplicateDeliveries,
+	}); ex != (exploreJSON{}) {
+		w.Explore = &ex
+	}
+	fw, err := faultsToWire(s.Faults)
+	if err != nil {
+		return nil, fmt.Errorf("engine: scenario %q: %w", s.Name, err)
+	}
+	w.Faults = fw
+	if s.Model != nil {
+		mw, err := encodeModel(s.Model)
+		if err != nil {
+			return nil, err
+		}
+		w.Model = mw
+	}
+	if sv := (solverJSON{
+		DisableVSIDS:       s.Solver.DisableVSIDS,
+		DisableRestarts:    s.Solver.DisableRestarts,
+		DisablePhaseSaving: s.Solver.DisablePhaseSaving,
+		MaxConflicts:       s.Solver.MaxConflicts,
+		InvertPhase:        s.Solver.InvertPhase,
+		RestartBase:        s.Solver.RestartBase,
+		RandSeed:           s.Solver.RandSeed,
+		RandomPolarityFreq: s.Solver.RandomPolarityFreq,
+	}); sv != (solverJSON{}) {
+		w.Solver = &sv
+	}
+	return w, nil
+}
+
+func faultsToWire(f netsim.Faults) (*faultsJSON, error) {
+	if f.None() && f.HealAfter == 0 {
+		return nil, nil
+	}
+	w := &faultsJSON{Drop: f.Drop, Delay: f.Delay, HealAfter: f.HealAfter}
+	for e, p := range f.DropEdge {
+		w.DropEdge = append(w.DropEdge, edgeFaultJSON{From: int(e.From), To: int(e.To), Drop: p})
+	}
+	sortEdgeFaults(w.DropEdge)
+	for e, d := range f.DelayEdge {
+		w.DelayEdge = append(w.DelayEdge, edgeFaultJSON{From: int(e.From), To: int(e.To), Delay: d})
+	}
+	sortEdgeFaults(w.DelayEdge)
+	for _, block := range f.Partitions {
+		b := append([]int(nil), block...)
+		sort.Ints(b)
+		w.Partitions = append(w.Partitions, b)
+	}
+	sort.Slice(w.Partitions, func(i, j int) bool {
+		return lessIntSlice(w.Partitions[i], w.Partitions[j])
+	})
+	return w, nil
+}
+
+func sortEdgeFaults(s []edgeFaultJSON) {
+	sort.Slice(s, func(i, j int) bool {
+		if s[i].From != s[j].From {
+			return s[i].From < s[j].From
+		}
+		return s[i].To < s[j].To
+	})
+}
+
+func lessIntSlice(a, b []int) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+// ---- scenario decode ----
+
+// DecodeScenario parses a canonical scenario document. The decode is
+// strict: unknown fields, a missing or wrong version, and unknown enum
+// tokens are errors.
+func DecodeScenario(data []byte) (Scenario, error) {
+	var w scenarioJSON
+	if err := strictUnmarshal(data, &w); err != nil {
+		return Scenario{}, fmt.Errorf("engine: scenario: %w", err)
+	}
+	if w.Version != SchemaVersion {
+		return Scenario{}, fmt.Errorf("engine: scenario: unsupported schema version %d (want %d)", w.Version, SchemaVersion)
+	}
+	return scenarioFromWire(&w)
+}
+
+func scenarioFromWire(w *scenarioJSON) (Scenario, error) {
+	s := Scenario{Name: w.Name}
+	for _, aw := range w.Agents {
+		util, err := decodeUtility(aw.Policy.Utility)
+		if err != nil {
+			return Scenario{}, fmt.Errorf("engine: scenario %q agent %d: %w", w.Name, aw.ID, err)
+		}
+		rebid, err := decodeRebid(aw.Policy.Rebid)
+		if err != nil {
+			return Scenario{}, fmt.Errorf("engine: scenario %q agent %d: %w", w.Name, aw.ID, err)
+		}
+		s.AgentSpecs = append(s.AgentSpecs, mca.Config{
+			ID:       mca.AgentID(aw.ID),
+			Items:    aw.Items,
+			Base:     aw.Base,
+			Demands:  aw.Demands,
+			Capacity: aw.Capacity,
+			Policy: mca.Policy{
+				Target:        aw.Policy.Target,
+				Utility:       util,
+				ReleaseOutbid: aw.Policy.ReleaseOutbid,
+				Rebid:         rebid,
+				BidsPerRound:  aw.Policy.BidsPerRound,
+			},
+		})
+	}
+	if w.Graph != nil {
+		if w.Graph.Nodes < 0 {
+			return Scenario{}, fmt.Errorf("engine: scenario %q: negative graph size %d", w.Name, w.Graph.Nodes)
+		}
+		g := graph.New(w.Graph.Nodes)
+		for _, e := range w.Graph.Edges {
+			if e.U < 0 || e.U >= w.Graph.Nodes || e.V < 0 || e.V >= w.Graph.Nodes || e.U == e.V {
+				return Scenario{}, fmt.Errorf("engine: scenario %q: bad edge {%d,%d} in %d-node graph", w.Name, e.U, e.V, w.Graph.Nodes)
+			}
+			wgt := 1.0
+			if e.W != nil {
+				wgt = *e.W
+			}
+			g.AddWeightedEdge(e.U, e.V, wgt)
+		}
+		s.Graph = g
+	}
+	if w.Explore != nil {
+		s.Explore = explore.Options{
+			Bound:               w.Explore.Bound,
+			BoundSlack:          w.Explore.BoundSlack,
+			HardLimitFactor:     w.Explore.HardLimitFactor,
+			MaxStates:           w.Explore.MaxStates,
+			QueueDepth:          w.Explore.QueueDepth,
+			DisableVisitedSet:   w.Explore.DisableVisitedSet,
+			DuplicateDeliveries: w.Explore.DuplicateDeliveries,
+		}
+	}
+	if w.Faults != nil {
+		f, err := faultsFromWire(w)
+		if err != nil {
+			return Scenario{}, err
+		}
+		s.Faults = f
+	}
+	if w.Model != nil {
+		m, err := decodeModel(w.Model)
+		if err != nil {
+			return Scenario{}, err
+		}
+		s.Model = m
+	}
+	if w.Solver != nil {
+		s.Solver = sat.Options{
+			DisableVSIDS:       w.Solver.DisableVSIDS,
+			DisableRestarts:    w.Solver.DisableRestarts,
+			DisablePhaseSaving: w.Solver.DisablePhaseSaving,
+			MaxConflicts:       w.Solver.MaxConflicts,
+			InvertPhase:        w.Solver.InvertPhase,
+			RestartBase:        w.Solver.RestartBase,
+			RandSeed:           w.Solver.RandSeed,
+			RandomPolarityFreq: w.Solver.RandomPolarityFreq,
+		}
+	}
+	return s, nil
+}
+
+// faultsFromWire rebuilds and validates the fault model. Strictness
+// matters here: an out-of-range probability or a fault edge naming a
+// node outside the graph would be silently inert at run time, letting a
+// typo turn a lossy scenario into a reliable one.
+func faultsFromWire(w *scenarioJSON) (netsim.Faults, error) {
+	fw := w.Faults
+	nodes := -1 // no graph: SAT-only scenarios carry no node range to check
+	if w.Graph != nil {
+		nodes = w.Graph.Nodes
+	}
+	badNode := func(n int) bool { return n < 0 || (nodes >= 0 && n >= nodes) }
+	fail := func(format string, args ...any) (netsim.Faults, error) {
+		return netsim.Faults{}, fmt.Errorf("engine: scenario %q faults: %s", w.Name, fmt.Sprintf(format, args...))
+	}
+	if fw.Drop < 0 || fw.Drop > 1 {
+		return fail("drop probability %v outside [0,1]", fw.Drop)
+	}
+	if fw.Delay < 0 || fw.HealAfter < 0 {
+		return fail("negative delay %d or heal_after %d", fw.Delay, fw.HealAfter)
+	}
+	f := netsim.Faults{Drop: fw.Drop, Delay: fw.Delay, HealAfter: fw.HealAfter}
+	for _, e := range fw.DropEdge {
+		if e.Drop < 0 || e.Drop > 1 {
+			return fail("drop_edge {%d,%d} probability %v outside [0,1]", e.From, e.To, e.Drop)
+		}
+		if badNode(e.From) || badNode(e.To) {
+			return fail("drop_edge {%d,%d} outside the %d-node graph", e.From, e.To, nodes)
+		}
+		if f.DropEdge == nil {
+			f.DropEdge = map[netsim.Edge]float64{}
+		}
+		f.DropEdge[netsim.Edge{From: mca.AgentID(e.From), To: mca.AgentID(e.To)}] = e.Drop
+	}
+	for _, e := range fw.DelayEdge {
+		if e.Delay < 0 {
+			return fail("delay_edge {%d,%d} negative delay %d", e.From, e.To, e.Delay)
+		}
+		if badNode(e.From) || badNode(e.To) {
+			return fail("delay_edge {%d,%d} outside the %d-node graph", e.From, e.To, nodes)
+		}
+		if f.DelayEdge == nil {
+			f.DelayEdge = map[netsim.Edge]int{}
+		}
+		f.DelayEdge[netsim.Edge{From: mca.AgentID(e.From), To: mca.AgentID(e.To)}] = e.Delay
+	}
+	for bi, block := range fw.Partitions {
+		for _, n := range block {
+			if badNode(n) {
+				return fail("partition block %d names node %d outside the %d-node graph", bi, n, nodes)
+			}
+		}
+		f.Partitions = append(f.Partitions, append([]int(nil), block...))
+	}
+	return f, nil
+}
+
+// strictUnmarshal is json.Unmarshal with unknown fields rejected and
+// trailing garbage detected.
+func strictUnmarshal(data []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if dec.More() {
+		return errors.New("trailing data after JSON document")
+	}
+	return nil
+}
+
+// ---- result codec ----
+
+type resultJSON struct {
+	Version   int        `json:"version"`
+	Scenario  string     `json:"scenario,omitempty"`
+	Engine    string     `json:"engine,omitempty"`
+	Index     int        `json:"index"`
+	Status    string     `json:"status"`
+	Violation string     `json:"violation,omitempty"`
+	SATStatus string     `json:"sat_status,omitempty"`
+	Cached    bool       `json:"cached,omitempty"`
+	Explicit  bool       `json:"explicit,omitempty"`
+	Stats     *statsJSON `json:"stats,omitempty"`
+	Trace     *traceJSON `json:"trace,omitempty"`
+	Err       string     `json:"error,omitempty"`
+}
+
+type statsJSON struct {
+	States      int   `json:"states,omitempty"`
+	MaxDepth    int   `json:"max_depth,omitempty"`
+	Exhausted   bool  `json:"exhausted,omitempty"`
+	PrimaryVars int   `json:"primary_vars,omitempty"`
+	AuxVars     int   `json:"aux_vars,omitempty"`
+	Clauses     int   `json:"clauses,omitempty"`
+	TranslateNS int64 `json:"translate_ns,omitempty"`
+	SolveNS     int64 `json:"solve_ns,omitempty"`
+	Runs        int   `json:"runs,omitempty"`
+	Converged   int   `json:"converged,omitempty"`
+	Deliveries  int   `json:"deliveries,omitempty"`
+	Dropped     int   `json:"dropped,omitempty"`
+	WallNS      int64 `json:"wall_ns,omitempty"`
+}
+
+type traceJSON struct {
+	ItemNames []string        `json:"item_names,omitempty"`
+	Steps     []traceStepJSON `json:"steps,omitempty"`
+}
+
+type traceStepJSON struct {
+	Label  string           `json:"label,omitempty"`
+	Agents []traceAgentJSON `json:"agents,omitempty"`
+}
+
+type traceAgentJSON struct {
+	ID     int     `json:"id"`
+	Bids   []int64 `json:"bids,omitempty"`
+	Winner []int   `json:"winner,omitempty"`
+	Bundle []int   `json:"bundle,omitempty"`
+}
+
+// EncodeResult renders a Result as canonical versioned JSON. Err is
+// flattened to its message; ExplicitVerdict is reconstructed from the
+// other fields on decode rather than stored, so the wire form carries
+// no redundancy.
+func EncodeResult(r *Result) ([]byte, error) {
+	status, err := encodeStatus(r.Status)
+	if err != nil {
+		return nil, err
+	}
+	violation, err := encodeViolation(r.Violation)
+	if err != nil {
+		return nil, err
+	}
+	satStatus, err := encodeSATStatus(r.SATStatus)
+	if err != nil {
+		return nil, err
+	}
+	w := resultJSON{
+		Version:   SchemaVersion,
+		Scenario:  r.Scenario,
+		Engine:    r.Engine,
+		Index:     r.Index,
+		Status:    status,
+		Violation: violation,
+		SATStatus: satStatus,
+		Cached:    r.Cached,
+		Explicit:  r.ExplicitVerdict != nil,
+	}
+	if st := (statsJSON{
+		States:      r.Stats.States,
+		MaxDepth:    r.Stats.MaxDepth,
+		Exhausted:   r.Stats.Exhausted,
+		PrimaryVars: r.Stats.PrimaryVars,
+		AuxVars:     r.Stats.AuxVars,
+		Clauses:     r.Stats.Clauses,
+		TranslateNS: int64(r.Stats.TranslateTime),
+		SolveNS:     int64(r.Stats.SolveTime),
+		Runs:        r.Stats.Runs,
+		Converged:   r.Stats.Converged,
+		Deliveries:  r.Stats.Deliveries,
+		Dropped:     r.Stats.Dropped,
+		WallNS:      int64(r.Stats.Wall),
+	}); st != (statsJSON{}) {
+		w.Stats = &st
+	}
+	if r.Trace != nil {
+		tw := &traceJSON{ItemNames: r.Trace.ItemNames}
+		for _, step := range r.Trace.Steps() {
+			sw := traceStepJSON{Label: step.Label}
+			for _, a := range step.Agents {
+				sw.Agents = append(sw.Agents, traceAgentJSON{ID: a.ID, Bids: a.Bids, Winner: a.Winner, Bundle: a.Bundle})
+			}
+			tw.Steps = append(tw.Steps, sw)
+		}
+		w.Trace = tw
+	}
+	if r.Err != nil {
+		w.Err = r.Err.Error()
+	}
+	return json.Marshal(w)
+}
+
+// DecodeResult parses a canonical result document. Err comes back as a
+// plain error carrying the original message (sentinel identity such as
+// context.Canceled is not preserved); ExplicitVerdict is rebuilt for
+// explicit-engine results.
+func DecodeResult(data []byte) (Result, error) {
+	var w resultJSON
+	if err := strictUnmarshal(data, &w); err != nil {
+		return Result{}, fmt.Errorf("engine: result: %w", err)
+	}
+	if w.Version != SchemaVersion {
+		return Result{}, fmt.Errorf("engine: result: unsupported schema version %d (want %d)", w.Version, SchemaVersion)
+	}
+	status, err := decodeStatus(w.Status)
+	if err != nil {
+		return Result{}, err
+	}
+	violation, err := decodeViolation(w.Violation)
+	if err != nil {
+		return Result{}, err
+	}
+	satStatus, err := decodeSATStatus(w.SATStatus)
+	if err != nil {
+		return Result{}, err
+	}
+	r := Result{
+		Scenario:  w.Scenario,
+		Engine:    w.Engine,
+		Index:     w.Index,
+		Status:    status,
+		Violation: violation,
+		SATStatus: satStatus,
+		Cached:    w.Cached,
+	}
+	if w.Stats != nil {
+		r.Stats = Stats{
+			States:        w.Stats.States,
+			MaxDepth:      w.Stats.MaxDepth,
+			Exhausted:     w.Stats.Exhausted,
+			PrimaryVars:   w.Stats.PrimaryVars,
+			AuxVars:       w.Stats.AuxVars,
+			Clauses:       w.Stats.Clauses,
+			TranslateTime: time.Duration(w.Stats.TranslateNS),
+			SolveTime:     time.Duration(w.Stats.SolveNS),
+			Runs:          w.Stats.Runs,
+			Converged:     w.Stats.Converged,
+			Deliveries:    w.Stats.Deliveries,
+			Dropped:       w.Stats.Dropped,
+			Wall:          time.Duration(w.Stats.WallNS),
+		}
+	}
+	if w.Trace != nil {
+		rec := trace.NewRecorder()
+		rec.ItemNames = w.Trace.ItemNames
+		for _, sw := range w.Trace.Steps {
+			step := trace.Step{Label: sw.Label}
+			for _, a := range sw.Agents {
+				step.Agents = append(step.Agents, trace.AgentSnapshot{ID: a.ID, Bids: a.Bids, Winner: a.Winner, Bundle: a.Bundle})
+			}
+			rec.Record(step)
+		}
+		r.Trace = rec
+	}
+	if w.Err != "" {
+		r.Err = errors.New(w.Err)
+	}
+	if w.Explicit {
+		r.ExplicitVerdict = &explore.Verdict{
+			OK:        status == StatusHolds,
+			Violation: violation,
+			Trace:     r.Trace,
+			States:    r.Stats.States,
+			MaxDepth:  r.Stats.MaxDepth,
+			Exhausted: r.Stats.Exhausted,
+		}
+	}
+	return r, nil
+}
+
+// ---- summary codec ----
+
+type summaryJSON struct {
+	Version      int            `json:"version"`
+	Total        int            `json:"total"`
+	Holds        int            `json:"holds,omitempty"`
+	Violated     int            `json:"violated,omitempty"`
+	Inconclusive int            `json:"inconclusive,omitempty"`
+	Errors       int            `json:"errors,omitempty"`
+	CacheHits    int            `json:"cache_hits,omitempty"`
+	Violations   map[string]int `json:"violations,omitempty"`
+	Scenarios    []string       `json:"scenarios,omitempty"`
+	WallNS       int64          `json:"wall_ns,omitempty"`
+}
+
+// EncodeSummary renders a batch summary as versioned JSON (violation
+// kinds keyed by name).
+func EncodeSummary(s *Summary) ([]byte, error) {
+	w := summaryJSON{
+		Version:      SchemaVersion,
+		Total:        s.Total,
+		Holds:        s.Holds,
+		Violated:     s.Violated,
+		Inconclusive: s.Inconclusive,
+		Errors:       s.Errors,
+		CacheHits:    s.CacheHits,
+		Scenarios:    s.Scenarios,
+		WallNS:       int64(s.Wall),
+	}
+	for k, n := range s.Violations {
+		name, err := encodeViolation(k)
+		if err != nil {
+			return nil, err
+		}
+		if w.Violations == nil {
+			w.Violations = map[string]int{}
+		}
+		w.Violations[name] = n
+	}
+	return json.Marshal(w)
+}
+
+// DecodeSummary parses a summary document.
+func DecodeSummary(data []byte) (Summary, error) {
+	var w summaryJSON
+	if err := strictUnmarshal(data, &w); err != nil {
+		return Summary{}, fmt.Errorf("engine: summary: %w", err)
+	}
+	if w.Version != SchemaVersion {
+		return Summary{}, fmt.Errorf("engine: summary: unsupported schema version %d (want %d)", w.Version, SchemaVersion)
+	}
+	s := Summary{
+		Total:        w.Total,
+		Holds:        w.Holds,
+		Violated:     w.Violated,
+		Inconclusive: w.Inconclusive,
+		Errors:       w.Errors,
+		CacheHits:    w.CacheHits,
+		Violations:   map[explore.ViolationKind]int{},
+		Scenarios:    w.Scenarios,
+		Wall:         time.Duration(w.WallNS),
+	}
+	for name, n := range w.Violations {
+		k, err := decodeViolation(name)
+		if err != nil {
+			return Summary{}, err
+		}
+		s.Violations[k] = n
+	}
+	return s, nil
+}
+
+// ---- content addressing ----
+
+// CacheKey returns the content address of (scenario, engine): the
+// SHA-256 of the engine's full descriptor — its Go type and every
+// configuration field, not just its display name, since fields like
+// Simulation's Runs and Seed change verdicts — and the canonical
+// scenario encoding with the display name blanked, so two identically
+// configured scenarios hit the same cache entry regardless of how they
+// are labelled. Auto resolves to its per-scenario delegate, so
+// auto-scheduled work shares entries with direct engine calls; nil
+// means Auto. Scenarios the codec cannot encode are not addressable and
+// return an error (callers then simply skip caching).
+func CacheKey(s *Scenario, e Engine) (string, error) {
+	unnamed := *s
+	unnamed.Name = ""
+	data, err := EncodeScenario(&unnamed)
+	if err != nil {
+		return "", err
+	}
+	if e == nil {
+		e = Auto{}
+	}
+	if auto, ok := e.(Auto); ok {
+		e = auto.EngineFor(*s)
+	}
+	// Normalize defaulted fields so Simulation{} and Simulation{Runs:16}
+	// — the same verification — share one address.
+	if sim, ok := e.(Simulation); ok {
+		e = sim.withDefaults()
+	}
+	h := sha256.New()
+	// %T pins the adapter type, %+v its configuration in declared field
+	// order — deterministic for the flat engine structs.
+	fmt.Fprintf(h, "epoch%d %T%+v\n", CacheEpoch, e, e)
+	h.Write(data)
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// VerifyCached verifies one scenario through a result cache: a
+// conclusive cached result comes back immediately with Cached set (and
+// the scenario's own display name restored — the cache is addressed on
+// content, not labels), a miss verifies on eng and stores conclusive
+// verdicts back, and scenarios the codec cannot address just verify. A
+// nil cache makes this plain eng.Verify. The Runner's workers and
+// cmd/mcaserved share this exact protocol.
+func VerifyCached(ctx context.Context, eng Engine, s Scenario, c ResultCache) Result {
+	var key string
+	if c != nil {
+		if k, err := CacheKey(&s, eng); err == nil {
+			key = k
+			if res, ok := c.Get(key); ok {
+				res.Index = -1
+				res.Scenario = s.Name
+				res.Cached = true
+				return res
+			}
+		}
+	}
+	res := eng.Verify(ctx, s)
+	if key != "" && (res.Status == StatusHolds || res.Status == StatusViolated) {
+		c.Put(key, res)
+	}
+	return res
+}

@@ -1,0 +1,555 @@
+package engine
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/explore"
+	"repro/internal/graph"
+	"repro/internal/mca"
+	"repro/internal/netsim"
+	"repro/internal/relalg"
+	"repro/internal/sat"
+	"repro/internal/trace"
+)
+
+func specs(n, items int, pol mca.Policy) []mca.Config {
+	out := make([]mca.Config, n)
+	for i := 0; i < n; i++ {
+		base := make([]int64, items)
+		for j := range base {
+			base[j] = int64(10 + 5*((i+j)%items))
+		}
+		out[i] = mca.Config{ID: mca.AgentID(i), Items: items, Base: base, Policy: pol}
+	}
+	return out
+}
+
+func submodPolicy(items int) mca.Policy {
+	return mca.Policy{Target: items, Utility: mca.SubmodularResidual{}, ReleaseOutbid: true, Rebid: mca.RebidOnChange}
+}
+
+// codecScenarios is the table the round-trip tests sweep: it varies
+// utilities, rebid modes, fault models, bounds, and solver options.
+func codecScenarios() map[string]Scenario {
+	weighted := graph.New(3)
+	weighted.AddEdge(0, 1)
+	weighted.AddWeightedEdge(1, 2, 2.5)
+	// An explicit weight of 0 must survive the round trip distinct from
+	// the default weight 1.
+	weighted.AddWeightedEdge(0, 2, 0)
+	return map[string]Scenario{
+		"minimal": {Name: "minimal"},
+		"plain-explicit": {
+			Name:       "plain",
+			AgentSpecs: specs(2, 2, submodPolicy(2)),
+			Graph:      graph.Complete(2),
+		},
+		"weighted-graph-bounds": {
+			Name:       "bounds",
+			AgentSpecs: specs(3, 2, submodPolicy(2)),
+			Graph:      weighted,
+			Explore: explore.Options{
+				Bound: 17, BoundSlack: 2, HardLimitFactor: 3, MaxStates: 1234,
+				QueueDepth: -1, DisableVisitedSet: true, DuplicateDeliveries: true,
+			},
+		},
+		"all-utilities": {
+			Name: "utilities",
+			AgentSpecs: []mca.Config{
+				{ID: 0, Items: 2, Base: []int64{10, 20},
+					Policy: mca.Policy{Target: 2, Utility: mca.SubmodularResidual{Decay: 7}, Rebid: mca.RebidOnChange}},
+				{ID: 1, Items: 2, Base: []int64{20, 10}, Demands: []int64{1, 2}, Capacity: 3,
+					Policy: mca.Policy{Target: 1, Utility: mca.NonSubmodularSynergy{SynergyNum: 2, SynergyDen: 3}, ReleaseOutbid: true, Rebid: mca.RebidNever, BidsPerRound: 1}},
+				{ID: 2, Items: 2, Base: []int64{5, 5},
+					Policy: mca.Policy{Target: 2, Utility: mca.FlatUtility{}, Rebid: mca.RebidAlways}},
+				{ID: 3, Items: 2, Base: []int64{1, 1},
+					Policy: mca.Policy{Target: 2, Utility: mca.EscalatingUtility{Step: 2, Cap: 99}, Rebid: mca.RebidAlways}},
+			},
+			Graph: graph.Ring(4),
+		},
+		"probabilistic-faults": {
+			Name:       "faults",
+			AgentSpecs: specs(3, 2, submodPolicy(2)),
+			Graph:      graph.Complete(3),
+			Faults: netsim.Faults{
+				Drop: 0.25,
+				DropEdge: map[netsim.Edge]float64{
+					{From: 1, To: 0}: 0.5,
+					{From: 0, To: 1}: 0, // explicit never-drop override
+				},
+				Delay: 2,
+				DelayEdge: map[netsim.Edge]int{
+					{From: 2, To: 1}: 4,
+				},
+				Partitions: [][]int{{2, 0}, {1}},
+				HealAfter:  9,
+			},
+		},
+		"static-partition": {
+			Name:       "partition",
+			AgentSpecs: specs(4, 2, submodPolicy(2)),
+			Graph:      graph.Complete(4),
+			Faults:     netsim.Faults{Partitions: [][]int{{0, 1}, {2, 3}}},
+		},
+		"solver-options": {
+			Name:       "solver",
+			AgentSpecs: specs(2, 2, submodPolicy(2)),
+			Graph:      graph.Complete(2),
+			Solver: sat.Options{
+				DisableVSIDS: true, DisableRestarts: true, DisablePhaseSaving: true,
+				MaxConflicts: 1000, InvertPhase: true, RestartBase: 50,
+				RandSeed: 7, RandomPolarityFreq: 0.02,
+			},
+		},
+	}
+}
+
+// TestScenarioRoundTrip checks the codec's central contract on every
+// table entry: decode(encode(s)) re-encodes byte-identically, and the
+// decoded scenario is semantically the same value.
+func TestScenarioRoundTrip(t *testing.T) {
+	for name, s := range codecScenarios() {
+		s := s
+		t.Run(name, func(t *testing.T) {
+			enc1, err := EncodeScenario(&s)
+			if err != nil {
+				t.Fatalf("encode: %v", err)
+			}
+			s2, err := DecodeScenario(enc1)
+			if err != nil {
+				t.Fatalf("decode: %v\n%s", err, enc1)
+			}
+			enc2, err := EncodeScenario(&s2)
+			if err != nil {
+				t.Fatalf("re-encode: %v", err)
+			}
+			if !bytes.Equal(enc1, enc2) {
+				t.Fatalf("canonical re-encode differs:\n first: %s\nsecond: %s", enc1, enc2)
+			}
+
+			if s2.Name != s.Name {
+				t.Fatalf("name = %q, want %q", s2.Name, s.Name)
+			}
+			if !reflect.DeepEqual(s2.AgentSpecs, s.AgentSpecs) {
+				t.Fatalf("agent specs differ:\n got %+v\nwant %+v", s2.AgentSpecs, s.AgentSpecs)
+			}
+			if (s2.Graph == nil) != (s.Graph == nil) {
+				t.Fatalf("graph nilness differs")
+			}
+			if s.Graph != nil && !reflect.DeepEqual(s2.Graph.Edges(), s.Graph.Edges()) {
+				t.Fatalf("graph edges differ: got %v want %v", s2.Graph.Edges(), s.Graph.Edges())
+			}
+			if !reflect.DeepEqual(s2.Explore, s.Explore) {
+				t.Fatalf("explore options differ: got %+v want %+v", s2.Explore, s.Explore)
+			}
+			// Encode canonicalizes partition blocks, so compare the
+			// fault models through the normalizing wire conversion.
+			fw1, err := faultsToWire(s.Faults)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fw2, err := faultsToWire(s2.Faults)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(fw1, fw2) {
+				t.Fatalf("faults differ: got %+v want %+v", fw2, fw1)
+			}
+			if s2.Solver != s.Solver {
+				t.Fatalf("solver options differ: got %+v want %+v", s2.Solver, s.Solver)
+			}
+		})
+	}
+}
+
+// TestScenarioRoundTripVerdict runs a decoded scenario through the
+// explicit engine and demands the same verdict as the original — the
+// serialization is faithful where it matters.
+func TestScenarioRoundTripVerdict(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		pol  mca.Policy
+		want Status
+	}{
+		{"converging", submodPolicy(2), StatusHolds},
+		{"oscillating", mca.Policy{Target: 2, Utility: mca.NonSubmodularSynergy{}, ReleaseOutbid: true, Rebid: mca.RebidOnChange}, StatusViolated},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			s := Scenario{
+				Name:       tc.name,
+				AgentSpecs: specs(2, 2, tc.pol),
+				Graph:      graph.Complete(2),
+			}
+			before := Explicit{}.Verify(context.Background(), s)
+			data, err := EncodeScenario(&s)
+			if err != nil {
+				t.Fatalf("encode: %v", err)
+			}
+			s2, err := DecodeScenario(data)
+			if err != nil {
+				t.Fatalf("decode: %v", err)
+			}
+			after := Explicit{}.Verify(context.Background(), s2)
+			if before.Status != tc.want || after.Status != tc.want {
+				t.Fatalf("verdicts: before=%v after=%v want %v", before.Status, after.Status, tc.want)
+			}
+			if before.Violation != after.Violation || before.Stats.States != after.Stats.States {
+				t.Fatalf("decoded scenario explored differently: before %v/%d states, after %v/%d states",
+					before.Violation, before.Stats.States, after.Violation, after.Stats.States)
+			}
+		})
+	}
+}
+
+// TestEncodeCanonicalization checks that encode normalizes set-valued
+// fields: the same fault model written with different orderings encodes
+// to identical bytes.
+func TestEncodeCanonicalization(t *testing.T) {
+	mk := func(partitions [][]int) Scenario {
+		return Scenario{
+			Name:       "canon",
+			AgentSpecs: specs(3, 2, submodPolicy(2)),
+			Graph:      graph.Complete(3),
+			Faults:     netsim.Faults{Partitions: partitions},
+		}
+	}
+	a := mk([][]int{{2, 0}, {1}})
+	b := mk([][]int{{1}, {0, 2}})
+	ea, err := EncodeScenario(&a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eb, err := EncodeScenario(&b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ea, eb) {
+		t.Fatalf("equivalent fault models encode differently:\n%s\n%s", ea, eb)
+	}
+}
+
+func TestDecodeScenarioStrict(t *testing.T) {
+	valid, err := EncodeScenario(&Scenario{Name: "x", AgentSpecs: specs(2, 2, submodPolicy(2)), Graph: graph.Complete(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, mutate := range map[string]func(string) string{
+		"unknown-field": func(s string) string {
+			return strings.Replace(s, `"name":"x"`, `"name":"x","surprise":1`, 1)
+		},
+		"wrong-version": func(s string) string {
+			return strings.Replace(s, `"version":1`, `"version":99`, 1)
+		},
+		"missing-version": func(s string) string {
+			return strings.Replace(s, `"version":1,`, ``, 1)
+		},
+		"bad-rebid": func(s string) string {
+			return strings.Replace(s, `"rebid":"on-change"`, `"rebid":"sometimes"`, 1)
+		},
+		"bad-utility": func(s string) string {
+			return strings.Replace(s, `"kind":"submodular-residual"`, `"kind":"mystery"`, 1)
+		},
+		"trailing-garbage": func(s string) string { return s + `{"more":true}` },
+		"bad-edge": func(s string) string {
+			return strings.Replace(s, `{"u":0,"v":1}`, `{"u":0,"v":7}`, 1)
+		},
+	} {
+		t.Run(name, func(t *testing.T) {
+			doc := mutate(string(valid))
+			if doc == string(valid) {
+				t.Fatalf("mutation did not apply to %s", valid)
+			}
+			if _, err := DecodeScenario([]byte(doc)); err == nil {
+				t.Fatalf("decode accepted %s", doc)
+			}
+		})
+	}
+}
+
+func TestEncodeScenarioErrors(t *testing.T) {
+	pol := submodPolicy(2)
+	agents := make([]*mca.Agent, 2)
+	for i := range agents {
+		a, err := mca.NewAgent(mca.Config{ID: mca.AgentID(i), Items: 2, Base: []int64{1, 2}, Policy: pol})
+		if err != nil {
+			t.Fatal(err)
+		}
+		agents[i] = a
+	}
+	for name, s := range map[string]Scenario{
+		"prebuilt-agents": {Name: "x", Agents: agents, Graph: graph.Complete(2)},
+		"func-utility": {Name: "x", Graph: graph.Complete(2), AgentSpecs: []mca.Config{{
+			ID: 0, Items: 2, Base: []int64{1, 2},
+			Policy: mca.Policy{Target: 2, Utility: mca.FuncUtility{F: func([]int64, mca.ItemID, []mca.ItemID, mca.BidInfo) int64 { return 1 }}, Rebid: mca.RebidOnChange},
+		}}},
+		"custom-resolver": {Name: "x", Graph: graph.Complete(2), AgentSpecs: []mca.Config{{
+			ID: 0, Items: 2, Base: []int64{1, 2}, Resolver: mca.Resolve,
+			Policy: submodPolicy(2),
+		}}},
+	} {
+		t.Run(name, func(t *testing.T) {
+			if _, err := EncodeScenario(&s); err == nil {
+				t.Fatalf("encode accepted unserializable scenario %q", name)
+			}
+		})
+	}
+}
+
+func TestResultRoundTrip(t *testing.T) {
+	rec := trace.NewRecorder()
+	rec.ItemNames = []string{"A", "B"}
+	rec.Record(trace.Step{
+		Label: "deliver 1->0",
+		Agents: []trace.AgentSnapshot{
+			{ID: 0, Bids: []int64{10, 0}, Winner: []int{0, -1}, Bundle: []int{0}},
+			{ID: 1, Bids: []int64{10, 5}, Winner: []int{0, 1}, Bundle: []int{1}},
+		},
+	})
+	v := explore.Verdict{Violation: explore.ViolationOscillation, Trace: rec, States: 42, MaxDepth: 7, Exhausted: true}
+	results := map[string]Result{
+		"violated-with-trace": {
+			Index: 3, Scenario: "s", Engine: "explicit",
+			Status: StatusViolated, Violation: explore.ViolationOscillation,
+			Trace: rec, ExplicitVerdict: &v,
+			Stats: Stats{States: 42, MaxDepth: 7, Exhausted: true, Wall: 1500 * time.Microsecond},
+		},
+		"holds-sat": {
+			Index: -1, Scenario: "m", Engine: "sat-portfolio(4)",
+			Status: StatusHolds, SATStatus: sat.StatusUnsat,
+			Stats: Stats{PrimaryVars: 10, AuxVars: 20, Clauses: 99, TranslateTime: time.Millisecond, SolveTime: 2 * time.Millisecond},
+		},
+		"inconclusive-err": {
+			Index: 0, Scenario: "t", Engine: "simulation",
+			Status: StatusInconclusive, Err: errors.New("context deadline exceeded"),
+			Stats: Stats{Runs: 3, Converged: 2, Deliveries: 100, Dropped: 4},
+		},
+		"cached": {
+			Index: 1, Scenario: "c", Engine: "explicit", Status: StatusHolds, Cached: true,
+		},
+	}
+	for name, r := range results {
+		r := r
+		t.Run(name, func(t *testing.T) {
+			enc1, err := EncodeResult(&r)
+			if err != nil {
+				t.Fatalf("encode: %v", err)
+			}
+			r2, err := DecodeResult(enc1)
+			if err != nil {
+				t.Fatalf("decode: %v\n%s", err, enc1)
+			}
+			enc2, err := EncodeResult(&r2)
+			if err != nil {
+				t.Fatalf("re-encode: %v", err)
+			}
+			if !bytes.Equal(enc1, enc2) {
+				t.Fatalf("canonical re-encode differs:\n first: %s\nsecond: %s", enc1, enc2)
+			}
+			if r2.Status != r.Status || r2.Violation != r.Violation || r2.SATStatus != r.SATStatus ||
+				r2.Scenario != r.Scenario || r2.Engine != r.Engine || r2.Index != r.Index || r2.Cached != r.Cached {
+				t.Fatalf("fields differ: got %+v want %+v", r2, r)
+			}
+			if r2.Stats != r.Stats {
+				t.Fatalf("stats differ: got %+v want %+v", r2.Stats, r.Stats)
+			}
+			if (r2.Err == nil) != (r.Err == nil) {
+				t.Fatalf("err nilness differs")
+			}
+			if r.Err != nil && r2.Err.Error() != r.Err.Error() {
+				t.Fatalf("err = %q want %q", r2.Err, r.Err)
+			}
+			if (r2.Trace == nil) != (r.Trace == nil) {
+				t.Fatalf("trace nilness differs")
+			}
+			if r.Trace != nil && r2.Trace.String() != r.Trace.String() {
+				t.Fatalf("trace renders differently:\n%s\nvs\n%s", r2.Trace, r.Trace)
+			}
+			if (r2.ExplicitVerdict == nil) != (r.ExplicitVerdict == nil) {
+				t.Fatalf("explicit verdict nilness differs")
+			}
+			if r.ExplicitVerdict != nil {
+				got, want := *r2.ExplicitVerdict, *r.ExplicitVerdict
+				got.Trace, want.Trace = nil, nil
+				if got != want {
+					t.Fatalf("explicit verdict differs: got %+v want %+v", got, want)
+				}
+			}
+		})
+	}
+}
+
+func TestSummaryRoundTrip(t *testing.T) {
+	s := Summary{
+		Total: 10, Holds: 5, Violated: 3, Inconclusive: 1, Errors: 1, CacheHits: 4,
+		Violations: map[explore.ViolationKind]int{explore.ViolationOscillation: 2, explore.ViolationConflict: 1},
+		Scenarios:  []string{"a", "b", "c"},
+		Wall:       3 * time.Second,
+	}
+	data, err := EncodeSummary(&s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := DecodeSummary(data)
+	if err != nil {
+		t.Fatalf("decode: %v\n%s", err, data)
+	}
+	if !reflect.DeepEqual(s, s2) {
+		t.Fatalf("summary differs: got %+v want %+v", s2, s)
+	}
+}
+
+func TestCacheKey(t *testing.T) {
+	base := Scenario{Name: "one", AgentSpecs: specs(2, 2, submodPolicy(2)), Graph: graph.Complete(2)}
+	renamed := base
+	renamed.Name = "completely-different-label"
+	other := base
+	other.Explore.MaxStates = 77
+
+	k1, err := CacheKey(&base, Explicit{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := CacheKey(&renamed, Explicit{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 != k2 {
+		t.Fatalf("cache key depends on the display name: %s vs %s", k1, k2)
+	}
+	k3, err := CacheKey(&base, Explicit{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k3 == k1 {
+		t.Fatalf("cache key ignores the engine configuration")
+	}
+	k4, err := CacheKey(&other, Explicit{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k4 == k1 {
+		t.Fatalf("cache key ignores scenario content")
+	}
+	// Engine fields that never show up in Name() must still split the
+	// address: a 4-run and a 1024-run simulation are different evidence.
+	s4, err := CacheKey(&base, Simulation{Runs: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1024, err := CacheKey(&base, Simulation{Runs: 1024, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sSeed, err := CacheKey(&base, Simulation{Runs: 4, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s4 == s1024 || s4 == sSeed {
+		t.Fatalf("cache key ignores engine configuration beyond the name")
+	}
+	// Defaults are normalized: the zero Simulation runs 16 seeded
+	// executions, so it shares the explicit Runs:16 address.
+	sZero, err := CacheKey(&base, Simulation{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s16, err := CacheKey(&base, Simulation{Runs: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sZero != s16 {
+		t.Fatalf("defaulted Simulation{} and Simulation{Runs:16} get distinct keys")
+	}
+	// Auto resolves to its delegate, so auto-scheduled work shares
+	// entries with direct engine calls; nil means Auto.
+	kAuto, err := CacheKey(&base, Auto{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kNil, err := CacheKey(&base, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kAuto != k1 || kNil != k1 {
+		t.Fatalf("Auto/nil keys differ from the delegate's: auto=%s nil=%s explicit=%s", kAuto, kNil, k1)
+	}
+	if _, err := CacheKey(&Scenario{Agents: make([]*mca.Agent, 1)}, Explicit{}); err == nil {
+		t.Fatalf("cache key for an unencodable scenario should error")
+	}
+}
+
+// TestModelCodecRegistry exercises the registry plumbing with a local
+// fake; the real mca-model codec is covered in mcamodel's tests.
+func TestModelCodecRegistry(t *testing.T) {
+	RegisterModelCodec(ModelCodec{
+		Kind: "test-fake",
+		Encode: func(m RelationalModel) (json.RawMessage, bool, error) {
+			if _, ok := m.(stubModel); !ok {
+				return nil, false, nil
+			}
+			return json.RawMessage(`{"x":1}`), true, nil
+		},
+		Decode: func(spec json.RawMessage) (RelationalModel, error) {
+			return stubModel{}, nil
+		},
+	})
+	s := Scenario{Name: "m", Model: stubModel{}}
+	data, err := EncodeScenario(&s)
+	if err != nil {
+		t.Fatalf("encode with registered codec: %v", err)
+	}
+	s2, err := DecodeScenario(data)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if _, ok := s2.Model.(stubModel); !ok {
+		t.Fatalf("model decoded as %T", s2.Model)
+	}
+	if _, err := DecodeScenario([]byte(`{"version":1,"model":{"kind":"nobody-home","spec":{}}}`)); err == nil {
+		t.Fatalf("unknown model kind accepted")
+	}
+}
+
+// TestDecodeFaultsValidation: fault models that would be silently inert
+// or meaningless at run time are decode errors.
+func TestDecodeFaultsValidation(t *testing.T) {
+	const prefix = `{"version":1,"graph":{"nodes":3,"edges":[{"u":0,"v":1},{"u":1,"v":2}]},"faults":`
+	for name, faults := range map[string]string{
+		"drop-above-one":        `{"drop":1.5}`,
+		"negative-drop":         `{"drop":-0.1}`,
+		"negative-delay":        `{"delay":-2}`,
+		"negative-heal":         `{"partitions":[[0],[1]],"heal_after":-1}`,
+		"drop-edge-bad-prob":    `{"drop_edge":[{"from":0,"to":1,"drop":2}]}`,
+		"drop-edge-bad-node":    `{"drop_edge":[{"from":9,"to":0,"drop":0.5}]}`,
+		"delay-edge-bad-node":   `{"delay_edge":[{"from":0,"to":7,"delay":1}]}`,
+		"delay-edge-negative":   `{"delay_edge":[{"from":0,"to":1,"delay":-1}]}`,
+		"partition-bad-node":    `{"partitions":[[0,99]]}`,
+		"partition-negative-id": `{"partitions":[[-1]]}`,
+	} {
+		t.Run(name, func(t *testing.T) {
+			doc := prefix + faults + `}`
+			if _, err := DecodeScenario([]byte(doc)); err == nil {
+				t.Fatalf("accepted %s", doc)
+			}
+		})
+	}
+	// Valid boundary values still decode.
+	ok := prefix + `{"drop":1,"drop_edge":[{"from":2,"to":0}],"delay_edge":[{"from":0,"to":2,"delay":3}],"partitions":[[0],[1,2]],"heal_after":4}}`
+	if _, err := DecodeScenario([]byte(ok)); err != nil {
+		t.Fatalf("rejected valid faults: %v", err)
+	}
+}
+
+type stubModel struct{}
+
+func (stubModel) ModelName() string { return "stub" }
+func (stubModel) RelationalProblem() (*relalg.Bounds, relalg.Formula, relalg.Formula) {
+	panic("unused in codec tests")
+}

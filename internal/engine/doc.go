@@ -1,0 +1,39 @@
+// Package engine unifies every checker in the repository behind one
+// Scenario/Engine abstraction. The paper's contribution is checking one
+// MCA model many ways — Alloy-style explicit bounds, naive vs optimized
+// relational encodings, synchronous vs asynchronous networks — and this
+// package makes "one model, many checkers" a first-class production
+// workload:
+//
+//   - a Scenario is a plain value describing what to verify: the agents
+//     (as rebuildable configs), the agent graph, the network semantics
+//     and fault model, the property bounds, and optionally a bounded
+//     relational model for the SAT backends;
+//   - an Engine turns a Scenario into a unified Result under a
+//     context.Context (cancellation and deadlines are plumbed down to
+//     the DFS, the sharded frontier, and the SAT search loops). Three
+//     adapters cover the verification stack: Explicit (serial DFS or
+//     sharded parallel frontier), SAT (naive/optimized encoding ×
+//     serial/portfolio/cube solving), and Simulation (seeded randomized
+//     runs under network fault models the Alloy model cannot express);
+//   - a Runner streams Results from a worker pool over scenario sets,
+//     making policy sweeps, substrate sweeps, scale sweeps, and
+//     adversarial-network sweeps batch workloads with deterministic
+//     aggregation at any worker count.
+//
+// Scenarios are also first-class data. EncodeScenario/DecodeScenario
+// round-trip a Scenario through a canonical, versioned, strictly
+// validated JSON document (docs/SCENARIO_FORMAT.md); ExpandSweep turns
+// a sweep document — a base scenario plus axes of named variants — into
+// the cartesian scenario grid; EncodeResult/DecodeResult do the same
+// for Results. Canonical encoding gives every scenario a content
+// address (CacheKey), which RunnerOptions.Cache uses to skip
+// already-verified scenarios: repeated sweeps only pay for cells whose
+// content changed. internal/cache provides the standard ResultCache;
+// cmd/mcaserved serves the whole layer over HTTP.
+//
+// Determinism contract: a Result depends only on (Scenario, Engine
+// value) — never on worker counts, scheduling, or cache state. The
+// Runner's Summary depends only on the multiset of Results, and cached
+// results are byte-for-byte the results the engines produced.
+package engine

@@ -1,25 +1,3 @@
-// Package engine unifies every checker in the repository behind one
-// Scenario/Engine abstraction. The paper's contribution is checking one
-// MCA model many ways — Alloy-style explicit bounds, naive vs optimized
-// relational encodings, synchronous vs asynchronous networks — and this
-// package makes "one model, many checkers" a first-class production
-// workload:
-//
-//   - a Scenario is a plain value describing what to verify: the agents
-//     (as rebuildable configs), the agent graph, the network semantics
-//     and fault model, the property bounds, and optionally a bounded
-//     relational model for the SAT backends;
-//   - an Engine turns a Scenario into a unified Result under a
-//     context.Context (cancellation and deadlines are plumbed down to
-//     the DFS, the sharded frontier, and the SAT search loops). Three
-//     adapters cover the verification stack: Explicit (serial DFS or
-//     sharded parallel frontier), SAT (naive/optimized encoding ×
-//     serial/portfolio/cube solving), and Simulation (seeded randomized
-//     runs under network fault models the Alloy model cannot express);
-//   - a Runner streams Results from a worker pool over scenario sets,
-//     making policy sweeps, substrate sweeps, scale sweeps, and
-//     adversarial-network sweeps batch workloads with deterministic
-//     aggregation at any worker count.
 package engine
 
 import (
@@ -180,6 +158,9 @@ type Result struct {
 	// ExplicitVerdict preserves the full explicit-state verdict for
 	// compatibility wrappers; nil for other engines.
 	ExplicitVerdict *explore.Verdict
+	// Cached marks a result served from a Runner's result cache instead
+	// of a fresh Verify call.
+	Cached bool
 	// Stats are the effort counters.
 	Stats Stats
 	// Err reports scenario/engine mismatches and cancellation causes.

@@ -21,6 +21,23 @@ type RunnerOptions struct {
 	Engine Engine
 	// EngineFor, when non-nil, overrides Engine per scenario.
 	EngineFor func(Scenario) Engine
+	// Cache, when non-nil, short-circuits scenarios whose content
+	// address (CacheKey of the canonical scenario encoding plus the
+	// engine name) already has a conclusive result: the cached Result is
+	// returned with Cached set instead of re-verifying. Fresh conclusive
+	// results (holds/violated) are stored back; inconclusive and error
+	// results are never cached, and scenarios the codec cannot encode
+	// simply bypass the cache.
+	Cache ResultCache
+}
+
+// ResultCache is the Runner's pluggable verification cache, keyed by
+// content address. internal/cache provides the standard implementation
+// (in-memory LRU with optional on-disk persistence). Implementations
+// must be safe for concurrent use by the worker pool.
+type ResultCache interface {
+	Get(key string) (Result, bool)
+	Put(key string, res Result)
 }
 
 func (o RunnerOptions) withDefaults() RunnerOptions {
@@ -72,15 +89,7 @@ func (r *Runner) Stream(ctx context.Context, scenarios []Scenario) <-chan Result
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				s := scenarios[i]
-				var res Result
-				if ctx.Err() != nil {
-					// The batch was cancelled before this scenario started:
-					// report it inconclusive instead of running it.
-					res = Result{Scenario: s.Name, Engine: "runner", Status: StatusInconclusive, Err: ctx.Err()}
-				} else {
-					res = r.opts.engineFor(s).Verify(ctx, s)
-				}
+				res := r.runOne(ctx, scenarios[i])
 				res.Index = i
 				out <- res
 			}
@@ -95,6 +104,17 @@ func (r *Runner) Stream(ctx context.Context, scenarios []Scenario) <-chan Result
 		close(out)
 	}()
 	return out
+}
+
+// runOne verifies a single scenario, consulting the result cache when
+// one is configured.
+func (r *Runner) runOne(ctx context.Context, s Scenario) Result {
+	if ctx.Err() != nil {
+		// The batch was cancelled before this scenario started:
+		// report it inconclusive instead of running it.
+		return Result{Scenario: s.Name, Engine: "runner", Status: StatusInconclusive, Err: ctx.Err()}
+	}
+	return VerifyCached(ctx, r.opts.engineFor(s), s, r.opts.Cache)
 }
 
 // Run verifies the scenarios and returns the results indexed by
@@ -118,6 +138,8 @@ type Summary struct {
 	Violated     int
 	Inconclusive int
 	Errors       int
+	// CacheHits counts results served from the Runner's result cache.
+	CacheHits int
 	// Violations counts dynamic counterexamples by kind.
 	Violations map[explore.ViolationKind]int
 	// Scenarios lists the names of violated scenarios, sorted.
@@ -131,6 +153,9 @@ type Summary struct {
 func Summarize(results []Result) Summary {
 	sum := Summary{Total: len(results), Violations: make(map[explore.ViolationKind]int)}
 	for _, res := range results {
+		if res.Cached {
+			sum.CacheHits++
+		}
 		switch res.Status {
 		case StatusHolds:
 			sum.Holds++

@@ -1,0 +1,170 @@
+package engine_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/engine"
+	"repro/internal/explore"
+	"repro/internal/graph"
+	"repro/internal/mca"
+	"repro/internal/netsim"
+)
+
+// cachedSweepScenarios builds 120 content-distinct scenarios that all
+// reach a conclusive verdict quickly: explicit checks over varying
+// valuations and policies, with a simulation tier under message loss.
+// Conclusive verdicts are what the cache stores, so a fully conclusive
+// sweep makes the warm pass a pure cache workload.
+func cachedSweepScenarios() []engine.Scenario {
+	utilities := []struct {
+		u       mca.Utility
+		release bool
+	}{
+		{mca.SubmodularResidual{}, true},
+		{mca.NonSubmodularSynergy{}, true}, // Result 1: violates
+		{mca.NonSubmodularSynergy{}, false},
+		{mca.FlatUtility{}, false},
+	}
+	out := make([]engine.Scenario, 0, 120)
+	for i := 0; len(out) < 120; i++ {
+		c := utilities[i%len(utilities)]
+		pol := mca.Policy{Target: 2, Utility: c.u, ReleaseOutbid: c.release, Rebid: mca.RebidOnChange}
+		// Distinct valuations per scenario: the cache is
+		// content-addressed, so identical cells would collide.
+		base0 := []int64{int64(10 + i%11), int64(15 + i%13)}
+		base1 := []int64{int64(15 + i%13), int64(10 + i%11)}
+		s := engine.Scenario{
+			Name: fmt.Sprintf("cached-sweep-%d", i),
+			AgentSpecs: []mca.Config{
+				{ID: 0, Items: 2, Base: base0, Policy: pol},
+				{ID: 1, Items: 2, Base: base1, Policy: pol},
+			},
+			Graph: graph.Complete(2),
+		}
+		if i%5 == 4 {
+			// Simulation tier: sampled verdicts are always conclusive.
+			s.Faults = netsim.Faults{Drop: 0.2, Delay: i % 3}
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// TestRunnerCachedSweep repeats a 100+-scenario sweep through a cached
+// Runner: the second pass must be served from the cache (every
+// conclusive verdict a hit), report identical verdicts, and finish
+// measurably faster than the cold pass.
+func TestRunnerCachedSweep(t *testing.T) {
+	scenarios := cachedSweepScenarios()
+	c, err := cache.New(cache.Options{Capacity: 4 * len(scenarios)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := engine.NewRunner(engine.RunnerOptions{Workers: 4, Cache: c})
+
+	cold, coldSum := r.Run(context.Background(), scenarios)
+	if coldSum.Total != len(scenarios) || coldSum.Errors != 0 || coldSum.Inconclusive != 0 {
+		t.Fatalf("cold sweep broken: %+v", coldSum)
+	}
+	if coldSum.CacheHits != 0 {
+		t.Fatalf("cold pass reported %d cache hits", coldSum.CacheHits)
+	}
+
+	warm, warmSum := r.Run(context.Background(), scenarios)
+	conclusive := coldSum.Holds + coldSum.Violated
+	if conclusive < 100 {
+		t.Fatalf("sweep too small to be meaningful: %d conclusive scenarios", conclusive)
+	}
+	if warmSum.CacheHits != conclusive {
+		t.Fatalf("warm pass: %d cache hits, want %d (every conclusive cold verdict)", warmSum.CacheHits, conclusive)
+	}
+	st := c.Stats()
+	if st.Hits != uint64(conclusive) || st.Puts != uint64(conclusive) {
+		t.Fatalf("cache stats %+v, want %d hits and %d puts", st, conclusive, conclusive)
+	}
+
+	// Verdicts are identical; only the Cached flag and wall time differ.
+	for i := range cold {
+		cr, wr := cold[i], warm[i]
+		if cr.Status != wr.Status || cr.Violation != wr.Violation || cr.Scenario != wr.Scenario {
+			t.Fatalf("scenario %d verdict changed: cold %v/%v, warm %v/%v", i, cr.Status, cr.Violation, wr.Status, wr.Violation)
+		}
+		conclusiveRes := cr.Status == engine.StatusHolds || cr.Status == engine.StatusViolated
+		if wr.Cached != conclusiveRes {
+			t.Fatalf("scenario %d (%s, %v): cached=%v", i, wr.Scenario, wr.Status, wr.Cached)
+		}
+	}
+
+	// The warm pass skips every verification, so it must beat the cold
+	// pass outright. The margin is enormous in practice (micro- vs
+	// hundreds of milliseconds); asserting a 2x floor keeps the test
+	// robust on noisy machines.
+	if warmSum.Wall*2 >= coldSum.Wall {
+		t.Fatalf("warm pass not measurably faster: cold %v, warm %v", coldSum.Wall, warmSum.Wall)
+	}
+}
+
+// TestRunnerCacheSkipsInconclusive: a scenario that exhausts its budget
+// is inconclusive and must not be cached — a later run with the same
+// content gets a fresh chance.
+func TestRunnerCacheSkipsInconclusive(t *testing.T) {
+	pol := mca.Policy{Target: 2, Utility: mca.SubmodularResidual{}, ReleaseOutbid: true, Rebid: mca.RebidOnChange}
+	s := engine.Scenario{
+		Name: "tiny-budget",
+		AgentSpecs: []mca.Config{
+			{ID: 0, Items: 2, Base: []int64{10, 15}, Policy: pol},
+			{ID: 1, Items: 2, Base: []int64{15, 10}, Policy: pol},
+		},
+		Graph:   graph.Complete(2),
+		Explore: explore.Options{MaxStates: 2},
+	}
+	c, err := cache.New(cache.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := engine.NewRunner(engine.RunnerOptions{Workers: 1, Cache: c})
+	for pass := 0; pass < 2; pass++ {
+		results, sum := r.Run(context.Background(), []engine.Scenario{s})
+		if results[0].Status != engine.StatusInconclusive {
+			t.Fatalf("pass %d: %v", pass, results[0].Status)
+		}
+		if sum.CacheHits != 0 || results[0].Cached {
+			t.Fatalf("pass %d: inconclusive result served from cache", pass)
+		}
+	}
+	if c.Len() != 0 {
+		t.Fatalf("inconclusive result stored: %d entries", c.Len())
+	}
+}
+
+// TestRunnerCacheBypassesUnencodable: scenarios the codec cannot
+// address (pre-built agents) run normally, just without caching.
+func TestRunnerCacheBypassesUnencodable(t *testing.T) {
+	pol := mca.Policy{Target: 2, Utility: mca.SubmodularResidual{}, ReleaseOutbid: true, Rebid: mca.RebidOnChange}
+	agents := make([]*mca.Agent, 2)
+	for i := range agents {
+		a, err := mca.NewAgent(mca.Config{ID: mca.AgentID(i), Items: 2, Base: []int64{10, 15}, Policy: pol})
+		if err != nil {
+			t.Fatal(err)
+		}
+		agents[i] = a
+	}
+	s := engine.Scenario{Name: "prebuilt", Agents: agents, Graph: graph.Complete(2)}
+	c, err := cache.New(cache.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := engine.NewRunner(engine.RunnerOptions{Workers: 1, Cache: c})
+	for pass := 0; pass < 2; pass++ {
+		results, sum := r.Run(context.Background(), []engine.Scenario{s})
+		if results[0].Status != engine.StatusHolds || results[0].Cached || sum.CacheHits != 0 {
+			t.Fatalf("pass %d: %+v (sum %+v)", pass, results[0], sum)
+		}
+	}
+	if c.Len() != 0 {
+		t.Fatalf("unencodable scenario cached: %d entries", c.Len())
+	}
+}

@@ -1,0 +1,218 @@
+package engine
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// A sweep file describes a parameter grid of scenarios as data: one
+// base scenario plus a list of axes, each axis a list of named
+// variants. Expansion takes the cartesian product of the axes (sizes ×
+// faults × modes × ...) and applies each combination of variants to the
+// base, producing one scenario per grid cell.
+//
+// A variant's "scenario" member is a partial scenario document applied
+// as a JSON merge patch: objects merge field-wise into the base
+// (setting "explore": {"max_states": 1000} keeps the base's other
+// explore fields), arrays and scalars replace the base value wholesale
+// (setting "agents" replaces the whole agent list), and an explicit
+// null deletes the base value (setting "faults": null removes the
+// base's fault model). Variants are applied in axis order, later axes
+// over earlier ones.
+//
+// Cell scenarios are named deterministically as
+// "<base>/<variant>/<variant>/..." (the sweep name stands in when the
+// base scenario is unnamed); any "name" or "version" inside a variant
+// patch is rejected.
+
+// MaxSweepScenarios caps a sweep expansion; a grid larger than this is
+// almost certainly a mistake and would stall the service.
+const MaxSweepScenarios = 100000
+
+type sweepJSON struct {
+	Version int             `json:"version"`
+	Name    string          `json:"name,omitempty"`
+	Base    json.RawMessage `json:"base"`
+	Axes    []sweepAxisJSON `json:"axes,omitempty"`
+}
+
+type sweepAxisJSON struct {
+	Axis     string             `json:"axis"`
+	Variants []sweepVariantJSON `json:"variants"`
+}
+
+type sweepVariantJSON struct {
+	Name     string          `json:"name"`
+	Scenario json.RawMessage `json:"scenario"`
+}
+
+// ExpandSweep parses a sweep document and expands its parameter grid
+// into the full scenario set, in deterministic order (the last axis
+// varies fastest). The decode is strict, like DecodeScenario.
+func ExpandSweep(data []byte) ([]Scenario, error) {
+	var doc sweepJSON
+	if err := strictUnmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("engine: sweep: %w", err)
+	}
+	if doc.Version != SchemaVersion {
+		return nil, fmt.Errorf("engine: sweep: unsupported schema version %d (want %d)", doc.Version, SchemaVersion)
+	}
+	if len(doc.Base) == 0 {
+		return nil, fmt.Errorf("engine: sweep %q: missing base scenario", doc.Name)
+	}
+	// Validate the base on its own before expanding: a broken base
+	// should fail once with a clear message, not N times per cell. The
+	// base carries no version field; the document's version governs.
+	var baseCheck scenarioJSON
+	if err := strictUnmarshal(doc.Base, &baseCheck); err != nil {
+		return nil, fmt.Errorf("engine: sweep %q: base scenario: %w", doc.Name, err)
+	}
+	if baseCheck.Version != 0 {
+		return nil, fmt.Errorf("engine: sweep %q: base scenario must not carry its own version (the sweep version governs)", doc.Name)
+	}
+	baseTree, err := decodeTree(doc.Base)
+	if err != nil {
+		return nil, fmt.Errorf("engine: sweep %q: base scenario: %w", doc.Name, err)
+	}
+
+	total := 1
+	patchTrees := make([][]any, len(doc.Axes))
+	for ai, ax := range doc.Axes {
+		if ax.Axis == "" {
+			return nil, fmt.Errorf("engine: sweep %q: axis without a name", doc.Name)
+		}
+		if len(ax.Variants) == 0 {
+			return nil, fmt.Errorf("engine: sweep %q: axis %q has no variants", doc.Name, ax.Axis)
+		}
+		seen := map[string]bool{}
+		patchTrees[ai] = make([]any, len(ax.Variants))
+		for vi, v := range ax.Variants {
+			if v.Name == "" {
+				return nil, fmt.Errorf("engine: sweep %q: axis %q has an unnamed variant", doc.Name, ax.Axis)
+			}
+			if seen[v.Name] {
+				return nil, fmt.Errorf("engine: sweep %q: axis %q has duplicate variant %q", doc.Name, ax.Axis, v.Name)
+			}
+			seen[v.Name] = true
+			tree, err := validatePatch(v.Scenario)
+			if err != nil {
+				return nil, fmt.Errorf("engine: sweep %q: axis %q variant %q: %w", doc.Name, ax.Axis, v.Name, err)
+			}
+			patchTrees[ai][vi] = tree
+		}
+		if total > MaxSweepScenarios/len(ax.Variants) {
+			return nil, fmt.Errorf("engine: sweep %q: grid exceeds %d scenarios", doc.Name, MaxSweepScenarios)
+		}
+		total *= len(ax.Variants)
+	}
+
+	baseName := baseCheck.Name
+	if baseName == "" {
+		baseName = doc.Name
+	}
+
+	scenarios := make([]Scenario, 0, total)
+	pick := make([]int, len(doc.Axes)) // odometer over the axes
+	for {
+		tree := baseTree
+		nameParts := []string{baseName}
+		for ai, vi := range pick {
+			tree = mergeTrees(tree, patchTrees[ai][vi])
+			nameParts = append(nameParts, doc.Axes[ai].Variants[vi].Name)
+		}
+		cellName := strings.Join(nameParts, "/")
+		merged, err := json.Marshal(tree)
+		if err != nil {
+			return nil, fmt.Errorf("engine: sweep %q cell %q: %w", doc.Name, cellName, err)
+		}
+		var w scenarioJSON
+		if err := strictUnmarshal(merged, &w); err != nil {
+			return nil, fmt.Errorf("engine: sweep %q cell %q: %w", doc.Name, cellName, err)
+		}
+		w.Version = SchemaVersion
+		w.Name = cellName
+		s, err := scenarioFromWire(&w)
+		if err != nil {
+			return nil, fmt.Errorf("engine: sweep %q cell %q: %w", doc.Name, cellName, err)
+		}
+		scenarios = append(scenarios, s)
+
+		// Advance the odometer, last axis fastest.
+		i := len(pick) - 1
+		for ; i >= 0; i-- {
+			pick[i]++
+			if pick[i] < len(doc.Axes[i].Variants) {
+				break
+			}
+			pick[i] = 0
+		}
+		if i < 0 {
+			break
+		}
+	}
+	return scenarios, nil
+}
+
+// validatePatch strict-checks one variant patch in isolation — unknown
+// fields and type mismatches fail here, attributed to their variant —
+// and returns its decoded tree for merging.
+func validatePatch(raw json.RawMessage) (any, error) {
+	if len(raw) == 0 {
+		return map[string]any{}, nil
+	}
+	var check scenarioJSON
+	if err := strictUnmarshal(raw, &check); err != nil {
+		return nil, err
+	}
+	if check.Version != 0 {
+		return nil, fmt.Errorf("patch must not set version")
+	}
+	if check.Name != "" {
+		return nil, fmt.Errorf("patch must not set name (cell names are generated)")
+	}
+	return decodeTree(raw)
+}
+
+// decodeTree parses JSON into the generic map/slice representation used
+// for merging, with json.Number preserving integer precision and the
+// original numeric formatting.
+func decodeTree(raw []byte) (any, error) {
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.UseNumber()
+	var tree any
+	if err := dec.Decode(&tree); err != nil {
+		return nil, err
+	}
+	return tree, nil
+}
+
+// mergeTrees applies patch to base, JSON-merge-patch style: two objects
+// merge key-wise (a null patch value deletes the key), anything else
+// replaces base outright. Inputs are never mutated — merged levels are
+// fresh maps — so one base tree is safely shared across every grid
+// cell.
+func mergeTrees(base, patch any) any {
+	bm, bok := base.(map[string]any)
+	pm, pok := patch.(map[string]any)
+	if !bok || !pok {
+		return patch
+	}
+	out := make(map[string]any, len(bm)+len(pm))
+	for k, v := range bm {
+		out[k] = v
+	}
+	for k, v := range pm {
+		if v == nil {
+			delete(out, k)
+			continue
+		}
+		if cur, ok := out[k]; ok {
+			out[k] = mergeTrees(cur, v)
+		} else {
+			out[k] = v
+		}
+	}
+	return out
+}

@@ -1,0 +1,34 @@
+// Package explore is the explicit-state bounded model checker for MCA
+// dynamics. It plays the role of the Alloy Analyzer over the paper's
+// dynamic sub-model: the transition system whose states are the agents'
+// views plus the buffer of in-transit bid messages, and whose
+// transitions process one message at a time in any order (the
+// stateTransition fact). The checker exhaustively enumerates delivery
+// interleavings, quotients states by order-preserving relabeling of
+// logical clocks, and reports one of:
+//
+//   - OK: every reachable execution reaches max-consensus (agreement on
+//     winners and winning bids, conflict-free bundles) within the bound;
+//   - an oscillation counterexample: a reachable cycle of states with
+//     messages still flowing (the Fig. 2 instability);
+//   - a bound violation: a path processing more than the D·|J|-derived
+//     message budget without reaching consensus (the paper's consensus
+//     assertion with its val parameter);
+//   - a disagreement/conflict violation at quiescence.
+//
+// Key entry points: Check (serial DFS with queue capture/rollback and
+// replay-built counterexample traces), CheckParallel (sharded
+// level-synchronous parallel frontier with a hash-partitioned seen-set
+// and SCC-based oscillation detection), Options (the val bound, state
+// budget, queue depth, duplicate-delivery fault injection, and the
+// cooperative Cancel hook the engine layer drives from contexts), and
+// PolicySweep (the Result 1 policy matrix).
+//
+// Determinism: both checkers are deterministic in (agents, graph,
+// Options); CheckParallel additionally returns the same verdict and the
+// same counterexample trace at every worker count — parallelism changes
+// wall-clock only. The one caveat is budget-truncated runs: when the
+// state budget is exhausted, which states were visited first is
+// algorithm-dependent, so Check and CheckParallel are kept as distinct
+// backends rather than silently substituted for each other.
+package explore

@@ -1,20 +1,3 @@
-// Package explore is the explicit-state bounded model checker for MCA
-// dynamics. It plays the role of the Alloy Analyzer over the paper's
-// dynamic sub-model: the transition system whose states are the agents'
-// views plus the buffer of in-transit bid messages, and whose
-// transitions process one message at a time in any order (the
-// stateTransition fact). The checker exhaustively enumerates delivery
-// interleavings, quotients states by order-preserving relabeling of
-// logical clocks, and reports one of:
-//
-//   - OK: every reachable execution reaches max-consensus (agreement on
-//     winners and winning bids, conflict-free bundles) within the bound;
-//   - an oscillation counterexample: a reachable cycle of states with
-//     messages still flowing (the Fig. 2 instability);
-//   - a bound violation: a path processing more than the D·|J|-derived
-//     message budget without reaching consensus (the paper's consensus
-//     assertion with its val parameter);
-//   - a disagreement/conflict violation at quiescence.
 package explore
 
 import (

@@ -1,0 +1,19 @@
+// Package graph provides the graph substrate used by the MCA protocol
+// (networks of bidding agents) and the virtual network mapping case study
+// (physical and virtual topologies).
+//
+// Graphs are simple (no self loops, no parallel edges), optionally
+// weighted, and identified by dense integer node IDs in [0, N). Graph is
+// the one mutable type; Line, Ring, Star, Complete, RandomConnected, and
+// Build construct the standard agent topologies (seeded, so random
+// topologies are reproducible), and the path layer adds BFS distances,
+// Diameter, Dijkstra shortest paths, Yen's k-shortest paths, and simple
+// path enumeration for the link-mapping case study.
+//
+// Determinism: Edges returns edges sorted by (U, V) and Neighbors
+// returns sorted node lists, so iteration order — and everything
+// derived from it, such as the scenario codec's canonical encoding —
+// never depends on map ordering. Graphs are not safe for concurrent
+// mutation; the verification layers treat them as immutable after
+// construction and share them freely across goroutines.
+package graph

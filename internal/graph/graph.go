@@ -1,9 +1,3 @@
-// Package graph provides the graph substrate used by the MCA protocol
-// (networks of bidding agents) and the virtual network mapping case study
-// (physical and virtual topologies).
-//
-// Graphs are simple (no self loops, no parallel edges), optionally
-// weighted, and identified by dense integer node IDs in [0, N).
 package graph
 
 import (

@@ -1,23 +1,3 @@
-// Package mca implements the Max-Consensus Auction protocol — the common
-// core of consensus-based auction algorithms (CBBA-style task allocation,
-// distributed virtual network embedding, distributed economic dispatch)
-// that the paper extracts and names MCA.
-//
-// The protocol has two mechanisms:
-//
-//   - a bidding mechanism, where each agent greedily adds items to its
-//     bundle, bidding its (policy-defined, possibly sub-modular) marginal
-//     utility whenever that beats the highest bid it currently knows; and
-//   - an agreement (max-consensus) mechanism, where agents exchange their
-//     bid views with first-hop neighbors and resolve conflicts with an
-//     asynchronous decision table keyed on who each side believes the
-//     winner is, with bid-generation timestamps for out-of-order delivery.
-//
-// Both mechanisms are invariant; their variant aspects — the utility
-// function (p_u), the release-outbid rule (p_RO), the rebid rule
-// (Remark 1), and the target bundle size (p_T) — are Policy fields, so
-// verification harnesses can sweep policy combinations exactly as the
-// paper's Alloy model does.
 package mca
 
 import "fmt"

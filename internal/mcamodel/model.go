@@ -1,23 +1,3 @@
-// Package mcamodel encodes the paper's Alloy model of the Max-Consensus
-// Auction — applied to the virtual network mapping problem — on the
-// relational kernel, in the two variants Section IV compares:
-//
-//   - the Naive encoding uses wide relations (the ternary initBids /
-//     msgBids relations and quaternary state-indexed bid and winner
-//     relations) together with an explicit integer-order relation, the
-//     way the paper's first model used Alloy ternary relations and Int;
-//   - the Optimized encoding factors every wide relation through
-//     bidTriple and bidVector atoms connected by binary fields, and
-//     replaces integers with a value signature ordered by a succ chain —
-//     the abstractions the paper introduced to shrink the SAT translation
-//     from ≈259K to ≈190K clauses at scope (3 pnodes, 2 vnodes).
-//
-// Both encodings express the same bounded-trace semantics: an initial
-// bidding state, one bid message processed per transition (the
-// stateTransition fact), a max-bid update rule at the receiver with
-// frame conditions, and the consensus predicate over the final state.
-// Experiment E5 builds both at the same scope and compares clause
-// counts and translation/solve times.
 package mcamodel
 
 import (

@@ -1,0 +1,24 @@
+// Package netsim simulates the asynchronous message network between MCA
+// agents: one logical channel per directed edge of the agent graph,
+// holding unprocessed bid messages in transit. It corresponds to the
+// buffMsgs relation of the paper's netState signature.
+//
+// Two layers use it: the randomized asynchronous runner here (RunAsync
+// and RunAsyncWith — seeded, for simulation experiments), and the
+// exhaustive interleaving explorer in internal/explore (which drives
+// Network directly, snapshotting and rolling back channel queues).
+//
+// Faults models the adversarial networks the paper's Alloy model cannot
+// express: global and per-edge message drop probabilities, fixed and
+// per-edge delivery delays, and network partitions that may heal at a
+// tick. Permanent partitions are purely structural
+// (StaticPartitionOnly), which is why the exhaustive engines can check
+// them exactly on the partition-masked graph, while probabilistic and
+// timed faults belong to the seeded simulation.
+//
+// Determinism: RunAsyncWith is deterministic in (agents, graph,
+// AsyncConfig) — the delivery schedule and every fault coin flip derive
+// from the seed — so simulation verdicts are reproducible and
+// cacheable. A Network value is single-goroutine state; checkers that
+// parallelize keep one replica per worker.
+package netsim

@@ -1,11 +1,3 @@
-// Package netsim simulates the asynchronous message network between MCA
-// agents: one logical channel per directed edge of the agent graph,
-// holding the latest unprocessed bid message in transit. It corresponds
-// to the buffMsgs relation of the paper's netState signature.
-//
-// Two layers use it: the randomized asynchronous runner here (seeded,
-// for simulation experiments), and the exhaustive interleaving explorer
-// in internal/explore (for verification).
 package netsim
 
 import (

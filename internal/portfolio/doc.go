@@ -1,0 +1,24 @@
+// Package portfolio is the parallel verification engine: it decides CNF
+// satisfiability with many cooperating sat.Solver instances instead of
+// one. Two strategies are provided, selectable per call:
+//
+//   - a SAT portfolio — N solvers with diversified heuristics (phase
+//     defaults, restart cadence, random polarity perturbation) race on
+//     the same formula; the first definitive answer wins and the losers
+//     are stopped through the solver's cooperative cancel check;
+//   - cube-and-conquer — the formula is split on k heuristically chosen
+//     branching variables into 2^k cubes (assumption sets) that workers
+//     solve concurrently and incrementally; one satisfiable cube ends
+//     the race, and the formula is unsatisfiable exactly when every
+//     cube is refuted.
+//
+// Both strategies are deterministic in their *answers* (they agree with
+// a sequential solve; models are verified satisfying assignments) while
+// leaving the wall-clock schedule free. Member 0 of a portfolio always
+// runs the reference configuration, so a race never loses to a single
+// solver by more than scheduling noise. Options.Cancel propagates
+// external cancellation (deadlines, sibling results) into every member.
+// Everything above the SAT layer — relalg.Solve's Parallel option, the
+// mcamodel experiment harness, cmd/satsolve, the engine layer's SAT
+// adapter — funnels through this package.
+package portfolio

@@ -1,22 +1,3 @@
-// Package portfolio is the parallel verification engine: it decides CNF
-// satisfiability with many cooperating sat.Solver instances instead of
-// one. Two strategies are provided, selectable per call:
-//
-//   - a SAT portfolio — N solvers with diversified heuristics (phase
-//     defaults, restart cadence, random polarity perturbation) race on
-//     the same formula; the first definitive answer wins and the losers
-//     are stopped through the solver's cooperative cancel check;
-//   - cube-and-conquer — the formula is split on k heuristically chosen
-//     branching variables into 2^k cubes (assumption sets) that workers
-//     solve concurrently and incrementally; one satisfiable cube ends
-//     the race, and the formula is unsatisfiable exactly when every
-//     cube is refuted.
-//
-// Both strategies are deterministic in their *answers* (they agree with
-// a sequential solve; models are verified satisfying assignments) while
-// leaving the wall-clock schedule free. Everything above the SAT layer
-// — relalg.Solve's Parallel option, the mcamodel experiment harness,
-// cmd/satsolve — funnels through this package.
 package portfolio
 
 import (

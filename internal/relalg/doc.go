@@ -1,0 +1,25 @@
+// Package relalg implements a bounded relational logic kernel in the
+// style of Kodkod, the model-finding engine underneath the Alloy
+// Analyzer. A problem consists of a finite universe of atoms, relations
+// with lower/upper tuple-set bounds, and a first-order relational
+// formula. The kernel translates the formula into a boolean circuit over
+// one variable per undetermined tuple, converts the circuit to CNF via
+// Tseitin encoding, and delegates satisfiability to internal/sat.
+//
+// The paper's Alloy model (signatures, facts, predicates, assertions)
+// compiles onto this kernel through internal/spec.
+//
+// Key entry points: Universe/Bounds/Relation (the bounded vocabulary),
+// the Formula and Expr constructors (And, Or, Not, Forall, Exists,
+// Join, Product, In, ...), Problem and Solve (with TranslateOnly and
+// TranslateToCNF for measurement and export), symmetry breaking over
+// atom interchangeability classes, and Instance for reading models back.
+// Problem.Parallel routes solving through the portfolio engine
+// (portfolio race or cube-and-conquer); Problem.Cancel is the
+// cooperative cancellation hook the engine layer drives from contexts.
+//
+// Determinism: translation is deterministic in (bounds, formula) —
+// variable numbering, Tseitin auxiliaries, and clause order are
+// reproducible — and solve answers are deterministic in the problem
+// (parallel solving changes wall-clock, never the verdict).
+package relalg

@@ -1,13 +1,3 @@
-// Package relalg implements a bounded relational logic kernel in the
-// style of Kodkod, the model-finding engine underneath the Alloy
-// Analyzer. A problem consists of a finite universe of atoms, relations
-// with lower/upper tuple-set bounds, and a first-order relational
-// formula. The kernel translates the formula into a boolean circuit over
-// one variable per undetermined tuple, converts the circuit to CNF via
-// Tseitin encoding, and delegates satisfiability to internal/sat.
-//
-// The paper's Alloy model (signatures, facts, predicates, assertions)
-// compiles onto this kernel through internal/spec.
 package relalg
 
 import (

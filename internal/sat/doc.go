@@ -1,0 +1,24 @@
+// Package sat implements a complete CDCL boolean satisfiability solver.
+//
+// It is the bottom layer of the verification stack: the relational logic
+// kernel (internal/relalg) translates bounded first-order relational
+// formulas into CNF exactly the way the Alloy Analyzer's Kodkod engine
+// does, and this solver plays the role of MiniSat. The implementation
+// uses the standard modern toolkit: two-watched-literal propagation,
+// VSIDS branching with phase saving, first-UIP conflict analysis with
+// recursive clause minimization, Luby restarts, and learnt-clause
+// database reduction.
+//
+// Key types: Solver (NewVar/AddClause/Solve/Value, incremental across
+// Solve calls so blocking clauses support model enumeration), Options
+// (heuristic ablations plus the diversification knobs the portfolio
+// engine uses: phase inversion, restart base, seeded random polarity),
+// Status (SAT/UNSAT/Unknown), DIMACS I/O, and a brute-force oracle for
+// differential testing.
+//
+// Determinism and concurrency: a solve is fully deterministic in
+// (clauses, Options) — RandSeed seeds a deterministic stream, so equal
+// inputs replay the same search. A Solver is single-goroutine; parallel
+// solving is the portfolio package's job, which runs one Solver per
+// worker and stops losers through Options' cooperative cancel check.
+package sat

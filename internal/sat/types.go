@@ -1,13 +1,3 @@
-// Package sat implements a complete CDCL boolean satisfiability solver.
-//
-// It is the bottom layer of the verification stack: the relational logic
-// kernel (internal/relalg) translates bounded first-order relational
-// formulas into CNF exactly the way the Alloy Analyzer's Kodkod engine
-// does, and this solver plays the role of MiniSat. The implementation
-// uses the standard modern toolkit: two-watched-literal propagation,
-// VSIDS branching with phase saving, first-UIP conflict analysis with
-// recursive clause minimization, Luby restarts, and learnt-clause
-// database reduction.
 package sat
 
 import "fmt"

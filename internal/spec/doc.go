@@ -1,0 +1,14 @@
+// Package spec provides an Alloy-flavoured modeling surface on top of
+// the relational kernel (internal/relalg): signatures with multiplicity-
+// annotated fields, facts, predicates, assertions, and the run/check
+// commands with per-signature scopes. A Model corresponds to an Alloy
+// module; Check corresponds to "check <assert> for <scope>" and Run to
+// "run <pred> for <scope>". Scopes generate the atom universe and the
+// relation bounds exactly the way the Alloy Analyzer does before handing
+// the problem to Kodkod.
+//
+// The package exists so models can be written at the paper's level of
+// abstraction (sig/fact/assert) rather than raw bounds; results are
+// deterministic in (model, scope) because the generated universes and
+// bounds are constructed in declaration order, never map order.
+package spec

@@ -1,11 +1,3 @@
-// Package spec provides an Alloy-flavoured modeling surface on top of
-// the relational kernel (internal/relalg): signatures with multiplicity-
-// annotated fields, facts, predicates, assertions, and the run/check
-// commands with per-signature scopes. A Model corresponds to an Alloy
-// module; Check corresponds to "check <assert> for <scope>" and Run to
-// "run <pred> for <scope>". Scopes generate the atom universe and the
-// relation bounds exactly the way the Alloy Analyzer does before handing
-// the problem to Kodkod.
 package spec
 
 import (

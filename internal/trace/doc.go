@@ -1,0 +1,13 @@
+// Package trace records protocol executions and renders them as the
+// iteration tables the paper uses in Fig. 1 and Fig. 2: per-agent bid
+// vectors, bundles, and winner assignments over time. The explicit-state
+// model checker attaches a recorder to counterexample paths so a failed
+// convergence check prints a human-readable oscillation trace.
+//
+// A Recorder is an append-only sequence of Steps (label plus one
+// AgentSnapshot per agent); String renders the paper-style table. All
+// fields are plain data, which is what lets the engine codec serialize
+// counterexample traces inside Result documents. Recorders are not safe
+// for concurrent writes; checkers build them single-threaded during
+// counterexample replay.
+package trace

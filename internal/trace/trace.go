@@ -1,8 +1,3 @@
-// Package trace records protocol executions and renders them as the
-// iteration tables the paper uses in Fig. 1 and Fig. 2: per-agent bid
-// vectors, bundles, and winner assignments over time. The explicit-state
-// model checker attaches a recorder to counterexample paths so a failed
-// convergence check prints a human-readable oscillation trace.
 package trace
 
 import (

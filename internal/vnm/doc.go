@@ -1,0 +1,22 @@
+// Package vnm implements the paper's case study: the virtual network
+// mapping problem. A virtual network H = (VH, EH, CH) must be mapped
+// onto a physical network G = (VG, EG, CG): each virtual node onto
+// exactly one physical node with enough CPU capacity, each virtual link
+// onto at least one loop-free physical path with enough bandwidth.
+//
+// Physical nodes act as MCA agents bidding to host virtual nodes (the
+// items); virtual links are then mapped with k-shortest paths, exactly
+// as Section II-B describes ("physical nodes can merely bid to host
+// virtual nodes, and later run k-shortest path to map the virtual
+// links").
+//
+// Key types: PhysicalNetwork/VirtualNetwork (the two topologies with
+// CPU and bandwidth capacities), Embedder (NewEmbedder prepares the MCA
+// auction over a substrate; Embed maps one request), Mapping (the
+// result: node assignment plus link paths with reserved bandwidth), and
+// ValidateMapping (an independent checker for capacities and path
+// well-formedness). Embedding is deterministic in (substrate, request,
+// Options): the node auction inherits the protocol's deterministic
+// tie-breaking, and link mapping canonicalizes residual-bandwidth keys
+// so path choice never depends on map iteration order.
+package vnm

@@ -1,14 +1,3 @@
-// Package vnm implements the paper's case study: the virtual network
-// mapping problem. A virtual network H = (VH, EH, CH) must be mapped
-// onto a physical network G = (VG, EG, CG): each virtual node onto
-// exactly one physical node with enough CPU capacity, each virtual link
-// onto at least one loop-free physical path with enough bandwidth.
-//
-// Physical nodes act as MCA agents bidding to host virtual nodes (the
-// items); virtual links are then mapped with k-shortest paths, exactly
-// as Section II-B describes ("physical nodes can merely bid to host
-// virtual nodes, and later run k-shortest path to map the virtual
-// links").
 package vnm
 
 import (

@@ -1,36 +1,9 @@
-// Package mcaverify is the public API of the MCA verification library:
-// a Go reproduction of "An Alloy Verification Model for Consensus-Based
-// Auction Protocols" (Mirzaei & Esposito, ICDCS 2015).
-//
-// The library provides four layers:
-//
-//   - the Max-Consensus Auction protocol itself (agents, policies, the
-//     asynchronous conflict-resolution table, synchronous and randomized
-//     asynchronous runners);
-//   - a verification stack that replaces the Alloy Analyzer: an
-//     explicit-state bounded model checker over all message
-//     interleavings, and a relational-logic-to-SAT pipeline with the
-//     paper's MCA model in its naive and optimized encodings;
-//   - the engine layer that unifies those checkers: a Scenario value
-//     describes what to verify (agents, topology, network semantics and
-//     fault model, bounds), Verify checks it on any backend with
-//     context cancellation, and Runner sweeps thousands of scenarios
-//     concurrently with deterministic aggregation;
-//   - the virtual network mapping case study (MCA node auction plus
-//     k-shortest-path link mapping).
-//
-// Quick start:
-//
-//	pol := mcaverify.Policy{Target: 2, Utility: mcaverify.SubmodularResidual{}, Rebid: mcaverify.RebidOnChange}
-//	a0, _ := mcaverify.NewAgent(mcaverify.AgentConfig{ID: 0, Items: 3, Base: []int64{10, 0, 30}, Policy: pol})
-//	a1, _ := mcaverify.NewAgent(mcaverify.AgentConfig{ID: 1, Items: 3, Base: []int64{20, 15, 0}, Policy: pol})
-//	verdict := mcaverify.CheckConvergence([]*mcaverify.Agent{a0, a1}, mcaverify.CompleteGraph(2), mcaverify.CheckOptions{})
-//	fmt.Println(verdict.OK)
 package mcaverify
 
 import (
 	"context"
 
+	"repro/internal/cache"
 	"repro/internal/engine"
 	"repro/internal/explore"
 	"repro/internal/graph"
@@ -266,6 +239,56 @@ func NewRunner(opts RunnerOptions) *Runner { return engine.NewRunner(opts) }
 func VerifyAll(ctx context.Context, scenarios []Scenario, opts RunnerOptions) ([]Result, SweepSummary) {
 	return engine.NewRunner(opts).Run(ctx, scenarios)
 }
+
+// ---- Scenario codec, sweep files, result cache ----
+
+// ScenarioSchemaVersion is the version tag of the scenario/result/sweep
+// JSON schema (docs/SCENARIO_FORMAT.md).
+const ScenarioSchemaVersion = engine.SchemaVersion
+
+// EncodeScenario renders a scenario as canonical versioned JSON —
+// deterministic bytes suitable for files, the wire, and content
+// addressing. Scenarios built from AgentSpecs with the named utilities
+// serialize; pre-built agents, custom resolvers, and FuncUtility do not.
+func EncodeScenario(s *Scenario) ([]byte, error) { return engine.EncodeScenario(s) }
+
+// DecodeScenario strictly parses a scenario document: unknown fields,
+// wrong versions, and unknown enum tokens are errors.
+func DecodeScenario(data []byte) (Scenario, error) { return engine.DecodeScenario(data) }
+
+// EncodeResult and DecodeResult round-trip unified results.
+func EncodeResult(r *Result) ([]byte, error)        { return engine.EncodeResult(r) }
+func DecodeResult(data []byte) (Result, error)      { return engine.DecodeResult(data) }
+func EncodeSummary(s *SweepSummary) ([]byte, error) { return engine.EncodeSummary(s) }
+
+// ExpandSweep expands a sweep document — a base scenario plus axes of
+// named variants — into the full cartesian scenario set.
+func ExpandSweep(data []byte) ([]Scenario, error) { return engine.ExpandSweep(data) }
+
+// ScenarioCacheKey is the content address of (scenario, engine): the
+// SHA-256 of the engine's full configuration and the canonical scenario
+// encoding with the display name blanked. A nil engine means the
+// natural backend (AutoEngine), which resolves to its delegate.
+func ScenarioCacheKey(s *Scenario, e Engine) (string, error) {
+	return engine.CacheKey(s, e)
+}
+
+// Result cache types (internal/cache).
+type (
+	// ResultCache is the pluggable verification cache consulted by a
+	// Runner (RunnerOptions.Cache).
+	ResultCache = engine.ResultCache
+	// VerificationCache is the standard content-addressed result cache:
+	// in-memory LRU with optional on-disk persistence.
+	VerificationCache = cache.Cache
+	// CacheOptions configures a VerificationCache.
+	CacheOptions = cache.Options
+	// CacheStats snapshots cache effectiveness counters.
+	CacheStats = cache.Stats
+)
+
+// NewCache builds a verification result cache.
+func NewCache(o CacheOptions) (*VerificationCache, error) { return cache.New(o) }
 
 // Policy sweep (Result 1) types.
 type (

@@ -1,0 +1,14 @@
+#!/bin/sh
+# Doc gate: every package under ./internal/... plus the root package
+# must carry a package comment (the doc.go convention). go list's .Doc
+# field is the package documentation synopsis; empty means the package
+# clause has no comment.
+set -eu
+cd "$(dirname "$0")/.."
+missing=$(go list -f '{{if not .Doc}}{{.ImportPath}}{{end}}' ./internal/... .)
+if [ -n "$missing" ]; then
+    echo "packages missing a package comment:" >&2
+    echo "$missing" >&2
+    exit 1
+fi
+echo "doc gate: all packages documented"
