@@ -462,7 +462,7 @@ func BenchmarkDuplicateDeliveryCheck(b *testing.B) {
 	}
 }
 
-// ---- E8/E9: the parallel verification engine ----
+// ---- E8/E9: the parallel engines ----
 
 // BenchmarkEncodingCheckPortfolio runs the paper-scope optimized
 // consensus check through the SAT portfolio. Member 0 of the portfolio
@@ -759,4 +759,76 @@ func BenchmarkVerifyExplicit(b *testing.B) {
 			b.Fatalf("bench scenario failed: %v", res.Status)
 		}
 	}
+}
+
+// ---- Fuzzing layer: generation, oracle, shrinking ----
+
+// BenchmarkGenerate measures corpus manufacturing throughput — pure
+// generation, no verification. The generator must stay cheap enough
+// that corpus cost is always dominated by the engines.
+func BenchmarkGenerate(b *testing.B) {
+	profile := mcaverify.DefaultFuzzProfile()
+	profile.ModelProb = 0 // building relational models would dominate
+	const n = 100
+	for i := 0; i < b.N; i++ {
+		scenarios, err := mcaverify.Generate(profile, int64(i), n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(scenarios) != n {
+			b.Fatal("short corpus")
+		}
+	}
+	b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "scenarios/s")
+}
+
+// BenchmarkShrinkFailure measures the delta-debugging descent on the
+// bloated Fig. 2 oscillation: every accepted step re-verifies through
+// the serial DFS.
+func BenchmarkShrinkFailure(b *testing.B) {
+	fight := mca.Policy{Target: 2, Utility: mca.NonSubmodularSynergy{}, Rebid: mca.RebidOnChange, ReleaseOutbid: true}
+	idle := mca.Policy{Target: 1, Utility: mca.FlatUtility{}, Rebid: mca.RebidOnChange}
+	s := engine.Scenario{
+		Name: "bench-shrink",
+		AgentSpecs: []mca.Config{
+			{ID: 0, Items: 3, Base: []int64{10, 15, 0}, Policy: fight},
+			{ID: 1, Items: 3, Base: []int64{15, 10, 0}, Policy: fight},
+			{ID: 2, Items: 3, Base: []int64{1, 1, 2}, Policy: idle},
+		},
+		Graph:   graph.Complete(3),
+		Explore: explore.Options{MaxStates: 20000, BoundSlack: 8, DuplicateDeliveries: true},
+	}
+	for i := 0; i < b.N; i++ {
+		shrunk, _, err := mcaverify.ShrinkFailure(context.Background(), s, mcaverify.ExplicitEngine{}, mcaverify.ShrinkOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(shrunk.AgentSpecs) != 2 {
+			b.Fatalf("shrink kept %d agents", len(shrunk.AgentSpecs))
+		}
+	}
+}
+
+// BenchmarkDifferentialOracle measures oracle throughput on a small
+// fixed corpus: scenarios/s across the default panel, the number that
+// scales a fuzzing campaign.
+func BenchmarkDifferentialOracle(b *testing.B) {
+	profile := mcaverify.DefaultFuzzProfile()
+	profile.Agents = mcaverify.FuzzIntRange{Min: 2, Max: 3}
+	profile.Items = mcaverify.FuzzIntRange{Min: 2, Max: 2}
+	profile.MaxStates = mcaverify.FuzzIntRange{Min: 2000, Max: 8000}
+	profile.ModelProb = 0 // SAT legs measured by the E5 benches
+	const n = 16
+	scenarios, err := mcaverify.Generate(profile, 42, n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, sum := mcaverify.DiffSweep(context.Background(), scenarios, mcaverify.DiffOptions{Workers: 4})
+		if sum.Disagreements != 0 {
+			b.Fatalf("bench corpus disagrees: %+v", sum)
+		}
+	}
+	b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "scenarios/s")
 }

@@ -1,0 +1,186 @@
+// Command mcafuzz manufactures verification workloads and hunts for
+// checker disagreements: it generates a seeded random scenario corpus
+// from a profile (docs/FUZZING.md), verifies every scenario on a panel
+// of engine adapters through the cache-aware differential oracle, and
+// reports any scenario on which the checkers' verdicts are mutually
+// inconsistent. With -shrink each disagreement is minimized by greedy
+// delta debugging before being written out; flagged (and, with -dump,
+// all generated) scenarios land in -out as canonical scenario JSON,
+// ready for mcacheck -scenario, mcaserved, or a regression corpus.
+//
+// Everything is reproducible: the same -seed yields byte-identical
+// scenarios and identical verdicts at any -workers value, so a corpus
+// line from CI replays locally.
+//
+// Usage:
+//
+//	mcafuzz -seed 1 -n 25
+//	mcafuzz -seed 7 -n 500 -profile examples/scenarios/fuzz-profile.json
+//	mcafuzz -engines explicit,explicit-parallel,simulation -n 100
+//	mcafuzz -seed 3 -n 200 -shrink -out corpus/
+//	mcafuzz -n 1000 -cachedir /tmp/mcafuzz-cache   # warm re-runs
+//
+// Exit code 0 means every scenario's verdicts were consistent, 1 means
+// disagreements were found, 2 means a usage or I/O error.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/cache"
+	"repro/internal/engine"
+	"repro/internal/gen"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout))
+}
+
+func run(args []string, out io.Writer) int {
+	fs := flag.NewFlagSet("mcafuzz", flag.ContinueOnError)
+	seed := fs.Int64("seed", 1, "corpus seed; same seed, same corpus and verdicts")
+	n := fs.Int("n", 100, "number of scenarios to generate")
+	profilePath := fs.String("profile", "", "generator profile JSON (docs/FUZZING.md); empty = built-in default profile")
+	enginesSpec := fs.String("engines", "explicit,simulation,sat", "comma-separated engine panel: auto|explicit|explicit-parallel|simulation|sat|sat-portfolio|sat-cube")
+	workers := fs.Int("workers", 0, "scenario worker pool size (0 = one per CPU; never affects verdicts)")
+	shrink := fs.Bool("shrink", false, "minimize each disagreement by delta debugging before writing it")
+	outDir := fs.String("out", "", "directory for corpus files (created if absent); disagreements are always written here when set")
+	dump := fs.Bool("dump", false, "also write every generated scenario to -out, not just disagreements")
+	cacheDir := fs.String("cachedir", "", "persistent result-cache directory; re-runs of the same corpus become lookups")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if (*shrink || *dump) && *outDir == "" {
+		fmt.Fprintln(os.Stderr, "mcafuzz: -shrink and -dump write corpus files and require -out")
+		return 2
+	}
+
+	profile := gen.DefaultProfile()
+	profileName := "default"
+	if *profilePath != "" {
+		data, err := os.ReadFile(*profilePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		profile, err = gen.DecodeProfile(data)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		profileName = *profilePath
+	}
+	engines, err := gen.ParseEngines(*enginesSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	var resultCache engine.ResultCache
+	if *cacheDir != "" {
+		c, err := cache.New(cache.Options{Dir: *cacheDir})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		resultCache = c
+	}
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+	}
+
+	scenarios, err := gen.Generate(profile, *seed, *n)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	fmt.Fprintf(out, "mcafuzz: seed=%d n=%d profile=%s engines=%s\n", *seed, *n, profileName, *enginesSpec)
+
+	ctx := context.Background()
+	opts := gen.DiffOptions{Engines: engines, Cache: resultCache, Workers: *workers}
+	results, sum := gen.DiffSweep(ctx, scenarios, opts)
+
+	code := 0
+	for _, r := range results {
+		fmt.Fprintf(out, "%04d %s %s\n", r.Index, r.Scenario.Name, formatLegs(r))
+		if *dump && *outDir != "" {
+			if err := writeScenario(*outDir, r.Scenario.Name+".json", &r.Scenario); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 2
+			}
+		}
+		if r.Agree {
+			continue
+		}
+		code = 1
+		for _, reason := range r.Reasons {
+			fmt.Fprintf(out, "  disagreement: %s\n", reason)
+		}
+		if *outDir == "" {
+			continue
+		}
+		if !*dump { // -dump already wrote this scenario above
+			if err := writeScenario(*outDir, r.Scenario.Name+".json", &r.Scenario); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 2
+			}
+		}
+		if *shrink {
+			min, stats := shrinkDisagreement(ctx, r.Scenario, opts)
+			if err := writeScenario(*outDir, r.Scenario.Name+".min.json", &min); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 2
+			}
+			fmt.Fprintf(out, "  shrunk: size %d -> %d (%d candidates tried)\n", stats.From, stats.To, stats.Tried)
+		}
+	}
+	fmt.Fprintf(out, "summary: scenarios=%d disagreements=%d legs=%d holds=%d violated=%d inconclusive=%d errors=%d\n",
+		sum.Scenarios, sum.Disagreements, sum.Legs, sum.Holds, sum.Violated, sum.Inconclusive, sum.Errors)
+	return code
+}
+
+// formatLegs renders one scenario's verdicts: engine=status pairs in
+// panel order, then the oracle's call. Only deterministic fields are
+// printed, which is what keeps mcafuzz output byte-identical at any
+// worker count.
+func formatLegs(r gen.DiffResult) string {
+	var b strings.Builder
+	for _, l := range r.Legs {
+		fmt.Fprintf(&b, "%s=%v ", l.Engine, l.Result.Status)
+	}
+	if len(r.Legs) == 0 {
+		b.WriteString("(no applicable engines) ")
+	}
+	if r.Agree {
+		b.WriteString("ok")
+	} else {
+		b.WriteString("DISAGREE")
+	}
+	return b.String()
+}
+
+// shrinkDisagreement minimizes a flagged scenario while the panel still
+// disagrees on it.
+func shrinkDisagreement(ctx context.Context, s engine.Scenario, opts gen.DiffOptions) (engine.Scenario, gen.ShrinkStats) {
+	keep := func(c engine.Scenario) bool {
+		return !gen.DiffVerify(ctx, c, opts).Agree
+	}
+	return gen.Shrink(s, keep, gen.ShrinkOptions{MaxTried: 300})
+}
+
+// writeScenario writes one canonical scenario document.
+func writeScenario(dir, name string, s *engine.Scenario) error {
+	data, err := engine.EncodeScenario(s)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, name), append(data, '\n'), 0o644)
+}

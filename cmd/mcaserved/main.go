@@ -9,6 +9,10 @@
 //	POST /verify       one scenario document -> one result document
 //	POST /sweep        one sweep document -> NDJSON result stream,
 //	                   one result per line, then a summary line
+//	POST /generate     one generator profile (or empty body for the
+//	                   default profile) -> NDJSON stream of generated
+//	                   scenarios with their differential-oracle
+//	                   verdicts, then a summary line
 //	GET  /cache/stats  cache effectiveness counters
 //	GET  /healthz      liveness probe
 //
@@ -17,9 +21,11 @@
 // cube-and-conquer), &runs=N and &seed=S (simulation), and &timeout=30s
 // within the server's -maxtimeout. &workers=N means per-engine
 // parallelism on /verify (frontier shards, portfolio members) and the
-// scenario pool size on /sweep (per-scenario engines stay serial
-// there, so sweep cache keys are independent of pool size). Shutdown is
-// graceful:
+// scenario pool size on /sweep and /generate (per-scenario engines stay
+// serial there, so sweep cache keys are independent of pool size).
+// /generate instead takes &seed=S, &n=N (scenarios to generate) and
+// &engines=a,b,c (an oracle panel, default explicit,simulation,sat).
+// Shutdown is graceful:
 // SIGINT/SIGTERM stops accepting connections and lets in-flight
 // verifications finish (their contexts are cancelled after the
 // drain period).
@@ -29,7 +35,12 @@
 //	mcaserved -addr :8080 -cachesize 4096 -cachedir /var/lib/mcaserved
 //	curl -d @examples/scenarios/line3.json 'localhost:8080/verify'
 //	curl -d @examples/scenarios/policy-faults-sweep.json 'localhost:8080/sweep?workers=8'
+//	curl -X POST 'localhost:8080/generate?seed=7&n=100'
+//	curl -d @examples/scenarios/fuzz-profile.json 'localhost:8080/generate?n=50&engines=explicit,simulation'
 //	curl localhost:8080/cache/stats
+//
+// See docs/OPERATIONS.md for production guidance (cache sizing, epoch
+// bumps, drain behaviour, timeout tuning).
 package main
 
 import (
@@ -50,6 +61,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/engine"
+	"repro/internal/gen"
 
 	// Register the mca-model codec so SAT scenarios decode.
 	_ "repro/internal/mcamodel"
@@ -138,6 +150,7 @@ func newServer(cfg serverConfig) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/verify", s.handleVerify)
 	mux.HandleFunc("/sweep", s.handleSweep)
+	mux.HandleFunc("/generate", s.handleGenerate)
 	mux.HandleFunc("/cache/stats", s.handleCacheStats)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
@@ -335,48 +348,222 @@ func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	})
 
 	// NDJSON: one result per line as soon as it completes, then one
-	// summary line. Failures after the first byte can only be reported
-	// by truncating the stream, which the missing summary line signals.
-	w.Header().Set("Content-Type", "application/x-ndjson")
-	flusher, _ := w.(http.Flusher)
+	// summary line.
+	stream := startNDJSON(w, cancel, "sweep")
 	results := make([]engine.Result, len(scenarios))
 	start := time.Now()
-	aborted := false
 	for res := range runner.Stream(ctx, scenarios) {
 		results[res.Index] = res
-		if aborted {
-			continue // keep draining so the worker pool can exit
-		}
 		data, err := engine.EncodeResult(&res)
-		if err == nil {
-			_, err = w.Write(append(data, '\n'))
-		}
-		if err != nil {
-			// Client gone or unencodable result: cancel the batch and
-			// drain. The truncated stream (no summary line) tells the
-			// client the sweep did not complete.
-			log.Printf("sweep: aborting stream at %q: %v", res.Scenario, err)
-			aborted = true
-			cancel()
-			continue
-		}
-		if flusher != nil {
-			flusher.Flush()
-		}
-	}
-	if aborted {
-		return
+		stream.line(res.Scenario, data, err)
 	}
 	sum := engine.Summarize(results)
 	sum.Wall = time.Since(start)
-	line, err := engine.EncodeSummary(&sum)
+	stream.summary(engine.EncodeSummary(&sum))
+}
+
+// ndjsonStream is the shared scaffolding of the streaming endpoints:
+// set the content type, write one line per completed unit of work with
+// a flush after each, and finish with one {"summary": ...} line.
+// Failures after the first byte can only be reported by truncating the
+// stream, so on a write or encode error the stream aborts the batch
+// (cancelling its context) but keeps consuming lines silently — the
+// producer's worker pool must be drained to exit — and the missing
+// summary line tells the client the request did not complete.
+type ndjsonStream struct {
+	w       http.ResponseWriter
+	flusher http.Flusher
+	cancel  context.CancelFunc
+	name    string // endpoint name for log lines
+	aborted bool
+}
+
+func startNDJSON(w http.ResponseWriter, cancel context.CancelFunc, name string) *ndjsonStream {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	return &ndjsonStream{w: w, flusher: flusher, cancel: cancel, name: name}
+}
+
+// line writes one NDJSON line; label identifies the unit of work in
+// the abort log. A nil data with non-nil err aborts the stream.
+func (s *ndjsonStream) line(label string, data []byte, err error) {
+	if s.aborted {
+		return // draining
+	}
+	if err == nil {
+		_, err = s.w.Write(append(data, '\n'))
+	}
 	if err != nil {
-		log.Printf("sweep: encoding summary: %v", err)
+		log.Printf("%s: aborting stream at %q: %v", s.name, label, err)
+		s.aborted = true
+		s.cancel()
 		return
 	}
-	w.Write([]byte(`{"summary":`))
-	w.Write(line)
-	w.Write([]byte("}\n"))
+	if s.flusher != nil {
+		s.flusher.Flush()
+	}
+}
+
+// summary finishes an unaborted stream with the {"summary": ...} line.
+func (s *ndjsonStream) summary(data []byte, err error) {
+	if s.aborted {
+		return
+	}
+	if err != nil {
+		log.Printf("%s: encoding summary: %v", s.name, err)
+		return
+	}
+	s.w.Write([]byte(`{"summary":`))
+	s.w.Write(data)
+	s.w.Write([]byte("}\n"))
+}
+
+// maxGenerate caps the per-request corpus size: generation is cheap but
+// every scenario is then verified on the whole engine panel, and one
+// request must not be able to queue unbounded work behind one timeout.
+const maxGenerate = 10000
+
+// handleGenerate manufactures a scenario corpus from a generator
+// profile and streams each scenario with its differential-oracle
+// verdicts as NDJSON, then a summary line:
+//
+//	{"index":0,"scenario":{...},"agree":true,"legs":[{"engine":"explicit","class":"dynamic-exact","result":{...}}]}
+//	...
+//	{"summary":{"scenarios":50,"disagreements":0,"legs":120,...}}
+//
+// The body is a profile document (docs/FUZZING.md) or empty for the
+// built-in default profile. As with /sweep, a truncated stream (no
+// summary line) means the request did not complete.
+func (s *server) handleGenerate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, errors.New("POST a generator profile (or an empty body for the default profile)"))
+		return
+	}
+	body, err := s.readBody(w, r)
+	if err != nil {
+		httpError(w, bodyErrorStatus(err), err)
+		return
+	}
+	profile := gen.DefaultProfile()
+	if len(body) > 0 {
+		profile, err = gen.DecodeProfile(body)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+	}
+	q := r.URL.Query()
+	var seed int64 = 1
+	if v := q.Get("seed"); v != "" {
+		seed, err = strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad seed %q", v))
+			return
+		}
+	}
+	n := 50
+	if v := q.Get("n"); v != "" {
+		n, err = strconv.Atoi(v)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad n %q", v))
+			return
+		}
+		// An explicit n=0 is rejected, not silently defaulted: only an
+		// absent parameter means "the default 50".
+		if n < 1 || n > maxGenerate {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("n %d outside 1..%d", n, maxGenerate))
+			return
+		}
+	}
+	enginesSpec := q.Get("engines")
+	if enginesSpec == "" {
+		enginesSpec = "explicit,simulation,sat"
+	}
+	engines, err := gen.ParseEngines(enginesSpec)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	poolWorkers, err := intParam(q, "workers")
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if poolWorkers == 0 {
+		poolWorkers = s.cfg.Workers
+	}
+	// Validate every parameter — the timeout included — before paying
+	// for corpus generation, so a malformed request is a cheap 400.
+	ctx, cancel, err := s.requestContext(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	defer cancel()
+	scenarios, err := gen.Generate(profile, seed, n)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	stream := startNDJSON(w, cancel, "generate")
+	results := make([]gen.DiffResult, len(scenarios))
+	for res := range gen.DiffStream(ctx, scenarios, gen.DiffOptions{
+		Engines: engines,
+		Cache:   resultCache(s.cfg.Cache),
+		Workers: poolWorkers,
+	}) {
+		results[res.Index] = res
+		data, err := encodeDiffLine(&res)
+		stream.line(res.Scenario.Name, data, err)
+	}
+	sum := gen.SummarizeDiff(results)
+	stream.summary(json.Marshal(sum2wire(sum)))
+}
+
+// diffLineJSON is the wire form of one /generate stream line.
+type diffLineJSON struct {
+	Index    int             `json:"index"`
+	Scenario json.RawMessage `json:"scenario"`
+	Agree    bool            `json:"agree"`
+	Reasons  []string        `json:"reasons,omitempty"`
+	Legs     []diffLegJSON   `json:"legs"`
+}
+
+type diffLegJSON struct {
+	Engine string          `json:"engine"`
+	Class  string          `json:"class"`
+	Result json.RawMessage `json:"result"`
+}
+
+func encodeDiffLine(r *gen.DiffResult) ([]byte, error) {
+	scenario, err := engine.EncodeScenario(&r.Scenario)
+	if err != nil {
+		return nil, err
+	}
+	line := diffLineJSON{Index: r.Index, Scenario: scenario, Agree: r.Agree, Reasons: r.Reasons}
+	for _, l := range r.Legs {
+		res, err := engine.EncodeResult(&l.Result)
+		if err != nil {
+			return nil, err
+		}
+		line.Legs = append(line.Legs, diffLegJSON{Engine: l.Engine, Class: l.Class.String(), Result: res})
+	}
+	return json.Marshal(line)
+}
+
+// sum2wire renders the oracle summary with stable snake_case keys.
+func sum2wire(s gen.DiffSummary) map[string]int {
+	return map[string]int{
+		"scenarios":     s.Scenarios,
+		"disagreements": s.Disagreements,
+		"legs":          s.Legs,
+		"holds":         s.Holds,
+		"violated":      s.Violated,
+		"inconclusive":  s.Inconclusive,
+		"errors":        s.Errors,
+		"cache_hits":    s.CacheHits,
+	}
 }
 
 func (s *server) handleCacheStats(w http.ResponseWriter, r *http.Request) {

@@ -342,3 +342,126 @@ func TestVerifyTimeoutReportsInconclusive(t *testing.T) {
 		t.Fatal("inconclusive result cached")
 	}
 }
+
+// TestGenerateEndpointStreamsNDJSON drives the fuzzing pipeline over
+// HTTP: a pinned profile generates a small corpus, every scenario is
+// verified on the requested panel, and the stream ends with an
+// agreeing summary.
+func TestGenerateEndpointStreamsNDJSON(t *testing.T) {
+	srv, _ := testServer(t)
+	profile := `{"agents":{"min":2,"max":3},"max_states":{"min":2000,"max":8000},"fault_prob":0.4}`
+	resp, err := http.Post(srv.URL+"/generate?seed=9&n=8&engines=explicit,simulation", "application/json", strings.NewReader(profile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content type %q", ct)
+	}
+	type legLine struct {
+		Engine string          `json:"engine"`
+		Class  string          `json:"class"`
+		Result json.RawMessage `json:"result"`
+	}
+	type diffLine struct {
+		Index    int             `json:"index"`
+		Scenario json.RawMessage `json:"scenario"`
+		Agree    bool            `json:"agree"`
+		Reasons  []string        `json:"reasons"`
+		Legs     []legLine       `json:"legs"`
+	}
+	seen := map[int]bool{}
+	sawSummary := false
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if bytes.HasPrefix(line, []byte(`{"summary":`)) {
+			var wrapper struct {
+				Summary map[string]int `json:"summary"`
+			}
+			if err := json.Unmarshal(line, &wrapper); err != nil {
+				t.Fatalf("summary line: %v\n%s", err, line)
+			}
+			if wrapper.Summary["scenarios"] != 8 || wrapper.Summary["disagreements"] != 0 {
+				t.Fatalf("summary %v", wrapper.Summary)
+			}
+			sawSummary = true
+			continue
+		}
+		var dl diffLine
+		if err := json.Unmarshal(line, &dl); err != nil {
+			t.Fatalf("diff line: %v\n%s", err, line)
+		}
+		if !dl.Agree {
+			t.Fatalf("scenario %d disagrees: %v", dl.Index, dl.Reasons)
+		}
+		// Each embedded scenario is a full canonical document.
+		s, err := engine.DecodeScenario(dl.Scenario)
+		if err != nil {
+			t.Fatalf("embedded scenario: %v\n%s", err, dl.Scenario)
+		}
+		if n := len(s.AgentSpecs); n < 2 || n > 3 {
+			t.Fatalf("scenario %d has %d agents, profile pinned 2..3", dl.Index, n)
+		}
+		if len(dl.Legs) == 0 {
+			t.Fatalf("scenario %d has no legs", dl.Index)
+		}
+		for _, l := range dl.Legs {
+			if _, err := engine.DecodeResult(l.Result); err != nil {
+				t.Fatalf("leg result: %v\n%s", err, l.Result)
+			}
+		}
+		seen[dl.Index] = true
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 8 || !sawSummary {
+		t.Fatalf("stream had %d scenario lines, summary=%v", len(seen), sawSummary)
+	}
+}
+
+// An empty body means the default profile; bad inputs are 400s.
+func TestGenerateEndpointValidation(t *testing.T) {
+	srv, _ := testServer(t)
+	resp, err := http.Post(srv.URL+"/generate?seed=1&n=2&engines=simulation", "application/json", strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("empty body: status %d", resp.StatusCode)
+	}
+	for _, url := range []string{
+		srv.URL + "/generate?n=999999",          // over the corpus cap
+		srv.URL + "/generate?seed=banana",       // bad seed
+		srv.URL + "/generate?engines=warp",      // unknown engine
+		srv.URL + "/generate?n=2&timeout=bogus", // bad timeout
+	} {
+		resp, err := http.Post(url, "application/json", strings.NewReader(""))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: status %d, want 400", url, resp.StatusCode)
+		}
+	}
+	get, err := http.Get(srv.URL + "/generate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	get.Body.Close()
+	if get.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /generate: status %d", get.StatusCode)
+	}
+	// A malformed profile body is rejected before any work happens.
+	bad := postJSON(t, srv.URL+"/generate", `{"agents":{"min":5,"max":2}}`)
+	if bad.StatusCode != http.StatusBadRequest {
+		t.Fatalf("inverted range: status %d", bad.StatusCode)
+	}
+}

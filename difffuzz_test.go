@@ -1,0 +1,126 @@
+package mcaverify_test
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	mcaverify "repro"
+)
+
+// fuzzCorpusProfile pins the tier-1 differential corpus: small honest
+// scenarios (the default utility/rebid mix) over every topology, with
+// faults on a third of them and relational models on a third, and
+// exploration budgets low enough that an exhausted search stays cheap.
+func fuzzCorpusProfile() mcaverify.FuzzProfile {
+	p := mcaverify.DefaultFuzzProfile()
+	p.Agents = mcaverify.FuzzIntRange{Min: 2, Max: 3}
+	p.Items = mcaverify.FuzzIntRange{Min: 2, Max: 2}
+	p.MaxStates = mcaverify.FuzzIntRange{Min: 2000, Max: 10000}
+	p.FaultProb = 0.3
+	p.ModelProb = 0.35
+	return p
+}
+
+// TestDifferentialFuzz is the tier-1 fuzzing gate: a fixed-seed corpus
+// of 60 generated scenarios runs through all three engine adapter
+// families — Explicit (serial DFS and sharded frontier), Simulation,
+// and SAT (with the naive/optimized sibling-encoding cross-check) — and
+// every scenario's verdicts must be mutually consistent under the
+// oracle's comparability rules.
+func TestDifferentialFuzz(t *testing.T) {
+	scenarios, err := mcaverify.Generate(fuzzCorpusProfile(), 20260728, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	panel := []mcaverify.Engine{
+		mcaverify.ExplicitEngine{},
+		mcaverify.ExplicitEngine{Workers: 4},
+		mcaverify.SimulationEngine{BudgetFactor: 64},
+		mcaverify.SATEngine{},
+	}
+	results, sum := mcaverify.DiffSweep(context.Background(), scenarios, mcaverify.DiffOptions{Engines: panel})
+	for _, r := range results {
+		if !r.Agree {
+			t.Errorf("scenario %d (%s): %v", r.Index, r.Scenario.Name, r.Reasons)
+		}
+	}
+	if sum.Disagreements != 0 {
+		t.Fatalf("%d of %d scenarios disagree: %+v", sum.Disagreements, sum.Scenarios, sum)
+	}
+	// The corpus must genuinely exercise the comparisons, not pass
+	// vacuously: enough scenarios where at least two dynamic engines
+	// reached a conclusive verdict, and enough relational pairs.
+	dynPairs, relPairs := 0, 0
+	for _, r := range results {
+		dyn, rel := 0, 0
+		for _, l := range r.Legs {
+			conclusive := l.Result.Status == mcaverify.ResultHolds || l.Result.Status == mcaverify.ResultViolated
+			if !conclusive {
+				continue
+			}
+			switch l.Class {
+			case mcaverify.DiffClassRelational:
+				rel++
+			default:
+				dyn++
+			}
+		}
+		if dyn >= 2 {
+			dynPairs++
+		}
+		if rel >= 2 {
+			relPairs++
+		}
+	}
+	if dynPairs < 25 {
+		t.Errorf("only %d of %d scenarios compared two conclusive dynamic engines", dynPairs, len(results))
+	}
+	if relPairs < 8 {
+		t.Errorf("only %d of %d scenarios compared both relational encodings", relPairs, len(results))
+	}
+}
+
+// TestFuzzCorpusReproducible pins the acceptance contract end to end:
+// the same seed yields a byte-identical corpus and identical verdicts
+// at 1 and 8 workers.
+func TestFuzzCorpusReproducible(t *testing.T) {
+	profile := fuzzCorpusProfile()
+	a, err := mcaverify.Generate(profile, 99, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := mcaverify.Generate(profile, 99, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		ea, err := mcaverify.EncodeScenario(&a[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		eb, _ := mcaverify.EncodeScenario(&b[i])
+		if !bytes.Equal(ea, eb) {
+			t.Fatalf("scenario %d differs across generations", i)
+		}
+	}
+	var verdicts [][]mcaverify.ResultStatus
+	for _, workers := range []int{1, 8} {
+		rs, _ := mcaverify.DiffSweep(context.Background(), a, mcaverify.DiffOptions{Workers: workers})
+		var vs []mcaverify.ResultStatus
+		for _, r := range rs {
+			for _, l := range r.Legs {
+				vs = append(vs, l.Result.Status)
+			}
+		}
+		verdicts = append(verdicts, vs)
+	}
+	if len(verdicts[0]) != len(verdicts[1]) {
+		t.Fatalf("leg counts differ across worker counts: %d vs %d", len(verdicts[0]), len(verdicts[1]))
+	}
+	for i := range verdicts[0] {
+		if verdicts[0][i] != verdicts[1][i] {
+			t.Fatalf("leg %d verdict differs across worker counts", i)
+		}
+	}
+}

@@ -3,7 +3,7 @@
 // Auction Protocols" (Mirzaei & Esposito, ICDCS 2015), grown into a
 // standalone verification stack for the Max-Consensus Auction protocol.
 //
-// The library provides five layers:
+// The library provides six layers:
 //
 //   - the Max-Consensus Auction protocol itself (agents, policies, the
 //     asynchronous conflict-resolution table, synchronous and randomized
@@ -23,6 +23,12 @@
 //     content-addressed result cache that lets repeated sweeps skip
 //     already-verified scenarios (cmd/mcaserved serves all of this
 //     over HTTP);
+//   - scenarios as manufactured workloads: Generate derives seeded
+//     random corpora from a FuzzProfile, DiffVerify/DiffSweep
+//     cross-check the engine adapters' verdicts on them, and
+//     Shrink/ShrinkFailure minimize failing scenarios by delta
+//     debugging (cmd/mcafuzz drives the pipeline; docs/FUZZING.md
+//     specifies it);
 //   - the virtual network mapping case study (MCA node auction plus
 //     k-shortest-path link mapping).
 //

@@ -1,0 +1,139 @@
+package mcaverify_test
+
+import (
+	"context"
+	"fmt"
+
+	mcaverify "repro"
+)
+
+// ExampleVerify checks one scenario on the natural backend: two honest
+// agents with mirrored valuations agree on every asynchronous message
+// interleaving.
+func ExampleVerify() {
+	pol := mcaverify.Policy{
+		Target:        2,
+		Utility:       mcaverify.SubmodularResidual{},
+		ReleaseOutbid: true,
+		Rebid:         mcaverify.RebidOnChange,
+	}
+	s := mcaverify.Scenario{
+		Name: "demo",
+		AgentSpecs: []mcaverify.AgentConfig{
+			{ID: 0, Items: 2, Base: []int64{10, 15}, Policy: pol},
+			{ID: 1, Items: 2, Base: []int64{15, 10}, Policy: pol},
+		},
+		Graph: mcaverify.CompleteGraph(2),
+	}
+	res := mcaverify.Verify(context.Background(), s, nil) // nil = natural backend
+	fmt.Println(res.Engine, res.Status)
+	// Output: explicit holds
+}
+
+// ExampleNewRunner sweeps a small scenario batch over a worker pool;
+// the aggregate is identical at any worker count.
+func ExampleNewRunner() {
+	honest := mcaverify.Policy{Target: 2, Utility: mcaverify.SubmodularResidual{}, ReleaseOutbid: true, Rebid: mcaverify.RebidOnChange}
+	greedy := honest
+	greedy.Utility = mcaverify.NonSubmodularSynergy{} // violates Definition 2
+	scenarios := make([]mcaverify.Scenario, 0, 2)
+	for _, v := range []struct {
+		name string
+		pol  mcaverify.Policy
+	}{{"honest", honest}, {"greedy", greedy}} {
+		scenarios = append(scenarios, mcaverify.Scenario{
+			Name: v.name,
+			AgentSpecs: []mcaverify.AgentConfig{
+				{ID: 0, Items: 2, Base: []int64{10, 15}, Policy: v.pol},
+				{ID: 1, Items: 2, Base: []int64{15, 10}, Policy: v.pol},
+			},
+			Graph: mcaverify.CompleteGraph(2),
+		})
+	}
+	runner := mcaverify.NewRunner(mcaverify.RunnerOptions{Workers: 2})
+	_, sum := runner.Run(context.Background(), scenarios)
+	fmt.Printf("total=%d holds=%d violated=%d failing=%v\n", sum.Total, sum.Holds, sum.Violated, sum.Scenarios)
+	// Output: total=2 holds=1 violated=1 failing=[greedy]
+}
+
+// ExampleDecodeScenario parses a canonical scenario document — the
+// format mcacheck -scenario and mcaserved consume (docs/SCENARIO_FORMAT.md).
+func ExampleDecodeScenario() {
+	doc := `{
+	  "version": 1,
+	  "name": "line3",
+	  "agents": [
+	    {"id": 0, "items": 2, "base": [10, 15], "policy": {"target": 2, "utility": {"kind": "submodular-residual"}, "rebid": "on-change"}},
+	    {"id": 1, "items": 2, "base": [15, 10], "policy": {"target": 2, "utility": {"kind": "submodular-residual"}, "rebid": "on-change"}},
+	    {"id": 2, "items": 2, "base": [12, 12], "policy": {"target": 1, "utility": {"kind": "flat"}, "rebid": "on-change"}}
+	  ],
+	  "graph": {"nodes": 3, "edges": [{"u": 0, "v": 1}, {"u": 1, "v": 2}]}
+	}`
+	s, err := mcaverify.DecodeScenario([]byte(doc))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("%s: %d agents on %d edges\n", s.Name, len(s.AgentSpecs), s.Graph.M())
+	// Output: line3: 3 agents on 2 edges
+}
+
+// ExampleExpandSweep expands a sweep document — one base scenario and
+// axes of named variants — into the cartesian scenario grid.
+func ExampleExpandSweep() {
+	doc := `{
+	  "version": 1,
+	  "name": "demo-sweep",
+	  "base": {
+	    "name": "base",
+	    "agents": [
+	      {"id": 0, "items": 2, "base": [10, 15], "policy": {"target": 2, "utility": {"kind": "submodular-residual"}, "rebid": "on-change"}},
+	      {"id": 1, "items": 2, "base": [15, 10], "policy": {"target": 2, "utility": {"kind": "submodular-residual"}, "rebid": "on-change"}}
+	    ],
+	    "graph": {"nodes": 2, "edges": [{"u": 0, "v": 1}]}
+	  },
+	  "axes": [
+	    {"axis": "net", "variants": [
+	      {"name": "reliable", "scenario": {}},
+	      {"name": "lossy", "scenario": {"faults": {"drop": 0.2}}}
+	    ]},
+	    {"axis": "delivery", "variants": [
+	      {"name": "exact", "scenario": {}},
+	      {"name": "dup", "scenario": {"explore": {"duplicate_deliveries": true}}}
+	    ]}
+	  ]
+	}`
+	grid, err := mcaverify.ExpandSweep([]byte(doc))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	for _, s := range grid {
+		fmt.Println(s.Name)
+	}
+	// Output:
+	// base/reliable/exact
+	// base/reliable/dup
+	// base/lossy/exact
+	// base/lossy/dup
+}
+
+// ExampleGenerate manufactures a seeded random corpus: same profile and
+// seed, same scenarios — byte-for-byte under the canonical codec.
+func ExampleGenerate() {
+	profile := mcaverify.DefaultFuzzProfile()
+	profile.Agents = mcaverify.FuzzIntRange{Min: 2, Max: 4}
+	scenarios, err := mcaverify.Generate(profile, 1, 3)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	for _, s := range scenarios {
+		fmt.Printf("%s: %d agents, %d items, faults=%v\n",
+			s.Name, len(s.AgentSpecs), s.AgentSpecs[0].Items, !s.Faults.None())
+	}
+	// Output:
+	// fuzz-s1-0000: 2 agents, 2 items, faults=false
+	// fuzz-s1-0001: 3 agents, 3 items, faults=false
+	// fuzz-s1-0002: 3 agents, 3 items, faults=false
+}

@@ -81,10 +81,21 @@ func (r *Runner) Stream(ctx context.Context, scenarios []Scenario) <-chan Result
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	out := make(chan Result, r.opts.Workers)
+	// More workers than scenarios is pure goroutine overhead — and the
+	// pool size can come straight from a request parameter (mcaserved
+	// /sweep?workers=), so the clamp also keeps an absurd value from
+	// exhausting memory. Verdicts never depend on the pool size.
+	workers := r.opts.Workers
+	if workers > len(scenarios) {
+		workers = len(scenarios)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	out := make(chan Result, workers)
 	jobs := make(chan int)
 	var wg sync.WaitGroup
-	for w := 0; w < r.opts.Workers; w++ {
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()

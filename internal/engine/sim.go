@@ -23,8 +23,14 @@ type Simulation struct {
 	// sample distinct schedule sets. Run i uses Seed + i.
 	Seed int64
 	// MaxDeliveries caps each run's delivery ticks; 0 derives
-	// 8 × the D·|J| consensus bound from the scenario graph.
+	// BudgetFactor × the D·|J| consensus bound from the scenario graph.
 	MaxDeliveries int
+	// BudgetFactor scales the derived delivery budget (default 8).
+	// Raise it when a non-convergence verdict must not be a budget
+	// artifact — the differential oracle runs with a generous factor so
+	// slow-but-convergent scenarios still count as converged. Ignored
+	// when MaxDeliveries is set explicitly.
+	BudgetFactor int
 }
 
 // Name identifies the adapter.
@@ -33,6 +39,14 @@ func (e Simulation) Name() string { return "simulation" }
 func (e Simulation) withDefaults() Simulation {
 	if e.Runs <= 0 {
 		e.Runs = 16
+	}
+	if e.BudgetFactor <= 0 {
+		e.BudgetFactor = 8
+	}
+	if e.MaxDeliveries > 0 {
+		// An explicit budget supersedes the factor; normalizing it keeps
+		// equivalent configurations on one cache address.
+		e.BudgetFactor = 0
 	}
 	return e
 }
@@ -56,7 +70,7 @@ func (e Simulation) Verify(ctx context.Context, s Scenario) Result {
 		} else if len(s.Agents) > 0 {
 			items = s.Agents[0].Items()
 		}
-		maxDeliveries = 8 * (mca.MessageBound(s.Graph, items) + 1)
+		maxDeliveries = e.BudgetFactor * (mca.MessageBound(s.Graph, items) + 1)
 	}
 	res := Result{Index: -1, Scenario: s.Name, Engine: e.Name(), Status: StatusHolds}
 	for i := 0; i < e.Runs; i++ {

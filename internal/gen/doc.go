@@ -1,0 +1,27 @@
+// Package gen manufactures verification workloads: a deterministic,
+// seed-driven generator that turns a tunable Profile into valid
+// engine.Scenario values, a greedy delta-debugging shrinker that
+// minimizes failing scenarios while re-verifying every candidate, and a
+// cross-engine differential oracle that flags scenarios on which the
+// checker implementations disagree.
+//
+// Everything is reproducible by construction. Generate derives one
+// independent random stream per scenario index from (seed, index), so
+// the i-th scenario is the same bytes no matter how many scenarios are
+// generated, in what order, or on how many workers the corpus is later
+// verified. Shrink is sequential and greedy — same input, same minimized
+// output. The oracle compares verdicts, which the engine layer already
+// guarantees are deterministic in (Scenario, Engine).
+//
+// The differential oracle groups engines into comparability classes
+// rather than demanding one global verdict, because the adapters decide
+// two different questions: the dynamic engines (Explicit, Simulation)
+// decide whether the asynchronous protocol converges, while the SAT
+// engines decide whether the scenario's bounded relational model admits
+// a consensus counterexample within its trace scope — a property of the
+// model, not of the concrete agents. Within the dynamic class, exact
+// engines must agree exactly and a sampling engine may miss a violation
+// but never invent one; within the relational class, every encoding and
+// solving strategy must return the same answer. See docs/FUZZING.md for
+// the full semantics.
+package gen

@@ -1,0 +1,417 @@
+package gen
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+)
+
+// IntRange is an inclusive integer interval sampled uniformly.
+type IntRange struct {
+	Min, Max int
+}
+
+// FloatRange is a half-open float interval [Min, Max) sampled uniformly
+// (a degenerate range with Min == Max always yields Min).
+type FloatRange struct {
+	Min, Max float64
+}
+
+// Profile tunes the scenario generator: every knob is a distribution or
+// a probability, and Generate samples one scenario per index from them.
+// Unset structural fields — ranges, lists, BaseMax — fall back to the
+// corresponding DefaultProfile value, so a partial profile stays valid.
+// Probability fields are taken literally: zero means never, so
+// Profile{} generates plain fault-free scenarios. Start from
+// DefaultProfile for the full workload mix.
+//
+// List-valued fields are sampled uniformly; repeating an entry weights
+// it. Probabilities are in [0, 1].
+type Profile struct {
+	// Agents is the agent-count distribution (minimum 1).
+	Agents IntRange
+	// Items is the per-scenario auctioned-item count distribution
+	// (minimum 1; every agent sees the same item set).
+	Items IntRange
+	// Topologies lists the candidate network shapes: "line", "ring",
+	// "star", "complete", "random" (seeded Erdős–Rényi over a random
+	// spanning tree, always connected).
+	Topologies []string
+	// EdgeProb is the extra-edge probability for "random" topologies.
+	EdgeProb FloatRange
+	// Utilities lists the candidate bidding utilities by their codec
+	// kind: "submodular-residual", "flat", "non-submodular-synergy",
+	// "escalating-attack". The last two violate Definition 2 and breed
+	// counterexamples.
+	Utilities []string
+	// ReleaseProb is the probability an agent uses the release-outbid
+	// policy (p_RO).
+	ReleaseProb float64
+	// RebidModes lists the candidate Remark 1 rebid rules: "on-change",
+	// "never", "always" ("always" is the Result 2 attack surface).
+	RebidModes []string
+	// BidsPerRoundMax bounds the per-round bidding cap; each agent draws
+	// from 0 (unlimited) to this value. 0 keeps every agent unlimited.
+	BidsPerRoundMax int
+	// BaseMax bounds the per-item private valuations, drawn from
+	// [1, BaseMax].
+	BaseMax int64
+	// TargetFull is the probability an agent's bundle target p_T covers
+	// every item; otherwise the target is drawn from [1, items].
+	TargetFull float64
+
+	// DuplicateProb is the probability a scenario explores at-least-once
+	// delivery (explore.Options.DuplicateDeliveries).
+	DuplicateProb float64
+	// QueueDepths lists candidate per-channel queue bounds
+	// (explore.Options.QueueDepth): 0 is the engine default of 2, -1
+	// means unbounded channels (state-space heavy; pair with a modest
+	// MaxStates). Other negatives are rejected.
+	QueueDepths []int
+	// MaxStates is the explicit-state exploration budget distribution.
+	MaxStates IntRange
+
+	// FaultProb is the probability a scenario carries a network fault
+	// model at all; the remaining fault fields shape it.
+	FaultProb float64
+	// DropMax bounds the uniform message-drop probability.
+	DropMax float64
+	// DelayMax bounds the uniform delivery delay in ticks.
+	DelayMax int
+	// PartitionProb is the probability a faulty scenario splits the
+	// agents into two partition blocks.
+	PartitionProb float64
+	// HealAfterMax bounds the partition heal tick; a partitioned
+	// scenario draws from [0, HealAfterMax], where 0 keeps the partition
+	// permanent.
+	HealAfterMax int
+
+	// ModelProb is the probability a scenario carries a bounded
+	// relational model for the SAT backends.
+	ModelProb float64
+	// ModelEncodings lists the candidate encodings: "naive",
+	// "optimized".
+	ModelEncodings []string
+	// ModelStates is the relational trace-length distribution
+	// (minimum 2).
+	ModelStates IntRange
+	// ModelMsgs is the relational message-atom distribution (minimum 1).
+	ModelMsgs IntRange
+}
+
+// DefaultProfile is the generator's built-in workload mix: small honest
+// scenarios over every topology, a third of them under network faults,
+// a quarter carrying a relational model. It is the profile cmd/mcafuzz
+// and POST /generate use when none is supplied.
+func DefaultProfile() Profile {
+	return Profile{
+		Agents:          IntRange{Min: 2, Max: 4},
+		Items:           IntRange{Min: 2, Max: 3},
+		Topologies:      []string{"line", "ring", "star", "complete", "random"},
+		EdgeProb:        FloatRange{Min: 0.3, Max: 0.7},
+		Utilities:       []string{"submodular-residual", "flat"},
+		ReleaseProb:     0.5,
+		RebidModes:      []string{"on-change"},
+		BidsPerRoundMax: 2,
+		BaseMax:         30,
+		TargetFull:      0.5,
+		DuplicateProb:   0.15,
+		QueueDepths:     []int{0},
+		MaxStates:       IntRange{Min: 10000, Max: 50000},
+		FaultProb:       0.3,
+		DropMax:         0.3,
+		DelayMax:        3,
+		PartitionProb:   0.25,
+		HealAfterMax:    40,
+		ModelProb:       0.25,
+		ModelEncodings:  []string{"naive", "optimized"},
+		ModelStates:     IntRange{Min: 2, Max: 2},
+		ModelMsgs:       IntRange{Min: 1, Max: 1},
+	}
+}
+
+// zero reports whether r is the unset range.
+func (r IntRange) zero() bool { return r.Min == 0 && r.Max == 0 }
+
+func (r FloatRange) zero() bool { return r.Min == 0 && r.Max == 0 }
+
+// withDefaults fills every unset field from DefaultProfile.
+func (p Profile) withDefaults() Profile {
+	d := DefaultProfile()
+	if p.Agents.zero() {
+		p.Agents = d.Agents
+	}
+	if p.Items.zero() {
+		p.Items = d.Items
+	}
+	if len(p.Topologies) == 0 {
+		p.Topologies = d.Topologies
+	}
+	if p.EdgeProb.zero() {
+		p.EdgeProb = d.EdgeProb
+	}
+	if len(p.Utilities) == 0 {
+		p.Utilities = d.Utilities
+	}
+	if len(p.RebidModes) == 0 {
+		p.RebidModes = d.RebidModes
+	}
+	if p.BaseMax == 0 {
+		p.BaseMax = d.BaseMax
+	}
+	if len(p.QueueDepths) == 0 {
+		p.QueueDepths = d.QueueDepths
+	}
+	if p.MaxStates.zero() {
+		p.MaxStates = d.MaxStates
+	}
+	if len(p.ModelEncodings) == 0 {
+		p.ModelEncodings = d.ModelEncodings
+	}
+	if p.ModelStates.zero() {
+		p.ModelStates = d.ModelStates
+	}
+	if p.ModelMsgs.zero() {
+		p.ModelMsgs = d.ModelMsgs
+	}
+	return p
+}
+
+// knownTopologies, knownUtilities, knownRebids, knownEncodings are the
+// vocabularies Validate checks list fields against.
+var (
+	knownTopologies = map[string]bool{"line": true, "ring": true, "star": true, "complete": true, "random": true}
+	knownUtilities  = map[string]bool{"submodular-residual": true, "flat": true, "non-submodular-synergy": true, "escalating-attack": true}
+	knownRebids     = map[string]bool{"on-change": true, "never": true, "always": true}
+	knownEncodings  = map[string]bool{"naive": true, "optimized": true}
+)
+
+// Validate rejects malformed profiles: inverted or out-of-bounds
+// ranges, unknown list tokens, probabilities outside [0, 1]. Unset
+// fields (zero ranges, empty lists, zero BaseMax) are valid — they mean
+// "use the DefaultProfile value" — so partial profiles validate as
+// written. Every range also has a generous upper bound: profiles reach
+// Generate straight from a POST /generate request body, and the caps
+// are what keeps one request from building a multi-gigabyte graph or
+// CNF before any timeout can apply.
+func (p Profile) Validate() error {
+	checkRange := func(name string, r IntRange, min, max int) error {
+		if r.zero() {
+			return nil
+		}
+		if r.Min > r.Max {
+			return fmt.Errorf("gen: profile %s range [%d,%d] is inverted", name, r.Min, r.Max)
+		}
+		if r.Min < min {
+			return fmt.Errorf("gen: profile %s minimum %d is below %d", name, r.Min, min)
+		}
+		if r.Max > max {
+			return fmt.Errorf("gen: profile %s maximum %d is above %d", name, r.Max, max)
+		}
+		return nil
+	}
+	checkProb := func(name string, v float64) error {
+		if v < 0 || v > 1 {
+			return fmt.Errorf("gen: profile %s %v outside [0,1]", name, v)
+		}
+		return nil
+	}
+	checkList := func(name string, vs []string, known map[string]bool) error {
+		for _, v := range vs {
+			if !known[v] {
+				return fmt.Errorf("gen: profile %s token %q unknown", name, v)
+			}
+		}
+		return nil
+	}
+	for _, err := range []error{
+		checkRange("agents", p.Agents, 1, 64),
+		checkRange("items", p.Items, 1, 16),
+		checkRange("max_states", p.MaxStates, 1, 10_000_000),
+		checkRange("model_states", p.ModelStates, 2, 5),
+		checkRange("model_msgs", p.ModelMsgs, 1, 5),
+		checkProb("release_prob", p.ReleaseProb),
+		checkProb("target_full", p.TargetFull),
+		checkProb("duplicate_prob", p.DuplicateProb),
+		checkProb("fault_prob", p.FaultProb),
+		checkProb("drop_max", p.DropMax),
+		checkProb("partition_prob", p.PartitionProb),
+		checkProb("model_prob", p.ModelProb),
+		checkList("topologies", p.Topologies, knownTopologies),
+		checkList("utilities", p.Utilities, knownUtilities),
+		checkList("rebid_modes", p.RebidModes, knownRebids),
+		checkList("model_encodings", p.ModelEncodings, knownEncodings),
+	} {
+		if err != nil {
+			return err
+		}
+	}
+	if !p.EdgeProb.zero() && (p.EdgeProb.Min > p.EdgeProb.Max || p.EdgeProb.Min < 0 || p.EdgeProb.Max > 1) {
+		return fmt.Errorf("gen: profile edge_prob range [%v,%v] outside [0,1] or inverted", p.EdgeProb.Min, p.EdgeProb.Max)
+	}
+	if p.BidsPerRoundMax < 0 || p.BidsPerRoundMax > 100 {
+		return fmt.Errorf("gen: profile bids_per_round_max %d outside 0..100", p.BidsPerRoundMax)
+	}
+	if p.BaseMax < 0 || p.BaseMax > 1<<30 {
+		return fmt.Errorf("gen: profile base_max %d outside 0..2^30", p.BaseMax)
+	}
+	if p.DelayMax < 0 || p.DelayMax > 10_000 {
+		return fmt.Errorf("gen: profile delay_max %d outside 0..10000", p.DelayMax)
+	}
+	if p.HealAfterMax < 0 || p.HealAfterMax > 1_000_000 {
+		return fmt.Errorf("gen: profile heal_after_max %d outside 0..1000000", p.HealAfterMax)
+	}
+	for _, d := range p.QueueDepths {
+		if d < -1 {
+			return fmt.Errorf("gen: profile queue_depths entry %d (want -1 unbounded, 0 default, or a positive bound)", d)
+		}
+	}
+	return nil
+}
+
+// ---- JSON codec ----
+//
+// The profile wire format follows the scenario codec's conventions:
+// fixed field order, defaults omitted, strict decoding (unknown fields
+// and trailing data are errors). Because unset fields mean "use the
+// default", a decoded partial profile behaves exactly like the same
+// partial literal in Go.
+
+type profileJSON struct {
+	Agents          *intRangeJSON   `json:"agents,omitempty"`
+	Items           *intRangeJSON   `json:"items,omitempty"`
+	Topologies      []string        `json:"topologies,omitempty"`
+	EdgeProb        *floatRangeJSON `json:"edge_prob,omitempty"`
+	Utilities       []string        `json:"utilities,omitempty"`
+	ReleaseProb     float64         `json:"release_prob,omitempty"`
+	RebidModes      []string        `json:"rebid_modes,omitempty"`
+	BidsPerRoundMax int             `json:"bids_per_round_max,omitempty"`
+	BaseMax         int64           `json:"base_max,omitempty"`
+	TargetFull      float64         `json:"target_full,omitempty"`
+	DuplicateProb   float64         `json:"duplicate_prob,omitempty"`
+	QueueDepths     []int           `json:"queue_depths,omitempty"`
+	MaxStates       *intRangeJSON   `json:"max_states,omitempty"`
+	FaultProb       float64         `json:"fault_prob,omitempty"`
+	DropMax         float64         `json:"drop_max,omitempty"`
+	DelayMax        int             `json:"delay_max,omitempty"`
+	PartitionProb   float64         `json:"partition_prob,omitempty"`
+	HealAfterMax    int             `json:"heal_after_max,omitempty"`
+	ModelProb       float64         `json:"model_prob,omitempty"`
+	ModelEncodings  []string        `json:"model_encodings,omitempty"`
+	ModelStates     *intRangeJSON   `json:"model_states,omitempty"`
+	ModelMsgs       *intRangeJSON   `json:"model_msgs,omitempty"`
+}
+
+type intRangeJSON struct {
+	Min int `json:"min"`
+	Max int `json:"max"`
+}
+
+type floatRangeJSON struct {
+	Min float64 `json:"min"`
+	Max float64 `json:"max"`
+}
+
+func intRangeToWire(r IntRange) *intRangeJSON {
+	if r.zero() {
+		return nil
+	}
+	return &intRangeJSON{Min: r.Min, Max: r.Max}
+}
+
+func floatRangeToWire(r FloatRange) *floatRangeJSON {
+	if r.zero() {
+		return nil
+	}
+	return &floatRangeJSON{Min: r.Min, Max: r.Max}
+}
+
+// EncodeProfile renders the profile as JSON in the codec's fixed field
+// order, omitting unset fields (which decode back as defaults).
+func EncodeProfile(p *Profile) ([]byte, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	w := profileJSON{
+		Agents:          intRangeToWire(p.Agents),
+		Items:           intRangeToWire(p.Items),
+		Topologies:      p.Topologies,
+		EdgeProb:        floatRangeToWire(p.EdgeProb),
+		Utilities:       p.Utilities,
+		ReleaseProb:     p.ReleaseProb,
+		RebidModes:      p.RebidModes,
+		BidsPerRoundMax: p.BidsPerRoundMax,
+		BaseMax:         p.BaseMax,
+		TargetFull:      p.TargetFull,
+		DuplicateProb:   p.DuplicateProb,
+		QueueDepths:     p.QueueDepths,
+		MaxStates:       intRangeToWire(p.MaxStates),
+		FaultProb:       p.FaultProb,
+		DropMax:         p.DropMax,
+		DelayMax:        p.DelayMax,
+		PartitionProb:   p.PartitionProb,
+		HealAfterMax:    p.HealAfterMax,
+		ModelProb:       p.ModelProb,
+		ModelEncodings:  p.ModelEncodings,
+		ModelStates:     intRangeToWire(p.ModelStates),
+		ModelMsgs:       intRangeToWire(p.ModelMsgs),
+	}
+	return json.Marshal(w)
+}
+
+// DecodeProfile strictly parses a profile document: unknown fields and
+// trailing data are errors, and the decoded profile is validated.
+// Absent fields decode as unset, with Profile's semantics: structural
+// fields then default, probabilities stay zero.
+func DecodeProfile(data []byte) (Profile, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var w profileJSON
+	if err := dec.Decode(&w); err != nil {
+		return Profile{}, fmt.Errorf("gen: profile: %w", err)
+	}
+	if dec.More() {
+		return Profile{}, errors.New("gen: profile: trailing data after JSON document")
+	}
+	p := Profile{
+		Topologies:      w.Topologies,
+		Utilities:       w.Utilities,
+		ReleaseProb:     w.ReleaseProb,
+		RebidModes:      w.RebidModes,
+		BidsPerRoundMax: w.BidsPerRoundMax,
+		BaseMax:         w.BaseMax,
+		TargetFull:      w.TargetFull,
+		DuplicateProb:   w.DuplicateProb,
+		QueueDepths:     w.QueueDepths,
+		FaultProb:       w.FaultProb,
+		DropMax:         w.DropMax,
+		DelayMax:        w.DelayMax,
+		PartitionProb:   w.PartitionProb,
+		HealAfterMax:    w.HealAfterMax,
+		ModelProb:       w.ModelProb,
+		ModelEncodings:  w.ModelEncodings,
+	}
+	if w.Agents != nil {
+		p.Agents = IntRange{Min: w.Agents.Min, Max: w.Agents.Max}
+	}
+	if w.Items != nil {
+		p.Items = IntRange{Min: w.Items.Min, Max: w.Items.Max}
+	}
+	if w.EdgeProb != nil {
+		p.EdgeProb = FloatRange{Min: w.EdgeProb.Min, Max: w.EdgeProb.Max}
+	}
+	if w.MaxStates != nil {
+		p.MaxStates = IntRange{Min: w.MaxStates.Min, Max: w.MaxStates.Max}
+	}
+	if w.ModelStates != nil {
+		p.ModelStates = IntRange{Min: w.ModelStates.Min, Max: w.ModelStates.Max}
+	}
+	if w.ModelMsgs != nil {
+		p.ModelMsgs = IntRange{Min: w.ModelMsgs.Min, Max: w.ModelMsgs.Max}
+	}
+	if err := p.Validate(); err != nil {
+		return Profile{}, err
+	}
+	return p, nil
+}

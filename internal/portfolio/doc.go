@@ -1,6 +1,8 @@
-// Package portfolio is the parallel verification engine: it decides CNF
+// Package portfolio is the parallel SAT solving layer: it decides CNF
 // satisfiability with many cooperating sat.Solver instances instead of
-// one. Two strategies are provided, selectable per call:
+// one. (In engine-layer terms it is the parallel backend behind the SAT
+// adapter, not a verification engine of its own.) Two strategies are
+// provided, selectable per call:
 //
 //   - a SAT portfolio — N solvers with diversified heuristics (phase
 //     defaults, restart cadence, random polarity perturbation) race on

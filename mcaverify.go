@@ -6,6 +6,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/engine"
 	"repro/internal/explore"
+	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/mca"
 	"repro/internal/mcamodel"
@@ -256,9 +257,13 @@ func EncodeScenario(s *Scenario) ([]byte, error) { return engine.EncodeScenario(
 // wrong versions, and unknown enum tokens are errors.
 func DecodeScenario(data []byte) (Scenario, error) { return engine.DecodeScenario(data) }
 
-// EncodeResult and DecodeResult round-trip unified results.
-func EncodeResult(r *Result) ([]byte, error)        { return engine.EncodeResult(r) }
-func DecodeResult(data []byte) (Result, error)      { return engine.DecodeResult(data) }
+// EncodeResult renders a unified result as canonical versioned JSON.
+func EncodeResult(r *Result) ([]byte, error) { return engine.EncodeResult(r) }
+
+// DecodeResult strictly parses a result document.
+func DecodeResult(data []byte) (Result, error) { return engine.DecodeResult(data) }
+
+// EncodeSummary renders a sweep summary as versioned JSON.
 func EncodeSummary(s *SweepSummary) ([]byte, error) { return engine.EncodeSummary(s) }
 
 // ExpandSweep expands a sweep document — a base scenario plus axes of
@@ -289,6 +294,99 @@ type (
 
 // NewCache builds a verification result cache.
 func NewCache(o CacheOptions) (*VerificationCache, error) { return cache.New(o) }
+
+// ---- Scenario generation, shrinking, differential fuzzing (internal/gen) ----
+
+// Fuzzing layer types.
+type (
+	// FuzzProfile tunes the seeded scenario generator: agent-count and
+	// topology distributions, policy and utility mixes, network fault
+	// ranges, exploration-bound ranges, and the probability of attaching
+	// a relational model. Unset structural fields take defaults;
+	// probabilities are literal (zero means never).
+	FuzzProfile = gen.Profile
+	// FuzzIntRange is an inclusive integer interval sampled uniformly.
+	FuzzIntRange = gen.IntRange
+	// FuzzFloatRange is a float interval sampled uniformly.
+	FuzzFloatRange = gen.FloatRange
+	// DiffOptions configures the cross-engine differential oracle.
+	DiffOptions = gen.DiffOptions
+	// DiffResult is the oracle's verdict on one scenario: every engine
+	// leg plus whether the verdicts are mutually consistent.
+	DiffResult = gen.DiffResult
+	// DiffLeg is one engine's verdict inside a DiffResult.
+	DiffLeg = gen.Leg
+	// DiffSummary aggregates an oracle sweep.
+	DiffSummary = gen.DiffSummary
+	// ShrinkOptions tunes the counterexample shrinker.
+	ShrinkOptions = gen.ShrinkOptions
+	// ShrinkStats counts the shrinker's work.
+	ShrinkStats = gen.ShrinkStats
+	// DiffClass is the comparability class of one oracle leg.
+	DiffClass = gen.LegClass
+)
+
+// Oracle comparability classes.
+const (
+	// DiffClassDynamicExact: exhaustive convergence checkers (Explicit).
+	DiffClassDynamicExact = gen.ClassDynamicExact
+	// DiffClassDynamicSampling: seeded-schedule samplers (Simulation),
+	// allowed to miss a violation but never to invent one.
+	DiffClassDynamicSampling = gen.ClassDynamicSampling
+	// DiffClassRelational: bounded relational-model checkers (SAT);
+	// every encoding and strategy must agree exactly.
+	DiffClassRelational = gen.ClassRelational
+)
+
+// DefaultFuzzProfile returns the generator's built-in workload mix
+// (small scenarios over every topology, a third under network faults, a
+// quarter carrying relational models).
+func DefaultFuzzProfile() FuzzProfile { return gen.DefaultProfile() }
+
+// Generate manufactures n scenarios from the profile, deterministically
+// in (profile, seed): the same call returns byte-identical scenarios
+// under the canonical codec, independent of corpus length or any later
+// worker count.
+func Generate(p FuzzProfile, seed int64, n int) ([]Scenario, error) {
+	return gen.Generate(p, seed, n)
+}
+
+// EncodeFuzzProfile renders a generator profile in the strict JSON
+// format of docs/FUZZING.md.
+func EncodeFuzzProfile(p *FuzzProfile) ([]byte, error) { return gen.EncodeProfile(p) }
+
+// DecodeFuzzProfile strictly parses a generator profile document.
+func DecodeFuzzProfile(data []byte) (FuzzProfile, error) { return gen.DecodeProfile(data) }
+
+// Shrink greedily minimizes a scenario while keep stays true — greedy
+// delta debugging over agents, items, edges, faults, exploration
+// options, and the relational model. The result is never larger than
+// the input.
+func Shrink(s Scenario, keep func(Scenario) bool, opts ShrinkOptions) (Scenario, ShrinkStats) {
+	return gen.Shrink(s, keep, opts)
+}
+
+// ShrinkFailure minimizes a failing scenario while it keeps producing
+// the same Status and violation kind on the engine (nil means the
+// natural backend).
+func ShrinkFailure(ctx context.Context, s Scenario, e Engine, opts ShrinkOptions) (Scenario, ShrinkStats, error) {
+	return gen.ShrinkFailure(ctx, s, e, opts)
+}
+
+// DiffVerify runs one scenario through a panel of engines (nil panel
+// means serial explicit + generously budgeted simulation + SAT, with
+// the sibling naive/optimized encoding cross-checked) and reports
+// whether the verdicts are mutually consistent.
+func DiffVerify(ctx context.Context, s Scenario, opts DiffOptions) DiffResult {
+	return gen.DiffVerify(ctx, s, opts)
+}
+
+// DiffSweep runs the differential oracle over a scenario set on a
+// worker pool; results are indexed by scenario position and identical
+// at any worker count.
+func DiffSweep(ctx context.Context, scenarios []Scenario, opts DiffOptions) ([]DiffResult, DiffSummary) {
+	return gen.DiffSweep(ctx, scenarios, opts)
+}
 
 // Policy sweep (Result 1) types.
 type (

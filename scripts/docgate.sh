@@ -1,8 +1,13 @@
 #!/bin/sh
-# Doc gate: every package under ./internal/... plus the root package
-# must carry a package comment (the doc.go convention). go list's .Doc
-# field is the package documentation synopsis; empty means the package
-# clause has no comment.
+# Doc gate, two tiers:
+#
+#  1. Every package under ./internal/... plus the root package must
+#     carry a package comment (the doc.go convention). go list's .Doc
+#     field is the package documentation synopsis; empty means the
+#     package clause has no comment.
+#  2. In the packages whose godoc is the product surface — the root
+#     facade and internal/gen — every *exported identifier* must carry
+#     a doc comment too (scripts/docgate/main.go).
 set -eu
 cd "$(dirname "$0")/.."
 missing=$(go list -f '{{if not .Doc}}{{.ImportPath}}{{end}}' ./internal/... .)
@@ -12,3 +17,4 @@ if [ -n "$missing" ]; then
     exit 1
 fi
 echo "doc gate: all packages documented"
+go run ./scripts/docgate . ./internal/gen

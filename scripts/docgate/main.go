@@ -1,0 +1,137 @@
+// Command docgate enforces the exported-documentation gate: every
+// exported identifier in the package directories given as arguments
+// must carry a doc comment (its own, or its declaration block's). It
+// complements the package-comment check in scripts/docgate.sh — that
+// catches undocumented packages, this catches undocumented API inside
+// the packages where godoc is the product surface (the root facade,
+// internal/gen).
+//
+// Usage:
+//
+//	go run ./scripts/docgate . ./internal/gen
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"strings"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: docgate <package dir> ...")
+		os.Exit(2)
+	}
+	bad := 0
+	for _, dir := range os.Args[1:] {
+		missing, err := check(dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "docgate: %s: %v\n", dir, err)
+			os.Exit(2)
+		}
+		for _, m := range missing {
+			fmt.Fprintln(os.Stderr, m)
+			bad++
+		}
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "docgate: %d exported identifiers without doc comments\n", bad)
+		os.Exit(1)
+	}
+	fmt.Println("docgate: all exported identifiers documented")
+}
+
+// check parses one package directory (tests excluded) and returns one
+// message per undocumented exported identifier.
+func check(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	var missing []string
+	report := func(pos token.Pos, kind, name string) {
+		p := fset.Position(pos)
+		missing = append(missing, fmt.Sprintf("%s:%d: exported %s %s has no doc comment", p.Filename, p.Line, kind, name))
+	}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					if !d.Name.IsExported() || !receiverExported(d) {
+						continue
+					}
+					if d.Doc == nil {
+						kind := "function"
+						if d.Recv != nil {
+							kind = "method"
+						}
+						report(d.Name.Pos(), kind, d.Name.Name)
+					}
+				case *ast.GenDecl:
+					checkGenDecl(d, report)
+				}
+			}
+		}
+	}
+	return missing, nil
+}
+
+// receiverExported reports whether a method's receiver type is
+// exported (methods on unexported types are not godoc surface).
+func receiverExported(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	t := d.Recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr: // generic receiver T[P]
+			t = tt.X
+		case *ast.IndexListExpr:
+			t = tt.X
+		case *ast.Ident:
+			return tt.IsExported()
+		default:
+			return true
+		}
+	}
+}
+
+// checkGenDecl handles const/var/type declarations: a doc comment on
+// the declaration block covers every spec inside it; otherwise each
+// exported spec needs its own (or a trailing line comment).
+func checkGenDecl(d *ast.GenDecl, report func(token.Pos, string, string)) {
+	if d.Doc != nil {
+		return
+	}
+	kind := map[token.Token]string{token.CONST: "const", token.VAR: "var", token.TYPE: "type"}[d.Tok]
+	if kind == "" {
+		return // import declarations
+	}
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if s.Name.IsExported() && s.Doc == nil && s.Comment == nil {
+				report(s.Name.Pos(), kind, s.Name.Name)
+			}
+		case *ast.ValueSpec:
+			if s.Doc != nil || s.Comment != nil {
+				continue
+			}
+			for _, n := range s.Names {
+				if n.IsExported() {
+					report(n.Pos(), kind, n.Name)
+				}
+			}
+		}
+	}
+}
