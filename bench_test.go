@@ -587,6 +587,7 @@ func exploreBenchAgents() []*mca.Agent {
 }
 
 func BenchmarkExploreSerial(b *testing.B) {
+	b.ReportAllocs() // allocs/op is a tracked metric of the hot-path work (BENCH_5.json)
 	states := 0
 	for i := 0; i < b.N; i++ {
 		v := explore.Check(exploreBenchAgents(), graph.Ring(3), explore.Options{MaxStates: 2000000})
@@ -602,6 +603,7 @@ func BenchmarkParallelExplore(b *testing.B) {
 	var refStates int
 	for _, workers := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs() // allocs/op is a tracked metric of the hot-path work (BENCH_5.json)
 			states := 0
 			for i := 0; i < b.N; i++ {
 				v := explore.CheckParallel(exploreBenchAgents(), graph.Ring(3), explore.Options{MaxStates: 2000000}, workers)

@@ -33,6 +33,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/mca"
 	"repro/internal/netsim"
+	"repro/internal/profiling"
 
 	// Register the mca-model codec so -scenario files with relational
 	// models decode.
@@ -62,9 +63,17 @@ func run(args []string) int {
 	sweep := fs.Bool("sweep", false, "run the Result 1 policy sweep instead of a single check")
 	scenarioFile := fs.String("scenario", "", "verify a scenario JSON file (docs/SCENARIO_FORMAT.md) instead of building one from flags")
 	showTrace := fs.Bool("trace", true, "print the counterexample trace on failure")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
+	memProfile := fs.String("memprofile", "", "write a heap profile to this file at exit (go tool pprof)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	stopProfiling, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mcacheck:", err)
+		return 2
+	}
+	defer stopProfiling()
 
 	ctx := context.Background()
 	if *timeout > 0 {

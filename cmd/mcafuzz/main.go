@@ -36,6 +36,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/engine"
 	"repro/internal/gen"
+	"repro/internal/profiling"
 )
 
 func main() {
@@ -53,9 +54,17 @@ func run(args []string, out io.Writer) int {
 	outDir := fs.String("out", "", "directory for corpus files (created if absent); disagreements are always written here when set")
 	dump := fs.Bool("dump", false, "also write every generated scenario to -out, not just disagreements")
 	cacheDir := fs.String("cachedir", "", "persistent result-cache directory; re-runs of the same corpus become lookups")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
+	memProfile := fs.String("memprofile", "", "write a heap profile to this file at exit (go tool pprof)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	stopProfiling, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mcafuzz:", err)
+		return 2
+	}
+	defer stopProfiling()
 	if (*shrink || *dump) && *outDir == "" {
 		fmt.Fprintln(os.Stderr, "mcafuzz: -shrink and -dump write corpus files and require -out")
 		return 2

@@ -688,6 +688,7 @@ type statsJSON struct {
 	States      int   `json:"states,omitempty"`
 	MaxDepth    int   `json:"max_depth,omitempty"`
 	Exhausted   bool  `json:"exhausted,omitempty"`
+	Capped      bool  `json:"capped,omitempty"`
 	PrimaryVars int   `json:"primary_vars,omitempty"`
 	AuxVars     int   `json:"aux_vars,omitempty"`
 	Clauses     int   `json:"clauses,omitempty"`
@@ -749,6 +750,7 @@ func EncodeResult(r *Result) ([]byte, error) {
 		States:      r.Stats.States,
 		MaxDepth:    r.Stats.MaxDepth,
 		Exhausted:   r.Stats.Exhausted,
+		Capped:      r.Stats.Capped,
 		PrimaryVars: r.Stats.PrimaryVars,
 		AuxVars:     r.Stats.AuxVars,
 		Clauses:     r.Stats.Clauses,
@@ -817,6 +819,7 @@ func DecodeResult(data []byte) (Result, error) {
 			States:        w.Stats.States,
 			MaxDepth:      w.Stats.MaxDepth,
 			Exhausted:     w.Stats.Exhausted,
+			Capped:        w.Stats.Capped,
 			PrimaryVars:   w.Stats.PrimaryVars,
 			AuxVars:       w.Stats.AuxVars,
 			Clauses:       w.Stats.Clauses,
@@ -852,6 +855,7 @@ func DecodeResult(data []byte) (Result, error) {
 			States:    r.Stats.States,
 			MaxDepth:  r.Stats.MaxDepth,
 			Exhausted: r.Stats.Exhausted,
+			Capped:    r.Stats.Capped,
 		}
 	}
 	return r, nil

@@ -119,10 +119,13 @@ func (s Status) String() string {
 
 // Stats aggregates the per-engine effort counters into one shape.
 type Stats struct {
-	// Explicit-state: states visited, deepest path, full exploration.
+	// Explicit-state: states visited, deepest path, full exploration;
+	// Capped marks runs stopped by the MaxStates budget (Exhausted is
+	// false both then and on cancellation — Capped tells them apart).
 	States    int
 	MaxDepth  int
 	Exhausted bool
+	Capped    bool
 	// SAT: translation sizes and times.
 	PrimaryVars   int
 	AuxVars       int

@@ -10,7 +10,7 @@ import (
 
 // Explicit is the explicit-state backend adapter: the exhaustive
 // bounded model checker over all message interleavings, run either as
-// the serial DFS or as the sharded level-synchronous parallel frontier.
+// the serial DFS or as the sharded pipelined parallel frontier.
 type Explicit struct {
 	// Workers selects the backend: 0 runs the serial DFS; any other
 	// value runs the sharded parallel frontier with that many shards
@@ -73,6 +73,7 @@ func (e Explicit) Verify(ctx context.Context, s Scenario) Result {
 			States:    v.States,
 			MaxDepth:  v.MaxDepth,
 			Exhausted: v.Exhausted,
+			Capped:    v.Capped,
 			Wall:      time.Since(start),
 		},
 	}

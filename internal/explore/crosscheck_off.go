@@ -1,0 +1,10 @@
+//go:build !explorecheck
+
+package explore
+
+// crosscheckInterval arms the incremental-key self-check on every
+// explorer when positive: every interval-th key computation is
+// recomputed cold and against the reference serializer (see
+// keyScratch.crosscheck). The default build leaves it off; the
+// explorecheck build tag turns it on, and tests set it directly.
+var crosscheckInterval uint64 = 0

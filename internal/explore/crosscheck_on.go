@@ -1,0 +1,11 @@
+//go:build explorecheck
+
+package explore
+
+// crosscheckInterval under the explorecheck build tag: every 256th key
+// computation in every explorer is recomputed cold and against the
+// reference serializer, panicking on divergence. Run the explore test
+// suite with `go test -tags explorecheck ./internal/explore/` to soak
+// the incremental hasher against the serializer on every seeded
+// scenario the suite explores.
+var crosscheckInterval uint64 = 256

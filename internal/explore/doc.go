@@ -18,11 +18,17 @@
 //
 // Key entry points: Check (serial DFS with queue capture/rollback and
 // replay-built counterexample traces), CheckParallel (sharded
-// level-synchronous parallel frontier with a hash-partitioned seen-set
-// and SCC-based oscillation detection), Options (the val bound, state
+// pipelined parallel frontier: level-ordered exploration with a
+// hash-partitioned seen-set, batched cross-shard routing, and
+// SCC-based oscillation detection), Options (the val bound, state
 // budget, queue depth, duplicate-delivery fault injection, and the
 // cooperative Cancel hook the engine layer drives from contexts), and
 // PolicySweep (the Result 1 policy matrix).
+//
+// Hot-path engineering — incremental canonical hashing with a
+// reference-serializer crosscheck, compact open-addressing state
+// stores (occupancy reported on Verdict.Store), pooled pointer-free
+// frontier storage — is documented in docs/PERFORMANCE.md.
 //
 // Determinism: both checkers are deterministic in (agents, graph,
 // Options); CheckParallel additionally returns the same verdict and the

@@ -64,7 +64,8 @@ type Options struct {
 	// genuinely diverging executions.
 	HardLimitFactor int
 	// MaxStates caps the number of distinct states visited (default
-	// 200000); exceeding it yields an inconclusive verdict.
+	// 200000); exceeding it yields an inconclusive verdict with
+	// Verdict.Capped set.
 	MaxStates int
 	// QueueDepth bounds each directed channel to this many in-flight
 	// messages (default 2: the oldest plus the latest; the tail
@@ -116,22 +117,36 @@ type Verdict struct {
 	Violation ViolationKind
 	// Trace is the counterexample path (nil when OK).
 	Trace *trace.Recorder
-	// States is the number of distinct canonical states visited.
+	// States is the number of distinct canonical states actually
+	// explored — the true count even when it overshoots MaxStates
+	// (CheckParallel stops at level granularity, so a budget-capped run
+	// may finish the level in flight).
 	States int
 	// MaxDepth is the deepest delivery count reached.
 	MaxDepth int
 	// Exhausted reports whether the state space was fully explored
 	// within MaxStates.
 	Exhausted bool
+	// Capped reports that exploration stopped because the MaxStates
+	// budget was reached, distinguishing budget-capped runs from
+	// cancelled ones (both report Exhausted=false).
+	Capped bool
+	// Store reports seen-set occupancy and probe statistics. It is
+	// diagnostic only and exempt from the determinism contract: probe
+	// counts vary with worker count and scheduling.
+	Store StoreStats
 }
 
 // checker carries the DFS state.
 type checker struct {
-	agents  []*mca.Agent
-	net     *netsim.Network
-	g       *graph.Graph
-	opts    Options
-	visited map[[2]uint64]bool
+	agents []*mca.Agent
+	net    *netsim.Network
+	g      *graph.Graph
+	opts   Options
+	// visited is the compact seen-set of fully explored states; onPath
+	// tracks only the current DFS path (bounded by the hard limit, with
+	// per-branch deletion) for oscillation detection.
+	visited stateTable
 	onPath  map[[2]uint64]pathMark
 	// path is the current delivery sequence; counterexample traces are
 	// rebuilt by replaying it from the initial state, so the hot loop
@@ -140,15 +155,19 @@ type checker struct {
 	states0 []mca.AgentState
 	net0    *netsim.Network
 	keys    keyScratch
-	// snapStack and agentStack hold one queue snapshot / agent-state
-	// save per recursion depth so every branch reuses its depth's
-	// storage instead of allocating; edgeBuf is shared across depths
-	// (consumed before recursing).
-	snapStack  []netsim.QueueSnapshot
-	agentStack [][]mca.AgentState
-	edgeBuf    []netsim.Edge
-	verdict    *Verdict
-	cancelled  bool
+	// snapStack, saveStack, and pendStack hold one queue snapshot, one
+	// receiver-state save, and one pending-edge list per recursion depth
+	// so every branch reuses its depth's storage instead of allocating;
+	// edgeBuf is shared across depths (consumed before recursing). Only
+	// the delivery's receiver is saved: applyDelivery mutates no other
+	// agent.
+	snapStack []netsim.QueueSnapshot
+	saveStack []mca.AgentState
+	pendStack [][]netsim.Edge
+	edgeBuf   []netsim.Edge
+	verdict   *Verdict
+	cancelled bool
+	capped    bool
 }
 
 // pathMark remembers where a state first appeared on the DFS path and
@@ -159,6 +178,10 @@ type pathMark struct {
 	step    int
 	changes int
 }
+
+// visitedMark is the placeholder node stored in the serial checker's
+// seen-set (the table maps keys to nodes; the DFS needs only presence).
+var visitedMark = &pathNode{}
 
 // Check explores all message interleavings of the MCA protocol over the
 // given agents and agent network, and verifies the consensus property.
@@ -177,21 +200,23 @@ func Check(agents []*mca.Agent, g *graph.Graph, opts Options) Verdict {
 		net:     net,
 		g:       g,
 		opts:    opts,
-		visited: make(map[[2]uint64]bool),
 		onPath:  make(map[[2]uint64]pathMark),
 		verdict: &Verdict{},
 	}
+	c.keys.interval = crosscheckInterval
 	// Initial transition: all agents bid and broadcast.
 	for _, a := range agents {
 		if a.BidPhase() {
-			c.net.Broadcast(a.ID(), a.Snapshot)
+			c.net.BroadcastAgent(a)
 		}
 	}
 	c.states0 = saveStates(agents)
 	c.net0 = c.net.Clone()
 	c.dfs(0, 0)
-	c.verdict.Exhausted = !c.cancelled && c.verdict.States < opts.MaxStates
+	c.verdict.Exhausted = !c.cancelled && !c.capped && c.verdict.States < opts.MaxStates
+	c.verdict.Capped = c.capped
 	c.verdict.OK = c.verdict.Violation == ViolationNone && c.verdict.Exhausted
+	c.visited.addStats(&c.verdict.Store)
 	return *c.verdict
 }
 
@@ -204,6 +229,7 @@ func (c *checker) dfs(depth, changes int) bool {
 		c.verdict.MaxDepth = depth
 	}
 	if c.verdict.States >= c.opts.MaxStates {
+		c.capped = true
 		return true // budget exhausted; inconclusive
 	}
 	if c.opts.Cancel != nil && c.verdict.States&255 == 0 && c.opts.Cancel() {
@@ -222,7 +248,7 @@ func (c *checker) dfs(depth, changes int) bool {
 		// no progress, no violation — prune the branch.
 		return false
 	}
-	if !c.opts.DisableVisitedSet && c.visited[key] {
+	if !c.opts.DisableVisitedSet && c.visited.get(key) != nil {
 		return false
 	}
 	c.verdict.States++
@@ -240,7 +266,7 @@ func (c *checker) dfs(depth, changes int) bool {
 			c.fail(ViolationConflict, "agreement reached but bundles conflict")
 			return true
 		}
-		c.visited[key] = true
+		c.visited.insert(key, visitedMark)
 		return false
 	}
 	if depth >= c.opts.hardLimit() {
@@ -255,31 +281,32 @@ func (c *checker) dfs(depth, changes int) bool {
 	}
 
 	c.onPath[key] = pathMark{step: len(c.path), changes: changes}
-	defer delete(c.onPath, key)
 
-	pending := c.net.Pending()
+	for depth >= len(c.snapStack) {
+		c.snapStack = append(c.snapStack, netsim.QueueSnapshot{})
+		c.saveStack = append(c.saveStack, mca.AgentState{})
+		c.pendStack = append(c.pendStack, nil)
+	}
+	pending := c.net.PendingInto(c.pendStack[depth][:0])
+	c.pendStack[depth] = pending
+	nmodes := 1
+	if c.opts.DuplicateDeliveries {
+		nmodes = 2 // consume, then duplicate
+	}
 	for _, e := range pending {
-		modes := []bool{true}
-		if c.opts.DuplicateDeliveries {
-			modes = []bool{true, false} // consume, then duplicate
-		}
-		for _, consume := range modes {
+		for mode := 0; mode < nmodes; mode++ {
+			consume := mode == 0
 			// Branch: deliver the head message on edge e, consuming it or
 			// (fault injection) leaving a duplicate in flight. Only the
-			// queues a delivery can touch are snapshotted; the recursion
-			// below rolls its own deliveries back, so rolling back this
-			// one afterwards restores the state exactly.
-			for depth >= len(c.snapStack) {
-				c.snapStack = append(c.snapStack, netsim.QueueSnapshot{})
-				c.agentStack = append(c.agentStack, make([]mca.AgentState, len(c.agents)))
-			}
+			// queues a delivery can touch are snapshotted, and only the
+			// receiver's agent state is saved — nothing else mutates; the
+			// recursion below rolls its own deliveries back, so rolling
+			// back this one afterwards restores the state exactly.
 			snap := &c.snapStack[depth]
 			c.edgeBuf = affectedEdges(c.edgeBuf, c.net, e)
 			c.net.Capture(snap, c.edgeBuf...)
-			savedAgents := c.agentStack[depth]
-			for i, a := range c.agents {
-				a.SaveStateInto(&savedAgents[i])
-			}
+			receiver := c.agents[e.To]
+			receiver.SaveStateInto(&c.saveStack[depth])
 			didChange := applyDelivery(c.agents, c.net, e, consume)
 			c.path = append(c.path, stepRec{edge: e, consume: consume})
 			nextChanges := changes
@@ -289,17 +316,16 @@ func (c *checker) dfs(depth, changes int) bool {
 			stop := c.dfs(depth+1, nextChanges)
 			c.path = c.path[:len(c.path)-1]
 			c.net.Rollback(snap)
-			for i, a := range c.agents {
-				a.RestoreState(savedAgents[i])
-			}
+			receiver.RestoreState(c.saveStack[depth])
 			if stop {
 				return true
 			}
 		}
 	}
 	if !c.opts.DisableVisitedSet {
-		c.visited[key] = true
+		c.visited.insert(key, visitedMark)
 	}
+	delete(c.onPath, key)
 	return false
 }
 
@@ -320,7 +346,7 @@ func affectedEdges(buf []netsim.Edge, net *netsim.Network, e netsim.Edge) []nets
 // and an unchanged receiver that disagrees with the sender replies so
 // the disagreement cannot silently persist at quiescence. This is the
 // single transition function shared by the serial DFS and the sharded
-// parallel frontier.
+// parallel frontier. Only agents[e.To] is mutated.
 func applyDelivery(agents []*mca.Agent, net *netsim.Network, e netsim.Edge, consume bool) bool {
 	var m mca.Message
 	if consume {
@@ -334,8 +360,8 @@ func applyDelivery(agents []*mca.Agent, net *netsim.Network, e netsim.Edge, cons
 	receiver := agents[e.To]
 	didChange := receiver.HandleMessage(m)
 	if didChange {
-		net.Broadcast(receiver.ID(), receiver.Snapshot)
-	} else if !mca.ViewsAgree(receiver.View(), m.View) {
+		net.BroadcastAgent(receiver)
+	} else if !receiver.ViewAgrees(m.View) {
 		net.Send(receiver.Snapshot(m.Sender))
 	}
 	return didChange
@@ -399,12 +425,13 @@ func agentSnapshots(agents []*mca.Agent) []trace.AgentSnapshot {
 	return out
 }
 
-// canonKey serializes the global state with logical times replaced by
+// canonKey computes the canonical state key: logical times replaced by
 // their dense rank — making the visited set a finite quotient of the
-// unbounded clock space — and hashes the result to a 128-bit key
-// (FNV-1a with two offsets; collisions are negligible at the state
-// counts explored). The computation lives in keyScratch.key, shared
-// with the parallel frontier's per-worker hashing.
+// unbounded clock space — and the result hashed to 128 bits (collisions
+// are negligible at the state counts explored; see docs/PERFORMANCE.md
+// for the collision-behavior contract). The computation lives in
+// keyScratch.key, shared with the parallel frontier's per-worker
+// incremental hashing.
 func (c *checker) canonKey() [2]uint64 {
 	return c.keys.key(c.agents, c.net)
 }

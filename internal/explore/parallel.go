@@ -14,19 +14,31 @@ import (
 
 // CheckParallel is the sharded parallel counterpart of Check: the same
 // bounded verification of the MCA consensus property, run as a
-// level-synchronous breadth-first exploration partitioned across
-// workers. The canonical-state space is hash-partitioned: each worker
-// owns the shard of states whose key hashes to it, keeps that shard's
-// seen-set without locking, and expands only states it owns; successor
-// states are routed to their owners between levels.
+// level-ordered breadth-first exploration partitioned across workers.
+// The canonical-state space is hash-partitioned: each worker owns the
+// shard of states whose key hashes to it, keeps that shard's seen-set
+// without locking, and expands only states it owns.
+//
+// The frontier is pipelined: there is no central coordinator
+// gathering and redistributing each level. Shard workers are
+// persistent goroutines that stream successor batches directly to
+// their owners' inboxes while still expanding, stamped with the level
+// they belong to; a shard merges its next-level bucket as batches
+// arrive and starts the level as soon as every peer has signalled
+// end-of-level. Stop decisions (violation, budget, cancellation,
+// completion) are made exactly once per level by whichever shard
+// finishes it last, from that level's complete results — so the
+// decision point, and with it the set of explored states, is
+// worker-count independent.
 //
 // The verdict is deterministic in the worker count:
 //
-//   - levels impose a global exploration order, so the set of states
-//     examined before a stop is worker-count independent;
-//   - within a level, each shard processes its items in a sorted order
-//     and violations are merged with a fixed tie-break, so the reported
-//     counterexample is stable;
+//   - levels impose a global exploration order, and stop decisions are
+//     taken at level granularity from complete level data, so the set
+//     of states examined before a stop is worker-count independent;
+//   - within a level, each shard sorts its bucket into a fixed order
+//     before processing, and violations are merged with a fixed
+//     tie-break, so the reported counterexample is stable;
 //   - oscillations are detected after the frontier drains, by finding a
 //     strongly connected component of the explored state graph that
 //     contains a state-changing transition — the graph-level equivalent
@@ -40,16 +52,18 @@ import (
 // while the sharded frontier always keeps the most-violating (highest
 // effective-change) path — so CheckParallel can flag a bound violation
 // the serial checker's order-dependent pruning misses, never the
-// reverse. Inconclusive (budget-capped) runs report Exhausted=false
-// exactly like Check. Options.DisableVisitedSet (the
-// serial checker's memoization ablation) is not supported here and is
-// ignored: the hash-partitioned seen-set is what shards the state
-// space, so the sharded frontier cannot run without it.
-// The MaxStates budget is enforced
-// at level granularity — a level in flight completes before the stop,
-// so the explored count may overshoot the cap by up to one frontier
-// width (the price of keeping the stopping point worker-count
-// independent).
+// reverse. Inconclusive runs report Exhausted=false, with
+// Verdict.Capped distinguishing budget-capped runs from cancelled
+// ones. Options.DisableVisitedSet (the serial checker's memoization
+// ablation) is not supported here and is ignored: the hash-partitioned
+// seen-set is what shards the state space, so the sharded frontier
+// cannot run without it. The MaxStates budget is enforced at level
+// granularity — a level in flight completes before the stop, so
+// Verdict.States reports the true explored count, which may overshoot
+// the cap by up to one frontier width (the price of keeping the
+// stopping point worker-count independent). Verdict.MaxDepth is the
+// deepest level that contained a new distinct state — the maximum BFS
+// distance explored.
 func CheckParallel(agents []*mca.Agent, g *graph.Graph, opts Options, workers int) Verdict {
 	if len(agents) == 0 {
 		return Verdict{OK: true, Exhausted: true}
@@ -58,6 +72,9 @@ func CheckParallel(agents []*mca.Agent, g *graph.Graph, opts Options, workers in
 		workers = runtime.GOMAXPROCS(0)
 	}
 	opts = opts.withDefaults(g, agents[0].Items())
+	if opts.Cancel != nil && opts.Cancel() {
+		return Verdict{} // cancelled before exploration; inconclusive
+	}
 
 	// Initial transition: all agents bid and broadcast.
 	net0 := netsim.New(g, false)
@@ -66,135 +83,62 @@ func CheckParallel(agents []*mca.Agent, g *graph.Graph, opts Options, workers in
 	}
 	for _, a := range agents {
 		if a.BidPhase() {
-			net0.Broadcast(a.ID(), a.Snapshot)
+			net0.BroadcastAgent(a)
 		}
 	}
 	states0 := saveStates(agents)
 
-	shards := make([]*shardWorker, workers)
-	for i := range shards {
-		shards[i] = &shardWorker{
+	ps := &pipeline{workers: workers, opts: opts}
+	ps.shards = make([]*shardWorker, workers)
+	for i := range ps.shards {
+		ps.shards[i] = &shardWorker{
 			self:     i,
 			replicas: cloneAgents(agents),
-			sealed:   make(map[[2]uint64]*pathNode),
-			fresh:    make(map[[2]uint64]*pathNode),
 		}
+		ps.shards[i].keys.interval = crosscheckInterval
 	}
 
-	rootKey := shards[0].keys.key(shards[0].replicas, net0)
+	for _, s := range ps.shards {
+		s.scratch = net0.Clone()
+	}
+	rootKey := ps.shards[0].keys.key(ps.shards[0].replicas, net0)
+	rootNode := ps.shards[0].arena.alloc()
+	rootNode.key = rootKey
 	root := workItem{
-		node:     &pathNode{key: rootKey},
-		stateBuf: encodeStates(agents, nil),
-		net:      net0.Clone(),
-		routeH:   routeSeed,
+		node:   rootNode,
+		buf:    net0.AppendState(encodeStates(agents, nil)),
+		routeH: routeSeed,
 	}
-	frontier := make([][]workItem, workers)
-	frontier[shardOf(rootKey, workers)] = []workItem{root}
+	owner := shardOf(rootKey, workers)
+	ps.shards[owner].bucketInto(0, []workItem{root})
+	ps.level(0).routed = 1
 
-	verdict := &Verdict{}
-	var chosen *violationRec
-	totalStates := 0
-	completed := false
-	cancelled := false
-
-	for level := 0; ; level++ {
-		// Cancellation is checked at the level barrier: a level in flight
-		// completes, keeping the stopping point worker-count independent
-		// like the MaxStates budget below.
-		if opts.Cancel != nil && opts.Cancel() {
-			cancelled = true
-			break
-		}
-		empty := true
-		for _, items := range frontier {
-			if len(items) > 0 {
-				empty = false
-				verdict.MaxDepth = level
-				break
-			}
-		}
-		if empty {
-			completed = true
-			break
-		}
-
-		results := make([]levelResult, workers)
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func(w int) {
-				defer wg.Done()
-				results[w] = shards[w].processLevel(frontier[w], opts, shards)
-			}(w)
-		}
-		wg.Wait()
-		for _, s := range shards {
-			s.seal()
-		}
-
-		next := make([][]workItem, workers)
-		var viols []violationRec
-		for w := range results {
-			totalStates += results[w].newStates
-			viols = append(viols, results[w].violations...)
-			for d, items := range results[w].out {
-				next[d] = append(next[d], items...)
-			}
-		}
-		frontier = next
-
-		if len(viols) > 0 {
-			// All violations in a level sit at the same depth; break ties
-			// deterministically so the counterexample is stable across
-			// worker counts and runs.
-			sort.Slice(viols, func(i, j int) bool {
-				a, b := viols[i], viols[j]
-				if a.kind != b.kind {
-					return a.kind < b.kind
-				}
-				if a.node.key != b.node.key {
-					return keyLess(a.node.key, b.node.key)
-				}
-				return a.routeH < b.routeH
-			})
-			chosen = &viols[0]
-			break
-		}
-		if totalStates >= opts.MaxStates {
-			break // budget exhausted; inconclusive
-		}
+	var wg sync.WaitGroup
+	for _, s := range ps.shards {
+		wg.Add(1)
+		go func(w *shardWorker) {
+			defer wg.Done()
+			w.run(ps)
+		}(s)
 	}
+	wg.Wait()
 
-	verdict.States = totalStates
-	verdict.Exhausted = !cancelled && totalStates < opts.MaxStates
-	if chosen != nil {
-		verdict.Violation = chosen.kind
-		verdict.Trace = replayTrace(cloneAgents(agents), states0, net0, treeSteps(chosen.node), chosen.label)
-	} else if completed && verdict.Exhausted {
-		total := 0
-		for _, s := range shards {
-			total += len(s.edges)
-		}
-		allEdges := make([]edgeRec, 0, total)
-		for _, s := range shards {
-			allEdges = append(allEdges, s.edges...)
-		}
-		if osc := findOscillation(allEdges, mergeNodes(shards)); osc != nil {
-			verdict.Violation = ViolationOscillation
-			verdict.Trace = replayTrace(cloneAgents(agents), states0, net0, osc.steps, osc.label)
-		}
-	}
-	verdict.OK = verdict.Violation == ViolationNone && verdict.Exhausted
-	return *verdict
+	return ps.assemble(agents, states0, net0)
 }
 
 // routeSeed is the FNV-1a offset basis used for route fingerprints.
 const routeSeed = 14695981039346656037
 
+// streamBatchSize is how many successors a shard accumulates per
+// destination before streaming the batch to the owner's inbox.
+const streamBatchSize = 128
+
 // pathNode is one node of the breadth-first exploration tree: the state
 // reached, the delivery that reached it, and its parent. Paths share
-// prefixes, so the retained tree costs O(states), and a counterexample
-// is reconstructed by replaying the root-to-node delivery sequence.
+// prefixes, so the retained tree costs O(states); nodes live in
+// per-shard arenas (stable pointers, no per-state allocation), and a
+// counterexample is reconstructed by replaying the root-to-node
+// delivery sequence.
 type pathNode struct {
 	parent  *pathNode
 	edge    netsim.Edge
@@ -204,14 +148,18 @@ type pathNode struct {
 	key     [2]uint64
 }
 
-// workItem is a frontier entry: a reached state (agent states packed
-// into one pointer-free byte buffer, plus the in-flight messages) and a
-// deterministic route fingerprint used only for tie-breaking.
+// workItem is a frontier entry: a reached state — agent states AND
+// in-flight messages packed into one pointer-free byte buffer — plus a
+// deterministic route fingerprint used only for tie-breaking. Keeping
+// the frontier free of live Networks matters twice over: successors
+// are produced by appending to a recycled buffer instead of cloning a
+// network, and the garbage collector never scans the frontier (the
+// buffers hold no pointers). Buffers are recycled through the owning
+// shard's pool once the item has been expanded or deduplicated.
 type workItem struct {
-	node     *pathNode
-	stateBuf []byte
-	net      *netsim.Network
-	routeH   uint64
+	node   *pathNode
+	buf    []byte
+	routeH uint64
 }
 
 // stepRec is one delivery of a replayable counterexample path.
@@ -235,99 +183,576 @@ type violationRec struct {
 	routeH uint64
 }
 
+// levelDecision is the per-level verdict of the pipeline: what the last
+// shard to finish a level decided the fleet should do next.
+type levelDecision int8
+
+const (
+	decisionPending  levelDecision = iota // level not fully merged yet
+	decisionContinue                      // proceed to the next level
+	decisionStop                          // stop: violation, budget, cancel, or drained frontier
+)
+
+// levelStat accumulates one level's results. routed is written by the
+// producers of the level (all shards processing the previous level)
+// and read only after every producer has finished; the remaining
+// fields are written under mu by the shards finishing the level and
+// read only after the level's decision is published (which
+// happens-before any later read via the done-marker channel edges).
+type levelStat struct {
+	routed     int // items routed into this level's buckets
+	finished   int // shards that completed processing this level
+	newStates  int
+	cumStates  int // total distinct states through this level
+	violations []violationRec
+	decision   levelDecision
+	chosen     *violationRec
+	cancelled  bool
+	capped     bool
+	completed  bool
+}
+
+// pipeline is the shared state of one CheckParallel run.
+type pipeline struct {
+	workers int
+	opts    Options
+	shards  []*shardWorker
+	mu      sync.Mutex // guards levels growth and per-level merging
+	levels  []*levelStat
+}
+
+// level returns the stat record for a level, growing the ladder on
+// demand.
+func (ps *pipeline) level(l int) *levelStat {
+	ps.mu.Lock()
+	for len(ps.levels) <= l {
+		ps.levels = append(ps.levels, &levelStat{})
+	}
+	ls := ps.levels[l]
+	ps.mu.Unlock()
+	return ls
+}
+
+// addRouted credits n items routed into level l.
+func (ps *pipeline) addRouted(l, n int) {
+	ls := ps.level(l)
+	ps.mu.Lock()
+	ls.routed += n
+	ps.mu.Unlock()
+}
+
+// finishLevel merges one shard's level results; the last shard to
+// finish the level makes the level's stop/continue decision from the
+// complete data. The decision is published before the caller sends its
+// done markers, so every peer observes it once it holds all markers.
+func (ps *pipeline) finishLevel(l int, newStates int, viols []violationRec) {
+	ls := ps.level(l)
+	ps.mu.Lock()
+	ls.newStates += newStates
+	ls.violations = append(ls.violations, viols...)
+	ls.finished++
+	last := ls.finished == ps.workers
+	ps.mu.Unlock()
+	if last {
+		ps.decide(l)
+	}
+}
+
+// decide makes the stop/continue decision for a fully merged level.
+// All of the level's processing — including every routed count for the
+// next level — is complete, so the decision is a pure function of
+// worker-count-independent data. Precedence mirrors the
+// level-synchronous loop this replaced: violations first, then
+// cancellation, then the state budget, then frontier exhaustion.
+func (ps *pipeline) decide(l int) {
+	ls, next := ps.level(l), ps.level(l+1)
+	prevCum := 0
+	if l > 0 {
+		prevCum = ps.level(l - 1).cumStates
+	}
+	ls.cumStates = prevCum + ls.newStates
+	switch {
+	case len(ls.violations) > 0:
+		// All violations in a level sit at the same depth; break ties
+		// deterministically so the counterexample is stable across
+		// worker counts and runs.
+		sort.Slice(ls.violations, func(i, j int) bool {
+			a, b := ls.violations[i], ls.violations[j]
+			if a.kind != b.kind {
+				return a.kind < b.kind
+			}
+			if a.node.key != b.node.key {
+				return keyLess(a.node.key, b.node.key)
+			}
+			return a.routeH < b.routeH
+		})
+		ls.chosen = &ls.violations[0]
+		ls.decision = decisionStop
+	case ps.opts.Cancel != nil && ps.opts.Cancel():
+		ls.cancelled = true
+		ls.decision = decisionStop
+	case ls.cumStates >= ps.opts.MaxStates:
+		ls.capped = true
+		ls.decision = decisionStop
+	case next.routed == 0:
+		ls.completed = true
+		ls.decision = decisionStop
+	default:
+		ls.decision = decisionContinue
+	}
+}
+
+// assemble builds the final Verdict after every worker has exited.
+func (ps *pipeline) assemble(agents []*mca.Agent, states0 []mca.AgentState, net0 *netsim.Network) Verdict {
+	verdict := &Verdict{}
+	var stop *levelStat
+	for l := 0; l < len(ps.levels); l++ {
+		ls := ps.levels[l]
+		if ls.decision == decisionPending {
+			break
+		}
+		// MaxDepth counts the deepest level that processed a new distinct
+		// state. Routed-item counts would be one alternative, but they
+		// are racy by design (producer-side pruning may or may not see a
+		// peer's freshly sealed states), while the level at which each
+		// distinct state is first processed is its BFS distance — a pure
+		// function of the scenario.
+		if ls.newStates > 0 {
+			verdict.MaxDepth = l
+		}
+		verdict.States = ls.cumStates
+		if ls.decision == decisionStop {
+			stop = ls
+			break
+		}
+	}
+	cancelled, capped, completed := false, false, false
+	var chosen *violationRec
+	if stop != nil {
+		cancelled, capped, completed = stop.cancelled, stop.capped, stop.completed
+		chosen = stop.chosen
+	}
+	verdict.Exhausted = !cancelled && verdict.States < ps.opts.MaxStates
+	verdict.Capped = capped
+	for _, s := range ps.shards {
+		s.sealed.addStats(&verdict.Store)
+		s.fresh.addStats(&verdict.Store)
+	}
+	if chosen != nil {
+		verdict.Violation = chosen.kind
+		verdict.Trace = replayTrace(cloneAgents(agents), states0, net0, treeSteps(chosen.node), chosen.label)
+	} else if completed && verdict.Exhausted {
+		total := 0
+		for _, s := range ps.shards {
+			total += s.edges.total
+		}
+		allEdges := make([]edgeRec, 0, total)
+		for _, s := range ps.shards {
+			for _, b := range s.edges.blocks {
+				allEdges = append(allEdges, b...)
+			}
+		}
+		if osc := findOscillation(allEdges, mergeNodes(ps.shards)); osc != nil {
+			verdict.Violation = ViolationOscillation
+			verdict.Trace = replayTrace(cloneAgents(agents), states0, net0, osc.steps, osc.label)
+		}
+	}
+	verdict.OK = verdict.Violation == ViolationNone && verdict.Exhausted
+	return *verdict
+}
+
+// pipeMsg is one inbox message: a batch of frontier items for a level,
+// or an end-of-level marker.
+type pipeMsg struct {
+	level int
+	items []workItem // nil for markers
+	done  bool       // sender finished processing `level`
+}
+
+// inbox is an unbounded multi-producer single-consumer queue. Pushes
+// never block, which is what makes the pipeline deadlock-free: a shard
+// deep in its level can keep streaming batches to a peer that is also
+// mid-level and not yet draining.
+type inbox struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	msgs []pipeMsg
+	head int
+}
+
+func (ib *inbox) push(m pipeMsg) {
+	ib.mu.Lock()
+	if ib.cond == nil {
+		ib.cond = sync.NewCond(&ib.mu)
+	}
+	ib.msgs = append(ib.msgs, m)
+	ib.mu.Unlock()
+	ib.cond.Signal()
+}
+
+func (ib *inbox) pop() pipeMsg {
+	ib.mu.Lock()
+	if ib.cond == nil {
+		ib.cond = sync.NewCond(&ib.mu)
+	}
+	for ib.head == len(ib.msgs) {
+		ib.cond.Wait()
+	}
+	m := ib.msgs[ib.head]
+	ib.msgs[ib.head] = pipeMsg{} // release references
+	ib.head++
+	if ib.head == len(ib.msgs) {
+		ib.msgs = ib.msgs[:0]
+		ib.head = 0
+	}
+	ib.mu.Unlock()
+	return m
+}
+
 // shardWorker owns one hash shard of the canonical-state space. The
 // seen-set is split in two to allow lock-free cross-shard reads:
 // `sealed` holds states processed in *earlier* levels and is only
-// updated at the level barrier, so any worker may consult any shard's
-// sealed set while generating successors (pruning most already-known
-// states at the producer, before allocating a frontier item); `fresh`
-// collects the states processed in the current level and is touched
-// only by the owning worker. Everything else (replicas, scratch
-// buffers, tree index) is worker-private, so the level loop needs no
-// locks — only the barrier between levels.
+// merged once every peer has finished the previous level, so any
+// worker may consult any shard's sealed set while generating
+// successors (pruning most already-known states at the producer,
+// before allocating a frontier item); `fresh` collects the states
+// processed in the current level and is touched only by the owning
+// worker. Everything else (replicas, scratch buffers, arenas, pools)
+// is worker-private, so level processing needs no locks — only the
+// inbox handoffs and the per-level merge in the shared pipeline.
 type shardWorker struct {
 	self     int // this worker's shard index
 	replicas []*mca.Agent
 	keys     keyScratch
 	snap     netsim.QueueSnapshot
 	edgeBuf  []netsim.Edge
-	sealed   map[[2]uint64]*pathNode
-	fresh    map[[2]uint64]*pathNode
+	pendBuf  []netsim.Edge
+	sealed   sealedTable
+	fresh    stateTable
+	arena    nodeArena
+	inbox    inbox
+	// scratch is the shard's single live network: every frontier item's
+	// queue state is decoded into it for expansion and re-encoded for
+	// the item's successors. saveSlot holds the delivery receiver's
+	// pre-transition state — only the receiver mutates, so restoring it
+	// (instead of re-decoding every agent from the item buffer) keeps
+	// the other replicas' Rev counters stable and the per-agent digest
+	// cache hot.
+	scratch  *netsim.Network
+	saveSlot mca.AgentState
+	// buckets[l] collects the shard's frontier items for level l as
+	// batches stream in; markers[l] counts end-of-level markers.
+	buckets [][]workItem
+	markers []int
+	// out accumulates successors per destination shard between batch
+	// flushes.
+	out [][]workItem
+	// bufPool recycles the state buffers of consumed frontier items,
+	// and slicePool the workItem slices cycling through buckets and
+	// stream batches, so steady-state expansion allocates only when the
+	// frontier grows past its high-water mark.
+	bufPool   [][]byte
+	slicePool [][]workItem
 	// edges accumulates every explored transition for the end-of-run
-	// oscillation analysis. This is the memory cost of detecting cycles
-	// deterministically in a BFS (the serial DFS sees them on its path
-	// instead): O(states × branching) compact pointer-free records,
-	// only consulted when the frontier drains without a violation.
-	edges []edgeRec
+	// oscillation analysis, in fixed-size blocks so the log never pays
+	// append-doubling copy churn. This is the memory cost of detecting
+	// cycles deterministically in a BFS (the serial DFS sees them on
+	// its path instead): O(states × branching) compact pointer-free
+	// records, only consulted when the frontier drains without a
+	// violation.
+	edges edgeLog
 }
 
-// seal merges the current level's states into the sealed set. Called at
-// the barrier, never concurrently with processLevel.
+// edgeLog is a chunked append-only log of edgeRecs.
+type edgeLog struct {
+	blocks [][]edgeRec
+	total  int
+}
+
+const edgeLogBlock = 1 << 15
+
+func (l *edgeLog) append(e edgeRec) {
+	if len(l.blocks) == 0 || len(l.blocks[len(l.blocks)-1]) == edgeLogBlock {
+		l.blocks = append(l.blocks, make([]edgeRec, 0, edgeLogBlock))
+	}
+	b := &l.blocks[len(l.blocks)-1]
+	*b = append(*b, e)
+	l.total++
+}
+
+// seal merges the previous level's states into the sealed set. It runs
+// once every peer's end-of-level marker has arrived — but that does NOT
+// make the table quiescent: a peer that collected its own marker set
+// first may already be processing the next level and peeking this
+// table mid-merge. That concurrency is exactly what sealedTable's
+// per-slot atomic publication protocol exists for (readers tolerate
+// missing the newest entries; the owner re-deduplicates arrivals), so
+// seal must only ever target a sealedTable, never a plain stateTable.
 func (w *shardWorker) seal() {
-	for k, n := range w.fresh {
-		w.sealed[k] = n
-	}
-	clear(w.fresh)
+	w.fresh.forEach(func(k [2]uint64, n *pathNode) {
+		w.sealed.insert(k, n)
+	})
+	w.fresh.clear()
 }
 
-// keyScratch reuses the canonical-key working storage (serialization
-// buffer, timestamp list) across the millions of key computations a
-// large exploration performs.
-type keyScratch struct {
-	buf   []byte
-	times []int
+// bucketInto appends items to the shard's bucket for a level, seeding
+// empty buckets from the slice pool.
+func (w *shardWorker) bucketInto(level int, items []workItem) {
+	for len(w.buckets) <= level {
+		w.buckets = append(w.buckets, nil)
+	}
+	if w.buckets[level] == nil {
+		if n := len(w.slicePool); n > 0 {
+			w.buckets[level] = w.slicePool[n-1][:0]
+			w.slicePool = w.slicePool[:n-1]
+		}
+	}
+	w.buckets[level] = append(w.buckets[level], items...)
 }
 
-// key computes the 128-bit canonical state key like canonicalKey, with
-// zero steady-state allocation: timestamps are ranked by binary search
-// in the deduplicated sorted list instead of a rank table.
-func (ks *keyScratch) key(agents []*mca.Agent, net *netsim.Network) [2]uint64 {
-	ks.times = ks.times[:0]
-	sink := func(t int) { ks.times = append(ks.times, t) }
-	for _, a := range agents {
-		a.CollectTimes(sink)
+// markerCount returns how many end-of-level markers have arrived for a
+// level.
+func (w *shardWorker) markerCount(level int) int {
+	if level < len(w.markers) {
+		return w.markers[level]
 	}
-	pending := net.Pending()
-	for _, e := range pending {
-		for _, m := range net.Queue(e) {
-			mca.CollectMessageTimes(m, sink)
-		}
-	}
-	sort.Ints(ks.times)
-	uniq := ks.times[:0]
-	for i, t := range ks.times {
-		if i == 0 || t != uniq[len(uniq)-1] {
-			uniq = append(uniq, t)
-		}
-	}
-	rank := func(t int) int { return sort.SearchInts(uniq, t) }
-
-	ks.buf = ks.buf[:0]
-	for _, a := range agents {
-		ks.buf = a.AppendCanonical(ks.buf, rank)
-	}
-	for _, e := range pending {
-		for _, m := range net.Queue(e) {
-			ks.buf = mca.AppendMessageCanonical(ks.buf, m, rank)
-		}
-	}
-	const (
-		offset1 = 14695981039346656037
-		offset2 = 1099511628211*31 + 7
-		prime   = 1099511628211
-	)
-	h1, h2 := uint64(offset1), uint64(offset2)
-	for _, b := range ks.buf {
-		h1 = (h1 ^ uint64(b)) * prime
-		h2 = (h2 ^ uint64(b)) * (prime + 2)
-	}
-	return [2]uint64{h1, h2}
+	return 0
 }
 
-type levelResult struct {
-	newStates  int
-	out        [][]workItem
-	violations []violationRec
+// absorb files one inbox message, recycling drained batch slices.
+func (w *shardWorker) absorb(m pipeMsg) {
+	if m.done {
+		for len(w.markers) <= m.level {
+			w.markers = append(w.markers, 0)
+		}
+		w.markers[m.level]++
+		return
+	}
+	w.bucketInto(m.level, m.items)
+	w.slicePool = append(w.slicePool, m.items)
+}
+
+// run is the persistent worker loop: wait for the previous level to be
+// globally complete (draining streamed batches the whole time),
+// process this shard's bucket, merge results, and signal end-of-level.
+func (w *shardWorker) run(ps *pipeline) {
+	workers := len(ps.shards)
+	for level := 0; ; level++ {
+		if level > 0 {
+			// Drain the inbox until every peer has finished the previous
+			// level. Batches for this level (from peers still finishing
+			// it... impossible — they'd be for level+1) and for the next
+			// level (from peers already past the barrier) are filed into
+			// their buckets.
+			for w.markerCount(level-1) < workers {
+				w.absorb(w.inbox.pop())
+			}
+			// Every peer is past level-1, so our fresh set is final and
+			// safe to merge. Peers that reached this point before us may
+			// already be expanding the next level and peeking our sealed
+			// table while we merge — tolerated by sealedTable's
+			// publication protocol (they merely miss the newest entries
+			// and route items we deduplicate on arrival).
+			w.seal()
+			if ps.level(level-1).decision != decisionContinue {
+				return
+			}
+		}
+		var items []workItem
+		if level < len(w.buckets) {
+			items = w.buckets[level]
+			w.buckets[level] = nil
+		}
+		newStates, viols := w.processLevel(items, ps, level)
+		if items != nil {
+			w.slicePool = append(w.slicePool, items)
+		}
+		ps.finishLevel(level, newStates, viols)
+		// Publish end-of-level after the merge (and a possible stop
+		// decision), so a peer holding all markers always sees the
+		// decision.
+		for _, s := range ps.shards {
+			s.inbox.push(pipeMsg{level: level, done: true})
+		}
+	}
+}
+
+// getBuf pops recycled storage for a successor item's state buffer.
+func (w *shardWorker) getBuf() []byte {
+	if n := len(w.bufPool); n > 0 {
+		b := w.bufPool[n-1]
+		w.bufPool = w.bufPool[:n-1]
+		return b[:0]
+	}
+	return nil
+}
+
+// recycle returns a consumed frontier item's buffer to the pool.
+func (w *shardWorker) recycle(it *workItem) {
+	if it.buf != nil {
+		w.bufPool = append(w.bufPool, it.buf)
+		it.buf = nil
+	}
+}
+
+// flush streams the accumulated batch for destination shard d, crediting
+// the routed count for the items' level. Batch slice ownership moves to
+// the destination shard (which recycles it into its own pools); the
+// next batch draws from this shard's pool.
+func (w *shardWorker) flush(ps *pipeline, d, level int) {
+	batch := w.out[d]
+	if len(batch) == 0 {
+		return
+	}
+	if n := len(w.slicePool); n > 0 {
+		w.out[d] = w.slicePool[n-1][:0]
+		w.slicePool = w.slicePool[:n-1]
+	} else {
+		w.out[d] = nil
+	}
+	ps.addRouted(level, len(batch))
+	ps.shards[d].inbox.push(pipeMsg{level: level, items: batch})
+}
+
+// processLevel runs one shard's slice of a BFS level: deduplicate
+// against the shard's seen-set, check each new state for violations,
+// expand its successors, and stream them to their owning shards in
+// batches. Other shards' sealed sets are consulted to prune successors
+// already processed in earlier levels before allocating a frontier
+// item for them; the pipeline's marker protocol guarantees those
+// tables are quiescent while any producer can read them.
+func (w *shardWorker) processLevel(items []workItem, ps *pipeline, level int) (int, []violationRec) {
+	workers := len(ps.shards)
+	if len(w.out) < workers {
+		w.out = make([][]workItem, workers)
+	}
+	opts := ps.opts
+	newStates := 0
+	var viols []violationRec
+	// Multiple paths can reach the same state within one level; process
+	// them in a fixed order so the surviving representative — and with
+	// it the recorded changes count and tree path — is deterministic.
+	// Higher changes first: the most-violating path represents the state.
+	sort.Slice(items, func(i, j int) bool {
+		a, b := items[i], items[j]
+		if a.node.key != b.node.key {
+			return keyLess(a.node.key, b.node.key)
+		}
+		if a.node.changes != b.node.changes {
+			return a.node.changes > b.node.changes
+		}
+		return a.routeH < b.routeH
+	})
+	nmodes := 1
+	if opts.DuplicateDeliveries {
+		nmodes = 2 // consume, then duplicate
+	}
+	for i := range items {
+		it := &items[i]
+		if w.sealed.get(it.node.key) != nil || w.fresh.get(it.node.key) != nil {
+			w.recycle(it)
+			continue
+		}
+		w.fresh.insert(it.node.key, it.node)
+		newStates++
+
+		w.scratch.DecodeState(w.restoreAgents(it.buf))
+		if w.scratch.Quiescent() {
+			// Quiescence: the reply-on-disagreement rule guarantees any
+			// surviving disagreement still has a message in flight, so a
+			// quiescent state must agree and be conflict-free.
+			if !agreementOf(w.replicas) {
+				viols = append(viols, violationRec{
+					kind: ViolationDisagreement, label: "quiescent without agreement",
+					node: it.node, routeH: it.routeH,
+				})
+			} else if !conflictFreeOf(w.replicas) {
+				viols = append(viols, violationRec{
+					kind: ViolationConflict, label: "agreement reached but bundles conflict",
+					node: it.node, routeH: it.routeH,
+				})
+			}
+			w.recycle(it)
+			continue
+		}
+		if it.node.depth >= opts.hardLimit() {
+			viols = append(viols, violationRec{
+				kind:  ViolationBoundExceeded,
+				label: fmt.Sprintf("still active after %d deliveries (hard limit)", it.node.depth),
+				node:  it.node, routeH: it.routeH,
+			})
+			w.recycle(it)
+			continue
+		}
+		if it.node.changes >= opts.Bound && !agreementOf(w.replicas) {
+			// The paper's consensus assertion: after the val message
+			// budget, max-consensus must hold.
+			viols = append(viols, violationRec{
+				kind:  ViolationBoundExceeded,
+				label: fmt.Sprintf("no consensus after %d effective deliveries (bound)", it.node.changes),
+				node:  it.node, routeH: it.routeH,
+			})
+			w.recycle(it)
+			continue
+		}
+
+		w.pendBuf = w.scratch.PendingInto(w.pendBuf[:0])
+		for _, e := range w.pendBuf {
+			for mode := 0; mode < nmodes; mode++ {
+				consume := mode == 0
+				// Try the delivery on the scratch network in place and
+				// roll it back afterwards; only surviving successors pay
+				// for an encode into a pooled buffer.
+				w.edgeBuf = affectedEdges(w.edgeBuf, w.scratch, e)
+				w.scratch.Capture(&w.snap, w.edgeBuf...)
+				receiver := w.replicas[e.To]
+				receiver.SaveStateInto(&w.saveSlot)
+				didChange := applyDelivery(w.replicas, w.scratch, e, consume)
+				key := w.keys.key(w.replicas, w.scratch)
+				w.edges.append(edgeRec{
+					from: it.node.key, to: key,
+					step: stepRec{edge: e, consume: consume}, didChange: didChange,
+				})
+				d := shardOf(key, workers)
+				// Producer-side pruning: a successor its owner already
+				// processed (in an earlier level, or — for self-owned
+				// states — this one) would be discarded on arrival;
+				// skip building the frontier item. The edge above is
+				// still recorded for the oscillation analysis.
+				dup := ps.shards[d].sealed.peek(key) != nil
+				if !dup && d == w.self {
+					dup = w.fresh.peek(key) != nil
+				}
+				if !dup {
+					changes := it.node.changes
+					if didChange {
+						changes++
+					}
+					node := w.arena.alloc()
+					*node = pathNode{
+						parent: it.node, edge: e, consume: consume,
+						depth: it.node.depth + 1, changes: changes, key: key,
+					}
+					succ := workItem{
+						node:   node,
+						buf:    w.scratch.AppendState(encodeStates(w.replicas, w.getBuf())),
+						routeH: routeHash(it.routeH, e, consume),
+					}
+					w.out[d] = append(w.out[d], succ)
+					if len(w.out[d]) >= streamBatchSize {
+						w.flush(ps, d, level+1)
+					}
+				}
+				w.scratch.Rollback(&w.snap)
+				receiver.RestoreState(w.saveSlot)
+			}
+		}
+		w.recycle(it)
+	}
+	for d := range w.out {
+		w.flush(ps, d, level+1)
+	}
+	return newStates, viols
 }
 
 func shardOf(key [2]uint64, workers int) int {
@@ -365,131 +790,13 @@ func encodeStates(agents []*mca.Agent, buf []byte) []byte {
 	return buf
 }
 
-func (w *shardWorker) restoreBuf(buf []byte) {
+// restoreAgents decodes the agent-state prefix of a frontier buffer
+// into the shard's replicas, returning the network-state remainder.
+func (w *shardWorker) restoreAgents(buf []byte) []byte {
 	for _, a := range w.replicas {
 		buf = a.DecodeState(buf)
 	}
-}
-
-// processLevel runs one shard's slice of a BFS level: deduplicate
-// against the shard's seen-set, check each new state for violations,
-// expand its successors, and route them to their owning shards.
-// shards is read-only here except for w itself: other shards' sealed
-// sets are consulted to prune successors already processed in earlier
-// levels before allocating a frontier item for them.
-func (w *shardWorker) processLevel(items []workItem, opts Options, shards []*shardWorker) levelResult {
-	workers := len(shards)
-	res := levelResult{out: make([][]workItem, workers)}
-	// Multiple paths can reach the same state within one level; process
-	// them in a fixed order so the surviving representative — and with
-	// it the recorded changes count and tree path — is deterministic.
-	// Higher changes first: the most-violating path represents the state.
-	sort.Slice(items, func(i, j int) bool {
-		a, b := items[i], items[j]
-		if a.node.key != b.node.key {
-			return keyLess(a.node.key, b.node.key)
-		}
-		if a.node.changes != b.node.changes {
-			return a.node.changes > b.node.changes
-		}
-		return a.routeH < b.routeH
-	})
-	for _, it := range items {
-		if _, dup := w.sealed[it.node.key]; dup {
-			continue
-		}
-		if _, dup := w.fresh[it.node.key]; dup {
-			continue
-		}
-		w.fresh[it.node.key] = it.node
-		res.newStates++
-
-		w.restoreBuf(it.stateBuf)
-		if it.net.Quiescent() {
-			// Quiescence: the reply-on-disagreement rule guarantees any
-			// surviving disagreement still has a message in flight, so a
-			// quiescent state must agree and be conflict-free.
-			if !agreementOf(w.replicas) {
-				res.violations = append(res.violations, violationRec{
-					kind: ViolationDisagreement, label: "quiescent without agreement",
-					node: it.node, routeH: it.routeH,
-				})
-			} else if !conflictFreeOf(w.replicas) {
-				res.violations = append(res.violations, violationRec{
-					kind: ViolationConflict, label: "agreement reached but bundles conflict",
-					node: it.node, routeH: it.routeH,
-				})
-			}
-			continue
-		}
-		if it.node.depth >= opts.hardLimit() {
-			res.violations = append(res.violations, violationRec{
-				kind:  ViolationBoundExceeded,
-				label: fmt.Sprintf("still active after %d deliveries (hard limit)", it.node.depth),
-				node:  it.node, routeH: it.routeH,
-			})
-			continue
-		}
-		if it.node.changes >= opts.Bound && !agreementOf(w.replicas) {
-			// The paper's consensus assertion: after the val message
-			// budget, max-consensus must hold.
-			res.violations = append(res.violations, violationRec{
-				kind:  ViolationBoundExceeded,
-				label: fmt.Sprintf("no consensus after %d effective deliveries (bound)", it.node.changes),
-				node:  it.node, routeH: it.routeH,
-			})
-			continue
-		}
-
-		for _, e := range it.net.Pending() {
-			modes := []bool{true}
-			if opts.DuplicateDeliveries {
-				modes = []bool{true, false} // consume, then duplicate
-			}
-			for _, consume := range modes {
-				// Try the delivery on the item's network in place and
-				// roll it back afterwards; only surviving successors pay
-				// for a network clone.
-				w.edgeBuf = affectedEdges(w.edgeBuf, it.net, e)
-				it.net.Capture(&w.snap, w.edgeBuf...)
-				w.restoreBuf(it.stateBuf)
-				didChange := applyDelivery(w.replicas, it.net, e, consume)
-				key := w.keys.key(w.replicas, it.net)
-				w.edges = append(w.edges, edgeRec{
-					from: it.node.key, to: key,
-					step: stepRec{edge: e, consume: consume}, didChange: didChange,
-				})
-				d := shardOf(key, workers)
-				// Producer-side pruning: a successor its owner already
-				// processed (in an earlier level, or — for self-owned
-				// states — this one) would be discarded on arrival;
-				// skip building the frontier item. The edge above is
-				// still recorded for the oscillation analysis.
-				_, dup := shards[d].sealed[key]
-				if !dup && d == w.self {
-					_, dup = w.fresh[key]
-				}
-				if !dup {
-					changes := it.node.changes
-					if didChange {
-						changes++
-					}
-					succ := workItem{
-						node: &pathNode{
-							parent: it.node, edge: e, consume: consume,
-							depth: it.node.depth + 1, changes: changes, key: key,
-						},
-						stateBuf: encodeStates(w.replicas, nil),
-						net:      it.net.Clone(),
-						routeH:   routeHash(it.routeH, e, consume),
-					}
-					res.out[d] = append(res.out[d], succ)
-				}
-				it.net.Rollback(&w.snap)
-			}
-		}
-	}
-	return res
+	return buf
 }
 
 // routeHash extends a path fingerprint by one delivery (FNV-1a).
@@ -520,12 +827,8 @@ func treeSteps(n *pathNode) []stepRec {
 func mergeNodes(shards []*shardWorker) map[[2]uint64]*pathNode {
 	out := make(map[[2]uint64]*pathNode)
 	for _, s := range shards {
-		for k, n := range s.sealed {
-			out[k] = n
-		}
-		for k, n := range s.fresh {
-			out[k] = n
-		}
+		s.sealed.forEach(func(k [2]uint64, n *pathNode) { out[k] = n })
+		s.fresh.forEach(func(k [2]uint64, n *pathNode) { out[k] = n })
 	}
 	return out
 }
@@ -571,6 +874,11 @@ type oscillation struct {
 // deterministically: the candidate edge minimizing (depth of its
 // source, source key, target key), completed into a cycle by a
 // shortest path back through the component over sorted adjacency.
+//
+// The analysis runs once per completed check over every recorded
+// transition, so it resolves edge endpoints to dense node ids up
+// front and sorts an index permutation — the graph passes then touch
+// only flat int arrays.
 func findOscillation(edges []edgeRec, nodes map[[2]uint64]*pathNode) *oscillation {
 	if len(edges) == 0 {
 		return nil
@@ -586,8 +894,29 @@ func findOscillation(edges []edgeRec, nodes map[[2]uint64]*pathNode) *oscillatio
 		id[k] = i
 	}
 
-	sort.Slice(edges, func(i, j int) bool {
-		a, b := edges[i], edges[j]
+	// Resolve endpoints once; -1 marks an endpoint outside the explored
+	// set (possible only on budget-truncated runs).
+	eu := make([]int32, len(edges))
+	ev := make([]int32, len(edges))
+	for i := range edges {
+		u, okU := id[edges[i].from]
+		v, okV := id[edges[i].to]
+		if !okU || !okV {
+			eu[i], ev[i] = -1, -1
+			continue
+		}
+		eu[i], ev[i] = int32(u), int32(v)
+	}
+
+	// Deterministic adjacency: a sorted index permutation (sorting
+	// 4-byte indices, not 56-byte records) ordered by the edges'
+	// canonical order.
+	perm := make([]int32, len(edges))
+	for i := range perm {
+		perm[i] = int32(i)
+	}
+	sort.Slice(perm, func(pi, pj int) bool {
+		a, b := &edges[perm[pi]], &edges[perm[pj]]
 		if a.from != b.from {
 			return keyLess(a.from, b.from)
 		}
@@ -602,27 +931,19 @@ func findOscillation(edges []edgeRec, nodes map[[2]uint64]*pathNode) *oscillatio
 		}
 		return a.step.consume && !b.step.consume
 	})
-	adj := make([][]int, len(keys)) // node -> indices into edges
-	for i, e := range edges {
-		u, okU := id[e.from]
-		_, okV := id[e.to]
-		if !okU || !okV {
-			continue // endpoint outside the explored set (budget stop)
+	adj := make([][]int32, len(keys)) // node -> edge indices, sorted order
+	for _, ei := range perm {
+		if eu[ei] >= 0 {
+			adj[eu[ei]] = append(adj[eu[ei]], ei)
 		}
-		adj[u] = append(adj[u], i)
 	}
 
-	comp := sccKosaraju(len(keys), edges, id, adj)
+	comp := sccKosaraju(len(keys), eu, ev, adj)
 
 	var cand *edgeRec
 	for i := range edges {
 		e := &edges[i]
-		if !e.didChange {
-			continue
-		}
-		u, okU := id[e.from]
-		v, okV := id[e.to]
-		if !okU || !okV || comp[u] != comp[v] {
+		if !e.didChange || eu[i] < 0 || comp[eu[i]] != comp[ev[i]] {
 			continue
 		}
 		if cand == nil || oscCandLess(e, cand, nodes) {
@@ -636,7 +957,7 @@ func findOscillation(edges []edgeRec, nodes map[[2]uint64]*pathNode) *oscillatio
 	// Complete the cycle: shortest path target -> source inside the
 	// component (empty for a self-loop).
 	u, v := id[cand.from], id[cand.to]
-	cyc := cyclePath(v, u, comp, adj, edges, id)
+	cyc := cyclePath(v, u, comp, adj, edges, ev)
 	steps := append(treeSteps(nodes[cand.from]), cand.step)
 	steps = append(steps, cyc...)
 	return &oscillation{
@@ -663,13 +984,13 @@ func oscCandLess(a, b *edgeRec, nodes map[[2]uint64]*pathNode) bool {
 // staying inside their strongly connected component. Adjacency is
 // pre-sorted, so the BFS — and with it the witness cycle — is
 // deterministic. Returns nil when v == u (self-loop cycle).
-func cyclePath(v, u int, comp []int, adj [][]int, edges []edgeRec, id map[[2]uint64]int) []stepRec {
+func cyclePath(v, u int, comp []int32, adj [][]int32, edges []edgeRec, ev []int32) []stepRec {
 	if v == u {
 		return nil
 	}
 	type hop struct {
 		prev    int
-		edgeIdx int
+		edgeIdx int32
 	}
 	from := map[int]hop{v: {prev: -1, edgeIdx: -1}}
 	queue := []int{v}
@@ -677,7 +998,7 @@ func cyclePath(v, u int, comp []int, adj [][]int, edges []edgeRec, id map[[2]uin
 		x := queue[0]
 		queue = queue[1:]
 		for _, ei := range adj[x] {
-			y := id[edges[ei].to]
+			y := int(ev[ei])
 			if comp[y] != comp[u] {
 				continue
 			}
@@ -703,22 +1024,19 @@ func cyclePath(v, u int, comp []int, adj [][]int, edges []edgeRec, id map[[2]uin
 }
 
 // sccKosaraju labels each node with its strongly-connected-component id
-// (iterative two-pass Kosaraju).
-func sccKosaraju(n int, edges []edgeRec, id map[[2]uint64]int, adj [][]int) []int {
-	radj := make([][]int, n)
-	for i := range edges {
-		u, okU := id[edges[i].from]
-		v, okV := id[edges[i].to]
-		if !okU || !okV {
-			continue
+// (iterative two-pass Kosaraju over pre-resolved endpoint arrays).
+func sccKosaraju(n int, eu, ev []int32, adj [][]int32) []int32 {
+	radj := make([][]int32, n)
+	for i := range eu {
+		if eu[i] >= 0 {
+			radj[ev[i]] = append(radj[ev[i]], eu[i])
 		}
-		radj[v] = append(radj[v], u)
 	}
 	// Pass 1: finish order on the forward graph.
-	order := make([]int, 0, n)
+	order := make([]int32, 0, n)
 	visited := make([]bool, n)
 	type frame struct {
-		node int
+		node int32
 		next int
 	}
 	for s := 0; s < n; s++ {
@@ -726,11 +1044,11 @@ func sccKosaraju(n int, edges []edgeRec, id map[[2]uint64]int, adj [][]int) []in
 			continue
 		}
 		visited[s] = true
-		stack := []frame{{node: s}}
+		stack := []frame{{node: int32(s)}}
 		for len(stack) > 0 {
 			f := &stack[len(stack)-1]
 			if f.next < len(adj[f.node]) {
-				y := id[edges[adj[f.node][f.next]].to]
+				y := ev[adj[f.node][f.next]]
 				f.next++
 				if !visited[y] {
 					visited[y] = true
@@ -743,18 +1061,18 @@ func sccKosaraju(n int, edges []edgeRec, id map[[2]uint64]int, adj [][]int) []in
 		}
 	}
 	// Pass 2: reverse graph in reverse finish order.
-	comp := make([]int, n)
+	comp := make([]int32, n)
 	for i := range comp {
 		comp[i] = -1
 	}
-	nc := 0
+	nc := int32(0)
 	for i := len(order) - 1; i >= 0; i-- {
 		s := order[i]
 		if comp[s] != -1 {
 			continue
 		}
 		comp[s] = nc
-		stack := []int{s}
+		stack := []int32{s}
 		for len(stack) > 0 {
 			x := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]

@@ -38,6 +38,10 @@ func checkAllWorkerCounts(t *testing.T, mk func() []*mca.Agent, g *graph.Graph, 
 			t.Fatalf("workers=%d explored %d states, workers=%d explored %d",
 				w, v.States, workerCounts[0], ref.States)
 		}
+		if v.MaxDepth != ref.MaxDepth {
+			t.Fatalf("workers=%d reached depth %d, workers=%d reached %d",
+				w, v.MaxDepth, workerCounts[0], ref.MaxDepth)
+		}
 		if tr != refTrace {
 			t.Fatalf("workers=%d produced a different counterexample:\n%s\nvs workers=%d:\n%s",
 				w, tr, workerCounts[0], refTrace)

@@ -1,0 +1,334 @@
+package explore
+
+import "sync/atomic"
+
+// stateTable is the explorers' compact seen-set: an open-addressing
+// hash table from 128-bit canonical state keys to exploration-tree
+// nodes. Compared with the Go map it replaced, it probes flat parallel
+// arrays (no per-entry heap allocation, no bucket pointers for the
+// garbage collector to chase) and exposes its occupancy and probe
+// behavior on the Verdict, so state-store health is observable.
+//
+// Keys are already uniform 128-bit hashes, so slot selection uses the
+// second key word directly (the first word is the parallel frontier's
+// shard selector — using the other word keeps shard-local tables from
+// degenerating into a single probe chain). Linear probing; slots whose
+// node is nil are empty; entries are never deleted.
+type stateTable struct {
+	keys  [][2]uint64
+	nodes []*pathNode
+	mask  uint64
+	n     int
+	// Stats, reported on Verdict.Store: lookups counts get/insert
+	// operations, probes the total slots examined serving them.
+	lookups uint64
+	probes  uint64
+}
+
+const stateTableMinSlots = 64
+
+func (t *stateTable) init(slots int) {
+	c := stateTableMinSlots
+	for c < slots {
+		c <<= 1
+	}
+	t.keys = make([][2]uint64, c)
+	t.nodes = make([]*pathNode, c)
+	t.mask = uint64(c - 1)
+	t.n = 0
+}
+
+// get returns the node stored under k, or nil. Only the owning worker
+// may call it (it updates the stats counters).
+func (t *stateTable) get(k [2]uint64) *pathNode {
+	t.lookups++
+	i := k[1] & t.mask
+	for t.nodes != nil {
+		t.probes++
+		n := t.nodes[i]
+		if n == nil {
+			return nil
+		}
+		if t.keys[i] == k {
+			return n
+		}
+		i = (i + 1) & t.mask
+	}
+	return nil
+}
+
+// peek is get without the stats updates: safe for concurrent readers
+// while no writer is active — the parallel frontier's producer-side
+// pruning reads peer shards' sealed tables this way.
+func (t *stateTable) peek(k [2]uint64) *pathNode {
+	if t.nodes == nil {
+		return nil
+	}
+	i := k[1] & t.mask
+	for {
+		n := t.nodes[i]
+		if n == nil {
+			return nil
+		}
+		if t.keys[i] == k {
+			return n
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+// insert stores node under k; keys already present keep their resident
+// node (callers dedup with get/peek first, so double inserts are
+// no-ops by construction).
+func (t *stateTable) insert(k [2]uint64, node *pathNode) {
+	if t.nodes == nil {
+		t.init(stateTableMinSlots)
+	} else if uint64(t.n)*4 >= uint64(len(t.nodes))*3 {
+		t.grow()
+	}
+	t.lookups++
+	i := k[1] & t.mask
+	for {
+		t.probes++
+		ex := t.nodes[i]
+		if ex == nil {
+			t.keys[i] = k
+			t.nodes[i] = node
+			t.n++
+			return
+		}
+		if t.keys[i] == k {
+			return
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+// grow doubles the table and reinserts every entry (growth rehashing is
+// excluded from the probe stats — it measures table sizing, not lookup
+// behavior).
+func (t *stateTable) grow() {
+	oldKeys, oldNodes := t.keys, t.nodes
+	t.init(len(oldNodes) * 2)
+	for i, n := range oldNodes {
+		if n == nil {
+			continue
+		}
+		k := oldKeys[i]
+		j := k[1] & t.mask
+		for t.nodes[j] != nil {
+			j = (j + 1) & t.mask
+		}
+		t.keys[j] = k
+		t.nodes[j] = n
+		t.n++
+	}
+}
+
+// clear empties the table, keeping its capacity (the parallel
+// frontier's per-level fresh set is cleared once per level).
+func (t *stateTable) clear() {
+	clear(t.nodes)
+	t.n = 0
+}
+
+// forEach visits every entry in unspecified order.
+func (t *stateTable) forEach(f func(k [2]uint64, n *pathNode)) {
+	for i, n := range t.nodes {
+		if n != nil {
+			f(t.keys[i], n)
+		}
+	}
+}
+
+// addStats accumulates this table's counters into s.
+func (t *stateTable) addStats(s *StoreStats) {
+	s.Entries += t.n
+	s.Slots += len(t.nodes)
+	s.Lookups += t.lookups
+	s.Probes += t.probes
+}
+
+// StoreStats reports seen-set health: how full the open-addressing
+// state store ran and how expensive its probes were. Probes/Lookups
+// near 1.0 means the table stayed healthy; values drifting up indicate
+// clustering (or an adversarial key distribution).
+type StoreStats struct {
+	// Entries is the number of distinct states stored.
+	Entries int
+	// Slots is the allocated slot count across all tables.
+	Slots int
+	// Lookups counts get/insert operations against the store.
+	Lookups uint64
+	// Probes counts the total slots examined serving those lookups.
+	Probes uint64
+}
+
+// sealedTable is the cross-shard variant of stateTable: exactly one
+// owner inserts (the shard sealing its finished levels), while any
+// number of peers concurrently probe it for producer-side pruning. It
+// is safe without locks because entries are never deleted and readers
+// tolerate missing the newest entries — a missed prune just routes an
+// item its owner discards on arrival, and a successful match is always
+// a state genuinely processed in a finished level, so raciness never
+// changes which representative survives.
+//
+// Publication protocol: the owner writes the slot key first, then
+// publishes the node with an atomic (release) store; readers load the
+// node (acquire) before touching the key, so a non-nil node guarantees
+// a valid key. Growth builds a fresh snapshot off-line and swaps it in
+// with one atomic pointer store; late readers keep probing the old
+// snapshot, which remains valid and merely stale.
+type sealedTable struct {
+	snap atomic.Pointer[sealedSnap]
+	n    int
+	// Owner-side stats (never touched by peer readers).
+	lookups uint64
+	probes  uint64
+}
+
+type sealedSnap struct {
+	keys  [][2]uint64
+	nodes []atomic.Pointer[pathNode]
+	mask  uint64
+}
+
+func newSealedSnap(slots int) *sealedSnap {
+	c := stateTableMinSlots
+	for c < slots {
+		c <<= 1
+	}
+	return &sealedSnap{
+		keys:  make([][2]uint64, c),
+		nodes: make([]atomic.Pointer[pathNode], c),
+		mask:  uint64(c - 1),
+	}
+}
+
+// insert stores node under k; the caller (the owning shard) guarantees
+// k is absent — sealing only moves each state into the table once.
+func (t *sealedTable) insert(k [2]uint64, node *pathNode) {
+	s := t.snap.Load()
+	if s == nil {
+		s = newSealedSnap(stateTableMinSlots)
+		t.snap.Store(s)
+	} else if uint64(t.n)*4 >= uint64(len(s.nodes))*3 {
+		s = t.grow(s)
+	}
+	t.lookups++
+	i := k[1] & s.mask
+	for {
+		t.probes++
+		if s.nodes[i].Load() == nil {
+			s.keys[i] = k
+			s.nodes[i].Store(node)
+			t.n++
+			return
+		}
+		i = (i + 1) & s.mask
+	}
+}
+
+// grow builds a doubled snapshot off-line and publishes it atomically.
+func (t *sealedTable) grow(old *sealedSnap) *sealedSnap {
+	s := newSealedSnap(len(old.nodes) * 2)
+	for i := range old.nodes {
+		n := old.nodes[i].Load()
+		if n == nil {
+			continue
+		}
+		k := old.keys[i]
+		j := k[1] & s.mask
+		for s.nodes[j].Load() != nil {
+			j = (j + 1) & s.mask
+		}
+		s.keys[j] = k
+		s.nodes[j].Store(n)
+	}
+	t.snap.Store(s)
+	return s
+}
+
+// get probes with owner-side stats accounting.
+func (t *sealedTable) get(k [2]uint64) *pathNode {
+	t.lookups++
+	s := t.snap.Load()
+	if s == nil {
+		return nil
+	}
+	i := k[1] & s.mask
+	for {
+		t.probes++
+		n := s.nodes[i].Load()
+		if n == nil {
+			return nil
+		}
+		if s.keys[i] == k {
+			return n
+		}
+		i = (i + 1) & s.mask
+	}
+}
+
+// peek probes without stats — the concurrent-reader entry point.
+func (t *sealedTable) peek(k [2]uint64) *pathNode {
+	s := t.snap.Load()
+	if s == nil {
+		return nil
+	}
+	i := k[1] & s.mask
+	for {
+		n := s.nodes[i].Load()
+		if n == nil {
+			return nil
+		}
+		if s.keys[i] == k {
+			return n
+		}
+		i = (i + 1) & s.mask
+	}
+}
+
+// forEach visits every entry; callers run it only when the table is
+// quiescent (after the worker fleet has joined).
+func (t *sealedTable) forEach(f func(k [2]uint64, n *pathNode)) {
+	s := t.snap.Load()
+	if s == nil {
+		return
+	}
+	for i := range s.nodes {
+		if n := s.nodes[i].Load(); n != nil {
+			f(s.keys[i], n)
+		}
+	}
+}
+
+// addStats accumulates this table's counters into st.
+func (t *sealedTable) addStats(st *StoreStats) {
+	st.Entries += t.n
+	if s := t.snap.Load(); s != nil {
+		st.Slots += len(s.nodes)
+	}
+	st.Lookups += t.lookups
+	st.Probes += t.probes
+}
+
+// nodeArena allocates pathNodes in fixed-size blocks: node pointers are
+// stable (blocks never move), the per-state allocation the tree used to
+// pay disappears, and the garbage collector sees a handful of block
+// slices instead of millions of individual nodes.
+type nodeArena struct {
+	blocks [][]pathNode
+}
+
+const arenaBlockSize = 4096
+
+// alloc returns a pointer to a zeroed node with stable address.
+func (ar *nodeArena) alloc() *pathNode {
+	if len(ar.blocks) == 0 || len(ar.blocks[len(ar.blocks)-1]) == arenaBlockSize {
+		ar.blocks = append(ar.blocks, make([]pathNode, 0, arenaBlockSize))
+	}
+	b := &ar.blocks[len(ar.blocks)-1]
+	*b = append(*b, pathNode{})
+	return &(*b)[len(*b)-1]
+}

@@ -54,8 +54,18 @@ type Agent struct {
 
 	// infoTime[m] is the logical time of the latest information this
 	// agent has about agent m (the s vector of the CBBA conflict
-	// resolution rules).
-	infoTime map[AgentID]int
+	// resolution rules). Stored as a dense slice indexed by AgentID,
+	// grown on demand; an index beyond the slice means 0 ("never heard
+	// of m"), and stored entries are always positive — HandleMessage only
+	// records times that beat the current (non-negative) value.
+	infoTime []int
+
+	// rev counts state mutations. Every entry point that can modify the
+	// agent (HandleMessage, BidPhase, RestoreState, DecodeState) bumps
+	// it, so incremental hashers can cache per-agent digests and
+	// revalidate with a single integer compare — the change-notification
+	// hook of the explorers' incremental canonical keys.
+	rev uint64
 }
 
 // NewAgent validates the configuration and builds the agent.
@@ -85,7 +95,7 @@ func NewAgent(cfg Config) (*Agent, error) {
 		view:     make([]BidInfo, cfg.Items),
 		blocked:  make([]bool, cfg.Items),
 		block:    make([]BidInfo, cfg.Items),
-		infoTime: make(map[AgentID]int),
+		rev:      1,
 	}
 	if cfg.Demands != nil {
 		a.demands = append([]int64(nil), cfg.Demands...)
@@ -116,13 +126,11 @@ func (a *Agent) Clone() *Agent {
 		clock:    a.clock,
 		blocked:  append([]bool(nil), a.blocked...),
 		block:    append([]BidInfo(nil), a.block...),
-		infoTime: make(map[AgentID]int, len(a.infoTime)),
+		infoTime: append([]int(nil), a.infoTime...),
+		rev:      a.rev,
 	}
 	if a.demands != nil {
 		c.demands = append([]int64(nil), a.demands...)
-	}
-	for k, v := range a.infoTime {
-		c.infoTime[k] = v
 	}
 	return c
 }
@@ -159,12 +167,24 @@ func (a *Agent) Lost() []bool { return append([]bool(nil), a.blocked...) }
 // current view plus its information-timestamp vector, per the paper's
 // message signature.
 func (a *Agent) Snapshot(to AgentID) Message {
-	it := make(map[AgentID]int, len(a.infoTime)+1)
-	for m, t := range a.infoTime {
-		it[m] = t
+	view, it := a.SnapshotParts()
+	return Message{Sender: a.id, Receiver: to, View: view, InfoTimes: it}
+}
+
+// SnapshotParts builds the payload a broadcast shares across receivers:
+// one freshly allocated copy of the view and one information-timestamp
+// vector. Messages are immutable once sent, so every receiver's Message
+// may alias the same two slices — the network broadcast paths use this
+// to allocate the payload once per broadcast instead of once per edge.
+func (a *Agent) SnapshotParts() ([]BidInfo, []int) {
+	n := len(a.infoTime)
+	if int(a.id) >= n {
+		n = int(a.id) + 1
 	}
+	it := make([]int, n)
+	copy(it, a.infoTime)
 	it[a.id] = a.clock
-	return Message{Sender: a.id, Receiver: to, View: a.View(), InfoTimes: it}
+	return a.View(), it
 }
 
 // InfoTime returns the agent's information timestamp about agent m.
@@ -172,7 +192,32 @@ func (a *Agent) InfoTime(m AgentID) int {
 	if m == a.id {
 		return a.clock
 	}
-	return a.infoTime[m]
+	return infoAt(a.infoTime, m)
+}
+
+// Rev returns the agent's mutation counter; it increases on every state
+// mutation entry point, never repeats, and lets cached digests of the
+// agent's state be revalidated with one compare.
+func (a *Agent) Rev() uint64 { return a.rev }
+
+// infoAt reads a dense information-timestamp vector: indices beyond the
+// slice mean "no information" (time 0), mirroring the absent-key reads
+// of the map representation this replaced.
+func infoAt(times []int, m AgentID) int {
+	if int(m) < len(times) {
+		return times[m]
+	}
+	return 0
+}
+
+// setInfo writes entry m of a dense information-timestamp vector,
+// growing it on demand.
+func setInfo(times []int, m AgentID, t int) []int {
+	for int(m) >= len(times) {
+		times = append(times, 0)
+	}
+	times[m] = t
+	return times
 }
 
 // bundleDemand sums the demand of held items.
@@ -230,6 +275,7 @@ func (a *Agent) eligible(j ItemID) (int64, bool) {
 // ID) until none qualifies, or until the BidsPerRound policy cap is
 // reached. It returns true if the view changed.
 func (a *Agent) BidPhase() bool {
+	a.rev++
 	changed := false
 	added := 0
 	for {
@@ -266,14 +312,8 @@ func (a *Agent) HandleMessage(m Message) bool {
 	if len(m.View) != a.items {
 		panic(fmt.Sprintf("mca: agent %d received view of length %d, want %d", a.id, len(m.View), a.items))
 	}
-	fr := Freshness{
-		SenderKnowsAfter: func(about AgentID, t int) bool {
-			if about == a.id {
-				return false
-			}
-			return m.InfoTimes[about] > t
-		},
-	}
+	a.rev++
+	fr := Freshness{SenderTimes: m.InfoTimes, Receiver: a.id}
 	changed := false
 	for j := 0; j < a.items; j++ {
 		local, remote := a.view[j], m.View[j]
@@ -307,11 +347,11 @@ func (a *Agent) HandleMessage(m Message) bool {
 	}
 	// Merge the information-timestamp vectors after resolution.
 	for about, t := range m.InfoTimes {
-		if about == a.id {
+		if AgentID(about) == a.id {
 			continue
 		}
-		if t > a.infoTime[about] {
-			a.infoTime[about] = t
+		if t > infoAt(a.infoTime, AgentID(about)) {
+			a.infoTime = setInfo(a.infoTime, AgentID(about), t)
 		}
 		if t > a.clock {
 			a.clock = t
@@ -408,6 +448,14 @@ func (a *Agent) Won() []ItemID {
 	out := append([]ItemID(nil), a.bundle...)
 	sort.Slice(out, func(i, k int) bool { return out[i] < out[k] })
 	return out
+}
+
+// ViewAgrees reports whether the agent's current view agrees with v on
+// winners and winning bids — ViewsAgree against the live view, without
+// the defensive copy View() makes. The protocol drivers sit this on
+// their delivery hot path (the reply-on-disagreement rule).
+func (a *Agent) ViewAgrees(v []BidInfo) bool {
+	return ViewsAgree(a.view, v)
 }
 
 // AgreesWith reports whether two agents' views agree on winners and

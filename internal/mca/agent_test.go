@@ -76,7 +76,7 @@ func TestBidPhaseDoesNotBeatKnownHigherBid(t *testing.T) {
 	a := MustNewAgent(Config{ID: 1, Items: 1, Base: []int64{10}, Policy: flatPolicy(1)})
 	// Preload a view where agent 0 bid 10 (tie, but 0 < 1 wins ties).
 	a.HandleMessage(Message{Sender: 0, Receiver: 1, View: []BidInfo{{Bid: 10, Winner: 0, Time: 1}},
-		InfoTimes: map[AgentID]int{0: 1}})
+		InfoTimes: []int{1}})
 	if len(a.Bundle()) != 0 {
 		t.Fatalf("agent 1 should not win a tie against agent 0: %v", a.Bundle())
 	}
@@ -191,7 +191,7 @@ func TestReleaseOutbidRetractsSubsequent(t *testing.T) {
 	a.HandleMessage(Message{Sender: 3, Receiver: 5, View: []BidInfo{
 		{Winner: NoAgent},
 		{Bid: 50, Winner: 3, Time: 9},
-	}, InfoTimes: map[AgentID]int{3: 9}})
+	}, InfoTimes: []int{0, 0, 0, 9}})
 	v := a.View()
 	if v[1].Winner != 3 {
 		t.Fatalf("item 1 should be won by 3: %+v", v[1])
@@ -215,7 +215,7 @@ func TestNoReleaseKeepsSubsequent(t *testing.T) {
 	a.HandleMessage(Message{Sender: 3, Receiver: 5, View: []BidInfo{
 		{Winner: NoAgent},
 		{Bid: 50, Winner: 3, Time: 9},
-	}, InfoTimes: map[AgentID]int{3: 9}})
+	}, InfoTimes: []int{0, 0, 0, 9}})
 	after := a.View()[0]
 	if after != before {
 		t.Fatalf("without release-outbid item 0 must keep its original bid: %+v -> %+v", before, after)
@@ -231,12 +231,12 @@ func TestRebidNeverBlocksForever(t *testing.T) {
 	a.BidPhase()
 	// Outbid by agent 0 with 20, then agent 0 retracts.
 	a.HandleMessage(Message{Sender: 0, Receiver: 1, View: []BidInfo{{Bid: 20, Winner: 0, Time: 5}},
-		InfoTimes: map[AgentID]int{0: 5}})
+		InfoTimes: []int{5}})
 	if len(a.Bundle()) != 0 {
 		t.Fatal("agent should have lost the item")
 	}
 	a.HandleMessage(Message{Sender: 0, Receiver: 1, View: []BidInfo{{Winner: NoAgent, Time: 6}},
-		InfoTimes: map[AgentID]int{0: 6}})
+		InfoTimes: []int{6}})
 	if len(a.Bundle()) != 0 {
 		t.Fatal("RebidNever agent must not rebid even after retraction")
 	}
@@ -250,9 +250,9 @@ func TestRebidOnChangeRebidsAfterRetraction(t *testing.T) {
 	a := MustNewAgent(Config{ID: 1, Items: 1, Base: []int64{10}, Policy: pol})
 	a.BidPhase()
 	a.HandleMessage(Message{Sender: 0, Receiver: 1, View: []BidInfo{{Bid: 20, Winner: 0, Time: 5}},
-		InfoTimes: map[AgentID]int{0: 5}})
+		InfoTimes: []int{5}})
 	a.HandleMessage(Message{Sender: 0, Receiver: 1, View: []BidInfo{{Winner: NoAgent, Time: 6}},
-		InfoTimes: map[AgentID]int{0: 6}})
+		InfoTimes: []int{6}})
 	if len(a.Bundle()) != 1 {
 		t.Fatal("RebidOnChange agent must rebid after the winner retracts")
 	}
@@ -267,7 +267,7 @@ func TestRebidAlwaysIgnoresLost(t *testing.T) {
 	}
 	// Honest agent 0 outbids with 20; the attacker immediately rebids 21.
 	a.HandleMessage(Message{Sender: 0, Receiver: 1, View: []BidInfo{{Bid: 20, Winner: 0, Time: 5}},
-		InfoTimes: map[AgentID]int{0: 5}})
+		InfoTimes: []int{5}})
 	v := a.View()[0]
 	if v.Winner != 1 || v.Bid != 21 {
 		t.Fatalf("attacker should rebid 21: %+v", v)
@@ -279,7 +279,7 @@ func TestEscalationCap(t *testing.T) {
 	a := MustNewAgent(Config{ID: 1, Items: 1, Base: []int64{10}, Policy: pol})
 	a.BidPhase()
 	a.HandleMessage(Message{Sender: 0, Receiver: 1, View: []BidInfo{{Bid: 21, Winner: 0, Time: 5}},
-		InfoTimes: map[AgentID]int{0: 5}})
+		InfoTimes: []int{5}})
 	// Cap reached: attacker cannot beat 21 by agent 0 (tie, higher id loses).
 	if v := a.View()[0]; v.Winner != 0 {
 		t.Fatalf("capped attacker must concede: %+v", v)
@@ -289,7 +289,7 @@ func TestEscalationCap(t *testing.T) {
 func TestHandleMessageAdvancesClock(t *testing.T) {
 	a := MustNewAgent(Config{ID: 0, Items: 1, Base: []int64{1}, Policy: flatPolicy(1)})
 	a.HandleMessage(Message{Sender: 1, Receiver: 0, View: []BidInfo{{Bid: 5, Winner: 1, Time: 42}},
-		InfoTimes: map[AgentID]int{1: 42}})
+		InfoTimes: []int{0, 42}})
 	if a.Clock() < 42 {
 		t.Fatalf("clock = %d, must be >= 42", a.Clock())
 	}

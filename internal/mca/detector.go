@@ -114,7 +114,7 @@ func (d *Detector) Observe(m Message, ownerView []BidInfo) []Violation {
 				standing := ownerView[j]
 				if standing.Winner != NoAgent && standing.Winner != m.Sender &&
 					Beats(standing.Bid, standing.Winner, prevOwn) &&
-					m.InfoTimes[standing.Winner] >= standing.Time {
+					m.InfoTimeOf(standing.Winner) >= standing.Time {
 					v := Violation{
 						Sender:      m.Sender,
 						Item:        ItemID(j),

@@ -70,10 +70,10 @@ func TestDetectorAllowsRebidAfterRetraction(t *testing.T) {
 	// reports the retraction, then legitimately claims again.
 	det := NewDetector(0, 1)
 	seq := []Message{
-		{Sender: 1, Receiver: 0, View: []BidInfo{{Bid: 5, Winner: 1, Time: 1}}, InfoTimes: map[AgentID]int{1: 1}},
-		{Sender: 1, Receiver: 0, View: []BidInfo{{Bid: 9, Winner: 2, Time: 2}}, InfoTimes: map[AgentID]int{1: 2}},
-		{Sender: 1, Receiver: 0, View: []BidInfo{{Winner: NoAgent, Time: 3}}, InfoTimes: map[AgentID]int{1: 3}},
-		{Sender: 1, Receiver: 0, View: []BidInfo{{Bid: 5, Winner: 1, Time: 4}}, InfoTimes: map[AgentID]int{1: 4}},
+		{Sender: 1, Receiver: 0, View: []BidInfo{{Bid: 5, Winner: 1, Time: 1}}, InfoTimes: []int{0, 1}},
+		{Sender: 1, Receiver: 0, View: []BidInfo{{Bid: 9, Winner: 2, Time: 2}}, InfoTimes: []int{0, 2}},
+		{Sender: 1, Receiver: 0, View: []BidInfo{{Winner: NoAgent, Time: 3}}, InfoTimes: []int{0, 3}},
+		{Sender: 1, Receiver: 0, View: []BidInfo{{Bid: 5, Winner: 1, Time: 4}}, InfoTimes: []int{0, 4}},
 	}
 	for _, m := range seq {
 		if vs := det.Observe(m, nil); len(vs) != 0 {
@@ -85,10 +85,10 @@ func TestDetectorAllowsRebidAfterRetraction(t *testing.T) {
 func TestDetectorFlagsRebidWithoutRetraction(t *testing.T) {
 	det := NewDetector(0, 1)
 	seq := []Message{
-		{Sender: 1, Receiver: 0, View: []BidInfo{{Bid: 5, Winner: 1, Time: 1}}, InfoTimes: map[AgentID]int{1: 1}},
-		{Sender: 1, Receiver: 0, View: []BidInfo{{Bid: 9, Winner: 2, Time: 2}}, InfoTimes: map[AgentID]int{1: 2}},
+		{Sender: 1, Receiver: 0, View: []BidInfo{{Bid: 5, Winner: 1, Time: 1}}, InfoTimes: []int{0, 1}},
+		{Sender: 1, Receiver: 0, View: []BidInfo{{Bid: 9, Winner: 2, Time: 2}}, InfoTimes: []int{0, 2}},
 		// No retraction: agent 1 claims again while agent 2's 9 stands.
-		{Sender: 1, Receiver: 0, View: []BidInfo{{Bid: 10, Winner: 1, Time: 3}}, InfoTimes: map[AgentID]int{1: 3}},
+		{Sender: 1, Receiver: 0, View: []BidInfo{{Bid: 10, Winner: 1, Time: 3}}, InfoTimes: []int{0, 3}},
 	}
 	var all []Violation
 	for _, m := range seq {
@@ -107,8 +107,8 @@ func TestDetectorHigherWinningRebidIsLegitimate(t *testing.T) {
 	// refreshed bid after adding items): not a violation.
 	det := NewDetector(0, 1)
 	seq := []Message{
-		{Sender: 1, Receiver: 0, View: []BidInfo{{Bid: 5, Winner: 1, Time: 1}}, InfoTimes: map[AgentID]int{1: 1}},
-		{Sender: 1, Receiver: 0, View: []BidInfo{{Bid: 7, Winner: 1, Time: 2}}, InfoTimes: map[AgentID]int{1: 2}},
+		{Sender: 1, Receiver: 0, View: []BidInfo{{Bid: 5, Winner: 1, Time: 1}}, InfoTimes: []int{0, 1}},
+		{Sender: 1, Receiver: 0, View: []BidInfo{{Bid: 7, Winner: 1, Time: 2}}, InfoTimes: []int{0, 2}},
 	}
 	for _, m := range seq {
 		if vs := det.Observe(m, nil); len(vs) != 0 {

@@ -71,7 +71,7 @@ func TestAgentInvariantsUnderRandomMessages(t *testing.T) {
 		for step := 0; step < 25; step++ {
 			sender := AgentID(1 + rng.Intn(nAgents-1))
 			view := make([]BidInfo, items)
-			info := map[AgentID]int{}
+			info := make([]int, nAgents)
 			for j := range view {
 				switch rng.Intn(4) {
 				case 0:
@@ -110,12 +110,12 @@ func TestSaveRestoreRoundTrip(t *testing.T) {
 				{Bid: int64(rng.Intn(20)), Winner: AgentID(rng.Intn(2)), Time: 3},
 				{Winner: NoAgent, Time: 2},
 			},
-			InfoTimes: map[AgentID]int{1: 3}})
+			InfoTimes: []int{0, 3}})
 		saved := a.SaveState()
 		// Further mutation.
 		a.HandleMessage(Message{Sender: 1, Receiver: 0,
 			View:      []BidInfo{{Bid: 50, Winner: 1, Time: 9}, {Bid: 40, Winner: 1, Time: 10}},
-			InfoTimes: map[AgentID]int{1: 10}})
+			InfoTimes: []int{0, 10}})
 		a.RestoreState(saved)
 		got := a.SaveState()
 		if len(got.View) != len(saved.View) || got.Clock != saved.Clock {
@@ -162,11 +162,10 @@ func TestCanonicalEncodingTimeShiftInvariance(t *testing.T) {
 		// variants, so the order is preserved.
 		a.HandleMessage(Message{Sender: 1, Receiver: 0,
 			View:      []BidInfo{{Bid: 20, Winner: 1, Time: 50 + shift}, {Winner: NoAgent, Time: 40 + shift}},
-			InfoTimes: map[AgentID]int{1: 50 + shift}})
+			InfoTimes: []int{0, 50 + shift}})
 		// Dense rank over every timestamp in the state, as the explorer
 		// computes it.
-		var times []int
-		a.CollectTimes(func(t int) { times = append(times, t) })
+		times := a.AppendTimes(nil)
 		sortInts(times)
 		rankOf := map[int]int{}
 		for _, tm := range times {
@@ -174,7 +173,7 @@ func TestCanonicalEncodingTimeShiftInvariance(t *testing.T) {
 				rankOf[tm] = len(rankOf)
 			}
 		}
-		return string(a.AppendCanonical(nil, func(t int) int { return rankOf[t] }))
+		return string(a.AppendCanonical(nil, func(t int) int { return rankOf[t] }, 2))
 	}
 	if mk(0) != mk(100) {
 		t.Fatal("canonical encoding not invariant under order-preserving time shift")

@@ -1,9 +1,8 @@
 package mca
 
 import (
-	"fmt"
+	"math/bits"
 	"sort"
-	"strings"
 )
 
 // appendVarint appends a zig-zag-free signed int encoding (values here
@@ -18,9 +17,19 @@ func appendVarint(buf []byte, v int64) []byte {
 }
 
 // AppendCanonical appends a compact deterministic binary encoding of the
-// agent state with every timestamp passed through rank. The explorer
-// hashes the result, so the encoding must be injective per field order.
-func (a *Agent) AppendCanonical(buf []byte, rank func(int) int) []byte {
+// agent state with every timestamp passed through rank, for a system of
+// n agents (the information-timestamp vector is encoded as n fixed
+// slots). This is the reference serializer for the explorer's canonical
+// keys: the incremental hasher (ContentHash + FoldTimeRanks) must
+// distinguish exactly the states this encoding distinguishes, and the
+// explore package pins that equivalence with a cross-check flag and a
+// fuzz test.
+//
+// Timestamp slots that double as presence markers (block entries,
+// information timestamps) encode 0 for "absent" and 1+rank(t) when
+// present; stored information times are always positive, so the two
+// ranges cannot collide.
+func (a *Agent) AppendCanonical(buf []byte, rank func(int) int, n int) []byte {
 	buf = appendVarint(buf, int64(a.id))
 	for _, bi := range a.view {
 		buf = appendVarint(buf, bi.Bid)
@@ -34,29 +43,27 @@ func (a *Agent) AppendCanonical(buf []byte, rank func(int) int) []byte {
 	for j, bl := range a.blocked {
 		if bl {
 			bi := a.block[j]
-			buf = appendVarint(buf, int64(j))
 			buf = appendVarint(buf, bi.Bid)
 			buf = appendVarint(buf, int64(bi.Winner))
-			buf = appendVarint(buf, int64(rank(bi.Time)))
+			buf = appendVarint(buf, int64(1+rank(bi.Time)))
+		} else {
+			buf = appendVarint(buf, 0)
 		}
 	}
-	buf = appendVarint(buf, -1) // blocked-section terminator
 	buf = appendVarint(buf, int64(rank(a.clock)))
-	ids := make([]int, 0, len(a.infoTime))
-	for k := range a.infoTime {
-		ids = append(ids, int(k))
+	for k := 0; k < n; k++ {
+		if t := infoAt(a.infoTime, AgentID(k)); t != 0 {
+			buf = appendVarint(buf, int64(1+rank(t)))
+		} else {
+			buf = appendVarint(buf, 0)
+		}
 	}
-	sort.Ints(ids)
-	for _, k := range ids {
-		buf = appendVarint(buf, int64(k))
-		buf = appendVarint(buf, int64(rank(a.infoTime[AgentID(k)])))
-	}
-	return appendVarint(buf, -1)
+	return buf
 }
 
 // AppendMessageCanonical appends a compact deterministic binary encoding
-// of a message with timestamps ranked.
-func AppendMessageCanonical(buf []byte, m Message, rank func(int) int) []byte {
+// of a message with timestamps ranked, for a system of n agents.
+func AppendMessageCanonical(buf []byte, m Message, rank func(int) int, n int) []byte {
 	buf = appendVarint(buf, int64(m.Sender))
 	buf = appendVarint(buf, int64(m.Receiver))
 	for _, bi := range m.View {
@@ -64,14 +71,12 @@ func AppendMessageCanonical(buf []byte, m Message, rank func(int) int) []byte {
 		buf = appendVarint(buf, int64(bi.Winner))
 		buf = appendVarint(buf, int64(rank(bi.Time)))
 	}
-	ids := make([]int, 0, len(m.InfoTimes))
-	for k := range m.InfoTimes {
-		ids = append(ids, int(k))
-	}
-	sort.Ints(ids)
-	for _, k := range ids {
-		buf = appendVarint(buf, int64(k))
-		buf = appendVarint(buf, int64(rank(m.InfoTimes[AgentID(k)])))
+	for k := 0; k < n; k++ {
+		if t := infoAt(m.InfoTimes, AgentID(k)); t != 0 {
+			buf = appendVarint(buf, int64(1+rank(t)))
+		} else {
+			buf = appendVarint(buf, 0)
+		}
 	}
 	return appendVarint(buf, -1)
 }
@@ -79,12 +84,14 @@ func AppendMessageCanonical(buf []byte, m Message, rank func(int) int) []byte {
 // AgentState is a deep snapshot of an agent's mutable state, used by the
 // exhaustive explorer to branch over message interleavings.
 type AgentState struct {
-	View     []BidInfo
-	Bundle   []ItemID
-	Blocked  []bool
-	Block    []BidInfo
-	Clock    int
-	InfoTime map[AgentID]int
+	View    []BidInfo
+	Bundle  []ItemID
+	Blocked []bool
+	Block   []BidInfo
+	Clock   int
+	// InfoTime is the dense information-timestamp vector (indexed by
+	// AgentID; missing tail entries mean 0).
+	InfoTime []int
 }
 
 // SaveState captures the agent's mutable state.
@@ -103,37 +110,27 @@ func (a *Agent) SaveStateInto(s *AgentState) {
 	s.Blocked = append(s.Blocked[:0], a.blocked...)
 	s.Block = append(s.Block[:0], a.block...)
 	s.Clock = a.clock
-	if s.InfoTime == nil {
-		s.InfoTime = make(map[AgentID]int, len(a.infoTime))
-	} else {
-		clear(s.InfoTime)
-	}
-	for k, v := range a.infoTime {
-		s.InfoTime[k] = v
-	}
+	s.InfoTime = append(s.InfoTime[:0], a.infoTime...)
 }
 
 // RestoreState reinstates a previously saved state. The agent's own
 // storage is reused (the explorers restore millions of times on their
 // hot path); the AgentState is not aliased afterwards.
 func (a *Agent) RestoreState(s AgentState) {
+	a.rev++
 	copy(a.view, s.View)
 	a.bundle = append(a.bundle[:0], s.Bundle...)
 	copy(a.blocked, s.Blocked)
 	copy(a.block, s.Block)
 	a.clock = s.Clock
-	clear(a.infoTime)
-	for k, v := range s.InfoTime {
-		a.infoTime[k] = v
-	}
+	a.infoTime = append(a.infoTime[:0], s.InfoTime...)
 }
 
 // AppendState appends a compact binary encoding of the agent's full
 // mutable state (absolute timestamps, unlike AppendCanonical) to buf.
 // DecodeState reverses it. The parallel explorer stores frontier states
 // this way: one pointer-free byte slice per global state instead of a
-// tree of slices and maps, which the garbage collector never has to
-// scan.
+// tree of slices, which the garbage collector never has to scan.
 func (a *Agent) AppendState(buf []byte) []byte {
 	for _, bi := range a.view {
 		buf = appendVarint(buf, bi.Bid)
@@ -156,14 +153,8 @@ func (a *Agent) AppendState(buf []byte) []byte {
 	buf = appendVarint(buf, -1) // blocked-section terminator
 	buf = appendVarint(buf, int64(a.clock))
 	buf = appendVarint(buf, int64(len(a.infoTime)))
-	ids := make([]int, 0, len(a.infoTime))
-	for k := range a.infoTime {
-		ids = append(ids, int(k))
-	}
-	sort.Ints(ids)
-	for _, k := range ids {
-		buf = appendVarint(buf, int64(k))
-		buf = appendVarint(buf, int64(a.infoTime[AgentID(k)]))
+	for _, t := range a.infoTime {
+		buf = appendVarint(buf, int64(t))
 	}
 	return buf
 }
@@ -185,6 +176,7 @@ func readVarint(buf []byte) (int64, []byte) {
 // DecodeState restores the agent's mutable state from an AppendState
 // encoding, returning the unconsumed remainder of buf.
 func (a *Agent) DecodeState(buf []byte) []byte {
+	a.rev++
 	var v int64
 	for j := range a.view {
 		bi := &a.view[j]
@@ -222,12 +214,11 @@ func (a *Agent) DecodeState(buf []byte) []byte {
 	v, buf = readVarint(buf)
 	a.clock = int(v)
 	v, buf = readVarint(buf)
-	clear(a.infoTime)
+	a.infoTime = a.infoTime[:0]
 	for i := int64(0); i < v; i++ {
-		var k, t int64
-		k, buf = readVarint(buf)
+		var t int64
 		t, buf = readVarint(buf)
-		a.infoTime[AgentID(k)] = int(t)
+		a.infoTime = append(a.infoTime, int(t))
 	}
 	return buf
 }
@@ -235,79 +226,151 @@ func (a *Agent) DecodeState(buf []byte) []byte {
 // Items returns the number of items the agent bids on.
 func (a *Agent) Items() int { return a.items }
 
-// CollectTimes feeds every logical timestamp in the agent's state to
-// sink. The explorer uses this to build a dense rank of all timestamps:
-// two global states that differ only by a time-order-preserving
-// relabeling of clocks are behaviorally equivalent, so hashing the
-// ranked form turns the unbounded clock space into a finite quotient.
-func (a *Agent) CollectTimes(sink func(int)) {
+// AppendTimes appends every logical timestamp in the agent's state to
+// ts. The explorer builds a dense rank over the combined list: two
+// global states that differ only by a time-order-preserving relabeling
+// of clocks are behaviorally equivalent, so hashing the ranked form
+// turns the unbounded clock space into a finite quotient.
+func (a *Agent) AppendTimes(ts []int) []int {
 	for _, bi := range a.view {
-		sink(bi.Time)
+		ts = append(ts, bi.Time)
 	}
 	for _, bi := range a.block {
-		sink(bi.Time)
+		ts = append(ts, bi.Time)
 	}
 	for _, t := range a.infoTime {
-		sink(t)
+		if t != 0 {
+			ts = append(ts, t)
+		}
 	}
-	sink(a.clock)
+	return append(ts, a.clock)
 }
 
-// EncodeCanonical writes a deterministic encoding of the agent state
-// with every timestamp passed through rank.
-func (a *Agent) EncodeCanonical(b *strings.Builder, rank func(int) int) {
-	fmt.Fprintf(b, "A%d|", a.id)
-	for j, bi := range a.view {
-		fmt.Fprintf(b, "v%d:%d,%d,%d;", j, bi.Bid, bi.Winner, rank(bi.Time))
+// AppendMessageTimes appends every timestamp in a message to ts.
+func AppendMessageTimes(ts []int, m Message) []int {
+	for _, bi := range m.View {
+		ts = append(ts, bi.Time)
 	}
-	b.WriteString("m:")
+	for _, t := range m.InfoTimes {
+		if t != 0 {
+			ts = append(ts, t)
+		}
+	}
+	return ts
+}
+
+// Ranker maps absolute logical times to their dense rank in a state's
+// deduplicated sorted time universe — the canonical quotient of the
+// explorers' state keys. The concrete struct (instead of a closure)
+// keeps the per-slot calls on the key hot path allocation-free and
+// inlinable.
+type Ranker struct {
+	// Uniq is the sorted, deduplicated list of every timestamp occurring
+	// in the state (AppendTimes / AppendMessageTimes output).
+	Uniq []int
+}
+
+// Rank returns the dense rank of t.
+func (r Ranker) Rank(t int) int { return sort.SearchInts(r.Uniq, t) }
+
+// Canonical-key hashing: 128 bits as two independently seeded 64-bit
+// lanes, folded one word at a time. Agent and message content hashes
+// are XOR-combined across components by the explorers, so each
+// component binds its identity (agent id, edge, queue position) into
+// its own digest.
+const (
+	hashMul1 = 0x9e3779b97f4a7c15 // 2^64 / golden ratio, odd
+	hashMul2 = 0xc2b2ae3d27d4eb4f // xxhash PRIME64_2, odd
+)
+
+// FoldHash mixes one 64-bit word into a two-lane hash state.
+func FoldHash(h [2]uint64, v uint64) [2]uint64 {
+	h[0] = bits.RotateLeft64(h[0]^v, 27) * hashMul1
+	h[1] = bits.RotateLeft64(h[1]^v, 31) * hashMul2
+	return h
+}
+
+// ContentHash digests the agent's timestamp-free content: identity,
+// view bids and winners, bundle, and outbid bookkeeping. Together with
+// FoldTimeRanks this carries exactly the information AppendCanonical
+// serializes, split so the explorers can cache it per agent (validated
+// by Rev) and recompute only the delivery's receiver.
+func (a *Agent) ContentHash() [2]uint64 {
+	h := [2]uint64{uint64(a.id) + 1, ^uint64(a.id)}
+	for _, bi := range a.view {
+		h = FoldHash(h, uint64(bi.Bid))
+		h = FoldHash(h, uint64(bi.Winner))
+	}
+	h = FoldHash(h, uint64(len(a.bundle)))
 	for _, j := range a.bundle {
-		fmt.Fprintf(b, "%d,", j)
+		h = FoldHash(h, uint64(j))
 	}
-	b.WriteString("|x:")
 	for j, bl := range a.blocked {
 		if bl {
 			bi := a.block[j]
-			fmt.Fprintf(b, "%d=%d,%d,%d;", j, bi.Bid, bi.Winner, rank(bi.Time))
+			h = FoldHash(h, uint64(bi.Bid))
+			h = FoldHash(h, uint64(bi.Winner)+3)
+		} else {
+			h = FoldHash(h, 1)
 		}
 	}
-	fmt.Fprintf(b, "|c:%d|s:", rank(a.clock))
-	ids := make([]int, 0, len(a.infoTime))
-	for k := range a.infoTime {
-		ids = append(ids, int(k))
-	}
-	sort.Ints(ids)
-	for _, k := range ids {
-		fmt.Fprintf(b, "%d=%d;", k, rank(a.infoTime[AgentID(k)]))
-	}
-	b.WriteString("$")
+	return h
 }
 
-// CollectMessageTimes feeds every timestamp in a message to sink.
-func CollectMessageTimes(m Message, sink func(int)) {
+// MessageContentHash digests a message's timestamp-free payload. The
+// sender and receiver are deliberately excluded: a queued message's
+// endpoints are its edge's endpoints, and the network binds the edge
+// identity when folding queue contents into a state key — which lets a
+// broadcast compute one payload digest shared by every receiver. The
+// network computes it once at send time (messages are immutable), so
+// canonical keys never re-serialize queue contents.
+func MessageContentHash(m Message) [2]uint64 {
+	h := [2]uint64{0x9e3779b97f4a7c15, 0x2545f4914f6cdd1d}
 	for _, bi := range m.View {
-		sink(bi.Time)
+		h = FoldHash(h, uint64(bi.Bid))
+		h = FoldHash(h, uint64(bi.Winner))
 	}
-	for _, t := range m.InfoTimes {
-		sink(t)
-	}
+	return h
 }
 
-// EncodeMessageCanonical writes a deterministic encoding of a message
-// with timestamps ranked.
-func EncodeMessageCanonical(b *strings.Builder, m Message, rank func(int) int) {
-	fmt.Fprintf(b, "M%d>%d|", m.Sender, m.Receiver)
-	for j, bi := range m.View {
-		fmt.Fprintf(b, "%d:%d,%d,%d;", j, bi.Bid, bi.Winner, rank(bi.Time))
+// FoldTimeRanks folds the agent's timestamp slots, ranked by r, into h
+// in a fixed slot order, for a system of n agents. Presence-marking
+// slots (block entries, information times) fold 0 when absent and
+// 1+rank when present, mirroring AppendCanonical.
+func (a *Agent) FoldTimeRanks(h [2]uint64, r Ranker, n int) [2]uint64 {
+	for _, bi := range a.view {
+		h = FoldHash(h, uint64(r.Rank(bi.Time)))
 	}
-	b.WriteString("s:")
-	ids := make([]int, 0, len(m.InfoTimes))
-	for k := range m.InfoTimes {
-		ids = append(ids, int(k))
+	for j, bl := range a.blocked {
+		if bl {
+			h = FoldHash(h, uint64(1+r.Rank(a.block[j].Time)))
+		} else {
+			h = FoldHash(h, 0)
+		}
 	}
-	sort.Ints(ids)
-	for _, k := range ids {
-		fmt.Fprintf(b, "%d=%d;", k, rank(m.InfoTimes[AgentID(k)]))
+	h = FoldHash(h, uint64(r.Rank(a.clock)))
+	for k := 0; k < n; k++ {
+		if t := infoAt(a.infoTime, AgentID(k)); t != 0 {
+			h = FoldHash(h, uint64(1+r.Rank(t)))
+		} else {
+			h = FoldHash(h, 0)
+		}
 	}
-	b.WriteString("$")
+	return h
+}
+
+// FoldMessageTimeRanks folds a message's timestamp slots, ranked by r,
+// into h in a fixed slot order, for a system of n agents.
+func FoldMessageTimeRanks(h [2]uint64, m Message, r Ranker, n int) [2]uint64 {
+	for _, bi := range m.View {
+		h = FoldHash(h, uint64(r.Rank(bi.Time)))
+	}
+	for k := 0; k < n; k++ {
+		if t := infoAt(m.InfoTimes, AgentID(k)); t != 0 {
+			h = FoldHash(h, uint64(1+r.Rank(t)))
+		} else {
+			h = FoldHash(h, 0)
+		}
+	}
+	return h
 }

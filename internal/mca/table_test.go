@@ -14,9 +14,11 @@ const (
 // agent → latest information time. The second argument is kept by the
 // call sites for historical symmetry and ignored.
 func fresh(senderInfo, _ map[AgentID]int) Freshness {
-	return Freshness{
-		SenderKnowsAfter: func(m AgentID, t int) bool { return senderInfo[m] > t },
+	times := make([]int, m4+1)
+	for k, t := range senderInfo {
+		times[k] = t
 	}
+	return Freshness{SenderTimes: times, Receiver: rcv}
 }
 
 func none() map[AgentID]int { return map[AgentID]int{} }

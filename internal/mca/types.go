@@ -47,19 +47,24 @@ type Message struct {
 	Receiver AgentID
 	View     []BidInfo // indexed by ItemID
 	// InfoTimes[m] is the logical time of the latest information the
-	// sender has (directly or relayed) about agent m.
-	InfoTimes map[AgentID]int
+	// sender has (directly or relayed) about agent m, as a dense vector
+	// indexed by AgentID. Indices beyond the slice mean 0 (no
+	// information) — the semantics every reader already applied to
+	// absent keys when this was a map. A broadcast shares one InfoTimes
+	// slice across all its receivers; messages are immutable once sent.
+	InfoTimes []int
 }
+
+// InfoTimeOf reads the sender's information timestamp about agent m;
+// agents beyond the vector are unheard-of (time 0).
+func (m Message) InfoTimeOf(about AgentID) int { return infoAt(m.InfoTimes, about) }
 
 // Clone deep-copies the message.
 func (m Message) Clone() Message {
 	v := make([]BidInfo, len(m.View))
 	copy(v, m.View)
-	it := make(map[AgentID]int, len(m.InfoTimes))
-	for k, t := range m.InfoTimes {
-		it[k] = t
-	}
-	return Message{Sender: m.Sender, Receiver: m.Receiver, View: v, InfoTimes: it}
+	return Message{Sender: m.Sender, Receiver: m.Receiver, View: v,
+		InfoTimes: append([]int(nil), m.InfoTimes...)}
 }
 
 // String renders a compact description.

@@ -168,7 +168,7 @@ func RunAsyncWith(agents []*mca.Agent, g *graph.Graph, cfg AsyncConfig) AsyncOut
 		receiver := agents[e.To]
 		if receiver.HandleMessage(m) {
 			fr.broadcast(receiver)
-		} else if !mca.ViewsAgree(receiver.View(), m.View) {
+		} else if !receiver.ViewAgrees(m.View) {
 			// The receiver kept a view that contradicts the sender's:
 			// reply so the disagreement cannot silently persist at
 			// quiescence.
@@ -199,6 +199,8 @@ type faultRun struct {
 	// readyAt[e][i] is the earliest tick the i-th queued message of edge
 	// e may be delivered; aligned with the network's FIFO queue.
 	readyAt map[Edge][]int
+	// pendBuf is reused across deliverable calls (one per delivery tick).
+	pendBuf []Edge
 }
 
 // partitioned reports whether the edge crosses an active partition cut.
@@ -237,15 +239,21 @@ func (fr *faultRun) send(m mca.Message) {
 }
 
 func (fr *faultRun) broadcast(a *mca.Agent) {
-	for _, nb := range fr.net.Neighbors(int(a.ID())) {
-		fr.send(a.Snapshot(mca.AgentID(nb)))
+	// Build the snapshot payload once for the fan-out; partition cuts and
+	// delay stamping still run per edge in send.
+	view, times := a.SnapshotParts()
+	from := a.ID()
+	for _, nb := range fr.net.Neighbors(int(from)) {
+		fr.send(mca.Message{Sender: from, Receiver: mca.AgentID(nb), View: view, InfoTimes: times})
 	}
 }
 
 // deliverable returns the pending edges whose head message is ready at
-// the current tick, in the network's deterministic sorted order.
+// the current tick, in the network's deterministic sorted order. The
+// returned slice is reused across calls.
 func (fr *faultRun) deliverable() []Edge {
-	pending := fr.net.Pending()
+	pending := fr.net.PendingInto(fr.pendBuf[:0])
+	fr.pendBuf = pending
 	if fr.readyAt == nil {
 		return pending
 	}
@@ -262,7 +270,8 @@ func (fr *faultRun) deliverable() []Edge {
 // only called when every pending head is delayed past the current tick.
 func (fr *faultRun) minReady() int {
 	min := -1
-	for _, e := range fr.net.Pending() {
+	fr.pendBuf = fr.net.PendingInto(fr.pendBuf[:0])
+	for _, e := range fr.pendBuf {
 		if r := fr.readyAt[e]; len(r) > 0 && (min == -1 || r[0] < min) {
 			min = r[0]
 		}

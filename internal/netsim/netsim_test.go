@@ -9,11 +9,18 @@ import (
 	"repro/internal/mca"
 )
 
+// infoVec builds a dense information-time vector with entry id set to t.
+func infoVec(id mca.AgentID, t int) []int {
+	v := make([]int, id+1)
+	v[id] = t
+	return v
+}
+
 func mkMsg(from, to mca.AgentID, bid int64) mca.Message {
 	return mca.Message{
 		Sender: from, Receiver: to,
 		View:      []mca.BidInfo{{Bid: bid, Winner: from, Time: 1}},
-		InfoTimes: map[mca.AgentID]int{from: 1},
+		InfoTimes: infoVec(from, 1),
 	}
 }
 

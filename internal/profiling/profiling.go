@@ -1,0 +1,54 @@
+// Package profiling wires the standard pprof profilers into command
+// flags, so perf work on the CLIs (cmd/mcacheck, cmd/mcafuzz) never
+// requires editing code: every optimization session starts from
+// `-cpuprofile`/`-memprofile` output fed to `go tool pprof`. See
+// docs/OPERATIONS.md for usage.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling when cpuPath is non-empty and arranges a
+// heap profile to be written to memPath (when non-empty) at stop time.
+// The returned stop function is safe to call exactly once, typically
+// via defer; it finishes both profiles and reports any write error on
+// stderr (profiling failures should never change a command's exit
+// code).
+func Start(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("profiling: start cpu profile: %w", err)
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "profiling: close cpu profile: %v\n", err)
+			}
+		}
+		if memPath == "" {
+			return
+		}
+		f, err := os.Create(memPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "profiling: %v\n", err)
+			return
+		}
+		defer f.Close()
+		runtime.GC() // materialize a settled heap before snapshotting
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "profiling: write heap profile: %v\n", err)
+		}
+	}, nil
+}

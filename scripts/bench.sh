@@ -1,0 +1,43 @@
+#!/bin/sh
+# bench.sh — run the core benchmark set with fixed parameters and emit
+# BENCH_5.json (name -> ns/op, allocs/op, B/op, custom metrics), the
+# repo's perf-trajectory record. Run it on a quiet machine and commit
+# the refreshed BENCH_5.json when a PR claims a performance change, so
+# future PRs inherit a baseline (see docs/PERFORMANCE.md).
+#
+# Usage:
+#   sh scripts/bench.sh            # full run (fixed -benchtime/-count), writes BENCH_5.json
+#   sh scripts/bench.sh --check    # CI smoke: short run, verifies the bench set still
+#                                  # runs and still covers every benchmark recorded in
+#                                  # BENCH_5.json; writes nothing
+set -eu
+cd "$(dirname "$0")/.."
+
+# The core set: the explicit-state hot path (serial + sharded frontier)
+# and batch-runner throughput.
+BENCHES='BenchmarkExploreSerial$|BenchmarkParallelExplore$|BenchmarkRunnerSweep$'
+
+if [ "${1:-}" = "--check" ]; then
+    out=$(go test -run '^$' -bench "$BENCHES" -benchmem -benchtime 100ms -count 1 .)
+    echo "$out"
+    json=$(echo "$out" | go run ./scripts/benchjson)
+    # Bench-rot gate: every benchmark recorded in the committed baseline
+    # must still exist (subbenches included).
+    echo "$json" >/tmp/bench_check.json
+    missing=0
+    for name in $(go run ./scripts/benchnames <BENCH_5.json); do
+        if ! grep -q "\"$name\"" /tmp/bench_check.json; then
+            echo "bench.sh: benchmark $name is in BENCH_5.json but no longer runs" >&2
+            missing=1
+        fi
+    done
+    exit $missing
+fi
+
+# Fixed parameters: -benchtime 2x amortizes per-run setup without
+# letting a noisy sample dominate; -count 3 lets benchjson keep the
+# fastest (least-interfered) sample.
+go test -run '^$' -bench "$BENCHES" -benchmem -benchtime 2x -count 3 . |
+    tee /dev/stderr |
+    go run ./scripts/benchjson >BENCH_5.json
+echo "wrote BENCH_5.json"

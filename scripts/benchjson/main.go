@@ -1,0 +1,93 @@
+// Command benchjson converts `go test -bench` output on stdin into the
+// repo's benchmark-trajectory JSON (BENCH_5.json): one record per
+// benchmark with ns/op, allocs/op, B/op, and any custom metrics
+// (states, scenarios/s, ...). When a benchmark appears multiple times
+// (-count > 1), the run with the lowest ns/op wins — the
+// least-interference sample is the most reproducible point of a noisy
+// machine.
+//
+// Usage: go test -run '^$' -bench ... -benchmem . | go run ./scripts/benchjson
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Record is one benchmark's measurement.
+type Record struct {
+	NsPerOp     float64            `json:"ns_per_op"`
+	AllocsPerOp float64            `json:"allocs_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// File is the emitted document.
+type File struct {
+	Note       string            `json:"note"`
+	Benchmarks map[string]Record `json:"benchmarks"`
+}
+
+var lineRE = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(.*)$`)
+var pairRE = regexp.MustCompile(`([\d.]+) (\S+)`)
+
+func main() {
+	out := File{
+		Note:       "Benchmark trajectory, written by scripts/bench.sh; lowest-ns/op sample per benchmark. Compare against docs/PERFORMANCE.md.",
+		Benchmarks: map[string]Record{},
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := lineRE.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		name := strings.TrimPrefix(m[1], "Benchmark")
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		rec := Record{NsPerOp: ns}
+		for _, pm := range pairRE.FindAllStringSubmatch(m[3], -1) {
+			v, err := strconv.ParseFloat(pm[1], 64)
+			if err != nil {
+				continue
+			}
+			switch pm[2] {
+			case "allocs/op":
+				rec.AllocsPerOp = v
+			case "B/op":
+				rec.BytesPerOp = v
+			default:
+				if rec.Metrics == nil {
+					rec.Metrics = map[string]float64{}
+				}
+				rec.Metrics[pm[2]] = v
+			}
+		}
+		if prev, ok := out.Benchmarks[name]; ok && prev.NsPerOp <= rec.NsPerOp {
+			continue
+		}
+		out.Benchmarks[name] = rec
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(out.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,29 @@
+// Command benchnames lists the benchmark names recorded in a
+// BENCH_5.json document (stdin), one per line — the bench-rot gate in
+// scripts/bench.sh --check diffs this against a fresh smoke run.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+func main() {
+	var doc struct {
+		Benchmarks map[string]json.RawMessage `json:"benchmarks"`
+	}
+	if err := json.NewDecoder(os.Stdin).Decode(&doc); err != nil {
+		fmt.Fprintln(os.Stderr, "benchnames:", err)
+		os.Exit(1)
+	}
+	names := make([]string, 0, len(doc.Benchmarks))
+	for n := range doc.Benchmarks {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Println(n)
+	}
+}
