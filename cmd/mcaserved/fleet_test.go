@@ -1,0 +1,368 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/engine"
+)
+
+// startRole boots one in-process mcaserved in the given role and
+// returns its base URL.
+func startRole(t *testing.T, cfg serverConfig) (*httptest.Server, *server) {
+	t.Helper()
+	s := mustServer(t, cfg)
+	srv := httptest.NewServer(s)
+	t.Cleanup(srv.Close)
+	return srv, s
+}
+
+// sweepNDJSON posts a sweep and splits the NDJSON stream into result
+// lines and the decoded summary. A missing summary line fails the test
+// because it means the stream aborted.
+func sweepNDJSON(t *testing.T, url, body string) ([]string, engine.Summary) {
+	t.Helper()
+	resp := postJSON(t, url+"/sweep", body)
+	if resp.StatusCode != http.StatusOK {
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		t.Fatalf("sweep status %d: %s", resp.StatusCode, buf.String())
+	}
+	var lines []string
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(nil, 1<<20)
+	for sc.Scan() {
+		lines = append(lines, sc.Text())
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) == 0 || !strings.HasPrefix(lines[len(lines)-1], `{"summary":`) {
+		t.Fatalf("stream has no summary line: %q", lines)
+	}
+	last := lines[len(lines)-1]
+	sum, err := engine.DecodeSummary([]byte(strings.TrimSuffix(strings.TrimPrefix(last, `{"summary":`), "}")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lines[:len(lines)-1], sum
+}
+
+// summaryBytes canonicalizes a summary for byte comparison (wall time
+// is a measurement, not part of the determinism contract).
+func summaryBytes(t *testing.T, sum engine.Summary) string {
+	t.Helper()
+	sum.Wall = 0
+	data, err := engine.EncodeSummary(&sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+func getBody(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	return resp.StatusCode, buf.String()
+}
+
+// TestFleetRolesEndToEnd is the full topology acceptance test: a
+// coordinator fronting two worker processes that share a remote cache
+// peer. The first sweep must match a standalone server byte for byte
+// (wall aside); the second must be served from the shared cache, with
+// the remote tier and the fleet counters visible on /metrics.
+func TestFleetRolesEndToEnd(t *testing.T) {
+	// The shared cache peer every worker layers behind its local tiers.
+	peerCache, err := cache.New(cache.Options{Capacity: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	peerSrv, _ := startRole(t, serverConfig{Cache: peerCache, CacheCapacity: 256})
+
+	// startFleet boots a fresh coordinator + two workers over the shared
+	// peer. Booting it twice models a full fleet restart: the second
+	// generation has empty local tiers and can only answer from the peer.
+	startFleet := func() (coordSrv *httptest.Server, workers []*httptest.Server, workerCaches []*cache.Cache) {
+		workerURLs := make([]string, 2)
+		workers = make([]*httptest.Server, 2)
+		workerCaches = make([]*cache.Cache, 2)
+		for i := range workerURLs {
+			wc, err := cache.New(cache.Options{Capacity: 64, RemoteURL: peerSrv.URL + "/cache/entry"})
+			if err != nil {
+				t.Fatal(err)
+			}
+			srv, _ := startRole(t, serverConfig{Role: "worker", Cache: wc, FleetSlots: 2})
+			workers[i], workerURLs[i], workerCaches[i] = srv, srv.URL, wc
+		}
+		coordSrv, _ = startRole(t, serverConfig{Role: "coordinator", Peers: workerURLs, FleetSlots: 2})
+		return coordSrv, workers, workerCaches
+	}
+
+	standaloneSrv, _ := testServer(t)
+	_, wantSum := sweepNDJSON(t, standaloneSrv.URL, sweepRequest)
+
+	coldCoord, _, coldCaches := startFleet()
+	coldLines, coldSum := sweepNDJSON(t, coldCoord.URL, sweepRequest)
+	if got, want := summaryBytes(t, coldSum), summaryBytes(t, wantSum); got != want {
+		t.Fatalf("fleet summary diverged from standalone:\n got %s\nwant %s", got, want)
+	}
+	if coldSum.CacheHits != 0 {
+		t.Fatalf("cold fleet sweep reported %d cache hits", coldSum.CacheHits)
+	}
+
+	// Pass two on a restarted fleet: everything conclusive is answered
+	// from the shared tier.
+	coordSrv, workers, warmCaches := startFleet()
+	warmLines, warmSum := sweepNDJSON(t, coordSrv.URL, sweepRequest)
+	if len(warmLines) != len(coldLines) {
+		t.Fatalf("warm pass streamed %d lines, cold %d", len(warmLines), len(coldLines))
+	}
+	conclusive := warmSum.Holds + warmSum.Violated
+	if warmSum.CacheHits != conclusive {
+		t.Fatalf("warm pass: %d cache hits, want %d", warmSum.CacheHits, conclusive)
+	}
+	warmNoHits := warmSum
+	warmNoHits.CacheHits = 0
+	if got, want := summaryBytes(t, warmNoHits), summaryBytes(t, wantSum); got != want {
+		t.Fatalf("warm summary diverged:\n got %s\nwant %s", got, want)
+	}
+
+	// The peer's store took every conclusive verdict exactly once.
+	if st := peerCache.Stats(); st.Puts != uint64(conclusive) {
+		t.Fatalf("peer cache stats %+v, want %d puts", st, conclusive)
+	}
+	// The cold generation pushed every conclusive verdict to the peer;
+	// the warm generation, with empty local tiers, pulled every answer
+	// back from it.
+	var remoteHits, remotePuts uint64
+	for i := range coldCaches {
+		remotePuts += coldCaches[i].Stats().RemotePuts
+		remoteHits += warmCaches[i].Stats().RemoteHits
+	}
+	if remotePuts != uint64(conclusive) {
+		t.Fatalf("cold workers pushed %d results to the peer, want %d", remotePuts, conclusive)
+	}
+	if remoteHits != uint64(conclusive) {
+		t.Fatalf("warm workers answered %d units from the peer, want %d", remoteHits, conclusive)
+	}
+	// /cache/stats on a warm worker reports the same remote traffic.
+	var viaHTTP cache.Stats
+	resp, err := http.Get(workers[0].URL + "/cache/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&viaHTTP)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viaHTTP.RemoteHits != warmCaches[0].Stats().RemoteHits {
+		t.Fatalf("/cache/stats remote hits %d != direct %d", viaHTTP.RemoteHits, warmCaches[0].Stats().RemoteHits)
+	}
+	code, metricsBody := getBody(t, workers[0].URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	for _, line := range []string{
+		`mcaserved_cache_operations_total{kind="hit_remote"}`,
+		`mcaserved_worker_units_total`,
+		`mcaserved_requests_total{path="/fleet/work",code="200"}`,
+	} {
+		if !strings.Contains(metricsBody, line) {
+			t.Fatalf("worker /metrics missing %q:\n%s", line, metricsBody)
+		}
+	}
+
+	// The coordinator's /metrics carries the fleet dispatch counters,
+	// and /fleet/status sees both workers healthy.
+	code, metricsBody = getBody(t, coordSrv.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("coordinator /metrics status %d", code)
+	}
+	for _, line := range []string{
+		`mcaserved_fleet_dispatch_total{kind="completed"}`,
+		`mcaserved_fleet_worker_healthy`,
+		`mcaserved_requests_total{path="/sweep",code="200"} 1`,
+	} {
+		if !strings.Contains(metricsBody, line) {
+			t.Fatalf("coordinator /metrics missing %q:\n%s", line, metricsBody)
+		}
+	}
+	code, statusBody := getBody(t, coordSrv.URL+"/fleet/status")
+	if code != http.StatusOK || strings.Contains(statusBody, `"healthy":false`) {
+		t.Fatalf("/fleet/status %d: %s", code, statusBody)
+	}
+}
+
+// TestQuotaShedding drives the per-tenant token buckets through the
+// wire: a tenant that exhausts its burst gets 429 + Retry-After while
+// another tenant is untouched, and the shed shows up on /metrics.
+func TestQuotaShedding(t *testing.T) {
+	srv, _ := startRole(t, serverConfig{QuotaRate: 0.001, QuotaBurst: 2})
+
+	post := func(tenant string) *http.Response {
+		req, err := http.NewRequest(http.MethodPost, srv.URL+"/verify", strings.NewReader(scenarioDoc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tenant != "" {
+			req.Header.Set("X-Tenant", tenant)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { resp.Body.Close() })
+		return resp
+	}
+	for i := 0; i < 2; i++ {
+		if resp := post("acme"); resp.StatusCode != http.StatusOK {
+			t.Fatalf("request %d within burst: status %d", i, resp.StatusCode)
+		}
+	}
+	resp := post("acme")
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-burst status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	// Another tenant has its own bucket.
+	if resp := post("globex"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("other tenant status %d", resp.StatusCode)
+	}
+	if _, body := getBody(t, srv.URL+"/metrics"); !strings.Contains(body, `mcaserved_shed_total{reason="quota"} 1`) {
+		t.Fatalf("/metrics missing quota shed:\n%s", body)
+	}
+}
+
+// TestQuotaRefill pins the bucket arithmetic with a fake clock.
+func TestQuotaRefill(t *testing.T) {
+	q := newQuotaTable(2, 2) // 2 tokens/s, burst 2
+	now := time.Unix(0, 0)
+	q.now = func() time.Time { return now }
+
+	for i := 0; i < 2; i++ {
+		if ok, _ := q.allow("t"); !ok {
+			t.Fatalf("burst token %d denied", i)
+		}
+	}
+	ok, retry := q.allow("t")
+	if ok {
+		t.Fatal("empty bucket allowed")
+	}
+	if retry <= 0 || retry > time.Second {
+		t.Fatalf("retry %v, want within (0, 1s]", retry)
+	}
+	now = now.Add(500 * time.Millisecond) // one token accrues
+	if ok, _ := q.allow("t"); !ok {
+		t.Fatal("refilled token denied")
+	}
+	if ok, _ := q.allow("t"); ok {
+		t.Fatal("second token appeared from a 500ms refill at 2/s")
+	}
+	now = now.Add(time.Hour) // refill clamps at burst
+	for i := 0; i < 2; i++ {
+		if ok, _ := q.allow("t"); !ok {
+			t.Fatalf("post-clamp token %d denied", i)
+		}
+	}
+	if ok, _ := q.allow("t"); ok {
+		t.Fatal("burst clamp exceeded")
+	}
+}
+
+// TestInFlightShedding exercises the global admission cap at the gate:
+// with one slot occupied, the next request sheds with 429.
+func TestInFlightShedding(t *testing.T) {
+	s := mustServer(t, serverConfig{MaxInFlight: 1})
+	release := make(chan struct{})
+	entered := make(chan struct{}, 2)
+	h := s.gate(func(w http.ResponseWriter, r *http.Request) {
+		entered <- struct{}{}
+		<-release
+	})
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		h(httptest.NewRecorder(), httptest.NewRequest(http.MethodPost, "/sweep", nil))
+	}()
+	<-entered
+
+	rec := httptest.NewRecorder()
+	h(rec, httptest.NewRequest(http.MethodPost, "/sweep", nil))
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", rec.Code)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	close(release)
+	<-done
+
+	// The freed slot admits again.
+	rec = httptest.NewRecorder()
+	h(rec, httptest.NewRequest(http.MethodPost, "/sweep", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("post-release status %d", rec.Code)
+	}
+}
+
+// TestRoleValidation pins the construction errors.
+func TestRoleValidation(t *testing.T) {
+	if _, err := newServer(serverConfig{Role: "conductor"}); err == nil {
+		t.Fatal("unknown role accepted")
+	}
+	if _, err := newServer(serverConfig{Role: "coordinator"}); err == nil {
+		t.Fatal("coordinator without peers accepted")
+	}
+}
+
+// TestCacheEntryEndpointMounted smoke-tests the peer protocol route.
+func TestCacheEntryEndpointMounted(t *testing.T) {
+	srv, _ := testServer(t)
+	key := strings.Repeat("ab", 32)
+	if code, _ := getBody(t, srv.URL+"/cache/entry/"+key); code != http.StatusNotFound {
+		t.Fatalf("absent key: status %d, want 404", code)
+	}
+	if code, _ := getBody(t, srv.URL+"/cache/entry/nope"); code != http.StatusBadRequest {
+		t.Fatalf("bad key: status %d, want 400", code)
+	}
+}
+
+// TestMetricsRequestAccounting checks the request counters and latency
+// summaries the middleware records.
+func TestMetricsRequestAccounting(t *testing.T) {
+	srv, _ := testServer(t)
+	postJSON(t, srv.URL+"/verify", scenarioDoc)
+	postJSON(t, srv.URL+"/verify", "{not json")
+	if code, _ := getBody(t, srv.URL+"/nonexistent"); code != http.StatusNotFound {
+		t.Fatalf("unknown path status %d", code)
+	}
+	_, body := getBody(t, srv.URL+"/metrics")
+	for _, line := range []string{
+		`mcaserved_requests_total{path="/verify",code="200"} 1`,
+		`mcaserved_requests_total{path="/verify",code="400"} 1`,
+		`mcaserved_requests_total{path="other",code="404"} 1`,
+		`mcaserved_request_seconds_count{path="/verify"} 2`,
+		`mcaserved_cache_entries 1`,
+	} {
+		if !strings.Contains(body, line) {
+			t.Fatalf("/metrics missing %q:\n%s", line, body)
+		}
+	}
+}

@@ -14,7 +14,30 @@
 //	                   scenarios with their differential-oracle
 //	                   verdicts, then a summary line
 //	GET  /cache/stats  cache effectiveness counters
+//	GET  /cache/entry/{key}  peer cache protocol (GET/PUT by content
+//	                   address) — this is what other nodes' -remotecache
+//	                   points at
+//	GET  /metrics      Prometheus text exposition: request counts and
+//	                   latencies, cache tiers, fleet dispatch stats,
+//	                   store occupancy, admission shedding
 //	GET  /healthz      liveness probe
+//
+// The process serves one of three -role values. "standalone" (the
+// default) verifies everything in-process. "worker" additionally
+// serves the fleet protocol (POST /fleet/work, GET /fleet/health) so a
+// coordinator can dispatch work units to it. "coordinator" requires
+// -peers (comma-separated worker base URLs), fans /sweep out across
+// the fleet via internal/fleet — byte-identical summaries to
+// standalone, see docs/OPERATIONS.md — and serves GET /fleet/status
+// with dispatch counters and live worker health. Point -remotecache at
+// a peer's /cache/entry to layer that peer behind the local cache
+// tiers on any role.
+//
+// Admission control is opt-in: -quotarate/-quotaburst throttle the
+// expensive endpoints (/verify, /sweep, /generate, /fleet/work) per
+// tenant — the X-Tenant header, with one shared anonymous bucket —
+// and -maxinflight caps concurrently executing expensive requests.
+// Both shed excess load with 429 + Retry-After rather than queueing.
 //
 // Engine selection is per request via query parameters:
 // ?engine=auto|explicit|simulation|sat (default auto), &cube=K (SAT
@@ -33,11 +56,14 @@
 // Usage:
 //
 //	mcaserved -addr :8080 -cachesize 4096 -cachedir /var/lib/mcaserved
+//	mcaserved -role worker -addr :8081 -fleetslots 8
+//	mcaserved -role coordinator -peers http://w1:8081,http://w2:8081
 //	curl -d @examples/scenarios/line3.json 'localhost:8080/verify'
 //	curl -d @examples/scenarios/policy-faults-sweep.json 'localhost:8080/sweep?workers=8'
 //	curl -X POST 'localhost:8080/generate?seed=7&n=100'
 //	curl -d @examples/scenarios/fuzz-profile.json 'localhost:8080/generate?n=50&engines=explicit,simulation'
 //	curl localhost:8080/cache/stats
+//	curl localhost:8080/metrics
 //
 // See docs/OPERATIONS.md for production guidance (cache sizing, epoch
 // bumps, drain behaviour, timeout tuning).
@@ -56,11 +82,13 @@ import (
 	"os"
 	"os/signal"
 	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/cache"
 	"repro/internal/engine"
+	"repro/internal/fleet"
 	"repro/internal/gen"
 
 	// Register the mca-model codec so SAT scenarios decode.
@@ -76,21 +104,39 @@ func main() {
 	defTimeout := fs.Duration("timeout", 60*time.Second, "default per-request verification timeout")
 	maxTimeout := fs.Duration("maxtimeout", 10*time.Minute, "upper bound on client-requested timeouts")
 	maxBody := fs.Int64("maxbody", 32<<20, "maximum request body bytes")
+	role := fs.String("role", "standalone", "process role: standalone|coordinator|worker")
+	peers := fs.String("peers", "", "comma-separated worker base URLs (coordinator role)")
+	remoteCache := fs.String("remotecache", "", "peer cache base URL (a peer's /cache/entry) layered behind the local tiers")
+	fleetSlots := fs.Int("fleetslots", 0, "worker: concurrent work units (0 = one per CPU); coordinator: dispatch slots per worker (0 = default 4)")
+	quotaRate := fs.Float64("quotarate", 0, "per-tenant requests/second on expensive endpoints (0 = no quota)")
+	quotaBurst := fs.Int("quotaburst", 10, "per-tenant burst size when -quotarate is set")
+	maxInFlight := fs.Int("maxinflight", 0, "cap on concurrently executing expensive requests (0 = unlimited)")
 	fs.Parse(os.Args[1:])
 
-	c, err := cache.New(cache.Options{Capacity: *cacheSize, Dir: *cacheDir})
+	c, err := cache.New(cache.Options{Capacity: *cacheSize, Dir: *cacheDir, RemoteURL: *remoteCache})
+	if err != nil {
+		log.Fatal(err)
+	}
+	s, err := newServer(serverConfig{
+		Workers:        *workers,
+		Cache:          c,
+		CacheCapacity:  *cacheSize,
+		DefaultTimeout: *defTimeout,
+		MaxTimeout:     *maxTimeout,
+		MaxBody:        *maxBody,
+		Role:           *role,
+		Peers:          splitPeers(*peers),
+		FleetSlots:     *fleetSlots,
+		QuotaRate:      *quotaRate,
+		QuotaBurst:     *quotaBurst,
+		MaxInFlight:    *maxInFlight,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	srv := &http.Server{
-		Addr: *addr,
-		Handler: newServer(serverConfig{
-			Workers:        *workers,
-			Cache:          c,
-			DefaultTimeout: *defTimeout,
-			MaxTimeout:     *maxTimeout,
-			MaxBody:        *maxBody,
-		}),
+		Addr:              *addr,
+		Handler:           s,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
@@ -98,7 +144,7 @@ func main() {
 	defer stop()
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	log.Printf("mcaserved listening on %s (cache capacity %d, dir %q)", *addr, *cacheSize, *cacheDir)
+	log.Printf("mcaserved listening on %s (role %s, cache capacity %d, dir %q)", *addr, *role, *cacheSize, *cacheDir)
 
 	select {
 	case err := <-errc:
@@ -110,6 +156,11 @@ func main() {
 	// being swallowed by the (still registered) notify channel.
 	stop()
 	log.Print("mcaserved draining (second signal aborts immediately)")
+	// Quiesce the fleet first: in-flight dispatches finish, pending
+	// units come back inconclusive, and only then is the HTTP side
+	// drained — so a coordinator's open /sweep streams can still emit
+	// their final lines during Shutdown.
+	s.quiesce()
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {
@@ -117,14 +168,32 @@ func main() {
 	}
 }
 
+// splitPeers parses the -peers list, tolerating blanks.
+func splitPeers(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
 // serverConfig parameterizes the handler so tests can drive it through
 // httptest without a listener.
 type serverConfig struct {
 	Workers        int
 	Cache          *cache.Cache
+	CacheCapacity  int // for the /metrics occupancy gauge
 	DefaultTimeout time.Duration
 	MaxTimeout     time.Duration
 	MaxBody        int64
+	Role           string // standalone (default) | coordinator | worker
+	Peers          []string
+	FleetSlots     int
+	QuotaRate      float64
+	QuotaBurst     int
+	MaxInFlight    int
 }
 
 func (c serverConfig) withDefaults() serverConfig {
@@ -137,26 +206,101 @@ func (c serverConfig) withDefaults() serverConfig {
 	if c.MaxBody <= 0 {
 		c.MaxBody = 32 << 20
 	}
+	if c.Role == "" {
+		c.Role = "standalone"
+	}
 	return c
 }
 
 type server struct {
-	cfg serverConfig
+	cfg         serverConfig
+	handler     http.Handler
+	metrics     *metrics
+	quotas      *quotaTable        // nil = no quota
+	admit       chan struct{}      // nil = no in-flight cap
+	coord       *fleet.Coordinator // coordinator role only
+	fleetWorker *fleet.Worker      // worker role only
 }
 
-// newServer builds the service handler.
-func newServer(cfg serverConfig) http.Handler {
-	s := &server{cfg: cfg.withDefaults()}
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.handler.ServeHTTP(w, r)
+}
+
+// quiesce begins fleet draining; a no-op outside the coordinator role.
+func (s *server) quiesce() {
+	if s.coord != nil {
+		s.coord.Quiesce()
+	}
+}
+
+// newServer builds the service handler for the configured role.
+func newServer(cfg serverConfig) (*server, error) {
+	cfg = cfg.withDefaults()
+	s := &server{cfg: cfg, metrics: newMetrics()}
+	if cfg.QuotaRate > 0 {
+		s.quotas = newQuotaTable(cfg.QuotaRate, cfg.QuotaBurst)
+	}
+	if cfg.MaxInFlight > 0 {
+		s.admit = make(chan struct{}, cfg.MaxInFlight)
+	}
+
 	mux := http.NewServeMux()
-	mux.HandleFunc("/verify", s.handleVerify)
-	mux.HandleFunc("/sweep", s.handleSweep)
-	mux.HandleFunc("/generate", s.handleGenerate)
+	mux.HandleFunc("/verify", s.gate(s.handleVerify))
+	mux.HandleFunc("/sweep", s.gate(s.handleSweep))
+	mux.HandleFunc("/generate", s.gate(s.handleGenerate))
 	mux.HandleFunc("/cache/stats", s.handleCacheStats)
+	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
-		io.WriteString(w, `{"ok":true}`+"\n")
+		fmt.Fprintf(w, `{"ok":true,"role":%q}`+"\n", cfg.Role)
 	})
-	return mux
+	if cfg.Cache != nil {
+		// The peer cache protocol: what other nodes' -remotecache dials.
+		// It serves local tiers only, so peer rings cannot recurse.
+		mux.Handle("/cache/entry/", http.StripPrefix("/cache/entry", cache.HTTPHandler(cfg.Cache)))
+	}
+
+	switch cfg.Role {
+	case "standalone":
+	case "worker":
+		s.fleetWorker = fleet.NewWorker(fleet.WorkerOptions{
+			Slots:   cfg.FleetSlots,
+			Cache:   resultCache(cfg.Cache),
+			MaxBody: cfg.MaxBody,
+		})
+		mux.HandleFunc("/fleet/work", s.gate(s.fleetWorker.HandleWork))
+		mux.HandleFunc("/fleet/health", s.fleetWorker.HandleHealth)
+	case "coordinator":
+		coord, err := fleet.NewCoordinator(fleet.CoordinatorOptions{
+			Workers:        cfg.Peers,
+			Cache:          resultCache(cfg.Cache),
+			SlotsPerWorker: cfg.FleetSlots,
+			UnitTimeout:    cfg.MaxTimeout,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("role coordinator: %w (set -peers)", err)
+		}
+		s.coord = coord
+		mux.HandleFunc("/fleet/status", s.handleFleetStatus)
+	default:
+		return nil, fmt.Errorf("unknown role %q (want standalone|coordinator|worker)", cfg.Role)
+	}
+
+	s.handler = s.instrument(mux)
+	return s, nil
+}
+
+// handleFleetStatus reports the coordinator's dispatch counters plus a
+// live health probe of every worker.
+func (s *server) handleFleetStatus(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, errors.New("GET"))
+		return
+	}
+	st := s.coord.Stats()
+	st.Workers = s.coord.Health(r.Context())
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(st)
 }
 
 // bodyErrorStatus distinguishes an over-limit body (413) from a read
@@ -341,18 +485,28 @@ func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	defer cancel()
 
-	runner := engine.NewRunner(engine.RunnerOptions{
-		Workers: poolWorkers,
-		Engine:  eng,
-		Cache:   resultCache(s.cfg.Cache),
-	})
+	// In the coordinator role the sweep fans out across the worker
+	// fleet; otherwise a local Runner pool verifies it. Both paths
+	// produce identical result and summary bytes (wall-clock aside),
+	// so clients need not know which topology served them.
+	var resultStream <-chan engine.Result
+	if s.coord != nil {
+		resultStream = s.coord.Stream(ctx, eng, scenarios)
+	} else {
+		runner := engine.NewRunner(engine.RunnerOptions{
+			Workers: poolWorkers,
+			Engine:  eng,
+			Cache:   resultCache(s.cfg.Cache),
+		})
+		resultStream = runner.Stream(ctx, scenarios)
+	}
 
 	// NDJSON: one result per line as soon as it completes, then one
 	// summary line.
 	stream := startNDJSON(w, cancel, "sweep")
 	results := make([]engine.Result, len(scenarios))
 	start := time.Now()
-	for res := range runner.Stream(ctx, scenarios) {
+	for res := range resultStream {
 		results[res.Index] = res
 		data, err := engine.EncodeResult(&res)
 		stream.line(res.Scenario, data, err)

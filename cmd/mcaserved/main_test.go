@@ -68,13 +68,23 @@ const sweepRequest = `{
   ]
 }`
 
+// mustServer builds the role-aware handler or fails the test.
+func mustServer(t *testing.T, cfg serverConfig) *server {
+	t.Helper()
+	s, err := newServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
 func testServer(t *testing.T) (*httptest.Server, *cache.Cache) {
 	t.Helper()
 	c, err := cache.New(cache.Options{Capacity: 128})
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := httptest.NewServer(newServer(serverConfig{
+	srv := httptest.NewServer(mustServer(t, serverConfig{
 		Workers:        2,
 		Cache:          c,
 		DefaultTimeout: 30 * time.Second,
@@ -208,7 +218,7 @@ func TestOversizedBodyIs413(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := httptest.NewServer(newServer(serverConfig{Cache: c, MaxBody: 64}))
+	srv := httptest.NewServer(mustServer(t, serverConfig{Cache: c, MaxBody: 64}))
 	t.Cleanup(srv.Close)
 	resp := postJSON(t, srv.URL+"/verify", scenarioDoc)
 	if resp.StatusCode != http.StatusRequestEntityTooLarge {

@@ -3,8 +3,10 @@ package cache
 import (
 	"container/list"
 	"fmt"
+	"net/http"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 
 	"repro/internal/engine"
@@ -19,6 +21,15 @@ type Options struct {
 	// Dir, when non-empty, enables the on-disk persistence layer in
 	// that directory (created if absent).
 	Dir string
+	// RemoteURL, when non-empty, enables the remote/peer tier: Gets
+	// that miss both memory and disk are fetched from the peer cache
+	// served at this URL (see HTTPHandler), single-flighted per key,
+	// and every Put is propagated so one node's conclusive verdict
+	// warms the whole fleet. Remote failures degrade to misses.
+	RemoteURL string
+	// RemoteClient overrides the HTTP client for the remote tier
+	// (default: a client with a 10-second timeout).
+	RemoteClient *http.Client
 }
 
 // Stats is a point-in-time snapshot of cache effectiveness counters.
@@ -27,28 +38,40 @@ type Stats struct {
 	Entries  int `json:"entries"`
 	Capacity int `json:"capacity"`
 	// Hits counts Gets answered from memory, DiskHits those answered
-	// from the persistence layer, Misses those answered by neither.
-	Hits     uint64 `json:"hits"`
-	DiskHits uint64 `json:"disk_hits"`
-	Misses   uint64 `json:"misses"`
-	// Puts counts stores, Evictions LRU removals from memory.
-	Puts      uint64 `json:"puts"`
-	Evictions uint64 `json:"evictions"`
-	// DiskErrors counts persistence failures (the cache degrades to
-	// memory-only rather than failing the verification).
-	DiskErrors uint64 `json:"disk_errors"`
+	// from the persistence layer, RemoteHits those answered by the
+	// peer tier, Misses those answered by none.
+	Hits       uint64 `json:"hits"`
+	DiskHits   uint64 `json:"disk_hits"`
+	RemoteHits uint64 `json:"remote_hits"`
+	Misses     uint64 `json:"misses"`
+	// Puts counts stores, RemotePuts those successfully propagated to
+	// the peer tier, Evictions LRU removals from memory.
+	Puts       uint64 `json:"puts"`
+	RemotePuts uint64 `json:"remote_puts"`
+	Evictions  uint64 `json:"evictions"`
+	// DiskErrors counts persistence failures, RemoteErrors peer-tier
+	// failures (the cache degrades to the surviving tiers rather than
+	// failing the verification).
+	DiskErrors   uint64 `json:"disk_errors"`
+	RemoteErrors uint64 `json:"remote_errors"`
 }
 
 // Cache is a content-addressed Result store implementing
 // engine.ResultCache.
 type Cache struct {
-	capacity int
-	dir      string
+	capacity     int
+	dir          string
+	remoteURL    string
+	remoteClient *http.Client
 
 	mu    sync.Mutex
 	ll    *list.List // most recent at front; values are *entry
 	idx   map[string]*list.Element
 	stats Stats
+
+	// flights single-flights remote fetches per key (remote.go).
+	flightMu sync.Mutex
+	flights  map[string]*flight
 }
 
 type entry struct {
@@ -68,17 +91,50 @@ func New(o Options) (*Cache, error) {
 			return nil, fmt.Errorf("cache: %w", err)
 		}
 	}
+	client := o.RemoteClient
+	if client == nil {
+		client = defaultRemoteClient()
+	}
 	return &Cache{
-		capacity: o.Capacity,
-		dir:      o.Dir,
-		ll:       list.New(),
-		idx:      map[string]*list.Element{},
+		capacity:     o.Capacity,
+		dir:          o.Dir,
+		remoteURL:    strings.TrimSuffix(o.RemoteURL, "/"),
+		remoteClient: client,
+		ll:           list.New(),
+		idx:          map[string]*list.Element{},
+		flights:      map[string]*flight{},
 	}, nil
 }
 
-// Get returns the cached result for key. Memory is consulted first,
-// then the disk layer; a disk hit is promoted into memory.
+// Get returns the cached result for key. Tiers are consulted in
+// latency order — memory, then disk, then the remote peer — and a hit
+// in a lower tier is promoted into the tiers above it.
 func (c *Cache) Get(key string) (engine.Result, bool) {
+	if res, ok := c.getLocal(key); ok {
+		return res, true
+	}
+	if c.remoteURL != "" {
+		if res, ok := c.getRemote(key); ok {
+			c.mu.Lock()
+			c.stats.RemoteHits++
+			c.insertLocked(key, res)
+			c.mu.Unlock()
+			// Promote to disk too: a remote hit should survive a
+			// restart without another peer round trip.
+			c.persistDisk(key, res)
+			return res, true
+		}
+	}
+	c.mu.Lock()
+	c.stats.Misses++
+	c.mu.Unlock()
+	return engine.Result{}, false
+}
+
+// getLocal consults the memory and disk tiers only; the peer HTTP
+// handler serves from it so chained peers can never recurse. Note that
+// a full miss here is not counted in Misses — Get owns that counter.
+func (c *Cache) getLocal(key string) (engine.Result, bool) {
 	c.mu.Lock()
 	if el, ok := c.idx[key]; ok {
 		c.ll.MoveToFront(el)
@@ -98,27 +154,39 @@ func (c *Cache) Get(key string) (engine.Result, bool) {
 			return res, true
 		}
 	}
-
-	c.mu.Lock()
-	c.stats.Misses++
-	c.mu.Unlock()
 	return engine.Result{}, false
 }
 
-// Put stores the result under key, evicting least-recently-used
-// memory entries beyond capacity and persisting to disk when enabled.
+// Put stores the result under key in every tier: memory (with LRU
+// eviction beyond capacity), disk when enabled, and the remote peer
+// when configured.
 func (c *Cache) Put(key string, res engine.Result) {
+	c.putLocal(key, res)
+	if c.remoteURL != "" {
+		c.storeRemote(key, res)
+	}
+}
+
+// putLocal stores into the memory and disk tiers only (the peer HTTP
+// handler stores through it, which is what keeps peer topologies from
+// re-propagating entries forever).
+func (c *Cache) putLocal(key string, res engine.Result) {
 	c.mu.Lock()
 	c.stats.Puts++
 	c.insertLocked(key, res)
 	c.mu.Unlock()
+	c.persistDisk(key, res)
+}
 
-	if c.dir != "" {
-		if err := c.storeDisk(key, res); err != nil {
-			c.mu.Lock()
-			c.stats.DiskErrors++
-			c.mu.Unlock()
-		}
+// persistDisk writes the entry to the disk tier, counting failures.
+func (c *Cache) persistDisk(key string, res engine.Result) {
+	if c.dir == "" {
+		return
+	}
+	if err := c.storeDisk(key, res); err != nil {
+		c.mu.Lock()
+		c.stats.DiskErrors++
+		c.mu.Unlock()
 	}
 }
 

@@ -153,6 +153,127 @@ func TestCorruptDiskFileIsAMiss(t *testing.T) {
 	}
 }
 
+// TestDiskConcurrentWritersSameKey races many writers of one key
+// through the atomic-rename path: whatever interleaving wins, the file
+// under the key must always be one complete, decodable result — never
+// a torn mix — and the stats must add up.
+func TestDiskConcurrentWritersSameKey(t *testing.T) {
+	dir := t.TempDir()
+	c, err := New(Options{Capacity: 16, Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers, rounds = 8, 50
+	names := map[string]bool{}
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		name := fmt.Sprintf("writer-%d", w)
+		names[name] = true
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				c.Put("contested", res(name))
+			}
+		}()
+	}
+	wg.Wait()
+
+	st := c.Stats()
+	if st.Puts != writers*rounds {
+		t.Fatalf("puts %d, want %d", st.Puts, writers*rounds)
+	}
+	if st.DiskErrors != 0 {
+		t.Fatalf("atomic-rename races surfaced as disk errors: %+v", st)
+	}
+	// A fresh cache over the directory sees one intact winner.
+	fresh, err := New(Options{Capacity: 16, Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := fresh.Get("contested")
+	if !ok || !names[got.Scenario] {
+		t.Fatalf("disk entry after race: ok=%v res=%+v", ok, got)
+	}
+	if st := fresh.Stats(); st.DiskErrors != 0 || st.DiskHits != 1 {
+		t.Fatalf("fresh stats %+v", st)
+	}
+	// No temp files leaked by losing renames.
+	files, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range files {
+		if f.Name() != "contested.json" {
+			t.Fatalf("leftover file %q after concurrent writes", f.Name())
+		}
+	}
+}
+
+// TestDiskConcurrentReadersAndWriters overlaps readers with writers of
+// the same key: because replacement is by rename, every read observes
+// some complete value, and the hit/miss counters stay consistent with
+// the number of Gets issued.
+func TestDiskConcurrentReadersAndWriters(t *testing.T) {
+	dir := t.TempDir()
+	c, err := New(Options{Capacity: 1, Dir: dir}) // capacity 1 forces disk traffic
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put("k0", res("seed0"))
+	c.Put("k1", res("seed1")) // evicts k0 from memory
+
+	const readers, writers, rounds = 4, 4, 100
+	var wg sync.WaitGroup
+	var gets, hits uint64
+	var mu sync.Mutex
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				c.Put(fmt.Sprintf("k%d", i%2), res(fmt.Sprintf("w%d-%d", w, i)))
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			localGets, localHits := uint64(0), uint64(0)
+			for i := 0; i < rounds; i++ {
+				localGets++
+				if got, ok := c.Get(fmt.Sprintf("k%d", i%2)); ok {
+					localHits++
+					if got.Scenario == "" {
+						t.Error("torn read: empty result")
+					}
+				}
+			}
+			mu.Lock()
+			gets += localGets
+			hits += localHits
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+
+	st := c.Stats()
+	if st.DiskErrors != 0 {
+		t.Fatalf("disk errors under concurrent read/write: %+v", st)
+	}
+	// Both keys are always present in some tier, so every Get hit.
+	if hits != gets {
+		t.Fatalf("%d of %d gets hit under concurrent writers", hits, gets)
+	}
+	if st.Hits+st.DiskHits+st.RemoteHits+st.Misses != gets {
+		t.Fatalf("tier counters %+v do not add up to %d gets", st, gets)
+	}
+	if st.Puts != 2+writers*rounds {
+		t.Fatalf("puts %d, want %d", st.Puts, 2+writers*rounds)
+	}
+}
+
 // TestConcurrentAccess hammers one cache from many goroutines; the race
 // detector (CI runs the suite with -race) guards the locking.
 func TestConcurrentAccess(t *testing.T) {

@@ -4,12 +4,19 @@
 // scenarios that are already verified.
 //
 // The cache is an in-memory LRU with an optional on-disk persistence
-// layer. Memory answers hot lookups; when a directory is configured,
-// every stored result is also written there (one canonical-JSON file
-// per key, written atomically via rename) and memory misses fall back
-// to disk, so a service restart keeps its verified corpus. LRU eviction
+// layer and an optional remote/peer HTTP tier. Memory answers hot
+// lookups; when a directory is configured, every stored result is also
+// written there (one canonical-JSON file per key, written atomically
+// via rename) and memory misses fall back to disk, so a service restart
+// keeps its verified corpus. When a peer URL is configured, misses in
+// both local tiers are fetched from the peer (single-flighted per key,
+// so a thundering herd of identical misses costs one round trip) and
+// every Put is propagated — one fleet node's conclusive verdict warms
+// every node pointed at the same peer. HTTPHandler serves the peer
+// side of that protocol from a cache's local tiers. LRU eviction
 // applies to memory only — disk is the durable tier and is never
-// garbage-collected by this package.
+// garbage-collected by this package; remote failures degrade to
+// misses, never to errors.
 //
 // Caching is sound because everything around it is deterministic: the
 // engines produce the same Result for the same (Scenario, Engine)

@@ -1,0 +1,207 @@
+package cache
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/engine"
+)
+
+// The remote/peer tier speaks a two-verb HTTP protocol over encoded
+// Result documents, addressed by cache key:
+//
+//	GET  {base}/{key}  -> 200 + result document | 404 (miss)
+//	PUT  {base}/{key}  -> 204 (stored)
+//
+// A cache with Options.RemoteURL set consults the peer after memory
+// and disk both miss, and propagates every Put, so one node's
+// conclusive verdict warms every cache pointed at the same peer.
+// HTTPHandler serves the other side of the protocol from a cache's
+// local tiers only — peers answer with what they have and never chain
+// to their own remote, so cyclic peer topologies cannot recurse.
+
+// remoteBodyLimit caps a served or fetched entry. Results are small
+// (a few KiB with a counterexample trace); anything near the limit is
+// corrupt or hostile.
+const remoteBodyLimit = 16 << 20
+
+// keyOK reports whether key looks like a content address (hex SHA-256).
+// The handler rejects anything else so a crafted key can never traverse
+// the disk tier's directory.
+func keyOK(key string) bool {
+	if len(key) != 64 {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// flight coalesces concurrent remote fetches of one key: the first
+// caller does the HTTP round trip, the rest wait for its answer.
+type flight struct {
+	wg  sync.WaitGroup
+	res engine.Result
+	ok  bool
+}
+
+// getRemote fetches key from the peer, single-flighted per key. Only
+// the fetching caller promotes the entry into the local tiers; waiters
+// just share the answer.
+func (c *Cache) getRemote(key string) (engine.Result, bool) {
+	c.flightMu.Lock()
+	if f, ok := c.flights[key]; ok {
+		c.flightMu.Unlock()
+		f.wg.Wait()
+		return f.res, f.ok
+	}
+	f := &flight{}
+	f.wg.Add(1)
+	c.flights[key] = f
+	c.flightMu.Unlock()
+
+	f.res, f.ok = c.fetchRemote(key)
+
+	c.flightMu.Lock()
+	delete(c.flights, key)
+	c.flightMu.Unlock()
+	f.wg.Done()
+	return f.res, f.ok
+}
+
+// fetchRemote is one GET round trip. Network failures and malformed
+// bodies degrade to a miss (counted in RemoteErrors); the entry is
+// simply recomputed locally.
+func (c *Cache) fetchRemote(key string) (engine.Result, bool) {
+	resp, err := c.remoteClient.Get(c.remoteURL + "/" + key)
+	if err != nil {
+		c.countRemoteError()
+		return engine.Result{}, false
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusNotFound:
+		return engine.Result{}, false
+	default:
+		io.Copy(io.Discard, io.LimitReader(resp.Body, remoteBodyLimit))
+		c.countRemoteError()
+		return engine.Result{}, false
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, remoteBodyLimit))
+	if err != nil {
+		c.countRemoteError()
+		return engine.Result{}, false
+	}
+	res, err := engine.DecodeResult(data)
+	if err != nil {
+		c.countRemoteError()
+		return engine.Result{}, false
+	}
+	return res, true
+}
+
+// storeRemote propagates one Put to the peer.
+func (c *Cache) storeRemote(key string, res engine.Result) {
+	data, err := engine.EncodeResult(&res)
+	if err != nil {
+		c.countRemoteError()
+		return
+	}
+	req, err := http.NewRequest(http.MethodPut, c.remoteURL+"/"+key, bytes.NewReader(data))
+	if err != nil {
+		c.countRemoteError()
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.remoteClient.Do(req)
+	if err != nil {
+		c.countRemoteError()
+		return
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, remoteBodyLimit))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent && resp.StatusCode != http.StatusOK {
+		c.countRemoteError()
+		return
+	}
+	c.mu.Lock()
+	c.stats.RemotePuts++
+	c.mu.Unlock()
+}
+
+func (c *Cache) countRemoteError() {
+	c.mu.Lock()
+	c.stats.RemoteErrors++
+	c.mu.Unlock()
+}
+
+// HTTPHandler serves cache entries from c's local tiers (memory and
+// disk) under the two-verb protocol above; mount it wherever the peer
+// URL should live, e.g.
+//
+//	mux.Handle("/cache/entry/", http.StripPrefix("/cache/entry", cache.HTTPHandler(c)))
+//
+// and point other nodes' Options.RemoteURL at ".../cache/entry". The
+// handler never consults c's own remote tier, so peers answer from
+// what they hold and chains of peers cannot loop.
+func HTTPHandler(c *Cache) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		key := strings.TrimPrefix(r.URL.Path, "/")
+		if !keyOK(key) {
+			http.Error(w, `{"error":"bad cache key"}`, http.StatusBadRequest)
+			return
+		}
+		switch r.Method {
+		case http.MethodGet:
+			res, ok := c.getLocal(key)
+			if !ok {
+				http.Error(w, `{"error":"miss"}`, http.StatusNotFound)
+				return
+			}
+			data, err := engine.EncodeResult(&res)
+			if err != nil {
+				http.Error(w, `{"error":"unencodable entry"}`, http.StatusInternalServerError)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.Write(data)
+		case http.MethodPut:
+			data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, remoteBodyLimit))
+			if err != nil {
+				status := http.StatusBadRequest
+				var tooLarge *http.MaxBytesError
+				if errors.As(err, &tooLarge) {
+					status = http.StatusRequestEntityTooLarge
+				}
+				http.Error(w, fmt.Sprintf(`{"error":%q}`, err.Error()), status)
+				return
+			}
+			res, err := engine.DecodeResult(data)
+			if err != nil {
+				http.Error(w, fmt.Sprintf(`{"error":%q}`, err.Error()), http.StatusBadRequest)
+				return
+			}
+			c.putLocal(key, res)
+			w.WriteHeader(http.StatusNoContent)
+		default:
+			http.Error(w, `{"error":"GET or PUT"}`, http.StatusMethodNotAllowed)
+		}
+	})
+}
+
+// defaultRemoteClient bounds every peer round trip: a slow or wedged
+// peer must degrade to a local miss, not stall verification.
+func defaultRemoteClient() *http.Client {
+	return &http.Client{Timeout: 10 * time.Second}
+}

@@ -1,0 +1,228 @@
+package cache
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/engine"
+)
+
+// peerKey is a syntactically valid content address (64 hex chars).
+func peerKey(b byte) string {
+	return strings.Repeat(string([]byte{'a' + b%6}), 64)
+}
+
+// peer spins up a cache served over the entry protocol, the shape every
+// fleet node uses.
+func peer(t *testing.T) (*Cache, *httptest.Server, *atomic.Int64) {
+	t.Helper()
+	shared, err := New(Options{Capacity: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gets atomic.Int64
+	h := HTTPHandler(shared)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodGet {
+			gets.Add(1)
+		}
+		h.ServeHTTP(w, r)
+	}))
+	t.Cleanup(srv.Close)
+	return shared, srv, &gets
+}
+
+func TestRemoteTierHitAndPromotion(t *testing.T) {
+	shared, srv, _ := peer(t)
+	key := peerKey(0)
+	shared.Put(key, res("warm"))
+
+	local, err := New(Options{Capacity: 8, Dir: t.TempDir(), RemoteURL: srv.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := local.Get(key)
+	if !ok || got.Scenario != "warm" {
+		t.Fatalf("remote get: ok=%v res=%+v", ok, got)
+	}
+	st := local.Stats()
+	if st.RemoteHits != 1 || st.Misses != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+	// The hit was promoted into memory: the next Get is local.
+	if _, ok := local.Get(key); !ok {
+		t.Fatal("promoted entry missing")
+	}
+	if st := local.Stats(); st.Hits != 1 || st.RemoteHits != 1 {
+		t.Fatalf("stats after promotion %+v", st)
+	}
+	// ... and onto disk: a restarted cache with no remote still has it.
+	reborn, err := New(Options{Capacity: 8, Dir: local.dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := reborn.Get(key); !ok {
+		t.Fatal("remote hit did not persist to the disk tier")
+	}
+}
+
+func TestRemotePutPropagates(t *testing.T) {
+	shared, srv, _ := peer(t)
+	a, err := New(Options{Capacity: 8, RemoteURL: srv.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(Options{Capacity: 8, RemoteURL: srv.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := peerKey(1)
+	a.Put(key, res("from-a"))
+	if st := a.Stats(); st.RemotePuts != 1 || st.RemoteErrors != 0 {
+		t.Fatalf("put stats %+v", st)
+	}
+	if _, ok := shared.getLocal(key); !ok {
+		t.Fatal("put did not reach the peer")
+	}
+	// Node b was never told about the key, but the shared tier warms it.
+	got, ok := b.Get(key)
+	if !ok || got.Scenario != "from-a" {
+		t.Fatalf("b missed the fleet-warmed entry: ok=%v res=%+v", ok, got)
+	}
+	if st := b.Stats(); st.RemoteHits != 1 {
+		t.Fatalf("b stats %+v", st)
+	}
+}
+
+// TestRemoteSingleFlight pins the miss-coalescing contract: concurrent
+// Gets of one cold key must cost one peer round trip, not N.
+func TestRemoteSingleFlight(t *testing.T) {
+	shared, srv, gets := peer(t)
+	key := peerKey(2)
+	shared.Put(key, res("flock"))
+
+	local, err := New(Options{Capacity: 8, RemoteURL: srv.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 16
+	var wg sync.WaitGroup
+	var hits atomic.Int64
+	start := make(chan struct{})
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			if _, ok := local.Get(key); ok {
+				hits.Add(1)
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+	if hits.Load() != n {
+		t.Fatalf("%d of %d concurrent gets hit", hits.Load(), n)
+	}
+	// All n callers raced the flight; at most a handful can slip past
+	// the memory tier before the first fetch promotes the entry, and the
+	// single-flight collapses those to one round trip each "wave". The
+	// hard bound we pin: strictly fewer fetches than callers, and at
+	// least one.
+	if g := gets.Load(); g < 1 || g >= n {
+		t.Fatalf("%d peer round trips for %d coalesced gets", g, n)
+	}
+}
+
+func TestRemoteMissAndDownPeerDegrade(t *testing.T) {
+	_, srv, _ := peer(t)
+	local, err := New(Options{Capacity: 8, RemoteURL: srv.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := local.Get(peerKey(3)); ok {
+		t.Fatal("hit on a cold fleet")
+	}
+	if st := local.Stats(); st.Misses != 1 || st.RemoteErrors != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+	// Kill the peer: Gets and Puts degrade to the local tiers and count
+	// errors instead of failing.
+	srv.Close()
+	if _, ok := local.Get(peerKey(4)); ok {
+		t.Fatal("hit from a dead peer")
+	}
+	local.Put(peerKey(4), res("local-only"))
+	if _, ok := local.Get(peerKey(4)); !ok {
+		t.Fatal("local tier lost the entry")
+	}
+	st := local.Stats()
+	if st.RemoteErrors < 2 || st.RemotePuts != 0 {
+		t.Fatalf("degraded stats %+v", st)
+	}
+}
+
+func TestHTTPHandlerRejectsBadRequests(t *testing.T) {
+	shared, err := New(Options{Capacity: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(HTTPHandler(shared))
+	t.Cleanup(srv.Close)
+
+	for name, tc := range map[string]struct {
+		method, path, body string
+		want               int
+	}{
+		"traversal-key":  {http.MethodGet, "/../../etc/passwd", "", http.StatusBadRequest},
+		"short-key":      {http.MethodGet, "/abc123", "", http.StatusBadRequest},
+		"uppercase-key":  {http.MethodGet, "/" + strings.Repeat("A", 64), "", http.StatusBadRequest},
+		"miss":           {http.MethodGet, "/" + peerKey(0), "", http.StatusNotFound},
+		"bad-put-body":   {http.MethodPut, "/" + peerKey(0), "{not a result", http.StatusBadRequest},
+		"delete":         {http.MethodDelete, "/" + peerKey(0), "", http.StatusMethodNotAllowed},
+		"alien-put-body": {http.MethodPut, "/" + peerKey(0), `{"version":9}`, http.StatusBadRequest},
+	} {
+		t.Run(name, func(t *testing.T) {
+			req, err := http.NewRequest(tc.method, srv.URL+tc.path, strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != tc.want {
+				t.Fatalf("status %d, want %d", resp.StatusCode, tc.want)
+			}
+		})
+	}
+	if got := shared.Len(); got != 0 {
+		t.Fatalf("rejected requests stored %d entries", got)
+	}
+}
+
+// TestRemotePutRoundTripsVerdict pins that a result survives the wire:
+// what one node stores is what another decodes, status and all.
+func TestRemotePutRoundTripsVerdict(t *testing.T) {
+	_, srv, _ := peer(t)
+	a, err := New(Options{Capacity: 8, RemoteURL: srv.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(Options{Capacity: 8, RemoteURL: srv.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := peerKey(5)
+	want := engine.Result{Index: -1, Scenario: "wired", Engine: "explicit", Status: engine.StatusViolated}
+	a.Put(key, want)
+	got, ok := b.Get(key)
+	if !ok || got.Status != want.Status || got.Scenario != want.Scenario || got.Engine != want.Engine {
+		t.Fatalf("round trip: ok=%v got=%+v", ok, got)
+	}
+}

@@ -1,0 +1,109 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// TestEngineSpecRoundTrip pins the spec codec: every serializable
+// engine value survives an encode/decode round trip exactly, so a
+// fleet worker rebuilds the coordinator's engine verbatim.
+func TestEngineSpecRoundTrip(t *testing.T) {
+	engines := []Engine{
+		nil,
+		Auto{},
+		Auto{Workers: 8},
+		Explicit{},
+		Explicit{Workers: 4},
+		Explicit{Workers: -1},
+		Simulation{},
+		Simulation{Runs: 32, Seed: 7, BudgetFactor: 12},
+		Simulation{MaxDeliveries: 500},
+		SAT{},
+		SAT{Workers: 3},
+		SAT{CubeVars: 2},
+	}
+	for _, e := range engines {
+		data, err := EncodeEngineSpec(e)
+		if err != nil {
+			t.Fatalf("encode %#v: %v", e, err)
+		}
+		got, err := DecodeEngineSpec(data)
+		if err != nil {
+			t.Fatalf("decode %s: %v", data, err)
+		}
+		want := e
+		if want == nil {
+			want = Auto{}
+		}
+		if got != want {
+			t.Fatalf("round trip %s: got %#v want %#v", data, got, want)
+		}
+		// Canonical: re-encoding the decoded value is byte-identical.
+		again, err := EncodeEngineSpec(got)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(again) != string(data) {
+			t.Fatalf("re-encode differs: %s vs %s", again, data)
+		}
+	}
+}
+
+// TestEngineSpecPreservesCacheKey is the fleet's cache-coherence pin: a
+// spec round trip must land on the same content address, or workers
+// would silently miss entries the coordinator wrote.
+func TestEngineSpecPreservesCacheKey(t *testing.T) {
+	s := Scenario{
+		Name:       "spec-key",
+		AgentSpecs: specs(2, 2, submodPolicy(2)),
+		Graph:      graph.Complete(2),
+	}
+	for _, e := range []Engine{Auto{}, Explicit{Workers: 2}, Simulation{Runs: 8, Seed: 3}, SAT{}} {
+		data, err := EncodeEngineSpec(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		decoded, err := DecodeEngineSpec(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k1, err := CacheKey(&s, e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k2, err := CacheKey(&s, decoded)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k1 != k2 {
+			t.Fatalf("%s: cache key changed across spec round trip", data)
+		}
+	}
+}
+
+func TestEngineSpecRejectsBadDocuments(t *testing.T) {
+	for name, doc := range map[string]string{
+		"not-json":        `{`,
+		"no-version":      `{"kind":"auto"}`,
+		"wrong-version":   `{"version":9,"kind":"auto"}`,
+		"unknown-kind":    `{"version":1,"kind":"quantum"}`,
+		"unknown-field":   `{"version":1,"kind":"auto","threads":2}`,
+		"auto-with-runs":  `{"version":1,"kind":"auto","runs":4}`,
+		"explicit-cube":   `{"version":1,"kind":"explicit","cube":2}`,
+		"sim-workers":     `{"version":1,"kind":"simulation","workers":2}`,
+		"sat-with-budget": `{"version":1,"kind":"sat","budget_factor":2}`,
+	} {
+		t.Run(name, func(t *testing.T) {
+			if _, err := DecodeEngineSpec([]byte(doc)); err == nil {
+				t.Fatalf("decoded %s", doc)
+			}
+		})
+	}
+	type custom struct{ Engine }
+	if _, err := EncodeEngineSpec(custom{}); err == nil || !strings.Contains(err.Error(), "serializable") {
+		t.Fatalf("custom engine encoded: %v", err)
+	}
+}

@@ -1,0 +1,566 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/engine"
+)
+
+// ErrDraining marks results the coordinator reported inconclusive
+// because Quiesce stopped dispatching before their unit ran.
+var ErrDraining = errors.New("fleet: coordinator draining")
+
+// CoordinatorOptions configures a Coordinator.
+type CoordinatorOptions struct {
+	// Workers lists worker base URLs (scheme://host:port); the fleet
+	// endpoints are resolved under each. At least one is required.
+	Workers []string
+	// Client is the dispatch HTTP client (default: a pooled client with
+	// no global timeout — UnitTimeout bounds each dispatch).
+	Client *http.Client
+	// Engine is the default engine for batches whose Stream/Run call
+	// passes nil (nil here means Auto{}).
+	Engine engine.Engine
+	// Cache, when non-nil, short-circuits units whose content address
+	// is already conclusive and stores fresh conclusive results — the
+	// same protocol as engine.VerifyCached, so coordinator summaries
+	// stay identical to single-process Runner summaries.
+	Cache engine.ResultCache
+	// SlotsPerWorker is the number of concurrent dispatches per worker
+	// (default 4). Size it at or below the worker's -fleetslots; excess
+	// dispatches are rejected and retried, which is safe but wasteful.
+	SlotsPerWorker int
+	// MaxAttempts is the number of remote attempts per unit before the
+	// coordinator verifies it locally (default 3). Local fallback keeps
+	// a sweep completing — with identical verdicts — even when every
+	// worker is dead.
+	MaxAttempts int
+	// RetryBackoff is the base re-dispatch delay, doubled per attempt
+	// and capped at 2s (default 50ms).
+	RetryBackoff time.Duration
+	// UnitTimeout bounds one dispatch round trip including the remote
+	// verification (default 2m). A unit that times out is re-dispatched.
+	UnitTimeout time.Duration
+	// HealthThreshold is the consecutive-failure count after which a
+	// worker is health-probed before claiming more units (default 2).
+	HealthThreshold int
+}
+
+func (o CoordinatorOptions) withDefaults() CoordinatorOptions {
+	if o.Client == nil {
+		o.Client = &http.Client{}
+	}
+	if o.Engine == nil {
+		o.Engine = engine.Auto{}
+	}
+	if o.SlotsPerWorker <= 0 {
+		o.SlotsPerWorker = 4
+	}
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 3
+	}
+	if o.RetryBackoff <= 0 {
+		o.RetryBackoff = 50 * time.Millisecond
+	}
+	if o.UnitTimeout <= 0 {
+		o.UnitTimeout = 2 * time.Minute
+	}
+	if o.HealthThreshold <= 0 {
+		o.HealthThreshold = 2
+	}
+	return o
+}
+
+// workerState is one worker's live view: health is derived from the
+// consecutive-failure counter, which any dispatch outcome updates.
+type workerState struct {
+	url         string
+	completed   atomic.Uint64
+	failures    atomic.Uint64
+	consecutive atomic.Int64
+}
+
+// Stats is a point-in-time snapshot of the coordinator's counters.
+type Stats struct {
+	// Dispatches counts HTTP dispatch attempts; Completed units that
+	// came back from a worker; Retries re-dispatches after a failure or
+	// rejection; Rejections 429 responses from saturated workers.
+	Dispatches uint64 `json:"dispatches"`
+	Completed  uint64 `json:"completed"`
+	Retries    uint64 `json:"retries"`
+	Rejections uint64 `json:"rejections"`
+	// LocalFallbacks counts units verified on the coordinator after
+	// exhausting remote attempts; CacheHits units short-circuited by
+	// the coordinator's cache; Drained units reported inconclusive
+	// because of Quiesce.
+	LocalFallbacks uint64 `json:"local_fallbacks"`
+	CacheHits      uint64 `json:"cache_hits"`
+	Drained        uint64 `json:"drained"`
+	// Workers is the per-worker health view.
+	Workers []WorkerStatus `json:"workers"`
+}
+
+// WorkerStatus is one worker's row in Stats.
+type WorkerStatus struct {
+	URL       string `json:"url"`
+	Healthy   bool   `json:"healthy"`
+	Completed uint64 `json:"completed"`
+	Failures  uint64 `json:"failures"`
+}
+
+// Coordinator dispatches verification batches across a worker fleet.
+// It is safe for concurrent use; each Stream call schedules its own
+// batch over the shared worker set.
+type Coordinator struct {
+	opts    CoordinatorOptions
+	workers []*workerState
+
+	quiesceOnce sync.Once
+	quiesce     chan struct{}
+
+	dispatches     atomic.Uint64
+	completed      atomic.Uint64
+	retries        atomic.Uint64
+	rejections     atomic.Uint64
+	localFallbacks atomic.Uint64
+	cacheHits      atomic.Uint64
+	drained        atomic.Uint64
+}
+
+// NewCoordinator builds a coordinator over the configured workers.
+func NewCoordinator(o CoordinatorOptions) (*Coordinator, error) {
+	o = o.withDefaults()
+	if len(o.Workers) == 0 {
+		return nil, errors.New("fleet: coordinator needs at least one worker URL")
+	}
+	c := &Coordinator{opts: o, quiesce: make(chan struct{})}
+	for _, u := range o.Workers {
+		c.workers = append(c.workers, &workerState{url: u})
+	}
+	return c, nil
+}
+
+// Quiesce permanently stops the coordinator from starting new
+// dispatches: pending units of in-flight batches come back
+// inconclusive (ErrDraining) while units already on a worker finish
+// normally. It is the fleet half of connection draining — call it when
+// the process begins shutting down.
+func (c *Coordinator) Quiesce() {
+	c.quiesceOnce.Do(func() { close(c.quiesce) })
+}
+
+// Stats snapshots the dispatch counters and worker health.
+func (c *Coordinator) Stats() Stats {
+	st := Stats{
+		Dispatches:     c.dispatches.Load(),
+		Completed:      c.completed.Load(),
+		Retries:        c.retries.Load(),
+		Rejections:     c.rejections.Load(),
+		LocalFallbacks: c.localFallbacks.Load(),
+		CacheHits:      c.cacheHits.Load(),
+		Drained:        c.drained.Load(),
+	}
+	for _, w := range c.workers {
+		st.Workers = append(st.Workers, WorkerStatus{
+			URL:       w.url,
+			Healthy:   w.consecutive.Load() < int64(c.opts.HealthThreshold),
+			Completed: w.completed.Load(),
+			Failures:  w.failures.Load(),
+		})
+	}
+	return st
+}
+
+// ---- batch scheduling ----
+
+// unitState is one unit's scheduling record. attempts and notBefore
+// are only touched by the goroutine currently holding the unit.
+type unitState struct {
+	index     int
+	attempts  int
+	notBefore time.Time
+	data      []byte // encoded work unit
+}
+
+// batch tracks one Stream call's pending and undelivered units.
+type batch struct {
+	mu        sync.Mutex
+	pending   []*unitState
+	remaining int // units not yet delivered (pending + in flight)
+	delivered []bool
+	wake      chan struct{}
+}
+
+func newBatch(n int) *batch {
+	return &batch{remaining: n, delivered: make([]bool, n), wake: make(chan struct{}, 1)}
+}
+
+func (b *batch) signal() {
+	select {
+	case b.wake <- struct{}{}:
+	default:
+	}
+}
+
+// enqueue adds a unit and wakes one waiter.
+func (b *batch) enqueue(u *unitState) {
+	b.mu.Lock()
+	b.pending = append(b.pending, u)
+	b.mu.Unlock()
+	b.signal()
+}
+
+// take claims the next ready unit. It returns nil when the batch is
+// complete, the context is cancelled, or the coordinator quiesced —
+// the three conditions under which a dispatcher goroutine should stop.
+func (b *batch) take(ctx context.Context, quiesce <-chan struct{}) *unitState {
+	for {
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-quiesce:
+			return nil
+		default:
+		}
+		b.mu.Lock()
+		if b.remaining == 0 {
+			b.mu.Unlock()
+			return nil
+		}
+		now := time.Now()
+		wait := 10 * time.Millisecond
+		for i, u := range b.pending {
+			if !u.notBefore.After(now) {
+				b.pending = append(b.pending[:i], b.pending[i+1:]...)
+				b.mu.Unlock()
+				return u
+			}
+			if d := u.notBefore.Sub(now); d < wait {
+				wait = d
+			}
+		}
+		b.mu.Unlock()
+		// Nothing ready: units are in flight elsewhere or backing off.
+		// The timer bounds the wait so a missed wake only costs ~10ms.
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-quiesce:
+			return nil
+		case <-b.wake:
+		case <-time.After(wait):
+		}
+	}
+}
+
+// deliver emits one result and retires its unit.
+func (b *batch) deliver(out chan<- engine.Result, res engine.Result) {
+	b.mu.Lock()
+	if b.delivered[res.Index] {
+		b.mu.Unlock()
+		return
+	}
+	b.delivered[res.Index] = true
+	b.remaining--
+	b.mu.Unlock()
+	out <- res
+	b.signal()
+}
+
+// ---- dispatch ----
+
+// Stream verifies the batch across the fleet, sending each Result as
+// soon as it is ready, in completion order; Result.Index maps results
+// back to scenarios. The channel closes when every scenario has a
+// result. Cancellation and Quiesce both complete the stream promptly,
+// reporting unrun units as inconclusive — exactly like the Runner, a
+// consumer must drain the channel.
+func (c *Coordinator) Stream(ctx context.Context, eng engine.Engine, scenarios []engine.Scenario) <-chan engine.Result {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if eng == nil {
+		eng = c.opts.Engine
+	}
+	out := make(chan engine.Result, len(c.workers)*c.opts.SlotsPerWorker)
+	go c.run(ctx, eng, scenarios, out)
+	return out
+}
+
+// Run verifies the batch and returns results indexed by scenario plus
+// the aggregated summary — byte-identical (wall aside) to a
+// single-process Runner over the same scenarios and engine, at any
+// worker count and under any failure/retry interleaving.
+func (c *Coordinator) Run(ctx context.Context, eng engine.Engine, scenarios []engine.Scenario) ([]engine.Result, engine.Summary) {
+	start := time.Now()
+	results := make([]engine.Result, len(scenarios))
+	for res := range c.Stream(ctx, eng, scenarios) {
+		results[res.Index] = res
+	}
+	sum := engine.Summarize(results)
+	sum.Wall = time.Since(start)
+	return results, sum
+}
+
+func (c *Coordinator) run(ctx context.Context, eng engine.Engine, scenarios []engine.Scenario, out chan<- engine.Result) {
+	defer close(out)
+	b := newBatch(len(scenarios))
+
+	// Dispatcher goroutines first, so cache probes and local-only units
+	// below overlap with remote work.
+	var wg sync.WaitGroup
+	for _, ws := range c.workers {
+		for s := 0; s < c.opts.SlotsPerWorker; s++ {
+			wg.Add(1)
+			go func(ws *workerState) {
+				defer wg.Done()
+				c.dispatchLoop(ctx, ws, eng, scenarios, b, out)
+			}(ws)
+		}
+	}
+
+	for i := range scenarios {
+		// The coordinator's cache short-circuits before any dispatch,
+		// mirroring VerifyCached's hit path bit for bit.
+		if res, ok := c.cachedResult(&scenarios[i], eng); ok {
+			res.Index = i
+			c.cacheHits.Add(1)
+			b.deliver(out, res)
+			continue
+		}
+		data, err := EncodeWorkUnit(i, eng, &scenarios[i])
+		if err != nil {
+			// Not dispatchable (pre-built agents, custom utilities):
+			// verify on the coordinator, like the Runner would.
+			res := engine.VerifyCached(ctx, eng, scenarios[i], c.opts.Cache)
+			res.Index = i
+			c.localFallbacks.Add(1)
+			b.deliver(out, res)
+			continue
+		}
+		b.enqueue(&unitState{index: i, data: data})
+	}
+
+	wg.Wait()
+
+	// Whatever was not delivered — cancellation or quiesce — is
+	// reported, never dropped: the stream always carries one result per
+	// scenario.
+	err := ctx.Err()
+	if err == nil {
+		err = ErrDraining
+	}
+	for i := range scenarios {
+		b.mu.Lock()
+		done := b.delivered[i]
+		b.mu.Unlock()
+		if done {
+			continue
+		}
+		c.drained.Add(1)
+		b.deliver(out, engine.Result{
+			Index: i, Scenario: scenarios[i].Name, Engine: "fleet",
+			Status: engine.StatusInconclusive, Err: err,
+		})
+	}
+}
+
+// cachedResult is VerifyCached's hit path: consult the cache by
+// content address and restore the display name.
+func (c *Coordinator) cachedResult(s *engine.Scenario, eng engine.Engine) (engine.Result, bool) {
+	if c.opts.Cache == nil {
+		return engine.Result{}, false
+	}
+	key, err := engine.CacheKey(s, eng)
+	if err != nil {
+		return engine.Result{}, false
+	}
+	res, ok := c.opts.Cache.Get(key)
+	if !ok {
+		return engine.Result{}, false
+	}
+	res.Scenario = s.Name
+	res.Cached = true
+	return res, true
+}
+
+// dispatchLoop is one worker slot: claim a unit, dispatch it, deliver
+// or requeue. It exits when the batch completes, the context dies, or
+// the coordinator quiesces.
+func (c *Coordinator) dispatchLoop(ctx context.Context, ws *workerState, eng engine.Engine, scenarios []engine.Scenario, b *batch, out chan<- engine.Result) {
+	for {
+		if ws.consecutive.Load() >= int64(c.opts.HealthThreshold) {
+			// A failing worker is probed before claiming more units.
+			// The probe is advisory: after one failed round it claims
+			// anyway, because the attempt cap (local fallback) — not
+			// the probe — is what guarantees batch progress.
+			c.probe(ctx, ws)
+		}
+		u := b.take(ctx, c.quiesce)
+		if u == nil {
+			return
+		}
+		res, rejected, err := c.dispatch(ctx, ws, u)
+		if err == nil {
+			ws.consecutive.Store(0)
+			ws.completed.Add(1)
+			c.completed.Add(1)
+			c.storeConclusive(&scenarios[u.index], eng, res)
+			b.deliver(out, res)
+			continue
+		}
+		if ctx.Err() != nil {
+			// The dispatch failed because the batch is over, not
+			// because the worker is sick; run() reports the unit.
+			return
+		}
+		if rejected {
+			c.rejections.Add(1)
+		} else {
+			ws.failures.Add(1)
+			ws.consecutive.Add(1)
+		}
+		u.attempts++
+		if u.attempts >= c.opts.MaxAttempts {
+			// Remote attempts exhausted: the coordinator verifies the
+			// unit itself, so fleet-wide failure degrades to
+			// single-process verification instead of a lost sweep.
+			c.localFallbacks.Add(1)
+			res := engine.VerifyCached(ctx, eng, scenarios[u.index], c.opts.Cache)
+			res.Index = u.index
+			b.deliver(out, res)
+			continue
+		}
+		c.retries.Add(1)
+		u.notBefore = time.Now().Add(c.backoff(u.attempts))
+		b.enqueue(u)
+	}
+}
+
+// backoff is the exponential re-dispatch delay, capped at 2s.
+func (c *Coordinator) backoff(attempt int) time.Duration {
+	if attempt < 1 {
+		attempt = 1
+	}
+	d := c.opts.RetryBackoff << (attempt - 1)
+	if max := 2 * time.Second; d > max {
+		d = max
+	}
+	return d
+}
+
+// storeConclusive puts a worker-computed conclusive verdict into the
+// coordinator's cache — the store half of the VerifyCached protocol.
+func (c *Coordinator) storeConclusive(s *engine.Scenario, eng engine.Engine, res engine.Result) {
+	if c.opts.Cache == nil || (res.Status != engine.StatusHolds && res.Status != engine.StatusViolated) {
+		return
+	}
+	// A result that arrived Cached was served from the worker's own
+	// tiers; store it uncached so a later coordinator hit reports the
+	// same shape a VerifyCached hit would.
+	res.Cached = false
+	if key, err := engine.CacheKey(s, eng); err == nil {
+		c.opts.Cache.Put(key, res)
+	}
+}
+
+// dispatch posts one unit to one worker. rejected reports a 429 —
+// admission, not failure — which does not dent the worker's health.
+func (c *Coordinator) dispatch(ctx context.Context, ws *workerState, u *unitState) (res engine.Result, rejected bool, err error) {
+	c.dispatches.Add(1)
+	dctx, cancel := context.WithTimeout(ctx, c.opts.UnitTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(dctx, http.MethodPost, ws.url+"/fleet/work", bytes.NewReader(u.data))
+	if err != nil {
+		return engine.Result{}, false, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.opts.Client.Do(req)
+	if err != nil {
+		return engine.Result{}, false, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, remoteResultLimit))
+	if err != nil {
+		return engine.Result{}, false, err
+	}
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusTooManyRequests:
+		return engine.Result{}, true, fmt.Errorf("fleet: worker %s at capacity", ws.url)
+	default:
+		return engine.Result{}, false, fmt.Errorf("fleet: worker %s: status %d: %s", ws.url, resp.StatusCode, bytes.TrimSpace(body))
+	}
+	res, err = engine.DecodeResult(body)
+	if err != nil {
+		return engine.Result{}, false, fmt.Errorf("fleet: worker %s: %w", ws.url, err)
+	}
+	if res.Index != u.index {
+		return engine.Result{}, false, fmt.Errorf("fleet: worker %s answered unit %d with unit %d", ws.url, u.index, res.Index)
+	}
+	return res, false, nil
+}
+
+// remoteResultLimit caps a worker response body; results are small.
+const remoteResultLimit = 64 << 20
+
+// probe is one heartbeat round trip against a failing worker: on
+// success the failure streak resets, on failure the slot sleeps one
+// backoff so a dead worker's slots do not spin-claim units.
+func (c *Coordinator) probe(ctx context.Context, ws *workerState) {
+	pctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(pctx, http.MethodGet, ws.url+"/fleet/health", nil)
+	if err == nil {
+		var resp *http.Response
+		if resp, err = c.opts.Client.Do(req); err == nil {
+			io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				ws.consecutive.Store(0)
+				return
+			}
+			err = fmt.Errorf("status %d", resp.StatusCode)
+		}
+	}
+	select {
+	case <-ctx.Done():
+	case <-c.quiesce:
+	case <-time.After(c.backoff(int(ws.consecutive.Load()))):
+	}
+}
+
+// Health probes every worker once and returns the fleet view; it is
+// the coordinator-side liveness check ops endpoints expose.
+func (c *Coordinator) Health(ctx context.Context) []WorkerStatus {
+	out := make([]WorkerStatus, len(c.workers))
+	var wg sync.WaitGroup
+	for i, ws := range c.workers {
+		wg.Add(1)
+		go func(i int, ws *workerState) {
+			defer wg.Done()
+			st := WorkerStatus{URL: ws.url, Completed: ws.completed.Load(), Failures: ws.failures.Load()}
+			pctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+			defer cancel()
+			req, err := http.NewRequestWithContext(pctx, http.MethodGet, ws.url+"/fleet/health", nil)
+			if err == nil {
+				if resp, err2 := c.opts.Client.Do(req); err2 == nil {
+					io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+					resp.Body.Close()
+					st.Healthy = resp.StatusCode == http.StatusOK
+				}
+			}
+			out[i] = st
+		}(i, ws)
+	}
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,36 @@
+// Package fleet scales sweep verification past one machine: a
+// coordinator expands a batch of scenarios into content-addressed work
+// units and dispatches them over HTTP to worker processes, then folds
+// the results back into the exact Summary a single-process Runner
+// would have produced.
+//
+// The tier has two halves:
+//
+//   - Worker: an HTTP handler (POST /fleet/work, GET /fleet/health)
+//     that verifies one work unit per request under a concurrency
+//     limit. A unit is a (scenario, engine-spec) pair in the canonical
+//     codec form; the worker rebuilds the engine, runs VerifyCached
+//     against its own (optionally remote-tiered) cache, and returns
+//     the encoded Result. Over-capacity units are rejected with 429 +
+//     Retry-After rather than queued, so the coordinator's retry logic
+//     owns all scheduling policy.
+//
+//   - Coordinator: expands a batch, short-circuits units its local
+//     cache already holds, and fans the rest out over per-worker
+//     dispatch slots. Failures and rejections are retried with
+//     exponential backoff and re-dispatched to whichever worker claims
+//     them next; a worker that keeps failing is health-probed before
+//     it claims more units; and a unit that exhausts its remote
+//     attempts is verified locally, so a sweep always completes even
+//     with every worker dead. Quiesce stops new dispatches (for
+//     connection draining) while letting in-flight units finish.
+//
+// Determinism: verdicts are produced by the same engines from the same
+// canonical scenario bytes on every node, results are reassembled by
+// unit index, and Summarize is order-independent — so the aggregated
+// Summary is byte-identical (wall-clock aside) across worker counts,
+// arrival orders, retries, and mid-sweep worker failures. The shared
+// remote cache tier (internal/cache) keeps that soundness because keys
+// are content addresses: a cached verdict is exactly what
+// re-verification would produce.
+package fleet

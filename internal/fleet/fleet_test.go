@@ -1,0 +1,452 @@
+package fleet_test
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/engine"
+	"repro/internal/explore"
+	"repro/internal/fleet"
+	"repro/internal/graph"
+	"repro/internal/mca"
+	"repro/internal/netsim"
+)
+
+// fleetScenarios is the acceptance sweep: policy × topology × fault
+// cells covering holds, violations, and both the explicit and the
+// simulation engine under Auto routing.
+func fleetScenarios() []engine.Scenario {
+	utilities := []mca.Utility{
+		mca.SubmodularResidual{}, mca.NonSubmodularSynergy{},
+		mca.FlatUtility{}, mca.EscalatingUtility{Cap: 1 << 10},
+	}
+	graphs := map[string]*graph.Graph{
+		"complete2": graph.Complete(2),
+		"line3":     graph.Line(3),
+	}
+	var out []engine.Scenario
+	for _, u := range utilities {
+		for gname, g := range graphs {
+			n := g.N()
+			specs := make([]mca.Config, n)
+			for i := 0; i < n; i++ {
+				base := []int64{int64(10 + 5*(i%2)), int64(15 - 5*(i%2))}
+				specs[i] = mca.Config{
+					ID: mca.AgentID(i), Items: 2, Base: base,
+					Policy: mca.Policy{Target: 2, Utility: u, ReleaseOutbid: true, Rebid: mca.RebidOnChange},
+				}
+			}
+			for fname, f := range map[string]netsim.Faults{
+				"reliable": {},
+				"drop":     {Drop: 0.25},
+			} {
+				out = append(out, engine.Scenario{
+					Name:       fmt.Sprintf("%s/%s/%s", u.Name(), gname, fname),
+					AgentSpecs: specs,
+					Graph:      g,
+					Explore:    explore.Options{MaxStates: 30000},
+					Faults:     f,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// encodeSummary canonicalizes a summary for byte comparison: Wall is
+// wall-clock, excluded from every determinism guarantee.
+func encodeSummary(t *testing.T, sum engine.Summary) string {
+	t.Helper()
+	sum.Wall = 0
+	data, err := engine.EncodeSummary(&sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+// encodeResultNoWall canonicalizes one result: the three time fields
+// are measurements, everything else must be bit-stable across nodes.
+func encodeResultNoWall(t *testing.T, res engine.Result) string {
+	t.Helper()
+	res.Stats.Wall, res.Stats.TranslateTime, res.Stats.SolveTime = 0, 0, 0
+	data, err := engine.EncodeResult(&res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+// startWorkers spins n in-process workers and returns their base URLs.
+func startWorkers(t *testing.T, n int, mk func(i int) *fleet.Worker) []string {
+	t.Helper()
+	urls := make([]string, n)
+	for i := 0; i < n; i++ {
+		srv := httptest.NewServer(mk(i).Handler())
+		t.Cleanup(srv.Close)
+		urls[i] = srv.URL
+	}
+	return urls
+}
+
+// runnerBaseline runs the same batch through the single-process Runner.
+func runnerBaseline(t *testing.T, scenarios []engine.Scenario) ([]engine.Result, engine.Summary) {
+	t.Helper()
+	return engine.NewRunner(engine.RunnerOptions{Workers: 4}).Run(context.Background(), scenarios)
+}
+
+// TestCoordinatorMatchesRunner is the fleet determinism pin: at worker
+// counts 1, 2, and 4, the coordinator's summary — and every individual
+// result — is byte-identical to the single-process Runner's.
+func TestCoordinatorMatchesRunner(t *testing.T) {
+	scenarios := fleetScenarios()
+	baseResults, baseSum := runnerBaseline(t, scenarios)
+	want := encodeSummary(t, baseSum)
+
+	for _, n := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("workers=%d", n), func(t *testing.T) {
+			urls := startWorkers(t, n, func(int) *fleet.Worker {
+				return fleet.NewWorker(fleet.WorkerOptions{Slots: 2})
+			})
+			coord, err := fleet.NewCoordinator(fleet.CoordinatorOptions{Workers: urls, SlotsPerWorker: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			results, sum := coord.Run(context.Background(), nil, scenarios)
+			if got := encodeSummary(t, sum); got != want {
+				t.Fatalf("summary diverged at %d workers:\n got %s\nwant %s", n, got, want)
+			}
+			for i := range results {
+				if got, want := encodeResultNoWall(t, results[i]), encodeResultNoWall(t, baseResults[i]); got != want {
+					t.Fatalf("result %d diverged:\n got %s\nwant %s", i, got, want)
+				}
+			}
+			st := coord.Stats()
+			if st.Completed != uint64(len(scenarios)) || st.LocalFallbacks != 0 {
+				t.Fatalf("stats %+v: every unit should complete remotely", st)
+			}
+		})
+	}
+}
+
+// TestCoordinatorSurvivesWorkerDeath kills one of three workers
+// mid-sweep — it serves two units, then aborts every connection — and
+// requires the re-dispatch path to land on the same bytes anyway.
+func TestCoordinatorSurvivesWorkerDeath(t *testing.T) {
+	scenarios := fleetScenarios()
+	_, baseSum := runnerBaseline(t, scenarios)
+	want := encodeSummary(t, baseSum)
+
+	var served atomic.Int64
+	urls := make([]string, 0, 3)
+	dying := fleet.NewWorker(fleet.WorkerOptions{Slots: 2}).Handler()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if served.Add(1) > 2 {
+			panic(http.ErrAbortHandler) // the process is gone mid-request
+		}
+		dying.ServeHTTP(w, r)
+	}))
+	t.Cleanup(srv.Close)
+	urls = append(urls, srv.URL)
+	urls = append(urls, startWorkers(t, 2, func(int) *fleet.Worker {
+		return fleet.NewWorker(fleet.WorkerOptions{Slots: 2})
+	})...)
+
+	coord, err := fleet.NewCoordinator(fleet.CoordinatorOptions{
+		Workers:        urls,
+		SlotsPerWorker: 2,
+		RetryBackoff:   5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, sum := coord.Run(context.Background(), nil, scenarios)
+	if got := encodeSummary(t, sum); got != want {
+		t.Fatalf("summary diverged after worker death:\n got %s\nwant %s", got, want)
+	}
+	st := coord.Stats()
+	if st.Retries == 0 {
+		t.Fatalf("stats %+v: the dying worker should have forced re-dispatches", st)
+	}
+	if st.Drained != 0 {
+		t.Fatalf("stats %+v: no unit should have been dropped", st)
+	}
+}
+
+// TestCoordinatorLocalFallbackCompletesSweep points the coordinator at
+// nothing but a dead address: every unit must fall back to local
+// verification and the sweep must still match the Runner exactly.
+func TestCoordinatorLocalFallbackCompletesSweep(t *testing.T) {
+	scenarios := fleetScenarios()[:4]
+	_, baseSum := runnerBaseline(t, scenarios)
+
+	coord, err := fleet.NewCoordinator(fleet.CoordinatorOptions{
+		Workers:      []string{"http://127.0.0.1:1"},
+		MaxAttempts:  2,
+		RetryBackoff: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, sum := coord.Run(context.Background(), nil, scenarios)
+	if got, want := encodeSummary(t, sum), encodeSummary(t, baseSum); got != want {
+		t.Fatalf("summary diverged with a dead fleet:\n got %s\nwant %s", got, want)
+	}
+	st := coord.Stats()
+	if st.LocalFallbacks != uint64(len(scenarios)) || st.Completed != 0 {
+		t.Fatalf("stats %+v: want %d local fallbacks", st, len(scenarios))
+	}
+	for _, w := range st.Workers {
+		if w.Healthy {
+			t.Fatalf("dead worker reported healthy: %+v", w)
+		}
+	}
+}
+
+// TestFleetRemoteCacheWarmsSecondPass is the shared-tier acceptance
+// test: pass one fills a peer cache through two workers; pass two runs
+// on two *fresh* workers (fresh local caches — a restarted fleet) and
+// must be answered entirely from the remote tier, with byte-identical
+// verdict counts.
+func TestFleetRemoteCacheWarmsSecondPass(t *testing.T) {
+	scenarios := fleetScenarios()
+	shared, err := cache.New(cache.Options{Capacity: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharedSrv := httptest.NewServer(cache.HTTPHandler(shared))
+	t.Cleanup(sharedSrv.Close)
+
+	runPass := func() (engine.Summary, []*cache.Cache) {
+		caches := make([]*cache.Cache, 2)
+		urls := startWorkers(t, 2, func(i int) *fleet.Worker {
+			c, err := cache.New(cache.Options{Capacity: 64, RemoteURL: sharedSrv.URL})
+			if err != nil {
+				t.Fatal(err)
+			}
+			caches[i] = c
+			return fleet.NewWorker(fleet.WorkerOptions{Slots: 2, Cache: c})
+		})
+		coord, err := fleet.NewCoordinator(fleet.CoordinatorOptions{Workers: urls, SlotsPerWorker: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, sum := coord.Run(context.Background(), nil, scenarios)
+		return sum, caches
+	}
+
+	cold, coldCaches := runPass()
+	if cold.CacheHits != 0 {
+		t.Fatalf("cold pass had %d cache hits", cold.CacheHits)
+	}
+	conclusive := cold.Holds + cold.Violated
+	var remotePuts uint64
+	for _, c := range coldCaches {
+		remotePuts += c.Stats().RemotePuts
+	}
+	if remotePuts != uint64(conclusive) {
+		t.Fatalf("%d remote puts for %d conclusive verdicts", remotePuts, conclusive)
+	}
+
+	warm, warmCaches := runPass()
+	if warm.CacheHits != conclusive {
+		t.Fatalf("warm pass: %d cache hits, want %d", warm.CacheHits, conclusive)
+	}
+	var remoteHits uint64
+	for _, c := range warmCaches {
+		remoteHits += c.Stats().RemoteHits
+	}
+	if remoteHits != uint64(conclusive) {
+		t.Fatalf("warm pass: %d remote hits, want %d (fresh local tiers must fetch from the peer)", remoteHits, conclusive)
+	}
+	// Verdict content is identical; only cache warmth differs.
+	cold.CacheHits, warm.CacheHits = 0, 0
+	if got, want := encodeSummary(t, warm), encodeSummary(t, cold); got != want {
+		t.Fatalf("warm summary diverged:\n got %s\nwant %s", got, want)
+	}
+}
+
+// TestCoordinatorQuiesce pins the draining contract: a quiesced
+// coordinator still completes the stream, reporting unrun units
+// inconclusive instead of dropping them.
+func TestCoordinatorQuiesce(t *testing.T) {
+	scenarios := fleetScenarios()[:4]
+	urls := startWorkers(t, 1, func(int) *fleet.Worker {
+		return fleet.NewWorker(fleet.WorkerOptions{Slots: 2})
+	})
+	coord, err := fleet.NewCoordinator(fleet.CoordinatorOptions{Workers: urls})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord.Quiesce()
+	results, sum := coord.Run(context.Background(), nil, scenarios)
+	if sum.Inconclusive != len(scenarios) {
+		t.Fatalf("summary %+v: want all inconclusive", sum)
+	}
+	for _, res := range results {
+		if res.Status != engine.StatusInconclusive || res.Err == nil || !strings.Contains(res.Err.Error(), "draining") {
+			t.Fatalf("drained result %+v", res)
+		}
+	}
+	if st := coord.Stats(); st.Drained != uint64(len(scenarios)) || st.Dispatches != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+// TestWorkerRejectsOverCapacity drives the admission path directly: a
+// one-slot worker with a unit in flight answers 429 + Retry-After.
+func TestWorkerRejectsOverCapacity(t *testing.T) {
+	w := fleet.NewWorker(fleet.WorkerOptions{Slots: 1})
+	srv := httptest.NewServer(w.Handler())
+	t.Cleanup(srv.Close)
+
+	// A heavyweight unit occupies the only slot: a three-agent
+	// exhaustive exploration that runs until the request is cancelled.
+	specs := make([]mca.Config, 3)
+	for i := range specs {
+		specs[i] = mca.Config{
+			ID: mca.AgentID(i), Items: 3, Base: []int64{9, 7, 5},
+			Policy: mca.Policy{Target: 3, Utility: mca.NonSubmodularSynergy{}, ReleaseOutbid: true, Rebid: mca.RebidAlways},
+		}
+	}
+	heavy := engine.Scenario{
+		Name:       "heavy",
+		AgentSpecs: specs,
+		Graph:      graph.Complete(3),
+		Explore:    explore.Options{MaxStates: 1 << 30},
+	}
+	unit := encodeUnit(t, 0, engine.Explicit{}, &heavy)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	slow := make(chan error, 1)
+	go func() {
+		req, _ := http.NewRequestWithContext(ctx, http.MethodPost, srv.URL+"/fleet/work", strings.NewReader(unit))
+		_, err := http.DefaultClient.Do(req)
+		slow <- err
+	}()
+	// Wait for the slot to be taken.
+	deadline := time.Now().Add(5 * time.Second)
+	for w.Stats().Busy == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("slot never became busy")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	resp, err := http.Post(srv.URL+"/fleet/work", "application/json", strings.NewReader(unit))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	cancel()
+	<-slow
+	if st := w.Stats(); st.Rejected != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func encodeUnit(t *testing.T, index int, eng engine.Engine, s *engine.Scenario) string {
+	t.Helper()
+	data, err := fleet.EncodeWorkUnit(index, eng, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+// TestWorkerRejectsBadUnits covers the worker's input validation.
+func TestWorkerRejectsBadUnits(t *testing.T) {
+	w := fleet.NewWorker(fleet.WorkerOptions{Slots: 2, MaxBody: 256})
+	srv := httptest.NewServer(w.Handler())
+	t.Cleanup(srv.Close)
+
+	for name, tc := range map[string]struct {
+		body string
+		want int
+	}{
+		"not-json":      {"hello", http.StatusBadRequest},
+		"wrong-version": {`{"version":9,"index":0,"engine":{},"scenario":{}}`, http.StatusBadRequest},
+		"neg-index":     {`{"version":1,"index":-2,"engine":{"version":1,"kind":"auto"},"scenario":{"version":1}}`, http.StatusBadRequest},
+		"oversized":     {`{"pad":"` + strings.Repeat("x", 512) + `"}`, http.StatusRequestEntityTooLarge},
+	} {
+		t.Run(name, func(t *testing.T) {
+			resp, err := http.Post(srv.URL+"/fleet/work", "application/json", strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != tc.want {
+				t.Fatalf("status %d, want %d", resp.StatusCode, tc.want)
+			}
+		})
+	}
+	resp, err := http.Get(srv.URL + "/fleet/work")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /fleet/work: %d", resp.StatusCode)
+	}
+}
+
+// TestWorkUnitCodecRoundTrip pins the unit wire format.
+func TestWorkUnitCodecRoundTrip(t *testing.T) {
+	s := fleetScenarios()[0]
+	data, err := fleet.EncodeWorkUnit(7, engine.Simulation{Runs: 4, Seed: 9}, &s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	index, eng, got, err := fleet.DecodeWorkUnit(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if index != 7 {
+		t.Fatalf("index %d", index)
+	}
+	if eng != (engine.Simulation{Runs: 4, Seed: 9}) {
+		t.Fatalf("engine %#v", eng)
+	}
+	want, err := engine.EncodeScenario(&s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := engine.EncodeScenario(&got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(back) != string(want) {
+		t.Fatalf("scenario round trip:\n got %s\nwant %s", back, want)
+	}
+}
+
+// TestCoordinatorHealth probes a live and a dead worker.
+func TestCoordinatorHealth(t *testing.T) {
+	urls := startWorkers(t, 1, func(int) *fleet.Worker {
+		return fleet.NewWorker(fleet.WorkerOptions{})
+	})
+	coord, err := fleet.NewCoordinator(fleet.CoordinatorOptions{
+		Workers: append(urls, "http://127.0.0.1:1"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := coord.Health(context.Background())
+	if len(hs) != 2 || !hs[0].Healthy || hs[1].Healthy {
+		t.Fatalf("health %+v", hs)
+	}
+}

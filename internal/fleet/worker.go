@@ -1,0 +1,203 @@
+package fleet
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+
+	"repro/internal/engine"
+)
+
+// ---- work unit codec ----
+
+// unitJSON is the wire form of one work unit: the scenario's position
+// in the coordinator's batch plus the canonical engine-spec and
+// scenario documents. Both halves reuse the engine codec, so a unit is
+// exactly as addressable on the worker as it was on the coordinator.
+type unitJSON struct {
+	Version  int             `json:"version"`
+	Index    int             `json:"index"`
+	Engine   json.RawMessage `json:"engine"`
+	Scenario json.RawMessage `json:"scenario"`
+}
+
+// EncodeWorkUnit renders one dispatchable unit. Scenarios the codec
+// cannot encode (pre-built agents, custom utilities, unregistered
+// models) are not dispatchable; the coordinator runs those locally.
+func EncodeWorkUnit(index int, eng engine.Engine, s *engine.Scenario) ([]byte, error) {
+	spec, err := engine.EncodeEngineSpec(eng)
+	if err != nil {
+		return nil, err
+	}
+	doc, err := engine.EncodeScenario(s)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(unitJSON{Version: engine.SchemaVersion, Index: index, Engine: spec, Scenario: doc})
+}
+
+// DecodeWorkUnit parses a work unit back into its parts.
+func DecodeWorkUnit(data []byte) (index int, eng engine.Engine, s engine.Scenario, err error) {
+	var w unitJSON
+	if err = json.Unmarshal(data, &w); err != nil {
+		return 0, nil, engine.Scenario{}, fmt.Errorf("fleet: unit: %w", err)
+	}
+	if w.Version != engine.SchemaVersion {
+		return 0, nil, engine.Scenario{}, fmt.Errorf("fleet: unit: unsupported schema version %d (want %d)", w.Version, engine.SchemaVersion)
+	}
+	if w.Index < 0 {
+		return 0, nil, engine.Scenario{}, fmt.Errorf("fleet: unit: negative index %d", w.Index)
+	}
+	eng, err = engine.DecodeEngineSpec(w.Engine)
+	if err != nil {
+		return 0, nil, engine.Scenario{}, err
+	}
+	s, err = engine.DecodeScenario(w.Scenario)
+	if err != nil {
+		return 0, nil, engine.Scenario{}, err
+	}
+	return w.Index, eng, s, nil
+}
+
+// ---- worker ----
+
+// WorkerOptions configures a fleet worker.
+type WorkerOptions struct {
+	// Slots bounds concurrently executing work units (0 = one per
+	// CPU). Units beyond the limit are rejected with 429 so the
+	// coordinator re-dispatches them; the worker never queues.
+	Slots int
+	// Cache, when non-nil, is the worker's result cache. Point it at a
+	// layered cache with a RemoteURL (internal/cache) and every
+	// conclusive verdict this worker computes warms the whole fleet.
+	Cache engine.ResultCache
+	// MaxBody caps a work-unit request body (default 32 MiB).
+	MaxBody int64
+}
+
+func (o WorkerOptions) withDefaults() WorkerOptions {
+	if o.Slots <= 0 {
+		o.Slots = runtime.GOMAXPROCS(0)
+	}
+	if o.MaxBody <= 0 {
+		o.MaxBody = 32 << 20
+	}
+	return o
+}
+
+// Worker executes work units for a coordinator. It is an http.Handler
+// factory, not a server: mount Handler (or HandleWork/HandleHealth
+// individually) on whatever mux the process serves.
+type Worker struct {
+	opts WorkerOptions
+	sem  chan struct{}
+
+	busy     atomic.Int64
+	units    atomic.Uint64
+	rejected atomic.Uint64
+}
+
+// WorkerStats is the /fleet/health document.
+type WorkerStats struct {
+	OK bool `json:"ok"`
+	// Busy and Slots describe the admission state right now.
+	Busy  int `json:"busy"`
+	Slots int `json:"slots"`
+	// Units counts completed work units, Rejected over-capacity 429s.
+	Units    uint64 `json:"units"`
+	Rejected uint64 `json:"rejected"`
+}
+
+// NewWorker builds a worker.
+func NewWorker(o WorkerOptions) *Worker {
+	o = o.withDefaults()
+	return &Worker{opts: o, sem: make(chan struct{}, o.Slots)}
+}
+
+// Stats snapshots the worker's counters.
+func (w *Worker) Stats() WorkerStats {
+	return WorkerStats{
+		OK:       true,
+		Busy:     int(w.busy.Load()),
+		Slots:    w.opts.Slots,
+		Units:    w.units.Load(),
+		Rejected: w.rejected.Load(),
+	}
+}
+
+// Handler returns the worker's endpoints on a fresh mux:
+// POST /fleet/work and GET /fleet/health.
+func (w *Worker) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/fleet/work", w.HandleWork)
+	mux.HandleFunc("/fleet/health", w.HandleHealth)
+	return mux
+}
+
+func writeJSONError(rw http.ResponseWriter, code int, err error) {
+	rw.Header().Set("Content-Type", "application/json")
+	rw.WriteHeader(code)
+	json.NewEncoder(rw).Encode(map[string]string{"error": err.Error()})
+}
+
+// HandleWork verifies one work unit. The verification runs under the
+// request context, so a coordinator timing out (or draining) cancels
+// the unit cooperatively.
+func (w *Worker) HandleWork(rw http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSONError(rw, http.StatusMethodNotAllowed, errors.New("POST a work unit"))
+		return
+	}
+	select {
+	case w.sem <- struct{}{}:
+	default:
+		w.rejected.Add(1)
+		rw.Header().Set("Retry-After", "1")
+		writeJSONError(rw, http.StatusTooManyRequests, fmt.Errorf("worker at capacity (%d slots busy)", w.opts.Slots))
+		return
+	}
+	defer func() { <-w.sem }()
+	w.busy.Add(1)
+	defer w.busy.Add(-1)
+
+	body, err := io.ReadAll(http.MaxBytesReader(rw, r.Body, w.opts.MaxBody))
+	if err != nil {
+		status := http.StatusBadRequest
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		writeJSONError(rw, status, err)
+		return
+	}
+	index, eng, scenario, err := DecodeWorkUnit(body)
+	if err != nil {
+		writeJSONError(rw, http.StatusBadRequest, err)
+		return
+	}
+
+	res := engine.VerifyCached(r.Context(), eng, scenario, w.opts.Cache)
+	res.Index = index
+	data, err := engine.EncodeResult(&res)
+	if err != nil {
+		writeJSONError(rw, http.StatusInternalServerError, err)
+		return
+	}
+	w.units.Add(1)
+	rw.Header().Set("Content-Type", "application/json")
+	rw.Write(append(data, '\n'))
+}
+
+// HandleHealth is the heartbeat the coordinator probes.
+func (w *Worker) HandleHealth(rw http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSONError(rw, http.StatusMethodNotAllowed, errors.New("GET"))
+		return
+	}
+	rw.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(rw).Encode(w.Stats())
+}

@@ -1,6 +1,7 @@
 #!/bin/sh
 # bench.sh — run the core benchmark set with fixed parameters and emit
-# BENCH_5.json (name -> ns/op, allocs/op, B/op, custom metrics), the
+# BENCH_5.json (name -> ns/op, allocs/op, B/op, custom metrics, plus a
+# "host" stamp: CPU model, core count, GOMAXPROCS, Go version), the
 # repo's perf-trajectory record. Run it on a quiet machine and commit
 # the refreshed BENCH_5.json when a PR claims a performance change, so
 # future PRs inherit a baseline (see docs/PERFORMANCE.md).

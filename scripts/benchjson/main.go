@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"os"
 	"regexp"
+	"runtime"
 	"strconv"
 	"strings"
 )
@@ -27,9 +28,23 @@ type Record struct {
 	Metrics     map[string]float64 `json:"metrics,omitempty"`
 }
 
+// Host stamps the machine the numbers came from, so a baseline diff
+// that crosses hardware is visible as such instead of reading as a
+// regression. CPU/goos/goarch come from the bench output's own header
+// lines; the rest from this process, which runs on the same machine.
+type Host struct {
+	CPU        string `json:"cpu,omitempty"`
+	Cores      int    `json:"cores"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+}
+
 // File is the emitted document.
 type File struct {
 	Note       string            `json:"note"`
+	Host       Host              `json:"host"`
 	Benchmarks map[string]Record `json:"benchmarks"`
 }
 
@@ -38,13 +53,31 @@ var pairRE = regexp.MustCompile(`([\d.]+) (\S+)`)
 
 func main() {
 	out := File{
-		Note:       "Benchmark trajectory, written by scripts/bench.sh; lowest-ns/op sample per benchmark. Compare against docs/PERFORMANCE.md.",
+		Note: "Benchmark trajectory, written by scripts/bench.sh; lowest-ns/op sample per benchmark. Compare against docs/PERFORMANCE.md.",
+		Host: Host{
+			Cores:      runtime.NumCPU(),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			GoVersion:  runtime.Version(),
+			GOOS:       runtime.GOOS,
+			GOARCH:     runtime.GOARCH,
+		},
 		Benchmarks: map[string]Record{},
 	}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
-		m := lineRE.FindStringSubmatch(sc.Text())
+		line := sc.Text()
+		// The bench header overrides the runtime view where present:
+		// it describes the process that actually ran the benchmarks.
+		for _, h := range []struct {
+			prefix string
+			dst    *string
+		}{{"cpu: ", &out.Host.CPU}, {"goos: ", &out.Host.GOOS}, {"goarch: ", &out.Host.GOARCH}} {
+			if strings.HasPrefix(line, h.prefix) {
+				*h.dst = strings.TrimSpace(strings.TrimPrefix(line, h.prefix))
+			}
+		}
+		m := lineRE.FindStringSubmatch(line)
 		if m == nil {
 			continue
 		}
