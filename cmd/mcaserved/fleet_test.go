@@ -90,7 +90,7 @@ func TestFleetRolesEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	peerSrv, _ := startRole(t, serverConfig{Cache: peerCache, CacheCapacity: 256})
+	peerSrv, _ := startRole(t, serverConfig{Cache: peerCache, CacheCapacity: 256, PeerCache: true})
 
 	// startFleet boots a fresh coordinator + two workers over the shared
 	// peer. Booting it twice models a full fleet restart: the second
@@ -121,6 +121,11 @@ func TestFleetRolesEndToEnd(t *testing.T) {
 	}
 	if coldSum.CacheHits != 0 {
 		t.Fatalf("cold fleet sweep reported %d cache hits", coldSum.CacheHits)
+	}
+	// Peer propagation is asynchronous: settle the cold generation's
+	// queues so the warm pass sees a fully warmed peer.
+	for _, c := range coldCaches {
+		c.WaitRemotePuts()
 	}
 
 	// Pass two on a restarted fleet: everything conclusive is answered
@@ -332,15 +337,61 @@ func TestRoleValidation(t *testing.T) {
 	}
 }
 
-// TestCacheEntryEndpointMounted smoke-tests the peer protocol route.
+// TestCacheEntryEndpointMounted smoke-tests the peer protocol route:
+// absent unless opted in with PeerCache, served (with key validation)
+// when opted in, and behind the shared secret when one is configured.
 func TestCacheEntryEndpointMounted(t *testing.T) {
-	srv, _ := testServer(t)
 	key := strings.Repeat("ab", 32)
+
+	// Default servers do not expose the peer protocol at all: its PUT
+	// verb stores unverifiable result documents.
+	plain, _ := testServer(t)
+	if code, _ := getBody(t, plain.URL+"/cache/entry/"+key); code != http.StatusNotFound {
+		t.Fatalf("peer endpoint without -peercache: status %d, want mux 404", code)
+	}
+	if code, _ := getBody(t, plain.URL+"/cache/entry/nope"); code != http.StatusNotFound {
+		t.Fatalf("peer endpoint without -peercache: status %d, want mux 404", code)
+	}
+
+	c, err := cache.New(cache.Options{Capacity: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, _ := startRole(t, serverConfig{Cache: c, PeerCache: true})
 	if code, _ := getBody(t, srv.URL+"/cache/entry/"+key); code != http.StatusNotFound {
 		t.Fatalf("absent key: status %d, want 404", code)
 	}
 	if code, _ := getBody(t, srv.URL+"/cache/entry/nope"); code != http.StatusBadRequest {
 		t.Fatalf("bad key: status %d, want 400", code)
+	}
+
+	sealed, _ := startRole(t, serverConfig{Cache: c, PeerCache: true, CacheSecret: "s3cr3t"})
+	if code, _ := getBody(t, sealed.URL+"/cache/entry/"+key); code != http.StatusUnauthorized {
+		t.Fatalf("secret-protected endpoint without header: status %d, want 401", code)
+	}
+}
+
+// TestFleetWorkExemptFromTenantQuota pins the admission split: the
+// coordinator's dispatches carry no X-Tenant, so /fleet/work must not
+// be folded into the anonymous quota bucket — otherwise enabling
+// -quotarate on a worker mass-429s all intra-fleet traffic.
+func TestFleetWorkExemptFromTenantQuota(t *testing.T) {
+	srv, _ := startRole(t, serverConfig{Role: "worker", QuotaRate: 0.001, QuotaBurst: 1})
+
+	// Well past the burst of 1: every request must reach the handler
+	// (400: not a work unit), never the quota (429).
+	for i := 0; i < 4; i++ {
+		resp := postJSON(t, srv.URL+"/fleet/work", "{}")
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("dispatch %d: status %d, want 400 from the handler (429 means quota applied)", i, resp.StatusCode)
+		}
+	}
+	// The same server still quotas client-facing endpoints.
+	if resp := postJSON(t, srv.URL+"/verify", scenarioDoc); resp.StatusCode != http.StatusOK {
+		t.Fatalf("first /verify: status %d", resp.StatusCode)
+	}
+	if resp := postJSON(t, srv.URL+"/verify", scenarioDoc); resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-burst /verify: status %d, want 429", resp.StatusCode)
 	}
 }
 

@@ -16,7 +16,10 @@
 //	GET  /cache/stats  cache effectiveness counters
 //	GET  /cache/entry/{key}  peer cache protocol (GET/PUT by content
 //	                   address) — this is what other nodes' -remotecache
-//	                   points at
+//	                   points at. Served only with -peercache: PUT
+//	                   stores result documents that cannot be validated
+//	                   against their key, so the endpoint is opt-in,
+//	                   for trusted peers, ideally behind -cachesecret
 //	GET  /metrics      Prometheus text exposition: request counts and
 //	                   latencies, cache tiers, fleet dispatch stats,
 //	                   store occupancy, admission shedding
@@ -31,13 +34,17 @@
 // standalone, see docs/OPERATIONS.md — and serves GET /fleet/status
 // with dispatch counters and live worker health. Point -remotecache at
 // a peer's /cache/entry to layer that peer behind the local cache
-// tiers on any role.
+// tiers on any role; the peer must run -peercache (and the same
+// -cachesecret, if one is set on either side).
 //
 // Admission control is opt-in: -quotarate/-quotaburst throttle the
-// expensive endpoints (/verify, /sweep, /generate, /fleet/work) per
-// tenant — the X-Tenant header, with one shared anonymous bucket —
-// and -maxinflight caps concurrently executing expensive requests.
-// Both shed excess load with 429 + Retry-After rather than queueing.
+// expensive endpoints (/verify, /sweep, /generate) per tenant — the
+// X-Tenant header, with one shared anonymous bucket — and -maxinflight
+// caps concurrently executing expensive requests. Both shed excess
+// load with 429 + Retry-After rather than queueing. /fleet/work is
+// exempt from the tenant quota (coordinator dispatches carry no tenant
+// identity and would collapse into the anonymous bucket); the
+// in-flight cap and the worker's own slot admission still bound it.
 //
 // Engine selection is per request via query parameters:
 // ?engine=auto|explicit|simulation|sat (default auto), &cube=K (SAT
@@ -107,13 +114,15 @@ func main() {
 	role := fs.String("role", "standalone", "process role: standalone|coordinator|worker")
 	peers := fs.String("peers", "", "comma-separated worker base URLs (coordinator role)")
 	remoteCache := fs.String("remotecache", "", "peer cache base URL (a peer's /cache/entry) layered behind the local tiers")
+	peerCache := fs.Bool("peercache", false, "serve the peer cache protocol at /cache/entry (opt-in: PUT bodies cannot be validated against their key, expose only to trusted peers)")
+	cacheSecret := fs.String("cachesecret", "", "shared secret for the peer cache protocol: required of /cache/entry clients when -peercache is set, and sent to the -remotecache peer")
 	fleetSlots := fs.Int("fleetslots", 0, "worker: concurrent work units (0 = one per CPU); coordinator: dispatch slots per worker (0 = default 4)")
 	quotaRate := fs.Float64("quotarate", 0, "per-tenant requests/second on expensive endpoints (0 = no quota)")
 	quotaBurst := fs.Int("quotaburst", 10, "per-tenant burst size when -quotarate is set")
 	maxInFlight := fs.Int("maxinflight", 0, "cap on concurrently executing expensive requests (0 = unlimited)")
 	fs.Parse(os.Args[1:])
 
-	c, err := cache.New(cache.Options{Capacity: *cacheSize, Dir: *cacheDir, RemoteURL: *remoteCache})
+	c, err := cache.New(cache.Options{Capacity: *cacheSize, Dir: *cacheDir, RemoteURL: *remoteCache, RemoteSecret: *cacheSecret})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -127,6 +136,8 @@ func main() {
 		Role:           *role,
 		Peers:          splitPeers(*peers),
 		FleetSlots:     *fleetSlots,
+		PeerCache:      *peerCache,
+		CacheSecret:    *cacheSecret,
 		QuotaRate:      *quotaRate,
 		QuotaBurst:     *quotaBurst,
 		MaxInFlight:    *maxInFlight,
@@ -191,6 +202,8 @@ type serverConfig struct {
 	Role           string // standalone (default) | coordinator | worker
 	Peers          []string
 	FleetSlots     int
+	PeerCache      bool   // serve /cache/entry (trusted peers only)
+	CacheSecret    string // shared secret required of /cache/entry clients
 	QuotaRate      float64
 	QuotaBurst     int
 	MaxInFlight    int
@@ -254,10 +267,15 @@ func newServer(cfg serverConfig) (*server, error) {
 		w.Header().Set("Content-Type", "application/json")
 		fmt.Fprintf(w, `{"ok":true,"role":%q}`+"\n", cfg.Role)
 	})
-	if cfg.Cache != nil {
+	if cfg.PeerCache && cfg.Cache != nil {
 		// The peer cache protocol: what other nodes' -remotecache dials.
 		// It serves local tiers only, so peer rings cannot recurse.
-		mux.Handle("/cache/entry/", http.StripPrefix("/cache/entry", cache.HTTPHandler(cfg.Cache)))
+		// Opt-in (-peercache) because a PUT body cannot be validated
+		// against its content-address key — any client that reaches the
+		// endpoint can inject verdicts — so it is mounted only where the
+		// operator has decided the network (plus -cachesecret) bounds
+		// who that is.
+		mux.Handle("/cache/entry/", http.StripPrefix("/cache/entry", cache.HTTPHandler(cfg.Cache, cfg.CacheSecret)))
 	}
 
 	switch cfg.Role {
@@ -268,7 +286,7 @@ func newServer(cfg serverConfig) (*server, error) {
 			Cache:   resultCache(cfg.Cache),
 			MaxBody: cfg.MaxBody,
 		})
-		mux.HandleFunc("/fleet/work", s.gate(s.fleetWorker.HandleWork))
+		mux.HandleFunc("/fleet/work", s.fleetGate(s.fleetWorker.HandleWork))
 		mux.HandleFunc("/fleet/health", s.fleetWorker.HandleHealth)
 	case "coordinator":
 		coord, err := fleet.NewCoordinator(fleet.CoordinatorOptions{

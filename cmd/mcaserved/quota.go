@@ -78,8 +78,22 @@ func retryAfterHeader(d time.Duration) string {
 // 429 + Retry-After instead of queueing, so under overload the server
 // stays responsive and clients hold the backoff state.
 func (s *server) gate(h http.HandlerFunc) http.HandlerFunc {
+	return s.admission(true, h)
+}
+
+// fleetGate admits intra-fleet traffic (/fleet/work) with the in-flight
+// cap only. Coordinator dispatches carry no X-Tenant, so the per-tenant
+// quota would fold the whole fleet into the single anonymous bucket and
+// mass-429 it — per-tenant policy is for clients, not for the
+// coordinator; worker capacity is bounded by -maxinflight here plus the
+// worker's own slot admission.
+func (s *server) fleetGate(h http.HandlerFunc) http.HandlerFunc {
+	return s.admission(false, h)
+}
+
+func (s *server) admission(tenantQuota bool, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		if s.quotas != nil {
+		if tenantQuota && s.quotas != nil {
 			if ok, retry := s.quotas.allow(r.Header.Get("X-Tenant")); !ok {
 				s.metrics.shedInc("quota")
 				w.Header().Set("Retry-After", retryAfterHeader(retry))

@@ -24,9 +24,14 @@ type Options struct {
 	// RemoteURL, when non-empty, enables the remote/peer tier: Gets
 	// that miss both memory and disk are fetched from the peer cache
 	// served at this URL (see HTTPHandler), single-flighted per key,
-	// and every Put is propagated so one node's conclusive verdict
-	// warms the whole fleet. Remote failures degrade to misses.
+	// and every Put is propagated — asynchronously, off the
+	// verification hot path — so one node's conclusive verdict warms
+	// the whole fleet. Remote failures degrade to misses.
 	RemoteURL string
+	// RemoteSecret, when non-empty, is sent with every peer request in
+	// the X-Cache-Auth header; it must match the secret the peer's
+	// HTTPHandler was built with.
+	RemoteSecret string
 	// RemoteClient overrides the HTTP client for the remote tier
 	// (default: a client with a 10-second timeout).
 	RemoteClient *http.Client
@@ -50,8 +55,9 @@ type Stats struct {
 	RemotePuts uint64 `json:"remote_puts"`
 	Evictions  uint64 `json:"evictions"`
 	// DiskErrors counts persistence failures, RemoteErrors peer-tier
-	// failures (the cache degrades to the surviving tiers rather than
-	// failing the verification).
+	// failures — network errors, bad responses, and propagations
+	// dropped because the async put queue was full (the cache degrades
+	// to the surviving tiers rather than failing the verification).
 	DiskErrors   uint64 `json:"disk_errors"`
 	RemoteErrors uint64 `json:"remote_errors"`
 }
@@ -62,6 +68,7 @@ type Cache struct {
 	capacity     int
 	dir          string
 	remoteURL    string
+	remoteSecret string
 	remoteClient *http.Client
 
 	mu    sync.Mutex
@@ -72,6 +79,11 @@ type Cache struct {
 	// flights single-flights remote fetches per key (remote.go).
 	flightMu sync.Mutex
 	flights  map[string]*flight
+
+	// putCh feeds the background sender that propagates Puts to the
+	// peer; putWG tracks queued-but-unsent propagations (remote.go).
+	putCh chan remotePut
+	putWG sync.WaitGroup
 }
 
 type entry struct {
@@ -95,15 +107,21 @@ func New(o Options) (*Cache, error) {
 	if client == nil {
 		client = defaultRemoteClient()
 	}
-	return &Cache{
+	c := &Cache{
 		capacity:     o.Capacity,
 		dir:          o.Dir,
 		remoteURL:    strings.TrimSuffix(o.RemoteURL, "/"),
+		remoteSecret: o.RemoteSecret,
 		remoteClient: client,
 		ll:           list.New(),
 		idx:          map[string]*list.Element{},
 		flights:      map[string]*flight{},
-	}, nil
+	}
+	if c.remoteURL != "" {
+		c.putCh = make(chan remotePut, remotePutQueue)
+		go c.remotePutSender()
+	}
+	return c, nil
 }
 
 // Get returns the cached result for key. Tiers are consulted in
@@ -114,14 +132,10 @@ func (c *Cache) Get(key string) (engine.Result, bool) {
 		return res, true
 	}
 	if c.remoteURL != "" {
+		// getRemote promotes a hit into the local tiers itself — the
+		// fetching caller only, so coalesced waiters don't repeat the
+		// insert and disk write.
 		if res, ok := c.getRemote(key); ok {
-			c.mu.Lock()
-			c.stats.RemoteHits++
-			c.insertLocked(key, res)
-			c.mu.Unlock()
-			// Promote to disk too: a remote hit should survive a
-			// restart without another peer round trip.
-			c.persistDisk(key, res)
 			return res, true
 		}
 	}
@@ -159,11 +173,14 @@ func (c *Cache) getLocal(key string) (engine.Result, bool) {
 
 // Put stores the result under key in every tier: memory (with LRU
 // eviction beyond capacity), disk when enabled, and the remote peer
-// when configured.
+// when configured. Peer propagation is asynchronous — Put never waits
+// on the network, so a slow or wedged peer cannot stall verification;
+// a full propagation queue drops the entry (counted in RemoteErrors),
+// and it is simply recomputed by whoever misses it.
 func (c *Cache) Put(key string, res engine.Result) {
 	c.putLocal(key, res)
 	if c.remoteURL != "" {
-		c.storeRemote(key, res)
+		c.enqueueRemotePut(key, res)
 	}
 }
 

@@ -11,9 +11,13 @@
 // keeps its verified corpus. When a peer URL is configured, misses in
 // both local tiers are fetched from the peer (single-flighted per key,
 // so a thundering herd of identical misses costs one round trip) and
-// every Put is propagated — one fleet node's conclusive verdict warms
-// every node pointed at the same peer. HTTPHandler serves the peer
-// side of that protocol from a cache's local tiers. LRU eviction
+// every Put is propagated asynchronously through a bounded queue that
+// drops rather than blocks — one fleet node's conclusive verdict warms
+// every node pointed at the same peer, and a wedged peer never stalls
+// verification. HTTPHandler serves the peer side of that protocol from
+// a cache's local tiers, optionally behind a shared secret; the
+// protocol trusts its clients (a stored result cannot be validated
+// against its key), so expose it to fleet peers only. LRU eviction
 // applies to memory only — disk is the durable tier and is never
 // garbage-collected by this package; remote failures degrade to
 // misses, never to errors.

@@ -2,6 +2,7 @@ package cache
 
 import (
 	"bytes"
+	"crypto/subtle"
 	"errors"
 	"fmt"
 	"io"
@@ -20,16 +21,36 @@ import (
 //	PUT  {base}/{key}  -> 204 (stored)
 //
 // A cache with Options.RemoteURL set consults the peer after memory
-// and disk both miss, and propagates every Put, so one node's
-// conclusive verdict warms every cache pointed at the same peer.
-// HTTPHandler serves the other side of the protocol from a cache's
-// local tiers only — peers answer with what they have and never chain
-// to their own remote, so cyclic peer topologies cannot recurse.
+// and disk both miss, and propagates every Put (asynchronously, via a
+// bounded queue), so one node's conclusive verdict warms every cache
+// pointed at the same peer. HTTPHandler serves the other side of the
+// protocol from a cache's local tiers only — peers answer with what
+// they have and never chain to their own remote, so cyclic peer
+// topologies cannot recurse.
+//
+// Trust boundary: a cache key is the content address of the
+// *question* (scenario + engine), not of the stored result, so the
+// serving side cannot recompute it from a PUT body — whoever can
+// reach the endpoint can store an arbitrary verdict under any key.
+// The protocol is therefore for trusted fleet peers only: keep the
+// endpoint off untrusted networks, and/or set a shared secret
+// (Options.RemoteSecret on the dialing side, the secret argument of
+// HTTPHandler on the serving side), carried in the X-Cache-Auth
+// header and compared in constant time.
 
 // remoteBodyLimit caps a served or fetched entry. Results are small
 // (a few KiB with a counterexample trace); anything near the limit is
 // corrupt or hostile.
 const remoteBodyLimit = 16 << 20
+
+// authHeader carries the shared secret of a secured peer protocol.
+const authHeader = "X-Cache-Auth"
+
+// remotePutQueue bounds the async propagation backlog. A healthy peer
+// drains it far faster than verification fills it; against a wedged
+// peer it fills once and further propagations are dropped (counted in
+// RemoteErrors) instead of stalling Put.
+const remotePutQueue = 64
 
 // keyOK reports whether key looks like a content address (hex SHA-256).
 // The handler rejects anything else so a crafted key can never traverse
@@ -56,8 +77,9 @@ type flight struct {
 }
 
 // getRemote fetches key from the peer, single-flighted per key. Only
-// the fetching caller promotes the entry into the local tiers; waiters
-// just share the answer.
+// the fetching caller counts the hit and promotes the entry into the
+// local tiers (memory, and disk so the hit survives a restart);
+// waiters just share the answer.
 func (c *Cache) getRemote(key string) (engine.Result, bool) {
 	c.flightMu.Lock()
 	if f, ok := c.flights[key]; ok {
@@ -71,6 +93,13 @@ func (c *Cache) getRemote(key string) (engine.Result, bool) {
 	c.flightMu.Unlock()
 
 	f.res, f.ok = c.fetchRemote(key)
+	if f.ok {
+		c.mu.Lock()
+		c.stats.RemoteHits++
+		c.insertLocked(key, f.res)
+		c.mu.Unlock()
+		c.persistDisk(key, f.res)
+	}
 
 	c.flightMu.Lock()
 	delete(c.flights, key)
@@ -83,7 +112,15 @@ func (c *Cache) getRemote(key string) (engine.Result, bool) {
 // bodies degrade to a miss (counted in RemoteErrors); the entry is
 // simply recomputed locally.
 func (c *Cache) fetchRemote(key string) (engine.Result, bool) {
-	resp, err := c.remoteClient.Get(c.remoteURL + "/" + key)
+	req, err := http.NewRequest(http.MethodGet, c.remoteURL+"/"+key, nil)
+	if err != nil {
+		c.countRemoteError()
+		return engine.Result{}, false
+	}
+	if c.remoteSecret != "" {
+		req.Header.Set(authHeader, c.remoteSecret)
+	}
+	resp, err := c.remoteClient.Do(req)
 	if err != nil {
 		c.countRemoteError()
 		return engine.Result{}, false
@@ -111,6 +148,42 @@ func (c *Cache) fetchRemote(key string) (engine.Result, bool) {
 	return res, true
 }
 
+// remotePut is one queued propagation.
+type remotePut struct {
+	key string
+	res engine.Result
+}
+
+// enqueueRemotePut hands one Put to the background sender without
+// blocking: the queue either takes it or the entry is dropped and
+// counted. Verification latency is thereby independent of peer health.
+func (c *Cache) enqueueRemotePut(key string, res engine.Result) {
+	c.putWG.Add(1)
+	select {
+	case c.putCh <- remotePut{key: key, res: res}:
+	default:
+		c.putWG.Done()
+		c.countRemoteError()
+	}
+}
+
+// remotePutSender drains the propagation queue for the life of the
+// cache, one blocking round trip at a time.
+func (c *Cache) remotePutSender() {
+	for p := range c.putCh {
+		c.storeRemote(p.key, p.res)
+		c.putWG.Done()
+	}
+}
+
+// WaitRemotePuts blocks until every propagation queued so far has been
+// attempted. Production code never needs it — propagation is
+// fire-and-forget — but tests (and orderly shutdown) use it to observe
+// the peer in a settled state.
+func (c *Cache) WaitRemotePuts() {
+	c.putWG.Wait()
+}
+
 // storeRemote propagates one Put to the peer.
 func (c *Cache) storeRemote(key string, res engine.Result) {
 	data, err := engine.EncodeResult(&res)
@@ -124,6 +197,9 @@ func (c *Cache) storeRemote(key string, res engine.Result) {
 		return
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if c.remoteSecret != "" {
+		req.Header.Set(authHeader, c.remoteSecret)
+	}
 	resp, err := c.remoteClient.Do(req)
 	if err != nil {
 		c.countRemoteError()
@@ -150,13 +226,24 @@ func (c *Cache) countRemoteError() {
 // disk) under the two-verb protocol above; mount it wherever the peer
 // URL should live, e.g.
 //
-//	mux.Handle("/cache/entry/", http.StripPrefix("/cache/entry", cache.HTTPHandler(c)))
+//	mux.Handle("/cache/entry/", http.StripPrefix("/cache/entry", cache.HTTPHandler(c, secret)))
 //
 // and point other nodes' Options.RemoteURL at ".../cache/entry". The
 // handler never consults c's own remote tier, so peers answer from
 // what they hold and chains of peers cannot loop.
-func HTTPHandler(c *Cache) http.Handler {
+//
+// A non-empty secret requires every request to carry it in the
+// X-Cache-Auth header (rejected 401 otherwise); an empty secret serves
+// openly and is only appropriate on a network where every reachable
+// client is a trusted peer — PUT bodies cannot be validated against
+// their key, so an open endpoint lets any client forge cached
+// verdicts (see the trust-boundary note at the top of this file).
+func HTTPHandler(c *Cache, secret string) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if secret != "" && subtle.ConstantTimeCompare([]byte(r.Header.Get(authHeader)), []byte(secret)) != 1 {
+			http.Error(w, `{"error":"missing or wrong `+authHeader+`"}`, http.StatusUnauthorized)
+			return
+		}
 		key := strings.TrimPrefix(r.URL.Path, "/")
 		if !keyOK(key) {
 			http.Error(w, `{"error":"bad cache key"}`, http.StatusBadRequest)

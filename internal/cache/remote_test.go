@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/engine"
 )
@@ -25,7 +26,7 @@ func peer(t *testing.T) (*Cache, *httptest.Server, *atomic.Int64) {
 		t.Fatal(err)
 	}
 	var gets atomic.Int64
-	h := HTTPHandler(shared)
+	h := HTTPHandler(shared, "")
 	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if r.Method == http.MethodGet {
 			gets.Add(1)
@@ -82,6 +83,7 @@ func TestRemotePutPropagates(t *testing.T) {
 	}
 	key := peerKey(1)
 	a.Put(key, res("from-a"))
+	a.WaitRemotePuts() // propagation is async; settle before asserting
 	if st := a.Stats(); st.RemotePuts != 1 || st.RemoteErrors != 0 {
 		t.Fatalf("put stats %+v", st)
 	}
@@ -160,6 +162,7 @@ func TestRemoteMissAndDownPeerDegrade(t *testing.T) {
 	if _, ok := local.Get(peerKey(4)); !ok {
 		t.Fatal("local tier lost the entry")
 	}
+	local.WaitRemotePuts()
 	st := local.Stats()
 	if st.RemoteErrors < 2 || st.RemotePuts != 0 {
 		t.Fatalf("degraded stats %+v", st)
@@ -171,7 +174,7 @@ func TestHTTPHandlerRejectsBadRequests(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := httptest.NewServer(HTTPHandler(shared))
+	srv := httptest.NewServer(HTTPHandler(shared, ""))
 	t.Cleanup(srv.Close)
 
 	for name, tc := range map[string]struct {
@@ -206,6 +209,106 @@ func TestHTTPHandlerRejectsBadRequests(t *testing.T) {
 	}
 }
 
+// TestHTTPHandlerSharedSecret pins the peer-protocol trust boundary:
+// with a secret configured, requests without the right X-Cache-Auth are
+// 401 and store nothing, while a client built with the matching
+// RemoteSecret round-trips normally.
+func TestHTTPHandlerSharedSecret(t *testing.T) {
+	shared, err := New(Options{Capacity: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(HTTPHandler(shared, "hunter2"))
+	t.Cleanup(srv.Close)
+	key := peerKey(0)
+
+	warm, err := New(Options{Capacity: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm.Put(key, res("forged"))
+	doc, err := engine.EncodeResult(&engine.Result{Scenario: "forged", Engine: "explicit", Status: engine.StatusHolds})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, hdr := range map[string]string{"missing": "", "wrong": "hunter3"} {
+		t.Run(name, func(t *testing.T) {
+			for _, method := range []string{http.MethodGet, http.MethodPut} {
+				req, err := http.NewRequest(method, srv.URL+"/"+key, strings.NewReader(string(doc)))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if hdr != "" {
+					req.Header.Set(authHeader, hdr)
+				}
+				resp, err := http.DefaultClient.Do(req)
+				if err != nil {
+					t.Fatal(err)
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusUnauthorized {
+					t.Fatalf("%s without secret: status %d, want 401", method, resp.StatusCode)
+				}
+			}
+		})
+	}
+	if shared.Len() != 0 {
+		t.Fatal("unauthorized PUT stored an entry")
+	}
+
+	// A client holding the secret uses the protocol normally.
+	authed, err := New(Options{Capacity: 8, RemoteURL: srv.URL, RemoteSecret: "hunter2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	authed.Put(key, res("legit"))
+	authed.WaitRemotePuts()
+	if st := authed.Stats(); st.RemotePuts != 1 || st.RemoteErrors != 0 {
+		t.Fatalf("authed put stats %+v", st)
+	}
+	fresh, err := New(Options{Capacity: 8, RemoteURL: srv.URL, RemoteSecret: "hunter2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := fresh.Get(key); !ok || got.Scenario != "legit" {
+		t.Fatalf("authed get: ok=%v res=%+v", ok, got)
+	}
+}
+
+// TestRemotePutNeverBlocksOnWedgedPeer pins the hot-path contract from
+// docs/OPERATIONS.md: verification never blocks on cache availability.
+// Against a peer that accepts connections but never answers, Put must
+// return immediately, and once the propagation queue is full further
+// entries are dropped and counted rather than queued unboundedly.
+func TestRemotePutNeverBlocksOnWedgedPeer(t *testing.T) {
+	release := make(chan struct{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-release // wedged: holds every request open until the test ends
+	}))
+	t.Cleanup(func() { close(release); srv.Close() })
+
+	local, err := New(Options{Capacity: 2 * remotePutQueue, RemoteURL: srv.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One put wedges the sender, remotePutQueue more fill the queue, and
+	// everything past that must be dropped on the spot.
+	const extra = 3
+	start := time.Now()
+	for i := 0; i < 1+remotePutQueue+extra; i++ {
+		local.Put(peerKey(byte(i))[:63]+string([]byte{'0' + byte(i%10)}), res("burst"))
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("puts against a wedged peer took %v", d)
+	}
+	// The sender holds at most one in-flight propagation and the queue
+	// at most remotePutQueue, so at least `extra` of the burst were
+	// dropped — and drops are counted at enqueue time, synchronously.
+	if st := local.Stats(); st.RemoteErrors < extra || st.RemotePuts != 0 {
+		t.Fatalf("overflow stats %+v, want >= %d drops and no acked puts", st, extra)
+	}
+}
+
 // TestRemotePutRoundTripsVerdict pins that a result survives the wire:
 // what one node stores is what another decodes, status and all.
 func TestRemotePutRoundTripsVerdict(t *testing.T) {
@@ -221,6 +324,7 @@ func TestRemotePutRoundTripsVerdict(t *testing.T) {
 	key := peerKey(5)
 	want := engine.Result{Index: -1, Scenario: "wired", Engine: "explicit", Status: engine.StatusViolated}
 	a.Put(key, want)
+	a.WaitRemotePuts()
 	got, ok := b.Get(key)
 	if !ok || got.Status != want.Status || got.Scenario != want.Scenario || got.Engine != want.Engine {
 		t.Fatalf("round trip: ok=%v got=%+v", ok, got)

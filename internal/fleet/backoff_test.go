@@ -1,0 +1,48 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBackoffClamped pins the re-dispatch delay against shift overflow:
+// probe feeds backoff the unbounded consecutive-failure counter, so a
+// long-dead worker reaches attempt counts where an unclamped
+// RetryBackoff << (attempt-1) wraps int64 to zero or negative — which
+// would turn the anti-spin sleep into no sleep at all.
+func TestBackoffClamped(t *testing.T) {
+	c, err := NewCoordinator(CoordinatorOptions{Workers: []string{"http://127.0.0.1:1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const cap = 2 * time.Second
+	if got := c.backoff(1); got != 50*time.Millisecond {
+		t.Fatalf("backoff(1) = %v, want the 50ms base", got)
+	}
+	if got := c.backoff(2); got != 100*time.Millisecond {
+		t.Fatalf("backoff(2) = %v, want one doubling", got)
+	}
+	if got := c.backoff(0); got != 50*time.Millisecond {
+		t.Fatalf("backoff(0) = %v, want clamped to the base", got)
+	}
+	// Every attempt count — including ones far past the overflow point
+	// (base 50ms wraps the shift around attempt 39) — lands in (0, cap].
+	for _, attempt := range []int{7, 39, 64, 1000, 1 << 30} {
+		if got := c.backoff(attempt); got <= 0 || got > cap {
+			t.Fatalf("backoff(%d) = %v, want within (0, %v]", attempt, got, cap)
+		}
+	}
+	// A base at or above the cap is pinned to the cap, not doubled.
+	big, err := NewCoordinator(CoordinatorOptions{
+		Workers:      []string{"http://127.0.0.1:1"},
+		RetryBackoff: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, attempt := range []int{1, 5, 100} {
+		if got := big.backoff(attempt); got != cap {
+			t.Fatalf("backoff(%d) with 1h base = %v, want %v", attempt, got, cap)
+		}
+	}
+}

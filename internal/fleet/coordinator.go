@@ -445,13 +445,26 @@ func (c *Coordinator) dispatchLoop(ctx context.Context, ws *workerState, eng eng
 	}
 }
 
-// backoff is the exponential re-dispatch delay, capped at 2s.
+// backoff is the exponential re-dispatch delay, capped at 2s. The
+// shift is bounded before it is taken: probe feeds in the unbounded
+// consecutive-failure counter, and an unclamped shift past 62 bits
+// overflows to a zero-or-negative delay — silently defeating the very
+// sleep that keeps dead-worker slots from spin-claiming units.
 func (c *Coordinator) backoff(attempt int) time.Duration {
+	const max = 2 * time.Second
+	if c.opts.RetryBackoff >= max {
+		return max
+	}
 	if attempt < 1 {
 		attempt = 1
 	}
+	// With the base under 2s, 31 doublings exceed the cap long before
+	// they could overflow int64, so larger attempts all land on the cap.
+	if attempt > 32 {
+		return max
+	}
 	d := c.opts.RetryBackoff << (attempt - 1)
-	if max := 2 * time.Second; d > max {
+	if d <= 0 || d > max {
 		d = max
 	}
 	return d

@@ -221,7 +221,7 @@ func TestFleetRemoteCacheWarmsSecondPass(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sharedSrv := httptest.NewServer(cache.HTTPHandler(shared))
+	sharedSrv := httptest.NewServer(cache.HTTPHandler(shared, ""))
 	t.Cleanup(sharedSrv.Close)
 
 	runPass := func() (engine.Summary, []*cache.Cache) {
@@ -247,8 +247,11 @@ func TestFleetRemoteCacheWarmsSecondPass(t *testing.T) {
 		t.Fatalf("cold pass had %d cache hits", cold.CacheHits)
 	}
 	conclusive := cold.Holds + cold.Violated
+	// Peer propagation is asynchronous; settle the queues before
+	// counting puts or starting the warm pass.
 	var remotePuts uint64
 	for _, c := range coldCaches {
+		c.WaitRemotePuts()
 		remotePuts += c.Stats().RemotePuts
 	}
 	if remotePuts != uint64(conclusive) {
