@@ -570,6 +570,119 @@ func BenchmarkCubeAndConquerUnsat(b *testing.B) {
 	}
 }
 
+// ---- SAT hot path: propagation and conflict-bound solving ----
+
+// propagationChainCNF builds a propagation-bound instance: a long
+// binary implication chain x0 → x1 → ... → x_{n-1} plus wider implied
+// clauses that generate watch-list traffic without changing the
+// semantics. A single assumption at either end forces the whole chain
+// by unit propagation with essentially no decisions or conflicts, so
+// ns/op isolates the propagation loop and watch scheme.
+func propagationChainCNF(n int) *sat.CNF {
+	f := &sat.CNF{NumVars: n}
+	for i := 0; i+1 < n; i++ {
+		f.AddClause(sat.NegLit(sat.Var(i)), sat.PosLit(sat.Var(i+1)))
+	}
+	for i := 0; i+3 < n; i += 3 {
+		// Implied by the chain, but the solver still has to watch and
+		// walk them: long-clause traffic with frequent blocker hits.
+		f.AddClause(sat.NegLit(sat.Var(i)), sat.PosLit(sat.Var(i+1)),
+			sat.PosLit(sat.Var(i+2)), sat.PosLit(sat.Var(i+3)))
+	}
+	return f
+}
+
+// BenchmarkSATPropagation repeatedly re-propagates a 4000-variable
+// implication chain through SolveAssuming from both ends. Tracked in
+// the benchmark trajectory (props/s, allocs/op).
+func BenchmarkSATPropagation(b *testing.B) {
+	const n = 4000
+	cnf := propagationChainCNF(n)
+	s := sat.NewSolver()
+	if err := cnf.LoadInto(s); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if s.SolveAssuming(sat.PosLit(sat.Var(0))) != sat.StatusSat {
+			b.Fatal("chain head assumption must be sat")
+		}
+		if s.SolveAssuming(sat.NegLit(sat.Var(n-1))) != sat.StatusSat {
+			b.Fatal("chain tail assumption must be sat")
+		}
+	}
+	b.StopTimer()
+	props := float64(s.Stats().Propagations)
+	b.ReportMetric(props/b.Elapsed().Seconds(), "props/s")
+}
+
+// BenchmarkSolvePigeonhole solves PHP(8,7) from scratch — an UNSAT
+// family whose refutation is dominated by propagation and conflict
+// analysis, so it tracks the whole CDCL hot path (clause layout, learnt
+// management, backtracking), not just the watch walk.
+func BenchmarkSolvePigeonhole(b *testing.B) {
+	f := sat.PigeonholeCNF(7)
+	b.ReportAllocs()
+	var props int64
+	for i := 0; i < b.N; i++ {
+		s := sat.NewSolver()
+		if err := f.LoadInto(s); err != nil {
+			b.Fatal(err)
+		}
+		if s.Solve() != sat.StatusUnsat {
+			b.Fatal("pigeonhole must be unsat")
+		}
+		props += s.Stats().Propagations
+	}
+	b.ReportMetric(float64(props)/b.Elapsed().Seconds(), "props/s")
+}
+
+// BenchmarkIncrementalSweep compares the two ways of deciding an
+// assert-state sweep grid (all variants of one encoding share bounds
+// and axioms): "oneshot" re-translates and re-solves every variant
+// from scratch, "incremental" keeps one persistent session per base
+// family, so later variants reuse the translation and every learnt
+// clause. The /incremental ÷ /oneshot ns/op ratio is the tracked
+// speedup of incremental sweep solving (BENCH_7.json).
+func BenchmarkIncrementalSweep(b *testing.B) {
+	sc := mcamodel.Scope{PNodes: 3, VNodes: 2, Values: 3, States: 3, Msgs: 2, IntBitwidth: 3}
+	enc, err := mcamodel.BuildOptimized(sc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var scenarios []engine.Scenario
+	for k := 0; k <= sc.States; k++ {
+		variant := enc
+		if k > 0 {
+			if variant, err = enc.WithAssertState(k); err != nil {
+				b.Fatal(err)
+			}
+		}
+		scenarios = append(scenarios, engine.Scenario{
+			Name:  fmt.Sprintf("optimized/assert_state=%d", k),
+			Model: variant,
+		})
+	}
+	run := func(b *testing.B, incremental bool) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			r := engine.NewRunner(engine.RunnerOptions{
+				Workers:        1,
+				Engine:         engine.SAT{},
+				IncrementalSAT: incremental,
+			})
+			results, sum := r.Run(context.Background(), scenarios)
+			if sum.Errors+sum.Inconclusive > 0 {
+				b.Fatalf("sweep failed: %+v", sum)
+			}
+			_ = results
+		}
+	}
+	b.Run("oneshot", func(b *testing.B) { run(b, false) })
+	b.Run("incremental", func(b *testing.B) { run(b, true) })
+}
+
 // BenchmarkExploreSerial/ParallelExplore* explore the same ~100K-state
 // three-agent instance with the serial DFS and the sharded frontier at
 // increasing worker counts. Worker counts beyond GOMAXPROCS only add

@@ -12,15 +12,25 @@
 // engine layer's cooperative cancellation (exit "s UNKNOWN"). Output
 // follows the SAT-competition convention: an "s" status line and, for
 // satisfiable instances, a "v" model line.
+//
+// -incremental switches to iCNF-style incremental solving: besides the
+// DIMACS clauses, the input may carry assumption lines of the form
+// "a <lit> ... 0"; each is decided in order by SolveAssuming on one
+// persistent solver, so learnt clauses accumulate across the queries,
+// and each query prints its own status (and model) line. An input
+// without assumption lines gets a single unassumed solve.
 package main
 
 import (
+	"bufio"
 	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"runtime"
+	"strconv"
+	"strings"
 
 	"repro/internal/portfolio"
 	"repro/internal/sat"
@@ -37,7 +47,12 @@ func run(args []string, stdin io.Reader, stdout io.Writer) int {
 	workers := fs.Int("workers", 1, "parallel solvers: >1 races a portfolio, 0 means one per core; with -cube, sizes the cube worker pool")
 	cube := fs.Int("cube", 0, "cube-and-conquer on 2^K cubes (0 = off); workers default to one per core")
 	timeout := fs.Duration("timeout", 0, "wall-clock deadline for the search (0 = none)")
+	incremental := fs.Bool("incremental", false, "solve each 'a <lits> 0' assumption line in turn on one persistent solver")
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *incremental && (*workers != 1 || *cube > 0) {
+		fmt.Fprintln(os.Stderr, "satsolve: -incremental is serial; drop -workers/-cube")
 		return 2
 	}
 
@@ -61,12 +76,16 @@ func run(args []string, stdin io.Reader, stdout io.Writer) int {
 		in = f
 	}
 
+	opts := sat.Options{MaxConflicts: *maxConflicts}
+	if *incremental {
+		return runIncremental(in, stdout, opts, cancelled, *stats)
+	}
+
 	cnf, err := sat.ParseDIMACS(in)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 2
 	}
-	opts := sat.Options{MaxConflicts: *maxConflicts}
 	var status sat.Status
 	var model []bool
 	var st sat.Stats
@@ -101,28 +120,148 @@ func run(args []string, stdin io.Reader, stdout io.Writer) int {
 		}
 	}
 	if *stats {
-		fmt.Fprintf(stdout, "c conflicts=%d decisions=%d propagations=%d restarts=%d learnt=%d deleted=%d\n",
-			st.Conflicts, st.Decisions, st.Propagations, st.Restarts, st.Learnt, st.Deleted)
+		printStats(stdout, st)
 		fmt.Fprintf(stdout, "c vars=%d clauses=%d\n", cnf.NumVars, cnf.NumClauses())
 	}
+	return printVerdict(stdout, status, model, cnf.NumVars)
+}
+
+// printStats renders the solver counters, including the LBD profile of
+// the learnt-clause database and the arena compaction count.
+func printStats(w io.Writer, st sat.Stats) {
+	fmt.Fprintf(w, "c conflicts=%d decisions=%d propagations=%d restarts=%d learnt=%d deleted=%d\n",
+		st.Conflicts, st.Decisions, st.Propagations, st.Restarts, st.Learnt, st.Deleted)
+	if st.Learnt > 0 {
+		fmt.Fprintf(w, "c lbd mean=%.2f glue=%d hist=", st.MeanLBD(), st.GlueLearnt)
+		for i, n := range st.LBDHist {
+			if i > 0 {
+				fmt.Fprint(w, ",")
+			}
+			if i == len(st.LBDHist)-1 {
+				fmt.Fprintf(w, "%d+:%d", i+1, n)
+			} else {
+				fmt.Fprintf(w, "%d:%d", i+1, n)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "c arena gcs=%d\n", st.ArenaGCs)
+}
+
+// printVerdict writes the competition-style status (and model) lines
+// and returns the matching exit code.
+func printVerdict(w io.Writer, status sat.Status, model []bool, numVars int) int {
 	switch status {
 	case sat.StatusSat:
-		fmt.Fprintln(stdout, "s SATISFIABLE")
-		fmt.Fprint(stdout, "v")
-		for v := 0; v < cnf.NumVars; v++ {
+		fmt.Fprintln(w, "s SATISFIABLE")
+		fmt.Fprint(w, "v")
+		for v := 0; v < numVars; v++ {
 			lit := v + 1
 			if !model[v] {
 				lit = -lit
 			}
-			fmt.Fprintf(stdout, " %d", lit)
+			fmt.Fprintf(w, " %d", lit)
 		}
-		fmt.Fprintln(stdout, " 0")
+		fmt.Fprintln(w, " 0")
 		return 10
 	case sat.StatusUnsat:
-		fmt.Fprintln(stdout, "s UNSATISFIABLE")
+		fmt.Fprintln(w, "s UNSATISFIABLE")
 		return 20
 	default:
-		fmt.Fprintln(stdout, "s UNKNOWN")
+		fmt.Fprintln(w, "s UNKNOWN")
 		return 0
 	}
+}
+
+// runIncremental implements -incremental: split the input into DIMACS
+// clauses and iCNF assumption lines ("a <lits> 0"), load the clauses
+// into one persistent solver, and decide each assumption set in order.
+// Learnt clauses, activities, and phases carry over between queries.
+// Stats printed per query are that query's deltas, not running totals.
+func runIncremental(in io.Reader, stdout io.Writer, opts sat.Options, cancelled func() bool, stats bool) int {
+	var dimacs strings.Builder
+	var queries [][]sat.Lit
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "a ") && line != "a" {
+			// "p inccnf" is the iCNF header; the DIMACS parser wants "p cnf".
+			if strings.HasPrefix(line, "p inccnf") {
+				continue
+			}
+			dimacs.WriteString(line)
+			dimacs.WriteByte('\n')
+			continue
+		}
+		var asms []sat.Lit
+		for _, tok := range strings.Fields(line)[1:] {
+			n, err := strconv.Atoi(tok)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "satsolve: bad assumption literal %q\n", tok)
+				return 2
+			}
+			if n == 0 {
+				break
+			}
+			v := sat.Var(abs(n) - 1)
+			asms = append(asms, sat.MkLit(v, n < 0))
+		}
+		queries = append(queries, asms)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	cnf, err := sat.ParseDIMACS(strings.NewReader(dimacs.String()))
+	if err != nil {
+		// The iCNF body may omit the "p cnf" header entirely when only
+		// assumption lines follow; report the parse error as-is.
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	if len(queries) == 0 {
+		queries = append(queries, nil) // plain solve
+	}
+	solver := sat.NewSolverWithOptions(opts)
+	if err := cnf.LoadInto(solver); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	if cancelled != nil {
+		solver.SetCancel(cancelled)
+	}
+	// Assumption literals may name variables past the clause section.
+	for _, q := range queries {
+		for _, l := range q {
+			for solver.NumVars() <= int(l.Var()) {
+				solver.NewVar()
+			}
+		}
+	}
+	code := 0
+	var prev sat.Stats
+	for i, q := range queries {
+		status := solver.SolveAssuming(q...)
+		var model []bool
+		if status == sat.StatusSat {
+			model = solver.Model()
+		}
+		if stats {
+			cum := solver.Stats()
+			fmt.Fprintf(stdout, "c query %d assumptions=%d\n", i+1, len(q))
+			printStats(stdout, cum.Sub(prev))
+			prev = cum
+		}
+		code = printVerdict(stdout, status, model, solver.NumVars())
+	}
+	return code
+}
+
+// abs is integer absolute value (DIMACS literals are small).
+func abs(n int) int {
+	if n < 0 {
+		return -n
+	}
+	return n
 }

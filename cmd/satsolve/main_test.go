@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -110,3 +111,62 @@ func TestRunTimeout(t *testing.T) {
 		}
 	}
 }
+
+func TestRunIncremental(t *testing.T) {
+	// (x1 ∨ x2): SAT under x1, SAT under ¬x1 (forces x2), UNSAT under
+	// {¬x1, ¬x2}.
+	in := strings.NewReader("p inccnf\np cnf 2 1\n1 2 0\na 1 0\na -1 0\na -1 -2 0\n")
+	var out bytes.Buffer
+	code := run([]string{"-incremental", "-stats"}, in, &out)
+	if code != 20 { // last query is UNSAT
+		t.Fatalf("exit code = %d, want 20:\n%s", code, out.String())
+	}
+	s := out.String()
+	if n := strings.Count(s, "s SATISFIABLE"); n != 2 {
+		t.Fatalf("want 2 SAT answers, got %d:\n%s", n, s)
+	}
+	if n := strings.Count(s, "s UNSATISFIABLE"); n != 1 {
+		t.Fatalf("want 1 UNSAT answer, got %d:\n%s", n, s)
+	}
+	if !strings.Contains(s, "c query 3 assumptions=2") {
+		t.Fatalf("missing per-query stats header:\n%s", s)
+	}
+	if !strings.Contains(s, "c arena gcs=") {
+		t.Fatalf("missing arena stats:\n%s", s)
+	}
+}
+
+func TestRunIncrementalRejectsParallel(t *testing.T) {
+	in := strings.NewReader("p cnf 1 1\n1 0\n")
+	var out bytes.Buffer
+	if code := run([]string{"-incremental", "-workers", "2"}, in, &out); code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+}
+
+func TestRunStatsLBDProfile(t *testing.T) {
+	// PHP(5,4) is UNSAT with enough conflicts to learn clauses.
+	var in bytes.Buffer
+	cnf := sat.PigeonholeCNF(4)
+	in.WriteString("p cnf ")
+	in.WriteString(itoa(cnf.NumVars))
+	in.WriteString(" ")
+	in.WriteString(itoa(cnf.NumClauses()))
+	in.WriteString("\n")
+	for _, c := range cnf.Clauses {
+		for _, l := range c {
+			in.WriteString(l.String())
+			in.WriteString(" ")
+		}
+		in.WriteString("0\n")
+	}
+	var out bytes.Buffer
+	if code := run([]string{"-stats"}, &in, &out); code != 20 {
+		t.Fatalf("exit code = %d, want 20:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "c lbd mean=") {
+		t.Fatalf("missing LBD profile:\n%s", out.String())
+	}
+}
+
+func itoa(n int) string { return strconv.Itoa(n) }

@@ -694,6 +694,9 @@ type statsJSON struct {
 	Clauses     int   `json:"clauses,omitempty"`
 	TranslateNS int64 `json:"translate_ns,omitempty"`
 	SolveNS     int64 `json:"solve_ns,omitempty"`
+	Conflicts   int64 `json:"conflicts,omitempty"`
+	Props       int64 `json:"propagations,omitempty"`
+	LearntCl    int64 `json:"learnt_clauses,omitempty"`
 	Runs        int   `json:"runs,omitempty"`
 	Converged   int   `json:"converged,omitempty"`
 	Deliveries  int   `json:"deliveries,omitempty"`
@@ -756,6 +759,9 @@ func EncodeResult(r *Result) ([]byte, error) {
 		Clauses:     r.Stats.Clauses,
 		TranslateNS: int64(r.Stats.TranslateTime),
 		SolveNS:     int64(r.Stats.SolveTime),
+		Conflicts:   r.Stats.Conflicts,
+		Props:       r.Stats.Propagations,
+		LearntCl:    r.Stats.LearntClauses,
 		Runs:        r.Stats.Runs,
 		Converged:   r.Stats.Converged,
 		Deliveries:  r.Stats.Deliveries,
@@ -825,6 +831,9 @@ func DecodeResult(data []byte) (Result, error) {
 			Clauses:       w.Stats.Clauses,
 			TranslateTime: time.Duration(w.Stats.TranslateNS),
 			SolveTime:     time.Duration(w.Stats.SolveNS),
+			Conflicts:     w.Stats.Conflicts,
+			Propagations:  w.Stats.Props,
+			LearntClauses: w.Stats.LearntCl,
 			Runs:          w.Stats.Runs,
 			Converged:     w.Stats.Converged,
 			Deliveries:    w.Stats.Deliveries,
@@ -962,6 +971,14 @@ func CacheKey(s *Scenario, e Engine) (string, error) {
 	// — the same verification — share one address.
 	if sim, ok := e.(Simulation); ok {
 		e = sim.withDefaults()
+	}
+	// The session pool is a runtime handle, not configuration: an
+	// incremental run returns the same verdict as a one-shot run of the
+	// same scenario, so both share one address (and the pointer would
+	// make the key nondeterministic anyway).
+	if se, ok := e.(SAT); ok {
+		se.Sessions = nil
+		e = se
 	}
 	h := sha256.New()
 	// %T pins the adapter type, %+v its configuration in declared field

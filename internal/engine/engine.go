@@ -27,6 +27,26 @@ type RelationalModel interface {
 	RelationalProblem() (b *relalg.Bounds, axioms, assertion relalg.Formula)
 }
 
+// IncrementalRelationalModel is the optional extension a RelationalModel
+// implements to opt into shared incremental SAT sessions. Models whose
+// BaseKeys match share one persistent solver: the session is seeded by
+// the first such model seen (bounds + axioms translated once), and every
+// later variant is activated by an assumption literal over the seed's
+// translation, retaining learnt clauses across the sweep. Because each
+// decode of a model spec builds fresh relation pointers, a variant's own
+// assertion formula is useless to the seed's translator — AssertionFor
+// rebuilds it over the callee's relations from the variant key alone.
+type IncrementalRelationalModel interface {
+	RelationalModel
+	// IncrementalKeys returns (baseKey, variantKey): models with equal
+	// baseKeys share bounds and axioms and may share a session; the
+	// variantKey names this model's assertion within that family.
+	IncrementalKeys() (baseKey, variantKey string)
+	// AssertionFor rebuilds the assertion named by variantKey over THIS
+	// model's bounds and relations.
+	AssertionFor(variantKey string) (relalg.Formula, error)
+}
+
 // Scenario is one verification scenario: everything an Engine needs to
 // check the MCA consensus property one way. It is a value — agents are
 // described by configs and rebuilt fresh for every Verify call — so a
@@ -132,6 +152,11 @@ type Stats struct {
 	Clauses       int
 	TranslateTime time.Duration
 	SolveTime     time.Duration
+	// SAT search effort (per solve, even on incremental sessions whose
+	// solver accumulates across variants).
+	Conflicts     int64
+	Propagations  int64
+	LearntClauses int64
 	// Simulation: executions run, how many converged, message effort.
 	Runs       int
 	Converged  int

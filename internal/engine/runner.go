@@ -29,6 +29,13 @@ type RunnerOptions struct {
 	// results are never cached, and scenarios the codec cannot encode
 	// simply bypass the cache.
 	Cache ResultCache
+	// IncrementalSAT shares one SAT session pool across the batch: SAT
+	// scenarios whose models implement IncrementalRelationalModel and
+	// share a base (same encoding and scope, differing only in their
+	// assertion variant) reuse one persistent translation and solver,
+	// keeping learnt clauses warm across the sweep grid. Verdicts are
+	// unchanged; only the effort per variant shrinks.
+	IncrementalSAT bool
 }
 
 // ResultCache is the Runner's pluggable verification cache, keyed by
@@ -65,11 +72,18 @@ func (o RunnerOptions) engineFor(s Scenario) Engine {
 // aggregated report.
 type Runner struct {
 	opts RunnerOptions
+	// pool backs IncrementalSAT: one session pool shared by every SAT
+	// scenario of this runner's batches.
+	pool *SessionPool
 }
 
 // NewRunner builds a batch runner.
 func NewRunner(opts RunnerOptions) *Runner {
-	return &Runner{opts: opts.withDefaults()}
+	r := &Runner{opts: opts.withDefaults()}
+	if opts.IncrementalSAT {
+		r.pool = NewSessionPool()
+	}
+	return r
 }
 
 // Stream verifies the scenarios on the worker pool and sends each
@@ -125,7 +139,20 @@ func (r *Runner) runOne(ctx context.Context, s Scenario) Result {
 		// report it inconclusive instead of running it.
 		return Result{Scenario: s.Name, Engine: "runner", Status: StatusInconclusive, Err: ctx.Err()}
 	}
-	return VerifyCached(ctx, r.opts.engineFor(s), s, r.opts.Cache)
+	eng := r.opts.engineFor(s)
+	if r.pool != nil {
+		// Resolve Auto here so the pool reaches the SAT adapter it would
+		// delegate to; CacheKey performs the same resolution, so content
+		// addresses are unaffected.
+		if auto, ok := eng.(Auto); ok {
+			eng = auto.EngineFor(s)
+		}
+		if se, ok := eng.(SAT); ok && se.Sessions == nil {
+			se.Sessions = r.pool
+			eng = se
+		}
+	}
+	return VerifyCached(ctx, eng, s, r.opts.Cache)
 }
 
 // Run verifies the scenarios and returns the results indexed by

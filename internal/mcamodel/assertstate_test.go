@@ -1,0 +1,50 @@
+package mcamodel
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/relalg"
+)
+
+func TestWithAssertStateVariants(t *testing.T) {
+	sc := Scope{PNodes: 2, VNodes: 1, Values: 2, States: 3, Msgs: 1, IntBitwidth: 2}
+	enc, err := BuildOptimized(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k <= sc.States; k++ {
+		v, err := enc.WithAssertState(k)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if v.AssertState != k {
+			t.Fatalf("k=%d: AssertState=%d", k, v.AssertState)
+		}
+		if v.Bounds != enc.Bounds || v.Background != enc.Background {
+			t.Fatalf("k=%d: variant does not share bounds/background with the base", k)
+		}
+		base, variant := v.IncrementalKeys()
+		if wantBase, _ := enc.IncrementalKeys(); base != wantBase {
+			t.Fatalf("k=%d: base key %q differs from seed's %q", k, base, wantBase)
+		}
+		// AssertionFor must rebuild the same formula the variant carries
+		// (identical closure, identical state index ⇒ equal rendering).
+		f, err := enc.AssertionFor(variant)
+		if err != nil {
+			t.Fatalf("k=%d: AssertionFor: %v", k, err)
+		}
+		if relalg.FormulaString(f) != relalg.FormulaString(v.Consensus) {
+			t.Fatalf("k=%d: AssertionFor disagrees with WithAssertState", k)
+		}
+	}
+	if _, err := enc.WithAssertState(sc.States + 1); err == nil {
+		t.Fatal("out-of-range assert state accepted")
+	}
+	if _, err := enc.AssertionFor("bogus"); err == nil || !strings.Contains(err.Error(), "malformed") {
+		t.Fatalf("malformed variant key: %v", err)
+	}
+	if _, err := (&Encoding{Name: "adhoc", Scope: sc}).ConsensusAt(0); err == nil {
+		t.Fatal("builder-less encoding produced a per-state consensus")
+	}
+}

@@ -26,6 +26,9 @@ import (
 type modelSpecJSON struct {
 	Encoding string    `json:"encoding"`
 	Scope    scopeJSON `json:"scope"`
+	// AssertState selects the trace state the consensus assertion ranges
+	// over: 0 (omitted) is the final state, k > 0 the 1-based state k.
+	AssertState int `json:"assert_state,omitempty"`
 }
 
 type scopeJSON struct {
@@ -69,6 +72,7 @@ func encodeModelSpec(m engine.RelationalModel) (json.RawMessage, bool, error) {
 			Triples:     e.Scope.Triples,
 			BidVectors:  e.Scope.BidVectors,
 		},
+		AssertState: e.AssertState,
 	})
 	if err != nil {
 		return nil, false, err
@@ -96,11 +100,23 @@ func decodeModelSpec(spec json.RawMessage) (engine.RelationalModel, error) {
 		Triples:     w.Scope.Triples,
 		BidVectors:  w.Scope.BidVectors,
 	}
+	var (
+		e   *Encoding
+		err error
+	)
 	switch w.Encoding {
 	case "naive":
-		return BuildNaive(sc)
+		e, err = BuildNaive(sc)
 	case "optimized":
-		return BuildOptimized(sc)
+		e, err = BuildOptimized(sc)
+	default:
+		return nil, fmt.Errorf("mcamodel: unknown encoding %q (want naive|optimized)", w.Encoding)
 	}
-	return nil, fmt.Errorf("mcamodel: unknown encoding %q (want naive|optimized)", w.Encoding)
+	if err != nil {
+		return nil, err
+	}
+	if w.AssertState != 0 {
+		return e.WithAssertState(w.AssertState)
+	}
+	return e, nil
 }

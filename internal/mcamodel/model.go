@@ -67,9 +67,20 @@ type Encoding struct {
 	Scope      Scope
 	Bounds     *relalg.Bounds
 	Background relalg.Formula
-	// Consensus is the assertion: the final state satisfies
-	// consensusPred (all agents agree on winners and winning bids).
+	// Consensus is the assertion: the asserted state satisfies
+	// consensusPred (all agents agree on winners and winning bids). By
+	// default that is the final trace state; see WithAssertState.
 	Consensus relalg.Formula
+	// AssertState records which trace state Consensus ranges over:
+	// 0 means the final state (the default), k > 0 the 1-based state k.
+	// Variants of one scope that differ only here share bounds and
+	// background — the shape the engine's incremental SAT sessions
+	// solve without re-translating.
+	AssertState int
+
+	// consensusAt rebuilds the consensus assertion over a 0-based trace
+	// state, closing over the builder's relations.
+	consensusAt func(stateIdx int) relalg.Formula
 }
 
 // ModelName implements engine.RelationalModel.
@@ -79,6 +90,62 @@ func (e *Encoding) ModelName() string { return e.Name }
 // facts are the axioms and the consensus predicate is the assertion.
 func (e *Encoding) RelationalProblem() (*relalg.Bounds, relalg.Formula, relalg.Formula) {
 	return e.Bounds, e.Background, e.Consensus
+}
+
+// ConsensusAt returns the consensus assertion over the given 0-based
+// trace state, built over this encoding's own bounds and relations.
+func (e *Encoding) ConsensusAt(stateIdx int) (relalg.Formula, error) {
+	if e.consensusAt == nil {
+		return nil, fmt.Errorf("mcamodel: encoding %q was not produced by a builder; no per-state consensus available", e.Name)
+	}
+	if stateIdx < 0 || stateIdx >= e.Scope.States {
+		return nil, fmt.Errorf("mcamodel: assert state %d out of range [0,%d)", stateIdx, e.Scope.States)
+	}
+	return e.consensusAt(stateIdx), nil
+}
+
+// WithAssertState returns a copy of the encoding whose consensus
+// assertion ranges over the given trace state: 0 selects the final
+// state (the builder default), k > 0 the 1-based state k. The copy
+// shares bounds and background with the receiver, so a sweep over
+// assert states is an incremental-SAT-friendly variant family.
+func (e *Encoding) WithAssertState(k int) (*Encoding, error) {
+	out := *e
+	out.AssertState = k
+	idx := e.Scope.States - 1
+	if k > 0 {
+		idx = k - 1
+	}
+	f, err := e.ConsensusAt(idx)
+	if err != nil {
+		return nil, err
+	}
+	out.Consensus = f
+	return &out, nil
+}
+
+// IncrementalKeys implements engine.IncrementalRelationalModel:
+// encodings of one builder and scope share their translation base, and
+// the asserted state distinguishes the variants.
+func (e *Encoding) IncrementalKeys() (string, string) {
+	return fmt.Sprintf("mca-model/%s/%+v", e.Name, e.Scope),
+		fmt.Sprintf("assert_state=%d", e.AssertState)
+}
+
+// AssertionFor implements engine.IncrementalRelationalModel: it
+// rebuilds the assertion named by a variant key over THIS encoding's
+// relations, so a session seeded by one sweep variant can solve the
+// others against its own translation.
+func (e *Encoding) AssertionFor(variantKey string) (relalg.Formula, error) {
+	var k int
+	if _, err := fmt.Sscanf(variantKey, "assert_state=%d", &k); err != nil {
+		return nil, fmt.Errorf("mcamodel: malformed variant key %q: %w", variantKey, err)
+	}
+	idx := e.Scope.States - 1
+	if k > 0 {
+		idx = k - 1
+	}
+	return e.ConsensusAt(idx)
 }
 
 // atomNames generates prefixed atom names.

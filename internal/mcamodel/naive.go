@@ -203,26 +203,32 @@ func BuildNaive(sc Scope) (*Encoding, error) {
 			relalg.Subset(relalg.V(p2), relalg.V(p)))))
 	facts = append(facts, initial)
 
-	// Consensus assertion over the final state: all agents agree on
-	// winners and winning bids (the paper's consensusPred).
-	sLast := relalg.SingleExpr(u, states[len(states)-1])
-	lastBid := func(p, v *relalg.Var) relalg.Expr {
-		return relalg.Join(relalg.V(v), relalg.Join(relalg.V(p), relalg.Join(sLast, relalg.R(rBid))))
+	// Consensus assertion: all agents agree on winners and winning bids
+	// (the paper's consensusPred). Parameterized by the trace state it
+	// ranges over — the default assertion uses the final state, and
+	// ConsensusAt rebuilds it over any state so a sweep of per-state
+	// variants shares these bounds and facts.
+	consensusAt := func(idx int) relalg.Formula {
+		sAt := relalg.SingleExpr(u, states[idx])
+		bidIn := func(p, v *relalg.Var) relalg.Expr {
+			return relalg.Join(relalg.V(v), relalg.Join(relalg.V(p), relalg.Join(sAt, relalg.R(rBid))))
+		}
+		winIn := func(p, v *relalg.Var) relalg.Expr {
+			return relalg.Join(relalg.V(v), relalg.Join(relalg.V(p), relalg.Join(sAt, relalg.R(rWin))))
+		}
+		return relalg.ForAll(p, pnodeE, relalg.ForAll(q, pnodeE, relalg.ForAll(v, vnodeE,
+			relalg.And(
+				relalg.Equal(bidIn(p, v), bidIn(q, v)),
+				relalg.Equal(winIn(p, v), winIn(q, v)),
+			))))
 	}
-	lastWin := func(p, v *relalg.Var) relalg.Expr {
-		return relalg.Join(relalg.V(v), relalg.Join(relalg.V(p), relalg.Join(sLast, relalg.R(rWin))))
-	}
-	consensus := relalg.ForAll(p, pnodeE, relalg.ForAll(q, pnodeE, relalg.ForAll(v, vnodeE,
-		relalg.And(
-			relalg.Equal(lastBid(p, v), lastBid(q, v)),
-			relalg.Equal(lastWin(p, v), lastWin(q, v)),
-		))))
 
 	return &Encoding{
-		Name:       "naive",
-		Scope:      sc,
-		Bounds:     b,
-		Background: relalg.And(facts...),
-		Consensus:  consensus,
+		Name:        "naive",
+		Scope:       sc,
+		Bounds:      b,
+		Background:  relalg.And(facts...),
+		Consensus:   consensusAt(len(states) - 1),
+		consensusAt: consensusAt,
 	}, nil
 }

@@ -233,29 +233,34 @@ func BuildOptimized(sc Scope) (*Encoding, error) {
 			relalg.V(p)))
 	facts = append(facts, initial)
 
-	// Consensus over the final state.
-	sLast := relalg.SingleExpr(u, states[len(states)-1])
-	lastTriple := func(p, v *relalg.Var) relalg.Expr {
-		return relalg.Intersect(
-			relalg.Join(
-				relalg.Intersect(
-					relalg.Join(sLast, relalg.R(rStateBv)),
-					relalg.Join(relalg.R(rBvOwner), relalg.V(p))),
-				relalg.R(rBvTriples)),
-			relalg.Join(relalg.R(rTv), relalg.V(v)),
-		)
+	// Consensus assertion, parameterized by the trace state it ranges
+	// over (the default uses the final state; ConsensusAt rebuilds it
+	// over any state for per-state sweep variants).
+	consensusAt := func(idx int) relalg.Formula {
+		sAt := relalg.SingleExpr(u, states[idx])
+		tripleIn := func(p, v *relalg.Var) relalg.Expr {
+			return relalg.Intersect(
+				relalg.Join(
+					relalg.Intersect(
+						relalg.Join(sAt, relalg.R(rStateBv)),
+						relalg.Join(relalg.R(rBvOwner), relalg.V(p))),
+					relalg.R(rBvTriples)),
+				relalg.Join(relalg.R(rTv), relalg.V(v)),
+			)
+		}
+		return relalg.ForAll(p, pnodeE, relalg.ForAll(q, pnodeE, relalg.ForAll(v, vnodeE,
+			relalg.And(
+				relalg.Equal(bidOf(tripleIn(p, v)), bidOf(tripleIn(q, v))),
+				relalg.Equal(winOf(tripleIn(p, v)), winOf(tripleIn(q, v))),
+			))))
 	}
-	consensus := relalg.ForAll(p, pnodeE, relalg.ForAll(q, pnodeE, relalg.ForAll(v, vnodeE,
-		relalg.And(
-			relalg.Equal(bidOf(lastTriple(p, v)), bidOf(lastTriple(q, v))),
-			relalg.Equal(winOf(lastTriple(p, v)), winOf(lastTriple(q, v))),
-		))))
 
 	return &Encoding{
-		Name:       "optimized",
-		Scope:      sc,
-		Bounds:     b,
-		Background: relalg.And(facts...),
-		Consensus:  consensus,
+		Name:        "optimized",
+		Scope:       sc,
+		Bounds:      b,
+		Background:  relalg.And(facts...),
+		Consensus:   consensusAt(len(states) - 1),
+		consensusAt: consensusAt,
 	}, nil
 }

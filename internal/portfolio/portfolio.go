@@ -296,12 +296,7 @@ func SolveCube(f *sat.CNF, opts Options) Result {
 		// workerStats is safe to read here — the answers channel only
 		// closes after every worker goroutine has returned.
 		for _, st := range workerStats {
-			res.Stats.Conflicts += st.Conflicts
-			res.Stats.Decisions += st.Decisions
-			res.Stats.Propagations += st.Propagations
-			res.Stats.Restarts += st.Restarts
-			res.Stats.Learnt += st.Learnt
-			res.Stats.Deleted += st.Deleted
+			res.Stats.Add(st)
 		}
 	}
 	res.Wall = time.Since(start)

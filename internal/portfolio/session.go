@@ -1,0 +1,104 @@
+package portfolio
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/sat"
+)
+
+// Session is a persistent portfolio: diversified solver members loaded
+// with one base formula that race repeated SolveAssuming calls. Unlike
+// Solve, which builds fresh members per call, a session's members keep
+// their learnt clauses, variable activities, and saved phases across
+// calls — the incremental backend for sweeping many variants (each a
+// set of assumption literals, typically activation gates for variant
+// constraints) over one translation. Sessions are not safe for
+// concurrent use; serialize calls externally.
+type Session struct {
+	opts    Options
+	members []*sat.Solver
+}
+
+// NewSession loads the base formula into Workers diversified members.
+func NewSession(f *sat.CNF, opts Options) *Session {
+	opts = opts.withDefaults()
+	se := &Session{opts: opts}
+	for _, cfg := range DiversifiedOptions(opts.Base, opts.Workers) {
+		s := sat.NewSolverWithOptions(cfg)
+		// ErrAddAfterUnsat just means the member already knows the base
+		// is unsat; the next solve reports that.
+		_ = f.LoadInto(s)
+		se.members = append(se.members, s)
+	}
+	return se
+}
+
+// NumMembers returns the portfolio width.
+func (se *Session) NumMembers() int { return len(se.members) }
+
+// Extend grows every member to numVars variables and adds the given
+// clauses — the increment sat.Solver.ExportSince produces when more of
+// the formula was translated since the last call. Learnt clauses are
+// kept: added clauses only constrain the formula further, so everything
+// previously learnt remains implied.
+func (se *Session) Extend(numVars int, clauses [][]sat.Lit) {
+	for _, s := range se.members {
+		for s.NumVars() < numVars {
+			s.NewVar()
+		}
+		for _, c := range clauses {
+			if err := s.AddClause(c...); err != nil {
+				break // member already unsat at root
+			}
+		}
+	}
+}
+
+// SolveAssuming races every member on the base formula under the given
+// assumptions; the first definite answer wins and cancels the rest.
+// Losing members return to an idle, reusable state with their clause
+// databases intact.
+func (se *Session) SolveAssuming(assumptions ...sat.Lit) Result {
+	start := time.Now()
+	var done atomic.Bool
+	type answer struct {
+		status sat.Status
+		model  []bool
+		stats  sat.Stats
+		member int
+	}
+	answers := make(chan answer, len(se.members))
+	var wg sync.WaitGroup
+	for i, s := range se.members {
+		wg.Add(1)
+		go func(member int, s *sat.Solver) {
+			defer wg.Done()
+			s.SetCancel(memberCancel(&done, se.opts.Cancel))
+			status := s.SolveAssuming(assumptions...)
+			if status == sat.StatusUnknown {
+				return // cancelled or conflict budget exhausted
+			}
+			a := answer{status: status, stats: s.Stats(), member: member}
+			if status == sat.StatusSat {
+				a.model = s.Model()
+			}
+			answers <- a
+			done.Store(true)
+		}(i, s)
+	}
+	go func() { wg.Wait(); close(answers) }()
+
+	res := Result{Status: sat.StatusUnknown, Winner: -1}
+	for a := range answers {
+		if res.Status == sat.StatusUnknown {
+			res.Status = a.status
+			res.Model = a.model
+			res.Stats = a.stats
+			res.Winner = a.member
+		}
+	}
+	res.Wall = time.Since(start)
+	return res
+}

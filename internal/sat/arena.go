@@ -1,0 +1,140 @@
+package sat
+
+import "math"
+
+// The clause arena stores every clause of three or more literals in one
+// flat []uint32, addressed by 32-bit clause references (cref). This
+// replaces the old []*clause representation: a watch-list walk touches
+// one contiguous slice instead of chasing a pointer per clause, learnt
+// clauses carry their LBD and activity inline, and deleting clauses
+// never frees individual objects — dead words are counted and reclaimed
+// by a compacting GC that relocates live clauses and rewrites the
+// references held by watch lists and implication reasons.
+//
+// Layout, with c the cref (index of the header word):
+//
+//	problem clause:           [size<<2|flags] lit0 lit1 lit2 ...
+//	learnt clause:  [lbd][act] [size<<2|flags] lit0 lit1 lit2 ...
+//
+// The two learnt-only words sit *before* the header so the hot path —
+// size decode plus literal walk — is identical for both kinds. act
+// holds math.Float32bits of the clause activity. flags are flagLearnt
+// and flagReloc; during GC a relocated clause's header gains flagReloc
+// and its first literal slot holds the forwarding cref.
+
+// cref is a 32-bit reference into the clause arena. Only clauses of
+// three or more literals live there: binaries are inlined into the
+// binary watch lists and units become trail assignments.
+type cref uint32
+
+// crefUndef is the "no clause" sentinel.
+const crefUndef cref = ^cref(0)
+
+const (
+	flagLearnt    = 1
+	flagReloc     = 2
+	arenaSizeBits = 2 // size is stored as header >> arenaSizeBits
+)
+
+// arena is the flat clause store.
+type arena struct {
+	data   []uint32
+	wasted uint32 // words occupied by deleted clauses, reclaimed by GC
+}
+
+// clauseWords returns the total footprint in words of the clause at c.
+func clauseWords(header uint32) uint32 {
+	n := 1 + header>>arenaSizeBits
+	if header&flagLearnt != 0 {
+		n += 2
+	}
+	return n
+}
+
+// allocProblem appends a problem clause and returns its cref.
+func (a *arena) allocProblem(lits []Lit) cref {
+	c := cref(len(a.data))
+	a.data = append(a.data, uint32(len(lits))<<arenaSizeBits)
+	for _, l := range lits {
+		a.data = append(a.data, uint32(l))
+	}
+	a.checkBounds()
+	return c
+}
+
+// allocLearnt appends a learnt clause with its LBD and activity and
+// returns its cref.
+func (a *arena) allocLearnt(lits []Lit, lbd uint32, act float32) cref {
+	a.data = append(a.data, lbd, math.Float32bits(act))
+	c := cref(len(a.data))
+	a.data = append(a.data, uint32(len(lits))<<arenaSizeBits|flagLearnt)
+	for _, l := range lits {
+		a.data = append(a.data, uint32(l))
+	}
+	a.checkBounds()
+	return c
+}
+
+// checkBounds guards the tagged-reference invariant: crefs must fit in
+// 31 bits so a reason word can spare its top bit for the binary tag.
+// 2^31 words is an 8 GiB arena — far past any workload this repo runs,
+// so this is an assertion, not a recoverable condition.
+func (a *arena) checkBounds() {
+	if len(a.data) >= 1<<31 {
+		panic("sat: clause arena exceeds 2^31 words")
+	}
+}
+
+// size returns the number of literals of the clause at c.
+func (a *arena) size(c cref) int { return int(a.data[c] >> arenaSizeBits) }
+
+// learnt reports whether the clause at c is learnt.
+func (a *arena) learnt(c cref) bool { return a.data[c]&flagLearnt != 0 }
+
+// lits returns the literal run of the clause at c as a mutable uint32
+// slice (each element is a Lit bit pattern).
+func (a *arena) lits(c cref) []uint32 {
+	return a.data[c+1 : c+1+cref(a.data[c]>>arenaSizeBits)]
+}
+
+// lbd returns the stored LBD of a learnt clause.
+func (a *arena) lbd(c cref) uint32 { return a.data[c-2] }
+
+// setLBD overwrites the stored LBD of a learnt clause.
+func (a *arena) setLBD(c cref, lbd uint32) { a.data[c-2] = lbd }
+
+// activity returns the stored activity of a learnt clause.
+func (a *arena) activity(c cref) float32 { return math.Float32frombits(a.data[c-1]) }
+
+// setActivity overwrites the stored activity of a learnt clause.
+func (a *arena) setActivity(c cref, act float32) { a.data[c-1] = math.Float32bits(act) }
+
+// free marks the clause at c as garbage. The words stay in place until
+// the next compaction; only the waste counter moves.
+func (a *arena) free(c cref) { a.wasted += clauseWords(a.data[c]) }
+
+// shouldGC reports whether the wasted fraction has crossed frac.
+func (a *arena) shouldGC(frac float64) bool {
+	if len(a.data) == 0 {
+		return false
+	}
+	return float64(a.wasted) >= frac*float64(len(a.data))
+}
+
+// relocate moves the clause at c into dst (idempotently: a clause
+// already moved forwards to its new address) and returns the new cref.
+func (a *arena) relocate(c cref, dst *[]uint32) cref {
+	h := a.data[c]
+	if h&flagReloc != 0 {
+		return cref(a.data[c+1])
+	}
+	start, nr := c, cref(len(*dst))
+	if h&flagLearnt != 0 {
+		start -= 2
+		nr += 2
+	}
+	*dst = append(*dst, a.data[start:c+1+cref(h>>arenaSizeBits)]...)
+	a.data[c] |= flagReloc
+	a.data[c+1] = uint32(nr)
+	return nr
+}

@@ -1,0 +1,52 @@
+package sat
+
+// ClauseMark is a snapshot of a solver's clause streams, taken with
+// Mark and consumed by ExportSince. The three cursors cover the three
+// places an added clause can land: root-level unit assignments on the
+// trail, inline binary clauses, and long clauses in the arena.
+type ClauseMark struct {
+	Units int
+	Bins  int
+	Longs int
+}
+
+// Mark records the current position of the solver's problem-clause
+// streams. The solver is first backtracked to the root level so the
+// trail prefix counted here is exactly the root-level units.
+func (s *Solver) Mark() ClauseMark {
+	s.backtrack(0)
+	return ClauseMark{Units: len(s.trail), Bins: len(s.bins), Longs: len(s.clauses)}
+}
+
+// ExportSince returns every problem clause added after the mark, as
+// plain literal slices: root units (including units derived by root
+// propagation — they are implied, so exporting them is sound), then
+// binaries, then long clauses. Together with the variable count from
+// NumVars this is the increment a portfolio member needs to stay
+// equisatisfiable with this solver after more of the formula was added:
+// a member that has received every prior export sees the same root
+// facts, so AddClause performs the same simplifications. If the solver
+// has become unsatisfiable at the root, the export is the single empty
+// clause.
+func (s *Solver) ExportSince(m ClauseMark) [][]Lit {
+	if !s.ok {
+		return [][]Lit{{}}
+	}
+	s.backtrack(0)
+	out := make([][]Lit, 0, len(s.trail)-m.Units+len(s.bins)-m.Bins+len(s.clauses)-m.Longs)
+	for _, l := range s.trail[m.Units:] {
+		out = append(out, []Lit{l})
+	}
+	for _, bc := range s.bins[m.Bins:] {
+		out = append(out, []Lit{bc[0], bc[1]})
+	}
+	for _, c := range s.clauses[m.Longs:] {
+		ls := s.ca.lits(c)
+		cl := make([]Lit, len(ls))
+		for i, u := range ls {
+			cl[i] = Lit(u)
+		}
+		out = append(out, cl)
+	}
+	return out
+}

@@ -1,0 +1,194 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// The ablation matrix over the new storage/deletion options: every
+// combination must stay sound against the brute-force oracle.
+func TestOptionsAblationLBDAndArenaGC(t *testing.T) {
+	variants := []Options{
+		{},
+		{DisableLBD: true},
+		{CoreLBD: 2},
+		{CoreLBD: 5},
+		{GCFrac: 0.01}, // compact aggressively
+		{GCFrac: 0.9},  // compact almost never
+		{DisableLBD: true, GCFrac: 0.01},
+		{CoreLBD: 2, GCFrac: 0.05, DisableRestarts: true},
+		{DisableVSIDS: true, GCFrac: 0.01},
+	}
+	for seed := int64(0); seed < 6; seed++ {
+		f := randomCNF(18, 80, 3, seed+900)
+		want, _ := SolveBrute(f)
+		for i, opt := range variants {
+			s := NewSolverWithOptions(opt)
+			if err := f.LoadInto(s); err != nil {
+				t.Fatal(err)
+			}
+			if got := s.Solve(); got != want {
+				t.Errorf("seed %d variant %d (%+v): got %v, want %v", seed, i, opt, got, want)
+			}
+		}
+	}
+}
+
+// Arena compaction must relocate clauses without corrupting the model:
+// force GCs with a tiny threshold on an instance large enough to learn
+// and delete many clauses, then re-evaluate the model.
+func TestModelValidAfterArenaCompaction(t *testing.T) {
+	for seed := int64(0); seed < 2; seed++ {
+		f := randomCNF(100, 400, 3, seed+3100) // under the 4.26 threshold: mostly SAT
+		s := NewSolverWithOptions(Options{GCFrac: 0.01})
+		if err := f.LoadInto(s); err != nil {
+			t.Fatal(err)
+		}
+		status := s.Solve()
+		want, _ := SolveBrute(f)
+		if status != want {
+			t.Fatalf("seed %d: got %v, DPLL oracle %v", seed, status, want)
+		}
+		if status == StatusSat && !f.Eval(s.Model()) {
+			t.Fatalf("seed %d: model does not satisfy the formula after compaction", seed)
+		}
+	}
+	// Dedicated check that the tiny threshold actually triggers GCs on a
+	// conflict-heavy instance, so the relocation path is exercised.
+	s := NewSolverWithOptions(Options{GCFrac: 0.01})
+	if err := PigeonholeCNF(7).LoadInto(s); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Solve(); got != StatusUnsat {
+		t.Fatalf("PHP(8,7) = %v, want UNSAT", got)
+	}
+	if st := s.Stats(); st.ArenaGCs == 0 {
+		t.Fatalf("GCFrac=0.01 never compacted (deleted %d clauses)", st.Deleted)
+	}
+}
+
+// Property: a persistent solver answering a random sequence of
+// assumption sets agrees with a fresh solver (and the brute oracle) on
+// every query — learnt clauses carried across solves never change a
+// verdict.
+func TestRandomAssumptionSequencesIncrementalVsFresh(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed ^ 0x2c55))
+		vars := 6 + rng.Intn(6)
+		cnf := randomCNF(vars, vars*4, 3, seed^0xbeef)
+		inc := NewSolver()
+		if err := cnf.LoadInto(inc); err != nil {
+			return false
+		}
+		for q := 0; q < 5; q++ {
+			n := rng.Intn(4)
+			seen := map[Var]bool{}
+			var asms []Lit
+			for len(asms) < n {
+				v := Var(rng.Intn(vars))
+				if seen[v] {
+					continue
+				}
+				seen[v] = true
+				asms = append(asms, MkLit(v, rng.Intn(2) == 0))
+			}
+			got := inc.SolveAssuming(asms...)
+
+			fresh := NewSolver()
+			if err := cnf.LoadInto(fresh); err != nil {
+				return false
+			}
+			if fresh.SolveAssuming(asms...) != got {
+				t.Logf("seed %d query %d: incremental %v disagrees with fresh solver", seed, q, got)
+				return false
+			}
+			ref := &CNF{NumVars: cnf.NumVars}
+			for _, c := range cnf.Clauses {
+				ref.AddClause(c...)
+			}
+			for _, a := range asms {
+				ref.AddClause(a)
+			}
+			want, _ := SolveBrute(ref)
+			if got != want {
+				t.Logf("seed %d query %d: got %v, brute %v", seed, q, got, want)
+				return false
+			}
+			if got == StatusSat && !ref.Eval(inc.Model()) {
+				t.Logf("seed %d query %d: model violates formula+assumptions", seed, q)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Every clause ExportSince hands out must be implied by the original
+// formula: root units, root binaries, and problem clauses alike (learnt
+// clauses are not exported — they are derived, so exporting them would
+// also be sound, but the contract is "clauses added since the mark").
+func TestExportSinceClausesImplied(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		cnf := randomCNF(14, 56, 3, seed+7000)
+		s := NewSolver()
+		m := s.Mark()
+		if err := cnf.LoadInto(s); err != nil {
+			t.Fatal(err)
+		}
+		s.Solve() // root-level propagation may add units since the mark
+		exported := s.ExportSince(m)
+		for ci, c := range exported {
+			if len(c) == 0 {
+				// The UNSAT marker: the formula itself must be UNSAT.
+				if want, _ := SolveBrute(cnf); want != StatusUnsat {
+					t.Fatalf("seed %d: empty export from a satisfiable formula", seed)
+				}
+				continue
+			}
+			// F ∧ ¬C must be UNSAT for an implied clause C.
+			ref := &CNF{NumVars: cnf.NumVars}
+			for _, orig := range cnf.Clauses {
+				ref.AddClause(orig...)
+			}
+			for _, l := range c {
+				ref.AddClause(l.Not())
+			}
+			if want, _ := SolveBrute(ref); want != StatusUnsat {
+				t.Fatalf("seed %d: exported clause %d (%v) is not implied", seed, ci, c)
+			}
+		}
+	}
+}
+
+// Mark/ExportSince: loading the exported suffix into a second solver
+// must reproduce the first solver's verdicts under shared assumptions.
+func TestExportSinceFeedsSecondSolver(t *testing.T) {
+	cnf := randomCNF(12, 44, 3, 5150)
+	a := NewSolver()
+	m := a.Mark()
+	if err := cnf.LoadInto(a); err != nil {
+		t.Fatal(err)
+	}
+	b := NewSolver()
+	for b.NumVars() < a.NumVars() {
+		b.NewVar()
+	}
+	for _, c := range a.ExportSince(m) {
+		if err := b.AddClause(c...); err != nil {
+			if want, _ := SolveBrute(cnf); want != StatusUnsat {
+				t.Fatal("export made the mirror UNSAT but the formula is SAT")
+			}
+			return
+		}
+	}
+	for v := 0; v < cnf.NumVars; v++ {
+		asm := PosLit(Var(v))
+		if ga, gb := a.SolveAssuming(asm), b.SolveAssuming(asm); ga != gb {
+			t.Fatalf("var %d: original %v, mirror %v", v, ga, gb)
+		}
+	}
+}

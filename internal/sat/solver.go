@@ -9,21 +9,40 @@ import (
 // unsatisfiable at the root level.
 var ErrAddAfterUnsat = errors.New("sat: clause added to a solver already proven unsat")
 
-type clause struct {
-	lits     []Lit
-	learnt   bool
-	activity float64
+// watcher is one entry of a long-clause watch list: the clause reference
+// plus a blocker literal whose truth satisfies the clause without
+// touching the arena. Eight bytes per entry keeps watch-list walks
+// inside a few cache lines.
+type watcher struct {
+	cr      cref
+	blocker Lit
 }
 
-type watcher struct {
-	c       *clause
-	blocker Lit // a literal whose truth satisfies the clause cheaply
-}
+// reasonT is the implication reason of an assigned variable, packed into
+// one word. Values:
+//
+//	reasonNone          decision, assumption, or root-level fact
+//	reasonBin | lit     binary clause: the other literal is inlined
+//	cref                long clause in the arena (top bit clear)
+//
+// The arena guards crefs below 2^31 so the tag bit is always free.
+// reasonNone has the tag bit set too, so test it first.
+type reasonT uint32
+
+const (
+	reasonNone reasonT = ^reasonT(0)
+	reasonBin  reasonT = 1 << 31
+)
+
+// lbdSat is the saturation point of the LBD deletion ordering: clauses
+// whose literals span more than this many decision levels compare equal
+// on glue and fall through to the activity tiebreak.
+const lbdSat = 6
 
 // Options tunes solver behaviour. The zero value selects production
-// defaults (VSIDS on, restarts on, clause deletion on). The fields
-// beyond the ablation switches exist to diversify the members of a
-// solver portfolio (internal/portfolio): each racing solver gets a
+// defaults (VSIDS on, restarts on, LBD-tiered clause deletion on). The
+// fields beyond the ablation switches exist to diversify the members of
+// a solver portfolio (internal/portfolio): each racing solver gets a
 // different polarity default, restart cadence, and random perturbation
 // seed so they explore different parts of the search space.
 type Options struct {
@@ -34,6 +53,11 @@ type Options struct {
 	DisableRestarts bool
 	// DisablePhaseSaving always decides the negative polarity first.
 	DisablePhaseSaving bool
+	// DisableLBD falls back to pure activity ordering when halving the
+	// learnt database, the pre-arena policy. The default keeps a core
+	// tier of low-LBD ("glue") clauses forever and deletes worst-glue
+	// first. Used by the heuristic ablation bench.
+	DisableLBD bool
 	// MaxConflicts aborts the search with StatusUnknown after this many
 	// conflicts (0 = unlimited).
 	MaxConflicts int64
@@ -43,6 +67,13 @@ type Options struct {
 	// RestartBase scales the Luby restart sequence (conflicts before the
 	// first restart). 0 means the default of 100.
 	RestartBase int64
+	// CoreLBD is the glue threshold: learnt clauses with LBD at or below
+	// it are never deleted. 0 means the default of 3.
+	CoreLBD int
+	// GCFrac is the fraction of the clause arena that may be wasted by
+	// deleted clauses before a compacting GC runs. 0 means the default
+	// of 0.25; values >= 1 effectively disable compaction.
+	GCFrac float64
 	// RandSeed seeds the solver's deterministic pseudo-random stream
 	// (used only when RandomPolarityFreq > 0). 0 selects a fixed seed,
 	// so equal Options always reproduce the same search.
@@ -56,17 +87,32 @@ type Options struct {
 // NewVar and clauses with AddClause, then call Solve. After a SAT answer,
 // Value reads the model; more clauses may then be added (e.g. blocking
 // clauses for model enumeration) and Solve called again.
+//
+// Storage: clauses of three or more literals live in a flat uint32
+// arena addressed by 32-bit crefs; binary clauses are inlined into
+// dedicated watch lists (binWatches) and never touch the arena; units
+// become root-level trail assignments. Deleted learnts leave dead words
+// behind that a compacting GC reclaims once Options.GCFrac of the arena
+// is waste.
 type Solver struct {
 	opts Options
 
-	clauses []*clause // problem clauses
-	learnts []*clause
+	ca      arena
+	clauses []cref   // problem clauses of size >= 3
+	bins    [][2]Lit // problem binary clauses (for export/counting)
+	learnts []cref   // learnt clauses of size >= 3
 
-	watches [][]watcher // indexed by Lit: clauses watching l.Not() ... see attach
+	// watches[l] holds the long clauses that must be inspected when l
+	// becomes true, i.e. that watch l.Not(). binWatches[l] holds, for
+	// each binary clause (l.Not() ∨ q), the implied literal q.
+	watches    [][]watcher
+	binWatches [][]Lit
+
+	numBinLearnt int // learnt binaries live only in binWatches
 
 	assigns  []LBool // indexed by Var
-	level    []int
-	reason   []*clause
+	level    []int32
+	reason   []reasonT
 	activity []float64
 	phase    []bool // saved polarity: true = last assigned true
 
@@ -84,14 +130,23 @@ type Solver struct {
 
 	rng uint64 // xorshift state for RandomPolarityFreq
 
+	// conflict scratch, valid between propagate()==true and analyze():
+	// conflCr is the conflicting long clause, or crefUndef with the
+	// conflicting binary clause spelled out in conflBin.
+	conflCr  cref
+	conflBin [2]Lit
+
 	// cancelled is polled periodically inside search; when it reports
 	// true the solve returns StatusUnknown. Set via SetCancel.
 	cancelled func() bool
 
-	// scratch buffers for analyze
+	// scratch buffers for analyze and reduceDB
 	seen      []bool
 	analyzeCl []Lit
 	clearList []Lit
+	lbdSeen   []uint64 // per-level stamp array for computeLBD
+	lbdStamp  uint64
+	reduceCl  []cref
 }
 
 // NewSolver returns a solver with default options.
@@ -105,6 +160,7 @@ func NewSolverWithOptions(opts Options) *Solver {
 		s.rng = 0x9e3779b97f4a7c15
 	}
 	s.order = newVarHeap(&s.activity)
+	s.lbdSeen = []uint64{0} // level 0; NewVar adds one slot per level
 	return s
 }
 
@@ -124,14 +180,30 @@ func (s *Solver) nextRand() uint64 {
 	return s.rng
 }
 
+// coreLBD returns the glue tier threshold.
+func (s *Solver) coreLBD() uint32 {
+	if s.opts.CoreLBD > 0 {
+		return uint32(s.opts.CoreLBD)
+	}
+	return 3
+}
+
+// gcFrac returns the arena waste fraction that triggers compaction.
+func (s *Solver) gcFrac() float64 {
+	if s.opts.GCFrac > 0 {
+		return s.opts.GCFrac
+	}
+	return 0.25
+}
+
 // NumVars returns the number of variables created so far.
 func (s *Solver) NumVars() int { return len(s.assigns) }
 
 // NumClauses returns the number of problem (non-learnt) clauses.
-func (s *Solver) NumClauses() int { return len(s.clauses) }
+func (s *Solver) NumClauses() int { return len(s.clauses) + len(s.bins) }
 
 // NumLearnts returns the current number of learnt clauses.
-func (s *Solver) NumLearnts() int { return len(s.learnts) }
+func (s *Solver) NumLearnts() int { return len(s.learnts) + s.numBinLearnt }
 
 // Stats returns a copy of the solver counters.
 func (s *Solver) Stats() Stats { return s.stats }
@@ -141,11 +213,13 @@ func (s *Solver) NewVar() Var {
 	v := Var(len(s.assigns))
 	s.assigns = append(s.assigns, Undef)
 	s.level = append(s.level, -1)
-	s.reason = append(s.reason, nil)
+	s.reason = append(s.reason, reasonNone)
 	s.activity = append(s.activity, 0)
 	s.phase = append(s.phase, s.opts.InvertPhase)
 	s.seen = append(s.seen, false)
 	s.watches = append(s.watches, nil, nil)
+	s.binWatches = append(s.binWatches, nil, nil)
+	s.lbdSeen = append(s.lbdSeen, 0) // decision levels range 0..NumVars
 	s.order.insert(v)
 	return v
 }
@@ -219,32 +293,37 @@ func (s *Solver) AddClause(lits ...Lit) error {
 		s.ok = false
 		return nil
 	case 1:
-		s.uncheckedEnqueue(out[0], nil)
-		if s.propagate() != nil {
+		s.uncheckedEnqueue(out[0], reasonNone)
+		if s.propagate() {
 			s.ok = false
 		}
 		return nil
+	case 2:
+		s.bins = append(s.bins, [2]Lit{out[0], out[1]})
+		s.attachBin(out[0], out[1])
+		return nil
 	}
-	c := &clause{lits: out}
+	c := s.ca.allocProblem(out)
 	s.clauses = append(s.clauses, c)
 	s.attach(c)
 	return nil
 }
 
-// attach registers the first two literals of c as watched.
-func (s *Solver) attach(c *clause) {
-	// watches[l] holds clauses that must be inspected when l becomes
-	// true-negated, i.e. when the watched literal l.Not() is falsified.
-	l0, l1 := c.lits[0], c.lits[1]
-	s.watches[l0.Not()] = append(s.watches[l0.Not()], watcher{c: c, blocker: l1})
-	s.watches[l1.Not()] = append(s.watches[l1.Not()], watcher{c: c, blocker: l0})
+// attach registers the first two literals of the long clause c as
+// watched, each with the other as blocker.
+func (s *Solver) attach(c cref) {
+	ls := s.ca.lits(c)
+	l0, l1 := Lit(ls[0]), Lit(ls[1])
+	s.watches[l0.Not()] = append(s.watches[l0.Not()], watcher{cr: c, blocker: l1})
+	s.watches[l1.Not()] = append(s.watches[l1.Not()], watcher{cr: c, blocker: l0})
 }
 
-func (s *Solver) detach(c *clause) {
-	for _, l := range []Lit{c.lits[0].Not(), c.lits[1].Not()} {
+func (s *Solver) detach(c cref) {
+	ls := s.ca.lits(c)
+	for _, l := range [2]Lit{Lit(ls[0]).Not(), Lit(ls[1]).Not()} {
 		ws := s.watches[l]
 		for i := range ws {
-			if ws[i].c == c {
+			if ws[i].cr == c {
 				ws[i] = ws[len(ws)-1]
 				s.watches[l] = ws[:len(ws)-1]
 				break
@@ -253,78 +332,111 @@ func (s *Solver) detach(c *clause) {
 	}
 }
 
-func (s *Solver) uncheckedEnqueue(l Lit, from *clause) {
+// attachBin records the binary clause (a ∨ b) in both inline watch lists.
+func (s *Solver) attachBin(a, b Lit) {
+	s.binWatches[a.Not()] = append(s.binWatches[a.Not()], b)
+	s.binWatches[b.Not()] = append(s.binWatches[b.Not()], a)
+}
+
+func (s *Solver) uncheckedEnqueue(l Lit, from reasonT) {
 	v := l.Var()
 	if l.Neg() {
 		s.assigns[v] = False
 	} else {
 		s.assigns[v] = True
 	}
-	s.level[v] = s.decisionLevel()
+	s.level[v] = int32(s.decisionLevel())
 	s.reason[v] = from
 	s.phase[v] = !l.Neg()
 	s.trail = append(s.trail, l)
 }
 
-// propagate performs unit propagation; it returns the conflicting clause
-// or nil.
-func (s *Solver) propagate() *clause {
+// propagate performs unit propagation to fixpoint and reports whether a
+// conflict was found; the conflicting clause is left in s.conflCr /
+// s.conflBin for analyze. Per trail literal it makes one pass over the
+// inline binary list — which never touches the arena — and one
+// in-place compacting walk over the long watch list with the blocker
+// fast path. It allocates only when a watch list itself must grow.
+func (s *Solver) propagate() bool {
 	for s.qhead < len(s.trail) {
-		p := s.trail[s.qhead] // p is true; clauses watching p must move
+		p := s.trail[s.qhead] // p is true; clauses watching p.Not() must move
 		s.qhead++
 		s.stats.Propagations++
+
+		// Binary pass: each q completes a clause (p.Not() ∨ q).
+		for _, q := range s.binWatches[p] {
+			switch s.valueLit(q) {
+			case True:
+			case False:
+				s.conflCr = crefUndef
+				s.conflBin = [2]Lit{q, p.Not()}
+				s.qhead = len(s.trail)
+				return true
+			default:
+				s.uncheckedEnqueue(q, reasonBin|reasonT(p.Not()))
+			}
+		}
+
+		// Long pass: single bounds-checked walk, compacted in place.
 		ws := s.watches[p]
-		kept := ws[:0]
-		var conflict *clause
-		for i := 0; i < len(ws); i++ {
+		pn := uint32(p.Not())
+		i, j := 0, 0
+		for i < len(ws) {
 			w := ws[i]
-			if conflict != nil {
-				kept = append(kept, w)
-				continue
-			}
 			if s.valueLit(w.blocker) == True {
-				kept = append(kept, w)
+				ws[j] = w
+				i++
+				j++
 				continue
 			}
-			c := w.c
-			// Normalize so lits[1] is the falsified watcher (== p.Not()).
-			if c.lits[0] == p.Not() {
-				c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+			c := w.cr
+			ls := s.ca.lits(c)
+			// Normalize so ls[1] is the falsified watcher (== p.Not()).
+			if ls[0] == pn {
+				ls[0], ls[1] = ls[1], ls[0]
 			}
-			first := c.lits[0]
+			first := Lit(ls[0])
 			if first != w.blocker && s.valueLit(first) == True {
-				kept = append(kept, watcher{c: c, blocker: first})
+				ws[j] = watcher{cr: c, blocker: first}
+				i++
+				j++
 				continue
 			}
 			// Look for a new literal to watch.
 			moved := false
-			for k := 2; k < len(c.lits); k++ {
-				if s.valueLit(c.lits[k]) != False {
-					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
-					nl := c.lits[1].Not()
-					s.watches[nl] = append(s.watches[nl], watcher{c: c, blocker: first})
+			for k := 2; k < len(ls); k++ {
+				if s.valueLit(Lit(ls[k])) != False {
+					ls[1], ls[k] = ls[k], ls[1]
+					nl := Lit(ls[1]).Not()
+					s.watches[nl] = append(s.watches[nl], watcher{cr: c, blocker: first})
 					moved = true
 					break
 				}
 			}
+			i++
 			if moved {
 				continue
 			}
-			// Clause is unit or conflicting.
-			kept = append(kept, watcher{c: c, blocker: first})
+			// Clause is unit or conflicting: keep the watcher.
+			ws[j] = watcher{cr: c, blocker: first}
+			j++
 			if s.valueLit(first) == False {
-				conflict = c
+				s.conflCr = c
 				s.qhead = len(s.trail)
-			} else {
-				s.uncheckedEnqueue(first, c)
+				// Preserve the unexamined suffix of the watch list.
+				for i < len(ws) {
+					ws[j] = ws[i]
+					i++
+					j++
+				}
+				s.watches[p] = ws[:j]
+				return true
 			}
+			s.uncheckedEnqueue(first, reasonT(c))
 		}
-		s.watches[p] = kept
-		if conflict != nil {
-			return conflict
-		}
+		s.watches[p] = ws[:j]
 	}
-	return nil
+	return false
 }
 
 func (s *Solver) bumpVar(v Var) {
@@ -340,11 +452,12 @@ func (s *Solver) bumpVar(v Var) {
 
 func (s *Solver) decayVar() { s.varInc /= 0.95 }
 
-func (s *Solver) bumpClause(c *clause) {
-	c.activity += s.claInc
-	if c.activity > 1e20 {
+func (s *Solver) bumpClause(c cref) {
+	act := s.ca.activity(c) + float32(s.claInc)
+	s.ca.setActivity(c, act)
+	if act > 1e20 {
 		for _, lc := range s.learnts {
-			lc.activity *= 1e-20
+			s.ca.setActivity(lc, s.ca.activity(lc)*1e-20)
 		}
 		s.claInc *= 1e-20
 	}
@@ -352,36 +465,62 @@ func (s *Solver) bumpClause(c *clause) {
 
 func (s *Solver) decayClause() { s.claInc /= 0.999 }
 
-// analyze performs first-UIP conflict analysis. It fills s.analyzeCl with
-// the learnt clause (asserting literal first) and returns the backtrack
-// level.
-func (s *Solver) analyze(conflict *clause) int {
+// analyzeLit folds one literal of a traversed clause into the conflict
+// analysis state (method, not closure, to keep analyze allocation-free).
+func (s *Solver) analyzeLit(q Lit, counter *int) {
+	v := q.Var()
+	if s.seen[v] || s.level[v] == 0 {
+		return
+	}
+	s.seen[v] = true
+	s.bumpVar(v)
+	if int(s.level[v]) == s.decisionLevel() {
+		*counter++
+	} else {
+		s.analyzeCl = append(s.analyzeCl, q)
+	}
+}
+
+// analyze performs first-UIP conflict analysis on the conflict left by
+// propagate. It fills s.analyzeCl with the learnt clause (asserting
+// literal first) and returns the backtrack level. Reasons are either
+// arena clauses or inlined binary literals; both paths are walked
+// without materializing a literal slice.
+func (s *Solver) analyze() int {
 	s.analyzeCl = s.analyzeCl[:0]
 	s.analyzeCl = append(s.analyzeCl, LitUndef) // room for the asserting literal
 	counter := 0
 	var p Lit = LitUndef
 	idx := len(s.trail) - 1
-	c := conflict
+	cr := s.conflCr
+	var bin Lit = LitUndef // the other literal when following a binary reason
+	if cr == crefUndef {
+		// Binary conflict: both literals are scanned on the first round.
+		s.analyzeLit(s.conflBin[0], &counter)
+		s.analyzeLit(s.conflBin[1], &counter)
+	}
 	for {
-		if c.learnt {
-			s.bumpClause(c)
-		}
-		start := 0
-		if p != LitUndef {
-			start = 1 // lits[0] is p itself when following a reason
-		}
-		for _, q := range c.lits[start:] {
-			v := q.Var()
-			if s.seen[v] || s.level[v] == 0 {
-				continue
+		if cr != crefUndef {
+			if s.ca.learnt(cr) {
+				s.bumpClause(cr)
+				// Dynamic LBD improvement: a clause traversed during
+				// analysis is earning its keep; if its literals now span
+				// fewer decision levels than when it was learnt, lower
+				// its stored LBD so tiered deletion protects it.
+				if nl := s.computeLBDWords(s.ca.lits(cr)); nl < s.ca.lbd(cr) {
+					s.ca.setLBD(cr, nl)
+				}
 			}
-			s.seen[v] = true
-			s.bumpVar(v)
-			if s.level[v] == s.decisionLevel() {
-				counter++
-			} else {
-				s.analyzeCl = append(s.analyzeCl, q)
+			ls := s.ca.lits(cr)
+			start := 0
+			if p != LitUndef {
+				start = 1 // ls[0] is p itself when following a reason
 			}
+			for _, u := range ls[start:] {
+				s.analyzeLit(Lit(u), &counter)
+			}
+		} else if bin != LitUndef {
+			s.analyzeLit(bin, &counter)
 		}
 		// Select next literal on the trail to expand.
 		for !s.seen[s.trail[idx].Var()] {
@@ -394,7 +533,15 @@ func (s *Solver) analyze(conflict *clause) int {
 		if counter == 0 {
 			break
 		}
-		c = s.reason[p.Var()]
+		r := s.reason[p.Var()]
+		if r == reasonNone {
+			panic("sat: analyze reached a decision below the UIP")
+		}
+		if r&reasonBin != 0 {
+			cr, bin = crefUndef, Lit(r&^reasonBin)
+		} else {
+			cr, bin = cref(r), LitUndef
+		}
 	}
 	s.analyzeCl[0] = p.Not()
 
@@ -409,7 +556,7 @@ func (s *Solver) analyze(conflict *clause) int {
 	j := 1
 	for i := 1; i < len(s.analyzeCl); i++ {
 		l := s.analyzeCl[i]
-		if s.reason[l.Var()] == nil || !s.litRedundant(l, 0) {
+		if s.reason[l.Var()] == reasonNone || !s.litRedundant(l, 0) {
 			s.analyzeCl[j] = l
 			j++
 		}
@@ -426,7 +573,7 @@ func (s *Solver) analyze(conflict *clause) int {
 			}
 		}
 		s.analyzeCl[1], s.analyzeCl[maxI] = s.analyzeCl[maxI], s.analyzeCl[1]
-		btLevel = s.level[s.analyzeCl[1].Var()]
+		btLevel = int(s.level[s.analyzeCl[1].Var()])
 	}
 	// Clear seen marks (including any set during litRedundant).
 	for _, l := range s.analyzeCl {
@@ -445,29 +592,98 @@ func (s *Solver) litRedundant(l Lit, depth int) bool {
 	if depth > 16 {
 		return false
 	}
-	c := s.reason[l.Var()]
-	if c == nil {
+	r := s.reason[l.Var()]
+	if r == reasonNone {
 		return false
 	}
-	for _, q := range c.lits {
+	if r&reasonBin != 0 {
+		return s.redundantChild(Lit(r&^reasonBin), depth)
+	}
+	for _, u := range s.ca.lits(cref(r)) {
+		q := Lit(u)
 		if q.Var() == l.Var() {
 			continue
 		}
-		v := q.Var()
-		if s.level[v] == 0 || s.seen[v] {
-			continue
-		}
-		if s.reason[v] == nil {
+		if !s.redundantChild(q, depth) {
 			return false
 		}
-		if !s.litRedundant(q, depth+1) {
-			return false
-		}
-		// q proved redundant: mark so siblings can reuse the result.
-		s.seen[v] = true
-		s.clearList = append(s.clearList, q)
 	}
 	return true
+}
+
+// redundantChild checks one antecedent literal during minimization,
+// memoizing a proven-redundant result in the seen marks.
+func (s *Solver) redundantChild(q Lit, depth int) bool {
+	v := q.Var()
+	if s.level[v] == 0 || s.seen[v] {
+		return true
+	}
+	if s.reason[v] == reasonNone {
+		return false
+	}
+	if !s.litRedundant(q, depth+1) {
+		return false
+	}
+	// q proved redundant: mark so siblings can reuse the result.
+	s.seen[v] = true
+	s.clearList = append(s.clearList, q)
+	return true
+}
+
+// computeLBD returns the literal block distance of a clause: the number
+// of distinct decision levels among its literals. Called on a fresh
+// learnt clause before backtracking, so every literal is still assigned.
+func (s *Solver) computeLBD(lits []Lit) uint32 {
+	s.lbdStamp++
+	lbd := uint32(0)
+	for _, l := range lits {
+		lvl := s.level[l.Var()]
+		if lvl <= 0 {
+			continue
+		}
+		if s.lbdSeen[lvl] != s.lbdStamp {
+			s.lbdSeen[lvl] = s.lbdStamp
+			lbd++
+		}
+	}
+	if lbd == 0 {
+		lbd = 1
+	}
+	return lbd
+}
+
+// computeLBDWords is computeLBD over a raw arena literal run.
+func (s *Solver) computeLBDWords(lits []uint32) uint32 {
+	s.lbdStamp++
+	lbd := uint32(0)
+	for _, u := range lits {
+		lvl := s.level[Lit(u).Var()]
+		if lvl <= 0 {
+			continue
+		}
+		if s.lbdSeen[lvl] != s.lbdStamp {
+			s.lbdSeen[lvl] = s.lbdStamp
+			lbd++
+		}
+	}
+	if lbd == 0 {
+		lbd = 1
+	}
+	return lbd
+}
+
+// recordLBD folds a fresh learnt clause's LBD into the stats.
+func (s *Solver) recordLBD(lbd uint32) {
+	s.stats.Learnt++
+	s.stats.LBDSum += int64(lbd)
+	bucket := int(lbd) - 1
+	if bucket >= len(s.stats.LBDHist) {
+		bucket = len(s.stats.LBDHist) - 1
+	}
+	s.stats.LBDHist[bucket]++
+	if lbd <= 2 {
+		s.stats.GlueLearnt++
+	}
 }
 
 // backtrack undoes assignments above the given level.
@@ -479,13 +695,19 @@ func (s *Solver) backtrack(toLevel int) {
 	for i := len(s.trail) - 1; i >= bound; i-- {
 		v := s.trail[i].Var()
 		s.assigns[v] = Undef
-		s.reason[v] = nil
+		s.reason[v] = reasonNone
 		s.level[v] = -1
 		s.order.insert(v)
 	}
 	s.trail = s.trail[:bound]
 	s.trailLim = s.trailLim[:toLevel]
-	s.qhead = len(s.trail)
+	// Trail-position-aware queue reset: everything below the truncation
+	// point was propagated before the discarded levels existed, so the
+	// queue resumes at the new trail end — never past it, and never
+	// rewound below a still-unpropagated prefix.
+	if s.qhead > bound {
+		s.qhead = bound
+	}
 }
 
 // pickBranchVar selects the next decision variable, or -1 if all assigned.
@@ -507,29 +729,105 @@ func (s *Solver) pickBranchVar() Var {
 	return -1
 }
 
-// reduceDB removes the less active half of the learnt clauses (never
-// clauses that are the reason of a current assignment, never binaries).
+// reduceDB halves the learnt database. The core tier — clauses with
+// LBD at or below Options.CoreLBD — is exempt, as are clauses locked as
+// the reason of a current assignment (learnt binaries never enter the
+// arena and are never deleted). The rest is deleted worst-first: highest
+// LBD, then lowest activity, with the cref as a deterministic tiebreak.
+// With DisableLBD the ordering is pure activity, the pre-arena policy.
+// Deletion only marks arena words dead; compaction runs once the waste
+// crosses Options.GCFrac.
 func (s *Solver) reduceDB() {
-	sort.Slice(s.learnts, func(i, j int) bool {
-		return s.learnts[i].activity > s.learnts[j].activity
-	})
-	locked := make(map[*clause]bool)
-	for _, r := range s.reason {
-		if r != nil {
-			locked[r] = true
+	locked := make(map[cref]bool, len(s.trail)/4+1)
+	for _, l := range s.trail {
+		r := s.reason[l.Var()]
+		if r != reasonNone && r&reasonBin == 0 {
+			locked[cref(r)] = true
 		}
 	}
-	keep := s.learnts[:0]
-	limit := len(s.learnts) / 2
-	for i, c := range s.learnts {
-		if i < limit || len(c.lits) == 2 || locked[c] {
-			keep = append(keep, c)
+	core := s.coreLBD()
+	kept := s.learnts[:0]
+	cands := s.reduceCl[:0]
+	for _, c := range s.learnts {
+		if locked[c] || (!s.opts.DisableLBD && s.ca.lbd(c) <= core) {
+			kept = append(kept, c)
 		} else {
-			s.detach(c)
-			s.stats.Deleted++
+			cands = append(cands, c)
 		}
 	}
-	s.learnts = keep
+	if s.opts.DisableLBD {
+		sort.Slice(cands, func(i, j int) bool {
+			ai, aj := s.ca.activity(cands[i]), s.ca.activity(cands[j])
+			if ai != aj {
+				return ai < aj
+			}
+			return cands[i] > cands[j]
+		})
+	} else {
+		sort.Slice(cands, func(i, j int) bool {
+			// LBD saturates: beyond lbdSat levels a clause is "wide"
+			// whatever the exact count, and activity discriminates
+			// better than glue among uniformly wide clauses.
+			li, lj := s.ca.lbd(cands[i]), s.ca.lbd(cands[j])
+			if li > lbdSat {
+				li = lbdSat
+			}
+			if lj > lbdSat {
+				lj = lbdSat
+			}
+			if li != lj {
+				return li > lj
+			}
+			ai, aj := s.ca.activity(cands[i]), s.ca.activity(cands[j])
+			if ai != aj {
+				return ai < aj
+			}
+			return cands[i] > cands[j]
+		})
+	}
+	drop := len(cands) / 2
+	for _, c := range cands[:drop] {
+		s.detach(c)
+		s.ca.free(c)
+		s.stats.Deleted++
+	}
+	s.learnts = append(kept, cands[drop:]...)
+	s.reduceCl = cands[:0]
+	if s.ca.shouldGC(s.gcFrac()) {
+		s.garbageCollect()
+	}
+}
+
+// garbageCollect compacts the clause arena: live clauses are relocated
+// into a fresh buffer in list order (problem clauses, then learnts) and
+// every outstanding reference — clause lists, watch lists, and the long
+// reasons of assigned variables — is forwarded. Relocation preserves
+// watch-list order, so the search trajectory is unchanged by a GC.
+func (s *Solver) garbageCollect() {
+	newData := make([]uint32, 0, len(s.ca.data)-int(s.ca.wasted))
+	for i, c := range s.clauses {
+		s.clauses[i] = s.ca.relocate(c, &newData)
+	}
+	for i, c := range s.learnts {
+		s.learnts[i] = s.ca.relocate(c, &newData)
+	}
+	// Watchers of deleted clauses were detached by reduceDB, so every
+	// remaining reference has a forwarding address by now.
+	for li := range s.watches {
+		ws := s.watches[li]
+		for i := range ws {
+			ws[i].cr = s.ca.relocate(ws[i].cr, &newData)
+		}
+	}
+	for _, l := range s.trail {
+		r := s.reason[l.Var()]
+		if r != reasonNone && r&reasonBin == 0 {
+			s.reason[l.Var()] = reasonT(s.ca.relocate(cref(r), &newData))
+		}
+	}
+	s.ca.data = newData
+	s.ca.wasted = 0
+	s.stats.ArenaGCs++
 }
 
 // luby returns the i-th element (1-based) of the Luby restart sequence
@@ -557,13 +855,15 @@ func (s *Solver) Solve() Status { return s.SolveAssuming() }
 // SolveAssuming solves under the given assumption literals: they are
 // decided first and never flipped, so an UNSAT answer means "unsat
 // under these assumptions" while the clause database stays reusable —
-// the standard incremental-SAT interface.
+// the standard incremental-SAT interface. Learnt clauses and variable
+// activities persist across calls, which is what makes sweeping many
+// assumption sets over one base formula cheap.
 func (s *Solver) SolveAssuming(assumptions ...Lit) Status {
 	if !s.ok {
 		return StatusUnsat
 	}
 	s.backtrack(0)
-	if conflict := s.propagate(); conflict != nil {
+	if s.propagate() {
 		s.ok = false
 		return StatusUnsat
 	}
@@ -576,8 +876,8 @@ func (s *Solver) SolveAssuming(assumptions ...Lit) Status {
 			return StatusUnsat
 		}
 		s.trailLim = append(s.trailLim, len(s.trail))
-		s.uncheckedEnqueue(a, nil)
-		if s.propagate() != nil {
+		s.uncheckedEnqueue(a, reasonNone)
+		if s.propagate() {
 			s.backtrack(0)
 			return StatusUnsat
 		}
@@ -597,7 +897,7 @@ func (s *Solver) search(floorLevel int) Status {
 	restart := int64(1)
 	budget := restartBase * luby(restart)
 	conflictsAtRestart := int64(0)
-	maxLearnts := int64(len(s.clauses)/3 + 100)
+	maxLearnts := int64(s.NumClauses()/3 + 100)
 	sinceCancelPoll := 0
 	for {
 		// Cooperative cancellation: every iteration ends in a conflict or
@@ -612,8 +912,7 @@ func (s *Solver) search(floorLevel int) Status {
 				return StatusUnknown
 			}
 		}
-		conflict := s.propagate()
-		if conflict != nil {
+		if s.propagate() {
 			s.stats.Conflicts++
 			conflictsAtRestart++
 			if s.decisionLevel() <= floorLevel {
@@ -624,20 +923,30 @@ func (s *Solver) search(floorLevel int) Status {
 				}
 				return StatusUnsat
 			}
-			btLevel := s.analyze(conflict)
-			learnt := append([]Lit(nil), s.analyzeCl...)
+			btLevel := s.analyze()
+			learnt := s.analyzeCl
+			var lbd uint32
+			if len(learnt) > 1 {
+				lbd = s.computeLBD(learnt) // before backtrack: all lits assigned
+			}
 			if btLevel < floorLevel {
 				btLevel = floorLevel
 			}
 			s.backtrack(btLevel)
-			if len(learnt) == 1 {
-				s.uncheckedEnqueue(learnt[0], nil)
-			} else {
-				c := &clause{lits: learnt, learnt: true, activity: s.claInc}
+			switch {
+			case len(learnt) == 1:
+				s.uncheckedEnqueue(learnt[0], reasonNone)
+			case len(learnt) == 2:
+				s.attachBin(learnt[0], learnt[1])
+				s.numBinLearnt++
+				s.recordLBD(lbd)
+				s.uncheckedEnqueue(learnt[0], reasonBin|reasonT(learnt[1]))
+			default:
+				c := s.ca.allocLearnt(learnt, lbd, float32(s.claInc))
 				s.learnts = append(s.learnts, c)
-				s.stats.Learnt++
+				s.recordLBD(lbd)
 				s.attach(c)
-				s.uncheckedEnqueue(learnt[0], c)
+				s.uncheckedEnqueue(learnt[0], reasonT(c))
 			}
 			s.decayVar()
 			s.decayClause()
@@ -659,6 +968,12 @@ func (s *Solver) search(floorLevel int) Status {
 			s.reduceDB()
 			maxLearnts += maxLearnts / 10
 		}
+		// Every assignment sits on the trail, so a full trail means SAT
+		// without draining the variable heap of its assigned entries —
+		// the common endgame when propagation finishes the instance.
+		if len(s.trail) == s.NumVars() {
+			return StatusSat
+		}
 		v := s.pickBranchVar()
 		if v < 0 {
 			return StatusSat // all variables assigned, no conflict
@@ -675,7 +990,7 @@ func (s *Solver) search(floorLevel int) Status {
 				neg = r&(1<<32) != 0
 			}
 		}
-		s.uncheckedEnqueue(MkLit(v, neg), nil)
+		s.uncheckedEnqueue(MkLit(v, neg), reasonNone)
 	}
 }
 
@@ -709,12 +1024,20 @@ func (s *Solver) ExportCNF() *CNF {
 		return f
 	}
 	for v := 0; v < s.NumVars(); v++ {
-		if s.level[v] == 0 && s.assigns[v] != Undef && s.reason[v] == nil {
+		if s.level[v] == 0 && s.assigns[v] != Undef && s.reason[v] == reasonNone {
 			f.AddClause(MkLit(Var(v), s.assigns[v] == False))
 		}
 	}
+	for _, bc := range s.bins {
+		f.AddClause(bc[0], bc[1])
+	}
+	var buf []Lit
 	for _, c := range s.clauses {
-		f.AddClause(c.lits...)
+		buf = buf[:0]
+		for _, u := range s.ca.lits(c) {
+			buf = append(buf, Lit(u))
+		}
+		f.AddClause(buf...)
 	}
 	return f
 }

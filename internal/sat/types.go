@@ -2,13 +2,16 @@ package sat
 
 import "fmt"
 
-// Var is a 0-based propositional variable index.
-type Var int
+// Var is a 0-based propositional variable index. It is 32-bit on
+// purpose: literals are stored by the million in the clause arena and
+// the watch lists, and halving the word size halves the cache traffic
+// of the propagation loop.
+type Var int32
 
 // Lit is a literal: variable 2*v for the positive polarity, 2*v+1 for the
 // negative. The zero Lit is the positive literal of variable 0; use
 // LitUndef for "no literal".
-type Lit int
+type Lit int32
 
 // LitUndef is the sentinel "no literal" value.
 const LitUndef Lit = -1
@@ -103,4 +106,61 @@ type Stats struct {
 	Restarts     int64
 	Learnt       int64
 	Deleted      int64
+	// GlueLearnt counts learnt clauses with LBD ≤ 2 ("glue" clauses,
+	// exempt from deletion).
+	GlueLearnt int64
+	// LBDSum is the sum of the LBD of every stored learnt clause;
+	// LBDSum/Learnt is the mean glue level of the search.
+	LBDSum int64
+	// LBDHist buckets stored learnt clauses by LBD: index i counts
+	// clauses with LBD i+1 for i < 7, and the last bucket counts LBD ≥ 8.
+	LBDHist [8]int64
+	// ArenaGCs counts compactions of the clause arena.
+	ArenaGCs int64
+}
+
+// Add accumulates other into s, field by field — the aggregation the
+// cube-and-conquer path uses to report collective effort.
+func (s *Stats) Add(other Stats) {
+	s.Conflicts += other.Conflicts
+	s.Decisions += other.Decisions
+	s.Propagations += other.Propagations
+	s.Restarts += other.Restarts
+	s.Learnt += other.Learnt
+	s.Deleted += other.Deleted
+	s.GlueLearnt += other.GlueLearnt
+	s.LBDSum += other.LBDSum
+	for i := range s.LBDHist {
+		s.LBDHist[i] += other.LBDHist[i]
+	}
+	s.ArenaGCs += other.ArenaGCs
+}
+
+// Sub returns the field-by-field difference s - prev: the per-solve
+// counters of an incremental session whose solver reports cumulative
+// totals.
+func (s Stats) Sub(prev Stats) Stats {
+	d := s
+	d.Conflicts -= prev.Conflicts
+	d.Decisions -= prev.Decisions
+	d.Propagations -= prev.Propagations
+	d.Restarts -= prev.Restarts
+	d.Learnt -= prev.Learnt
+	d.Deleted -= prev.Deleted
+	d.GlueLearnt -= prev.GlueLearnt
+	d.LBDSum -= prev.LBDSum
+	for i := range d.LBDHist {
+		d.LBDHist[i] -= prev.LBDHist[i]
+	}
+	d.ArenaGCs -= prev.ArenaGCs
+	return d
+}
+
+// MeanLBD returns the average LBD over stored learnt clauses (0 when
+// none were learnt).
+func (s Stats) MeanLBD() float64 {
+	if s.Learnt == 0 {
+		return 0
+	}
+	return float64(s.LBDSum) / float64(s.Learnt)
 }

@@ -43,9 +43,14 @@ type Host struct {
 
 // File is the emitted document.
 type File struct {
-	Note       string            `json:"note"`
-	Host       Host              `json:"host"`
-	Benchmarks map[string]Record `json:"benchmarks"`
+	Note string `json:"note"`
+	Host Host   `json:"host"`
+	// ScalingValid is false when the run had a single CPU core: the
+	// parallel benchmarks (portfolio, sharded frontier, runner pool)
+	// then measure scheduling overhead, not scaling, and must not be
+	// compared against multi-core baselines.
+	ScalingValid bool              `json:"scaling_valid"`
+	Benchmarks   map[string]Record `json:"benchmarks"`
 }
 
 var lineRE = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(.*)$`)
@@ -53,7 +58,8 @@ var pairRE = regexp.MustCompile(`([\d.]+) (\S+)`)
 
 func main() {
 	out := File{
-		Note: "Benchmark trajectory, written by scripts/bench.sh; lowest-ns/op sample per benchmark. Compare against docs/PERFORMANCE.md.",
+		Note:         "Benchmark trajectory, written by scripts/bench.sh; lowest-ns/op sample per benchmark. Compare against docs/PERFORMANCE.md.",
+		ScalingValid: runtime.NumCPU() > 1,
 		Host: Host{
 			Cores:      runtime.NumCPU(),
 			GOMAXPROCS: runtime.GOMAXPROCS(0),

@@ -17,4 +17,4 @@ if [ -n "$missing" ]; then
     exit 1
 fi
 echo "doc gate: all packages documented"
-go run ./scripts/docgate . ./internal/gen
+go run ./scripts/docgate . ./internal/gen ./internal/sat ./internal/portfolio
