@@ -735,6 +735,71 @@ func BenchmarkParallelExplore(b *testing.B) {
 	}
 }
 
+// BenchmarkOutOfCoreExplore measures the out-of-core mechanisms on the
+// same ~100K-state instance: the serial lossy stores (bitstate sized
+// comfortably, so the run stays effectively exhaustive), the sharded
+// frontier with disk spill forced on, and a full checkpoint+resume
+// cycle (cap midway, serialize, resume to completion).
+func BenchmarkOutOfCoreExplore(b *testing.B) {
+	opts := explore.Options{MaxStates: 2000000}
+	b.Run("serial-bitstate", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			o := opts
+			o.Store, o.StoreBits = explore.StoreBitstate, 24
+			v := explore.Check(exploreBenchAgents(), graph.Ring(3), o)
+			if !v.OK || v.MissProb <= 0 {
+				b.Fatalf("bitstate run: OK=%v missprob=%v", v.OK, v.MissProb)
+			}
+		}
+	})
+	b.Run("serial-hashcompact", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			o := opts
+			o.Store, o.StoreBits = explore.StoreHashCompact, 18
+			v := explore.Check(exploreBenchAgents(), graph.Ring(3), o)
+			if !v.OK {
+				b.Fatalf("hash-compact run failed: %v", v.Violation)
+			}
+		}
+	})
+	b.Run("parallel-spill", func(b *testing.B) {
+		b.ReportAllocs()
+		dir := b.TempDir()
+		for i := 0; i < b.N; i++ {
+			o := opts
+			o.SpillDir, o.SpillStates = dir, 1<<13
+			v := explore.CheckParallel(exploreBenchAgents(), graph.Ring(3), o, 4)
+			if !v.OK {
+				b.Fatalf("spill run failed: %v", v.Violation)
+			}
+			if v.Store.Spilled == 0 {
+				b.Fatal("spill never engaged")
+			}
+		}
+	})
+	b.Run("checkpoint-resume", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			o := opts
+			o.MaxStates = 50000
+			_, rs, err := explore.CheckParallelFrom(exploreBenchAgents(), graph.Ring(3), o, 4, nil, true)
+			if err != nil || rs == nil {
+				b.Fatalf("cap leg: rs=%v err=%v", rs != nil, err)
+			}
+			rs2, err := explore.DecodeRunState(explore.EncodeRunState(rs))
+			if err != nil {
+				b.Fatal(err)
+			}
+			v, _, err := explore.CheckParallelFrom(exploreBenchAgents(), graph.Ring(3), opts, 4, rs2, true)
+			if err != nil || !v.OK {
+				b.Fatalf("resume leg: OK=%v err=%v", v.OK, err)
+			}
+		}
+	})
+}
+
 // BenchmarkAblationSymmetryOn/Off: instance enumeration with and without
 // lex-leader symmetry breaking on a symmetric relational problem.
 func BenchmarkAblationSymmetryOff(b *testing.B) {

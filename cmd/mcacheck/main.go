@@ -56,6 +56,12 @@ func run(args []string) int {
 	target := fs.Int("target", 0, "target bundle size p_T (0 = number of items)")
 	maxStates := fs.Int("maxstates", 500000, "state exploration budget")
 	workers := fs.Int("workers", 0, "0 = serial DFS; N or -1 (per CPU) = sharded parallel frontier")
+	storeName := fs.String("store", "exact", "seen-set store: exact|bitstate|hashcompact (lossy modes trade a bounded miss probability for memory; serial DFS only)")
+	storeBits := fs.Int("storebits", 0, "log2 size of the lossy seen-set store (0 = the mode's default)")
+	spillDir := fs.String("spilldir", "", "spill sealed state tables to sorted disk segments under this directory (parallel frontier only)")
+	spillStates := fs.Int("spillstates", 0, "per-shard sealed-entry threshold that triggers a disk spill (0 = default; needs -spilldir)")
+	checkpointFile := fs.String("checkpoint", "", "write a resumable checkpoint to this file when the run stops on the -maxstates budget (parallel frontier only)")
+	resumeFile := fs.String("resume", "", "resume a capped run from a checkpoint file; the scenario comes from the checkpoint (combine with a raised -maxstates)")
 	drop := fs.Float64("drop", 0, "message drop probability (switches to seeded simulation)")
 	delay := fs.Int("delay", 0, "message delivery delay in ticks (switches to seeded simulation)")
 	runs := fs.Int("runs", 32, "simulated executions when a probabilistic/timed fault model is set")
@@ -82,11 +88,29 @@ func run(args []string) int {
 		defer cancel()
 	}
 
+	// Flags explicitly set on the command line override values a resumed
+	// checkpoint carries; untouched defaults defer to the checkpoint.
+	explicit := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+
 	if *sweep {
 		return runSweep(ctx, *agents, *items, *seed, *maxStates)
 	}
+	if *resumeFile != "" {
+		return runResume(ctx, resumeOptions{
+			path:           *resumeFile,
+			checkpointFile: *checkpointFile,
+			workers:        *workers,
+			maxStates:      *maxStates,
+			setWorkers:     explicit["workers"],
+			setMaxStates:   explicit["maxstates"],
+			spillDir:       *spillDir,
+			spillStates:    *spillStates,
+			showTrace:      *showTrace,
+		})
+	}
 	if *scenarioFile != "" {
-		return runScenarioFile(ctx, *scenarioFile, *workers, *showTrace)
+		return runScenarioFile(ctx, *scenarioFile, *workers, *checkpointFile, *showTrace)
 	}
 
 	util, err := parseUtility(*utility)
@@ -116,12 +140,24 @@ func run(args []string) int {
 		return 2
 	}
 
+	store, err := parseStore(*storeName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+
 	scenario := engine.Scenario{
 		Name:       "mcacheck",
 		AgentSpecs: specs,
 		Graph:      g,
-		Explore:    explore.Options{MaxStates: *maxStates},
-		Faults:     netsim.Faults{Drop: *drop, Delay: *delay},
+		Explore: explore.Options{
+			MaxStates:   *maxStates,
+			Store:       store,
+			StoreBits:   *storeBits,
+			SpillDir:    *spillDir,
+			SpillStates: *spillStates,
+		},
+		Faults: netsim.Faults{Drop: *drop, Delay: *delay},
 	}
 	var eng engine.Engine = engine.Explicit{Workers: *workers}
 	if !scenario.Faults.None() {
@@ -130,12 +166,85 @@ func run(args []string) int {
 
 	fmt.Printf("checking consensus: %d agents (%s), %d items, p_u=%s p_RO=%v rebid=%s engine=%s\n",
 		*agents, tp, *items, util.Name(), *release, rb, eng.Name())
+	if *checkpointFile != "" && scenario.Faults.None() {
+		res, next := engine.Explicit{Workers: *workers}.VerifyResumable(ctx, scenario, nil)
+		writeCheckpoint(*checkpointFile, next)
+		return report(res, *showTrace)
+	}
 	return report(eng.Verify(ctx, scenario), *showTrace)
+}
+
+// resumeOptions carries the resume invocation's flag state.
+type resumeOptions struct {
+	path           string
+	checkpointFile string
+	workers        int
+	maxStates      int
+	setWorkers     bool
+	setMaxStates   bool
+	spillDir       string
+	spillStates    int
+	showTrace      bool
+}
+
+// runResume continues a capped run from a checkpoint file. The scenario
+// comes from the checkpoint; explicitly-passed -maxstates and -workers
+// override the checkpointed values (raising the state budget is the
+// point), untouched defaults defer to them.
+func runResume(ctx context.Context, o resumeOptions) int {
+	data, err := os.ReadFile(o.path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	cp, err := engine.DecodeCheckpoint(data)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	s := cp.Scenario
+	if o.setMaxStates {
+		s.Explore.MaxStates = o.maxStates
+	}
+	s.Explore.SpillDir = o.spillDir
+	s.Explore.SpillStates = o.spillStates
+	workers := cp.Workers
+	if o.setWorkers {
+		workers = o.workers
+	}
+	eng := engine.Explicit{Workers: workers}
+	fmt.Printf("resuming scenario %q from %s (engine=%s, maxstates=%d)\n",
+		s.Name, o.path, eng.Name(), s.Explore.MaxStates)
+	res, next := eng.VerifyResumable(ctx, s, cp)
+	out := o.checkpointFile
+	if out == "" {
+		out = o.path // refresh the checkpoint in place on a re-cap
+	}
+	writeCheckpoint(out, next)
+	return report(res, o.showTrace)
+}
+
+// writeCheckpoint persists a capped run's checkpoint (no-op for nil:
+// the run finished, so there is nothing to resume).
+func writeCheckpoint(path string, cp *engine.Checkpoint) {
+	if cp == nil {
+		return
+	}
+	data, err := engine.EncodeCheckpoint(cp)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mcacheck: checkpoint:", err)
+		return
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "mcacheck: checkpoint:", err)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "mcacheck: run capped; checkpoint written to %s (resume with -resume %s -maxstates N)\n", path, path)
 }
 
 // runScenarioFile verifies a saved scenario document on its natural
 // engine.
-func runScenarioFile(ctx context.Context, path string, workers int, showTrace bool) int {
+func runScenarioFile(ctx context.Context, path string, workers int, checkpointFile string, showTrace bool) int {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -149,6 +258,16 @@ func runScenarioFile(ctx context.Context, path string, workers int, showTrace bo
 	eng := engine.Auto{Workers: workers}
 	fmt.Printf("checking scenario %q from %s (engine=%s)\n",
 		scenario.Name, path, eng.EngineFor(scenario).Name())
+	if checkpointFile != "" {
+		ex, ok := eng.EngineFor(scenario).(engine.Explicit)
+		if !ok {
+			fmt.Fprintln(os.Stderr, "mcacheck: -checkpoint applies only to explicit-state scenarios")
+			return 2
+		}
+		res, next := ex.VerifyResumable(ctx, scenario, nil)
+		writeCheckpoint(checkpointFile, next)
+		return report(res, showTrace)
+	}
 	return report(eng.Verify(ctx, scenario), showTrace)
 }
 
@@ -167,6 +286,9 @@ func report(res engine.Result, showTrace bool) int {
 			res.Stats.TranslateTime, res.Stats.SolveTime)
 	default:
 		fmt.Printf("states=%d depth=%d exhausted=%v\n", res.Stats.States, res.Stats.MaxDepth, res.Stats.Exhausted)
+		if res.Stats.MissProb > 0 {
+			fmt.Printf("lossy store: per-query miss probability <= %.3g\n", res.Stats.MissProb)
+		}
 	}
 	switch res.Status {
 	case engine.StatusHolds:
@@ -278,6 +400,19 @@ func parseUtility(s string) (mca.Utility, error) {
 		return mca.EscalatingUtility{}, nil
 	default:
 		return nil, fmt.Errorf("unknown utility %q", s)
+	}
+}
+
+func parseStore(s string) (explore.StoreKind, error) {
+	switch s {
+	case "exact":
+		return explore.StoreExact, nil
+	case "bitstate":
+		return explore.StoreBitstate, nil
+	case "hashcompact":
+		return explore.StoreHashCompact, nil
+	default:
+		return 0, fmt.Errorf("unknown store %q (want exact|bitstate|hashcompact)", s)
 	}
 }
 

@@ -6,7 +6,15 @@
 //
 // Endpoints:
 //
-//	POST /verify       one scenario document -> one result document
+//	POST /verify       one scenario document -> one result document.
+//	                   With ?checkpoint=1 (explicit engine, parallel
+//	                   frontier) a budget-capped run responds
+//	                   {"resume": token, "result": ...}; POSTing
+//	                   {"resume": token, "max_states": N} later
+//	                   continues that run with a raised budget,
+//	                   yielding the same result the uninterrupted
+//	                   verification would have produced. Tokens are
+//	                   single use and held in a small in-memory table
 //	POST /sweep        one sweep document -> NDJSON result stream,
 //	                   one result per line, then a summary line
 //	POST /generate     one generator profile (or empty body for the
@@ -233,6 +241,7 @@ type server struct {
 	admit       chan struct{}      // nil = no in-flight cap
 	coord       *fleet.Coordinator // coordinator role only
 	fleetWorker *fleet.Worker      // worker role only
+	resumes     *resumeStore       // checkpoints of capped /verify runs
 }
 
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -249,7 +258,7 @@ func (s *server) quiesce() {
 // newServer builds the service handler for the configured role.
 func newServer(cfg serverConfig) (*server, error) {
 	cfg = cfg.withDefaults()
-	s := &server{cfg: cfg, metrics: newMetrics()}
+	s := &server{cfg: cfg, metrics: newMetrics(), resumes: newResumeStore(16)}
 	if cfg.QuotaRate > 0 {
 		s.quotas = newQuotaTable(cfg.QuotaRate, cfg.QuotaBurst)
 	}
@@ -424,17 +433,16 @@ func (s *server) handleVerify(w http.ResponseWriter, r *http.Request) {
 		httpError(w, bodyErrorStatus(err), err)
 		return
 	}
+	if isResumeRequest(body) {
+		s.handleResume(w, r, body)
+		return
+	}
 	scenario, err := engine.DecodeScenario(body)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
 	engineWorkers, err := intParam(r.URL.Query(), "workers")
-	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
-		return
-	}
-	eng, err := engineFromQuery(r, engineWorkers)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
 		return
@@ -446,6 +454,26 @@ func (s *server) handleVerify(w http.ResponseWriter, r *http.Request) {
 	}
 	defer cancel()
 
+	if r.URL.Query().Get("checkpoint") != "" {
+		if kind := r.URL.Query().Get("engine"); kind != "" && kind != "auto" && kind != "explicit" {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("?checkpoint=1 requires the explicit engine, not %q", kind))
+			return
+		}
+		if engineWorkers == 0 {
+			// Checkpoints need the parallel frontier; default to one
+			// shard per CPU rather than rejecting the request.
+			engineWorkers = -1
+		}
+		res, cp := engine.Explicit{Workers: engineWorkers}.VerifyResumable(ctx, scenario, nil)
+		s.writeResumable(w, res, cp)
+		return
+	}
+
+	eng, err := engineFromQuery(r, engineWorkers)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
 	res := engine.VerifyCached(ctx, eng, scenario, resultCache(s.cfg.Cache))
 	data, err := engine.EncodeResult(&res)
 	if err != nil {
@@ -454,6 +482,78 @@ func (s *server) handleVerify(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.Write(append(data, '\n'))
+}
+
+// isResumeRequest distinguishes a resume body ({"resume": token, ...})
+// from a scenario document. Scenario documents never carry a "resume"
+// key — the strict scenario codec would reject one — so a non-empty
+// resume field is unambiguous.
+func isResumeRequest(body []byte) bool {
+	var probe struct {
+		Resume string `json:"resume"`
+	}
+	return json.Unmarshal(body, &probe) == nil && probe.Resume != ""
+}
+
+// handleResume continues a budget-capped /verify run from a stored
+// checkpoint token, optionally raising the max_states budget. Tokens
+// are single use; an unknown (spent, evicted, or fabricated) token is
+// a 404 and the client re-verifies from scratch.
+func (s *server) handleResume(w http.ResponseWriter, r *http.Request, body []byte) {
+	var req struct {
+		Resume    string `json:"resume"`
+		MaxStates int    `json:"max_states"`
+	}
+	if err := json.Unmarshal(body, &req); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	cp, ok := s.resumes.take(req.Resume)
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("unknown or expired resume token %q (tokens are single use and the table is bounded; re-verify from scratch)", req.Resume))
+		return
+	}
+	scenario := cp.Scenario
+	if req.MaxStates > 0 {
+		scenario.Explore.MaxStates = req.MaxStates
+	}
+	workers := cp.Workers
+	if r.URL.Query().Get("workers") != "" {
+		workers, _ = intParam(r.URL.Query(), "workers")
+	}
+	ctx, cancel, err := s.requestContext(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	defer cancel()
+	res, next := engine.Explicit{Workers: workers}.VerifyResumable(ctx, scenario, cp)
+	s.writeResumable(w, res, next)
+}
+
+// writeResumable writes a checkpoint-aware /verify response: the
+// result document wrapped in an envelope that carries a resume token
+// when the run stopped on its state budget (absent when it concluded).
+func (s *server) writeResumable(w http.ResponseWriter, res engine.Result, cp *engine.Checkpoint) {
+	data, err := engine.EncodeResult(&res)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	env := struct {
+		Resume string          `json:"resume,omitempty"`
+		Result json.RawMessage `json:"result"`
+	}{Result: data}
+	if cp != nil {
+		env.Resume = s.resumes.put(cp)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	out, err := json.Marshal(env)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Write(append(out, '\n'))
 }
 
 // resultCache adapts the optional *cache.Cache to the engine's cache

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"sync"
+
+	"repro/internal/engine"
+)
+
+// resumeStore holds the checkpoints of budget-capped /verify runs,
+// keyed by single-use opaque tokens. It is a small bounded in-memory
+// table, not durable storage: tokens die with the process, and when
+// the table is full the oldest checkpoint is evicted (the client can
+// always fall back to re-verifying from scratch, so eviction costs
+// work, never correctness). Clients that need durable checkpoints use
+// mcacheck -checkpoint, which writes the document to a file.
+type resumeStore struct {
+	mu    sync.Mutex
+	cap   int
+	order []string // insertion order, oldest first
+	byTok map[string]*engine.Checkpoint
+}
+
+func newResumeStore(capacity int) *resumeStore {
+	if capacity <= 0 {
+		capacity = 16
+	}
+	return &resumeStore{cap: capacity, byTok: make(map[string]*engine.Checkpoint)}
+}
+
+// put stores a checkpoint and returns its fresh token, evicting the
+// oldest entry when the table is over capacity.
+func (s *resumeStore) put(cp *engine.Checkpoint) string {
+	buf := make([]byte, 16)
+	rand.Read(buf) // never fails per crypto/rand contract
+	tok := hex.EncodeToString(buf)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.byTok[tok] = cp
+	s.order = append(s.order, tok)
+	for len(s.order) > s.cap {
+		delete(s.byTok, s.order[0])
+		s.order = s.order[1:]
+	}
+	return tok
+}
+
+// take consumes a token: the checkpoint is returned at most once.
+// Single use keeps the table from accumulating spent prefixes and
+// makes "resumed twice" a visible client error instead of two racing
+// continuations of one run state.
+func (s *resumeStore) take(tok string) (*engine.Checkpoint, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cp, ok := s.byTok[tok]
+	if !ok {
+		return nil, false
+	}
+	delete(s.byTok, tok)
+	for i, t := range s.order {
+		if t == tok {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+	return cp, true
+}
+
+// len reports the number of live tokens (for tests).
+func (s *resumeStore) len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.byTok)
+}

@@ -1,0 +1,162 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/engine"
+)
+
+// cappableDoc is the line3 fixture (503 states, holds) with a budget
+// knob: small budgets cap, 30000 completes.
+func cappableDoc(maxStates int) string {
+	return fmt.Sprintf(`{
+  "version": 1,
+  "name": "served-resumable",
+  "agents": [
+    {"id": 0, "items": 2, "base": [10, 0],
+     "policy": {"target": 2, "utility": {"kind": "flat"}, "rebid": "on-change"}},
+    {"id": 1, "items": 2, "base": [0, 20],
+     "policy": {"target": 2, "utility": {"kind": "flat"}, "rebid": "on-change"}},
+    {"id": 2, "items": 2, "base": [5, 5],
+     "policy": {"target": 2, "utility": {"kind": "flat"}, "rebid": "on-change"}}
+  ],
+  "graph": {"nodes": 3, "edges": [{"u": 0, "v": 1}, {"u": 1, "v": 2}]},
+  "explore": {"max_states": %d}
+}`, maxStates)
+}
+
+type resumeEnvelope struct {
+	Resume string          `json:"resume"`
+	Result json.RawMessage `json:"result"`
+}
+
+func decodeEnvelope(t *testing.T, resp *http.Response) resumeEnvelope {
+	t.Helper()
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var env resumeEnvelope
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		t.Fatal(err)
+	}
+	return env
+}
+
+// resultNoWall canonicalizes an encoded result for byte comparison.
+func resultNoWall(t *testing.T, raw json.RawMessage) string {
+	t.Helper()
+	res, err := engine.DecodeResult(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Stats.Wall = 0
+	out, err := engine.EncodeResult(&res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(out)
+}
+
+func TestVerifyCheckpointResumeRoundTrip(t *testing.T) {
+	srv, _ := testServer(t)
+
+	// Uninterrupted reference at the full budget: no token comes back.
+	full := decodeEnvelope(t, postJSON(t, srv.URL+"/verify?checkpoint=1&workers=2", cappableDoc(30000)))
+	if full.Resume != "" {
+		t.Fatalf("completed run returned a resume token %q", full.Resume)
+	}
+
+	// Capped run: token plus an inconclusive capped result.
+	capped := decodeEnvelope(t, postJSON(t, srv.URL+"/verify?checkpoint=1&workers=2", cappableDoc(100)))
+	if capped.Resume == "" {
+		t.Fatal("capped run returned no resume token")
+	}
+	cres, err := engine.DecodeResult(capped.Result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cres.Status != engine.StatusInconclusive || !cres.Stats.Capped {
+		t.Fatalf("capped run: status=%v capped=%v", cres.Status, cres.Stats.Capped)
+	}
+
+	// Resume with a raised budget: same result as the uninterrupted run.
+	resumed := decodeEnvelope(t, postJSON(t, srv.URL+"/verify",
+		fmt.Sprintf(`{"resume": %q, "max_states": 30000}`, capped.Resume)))
+	if resumed.Resume != "" {
+		t.Fatalf("completed resume returned a new token %q", resumed.Resume)
+	}
+	if got, want := resultNoWall(t, resumed.Result), resultNoWall(t, full.Result); got != want {
+		t.Fatalf("resumed result diverged:\n%s\nvs uninterrupted:\n%s", got, want)
+	}
+
+	// Tokens are single use: the second attempt is a 404.
+	resp := postJSON(t, srv.URL+"/verify", fmt.Sprintf(`{"resume": %q, "max_states": 30000}`, capped.Resume))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("spent token: status %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestVerifyResumeUnknownToken(t *testing.T) {
+	srv, _ := testServer(t)
+	resp := postJSON(t, srv.URL+"/verify", `{"resume": "deadbeef", "max_states": 1000}`)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestVerifyCheckpointRejectsNonExplicitEngine(t *testing.T) {
+	srv, _ := testServer(t)
+	resp := postJSON(t, srv.URL+"/verify?checkpoint=1&engine=simulation", cappableDoc(100))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", resp.StatusCode)
+	}
+}
+
+// A capped run that is never resumed must not leak table capacity
+// forever: the bounded store evicts the oldest token once full.
+func TestResumeStoreEvictsOldest(t *testing.T) {
+	c, err := cache.New(cache.Options{Capacity: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := mustServer(t, serverConfig{Cache: c, DefaultTimeout: 30 * time.Second})
+	s.resumes = newResumeStore(2)
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+
+	var tokens []string
+	for i := 0; i < 3; i++ {
+		env := decodeEnvelope(t, postJSON(t, srv.URL+"/verify?checkpoint=1&workers=2", cappableDoc(100)))
+		if env.Resume == "" {
+			t.Fatal("no token")
+		}
+		tokens = append(tokens, env.Resume)
+	}
+	if n := s.resumes.len(); n != 2 {
+		t.Fatalf("store holds %d tokens, want 2", n)
+	}
+	resp := postJSON(t, srv.URL+"/verify", fmt.Sprintf(`{"resume": %q}`, tokens[0]))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("evicted token: status %d, want 404", resp.StatusCode)
+	}
+	resumed := decodeEnvelope(t, postJSON(t, srv.URL+"/verify",
+		fmt.Sprintf(`{"resume": %q, "max_states": 30000}`, tokens[2])))
+	res, err := engine.DecodeResult(resumed.Result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != engine.StatusHolds {
+		t.Fatalf("resumed newest token: status=%v", res.Status)
+	}
+}

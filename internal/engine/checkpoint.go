@@ -1,0 +1,96 @@
+package engine
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/explore"
+)
+
+// Checkpoint is a resumable snapshot of a budget-capped explicit-state
+// run: the scenario it was taken for, the worker count that produced it
+// (informational — resume works at any worker count), and the binary
+// explore run state. Checkpoints exist to raise the MaxStates budget of
+// a capped run without re-exploring its prefix; resuming yields a
+// result identical to the same verification executed uninterrupted.
+type Checkpoint struct {
+	// Scenario is the verification the run state belongs to. Matches
+	// compares it against the resuming scenario with the display name
+	// and the MaxStates budget blanked — everything else must agree.
+	Scenario Scenario
+	// Workers is the worker count of the run that produced the snapshot.
+	Workers int
+	// State is the binary explore.RunState document.
+	State []byte
+}
+
+type checkpointJSON struct {
+	Version  int             `json:"version"`
+	Scenario json.RawMessage `json:"scenario"`
+	Workers  int             `json:"workers,omitempty"`
+	RunState []byte          `json:"run_state"` // base64 per encoding/json
+}
+
+// EncodeCheckpoint renders a checkpoint as versioned JSON: the canonical
+// scenario document embedded verbatim, the binary run state as base64.
+func EncodeCheckpoint(c *Checkpoint) ([]byte, error) {
+	sc, err := EncodeScenario(&c.Scenario)
+	if err != nil {
+		return nil, fmt.Errorf("engine: checkpoint: %w", err)
+	}
+	return json.Marshal(checkpointJSON{
+		Version:  SchemaVersion,
+		Scenario: sc,
+		Workers:  c.Workers,
+		RunState: c.State,
+	})
+}
+
+// DecodeCheckpoint parses a checkpoint document strictly, validating
+// both the embedded scenario and the run state's structure.
+func DecodeCheckpoint(data []byte) (*Checkpoint, error) {
+	var w checkpointJSON
+	if err := strictUnmarshal(data, &w); err != nil {
+		return nil, fmt.Errorf("engine: checkpoint: %w", err)
+	}
+	if w.Version != SchemaVersion {
+		return nil, fmt.Errorf("engine: checkpoint: unsupported schema version %d (want %d)", w.Version, SchemaVersion)
+	}
+	s, err := DecodeScenario(w.Scenario)
+	if err != nil {
+		return nil, fmt.Errorf("engine: checkpoint: %w", err)
+	}
+	if _, err := explore.DecodeRunState(w.RunState); err != nil {
+		return nil, fmt.Errorf("engine: checkpoint: %w", err)
+	}
+	return &Checkpoint{Scenario: s, Workers: w.Workers, State: w.RunState}, nil
+}
+
+// Matches reports whether the checkpoint belongs to the same
+// verification as s: the canonical scenario encodings must be equal
+// with the display name and the MaxStates budget blanked (raising the
+// budget is the point of resuming; renaming is cosmetic). Any other
+// difference — agents, graph, bounds, store mode, fault model — would
+// silently change what the restored prefix means, so it is an error.
+func (c *Checkpoint) Matches(s Scenario) error {
+	a := c.Scenario
+	b := s
+	for _, sc := range []*Scenario{&a, &b} {
+		sc.Name = ""
+		sc.Explore.MaxStates = 0
+		sc.Explore.Cancel = nil
+	}
+	ea, err := EncodeScenario(&a)
+	if err != nil {
+		return fmt.Errorf("engine: checkpoint: %w", err)
+	}
+	eb, err := EncodeScenario(&b)
+	if err != nil {
+		return fmt.Errorf("engine: checkpoint: %w", err)
+	}
+	if !bytes.Equal(ea, eb) {
+		return fmt.Errorf("engine: checkpoint was taken for a different scenario than %q (only the display name and the max_states budget may differ on resume)", s.Name)
+	}
+	return nil
+}

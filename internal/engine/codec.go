@@ -111,13 +111,15 @@ type edgeJSON struct {
 }
 
 type exploreJSON struct {
-	Bound               int  `json:"bound,omitempty"`
-	BoundSlack          int  `json:"bound_slack,omitempty"`
-	HardLimitFactor     int  `json:"hard_limit_factor,omitempty"`
-	MaxStates           int  `json:"max_states,omitempty"`
-	QueueDepth          int  `json:"queue_depth,omitempty"`
-	DisableVisitedSet   bool `json:"disable_visited_set,omitempty"`
-	DuplicateDeliveries bool `json:"duplicate_deliveries,omitempty"`
+	Bound               int    `json:"bound,omitempty"`
+	BoundSlack          int    `json:"bound_slack,omitempty"`
+	HardLimitFactor     int    `json:"hard_limit_factor,omitempty"`
+	MaxStates           int    `json:"max_states,omitempty"`
+	QueueDepth          int    `json:"queue_depth,omitempty"`
+	DisableVisitedSet   bool   `json:"disable_visited_set,omitempty"`
+	DuplicateDeliveries bool   `json:"duplicate_deliveries,omitempty"`
+	Store               string `json:"store,omitempty"`
+	StoreBits           int    `json:"store_bits,omitempty"`
 }
 
 type faultsJSON struct {
@@ -330,6 +332,28 @@ func decodeViolation(s string) (explore.ViolationKind, error) {
 	return 0, fmt.Errorf("engine: unknown violation kind %q", s)
 }
 
+func encodeStoreKind(k explore.StoreKind) (string, error) {
+	switch k {
+	case explore.StoreExact:
+		return "", nil
+	case explore.StoreBitstate, explore.StoreHashCompact:
+		return k.String(), nil
+	}
+	return "", fmt.Errorf("engine: unencodable store kind %d", int(k))
+}
+
+func decodeStoreKind(s string) (explore.StoreKind, error) {
+	switch s {
+	case "":
+		return explore.StoreExact, nil
+	case explore.StoreBitstate.String():
+		return explore.StoreBitstate, nil
+	case explore.StoreHashCompact.String():
+		return explore.StoreHashCompact, nil
+	}
+	return 0, fmt.Errorf("engine: unknown store kind %q (want bitstate|hash-compact)", s)
+}
+
 func encodeSATStatus(s sat.Status) (string, error) {
 	switch s {
 	case sat.StatusUnknown:
@@ -418,6 +442,13 @@ func scenarioToWire(s *Scenario) (*scenarioJSON, error) {
 		}
 		w.Graph = gw
 	}
+	store, err := encodeStoreKind(s.Explore.Store)
+	if err != nil {
+		return nil, fmt.Errorf("engine: scenario %q: %w", s.Name, err)
+	}
+	// SpillDir and SpillStates are deliberately absent: spill is a
+	// verdict-neutral runtime resource (like Cancel), so it must not
+	// split the content-addressed result cache.
 	if ex := (exploreJSON{
 		Bound:               s.Explore.Bound,
 		BoundSlack:          s.Explore.BoundSlack,
@@ -426,6 +457,8 @@ func scenarioToWire(s *Scenario) (*scenarioJSON, error) {
 		QueueDepth:          s.Explore.QueueDepth,
 		DisableVisitedSet:   s.Explore.DisableVisitedSet,
 		DuplicateDeliveries: s.Explore.DuplicateDeliveries,
+		Store:               store,
+		StoreBits:           s.Explore.StoreBits,
 	}); ex != (exploreJSON{}) {
 		w.Explore = &ex
 	}
@@ -558,6 +591,10 @@ func scenarioFromWire(w *scenarioJSON) (Scenario, error) {
 		s.Graph = g
 	}
 	if w.Explore != nil {
+		store, err := decodeStoreKind(w.Explore.Store)
+		if err != nil {
+			return Scenario{}, fmt.Errorf("engine: scenario %q: %w", w.Name, err)
+		}
 		s.Explore = explore.Options{
 			Bound:               w.Explore.Bound,
 			BoundSlack:          w.Explore.BoundSlack,
@@ -566,6 +603,8 @@ func scenarioFromWire(w *scenarioJSON) (Scenario, error) {
 			QueueDepth:          w.Explore.QueueDepth,
 			DisableVisitedSet:   w.Explore.DisableVisitedSet,
 			DuplicateDeliveries: w.Explore.DuplicateDeliveries,
+			Store:               store,
+			StoreBits:           w.Explore.StoreBits,
 		}
 	}
 	if w.Faults != nil {
@@ -685,23 +724,24 @@ type resultJSON struct {
 }
 
 type statsJSON struct {
-	States      int   `json:"states,omitempty"`
-	MaxDepth    int   `json:"max_depth,omitempty"`
-	Exhausted   bool  `json:"exhausted,omitempty"`
-	Capped      bool  `json:"capped,omitempty"`
-	PrimaryVars int   `json:"primary_vars,omitempty"`
-	AuxVars     int   `json:"aux_vars,omitempty"`
-	Clauses     int   `json:"clauses,omitempty"`
-	TranslateNS int64 `json:"translate_ns,omitempty"`
-	SolveNS     int64 `json:"solve_ns,omitempty"`
-	Conflicts   int64 `json:"conflicts,omitempty"`
-	Props       int64 `json:"propagations,omitempty"`
-	LearntCl    int64 `json:"learnt_clauses,omitempty"`
-	Runs        int   `json:"runs,omitempty"`
-	Converged   int   `json:"converged,omitempty"`
-	Deliveries  int   `json:"deliveries,omitempty"`
-	Dropped     int   `json:"dropped,omitempty"`
-	WallNS      int64 `json:"wall_ns,omitempty"`
+	States      int     `json:"states,omitempty"`
+	MaxDepth    int     `json:"max_depth,omitempty"`
+	Exhausted   bool    `json:"exhausted,omitempty"`
+	Capped      bool    `json:"capped,omitempty"`
+	MissProb    float64 `json:"miss_prob,omitempty"`
+	PrimaryVars int     `json:"primary_vars,omitempty"`
+	AuxVars     int     `json:"aux_vars,omitempty"`
+	Clauses     int     `json:"clauses,omitempty"`
+	TranslateNS int64   `json:"translate_ns,omitempty"`
+	SolveNS     int64   `json:"solve_ns,omitempty"`
+	Conflicts   int64   `json:"conflicts,omitempty"`
+	Props       int64   `json:"propagations,omitempty"`
+	LearntCl    int64   `json:"learnt_clauses,omitempty"`
+	Runs        int     `json:"runs,omitempty"`
+	Converged   int     `json:"converged,omitempty"`
+	Deliveries  int     `json:"deliveries,omitempty"`
+	Dropped     int     `json:"dropped,omitempty"`
+	WallNS      int64   `json:"wall_ns,omitempty"`
 }
 
 type traceJSON struct {
@@ -754,6 +794,7 @@ func EncodeResult(r *Result) ([]byte, error) {
 		MaxDepth:    r.Stats.MaxDepth,
 		Exhausted:   r.Stats.Exhausted,
 		Capped:      r.Stats.Capped,
+		MissProb:    r.Stats.MissProb,
 		PrimaryVars: r.Stats.PrimaryVars,
 		AuxVars:     r.Stats.AuxVars,
 		Clauses:     r.Stats.Clauses,
@@ -826,6 +867,7 @@ func DecodeResult(data []byte) (Result, error) {
 			MaxDepth:      w.Stats.MaxDepth,
 			Exhausted:     w.Stats.Exhausted,
 			Capped:        w.Stats.Capped,
+			MissProb:      w.Stats.MissProb,
 			PrimaryVars:   w.Stats.PrimaryVars,
 			AuxVars:       w.Stats.AuxVars,
 			Clauses:       w.Stats.Clauses,
@@ -865,6 +907,7 @@ func DecodeResult(data []byte) (Result, error) {
 			MaxDepth:  r.Stats.MaxDepth,
 			Exhausted: r.Stats.Exhausted,
 			Capped:    r.Stats.Capped,
+			MissProb:  r.Stats.MissProb,
 		}
 	}
 	return r, nil
@@ -879,6 +922,7 @@ type summaryJSON struct {
 	Violated     int            `json:"violated,omitempty"`
 	Inconclusive int            `json:"inconclusive,omitempty"`
 	Errors       int            `json:"errors,omitempty"`
+	Capped       int            `json:"capped,omitempty"`
 	CacheHits    int            `json:"cache_hits,omitempty"`
 	Violations   map[string]int `json:"violations,omitempty"`
 	Scenarios    []string       `json:"scenarios,omitempty"`
@@ -895,6 +939,7 @@ func EncodeSummary(s *Summary) ([]byte, error) {
 		Violated:     s.Violated,
 		Inconclusive: s.Inconclusive,
 		Errors:       s.Errors,
+		Capped:       s.Capped,
 		CacheHits:    s.CacheHits,
 		Scenarios:    s.Scenarios,
 		WallNS:       int64(s.Wall),
@@ -927,6 +972,7 @@ func DecodeSummary(data []byte) (Summary, error) {
 		Violated:     w.Violated,
 		Inconclusive: w.Inconclusive,
 		Errors:       w.Errors,
+		Capped:       w.Capped,
 		CacheHits:    w.CacheHits,
 		Violations:   map[explore.ViolationKind]int{},
 		Scenarios:    w.Scenarios,

@@ -146,6 +146,11 @@ type Stats struct {
 	MaxDepth  int
 	Exhausted bool
 	Capped    bool
+	// MissProb is the lossy seen-set's upper bound on the probability
+	// that any single membership query wrongly answered "seen" (0 for
+	// the exact store): the quantified soundness cost of running the
+	// explicit engine in bitstate or hash-compaction mode.
+	MissProb float64
 	// SAT: translation sizes and times.
 	PrimaryVars   int
 	AuxVars       int

@@ -39,27 +39,66 @@ func (e Explicit) serial() bool { return e.Workers == 0 }
 // cannot agree); probabilistic or timed faults are rejected — they have
 // no exhaustive semantics and belong to the Simulation engine.
 func (e Explicit) Verify(ctx context.Context, s Scenario) Result {
+	res, _ := e.verify(ctx, s, nil, false)
+	return res
+}
+
+// VerifyResumable is Verify with checkpoint/resume: a non-nil prior
+// checkpoint (for the same scenario modulo display name and MaxStates
+// budget — resume exists to raise the budget) continues the capped run
+// instead of restarting it, and a run that stops on the MaxStates
+// budget comes back with a fresh checkpoint (nil otherwise). The
+// resumed result is identical to the same verification executed
+// uninterrupted, at any worker count. Requires the parallel frontier:
+// the serial DFS stops mid-path and has no checkpointable cut.
+func (e Explicit) VerifyResumable(ctx context.Context, s Scenario, prior *Checkpoint) (Result, *Checkpoint) {
+	return e.verify(ctx, s, prior, true)
+}
+
+func (e Explicit) verify(ctx context.Context, s Scenario, prior *Checkpoint, capture bool) (Result, *Checkpoint) {
 	start := time.Now()
 	if s.Graph == nil {
-		return errorResult(&s, e.Name(), fmt.Errorf("engine: scenario %q has no agent graph", s.Name))
+		return errorResult(&s, e.Name(), fmt.Errorf("engine: scenario %q has no agent graph", s.Name)), nil
 	}
 	if !s.Faults.None() && !s.Faults.StaticPartitionOnly() {
 		return errorResult(&s, e.Name(), fmt.Errorf(
-			"engine: scenario %q has probabilistic or timed faults; exhaustive checking supports only permanent partitions (use the Simulation engine)", s.Name))
+			"engine: scenario %q has probabilistic or timed faults; exhaustive checking supports only permanent partitions (use the Simulation engine)", s.Name)), nil
+	}
+	if !e.serial() && s.Explore.Store != explore.StoreExact {
+		return errorResult(&s, e.Name(), fmt.Errorf(
+			"engine: scenario %q uses the lossy %s store, which is serial-only (the sharded frontier partitions the state space by its exact seen-set)", s.Name, s.Explore.Store)), nil
+	}
+	if capture && e.serial() {
+		return errorResult(&s, e.Name(), fmt.Errorf(
+			"engine: scenario %q: checkpoint/resume requires the parallel frontier (workers != 0); the serial DFS stops mid-path and has no checkpointable cut", s.Name)), nil
 	}
 	agents, err := s.agents()
 	if err != nil {
-		return errorResult(&s, e.Name(), err)
+		return errorResult(&s, e.Name(), err), nil
 	}
 	g := s.Faults.ApplyPartitions(s.Graph)
 	opts := s.Explore
 	opts.Cancel = combineCancel(opts.Cancel, cancelHook(ctx))
 
+	var rs *explore.RunState
+	if prior != nil {
+		if err := prior.Matches(s); err != nil {
+			return errorResult(&s, e.Name(), err), nil
+		}
+		if rs, err = explore.DecodeRunState(prior.State); err != nil {
+			return errorResult(&s, e.Name(), err), nil
+		}
+	}
+
 	var v explore.Verdict
+	var next *explore.RunState
 	if e.serial() {
 		v = explore.Check(agents, g, opts)
 	} else {
-		v = explore.CheckParallel(agents, g, opts, e.Workers)
+		v, next, err = explore.CheckParallelFrom(agents, g, opts, e.Workers, rs, capture)
+		if err != nil {
+			return errorResult(&s, e.Name(), err), nil
+		}
 	}
 
 	res := Result{
@@ -74,6 +113,7 @@ func (e Explicit) Verify(ctx context.Context, s Scenario) Result {
 			MaxDepth:  v.MaxDepth,
 			Exhausted: v.Exhausted,
 			Capped:    v.Capped,
+			MissProb:  v.MissProb,
 			Wall:      time.Since(start),
 		},
 	}
@@ -88,5 +128,11 @@ func (e Explicit) Verify(ctx context.Context, s Scenario) Result {
 			res.Err = ctx.Err()
 		}
 	}
-	return res
+	var cp *Checkpoint
+	if next != nil {
+		cs := s
+		cs.Explore.Cancel = nil
+		cp = &Checkpoint{Scenario: cs, Workers: e.Workers, State: explore.EncodeRunState(next)}
+	}
+	return res, cp
 }

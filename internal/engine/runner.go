@@ -176,6 +176,10 @@ type Summary struct {
 	Violated     int
 	Inconclusive int
 	Errors       int
+	// Capped counts results whose run stopped on the MaxStates budget —
+	// inconclusive verdicts that a bigger budget (or checkpoint/resume)
+	// could decide, as opposed to cancellations.
+	Capped int
 	// CacheHits counts results served from the Runner's result cache.
 	CacheHits int
 	// Violations counts dynamic counterexamples by kind.
@@ -193,6 +197,9 @@ func Summarize(results []Result) Summary {
 	for _, res := range results {
 		if res.Cached {
 			sum.CacheHits++
+		}
+		if res.Stats.Capped {
+			sum.Capped++
 		}
 		switch res.Status {
 		case StatusHolds:

@@ -80,6 +80,33 @@ type Options struct {
 	// at-least-once channels. The MCA merge is idempotent, so honest
 	// configurations must still verify.
 	DuplicateDeliveries bool
+	// Store selects the seen-set representation (serial Check only).
+	// The lossy modes (StoreBitstate, StoreHashCompact) bound memory at
+	// the price of a quantified per-lookup miss probability, reported
+	// as Verdict.MissProb; they may under-explore but never invent a
+	// violation. CheckParallel ignores lossy modes the way it ignores
+	// DisableVisitedSet — its seen-set is also the sharding structure —
+	// and the engine adapter rejects the combination loudly.
+	Store StoreKind
+	// StoreBits sizes the lossy stores as a power of two: bitstate uses
+	// a bit array of 2^StoreBits bits, hash compaction a fixed table of
+	// 2^StoreBits 32-bit fingerprint slots. 0 picks the defaults (2^26
+	// bits / 2^22 slots).
+	StoreBits int
+	// SpillDir, when non-empty, enables disk spill of sealed shard
+	// tables (CheckParallel only): a shard whose sealed seen-set grows
+	// past SpillStates entries writes it to a sorted segment file under
+	// a per-run temp directory inside SpillDir (atomic rename) and
+	// drops the in-memory table, deduplicating arrivals by sequential
+	// merge against the segment. Spill is a runtime memory optimization
+	// only — verdicts, traces, and state counts are identical to an
+	// in-core run — so it is excluded from the canonical scenario codec
+	// and the cache key. The temp directory is removed when the check
+	// returns, including on cancellation.
+	SpillDir string
+	// SpillStates is the per-shard sealed-entry threshold that triggers
+	// a spill (default 1<<20 when SpillDir is set).
+	SpillStates int
 	// Cancel, when non-nil, is polled periodically during exploration;
 	// once it returns true the check stops and reports an inconclusive
 	// (Exhausted=false) verdict. This is the cooperative hook the engine
@@ -102,6 +129,9 @@ func (o Options) withDefaults(g *graph.Graph, items int) Options {
 	}
 	if o.QueueDepth == 0 {
 		o.QueueDepth = 2
+	}
+	if o.SpillDir != "" && o.SpillStates <= 0 {
+		o.SpillStates = 1 << 20
 	}
 	return o
 }
@@ -131,6 +161,14 @@ type Verdict struct {
 	// budget was reached, distinguishing budget-capped runs from
 	// cancelled ones (both report Exhausted=false).
 	Capped bool
+	// MissProb, for lossy seen-set modes (bitstate/hash compaction), is
+	// a conservative upper bound on the per-lookup probability that a
+	// new state was wrongly treated as already seen, evaluated at the
+	// store's final occupancy. An OK verdict from a lossy run is
+	// probabilistic with this confidence qualifier; exact runs report
+	// 0. Violations are unconditional either way — lossy stores can
+	// only prune, never fabricate a counterexample.
+	MissProb float64
 	// Store reports seen-set occupancy and probe statistics. It is
 	// diagnostic only and exempt from the determinism contract: probe
 	// counts vary with worker count and scheduling.
@@ -143,10 +181,11 @@ type checker struct {
 	net    *netsim.Network
 	g      *graph.Graph
 	opts   Options
-	// visited is the compact seen-set of fully explored states; onPath
-	// tracks only the current DFS path (bounded by the hard limit, with
-	// per-branch deletion) for oscillation detection.
-	visited stateTable
+	// visited is the seen-set of fully explored states (exact or lossy
+	// per Options.Store); onPath tracks only the current DFS path
+	// (bounded by the hard limit, with per-branch deletion) for
+	// oscillation detection, and stays exact in every store mode.
+	visited seenSet
 	onPath  map[[2]uint64]pathMark
 	// path is the current delivery sequence; counterexample traces are
 	// rebuilt by replaying it from the initial state, so the hot loop
@@ -195,11 +234,16 @@ func Check(agents []*mca.Agent, g *graph.Graph, opts Options) Verdict {
 	if opts.QueueDepth > 0 {
 		net.LimitQueueDepth(opts.QueueDepth)
 	}
+	seen := newSeenSet(opts)
+	if testSeenWrap != nil {
+		seen = testSeenWrap(seen)
+	}
 	c := &checker{
 		agents:  agents,
 		net:     net,
 		g:       g,
 		opts:    opts,
+		visited: seen,
 		onPath:  make(map[[2]uint64]pathMark),
 		verdict: &Verdict{},
 	}
@@ -216,9 +260,15 @@ func Check(agents []*mca.Agent, g *graph.Graph, opts Options) Verdict {
 	c.verdict.Exhausted = !c.cancelled && !c.capped && c.verdict.States < opts.MaxStates
 	c.verdict.Capped = c.capped
 	c.verdict.OK = c.verdict.Violation == ViolationNone && c.verdict.Exhausted
+	c.verdict.MissProb = c.visited.missProb()
 	c.visited.addStats(&c.verdict.Store)
 	return *c.verdict
 }
+
+// testSeenWrap, when non-nil, wraps the seen-set Check constructs —
+// the statistical tests interpose a shadow exact store to count the
+// lossy stores' false positives on real key streams.
+var testSeenWrap func(seenSet) seenSet
 
 // dfs returns true when a violation has been found (stops the search).
 // depth counts all deliveries on the path; changes counts only the
@@ -248,7 +298,7 @@ func (c *checker) dfs(depth, changes int) bool {
 		// no progress, no violation — prune the branch.
 		return false
 	}
-	if !c.opts.DisableVisitedSet && c.visited.get(key) != nil {
+	if !c.opts.DisableVisitedSet && c.visited.has(key) {
 		return false
 	}
 	c.verdict.States++
@@ -266,7 +316,7 @@ func (c *checker) dfs(depth, changes int) bool {
 			c.fail(ViolationConflict, "agreement reached but bundles conflict")
 			return true
 		}
-		c.visited.insert(key, visitedMark)
+		c.visited.add(key)
 		return false
 	}
 	if depth >= c.opts.hardLimit() {
@@ -323,7 +373,7 @@ func (c *checker) dfs(depth, changes int) bool {
 		}
 	}
 	if !c.opts.DisableVisitedSet {
-		c.visited.insert(key, visitedMark)
+		c.visited.add(key)
 	}
 	delete(c.onPath, key)
 	return false

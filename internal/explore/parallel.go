@@ -2,6 +2,7 @@ package explore
 
 import (
 	"fmt"
+	"os"
 	"runtime"
 	"sort"
 	"sync"
@@ -65,15 +66,45 @@ import (
 // deepest level that contained a new distinct state — the maximum BFS
 // distance explored.
 func CheckParallel(agents []*mca.Agent, g *graph.Graph, opts Options, workers int) Verdict {
+	v, _, _ := CheckParallelFrom(agents, g, opts, workers, nil, false)
+	return v
+}
+
+// CheckParallelFrom is CheckParallel with checkpoint/resume: a non-nil
+// prior run state restores a budget-capped run (seen set, frontier,
+// transition log) and continues it at prior.NextLevel instead of
+// restarting, and capture asks for a new run state back when this run
+// itself stops on the MaxStates budget (nil otherwise). The resumed
+// verdict is identical — violation, trace, state count, depth — to the
+// same run executed without interruption, at any worker count, because
+// the restored cut is exactly the state a fresh run would hold at that
+// level boundary. The error is non-nil only for a structurally invalid
+// prior; semantic compatibility (same scenario, same bounds) is the
+// caller's contract — see engine.Checkpoint.
+func CheckParallelFrom(agents []*mca.Agent, g *graph.Graph, opts Options, workers int, prior *RunState, capture bool) (Verdict, *RunState, error) {
 	if len(agents) == 0 {
-		return Verdict{OK: true, Exhausted: true}
+		return Verdict{OK: true, Exhausted: true}, nil, nil
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	opts = opts.withDefaults(g, agents[0].Items())
 	if opts.Cancel != nil && opts.Cancel() {
-		return Verdict{} // cancelled before exploration; inconclusive
+		return Verdict{}, nil, nil // cancelled before exploration; inconclusive
+	}
+	if prior != nil && opts.MaxStates > 0 && prior.States >= opts.MaxStates {
+		// The prior run already spent this budget: exploring even one
+		// more level would overshoot what the same verification executed
+		// uninterrupted at this budget could reach, breaking resume
+		// equivalence. Re-cap immediately with the prior verdict; the
+		// run state passes through unchanged so a later resume with a
+		// raised budget still works.
+		v := Verdict{States: prior.States, MaxDepth: prior.MaxDepth, Capped: true}
+		var next *RunState
+		if capture {
+			next = prior
+		}
+		return v, next, nil
 	}
 
 	// Initial transition: all agents bid and broadcast.
@@ -101,17 +132,37 @@ func CheckParallel(agents []*mca.Agent, g *graph.Graph, opts Options, workers in
 	for _, s := range ps.shards {
 		s.scratch = net0.Clone()
 	}
-	rootKey := ps.shards[0].keys.key(ps.shards[0].replicas, net0)
-	rootNode := ps.shards[0].arena.alloc()
-	rootNode.key = rootKey
-	root := workItem{
-		node:   rootNode,
-		buf:    net0.AppendState(encodeStates(agents, nil)),
-		routeH: routeSeed,
+
+	// Disk spill is best-effort: if the per-run temp directory cannot
+	// be created the check simply runs in-core (identical verdict).
+	// The directory is removed on every exit path, cancellation
+	// included.
+	if opts.SpillDir != "" {
+		if runDir, err := os.MkdirTemp(opts.SpillDir, "mcaspill-"); err == nil {
+			defer os.RemoveAll(runDir)
+			for _, s := range ps.shards {
+				s.spill = &spillStore{dir: runDir, shard: s.self, threshold: opts.SpillStates}
+			}
+		}
 	}
-	owner := shardOf(rootKey, workers)
-	ps.shards[owner].bucketInto(0, []workItem{root})
-	ps.level(0).routed = 1
+
+	if prior != nil {
+		if err := ps.restore(prior, workers); err != nil {
+			return Verdict{}, nil, err
+		}
+	} else {
+		rootKey := ps.shards[0].keys.key(ps.shards[0].replicas, net0)
+		rootNode := ps.shards[0].arena.alloc()
+		rootNode.key = rootKey
+		root := workItem{
+			node:   rootNode,
+			buf:    net0.AppendState(encodeStates(agents, nil)),
+			routeH: routeSeed,
+		}
+		owner := shardOf(rootKey, workers)
+		ps.shards[owner].bucketInto(0, []workItem{root})
+		ps.level(0).routed = 1
+	}
 
 	var wg sync.WaitGroup
 	for _, s := range ps.shards {
@@ -123,7 +174,12 @@ func CheckParallel(agents []*mca.Agent, g *graph.Graph, opts Options, workers in
 	}
 	wg.Wait()
 
-	return ps.assemble(agents, states0, net0)
+	verdict := ps.assemble(agents, states0, net0)
+	var next *RunState
+	if capture && verdict.Capped {
+		next = ps.captureRunState(&verdict)
+	}
+	return verdict, next, nil
 }
 
 // routeSeed is the FNV-1a offset basis used for route fingerprints.
@@ -217,8 +273,211 @@ type pipeline struct {
 	workers int
 	opts    Options
 	shards  []*shardWorker
-	mu      sync.Mutex // guards levels growth and per-level merging
-	levels  []*levelStat
+	// startLevel and baseMaxDepth are non-zero only on resumed runs:
+	// exploration begins at startLevel, and baseMaxDepth carries the
+	// prior run's deepest productive level into the final verdict.
+	startLevel   int
+	baseMaxDepth int
+	mu           sync.Mutex // guards levels growth and per-level merging
+	levels       []*levelStat
+}
+
+// restore rebuilds the shards from a prior run state: tree nodes are
+// resurrected into one backing slice (kept alive by the sealed tables'
+// pointers into it), the seen set is re-routed to its owning shards'
+// sealed tables by key — so restoration works at any worker count —
+// the frontier is re-bucketed for the start level, the transition log
+// lands in shard 0 (the oscillation analysis concatenates all logs
+// anyway), and the completed-level ladder is prefilled so the workers'
+// decision reads and the budget math see the prior run's cut.
+func (ps *pipeline) restore(prior *RunState, workers int) error {
+	if err := prior.validate(); err != nil {
+		return err
+	}
+	nodes := make([]pathNode, len(prior.Nodes))
+	for i := range prior.Nodes {
+		rn := &prior.Nodes[i]
+		n := &nodes[i]
+		n.key = rn.Key
+		if rn.Parent >= 0 {
+			n.parent = &nodes[rn.Parent]
+		}
+		n.edge = netsim.Edge{From: mca.AgentID(rn.From), To: mca.AgentID(rn.To)}
+		n.consume = rn.Consume
+		n.depth = int(rn.Depth)
+		n.changes = int(rn.Changes)
+	}
+	for i := 0; i < prior.SeenCount; i++ {
+		n := &nodes[i]
+		ps.shards[shardOf(n.key, workers)].sealed.insert(n.key, n)
+	}
+	ps.startLevel = prior.NextLevel
+	ps.baseMaxDepth = prior.MaxDepth
+	for i := range prior.Frontier {
+		it := &prior.Frontier[i]
+		n := &nodes[it.Node]
+		w := ps.shards[shardOf(n.key, workers)]
+		w.bucketInto(ps.startLevel, []workItem{{
+			node:   n,
+			buf:    append([]byte(nil), it.State...),
+			routeH: it.RouteH,
+		}})
+	}
+	ps.level(ps.startLevel).routed = len(prior.Frontier)
+	for i := range prior.Edges {
+		e := &prior.Edges[i]
+		ps.shards[0].edges.append(edgeRec{
+			from: e.From, to: e.To,
+			step: stepRec{
+				edge:    netsim.Edge{From: mca.AgentID(e.EdgeFrom), To: mca.AgentID(e.EdgeTo)},
+				consume: e.Consume,
+			},
+			didChange: e.DidChange,
+		})
+	}
+	for l := 0; l < ps.startLevel; l++ {
+		ls := ps.level(l)
+		ls.decision = decisionContinue
+		ls.finished = ps.workers
+	}
+	ps.level(ps.startLevel - 1).cumStates = prior.States
+	return nil
+}
+
+// captureRunState snapshots a budget-capped run at its level-boundary
+// cut, after the worker fleet has joined. The cut is exact: every
+// worker exits only after draining all end-of-level markers for the
+// stop level, and each peer's streamed batches precede its marker in
+// the FIFO inboxes, so the stop+1 buckets hold the complete routed
+// frontier and every processed state has been sealed. The seen set is
+// serialized sorted by canonical key and the frontier and edge log in
+// fixed orders, so the snapshot itself is deterministic up to the
+// producer-side pruning races CheckParallel already tolerates (a racy
+// unpruned duplicate is discarded by arrival dedup on resume exactly
+// as it would have been in the uninterrupted run).
+func (ps *pipeline) captureRunState(v *Verdict) *RunState {
+	stop := -1
+	for l := range ps.levels {
+		if ps.levels[l].decision == decisionStop {
+			stop = l
+			break
+		}
+	}
+	if stop < 0 {
+		return nil
+	}
+	rs := &RunState{NextLevel: stop + 1, States: v.States, MaxDepth: v.MaxDepth}
+
+	type seenEnt struct {
+		key  [2]uint64
+		node *pathNode
+	}
+	var seen []seenEnt
+	for _, s := range ps.shards {
+		s.spill.forEach(func(k [2]uint64, n *pathNode) { seen = append(seen, seenEnt{k, n}) })
+		s.sealed.forEach(func(k [2]uint64, n *pathNode) { seen = append(seen, seenEnt{k, n}) })
+		s.fresh.forEach(func(k [2]uint64, n *pathNode) { seen = append(seen, seenEnt{k, n}) })
+	}
+	sort.Slice(seen, func(i, j int) bool { return keyLess(seen[i].key, seen[j].key) })
+
+	idx := make(map[*pathNode]int32, len(seen))
+	rs.Nodes = make([]RunNode, 0, len(seen))
+	for _, e := range seen {
+		idx[e.node] = int32(len(rs.Nodes))
+		rs.Nodes = append(rs.Nodes, runNodeOf(e.node, -1))
+	}
+	// Parent links resolve entirely within the seen set: a seen node's
+	// parent was processed one level earlier, and a frontier node's
+	// parent was processed at the stop level.
+	for i, e := range seen {
+		if e.node.parent != nil {
+			rs.Nodes[i].Parent = idx[e.node.parent]
+		}
+	}
+	rs.SeenCount = len(rs.Nodes)
+
+	var items []workItem
+	for _, s := range ps.shards {
+		if stop+1 < len(s.buckets) {
+			items = append(items, s.buckets[stop+1]...)
+		}
+	}
+	sort.Slice(items, func(i, j int) bool {
+		a, b := &items[i], &items[j]
+		if a.node.key != b.node.key {
+			return keyLess(a.node.key, b.node.key)
+		}
+		if a.node.changes != b.node.changes {
+			return a.node.changes > b.node.changes
+		}
+		if a.routeH != b.routeH {
+			return a.routeH < b.routeH
+		}
+		return string(a.buf) < string(b.buf)
+	})
+	rs.Frontier = make([]RunItem, 0, len(items))
+	for i := range items {
+		it := &items[i]
+		parent := int32(-1)
+		if it.node.parent != nil {
+			parent = idx[it.node.parent]
+		}
+		node := int32(len(rs.Nodes))
+		rs.Nodes = append(rs.Nodes, runNodeOf(it.node, parent))
+		rs.Frontier = append(rs.Frontier, RunItem{
+			Node:   node,
+			RouteH: it.routeH,
+			State:  append([]byte(nil), it.buf...),
+		})
+	}
+
+	total := 0
+	for _, s := range ps.shards {
+		total += s.edges.total
+	}
+	rs.Edges = make([]RunEdge, 0, total)
+	for _, s := range ps.shards {
+		for _, b := range s.edges.blocks {
+			for i := range b {
+				e := &b[i]
+				rs.Edges = append(rs.Edges, RunEdge{
+					From: e.from, To: e.to,
+					EdgeFrom: int32(e.step.edge.From), EdgeTo: int32(e.step.edge.To),
+					Consume: e.step.consume, DidChange: e.didChange,
+				})
+			}
+		}
+	}
+	sort.Slice(rs.Edges, func(i, j int) bool {
+		a, b := &rs.Edges[i], &rs.Edges[j]
+		if a.From != b.From {
+			return keyLess(a.From, b.From)
+		}
+		if a.To != b.To {
+			return keyLess(a.To, b.To)
+		}
+		if a.EdgeFrom != b.EdgeFrom {
+			return a.EdgeFrom < b.EdgeFrom
+		}
+		if a.EdgeTo != b.EdgeTo {
+			return a.EdgeTo < b.EdgeTo
+		}
+		return a.Consume && !b.Consume
+	})
+	return rs
+}
+
+// runNodeOf converts a tree node to its serialized form.
+func runNodeOf(n *pathNode, parent int32) RunNode {
+	return RunNode{
+		Key:     n.key,
+		Parent:  parent,
+		From:    int32(n.edge.From),
+		To:      int32(n.edge.To),
+		Consume: n.consume,
+		Depth:   int32(n.depth),
+		Changes: int32(n.changes),
+	}
 }
 
 // level returns the stat record for a level, growing the ladder on
@@ -304,7 +563,7 @@ func (ps *pipeline) decide(l int) {
 
 // assemble builds the final Verdict after every worker has exited.
 func (ps *pipeline) assemble(agents []*mca.Agent, states0 []mca.AgentState, net0 *netsim.Network) Verdict {
-	verdict := &Verdict{}
+	verdict := &Verdict{MaxDepth: ps.baseMaxDepth}
 	var stop *levelStat
 	for l := 0; l < len(ps.levels); l++ {
 		ls := ps.levels[l]
@@ -337,6 +596,7 @@ func (ps *pipeline) assemble(agents []*mca.Agent, states0 []mca.AgentState, net0
 	for _, s := range ps.shards {
 		s.sealed.addStats(&verdict.Store)
 		s.fresh.addStats(&verdict.Store)
+		s.spill.addToStats(&verdict.Store)
 	}
 	if chosen != nil {
 		verdict.Violation = chosen.kind
@@ -424,13 +684,16 @@ type shardWorker struct {
 	self     int // this worker's shard index
 	replicas []*mca.Agent
 	keys     keyScratch
-	snap     netsim.QueueSnapshot
-	edgeBuf  []netsim.Edge
-	pendBuf  []netsim.Edge
-	sealed   sealedTable
-	fresh    stateTable
-	arena    nodeArena
-	inbox    inbox
+	// spill is the shard's disk residence for sealed states; nil unless
+	// Options.SpillDir is set.
+	spill   *spillStore
+	snap    netsim.QueueSnapshot
+	edgeBuf []netsim.Edge
+	pendBuf []netsim.Edge
+	sealed  sealedTable
+	fresh   stateTable
+	arena   nodeArena
+	inbox   inbox
 	// scratch is the shard's single live network: every frontier item's
 	// queue state is decoded into it for expansion and re-encoded for
 	// the item's successors. saveSlot holds the delivery receiver's
@@ -493,6 +756,7 @@ func (w *shardWorker) seal() {
 		w.sealed.insert(k, n)
 	})
 	w.fresh.clear()
+	w.spill.maybeSpill(&w.sealed)
 }
 
 // bucketInto appends items to the shard's bucket for a level, seeding
@@ -537,8 +801,8 @@ func (w *shardWorker) absorb(m pipeMsg) {
 // process this shard's bucket, merge results, and signal end-of-level.
 func (w *shardWorker) run(ps *pipeline) {
 	workers := len(ps.shards)
-	for level := 0; ; level++ {
-		if level > 0 {
+	for level := ps.startLevel; ; level++ {
+		if level > ps.startLevel {
 			// Drain the inbox until every peer has finished the previous
 			// level. Batches for this level (from peers still finishing
 			// it... impossible — they'd be for level+1) and for the next
@@ -647,9 +911,17 @@ func (w *shardWorker) processLevel(items []workItem, ps *pipeline, level int) (i
 	if opts.DuplicateDeliveries {
 		nmodes = 2 // consume, then duplicate
 	}
+	// Arrival dedup against spilled entries is a sequential merge scan:
+	// the items were just sorted key-ascending and the segment is key
+	// sorted, so one pass of the cursor covers the whole level.
+	spillCur := w.spill.openCursor()
+	if spillCur != nil {
+		defer spillCur.close()
+	}
 	for i := range items {
 		it := &items[i]
-		if w.sealed.get(it.node.key) != nil || w.fresh.get(it.node.key) != nil {
+		if w.sealed.get(it.node.key) != nil || w.fresh.get(it.node.key) != nil ||
+			(spillCur != nil && spillCur.seek(it.node.key)) {
 			w.recycle(it)
 			continue
 		}
@@ -827,6 +1099,7 @@ func treeSteps(n *pathNode) []stepRec {
 func mergeNodes(shards []*shardWorker) map[[2]uint64]*pathNode {
 	out := make(map[[2]uint64]*pathNode)
 	for _, s := range shards {
+		s.spill.forEach(func(k [2]uint64, n *pathNode) { out[k] = n })
 		s.sealed.forEach(func(k [2]uint64, n *pathNode) { out[k] = n })
 		s.fresh.forEach(func(k [2]uint64, n *pathNode) { out[k] = n })
 	}

@@ -1,0 +1,269 @@
+package explore
+
+import (
+	"bytes"
+	"context"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/mca"
+)
+
+// line3Agents is the resume-test workhorse: 503 states, depth 12,
+// property holds — big enough to cap at interesting points, small
+// enough to explore uninterrupted in every subtest.
+func line3Agents() []*mca.Agent {
+	return agentsWithBases([][]int64{{10, 0}, {0, 20}, {5, 5}}, honestPolicy(2, mca.FlatUtility{}, false))
+}
+
+// oscAgents oscillates (violation at depth 11, 18 states uncapped).
+func oscAgents() []*mca.Agent {
+	return agentsWithBases([][]int64{{10, 15}, {15, 10}}, honestPolicy(2, mca.NonSubmodularSynergy{}, true))
+}
+
+func verdictSignature(v Verdict) string {
+	tr := ""
+	if v.Trace != nil {
+		tr = v.Trace.String()
+	}
+	return tr
+}
+
+// requireSameVerdict asserts every verdict field that the determinism
+// contract covers (wall-clock-free fields) is identical.
+func requireSameVerdict(t *testing.T, got, want Verdict, label string) {
+	t.Helper()
+	if got.OK != want.OK || got.Violation != want.Violation {
+		t.Fatalf("%s: verdict OK=%v/%v, want OK=%v/%v", label, got.OK, got.Violation, want.OK, want.Violation)
+	}
+	if got.States != want.States {
+		t.Fatalf("%s: states=%d, want %d", label, got.States, want.States)
+	}
+	if got.MaxDepth != want.MaxDepth {
+		t.Fatalf("%s: depth=%d, want %d", label, got.MaxDepth, want.MaxDepth)
+	}
+	if got.Exhausted != want.Exhausted || got.Capped != want.Capped {
+		t.Fatalf("%s: exhausted=%v capped=%v, want %v/%v", label, got.Exhausted, got.Capped, want.Exhausted, want.Capped)
+	}
+	if gs, ws := verdictSignature(got), verdictSignature(want); gs != ws {
+		t.Fatalf("%s: trace diverged:\n%s\nvs\n%s", label, gs, ws)
+	}
+}
+
+// cappedState runs the scenario to its MaxStates cap and returns the
+// captured run state, round-tripped through the binary codec so every
+// test also exercises encode/decode.
+func cappedState(t *testing.T, mk func() []*mca.Agent, g *graph.Graph, opts Options, workers int) (Verdict, *RunState) {
+	t.Helper()
+	v, rs, err := CheckParallelFrom(mk(), g, opts, workers, nil, true)
+	if err != nil {
+		t.Fatalf("capped run: %v", err)
+	}
+	if !v.Capped {
+		t.Fatalf("run with MaxStates=%d did not cap: %+v", opts.MaxStates, v)
+	}
+	if rs == nil {
+		t.Fatal("capped run returned no run state")
+	}
+	enc := EncodeRunState(rs)
+	dec, err := DecodeRunState(enc)
+	if err != nil {
+		t.Fatalf("decode round trip: %v", err)
+	}
+	if !bytes.Equal(EncodeRunState(dec), enc) {
+		t.Fatal("run state codec is not a fixed point")
+	}
+	return v, dec
+}
+
+// Resuming a capped run must yield the verdict of the uninterrupted
+// run — same states, depth, trace — at any (capping, resuming) worker
+// count combination, including counts that differ from the original.
+func TestResumeEquivalentToUninterrupted(t *testing.T) {
+	t.Parallel()
+	g := graph.Line(3)
+	full := CheckParallel(line3Agents(), g, Options{}, 2)
+	if !full.OK || full.States != 503 {
+		t.Fatalf("unexpected reference verdict: %+v", full)
+	}
+	for _, cap := range []int{50, 200, 400} {
+		for _, pair := range [][2]int{{1, 1}, {2, 2}, {1, 8}, {8, 1}, {2, 8}} {
+			capW, resW := pair[0], pair[1]
+			_, rs := cappedState(t, line3Agents, g, Options{MaxStates: cap}, capW)
+			v, next, err := CheckParallelFrom(line3Agents(), g, Options{}, resW, rs, true)
+			if err != nil {
+				t.Fatalf("cap=%d %d->%d workers: resume: %v", cap, capW, resW, err)
+			}
+			if next != nil {
+				t.Fatalf("cap=%d: completed resume still returned a run state", cap)
+			}
+			requireSameVerdict(t, v, full, "resume")
+		}
+	}
+}
+
+// A violation found after resume must be the violation the
+// uninterrupted run reports, witness trace included.
+func TestResumeFindsOscillation(t *testing.T) {
+	t.Parallel()
+	g := graph.Complete(2)
+	full := CheckParallel(oscAgents(), g, Options{}, 2)
+	if full.Violation != ViolationOscillation {
+		t.Fatalf("reference run: %+v", full)
+	}
+	_, rs := cappedState(t, oscAgents, g, Options{MaxStates: 8}, 2)
+	for _, w := range []int{1, 2, 4} {
+		v, _, err := CheckParallelFrom(oscAgents(), g, Options{}, w, rs, true)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		requireSameVerdict(t, v, full, "resumed oscillation")
+	}
+}
+
+// Chained resumes — cap, resume into a higher cap, cap again, resume
+// to completion — must land on the uninterrupted verdict.
+func TestResumeChain(t *testing.T) {
+	t.Parallel()
+	g := graph.Line(3)
+	full := CheckParallel(line3Agents(), g, Options{}, 2)
+	_, rs := cappedState(t, line3Agents, g, Options{MaxStates: 60}, 2)
+	v2, rs2, err := CheckParallelFrom(line3Agents(), g, Options{MaxStates: 250}, 4, rs, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v2.Capped || rs2 == nil {
+		t.Fatalf("middle leg should cap again: %+v", v2)
+	}
+	if v2.States <= 60 {
+		t.Fatalf("middle leg made no progress: states=%d", v2.States)
+	}
+	v3, rs3, err := CheckParallelFrom(line3Agents(), g, Options{}, 1, rs2, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs3 != nil {
+		t.Fatal("final leg still capped")
+	}
+	requireSameVerdict(t, v3, full, "final leg")
+}
+
+// Resuming without raising the budget re-caps immediately with the
+// same verdict — an honest "no progress possible", not an error or a
+// silently different answer.
+func TestResumeSameBudgetRecaps(t *testing.T) {
+	t.Parallel()
+	g := graph.Line(3)
+	v1, rs := cappedState(t, line3Agents, g, Options{MaxStates: 100}, 2)
+	v2, rs2, err := CheckParallelFrom(line3Agents(), g, Options{MaxStates: 100}, 2, rs, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs2 == nil {
+		t.Fatal("re-capped run returned no run state")
+	}
+	requireSameVerdict(t, v2, v1, "same-budget resume")
+}
+
+// Cancelling mid-resume reports inconclusive (not capped, not a bogus
+// conclusive verdict), and the original run state stays valid: a
+// second resume from the same snapshot still completes correctly.
+func TestResumeCancelMidway(t *testing.T) {
+	t.Parallel()
+	g := graph.Line(3)
+	full := CheckParallel(line3Agents(), g, Options{}, 2)
+	_, rs := cappedState(t, line3Agents, g, Options{MaxStates: 60}, 2)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var n atomic.Int32
+	opts := Options{Cancel: func() bool {
+		if n.Add(1) > 3 {
+			cancel()
+		}
+		return ctx.Err() != nil
+	}}
+	v, next, err := CheckParallelFrom(line3Agents(), g, opts, 2, rs, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.OK || v.Violation != ViolationNone || v.Exhausted {
+		t.Fatalf("cancelled resume must be inconclusive: %+v", v)
+	}
+	if v.Capped || next != nil {
+		t.Fatalf("cancellation is not a budget cap: capped=%v next=%v", v.Capped, next != nil)
+	}
+
+	// The snapshot is immutable input: resume it again, uncancelled.
+	v2, _, err := CheckParallelFrom(line3Agents(), g, Options{}, 4, rs, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameVerdict(t, v2, full, "re-resume after cancel")
+}
+
+// Resume must compose with CheckParallel's plain entry point: a capped
+// CheckParallel verdict carries no run state (capture off), so the
+// capture flag is what opts into the cost.
+func TestCaptureFlagGatesRunState(t *testing.T) {
+	t.Parallel()
+	g := graph.Line(3)
+	v, rs, err := CheckParallelFrom(line3Agents(), g, Options{MaxStates: 100}, 2, nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Capped {
+		t.Fatalf("expected capped verdict: %+v", v)
+	}
+	if rs != nil {
+		t.Fatal("capture=false must not build a run state")
+	}
+}
+
+func TestDecodeRunStateRejectsCorruption(t *testing.T) {
+	t.Parallel()
+	_, rs := cappedState(t, line3Agents, graph.Line(3), Options{MaxStates: 100}, 2)
+	enc := EncodeRunState(rs)
+
+	if _, err := DecodeRunState(nil); err == nil {
+		t.Fatal("nil document decoded")
+	}
+	if _, err := DecodeRunState([]byte("XXARS1\nrest")); err == nil {
+		t.Fatal("bad magic decoded")
+	}
+	if _, err := DecodeRunState(enc[:len(enc)/2]); err == nil {
+		t.Fatal("truncated document decoded")
+	}
+	if _, err := DecodeRunState(append(append([]byte{}, enc...), 0x01)); err == nil {
+		t.Fatal("trailing garbage decoded")
+	}
+}
+
+func TestRunStateValidation(t *testing.T) {
+	t.Parallel()
+	_, rs := cappedState(t, line3Agents, graph.Line(3), Options{MaxStates: 100}, 2)
+
+	reject := func(mut func(*RunState), why string) {
+		t.Helper()
+		dec, err := DecodeRunState(EncodeRunState(rs))
+		if err != nil {
+			t.Fatal(err)
+		}
+		mut(dec)
+		if _, err := DecodeRunState(EncodeRunState(dec)); err == nil {
+			t.Fatalf("validation accepted %s", why)
+		}
+	}
+	reject(func(r *RunState) { r.NextLevel = 0 }, "zero next level")
+	reject(func(r *RunState) { r.States = 0 }, "zero state count")
+	reject(func(r *RunState) { r.SeenCount = len(r.Nodes) + 1 }, "seen count past node count")
+	reject(func(r *RunState) { r.Nodes[len(r.Nodes)-1].Parent = int32(len(r.Nodes)) }, "out-of-range parent")
+	reject(func(r *RunState) {
+		for i := range r.Nodes {
+			if p := r.Nodes[i].Parent; p >= 0 {
+				r.Nodes[i].Depth = r.Nodes[p].Depth // not strictly increasing
+				break
+			}
+		}
+	}, "non-increasing depth")
+}

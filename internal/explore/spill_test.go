@@ -1,0 +1,133 @@
+package explore
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// spillLeftovers lists what a run left under its SpillDir — must be
+// empty after every exit path (completion, cap, cancel).
+func spillLeftovers(t *testing.T, dir string) []string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range entries {
+		names = append(names, e.Name())
+	}
+	return names
+}
+
+// Spilling is verdict-neutral: with the spill threshold forced to 1
+// (every seal rewrites the segment), the verdict — including the state
+// count, depth, trace, and the oscillation analysis — matches the
+// in-memory run at every worker count, and the per-run temp directory
+// is gone afterwards.
+func TestSpillVerdictMatchesInMemory(t *testing.T) {
+	t.Parallel()
+	scenarios := []struct {
+		name string
+		run  func(opts Options, workers int) Verdict
+	}{
+		{"line3-holds", func(opts Options, workers int) Verdict {
+			return CheckParallel(line3Agents(), graph.Line(3), opts, workers)
+		}},
+		{"oscillation", func(opts Options, workers int) Verdict {
+			return CheckParallel(oscAgents(), graph.Complete(2), opts, workers)
+		}},
+	}
+	for _, sc := range scenarios {
+		for _, w := range []int{1, 2, 4} {
+			ref := sc.run(Options{}, w)
+			dir := t.TempDir()
+			v := sc.run(Options{SpillDir: dir, SpillStates: 1}, w)
+			requireSameVerdict(t, v, ref, sc.name)
+			if v.Store.Spilled == 0 {
+				t.Fatalf("%s workers=%d: spill never engaged (Spilled=0)", sc.name, w)
+			}
+			if left := spillLeftovers(t, dir); len(left) != 0 {
+				t.Fatalf("%s workers=%d: spill dir not cleaned: %v", sc.name, w, left)
+			}
+		}
+	}
+}
+
+// Cancelling mid-run must still remove the per-run spill directory —
+// the cleanup is deferred, not success-path-only.
+func TestSpillCleanupOnCancel(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	ctx, cancel := context.WithCancel(context.Background())
+	var n atomic.Int32
+	opts := Options{
+		SpillDir:    dir,
+		SpillStates: 1,
+		Cancel: func() bool {
+			if n.Add(1) > 10 {
+				cancel()
+			}
+			return ctx.Err() != nil
+		},
+	}
+	v := CheckParallel(line3Agents(), graph.Line(3), opts, 2)
+	if v.OK {
+		t.Fatalf("cancelled run reported OK: %+v", v)
+	}
+	if left := spillLeftovers(t, dir); len(left) != 0 {
+		t.Fatalf("spill dir not cleaned after cancel: %v", left)
+	}
+}
+
+// An unwritable spill directory silently disables spilling rather than
+// failing the run: out-of-core is an optimization, the verdict is the
+// contract.
+func TestSpillUnwritableDirFallsBack(t *testing.T) {
+	t.Parallel()
+	ref := CheckParallel(line3Agents(), graph.Line(3), Options{}, 2)
+	dir := filepath.Join(t.TempDir(), "does", "not", "exist")
+	v := CheckParallel(line3Agents(), graph.Line(3), Options{SpillDir: dir, SpillStates: 1}, 2)
+	requireSameVerdict(t, v, ref, "unwritable spill dir")
+}
+
+// Spill composes with checkpoint/resume: a capped spilling run resumes
+// (also spilling) to the uninterrupted verdict. This is the densest
+// concurrency mix in the package — sealed-table growth, segment
+// rewrites, and frontier restore — and is the -race target for the
+// store growth/spill paths.
+func TestSpillWithResume(t *testing.T) {
+	t.Parallel()
+	g := graph.Line(3)
+	full := CheckParallel(line3Agents(), g, Options{}, 2)
+
+	dir := t.TempDir()
+	opts := Options{MaxStates: 100, SpillDir: dir, SpillStates: 1}
+	v1, rs, err := CheckParallelFrom(line3Agents(), g, opts, 4, nil, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v1.Capped || rs == nil {
+		t.Fatalf("expected capped run with state: %+v", v1)
+	}
+	if v1.Store.Spilled == 0 {
+		t.Fatal("capped leg never spilled")
+	}
+	if left := spillLeftovers(t, dir); len(left) != 0 {
+		t.Fatalf("spill dir not cleaned after capped leg: %v", left)
+	}
+
+	v2, _, err := CheckParallelFrom(line3Agents(), g, Options{SpillDir: dir, SpillStates: 1}, 2, rs, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameVerdict(t, v2, full, "spilling resume")
+	if left := spillLeftovers(t, dir); len(left) != 0 {
+		t.Fatalf("spill dir not cleaned after resume leg: %v", left)
+	}
+}

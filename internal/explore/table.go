@@ -162,6 +162,10 @@ type StoreStats struct {
 	Lookups uint64
 	// Probes counts the total slots examined serving those lookups.
 	Probes uint64
+	// Spilled is the number of sealed entries resident in disk segment
+	// files rather than memory when the run finished (disk-spill mode
+	// only; these are also counted in Entries).
+	Spilled int
 }
 
 // sealedTable is the cross-shard variant of stateTable: exactly one
@@ -247,6 +251,17 @@ func (t *sealedTable) grow(old *sealedSnap) *sealedSnap {
 	}
 	t.snap.Store(s)
 	return s
+}
+
+// reset drops every entry by publishing a fresh empty snapshot — the
+// disk-spill path has just moved the entries into a segment file.
+// Peers probing concurrently either keep the old snapshot (stale but
+// valid) or see the empty one and route items the owner deduplicates
+// against the segment on arrival — the same tolerance the growth swap
+// relies on.
+func (t *sealedTable) reset() {
+	t.snap.Store(newSealedSnap(stateTableMinSlots))
+	t.n = 0
 }
 
 // get probes with owner-side stats accounting.

@@ -23,7 +23,7 @@ cd "$(dirname "$0")/.."
 # The core set: the explicit-state hot path (serial + sharded frontier),
 # batch-runner throughput, and the SAT hot path (propagation-bound
 # probing, conflict-heavy UNSAT, and the incremental-vs-oneshot sweep).
-BENCHES='BenchmarkExploreSerial$|BenchmarkParallelExplore$|BenchmarkRunnerSweep$|BenchmarkSATPropagation$|BenchmarkSolvePigeonhole$|BenchmarkIncrementalSweep'
+BENCHES='BenchmarkExploreSerial$|BenchmarkParallelExplore$|BenchmarkRunnerSweep$|BenchmarkSATPropagation$|BenchmarkSolvePigeonhole$|BenchmarkIncrementalSweep|BenchmarkOutOfCoreExplore'
 
 # The newest committed record is the bench-rot baseline.
 baseline=$(ls BENCH_*.json 2>/dev/null | sort -V | tail -1 || true)

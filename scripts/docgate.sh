@@ -6,8 +6,9 @@
 #     field is the package documentation synopsis; empty means the
 #     package clause has no comment.
 #  2. In the packages whose godoc is the product surface — the root
-#     facade and internal/gen — every *exported identifier* must carry
-#     a doc comment too (scripts/docgate/main.go).
+#     facade, internal/gen, the SAT stack, and internal/explore —
+#     every *exported identifier* must carry a doc comment too
+#     (scripts/docgate/main.go).
 set -eu
 cd "$(dirname "$0")/.."
 missing=$(go list -f '{{if not .Doc}}{{.ImportPath}}{{end}}' ./internal/... .)
@@ -17,4 +18,4 @@ if [ -n "$missing" ]; then
     exit 1
 fi
 echo "doc gate: all packages documented"
-go run ./scripts/docgate . ./internal/gen ./internal/sat ./internal/portfolio
+go run ./scripts/docgate . ./internal/gen ./internal/sat ./internal/portfolio ./internal/explore

@@ -1,0 +1,52 @@
+#!/bin/sh
+# Checkpoint/resume smoke: cap a parallel explicit-state run on a tiny
+# state budget, write a checkpoint, resume it at a *different* worker
+# count, and require the resumed run's report to be byte-identical to
+# the uninterrupted run's (first line aside — it names the invocation,
+# not the verdict). This is the CLI-level end of the equivalence the
+# internal/explore resume suite pins in-process.
+#
+# The scenario is deliberately small (3 flat-utility agents on a line,
+# a few hundred states) so the smoke stays sub-second; the property it
+# checks is worker-count- and cut-point-independent, so size adds
+# nothing.
+set -eu
+cd "$(dirname "$0")/.."
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT INT TERM
+
+# Build once: `go run` flattens the program's exit code to 1, and the
+# capped run's exit 3 is part of what this smoke checks.
+go build -o "$tmp/mcacheck" ./cmd/mcacheck
+
+SCENARIO="-agents 3 -items 2 -utility flat -topology line -seed 1"
+
+# Uninterrupted reference run.
+"$tmp/mcacheck" $SCENARIO -workers 4 -maxstates 200000 >"$tmp/full.out"
+
+# Capped run: exit 3 (inconclusive) and a checkpoint are the contract.
+rc=0
+"$tmp/mcacheck" $SCENARIO -workers 4 -maxstates 40 \
+    -checkpoint "$tmp/run.ckpt" >"$tmp/capped.out" 2>"$tmp/capped.err" || rc=$?
+if [ "$rc" -ne 3 ]; then
+    echo "resume smoke: capped run exited $rc, want 3 (inconclusive)" >&2
+    cat "$tmp/capped.out" "$tmp/capped.err" >&2
+    exit 1
+fi
+if [ ! -s "$tmp/run.ckpt" ]; then
+    echo "resume smoke: capped run wrote no checkpoint" >&2
+    exit 1
+fi
+
+# Resume at a different worker count with the budget raised.
+"$tmp/mcacheck" -resume "$tmp/run.ckpt" -workers 2 -maxstates 200000 \
+    >"$tmp/resumed.out"
+
+tail -n +2 "$tmp/full.out" >"$tmp/full.tail"
+tail -n +2 "$tmp/resumed.out" >"$tmp/resumed.tail"
+if ! diff -u "$tmp/full.tail" "$tmp/resumed.tail"; then
+    echo "resume smoke: resumed report diverges from the uninterrupted run" >&2
+    exit 1
+fi
+echo "resume smoke: resumed report identical to the uninterrupted run"
