@@ -1012,3 +1012,33 @@ func BenchmarkDifferentialOracle(b *testing.B) {
 	}
 	b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "scenarios/s")
 }
+
+// BenchmarkCoverageFuzz measures the coverage-guided loop end to end —
+// generation, mutation, oracle verification, and bucket folding — the
+// round throughput of a coverage campaign, with the discovered bucket
+// count reported alongside.
+func BenchmarkCoverageFuzz(b *testing.B) {
+	profile := mcaverify.DefaultFuzzProfile()
+	profile.Agents = mcaverify.FuzzIntRange{Min: 2, Max: 3}
+	profile.Items = mcaverify.FuzzIntRange{Min: 2, Max: 2}
+	profile.MaxStates = mcaverify.FuzzIntRange{Min: 2000, Max: 8000}
+	profile.ModelProb = 0 // SAT legs measured by the E5 benches
+	const rounds, perRound = 3, 8
+	buckets := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := mcaverify.FuzzCoverage(context.Background(), mcaverify.FuzzCoverageOptions{
+			Profile: profile, Seed: 42, Rounds: rounds, PerRound: perRound,
+			Diff: mcaverify.DiffOptions{Workers: 4},
+		}, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Disagreements) != 0 {
+			b.Fatalf("bench corpus disagrees: %d", len(res.Disagreements))
+		}
+		buckets = len(res.Buckets)
+	}
+	b.ReportMetric(float64(rounds*perRound)*float64(b.N)/b.Elapsed().Seconds(), "scenarios/s")
+	b.ReportMetric(float64(buckets), "buckets")
+}

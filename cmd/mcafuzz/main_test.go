@@ -90,6 +90,60 @@ func TestMcafuzzExampleProfile(t *testing.T) {
 	}
 }
 
+// The coverage loop streams one stats line per round and dumps a
+// byte-identical corpus at any worker count — the CLI face of the
+// FuzzCoverage replay contract.
+func TestMcafuzzCoverageReproducibleAcrossWorkers(t *testing.T) {
+	var outs []string
+	var corpora []map[string][]byte
+	for _, workers := range []string{"1", "8"} {
+		dir := t.TempDir()
+		out, code := captureRun(t, []string{
+			"-coverage", "-seed", "3", "-rounds", "3", "-n", "12",
+			"-workers", workers, "-dump", "-out", dir,
+		})
+		if code != 0 {
+			t.Fatalf("workers=%s: exit %d\n%s", workers, code, out)
+		}
+		for round := 0; round < 3; round++ {
+			if !strings.Contains(out, "round "+string(rune('0'+round))+": scenarios=4") {
+				t.Fatalf("workers=%s: round %d stats line missing:\n%s", workers, round, out)
+			}
+		}
+		if !strings.Contains(out, "summary: rounds=3 scenarios=12") {
+			t.Fatalf("workers=%s: summary missing:\n%s", workers, out)
+		}
+		files := map[string][]byte{}
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			files[e.Name()] = data
+		}
+		if len(files) == 0 {
+			t.Fatalf("workers=%s: coverage corpus empty", workers)
+		}
+		outs = append(outs, out)
+		corpora = append(corpora, files)
+	}
+	if outs[0] != outs[1] {
+		t.Fatalf("coverage output differs across worker counts:\n--- workers=1\n%s\n--- workers=8\n%s", outs[0], outs[1])
+	}
+	if len(corpora[0]) != len(corpora[1]) {
+		t.Fatalf("corpus sizes differ: %d vs %d", len(corpora[0]), len(corpora[1]))
+	}
+	for name, data := range corpora[0] {
+		if !bytes.Equal(data, corpora[1][name]) {
+			t.Fatalf("corpus file %s differs across worker counts", name)
+		}
+	}
+}
+
 func TestMcafuzzUsageErrors(t *testing.T) {
 	cases := [][]string{
 		{"-engines", "warp-drive"},
@@ -97,6 +151,7 @@ func TestMcafuzzUsageErrors(t *testing.T) {
 		{"-n", "-3"},
 		{"-shrink"}, // corpus-writing flags require -out
 		{"-dump"},
+		{"-coverage", "-rounds", "0"},
 	}
 	for _, args := range cases {
 		if _, code := captureRun(t, args); code != 2 {

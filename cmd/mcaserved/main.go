@@ -20,7 +20,11 @@
 //	POST /generate     one generator profile (or empty body for the
 //	                   default profile) -> NDJSON stream of generated
 //	                   scenarios with their differential-oracle
-//	                   verdicts, then a summary line
+//	                   verdicts, then a summary line. With
+//	                   ?coverage=1&rounds=R the generator runs the
+//	                   coverage-guided loop instead and streams one
+//	                   corpus-stats line per round, then any oracle
+//	                   disagreements, then a summary line
 //	GET  /cache/stats  cache effectiveness counters
 //	GET  /cache/entry/{key}  peer cache protocol (GET/PUT by content
 //	                   address) — this is what other nodes' -remotecache
@@ -62,7 +66,10 @@
 // scenario pool size on /sweep and /generate (per-scenario engines stay
 // serial there, so sweep cache keys are independent of pool size).
 // /generate instead takes &seed=S, &n=N (scenarios to generate) and
-// &engines=a,b,c (an oracle panel, default explicit,simulation,sat).
+// &engines=a,b,c (an oracle panel, default explicit,simulation,sat),
+// plus &coverage=1 and &rounds=R for the coverage-guided loop (the n
+// budget splits evenly across rounds; worker count never changes the
+// corpus).
 // Shutdown is graceful:
 // SIGINT/SIGTERM stops accepting connections and lets in-flight
 // verifications finish (their contexts are cancelled after the
@@ -77,6 +84,7 @@
 //	curl -d @examples/scenarios/policy-faults-sweep.json 'localhost:8080/sweep?workers=8'
 //	curl -X POST 'localhost:8080/generate?seed=7&n=100'
 //	curl -d @examples/scenarios/fuzz-profile.json 'localhost:8080/generate?n=50&engines=explicit,simulation'
+//	curl -X POST 'localhost:8080/generate?coverage=1&seed=1&rounds=5&n=40'
 //	curl localhost:8080/cache/stats
 //	curl localhost:8080/metrics
 //
@@ -764,6 +772,27 @@ func (s *server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 	if poolWorkers == 0 {
 		poolWorkers = s.cfg.Workers
 	}
+	coverageMode := false
+	switch q.Get("coverage") {
+	case "", "0":
+	case "1", "true":
+		coverageMode = true
+	default:
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad coverage %q (want 1)", q.Get("coverage")))
+		return
+	}
+	rounds := 4
+	if v := q.Get("rounds"); v != "" {
+		if !coverageMode {
+			httpError(w, http.StatusBadRequest, errors.New("rounds requires coverage=1"))
+			return
+		}
+		rounds, err = strconv.Atoi(v)
+		if err != nil || rounds < 1 || rounds > 100 {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("rounds %q outside 1..100", v))
+			return
+		}
+	}
 	// Validate every parameter — the timeout included — before paying
 	// for corpus generation, so a malformed request is a cheap 400.
 	ctx, cancel, err := s.requestContext(r)
@@ -772,6 +801,18 @@ func (s *server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer cancel()
+	if coverageMode {
+		if err := profile.Validate(); err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		s.generateCoverage(w, cancel, ctx, profile, seed, n, rounds, gen.DiffOptions{
+			Engines: engines,
+			Cache:   resultCache(s.cfg.Cache),
+			Workers: poolWorkers,
+		})
+		return
+	}
 	scenarios, err := gen.Generate(profile, seed, n)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
@@ -791,6 +832,63 @@ func (s *server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 	}
 	sum := gen.SummarizeDiff(results)
 	stream.summary(json.Marshal(sum2wire(sum)))
+}
+
+// coverageRoundJSON is the wire form of one coverage-round stats line.
+type coverageRoundJSON struct {
+	Round         int `json:"round"`
+	Scenarios     int `json:"scenarios"`
+	NewBuckets    int `json:"new_buckets"`
+	Buckets       int `json:"buckets"`
+	Corpus        int `json:"corpus"`
+	Disagreements int `json:"disagreements"`
+}
+
+// generateCoverage streams the coverage-guided loop: one stats line per
+// round as it completes, then every oracle disagreement as a diff line,
+// then the run summary. A truncated stream (no summary line) means the
+// loop did not finish inside the request budget.
+func (s *server) generateCoverage(w http.ResponseWriter, cancel context.CancelFunc, ctx context.Context, profile gen.Profile, seed int64, n, rounds int, diff gen.DiffOptions) {
+	perRound := n / rounds
+	if perRound < 1 {
+		perRound = 1
+	}
+	stream := startNDJSON(w, cancel, "generate-coverage")
+	res, err := gen.FuzzCoverage(ctx, gen.CoverageOptions{
+		Profile:  profile,
+		Seed:     seed,
+		Rounds:   rounds,
+		PerRound: perRound,
+		Diff:     diff,
+	}, func(rs gen.RoundStats) {
+		data, err := json.Marshal(coverageRoundJSON{
+			Round: rs.Round, Scenarios: rs.Scenarios, NewBuckets: rs.NewBuckets,
+			Buckets: rs.Buckets, Corpus: rs.Corpus, Disagreements: rs.Disagreements,
+		})
+		stream.line(fmt.Sprintf("round %d", rs.Round), data, err)
+	})
+	if err != nil {
+		// Cancellation mid-loop: truncate without a summary, the
+		// streaming contract for an incomplete request.
+		stream.line("coverage loop", nil, err)
+		return
+	}
+	for i := range res.Disagreements {
+		r := &res.Disagreements[i]
+		data, err := encodeDiffLine(r)
+		stream.line(r.Scenario.Name, data, err)
+	}
+	total := 0
+	for _, rs := range res.Rounds {
+		total += rs.Scenarios
+	}
+	stream.summary(json.Marshal(map[string]int{
+		"rounds":        len(res.Rounds),
+		"scenarios":     total,
+		"buckets":       len(res.Buckets),
+		"corpus":        len(res.Corpus),
+		"disagreements": len(res.Disagreements),
+	}))
 }
 
 // diffLineJSON is the wire form of one /generate stream line.

@@ -435,6 +435,80 @@ func TestGenerateEndpointStreamsNDJSON(t *testing.T) {
 	}
 }
 
+// TestGenerateCoverageStreamsRoundStats drives the coverage-guided
+// loop over HTTP: one stats line per round with monotone cumulative
+// counters, then a summary whose totals match the streamed rounds.
+func TestGenerateCoverageStreamsRoundStats(t *testing.T) {
+	srv, _ := testServer(t)
+	profile := `{"agents":{"min":2,"max":3},"max_states":{"min":1000,"max":8000}}`
+	resp, err := http.Post(srv.URL+"/generate?coverage=1&seed=3&rounds=3&n=12", "application/json", strings.NewReader(profile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content type %q", ct)
+	}
+	type roundLine struct {
+		Round         int `json:"round"`
+		Scenarios     int `json:"scenarios"`
+		NewBuckets    int `json:"new_buckets"`
+		Buckets       int `json:"buckets"`
+		Corpus        int `json:"corpus"`
+		Disagreements int `json:"disagreements"`
+	}
+	var rounds []roundLine
+	var summary map[string]int
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if bytes.HasPrefix(line, []byte(`{"summary":`)) {
+			var wrapper struct {
+				Summary map[string]int `json:"summary"`
+			}
+			if err := json.Unmarshal(line, &wrapper); err != nil {
+				t.Fatalf("summary line: %v\n%s", err, line)
+			}
+			summary = wrapper.Summary
+			continue
+		}
+		var rl roundLine
+		if err := json.Unmarshal(line, &rl); err != nil {
+			t.Fatalf("round line: %v\n%s", err, line)
+		}
+		rounds = append(rounds, rl)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(rounds) != 3 {
+		t.Fatalf("streamed %d round lines, want 3", len(rounds))
+	}
+	for i, rl := range rounds {
+		if rl.Round != i || rl.Scenarios != 4 {
+			t.Fatalf("round line %d malformed: %+v", i, rl)
+		}
+		if i > 0 && rl.Buckets < rounds[i-1].Buckets {
+			t.Fatalf("cumulative buckets regressed: %+v after %+v", rl, rounds[i-1])
+		}
+	}
+	if summary == nil {
+		t.Fatal("no summary line")
+	}
+	last := rounds[len(rounds)-1]
+	if summary["rounds"] != 3 || summary["scenarios"] != 12 ||
+		summary["buckets"] != last.Buckets || summary["corpus"] != last.Corpus {
+		t.Fatalf("summary %v disagrees with streamed rounds (last %+v)", summary, last)
+	}
+	if summary["disagreements"] != 0 {
+		t.Fatalf("unexpected disagreements: %v", summary)
+	}
+}
+
 // An empty body means the default profile; bad inputs are 400s.
 func TestGenerateEndpointValidation(t *testing.T) {
 	srv, _ := testServer(t)
@@ -451,6 +525,9 @@ func TestGenerateEndpointValidation(t *testing.T) {
 		srv.URL + "/generate?seed=banana",       // bad seed
 		srv.URL + "/generate?engines=warp",      // unknown engine
 		srv.URL + "/generate?n=2&timeout=bogus", // bad timeout
+		srv.URL + "/generate?coverage=maybe",    // bad coverage flag
+		srv.URL + "/generate?coverage=1&rounds=0",
+		srv.URL + "/generate?n=4&rounds=2", // rounds without coverage
 	} {
 		resp, err := http.Post(url, "application/json", strings.NewReader(""))
 		if err != nil {

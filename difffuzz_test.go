@@ -81,6 +81,68 @@ func TestDifferentialFuzz(t *testing.T) {
 	}
 }
 
+// TestDifferentialFuzzDupReorder is the regression gate on the richer
+// fault adversaries: a fixed-seed corpus of 20 scenarios drawn from a
+// profile with message duplication and bounded reordering enabled runs
+// through the full panel under the extended comparability classes. The
+// probabilistic legs route to the sampling engine, which may miss a
+// violation the exact engines see but must never invent one; scenarios
+// whose fault draw stays exhaustively checkable keep their
+// exact-vs-exact and exact-vs-sampling comparisons.
+func TestDifferentialFuzzDupReorder(t *testing.T) {
+	p := fuzzCorpusProfile()
+	p.FaultProb = 0.6
+	p.DupMax = 0.4
+	p.ReorderMax = 3
+	scenarios, err := mcaverify.Generate(p, 20260807, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The corpus must actually exercise the new adversaries.
+	dup, reorder := 0, 0
+	for _, s := range scenarios {
+		if s.Faults.Duplicate > 0 {
+			dup++
+		}
+		if s.Faults.Reorder > 0 {
+			reorder++
+		}
+	}
+	if dup < 5 || reorder < 5 {
+		t.Fatalf("corpus underuses the new faults: %d duplicating, %d reordering of 20", dup, reorder)
+	}
+	panel := []mcaverify.Engine{
+		mcaverify.ExplicitEngine{},
+		mcaverify.ExplicitEngine{Workers: 4},
+		mcaverify.SimulationEngine{BudgetFactor: 64},
+		mcaverify.SATEngine{},
+	}
+	results, sum := mcaverify.DiffSweep(context.Background(), scenarios, mcaverify.DiffOptions{Engines: panel})
+	for _, r := range results {
+		if !r.Agree {
+			t.Errorf("scenario %d (%s): %v", r.Index, r.Scenario.Name, r.Reasons)
+		}
+	}
+	if sum.Disagreements != 0 {
+		t.Fatalf("%d of %d scenarios disagree: %+v", sum.Disagreements, sum.Scenarios, sum)
+	}
+	// Every duplicating/reordering scenario still gets a sampling leg.
+	for _, r := range results {
+		if r.Scenario.Faults.Duplicate == 0 && r.Scenario.Faults.Reorder == 0 {
+			continue
+		}
+		sampled := false
+		for _, l := range r.Legs {
+			if l.Class == mcaverify.DiffClassDynamicSampling {
+				sampled = true
+			}
+		}
+		if !sampled {
+			t.Errorf("scenario %d (%s) has new faults but no sampling leg", r.Index, r.Scenario.Name)
+		}
+	}
+}
+
 // TestFuzzCorpusReproducible pins the acceptance contract end to end:
 // the same seed yields a byte-identical corpus and identical verdicts
 // at 1 and 8 workers.

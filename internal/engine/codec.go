@@ -127,6 +127,8 @@ type faultsJSON struct {
 	DropEdge   []edgeFaultJSON `json:"drop_edge,omitempty"`
 	Delay      int             `json:"delay,omitempty"`
 	DelayEdge  []edgeFaultJSON `json:"delay_edge,omitempty"`
+	Duplicate  float64         `json:"duplicate,omitempty"`
+	Reorder    int             `json:"reorder,omitempty"`
 	Partitions [][]int         `json:"partitions,omitempty"`
 	HealAfter  int             `json:"heal_after,omitempty"`
 }
@@ -493,7 +495,11 @@ func faultsToWire(f netsim.Faults) (*faultsJSON, error) {
 	if f.None() && f.HealAfter == 0 {
 		return nil, nil
 	}
-	w := &faultsJSON{Drop: f.Drop, Delay: f.Delay, HealAfter: f.HealAfter}
+	// Duplicate and Reorder are verdict-affecting and omitempty: a
+	// scenario that leaves them zero encodes to the exact bytes it did
+	// before the fields existed, so old cache addresses stay valid while
+	// any nonzero setting splits the key.
+	w := &faultsJSON{Drop: f.Drop, Delay: f.Delay, Duplicate: f.Duplicate, Reorder: f.Reorder, HealAfter: f.HealAfter}
 	for e, p := range f.DropEdge {
 		w.DropEdge = append(w.DropEdge, edgeFaultJSON{From: int(e.From), To: int(e.To), Drop: p})
 	}
@@ -656,7 +662,13 @@ func faultsFromWire(w *scenarioJSON) (netsim.Faults, error) {
 	if fw.Delay < 0 || fw.HealAfter < 0 {
 		return fail("negative delay %d or heal_after %d", fw.Delay, fw.HealAfter)
 	}
-	f := netsim.Faults{Drop: fw.Drop, Delay: fw.Delay, HealAfter: fw.HealAfter}
+	if fw.Duplicate < 0 || fw.Duplicate > 1 {
+		return fail("duplicate probability %v outside [0,1]", fw.Duplicate)
+	}
+	if fw.Reorder < 0 {
+		return fail("negative reorder window %d", fw.Reorder)
+	}
+	f := netsim.Faults{Drop: fw.Drop, Delay: fw.Delay, Duplicate: fw.Duplicate, Reorder: fw.Reorder, HealAfter: fw.HealAfter}
 	for _, e := range fw.DropEdge {
 		if e.Drop < 0 || e.Drop > 1 {
 			return fail("drop_edge {%d,%d} probability %v outside [0,1]", e.From, e.To, e.Drop)
@@ -741,6 +753,10 @@ type statsJSON struct {
 	Converged   int     `json:"converged,omitempty"`
 	Deliveries  int     `json:"deliveries,omitempty"`
 	Dropped     int     `json:"dropped,omitempty"`
+	Duplicated  int     `json:"duplicated,omitempty"`
+	CovOcc      int     `json:"cov_occupancy,omitempty"`
+	CovDepth    int     `json:"cov_depth,omitempty"`
+	CovShape    int     `json:"cov_shape,omitempty"`
 	WallNS      int64   `json:"wall_ns,omitempty"`
 }
 
@@ -807,6 +823,10 @@ func EncodeResult(r *Result) ([]byte, error) {
 		Converged:   r.Stats.Converged,
 		Deliveries:  r.Stats.Deliveries,
 		Dropped:     r.Stats.Dropped,
+		Duplicated:  r.Stats.Duplicated,
+		CovOcc:      r.Stats.Coverage.Occupancy,
+		CovDepth:    r.Stats.Coverage.Depth,
+		CovShape:    r.Stats.Coverage.Shape,
 		WallNS:      int64(r.Stats.Wall),
 	}); st != (statsJSON{}) {
 		w.Stats = &st
@@ -880,7 +900,13 @@ func DecodeResult(data []byte) (Result, error) {
 			Converged:     w.Stats.Converged,
 			Deliveries:    w.Stats.Deliveries,
 			Dropped:       w.Stats.Dropped,
-			Wall:          time.Duration(w.Stats.WallNS),
+			Duplicated:    w.Stats.Duplicated,
+			Coverage: explore.StoreSignature{
+				Occupancy: w.Stats.CovOcc,
+				Depth:     w.Stats.CovDepth,
+				Shape:     w.Stats.CovShape,
+			},
+			Wall: time.Duration(w.Stats.WallNS),
 		}
 	}
 	if w.Trace != nil {

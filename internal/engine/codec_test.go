@@ -88,9 +88,17 @@ func codecScenarios() map[string]Scenario {
 				DelayEdge: map[netsim.Edge]int{
 					{From: 2, To: 1}: 4,
 				},
+				Duplicate:  0.125,
+				Reorder:    3,
 				Partitions: [][]int{{2, 0}, {1}},
 				HealAfter:  9,
 			},
+		},
+		"dup-reorder-only": {
+			Name:       "dup-reorder",
+			AgentSpecs: specs(3, 2, submodPolicy(2)),
+			Graph:      graph.Ring(3),
+			Faults:     netsim.Faults{Duplicate: 0.5, Reorder: 1},
 		},
 		"static-partition": {
 			Name:       "partition",
@@ -333,6 +341,11 @@ func TestResultRoundTrip(t *testing.T) {
 		"cached": {
 			Index: 1, Scenario: "c", Engine: "explicit", Status: StatusHolds, Cached: true,
 		},
+		"sim-coverage": {
+			Index: 2, Scenario: "f", Engine: "simulation", Status: StatusHolds,
+			Stats: Stats{Runs: 8, Converged: 8, Deliveries: 420, Dropped: 3, Duplicated: 17,
+				Coverage: explore.StoreSignature{Occupancy: 9, Depth: 4, Shape: 5}},
+		},
 	}
 	for name, r := range results {
 		r := r
@@ -532,6 +545,13 @@ func TestDecodeFaultsValidation(t *testing.T) {
 		"delay-edge-negative":   `{"delay_edge":[{"from":0,"to":1,"delay":-1}]}`,
 		"partition-bad-node":    `{"partitions":[[0,99]]}`,
 		"partition-negative-id": `{"partitions":[[-1]]}`,
+		"duplicate-above-one":   `{"duplicate":1.01}`,
+		"negative-duplicate":    `{"duplicate":-0.5}`,
+		"negative-reorder":      `{"reorder":-1}`,
+		// A fault model the decoder does not know must be rejected, not
+		// silently ignored — an inert adversary would upgrade a lossy
+		// verdict to a reliable one.
+		"unknown-fault-field": `{"duplicate":0.5,"mangle":0.5}`,
 	} {
 		t.Run(name, func(t *testing.T) {
 			doc := prefix + faults + `}`
@@ -541,9 +561,58 @@ func TestDecodeFaultsValidation(t *testing.T) {
 		})
 	}
 	// Valid boundary values still decode.
-	ok := prefix + `{"drop":1,"drop_edge":[{"from":2,"to":0}],"delay_edge":[{"from":0,"to":2,"delay":3}],"partitions":[[0],[1,2]],"heal_after":4}}`
+	ok := prefix + `{"drop":1,"drop_edge":[{"from":2,"to":0}],"delay_edge":[{"from":0,"to":2,"delay":3}],"duplicate":1,"reorder":5,"partitions":[[0],[1,2]],"heal_after":4}}`
 	if _, err := DecodeScenario([]byte(ok)); err != nil {
 		t.Fatalf("rejected valid faults: %v", err)
+	}
+}
+
+// TestCacheKeySplitsOnNewFaults: duplication and reordering change the
+// verdict a simulation can return, so scenarios differing only in those
+// knobs must land on distinct cache addresses — while the zero settings
+// encode exactly as the fields' pre-existence bytes and keep old
+// addresses valid.
+func TestCacheKeySplitsOnNewFaults(t *testing.T) {
+	base := Scenario{
+		Name:       "split",
+		AgentSpecs: specs(3, 2, submodPolicy(2)),
+		Graph:      graph.Complete(3),
+		Faults:     netsim.Faults{Drop: 0.1},
+	}
+	dup := base
+	dup.Faults.Duplicate = 0.25
+	reord := base
+	reord.Faults.Reorder = 2
+	dup2 := base
+	dup2.Faults.Duplicate = 0.5
+
+	keys := map[string]string{}
+	for name, s := range map[string]*Scenario{"base": &base, "dup": &dup, "reorder": &reord, "dup2": &dup2} {
+		k, err := CacheKey(s, Simulation{Runs: 4, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		keys[name] = k
+	}
+	seen := map[string]string{}
+	for name, k := range keys {
+		if prev, dupKey := seen[k]; dupKey {
+			t.Fatalf("scenarios %q and %q share a cache key despite differing fault fields", prev, name)
+		}
+		seen[k] = name
+	}
+
+	// The zero-valued new fields are invisible on the wire: the encoding
+	// of a scenario that does not use them must not mention them, which
+	// is what keeps pre-existing cache entries addressable.
+	enc, err := EncodeScenario(&base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{"duplicate", "reorder"} {
+		if strings.Contains(string(enc), field) {
+			t.Fatalf("zero %s field leaked into the canonical encoding: %s", field, enc)
+		}
 	}
 }
 

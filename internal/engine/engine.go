@@ -151,6 +151,12 @@ type Stats struct {
 	// the exact store): the quantified soundness cost of running the
 	// explicit engine in bitstate or hash-compaction mode.
 	MissProb float64
+	// Coverage is the quantized shape of the exploration (explicit
+	// engine) or of the sampled executions (simulation engine) — the
+	// signal the coverage-guided fuzzer feeds on. Deterministic for a
+	// given (scenario, engine) at any worker count; zero for engines
+	// that do not report one.
+	Coverage explore.StoreSignature
 	// SAT: translation sizes and times.
 	PrimaryVars   int
 	AuxVars       int
@@ -167,6 +173,9 @@ type Stats struct {
 	Converged  int
 	Deliveries int
 	Dropped    int
+	// Duplicated counts deliveries the duplication fault model forked
+	// into an extra in-flight copy across all simulation runs.
+	Duplicated int
 	// Wall is the end-to-end duration of the Verify call.
 	Wall time.Duration
 }

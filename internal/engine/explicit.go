@@ -114,6 +114,7 @@ func (e Explicit) verify(ctx context.Context, s Scenario, prior *Checkpoint, cap
 			Exhausted: v.Exhausted,
 			Capped:    v.Capped,
 			MissProb:  v.MissProb,
+			Coverage:  explore.SignatureOf(&v),
 			Wall:      time.Since(start),
 		},
 	}

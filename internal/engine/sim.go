@@ -3,8 +3,10 @@ package engine
 import (
 	"context"
 	"fmt"
+	"math/bits"
 	"time"
 
+	"repro/internal/explore"
 	"repro/internal/mca"
 	"repro/internal/netsim"
 )
@@ -91,11 +93,22 @@ func (e Simulation) Verify(ctx context.Context, s Scenario) Result {
 		res.Stats.Runs++
 		res.Stats.Deliveries += out.Deliveries
 		res.Stats.Dropped += out.Dropped
+		res.Stats.Duplicated += out.Duplicated
 		if out.Converged {
 			res.Stats.Converged++
 		} else {
 			res.Status = StatusViolated
 		}
+	}
+	// The sampled executions have no state store, so the coverage
+	// coordinates come from the aggregate message effort instead:
+	// delivery volume, convergence count, and fault activity. All three
+	// derive from the seeded runs, so the signature is as deterministic
+	// as the verdict.
+	res.Stats.Coverage = explore.StoreSignature{
+		Occupancy: bits.Len(uint(res.Stats.Deliveries)),
+		Depth:     bits.Len(uint(res.Stats.Converged)),
+		Shape:     bits.Len(uint(res.Stats.Dropped + res.Stats.Duplicated)),
 	}
 	res.Stats.Wall = time.Since(start)
 	return res

@@ -1,0 +1,47 @@
+package explore
+
+import "math/bits"
+
+// StoreSignature is the coarse shape of one exploration, quantized into
+// logarithmic buckets so that it is stable across noise-scale changes
+// and usable as a coverage coordinate by the fuzzer's feedback loop
+// (internal/gen). Two runs share a signature when their state spaces
+// have the same order of magnitude, the same depth order, and the same
+// breadth/depth aspect ratio — landing in a new bucket means the
+// scenario reached a qualitatively new region of the search space.
+//
+// Only the deterministic verdict fields participate: States and
+// MaxDepth are part of the determinism contract at any worker count,
+// while StoreStats probe/lookup counters (which vary with scheduling)
+// are deliberately excluded. The same (scenario, engine) pair therefore
+// always maps to the same signature.
+type StoreSignature struct {
+	// Occupancy is the log2 bucket of the number of distinct states
+	// explored (bits.Len(States)): 0 for an empty run, k when
+	// 2^(k-1) <= States < 2^k.
+	Occupancy int
+	// Depth is the log2 bucket of the deepest delivery path.
+	Depth int
+	// Shape is the log2 bucket of the states-per-level ratio
+	// (States/MaxDepth): broad shallow explorations and narrow deep
+	// ones separate here even when Occupancy agrees.
+	Shape int
+}
+
+// SignatureOf extracts the store signature from a verdict.
+func SignatureOf(v *Verdict) StoreSignature {
+	sig := StoreSignature{
+		Occupancy: bits.Len(uint(v.States)),
+		Depth:     bits.Len(uint(v.MaxDepth)),
+	}
+	if v.MaxDepth > 0 {
+		sig.Shape = bits.Len(uint(v.States / v.MaxDepth))
+	}
+	return sig
+}
+
+// Zero reports whether the signature is the zero value (no exploration
+// happened — e.g. the verdict came from a non-explicit engine).
+func (s StoreSignature) Zero() bool {
+	return s.Occupancy == 0 && s.Depth == 0 && s.Shape == 0
+}

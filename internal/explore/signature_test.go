@@ -1,0 +1,48 @@
+package explore
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/mca"
+)
+
+func TestSignatureOfBuckets(t *testing.T) {
+	for _, tc := range []struct {
+		v    Verdict
+		want StoreSignature
+	}{
+		{Verdict{}, StoreSignature{}},
+		{Verdict{States: 1, MaxDepth: 1}, StoreSignature{Occupancy: 1, Depth: 1, Shape: 1}},
+		{Verdict{States: 1024, MaxDepth: 16}, StoreSignature{Occupancy: 11, Depth: 5, Shape: 7}},
+		{Verdict{States: 1500, MaxDepth: 16}, StoreSignature{Occupancy: 11, Depth: 5, Shape: 7}},
+		// Same occupancy, different aspect ratio: Shape separates them.
+		{Verdict{States: 1024, MaxDepth: 512}, StoreSignature{Occupancy: 11, Depth: 10, Shape: 2}},
+	} {
+		if got := SignatureOf(&tc.v); got != tc.want {
+			t.Errorf("SignatureOf(States=%d, MaxDepth=%d) = %+v, want %+v",
+				tc.v.States, tc.v.MaxDepth, got, tc.want)
+		}
+	}
+	if !(StoreSignature{}).Zero() || (StoreSignature{Depth: 1}).Zero() {
+		t.Fatal("Zero misclassifies")
+	}
+}
+
+// TestSignatureWorkerInvariant pins the property the coverage loop
+// leans on: the signature comes only from verdict fields that are
+// deterministic at any worker count, so serial and parallel checks of
+// the same scenario produce the same coverage coordinate.
+func TestSignatureWorkerInvariant(t *testing.T) {
+	g := graph.Complete(2)
+	mk := func() []*mca.Agent {
+		return agentsWithBases([][]int64{{10, 0, 30}, {20, 15, 0}}, honestPolicy(2, mca.FlatUtility{}, false))
+	}
+	serial := Check(mk(), g, Options{})
+	for _, workers := range []int{1, 2, 4} {
+		par := CheckParallel(mk(), g, Options{}, workers)
+		if sp, ss := SignatureOf(&par), SignatureOf(&serial); sp != ss {
+			t.Fatalf("workers=%d signature %+v differs from serial %+v", workers, sp, ss)
+		}
+	}
+}

@@ -205,6 +205,16 @@ func genFaults(rng *rand.Rand, p Profile, agents int) netsim.Faults {
 			f.HealAfter = rng.Intn(p.HealAfterMax + 1)
 		}
 	}
+	// The duplication and reordering draws sit at the end of the stream
+	// and are gated on their knobs, so profiles that predate them (and
+	// any profile leaving them zero) consume exactly the randomness they
+	// always did — pinned corpora stay byte-identical.
+	if p.DupMax > 0 {
+		f.Duplicate = float64(int(rng.Float64()*p.DupMax*100)) / 100
+	}
+	if p.ReorderMax > 0 {
+		f.Reorder = rng.Intn(p.ReorderMax + 1)
+	}
 	return f
 }
 

@@ -86,6 +86,15 @@ type Profile struct {
 	// scenario draws from [0, HealAfterMax], where 0 keeps the partition
 	// permanent.
 	HealAfterMax int
+	// DupMax bounds the at-least-once duplication probability
+	// (netsim.Faults.Duplicate). 0 disables duplication draws entirely,
+	// which also keeps pre-existing (profile, seed) corpora byte-stable:
+	// the generator only spends randomness on a knob when it is set.
+	DupMax float64
+	// ReorderMax bounds the in-channel reorder window
+	// (netsim.Faults.Reorder); a faulty scenario draws from
+	// [0, ReorderMax]. 0 disables reordering draws.
+	ReorderMax int
 
 	// ModelProb is the probability a scenario carries a bounded
 	// relational model for the SAT backends.
@@ -236,6 +245,7 @@ func (p Profile) Validate() error {
 		checkProb("duplicate_prob", p.DuplicateProb),
 		checkProb("fault_prob", p.FaultProb),
 		checkProb("drop_max", p.DropMax),
+		checkProb("dup_max", p.DupMax),
 		checkProb("partition_prob", p.PartitionProb),
 		checkProb("model_prob", p.ModelProb),
 		checkList("topologies", p.Topologies, knownTopologies),
@@ -261,6 +271,9 @@ func (p Profile) Validate() error {
 	}
 	if p.HealAfterMax < 0 || p.HealAfterMax > 1_000_000 {
 		return fmt.Errorf("gen: profile heal_after_max %d outside 0..1000000", p.HealAfterMax)
+	}
+	if p.ReorderMax < 0 || p.ReorderMax > 1000 {
+		return fmt.Errorf("gen: profile reorder_max %d outside 0..1000", p.ReorderMax)
 	}
 	for _, d := range p.QueueDepths {
 		if d < -1 {
@@ -297,6 +310,8 @@ type profileJSON struct {
 	DelayMax        int             `json:"delay_max,omitempty"`
 	PartitionProb   float64         `json:"partition_prob,omitempty"`
 	HealAfterMax    int             `json:"heal_after_max,omitempty"`
+	DupMax          float64         `json:"dup_max,omitempty"`
+	ReorderMax      int             `json:"reorder_max,omitempty"`
 	ModelProb       float64         `json:"model_prob,omitempty"`
 	ModelEncodings  []string        `json:"model_encodings,omitempty"`
 	ModelStates     *intRangeJSON   `json:"model_states,omitempty"`
@@ -352,6 +367,8 @@ func EncodeProfile(p *Profile) ([]byte, error) {
 		DelayMax:        p.DelayMax,
 		PartitionProb:   p.PartitionProb,
 		HealAfterMax:    p.HealAfterMax,
+		DupMax:          p.DupMax,
+		ReorderMax:      p.ReorderMax,
 		ModelProb:       p.ModelProb,
 		ModelEncodings:  p.ModelEncodings,
 		ModelStates:     intRangeToWire(p.ModelStates),
@@ -389,6 +406,8 @@ func DecodeProfile(data []byte) (Profile, error) {
 		DelayMax:        w.DelayMax,
 		PartitionProb:   w.PartitionProb,
 		HealAfterMax:    w.HealAfterMax,
+		DupMax:          w.DupMax,
+		ReorderMax:      w.ReorderMax,
 		ModelProb:       w.ModelProb,
 		ModelEncodings:  w.ModelEncodings,
 	}

@@ -33,6 +33,12 @@ func Size(s *engine.Scenario) int {
 	if f.Delay > 0 {
 		n++
 	}
+	if f.Duplicate > 0 {
+		n++
+	}
+	if f.Reorder > 0 {
+		n++
+	}
 	n += len(f.DropEdge) + len(f.DelayEdge) + len(f.Partitions)
 	if f.HealAfter > 0 {
 		n++
@@ -181,6 +187,16 @@ func candidates(s engine.Scenario) []engine.Scenario {
 	if s.Faults.Delay > 0 {
 		c := copyScenario(s)
 		c.Faults.Delay = 0
+		out = append(out, c)
+	}
+	if s.Faults.Duplicate > 0 {
+		c := copyScenario(s)
+		c.Faults.Duplicate = 0
+		out = append(out, c)
+	}
+	if s.Faults.Reorder > 0 {
+		c := copyScenario(s)
+		c.Faults.Reorder = 0
 		out = append(out, c)
 	}
 	if len(s.Faults.Partitions) > 0 {

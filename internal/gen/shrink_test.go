@@ -189,6 +189,54 @@ func TestShrinkRaggedItemCounts(t *testing.T) {
 	}
 }
 
+// TestShrinkRemovesDupReorderNoise extends the never-larger/termination
+// properties to the duplication and reordering fault fields: a failure
+// that persists without them must shrink to Duplicate == 0 and
+// Reorder == 0 via the component-wise zero steps, still fail the same
+// way, and never grow.
+func TestShrinkRemovesDupReorderNoise(t *testing.T) {
+	ctx := context.Background()
+	s := bloatedFailure()
+	// Probabilistic noise routes the scenario to the sampling engine;
+	// the Fig. 2 oscillation diverges there too (no run converges).
+	s.Faults = netsim.Faults{Duplicate: 0.25, Reorder: 2}
+	eng := engine.Simulation{Runs: 4, BudgetFactor: 4}
+
+	if Size(&s) <= Size(&engine.Scenario{AgentSpecs: s.AgentSpecs, Graph: s.Graph, Explore: s.Explore}) {
+		t.Fatal("Size does not count the duplication/reordering components")
+	}
+	var sawZeroDup, sawZeroReorder bool
+	for _, c := range candidates(s) {
+		if c.Faults.Duplicate == 0 && c.Faults.Reorder == s.Faults.Reorder {
+			sawZeroDup = true
+		}
+		if c.Faults.Reorder == 0 && c.Faults.Duplicate == s.Faults.Duplicate {
+			sawZeroReorder = true
+		}
+	}
+	if !sawZeroDup || !sawZeroReorder {
+		t.Fatalf("candidate set lacks component-wise zero steps (dup %v, reorder %v)", sawZeroDup, sawZeroReorder)
+	}
+
+	shrunk, stats, err := ShrinkFailure(ctx, s, eng, ShrinkOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Size(&shrunk) >= Size(&s) {
+		t.Fatalf("shrunk size %d not smaller than input %d", Size(&shrunk), Size(&s))
+	}
+	if shrunk.Faults.Duplicate != 0 || shrunk.Faults.Reorder != 0 {
+		t.Fatalf("fault noise survived the shrink: %+v", shrunk.Faults)
+	}
+	res := eng.Verify(ctx, shrunk)
+	if res.Status != engine.StatusViolated {
+		t.Fatalf("shrunk scenario lost the failure: %v", res.Status)
+	}
+	if stats.Tried > (ShrinkOptions{}).withDefaults().MaxTried {
+		t.Fatalf("shrink blew its budget: %+v", stats)
+	}
+}
+
 // dropAgent remaps the graph and every fault reference consistently.
 func TestDropAgentRemapsFaults(t *testing.T) {
 	pol := mca.Policy{Target: 1, Utility: mca.FlatUtility{}, Rebid: mca.RebidOnChange}

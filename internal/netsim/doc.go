@@ -10,8 +10,9 @@
 //
 // Faults models the adversarial networks the paper's Alloy model cannot
 // express: global and per-edge message drop probabilities, fixed and
-// per-edge delivery delays, and network partitions that may heal at a
-// tick. Permanent partitions are purely structural
+// per-edge delivery delays, at-least-once duplication (Duplicate),
+// bounded in-channel reordering (Reorder), and network partitions that
+// may heal at a tick. Permanent partitions are purely structural
 // (StaticPartitionOnly), which is why the exhaustive engines can check
 // them exactly on the partition-masked graph, while probabilistic and
 // timed faults belong to the seeded simulation.

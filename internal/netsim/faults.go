@@ -23,6 +23,19 @@ type Faults struct {
 	Delay int
 	// DelayEdge overrides Delay for specific directed edges.
 	DelayEdge map[Edge]int
+	// Duplicate is the probability (0..1) that a delivered message is
+	// also re-enqueued at the tail of its channel — at-least-once
+	// delivery with a per-delivery coin. The duplicate is a fresh send:
+	// it re-enters the delay line at the current tick and competes for
+	// future delivery slots, so duplication pressure consumes the run's
+	// delivery budget rather than extending it.
+	Duplicate float64
+	// Reorder bounds in-channel overtaking: a delivery on an edge may
+	// pop any of the first Reorder+1 deliverable messages of that
+	// edge's queue instead of strictly the head. 0 keeps channels FIFO;
+	// messages still held by the delay line or an active partition are
+	// never eligible to overtake.
+	Reorder int
 	// Partitions groups nodes into isolated blocks. While the partition
 	// is active, a message whose endpoints sit in different blocks is
 	// lost at the cut when the partition is permanent (HealAfter 0), or
@@ -37,13 +50,15 @@ type Faults struct {
 // None reports whether the fault model is empty (reliable network).
 func (f Faults) None() bool {
 	return f.Drop == 0 && len(f.DropEdge) == 0 &&
-		f.Delay == 0 && len(f.DelayEdge) == 0 && len(f.Partitions) == 0
+		f.Delay == 0 && len(f.DelayEdge) == 0 &&
+		f.Duplicate == 0 && f.Reorder == 0 && len(f.Partitions) == 0
 }
 
-// Probabilistic reports whether the model has a random component (drops)
-// as opposed to purely structural faults (delays, partitions).
+// Probabilistic reports whether the model has a random component
+// (drops, duplication, reordering coins) as opposed to purely
+// structural faults (delays, partitions).
 func (f Faults) Probabilistic() bool {
-	if f.Drop > 0 {
+	if f.Drop > 0 || f.Duplicate > 0 || f.Reorder > 0 {
 		return true
 	}
 	for _, p := range f.DropEdge {
@@ -157,9 +172,18 @@ func RunAsyncWith(agents []*mca.Agent, g *graph.Graph, cfg AsyncConfig) AsyncOut
 			continue
 		}
 		e := deliverable[rng.Intn(len(deliverable))]
-		m := fr.deliver(e)
-		// Only draw the drop coin on lossy edges, so a fault-free config
-		// replays exactly the same delivery sequence as RunAsync.
+		m := fr.deliverNext(e, rng)
+		// Each fault coin is drawn only when its knob is configured, so
+		// a fault-free config replays exactly the same delivery sequence
+		// as RunAsync — and adding a new fault model never perturbs
+		// corpora that leave it zero.
+		if p := cfg.Faults.Duplicate; p > 0 && rng.Float64() < p {
+			// The duplicate is a fresh send on the same channel: it
+			// re-enters the delay line at the current tick and is
+			// delivered (or dropped) on a later tick of its own.
+			out.Duplicated++
+			fr.send(m)
+		}
 		if p := cfg.Faults.dropProb(e); p > 0 && rng.Float64() < p {
 			out.Dropped++
 			continue
@@ -282,19 +306,53 @@ func (fr *faultRun) minReady() int {
 	return min
 }
 
-// deliver pops the head message and its delay stamp, advancing the
-// clock by one tick.
-func (fr *faultRun) deliver(e Edge) mca.Message {
-	m := fr.net.Deliver(e)
+// deliverNext pops one message from edge e — the head on FIFO
+// channels, or a seeded pick from the reorder window when the fault
+// model allows overtaking — removes its delay stamp, and advances the
+// clock by one tick. The reorder coin is drawn only when the window
+// genuinely offers a choice, so Reorder=0 configs replay the exact
+// random stream they always did.
+func (fr *faultRun) deliverNext(e Edge, rng *rand.Rand) mca.Message {
+	idx := 0
+	if k := fr.faults.Reorder; k > 0 {
+		if w := fr.reorderWindow(e, k+1); w > 1 {
+			idx = rng.Intn(w)
+		}
+	}
+	m := fr.net.DeliverAt(e, idx)
 	if fr.readyAt != nil {
-		if r := fr.readyAt[e]; len(r) > 0 {
-			if len(r) == 1 {
+		if r := fr.readyAt[e]; idx < len(r) {
+			r = append(r[:idx], r[idx+1:]...)
+			if len(r) == 0 {
 				delete(fr.readyAt, e)
 			} else {
-				fr.readyAt[e] = r[1:]
+				fr.readyAt[e] = r
 			}
 		}
 	}
 	fr.tick++
 	return m
+}
+
+// reorderWindow returns how many messages at the front of edge e's
+// queue are eligible for this delivery: at most max, clipped to the
+// queue length and — when the delay line is active — to the prefix of
+// messages already past their ready tick (delay stamps are
+// non-decreasing along a queue, so the ready set is always a prefix).
+func (fr *faultRun) reorderWindow(e Edge, max int) int {
+	w := fr.net.QueueLen(e)
+	if w > max {
+		w = max
+	}
+	if fr.readyAt != nil {
+		r := fr.readyAt[e]
+		ready := 0
+		for ready < len(r) && ready < w && r[ready] <= fr.tick {
+			ready++
+		}
+		if len(r) > 0 && ready < w {
+			w = ready
+		}
+	}
+	return w
 }

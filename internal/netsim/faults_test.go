@@ -160,6 +160,12 @@ func TestFaultsClassification(t *testing.T) {
 	if (Faults{Delay: 1}).Probabilistic() {
 		t.Fatal("pure delay classified probabilistic")
 	}
+	if (Faults{Duplicate: 0.2}).None() || !(Faults{Duplicate: 0.2}).Probabilistic() {
+		t.Fatal("duplication misclassified")
+	}
+	if (Faults{Reorder: 2}).None() || !(Faults{Reorder: 2}).Probabilistic() {
+		t.Fatal("reordering misclassified")
+	}
 	f := Faults{Partitions: [][]int{{0}, {1}}}
 	if !f.StaticPartitionOnly() {
 		t.Fatal("permanent partition not static")
@@ -167,5 +173,88 @@ func TestFaultsClassification(t *testing.T) {
 	f.HealAfter = 3
 	if f.StaticPartitionOnly() {
 		t.Fatal("healing partition classified static")
+	}
+	f.HealAfter = 0
+	f.Reorder = 1
+	if f.StaticPartitionOnly() {
+		t.Fatal("reordering partition classified static")
+	}
+}
+
+func TestDuplicateFaultForksDeliveries(t *testing.T) {
+	g := graph.Complete(3)
+	out := RunAsyncWith(faultAgents(t, 3, 2), g, AsyncConfig{
+		Seed: 17, MaxDeliveries: 2000, Faults: Faults{Duplicate: 0.5},
+	})
+	if out.Duplicated == 0 {
+		t.Fatalf("duplicate=0.5 run forked nothing: %+v", out)
+	}
+	if !out.Converged {
+		// Duplication is benign for max-consensus: re-processing an old
+		// snapshot never un-learns information.
+		t.Fatalf("at-least-once delivery broke convergence: %+v", out)
+	}
+}
+
+func TestCertainDuplicationStillTerminates(t *testing.T) {
+	g := graph.Ring(4)
+	out := RunAsyncWith(faultAgents(t, 4, 3), g, AsyncConfig{
+		Seed: 19, MaxDeliveries: 300, Faults: Faults{Duplicate: 1},
+	})
+	// Every delivery forks a copy, so the channel never drains; the run
+	// must stop on its delivery budget instead of spinning.
+	if out.Duplicated == 0 || out.Deliveries+out.Dropped > 300 {
+		t.Fatalf("duplicate=1 budget accounting broken: %+v", out)
+	}
+}
+
+func TestReorderPreservesConvergence(t *testing.T) {
+	// Unbounded-window reordering over every topology the suite uses:
+	// snapshots carry full views, so processing them out of order must
+	// not lose information.
+	for _, g := range []*graphCase{{graph.Ring(4), 4}, {graph.Star(4), 4}, {graph.Complete(3), 3}} {
+		out := RunAsyncWith(faultAgents(t, g.n, 2), g.g, AsyncConfig{
+			Seed: 23, MaxDeliveries: 4000, Faults: Faults{Reorder: 8},
+		})
+		if !out.Converged {
+			t.Fatalf("reordered run on %d-node graph did not converge: %+v", g.n, out)
+		}
+	}
+}
+
+type graphCase struct {
+	g *graph.Graph
+	n int
+}
+
+func TestReorderWithDelayIsDeterministic(t *testing.T) {
+	g := graph.Complete(3)
+	cfg := AsyncConfig{Seed: 29, MaxDeliveries: 1500,
+		Faults: Faults{Reorder: 3, Delay: 2, Duplicate: 0.3, Drop: 0.1}}
+	first := RunAsyncWith(faultAgents(t, 3, 2), g, cfg)
+	for i := 0; i < 3; i++ {
+		again := RunAsyncWith(faultAgents(t, 3, 2), g, cfg)
+		if again != first {
+			t.Fatalf("run %d diverged: %+v vs %+v", i, again, first)
+		}
+	}
+}
+
+func TestDeliverAtPopsMiddleSlot(t *testing.T) {
+	g := graph.Line(2)
+	n := New(g, false)
+	for i := 0; i < 3; i++ {
+		n.Send(mca.Message{Sender: 0, Receiver: 1, InfoTimes: []int{i}})
+	}
+	e := Edge{From: 0, To: 1}
+	if got := n.QueueLen(e); got != 3 {
+		t.Fatalf("QueueLen = %d, want 3", got)
+	}
+	m := n.DeliverAt(e, 1)
+	if m.InfoTimes[0] != 1 {
+		t.Fatalf("DeliverAt(1) popped message %d", m.InfoTimes[0])
+	}
+	if got := n.Queue(e); len(got) != 2 || got[0].InfoTimes[0] != 0 || got[1].InfoTimes[0] != 2 {
+		t.Fatalf("queue after middle pop: %+v", got)
 	}
 }

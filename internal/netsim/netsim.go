@@ -190,19 +190,31 @@ func (n *Network) InFlight() int {
 // Deliver pops the head message of the given edge. It panics if the edge
 // is empty.
 func (n *Network) Deliver(e Edge) mca.Message {
+	return n.DeliverAt(e, 0)
+}
+
+// DeliverAt pops the i-th queued message of the given edge — the
+// out-of-order delivery primitive behind the bounded-reordering fault
+// model (i=0 is the plain FIFO Deliver). It panics when the slot does
+// not exist.
+func (n *Network) DeliverAt(e Edge, i int) mca.Message {
 	id := n.eid(e)
 	q := n.queues[id]
-	if len(q) == 0 {
-		panic(fmt.Sprintf("netsim: deliver on empty edge %d->%d", e.From, e.To))
+	if i < 0 || i >= len(q) {
+		panic(fmt.Sprintf("netsim: deliver slot %d on edge %d->%d holding %d messages", i, e.From, e.To, len(q)))
 	}
-	m := q[0].msg
-	copy(q, q[1:]) // keep the backing array; queues are shallow
+	m := q[i].msg
+	copy(q[i:], q[i+1:]) // keep the backing array; queues are shallow
 	n.queues[id] = q[:len(q)-1]
 	if len(q) == 1 {
 		n.nonEmpty--
 	}
 	return m
 }
+
+// QueueLen returns the number of messages queued on the edge without
+// allocating (Queue copies; the fault runner only needs the count).
+func (n *Network) QueueLen(e Edge) int { return len(n.queues[n.eid(e)]) }
 
 // Queue returns the in-order messages currently queued on the edge.
 // It allocates; the hot paths use ForEachQueued or the cell digests.
@@ -499,6 +511,9 @@ type AsyncOutcome struct {
 	Deliveries int
 	// Dropped is the number of messages lost to the fault model.
 	Dropped int
+	// Duplicated is the number of deliveries the fault model forked
+	// into an extra in-flight copy (at-least-once delivery).
+	Duplicated int
 }
 
 // RunAsync drives the agents with a seeded random delivery order until

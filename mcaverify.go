@@ -388,6 +388,39 @@ func DiffSweep(ctx context.Context, scenarios []Scenario, opts DiffOptions) ([]D
 	return gen.DiffSweep(ctx, scenarios, opts)
 }
 
+// Coverage-guided fuzzing types.
+type (
+	// StoreSignature is the quantized shape of one exploration — the
+	// coverage coordinate extracted from verdict fields that are
+	// deterministic at any worker count.
+	StoreSignature = explore.StoreSignature
+	// CoverageBucket is one coverage bucket: comparability class,
+	// store signature, and verdict polarity.
+	CoverageBucket = gen.Coverage
+	// CoverageSet is the set of buckets a corpus has reached.
+	CoverageSet = gen.CoverageSet
+	// FuzzCoverageOptions configures the coverage-guided fuzzing loop.
+	FuzzCoverageOptions = gen.CoverageOptions
+	// FuzzCoverageResult is a coverage-guided run's corpus, bucket set,
+	// round telemetry, and any oracle disagreements.
+	FuzzCoverageResult = gen.CoverageResult
+	// FuzzRoundStats is the per-round telemetry FuzzCoverage streams.
+	FuzzRoundStats = gen.RoundStats
+)
+
+// StoreSignatureOf extracts a verdict's coverage coordinate.
+func StoreSignatureOf(v *Verdict) StoreSignature { return explore.SignatureOf(v) }
+
+// FuzzCoverage runs the coverage-guided fuzzing loop: a blind seed
+// round from the profile, then mutation rounds whose inputs are drawn
+// from the corpus of scenarios that discovered new store-signature
+// buckets. onRound (optional) streams each round's stats as the loop
+// runs. The corpus is byte-identical for the same (profile, seed,
+// rounds, per-round) at any oracle worker count.
+func FuzzCoverage(ctx context.Context, opts FuzzCoverageOptions, onRound func(FuzzRoundStats)) (FuzzCoverageResult, error) {
+	return gen.FuzzCoverage(ctx, opts, onRound)
+}
+
 // Policy sweep (Result 1) types.
 type (
 	// PolicyCombo is one cell of the Result 1 policy matrix.

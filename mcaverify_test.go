@@ -207,3 +207,37 @@ func TestVerifyAllFacade(t *testing.T) {
 		t.Fatalf("summary wrong: %+v", sum)
 	}
 }
+
+// TestFacadeFuzzCoverage runs a tiny coverage-guided loop through the
+// public surface: the corpus is non-trivial, every corpus scenario
+// round-trips through the canonical codec, and the streamed rounds
+// match the result.
+func TestFacadeFuzzCoverage(t *testing.T) {
+	p := mcaverify.DefaultFuzzProfile()
+	p.Agents = mcaverify.FuzzIntRange{Min: 2, Max: 3}
+	p.Items = mcaverify.FuzzIntRange{Min: 2, Max: 2}
+	p.MaxStates = mcaverify.FuzzIntRange{Min: 1000, Max: 5000}
+	p.ModelProb = 0
+	var streamed int
+	res, err := mcaverify.FuzzCoverage(context.Background(), mcaverify.FuzzCoverageOptions{
+		Profile: p, Seed: 1, Rounds: 2, PerRound: 4,
+	}, func(mcaverify.FuzzRoundStats) { streamed++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if streamed != 2 || len(res.Rounds) != 2 {
+		t.Fatalf("streamed %d rounds, result has %d", streamed, len(res.Rounds))
+	}
+	if len(res.Buckets) == 0 || len(res.Corpus) == 0 {
+		t.Fatalf("empty coverage run: %d buckets, %d corpus", len(res.Buckets), len(res.Corpus))
+	}
+	for i := range res.Corpus {
+		data, err := mcaverify.EncodeScenario(&res.Corpus[i])
+		if err != nil {
+			t.Fatalf("corpus[%d]: %v", i, err)
+		}
+		if _, err := mcaverify.DecodeScenario(data); err != nil {
+			t.Fatalf("corpus[%d] does not round-trip: %v", i, err)
+		}
+	}
+}

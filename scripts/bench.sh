@@ -14,7 +14,7 @@
 #                                  # the newest committed BENCH_*.json; writes nothing
 #
 # Environment:
-#   BENCH_OUT         output file for the full run (default BENCH_7.json)
+#   BENCH_OUT         output file for the full run (default BENCH_9.json)
 #   BENCH_ALLOW_1CPU  set to 1 to run anyway on a single-core machine;
 #                     the record is then stamped scaling_valid=false
 set -eu
@@ -23,7 +23,7 @@ cd "$(dirname "$0")/.."
 # The core set: the explicit-state hot path (serial + sharded frontier),
 # batch-runner throughput, and the SAT hot path (propagation-bound
 # probing, conflict-heavy UNSAT, and the incremental-vs-oneshot sweep).
-BENCHES='BenchmarkExploreSerial$|BenchmarkParallelExplore$|BenchmarkRunnerSweep$|BenchmarkSATPropagation$|BenchmarkSolvePigeonhole$|BenchmarkIncrementalSweep|BenchmarkOutOfCoreExplore'
+BENCHES='BenchmarkExploreSerial$|BenchmarkParallelExplore$|BenchmarkRunnerSweep$|BenchmarkSATPropagation$|BenchmarkSolvePigeonhole$|BenchmarkIncrementalSweep|BenchmarkOutOfCoreExplore|BenchmarkCoverageFuzz$'
 
 # The newest committed record is the bench-rot baseline.
 baseline=$(ls BENCH_*.json 2>/dev/null | sort -V | tail -1 || true)
@@ -60,7 +60,7 @@ if [ "$cores" -le 1 ]; then
     echo "bench.sh: WARNING: single-core run; record will carry scaling_valid=false" >&2
 fi
 
-out_file="${BENCH_OUT:-BENCH_7.json}"
+out_file="${BENCH_OUT:-BENCH_9.json}"
 # Fixed parameters: -benchtime 2x amortizes per-run setup without
 # letting a noisy sample dominate; -count 3 lets benchjson keep the
 # fastest (least-interfered) sample.
