@@ -24,10 +24,12 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 
+	"repro/internal/chaos"
 	"repro/internal/engine"
 	"repro/internal/explore"
 	"repro/internal/graph"
@@ -71,8 +73,18 @@ func run(args []string) int {
 	showTrace := fs.Bool("trace", true, "print the counterexample trace on failure")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
 	memProfile := fs.String("memprofile", "", "write a heap profile to this file at exit (go tool pprof)")
+	chaosSpec := fs.String("chaos", "", "arm seeded fault injection on checkpoint writes (internal/chaos spec, e.g. \"seed=1,partial=0.5,flip=0.5\"); for failure-semantics testing only")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	var injector *chaos.Injector
+	if *chaosSpec != "" {
+		cfg, err := chaos.ParseSpec(*chaosSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mcacheck:", err)
+			return 2
+		}
+		injector = chaos.New(cfg)
 	}
 	stopProfiling, err := profiling.Start(*cpuProfile, *memProfile)
 	if err != nil {
@@ -107,10 +119,11 @@ func run(args []string) int {
 			spillDir:       *spillDir,
 			spillStates:    *spillStates,
 			showTrace:      *showTrace,
+			injector:       injector,
 		})
 	}
 	if *scenarioFile != "" {
-		return runScenarioFile(ctx, *scenarioFile, *workers, *checkpointFile, *showTrace)
+		return runScenarioFile(ctx, *scenarioFile, *workers, *checkpointFile, *showTrace, injector)
 	}
 
 	util, err := parseUtility(*utility)
@@ -168,7 +181,7 @@ func run(args []string) int {
 		*agents, tp, *items, util.Name(), *release, rb, eng.Name())
 	if *checkpointFile != "" && scenario.Faults.None() {
 		res, next := engine.Explicit{Workers: *workers}.VerifyResumable(ctx, scenario, nil)
-		writeCheckpoint(*checkpointFile, next)
+		writeCheckpoint(*checkpointFile, next, injector)
 		return report(res, *showTrace)
 	}
 	return report(eng.Verify(ctx, scenario), *showTrace)
@@ -185,6 +198,7 @@ type resumeOptions struct {
 	spillDir       string
 	spillStates    int
 	showTrace      bool
+	injector       *chaos.Injector
 }
 
 // runResume continues a capped run from a checkpoint file. The scenario
@@ -200,6 +214,9 @@ func runResume(ctx context.Context, o resumeOptions) int {
 	cp, err := engine.DecodeCheckpoint(data)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
+		if errors.Is(err, engine.ErrCorruptCheckpoint) {
+			fmt.Fprintf(os.Stderr, "mcacheck: checkpoint %s is corrupt or truncated; delete it and re-verify from scratch (run without -resume)\n", o.path)
+		}
 		return 2
 	}
 	s := cp.Scenario
@@ -220,13 +237,15 @@ func runResume(ctx context.Context, o resumeOptions) int {
 	if out == "" {
 		out = o.path // refresh the checkpoint in place on a re-cap
 	}
-	writeCheckpoint(out, next)
+	writeCheckpoint(out, next, o.injector)
 	return report(res, o.showTrace)
 }
 
 // writeCheckpoint persists a capped run's checkpoint (no-op for nil:
-// the run finished, so there is nothing to resume).
-func writeCheckpoint(path string, cp *engine.Checkpoint) {
+// the run finished, so there is nothing to resume). An armed injector
+// mangles the bytes on the way out — that is how the corrupt-resume
+// path is exercised end to end.
+func writeCheckpoint(path string, cp *engine.Checkpoint, injector *chaos.Injector) {
 	if cp == nil {
 		return
 	}
@@ -235,7 +254,8 @@ func writeCheckpoint(path string, cp *engine.Checkpoint) {
 		fmt.Fprintln(os.Stderr, "mcacheck: checkpoint:", err)
 		return
 	}
-	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+	data = injector.Mangle("checkpoint.write", data)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
 		fmt.Fprintln(os.Stderr, "mcacheck: checkpoint:", err)
 		return
 	}
@@ -244,7 +264,7 @@ func writeCheckpoint(path string, cp *engine.Checkpoint) {
 
 // runScenarioFile verifies a saved scenario document on its natural
 // engine.
-func runScenarioFile(ctx context.Context, path string, workers int, checkpointFile string, showTrace bool) int {
+func runScenarioFile(ctx context.Context, path string, workers int, checkpointFile string, showTrace bool, injector *chaos.Injector) int {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -265,7 +285,7 @@ func runScenarioFile(ctx context.Context, path string, workers int, checkpointFi
 			return 2
 		}
 		res, next := ex.VerifyResumable(ctx, scenario, nil)
-		writeCheckpoint(checkpointFile, next)
+		writeCheckpoint(checkpointFile, next, injector)
 		return report(res, showTrace)
 	}
 	return report(eng.Verify(ctx, scenario), showTrace)

@@ -110,6 +110,7 @@ import (
 	"time"
 
 	"repro/internal/cache"
+	"repro/internal/chaos"
 	"repro/internal/engine"
 	"repro/internal/fleet"
 	"repro/internal/gen"
@@ -136,9 +137,19 @@ func main() {
 	quotaRate := fs.Float64("quotarate", 0, "per-tenant requests/second on expensive endpoints (0 = no quota)")
 	quotaBurst := fs.Int("quotaburst", 10, "per-tenant burst size when -quotarate is set")
 	maxInFlight := fs.Int("maxinflight", 0, "cap on concurrently executing expensive requests (0 = unlimited)")
+	chaosSpec := fs.String("chaos", "", "arm seeded fault injection on fleet dispatch, peer cache, and disk cache writes (internal/chaos spec, e.g. \"seed=1,crash=0.1,corrupt=0.05\"); for failure-semantics testing only")
 	fs.Parse(os.Args[1:])
 
-	c, err := cache.New(cache.Options{Capacity: *cacheSize, Dir: *cacheDir, RemoteURL: *remoteCache, RemoteSecret: *cacheSecret})
+	var injector *chaos.Injector
+	if *chaosSpec != "" {
+		cfg, err := chaos.ParseSpec(*chaosSpec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		injector = chaos.New(cfg)
+		log.Printf("mcaserved: CHAOS ARMED (%s) — fault injection is live, do not run in production", *chaosSpec)
+	}
+	c, err := cache.New(cache.Options{Capacity: *cacheSize, Dir: *cacheDir, RemoteURL: *remoteCache, RemoteSecret: *cacheSecret, Chaos: injector})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -157,6 +168,7 @@ func main() {
 		QuotaRate:      *quotaRate,
 		QuotaBurst:     *quotaBurst,
 		MaxInFlight:    *maxInFlight,
+		Chaos:          injector,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -223,6 +235,11 @@ type serverConfig struct {
 	QuotaRate      float64
 	QuotaBurst     int
 	MaxInFlight    int
+	// Chaos, when non-nil, injects seeded faults into coordinator
+	// dispatch (site "fleet.dispatch") and exposes injection counters on
+	// /metrics. Cache-tier injection is wired separately through
+	// cache.Options.Chaos.
+	Chaos *chaos.Injector
 }
 
 func (c serverConfig) withDefaults() serverConfig {
@@ -306,11 +323,16 @@ func newServer(cfg serverConfig) (*server, error) {
 		mux.HandleFunc("/fleet/work", s.fleetGate(s.fleetWorker.HandleWork))
 		mux.HandleFunc("/fleet/health", s.fleetWorker.HandleHealth)
 	case "coordinator":
+		var dispatchClient *http.Client
+		if cfg.Chaos != nil {
+			dispatchClient = &http.Client{Transport: cfg.Chaos.Transport("fleet.dispatch", nil)}
+		}
 		coord, err := fleet.NewCoordinator(fleet.CoordinatorOptions{
 			Workers:        cfg.Peers,
 			Cache:          resultCache(cfg.Cache),
 			SlotsPerWorker: cfg.FleetSlots,
 			UnitTimeout:    cfg.MaxTimeout,
+			Client:         dispatchClient,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("role coordinator: %w (set -peers)", err)

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/cache"
+	"repro/internal/chaos"
 	"repro/internal/fleet"
 )
 
@@ -172,6 +173,9 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if s.fleetWorker != nil {
 		writeWorkerMetrics(&p, s.fleetWorker.Stats())
 	}
+	if s.cfg.Chaos != nil {
+		writeChaosMetrics(&p, s.cfg.Chaos)
+	}
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	fmt.Fprint(w, p.b.String())
@@ -187,6 +191,7 @@ func writeCacheMetrics(p *promWriter, c *cache.Cache, capacity int) {
 		{"hit_memory", st.Hits}, {"hit_disk", st.DiskHits}, {"hit_remote", st.RemoteHits},
 		{"miss", st.Misses}, {"put", st.Puts}, {"put_remote", st.RemotePuts},
 		{"eviction", st.Evictions}, {"error_disk", st.DiskErrors}, {"error_remote", st.RemoteErrors},
+		{"corrupt_quarantined", st.CorruptEntries},
 	} {
 		p.sample("mcaserved_cache_operations_total", fmt.Sprintf("kind=%q", row.kind), row.v)
 	}
@@ -208,11 +213,13 @@ func writeCoordinatorMetrics(p *promWriter, st fleet.Stats) {
 		{"dispatch", st.Dispatches}, {"completed", st.Completed}, {"retry", st.Retries},
 		{"rejection", st.Rejections}, {"local_fallback", st.LocalFallbacks},
 		{"cache_hit", st.CacheHits}, {"drained", st.Drained},
+		{"breaker_fast_fail", st.BreakerFastFails},
 	} {
 		p.sample("mcaserved_fleet_dispatch_total", fmt.Sprintf("kind=%q", row.kind), row.v)
 	}
 	p.family("mcaserved_fleet_worker_healthy", "gauge", "Per-worker health as seen by the dispatch loop.")
 	p.family("mcaserved_fleet_worker_completed_total", "counter", "Units completed per worker.")
+	p.family("mcaserved_fleet_worker_breaker", "gauge", "Per-worker circuit breaker state (1 on the current state's row).")
 	for _, ws := range st.Workers {
 		healthy := 0
 		if ws.Healthy {
@@ -220,6 +227,25 @@ func writeCoordinatorMetrics(p *promWriter, st fleet.Stats) {
 		}
 		p.sample("mcaserved_fleet_worker_healthy", fmt.Sprintf("worker=%q", ws.URL), healthy)
 		p.sample("mcaserved_fleet_worker_completed_total", fmt.Sprintf("worker=%q", ws.URL), ws.Completed)
+		for _, state := range []string{"closed", "half_open", "open"} {
+			v := 0
+			if ws.Breaker == state {
+				v = 1
+			}
+			p.sample("mcaserved_fleet_worker_breaker", fmt.Sprintf("worker=%q,state=%q", ws.URL, state), v)
+		}
+	}
+}
+
+// writeChaosMetrics exposes the injection counters of an armed chaos
+// injector, so a chaos run's fault mix is observable at the same place
+// its effects (retries, quarantines, breaker trips) land.
+func writeChaosMetrics(p *promWriter, in *chaos.Injector) {
+	counts := in.Counts()
+	p.family("mcaserved_chaos_injections_total", "counter", "Injected faults by site and kind (chaos armed).")
+	for _, k := range chaos.CountKeys(counts) {
+		site, kind, _ := strings.Cut(k, "/")
+		p.sample("mcaserved_chaos_injections_total", fmt.Sprintf("site=%q,kind=%q", site, kind), counts[k])
 	}
 }
 

@@ -1,14 +1,19 @@
 package cache
 
 import (
+	"bytes"
 	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
 	"sync"
+	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/engine"
 )
 
@@ -35,6 +40,19 @@ type Options struct {
 	// RemoteClient overrides the HTTP client for the remote tier
 	// (default: a client with a 10-second timeout).
 	RemoteClient *http.Client
+	// RemoteTimeout bounds each individual peer round trip — Get
+	// fetches and Put propagations alike — via a per-request context
+	// deadline, independent of the client's own timeout, so a wedged
+	// peer degrades to a counted miss instead of holding a fetch for
+	// the client default. 0 defaults to 5 seconds.
+	RemoteTimeout time.Duration
+	// Chaos, when non-nil, arms deterministic fault injection on the
+	// cache's infrastructure edges: disk-tier writes pass through
+	// Injector.Mangle (site "cache.disk") and peer round trips through
+	// Injector.Transport (site "cache.peer"). The checksum envelope and
+	// quarantine-on-corruption paths exist so that none of these
+	// injections can ever surface as a wrong cached verdict.
+	Chaos *chaos.Injector
 }
 
 // Stats is a point-in-time snapshot of cache effectiveness counters.
@@ -60,16 +78,23 @@ type Stats struct {
 	// to the surviving tiers rather than failing the verification).
 	DiskErrors   uint64 `json:"disk_errors"`
 	RemoteErrors uint64 `json:"remote_errors"`
+	// CorruptEntries counts disk-tier files quarantined on Get because
+	// their checksum envelope or payload failed validation — each one
+	// was deleted and served as a miss (also counted in DiskErrors), so
+	// corrupt bytes degrade to recompute, never to a wrong verdict.
+	CorruptEntries uint64 `json:"corrupt_entries"`
 }
 
 // Cache is a content-addressed Result store implementing
 // engine.ResultCache.
 type Cache struct {
-	capacity     int
-	dir          string
-	remoteURL    string
-	remoteSecret string
-	remoteClient *http.Client
+	capacity      int
+	dir           string
+	remoteURL     string
+	remoteSecret  string
+	remoteClient  *http.Client
+	remoteTimeout time.Duration
+	chaos         *chaos.Injector
 
 	mu    sync.Mutex
 	ll    *list.List // most recent at front; values are *entry
@@ -107,15 +132,30 @@ func New(o Options) (*Cache, error) {
 	if client == nil {
 		client = defaultRemoteClient()
 	}
+	if o.Chaos != nil {
+		// Wrap a copy: the caller's client must not inherit the fault
+		// injection.
+		client = &http.Client{
+			Transport:     o.Chaos.Transport("cache.peer", client.Transport),
+			CheckRedirect: client.CheckRedirect,
+			Jar:           client.Jar,
+			Timeout:       client.Timeout,
+		}
+	}
+	if o.RemoteTimeout <= 0 {
+		o.RemoteTimeout = 5 * time.Second
+	}
 	c := &Cache{
-		capacity:     o.Capacity,
-		dir:          o.Dir,
-		remoteURL:    strings.TrimSuffix(o.RemoteURL, "/"),
-		remoteSecret: o.RemoteSecret,
-		remoteClient: client,
-		ll:           list.New(),
-		idx:          map[string]*list.Element{},
-		flights:      map[string]*flight{},
+		capacity:      o.Capacity,
+		dir:           o.Dir,
+		remoteURL:     strings.TrimSuffix(o.RemoteURL, "/"),
+		remoteSecret:  o.RemoteSecret,
+		remoteClient:  client,
+		remoteTimeout: o.RemoteTimeout,
+		chaos:         o.Chaos,
+		ll:            list.New(),
+		idx:           map[string]*list.Element{},
+		flights:       map[string]*flight{},
 	}
 	if c.remoteURL != "" {
 		c.putCh = make(chan remotePut, remotePutQueue)
@@ -244,28 +284,71 @@ func (c *Cache) path(key string) string {
 	return filepath.Join(c.dir, key+".json")
 }
 
+// diskMagic opens the checksum envelope of a disk-tier entry:
+// "MCACHK1 " + 64 hex chars of SHA-256(payload) + "\n" + payload. The
+// cache key addresses the *question*, so the payload needs its own
+// digest for the stored answer to be validatable at all.
+const diskMagic = "MCACHK1 "
+
+// diskEnvelope wraps an encoded Result payload in the checksum header.
+func diskEnvelope(payload []byte) []byte {
+	sum := sha256.Sum256(payload)
+	header := diskMagic + hex.EncodeToString(sum[:]) + "\n"
+	out := make([]byte, 0, len(header)+len(payload))
+	out = append(out, header...)
+	return append(out, payload...)
+}
+
+// openDiskEnvelope validates a disk file's checksum envelope and
+// returns the payload. Files without the magic are legacy pre-envelope
+// entries and pass through whole (their decode is still validated by
+// the caller).
+func openDiskEnvelope(data []byte) ([]byte, error) {
+	if !bytes.HasPrefix(data, []byte(diskMagic)) {
+		return data, nil
+	}
+	headerLen := len(diskMagic) + sha256.Size*2 + 1
+	if len(data) < headerLen || data[headerLen-1] != '\n' {
+		return nil, fmt.Errorf("cache: truncated disk envelope header")
+	}
+	payload := data[headerLen:]
+	sum := sha256.Sum256(payload)
+	if hex.EncodeToString(sum[:]) != string(data[len(diskMagic):headerLen-1]) {
+		return nil, fmt.Errorf("cache: disk entry checksum mismatch")
+	}
+	return payload, nil
+}
+
 func (c *Cache) loadDisk(key string) (engine.Result, bool) {
 	data, err := os.ReadFile(c.path(key))
 	if err != nil {
 		return engine.Result{}, false
 	}
-	res, err := engine.DecodeResult(data)
-	if err != nil {
-		// A corrupt or foreign file is treated as a miss, not an error:
-		// the entry will simply be recomputed and rewritten.
-		c.mu.Lock()
-		c.stats.DiskErrors++
-		c.mu.Unlock()
-		return engine.Result{}, false
+	payload, err := openDiskEnvelope(data)
+	if err == nil {
+		var res engine.Result
+		if res, err = engine.DecodeResult(payload); err == nil {
+			return res, true
+		}
 	}
-	return res, true
+	// Corrupt, truncated, or foreign bytes: quarantine the file and
+	// degrade to a miss. The entry is recomputed and rewritten by
+	// whoever needed it — a flipped bit on disk can cost a recompute
+	// but can never surface as a cached verdict.
+	os.Remove(c.path(key))
+	c.mu.Lock()
+	c.stats.DiskErrors++
+	c.stats.CorruptEntries++
+	c.mu.Unlock()
+	return engine.Result{}, false
 }
 
 func (c *Cache) storeDisk(key string, res engine.Result) error {
-	data, err := engine.EncodeResult(&res)
+	payload, err := engine.EncodeResult(&res)
 	if err != nil {
 		return err
 	}
+	data := c.chaos.Mangle("cache.disk", diskEnvelope(payload))
 	tmp, err := os.CreateTemp(c.dir, "put-*")
 	if err != nil {
 		return err

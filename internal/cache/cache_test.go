@@ -148,8 +148,19 @@ func TestCorruptDiskFileIsAMiss(t *testing.T) {
 	if _, ok := c.Get("bad"); ok {
 		t.Fatal("corrupt file served as a hit")
 	}
-	if st := c.Stats(); st.DiskErrors != 1 || st.Misses != 1 {
+	if st := c.Stats(); st.DiskErrors != 1 || st.Misses != 1 || st.CorruptEntries != 1 {
 		t.Fatalf("stats %+v", st)
+	}
+	// The corrupt entry is quarantined: the file is deleted, so the next
+	// Get is a clean miss, not another decode failure.
+	if _, err := os.Stat(filepath.Join(dir, "bad.json")); !os.IsNotExist(err) {
+		t.Fatalf("corrupt file not quarantined: %v", err)
+	}
+	if _, ok := c.Get("bad"); ok {
+		t.Fatal("quarantined key hit")
+	}
+	if st := c.Stats(); st.DiskErrors != 1 || st.Misses != 2 || st.CorruptEntries != 1 {
+		t.Fatalf("stats after quarantine %+v", st)
 	}
 }
 

@@ -2,7 +2,10 @@ package cache
 
 import (
 	"bytes"
+	"context"
+	"crypto/sha256"
 	"crypto/subtle"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"io"
@@ -45,6 +48,13 @@ const remoteBodyLimit = 16 << 20
 
 // authHeader carries the shared secret of a secured peer protocol.
 const authHeader = "X-Cache-Auth"
+
+// checksumHeader carries the hex SHA-256 of the entry body on both
+// protocol verbs. The dialing side verifies it on GET responses and
+// the serving side on PUT bodies (when present — older peers omit it),
+// so a bit flipped in transit degrades to a counted error and a
+// recompute instead of decoding into a wrong cached verdict.
+const checksumHeader = "X-Cache-Checksum"
 
 // remotePutQueue bounds the async propagation backlog. A healthy peer
 // drains it far faster than verification fills it; against a wedged
@@ -108,11 +118,15 @@ func (c *Cache) getRemote(key string) (engine.Result, bool) {
 	return f.res, f.ok
 }
 
-// fetchRemote is one GET round trip. Network failures and malformed
-// bodies degrade to a miss (counted in RemoteErrors); the entry is
-// simply recomputed locally.
+// fetchRemote is one GET round trip, bounded by the per-request
+// remote timeout so a wedged peer can only ever cost that much before
+// the Get degrades. Network failures, timeouts, checksum mismatches,
+// and malformed bodies all degrade to a miss (counted in
+// RemoteErrors); the entry is simply recomputed locally.
 func (c *Cache) fetchRemote(key string) (engine.Result, bool) {
-	req, err := http.NewRequest(http.MethodGet, c.remoteURL+"/"+key, nil)
+	ctx, cancel := context.WithTimeout(context.Background(), c.remoteTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.remoteURL+"/"+key, nil)
 	if err != nil {
 		c.countRemoteError()
 		return engine.Result{}, false
@@ -139,6 +153,13 @@ func (c *Cache) fetchRemote(key string) (engine.Result, bool) {
 	if err != nil {
 		c.countRemoteError()
 		return engine.Result{}, false
+	}
+	if want := resp.Header.Get(checksumHeader); want != "" {
+		sum := sha256.Sum256(data)
+		if hex.EncodeToString(sum[:]) != want {
+			c.countRemoteError()
+			return engine.Result{}, false
+		}
 	}
 	res, err := engine.DecodeResult(data)
 	if err != nil {
@@ -184,19 +205,24 @@ func (c *Cache) WaitRemotePuts() {
 	c.putWG.Wait()
 }
 
-// storeRemote propagates one Put to the peer.
+// storeRemote propagates one Put to the peer, bounded by the
+// per-request remote timeout.
 func (c *Cache) storeRemote(key string, res engine.Result) {
 	data, err := engine.EncodeResult(&res)
 	if err != nil {
 		c.countRemoteError()
 		return
 	}
-	req, err := http.NewRequest(http.MethodPut, c.remoteURL+"/"+key, bytes.NewReader(data))
+	ctx, cancel := context.WithTimeout(context.Background(), c.remoteTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut, c.remoteURL+"/"+key, bytes.NewReader(data))
 	if err != nil {
 		c.countRemoteError()
 		return
 	}
 	req.Header.Set("Content-Type", "application/json")
+	sum := sha256.Sum256(data)
+	req.Header.Set(checksumHeader, hex.EncodeToString(sum[:]))
 	if c.remoteSecret != "" {
 		req.Header.Set(authHeader, c.remoteSecret)
 	}
@@ -261,7 +287,9 @@ func HTTPHandler(c *Cache, secret string) http.Handler {
 				http.Error(w, `{"error":"unencodable entry"}`, http.StatusInternalServerError)
 				return
 			}
+			sum := sha256.Sum256(data)
 			w.Header().Set("Content-Type", "application/json")
+			w.Header().Set(checksumHeader, hex.EncodeToString(sum[:]))
 			w.Write(data)
 		case http.MethodPut:
 			data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, remoteBodyLimit))
@@ -273,6 +301,13 @@ func HTTPHandler(c *Cache, secret string) http.Handler {
 				}
 				http.Error(w, fmt.Sprintf(`{"error":%q}`, err.Error()), status)
 				return
+			}
+			if want := r.Header.Get(checksumHeader); want != "" {
+				sum := sha256.Sum256(data)
+				if hex.EncodeToString(sum[:]) != want {
+					http.Error(w, `{"error":"body checksum mismatch"}`, http.StatusBadRequest)
+					return
+				}
 			}
 			res, err := engine.DecodeResult(data)
 			if err != nil {

@@ -1,0 +1,24 @@
+// Package chaos is the seeded, deterministic infrastructure
+// fault-injection layer: the same splitmix64 per-site stream discipline
+// internal/gen applies to the scenario space, turned inward on the
+// infrastructure the verification stack runs on. An Injector wraps the
+// fleet dispatch transport, the peer-cache transport, and the
+// disk-cache/checkpoint write paths, and injects faults from a
+// reproducible schedule: worker crash/hang/slow-response, HTTP response
+// truncation and corruption, 429/5xx admission storms, and partial
+// writes or bit flips on bytes headed for disk.
+//
+// Determinism is per site: every named injection site owns one
+// splitmix64 stream seeded from (Config.Seed, site name), so the
+// sequence of fault decisions drawn at a site is a pure function of the
+// seed. When several goroutines share a site (concurrent dispatch
+// slots), which request consumes which draw depends on scheduling —
+// the schedule is deterministic, its assignment to requests is not —
+// which is exactly the adversarial regime the chaos-matrix suite pins
+// verdicts under: whatever the interleaving, fleet sweep summaries must
+// stay byte-identical to a clean single-process run.
+//
+// The zero probability for every fault model means the Injector is
+// transparent; a nil *Injector is likewise safe to call and injects
+// nothing, so call sites can thread one unconditionally.
+package chaos

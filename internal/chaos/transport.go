@@ -1,0 +1,174 @@
+package chaos
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// mangleBodyLimit bounds how much of a response body the transport will
+// buffer for truncation/corruption; it matches the coordinator's own
+// remote-result read limit so the chaos layer never relaxes it.
+const mangleBodyLimit = 64 << 20
+
+// Transport wraps base (nil means http.DefaultTransport) in the
+// request-path fault models — storm, crash, hang, slow, response
+// truncation/corruption — drawing decisions from site's stream. On a
+// nil Injector, or one with no transport fault armed, base is returned
+// untouched.
+func (in *Injector) Transport(site string, base http.RoundTripper) http.RoundTripper {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	if in == nil {
+		return base
+	}
+	c := in.cfg
+	if c.Crash <= 0 && c.Hang <= 0 && c.Slow <= 0 && c.Truncate <= 0 && c.Corrupt <= 0 && c.Storm <= 0 {
+		return base
+	}
+	return &transport{in: in, site: site, base: base}
+}
+
+// transport is the fault-injecting http.RoundTripper returned by
+// Injector.Transport.
+type transport struct {
+	in   *Injector
+	site string
+	base http.RoundTripper
+}
+
+// RoundTrip draws this request's fate from the site stream: an active
+// (or freshly started) storm answers with a synthetic 429/503 before
+// anything else; then crash, hang, and slow each get a roll; surviving
+// requests hit the real transport and may have their response body
+// truncated or bit-flipped on the way back.
+func (t *transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	in, cfg := t.in, t.in.cfg
+	if status, ok := in.stormStatus(t.site); ok {
+		return stormResponse(req, status), nil
+	}
+	if cfg.Crash > 0 && in.roll(t.site) < cfg.Crash {
+		in.count(t.site, "crash")
+		return nil, fmt.Errorf("chaos: injected connection failure at %s", t.site)
+	}
+	if cfg.Hang > 0 && in.roll(t.site) < cfg.Hang {
+		in.count(t.site, "hang")
+		<-req.Context().Done()
+		return nil, fmt.Errorf("chaos: injected hang at %s: %w", t.site, req.Context().Err())
+	}
+	if cfg.Slow > 0 && in.roll(t.site) < cfg.Slow {
+		in.count(t.site, "slow")
+		max := cfg.SlowMax
+		if max <= 0 {
+			max = 50 * time.Millisecond
+		}
+		d := time.Duration(in.draw(t.site)%uint64(max)) + 1
+		timer := time.NewTimer(d)
+		select {
+		case <-req.Context().Done():
+			timer.Stop()
+			return nil, req.Context().Err()
+		case <-timer.C:
+		}
+	}
+	resp, err := t.base.RoundTrip(req)
+	if err != nil || resp == nil {
+		return resp, err
+	}
+	if cfg.Truncate <= 0 && cfg.Corrupt <= 0 {
+		return resp, nil
+	}
+	truncate := cfg.Truncate > 0 && in.roll(t.site) < cfg.Truncate
+	corrupt := cfg.Corrupt > 0 && in.roll(t.site) < cfg.Corrupt
+	if !truncate && !corrupt {
+		return resp, nil
+	}
+	body, rerr := io.ReadAll(io.LimitReader(resp.Body, mangleBodyLimit))
+	resp.Body.Close()
+	if rerr != nil {
+		return nil, fmt.Errorf("chaos: buffering response for mangling at %s: %w", t.site, rerr)
+	}
+	if truncate && len(body) > 0 {
+		body = body[:int(in.draw(t.site)%uint64(len(body)))]
+		in.count(t.site, "truncate")
+	}
+	if corrupt && len(body) > 0 {
+		bit := int(in.draw(t.site) % uint64(len(body)*8))
+		body[bit/8] ^= 1 << (bit % 8)
+		in.count(t.site, "corrupt")
+	}
+	resp.Body = io.NopCloser(bytes.NewReader(body))
+	resp.ContentLength = int64(len(body))
+	resp.Header.Del("Content-Length")
+	return resp, nil
+}
+
+// stormStatus reports whether this request is answered by a storm, and
+// with which status code. A storm in progress consumes one burst slot;
+// otherwise a fresh burst may start. Burst accounting is per-request,
+// never wall-clock, so schedules replay identically at any speed.
+func (in *Injector) stormStatus(site string) (int, bool) {
+	if in.cfg.Storm <= 0 {
+		return 0, false
+	}
+	in.mu.Lock()
+	s := in.streamLocked(site)
+	hit := s.storm > 0
+	if hit {
+		s.storm--
+	} else if toProb(splitmix64(&s.state)) < in.cfg.Storm {
+		n := in.cfg.StormLen
+		if n < 1 {
+			n = 1
+		}
+		s.storm = n - 1
+		hit = true
+	}
+	var status int
+	if hit {
+		// Alternate deterministically between throttling and server
+		// error so both coordinator paths (Retry-After honoring and
+		// plain failure backoff) get exercised.
+		if splitmix64(&s.state)&1 == 0 {
+			status = http.StatusTooManyRequests
+		} else {
+			status = http.StatusServiceUnavailable
+		}
+	}
+	in.mu.Unlock()
+	if !hit {
+		return 0, false
+	}
+	if status == http.StatusTooManyRequests {
+		in.count(site, "storm_429")
+	} else {
+		in.count(site, "storm_503")
+	}
+	return status, true
+}
+
+// stormResponse builds the synthetic storm answer: a 429 carrying
+// Retry-After: 1, or a bare 503.
+func stormResponse(req *http.Request, status int) *http.Response {
+	body := []byte("chaos: injected storm\n")
+	hdr := make(http.Header)
+	hdr.Set("Content-Type", "text/plain; charset=utf-8")
+	if status == http.StatusTooManyRequests {
+		hdr.Set("Retry-After", strconv.Itoa(1))
+	}
+	return &http.Response{
+		Status:        fmt.Sprintf("%d %s", status, http.StatusText(status)),
+		StatusCode:    status,
+		Proto:         "HTTP/1.1",
+		ProtoMajor:    1,
+		ProtoMinor:    1,
+		Header:        hdr,
+		Body:          io.NopCloser(bytes.NewReader(body)),
+		ContentLength: int64(len(body)),
+		Request:       req,
+	}
+}

@@ -2,11 +2,22 @@ package engine
 
 import (
 	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 
 	"repro/internal/explore"
 )
+
+// ErrCorruptCheckpoint tags every DecodeCheckpoint failure caused by
+// the document's bytes — malformed JSON, a broken embedded scenario, a
+// damaged run state — as opposed to operational errors around it.
+// Checkpoint files live on disk between runs, so callers (mcacheck
+// -resume) match it with errors.Is and tell the user to delete the
+// file and re-verify from scratch rather than retrying.
+var ErrCorruptCheckpoint = errors.New("corrupt checkpoint")
 
 // Checkpoint is a resumable snapshot of a budget-capped explicit-state
 // run: the scenario it was taken for, the worker count that produced it
@@ -32,37 +43,74 @@ type checkpointJSON struct {
 	RunState []byte          `json:"run_state"` // base64 per encoding/json
 }
 
-// EncodeCheckpoint renders a checkpoint as versioned JSON: the canonical
-// scenario document embedded verbatim, the binary run state as base64.
+// checkpointMagic prefixes the checksum envelope EncodeCheckpoint
+// wraps around the JSON document: the magic, 64 hex characters of
+// SHA-256 over the payload, a newline, then the payload. Checkpoints
+// sit on disk between runs, where a torn write or a decaying sector
+// can damage bytes in ways the structural decoder cannot always catch
+// (a flipped bit inside a packed frontier state is still shaped like a
+// run state); the checksum turns every such case into a deterministic
+// ErrCorruptCheckpoint at decode time.
+const checkpointMagic = "MCACKP1 "
+
+// EncodeCheckpoint renders a checkpoint as versioned JSON — the
+// canonical scenario document embedded verbatim, the binary run state
+// as base64 — wrapped in the whole-document checksum envelope.
 func EncodeCheckpoint(c *Checkpoint) ([]byte, error) {
 	sc, err := EncodeScenario(&c.Scenario)
 	if err != nil {
 		return nil, fmt.Errorf("engine: checkpoint: %w", err)
 	}
-	return json.Marshal(checkpointJSON{
+	payload, err := json.Marshal(checkpointJSON{
 		Version:  SchemaVersion,
 		Scenario: sc,
 		Workers:  c.Workers,
 		RunState: c.State,
 	})
+	if err != nil {
+		return nil, err
+	}
+	sum := sha256.Sum256(payload)
+	out := make([]byte, 0, len(checkpointMagic)+hex.EncodedLen(sha256.Size)+1+len(payload))
+	out = append(out, checkpointMagic...)
+	out = append(out, hex.EncodeToString(sum[:])...)
+	out = append(out, '\n')
+	return append(out, payload...), nil
 }
 
 // DecodeCheckpoint parses a checkpoint document strictly, validating
-// both the embedded scenario and the run state's structure.
+// both the embedded scenario and the run state's structure. Damaged
+// input — truncation, flipped bits, foreign bytes — yields an error
+// wrapping ErrCorruptCheckpoint, never a panic and never a checkpoint
+// that would resume into a wrong verdict.
 func DecodeCheckpoint(data []byte) (*Checkpoint, error) {
+	payload := data
+	if bytes.HasPrefix(data, []byte(checkpointMagic)) {
+		rest := data[len(checkpointMagic):]
+		nl := bytes.IndexByte(rest, '\n')
+		if nl != hex.EncodedLen(sha256.Size) {
+			return nil, fmt.Errorf("engine: checkpoint: damaged checksum header: %w", ErrCorruptCheckpoint)
+		}
+		payload = rest[nl+1:]
+		if sum := sha256.Sum256(payload); hex.EncodeToString(sum[:]) != string(rest[:nl]) {
+			return nil, fmt.Errorf("engine: checkpoint: checksum mismatch (file damaged on disk): %w", ErrCorruptCheckpoint)
+		}
+	}
+	// No magic: a pre-envelope document, decoded on its structural
+	// validation alone.
 	var w checkpointJSON
-	if err := strictUnmarshal(data, &w); err != nil {
-		return nil, fmt.Errorf("engine: checkpoint: %w", err)
+	if err := strictUnmarshal(payload, &w); err != nil {
+		return nil, fmt.Errorf("engine: checkpoint: %w: %w", ErrCorruptCheckpoint, err)
 	}
 	if w.Version != SchemaVersion {
 		return nil, fmt.Errorf("engine: checkpoint: unsupported schema version %d (want %d)", w.Version, SchemaVersion)
 	}
 	s, err := DecodeScenario(w.Scenario)
 	if err != nil {
-		return nil, fmt.Errorf("engine: checkpoint: %w", err)
+		return nil, fmt.Errorf("engine: checkpoint: %w: %w", ErrCorruptCheckpoint, err)
 	}
 	if _, err := explore.DecodeRunState(w.RunState); err != nil {
-		return nil, fmt.Errorf("engine: checkpoint: %w", err)
+		return nil, fmt.Errorf("engine: checkpoint: %w: %w", ErrCorruptCheckpoint, err)
 	}
 	return &Checkpoint{Scenario: s, Workers: w.Workers, State: w.RunState}, nil
 }

@@ -3,6 +3,7 @@ package engine
 import (
 	"bytes"
 	"context"
+	"errors"
 	"strings"
 	"testing"
 
@@ -104,6 +105,52 @@ func TestCheckpointCodecRejectsCorruption(t *testing.T) {
 	bad := strings.Replace(string(enc), `"run_state":"`, `"run_state":"AAAA`, 1)
 	if _, err := DecodeCheckpoint([]byte(bad)); err == nil {
 		t.Fatal("corrupt run state decoded")
+	}
+}
+
+// TestCorruptCheckpointErrorIsTyped: bytes-caused decode failures wrap
+// ErrCorruptCheckpoint — and never panic — so mcacheck -resume can
+// match the class and tell the user to delete the file and re-verify.
+// A version mismatch is deliberately NOT corruption: it is a correct
+// document from a different schema, and the distinction matters for
+// what the operator should do next.
+func TestCorruptCheckpointErrorIsTyped(t *testing.T) {
+	t.Parallel()
+	_, cp := Explicit{Workers: 2}.VerifyResumable(context.Background(), resumableScenario(100), nil)
+	if cp == nil {
+		t.Fatal("no checkpoint")
+	}
+	enc, err := EncodeCheckpoint(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	docs := map[string][]byte{
+		"not-json": []byte("not json"),
+		"truncate": enc[:len(enc)/2],
+		"runstate": []byte(strings.Replace(string(enc), `"run_state":"`, `"run_state":"AAAA`, 1)),
+	}
+	for name, doc := range docs {
+		_, err := DecodeCheckpoint(doc)
+		if err == nil {
+			t.Fatalf("%s: decoded", name)
+		}
+		if !errors.Is(err, ErrCorruptCheckpoint) {
+			t.Fatalf("%s: error %v does not wrap ErrCorruptCheckpoint", name, err)
+		}
+	}
+	// Bit flips anywhere in the document: typed error or (rarely) a
+	// clean decode — never a panic, which this loop would surface.
+	for i := 0; i < len(enc); i += 61 {
+		bad := append([]byte(nil), enc...)
+		bad[i] ^= 0x08
+		if _, err := DecodeCheckpoint(bad); err != nil &&
+			!errors.Is(err, ErrCorruptCheckpoint) && !strings.Contains(err.Error(), "schema version") {
+			t.Fatalf("flip at %d: untyped error %v", i, err)
+		}
+	}
+	if _, err := DecodeCheckpoint([]byte(`{"version":999}`)); errors.Is(err, ErrCorruptCheckpoint) {
+		t.Fatal("version mismatch misclassified as corruption")
 	}
 }
 

@@ -179,6 +179,11 @@ func CheckParallelFrom(agents []*mca.Agent, g *graph.Graph, opts Options, worker
 	if capture && verdict.Capped {
 		next = ps.captureRunState(&verdict)
 	}
+	if err := ps.spillError(); err != nil {
+		// Exact dedup was compromised mid-run (spill segment unreadable
+		// or torn); nothing derived from this pipeline can be trusted.
+		return Verdict{}, nil, err
+	}
 	return verdict, next, nil
 }
 
@@ -280,6 +285,29 @@ type pipeline struct {
 	baseMaxDepth int
 	mu           sync.Mutex // guards levels growth and per-level merging
 	levels       []*levelStat
+
+	// spillMu guards spillErr: the first spill-segment read failure any
+	// shard hits. Segment loss breaks exact dedup, so the run must end
+	// in a hard error — never a wrong verdict, never a panic.
+	spillMu  sync.Mutex
+	spillErr error
+}
+
+// failSpill records the first spill-segment failure; decide() turns it
+// into a stop and CheckParallelFrom surfaces it as the run's error.
+func (ps *pipeline) failSpill(err error) {
+	ps.spillMu.Lock()
+	if ps.spillErr == nil {
+		ps.spillErr = err
+	}
+	ps.spillMu.Unlock()
+}
+
+// spillError returns the recorded spill failure, if any.
+func (ps *pipeline) spillError() error {
+	ps.spillMu.Lock()
+	defer ps.spillMu.Unlock()
+	return ps.spillErr
 }
 
 // restore rebuilds the shards from a prior run state: tree nodes are
@@ -374,7 +402,13 @@ func (ps *pipeline) captureRunState(v *Verdict) *RunState {
 	}
 	var seen []seenEnt
 	for _, s := range ps.shards {
-		s.spill.forEach(func(k [2]uint64, n *pathNode) { seen = append(seen, seenEnt{k, n}) })
+		if err := s.spill.forEach(func(k [2]uint64, n *pathNode) { seen = append(seen, seenEnt{k, n}) }); err != nil {
+			// An unreadable segment means the seen set cannot be
+			// reconstructed; the checkpoint would resume wrong, so none
+			// is produced and the run reports the failure instead.
+			ps.failSpill(err)
+			return nil
+		}
 		s.sealed.forEach(func(k [2]uint64, n *pathNode) { seen = append(seen, seenEnt{k, n}) })
 		s.fresh.forEach(func(k [2]uint64, n *pathNode) { seen = append(seen, seenEnt{k, n}) })
 	}
@@ -531,6 +565,13 @@ func (ps *pipeline) decide(l int) {
 	}
 	ls.cumStates = prevCum + ls.newStates
 	switch {
+	case ps.spillError() != nil:
+		// A lost spill segment invalidates the level's dedup, and with
+		// it every count and violation derived this level; stop as a
+		// cancelled run — the verdict is discarded for the recorded
+		// error either way.
+		ls.cancelled = true
+		ls.decision = decisionStop
 	case len(ls.violations) > 0:
 		// All violations in a level sit at the same depth; break ties
 		// deterministically so the counterexample is stable across
@@ -612,7 +653,13 @@ func (ps *pipeline) assemble(agents []*mca.Agent, states0 []mca.AgentState, net0
 				allEdges = append(allEdges, b...)
 			}
 		}
-		if osc := findOscillation(allEdges, mergeNodes(ps.shards)); osc != nil {
+		nodes, err := mergeNodes(ps.shards)
+		if err != nil {
+			// The oscillation pass needs the complete seen set; with a
+			// segment unreadable the verdict is voided by the recorded
+			// error, so skip the analysis.
+			ps.failSpill(err)
+		} else if osc := findOscillation(allEdges, nodes); osc != nil {
 			verdict.Violation = ViolationOscillation
 			verdict.Trace = replayTrace(cloneAgents(agents), states0, net0, osc.steps, osc.label)
 		}
@@ -913,8 +960,15 @@ func (w *shardWorker) processLevel(items []workItem, ps *pipeline, level int) (i
 	}
 	// Arrival dedup against spilled entries is a sequential merge scan:
 	// the items were just sorted key-ascending and the segment is key
-	// sorted, so one pass of the cursor covers the whole level.
-	spillCur := w.spill.openCursor()
+	// sorted, so one pass of the cursor covers the whole level. Losing
+	// the segment (open or read failure) breaks exact dedup, so it is
+	// recorded on the pipeline and ends the run in a hard error; the
+	// remainder of the level runs on for the marker protocol's sake but
+	// its output is discarded.
+	spillCur, spillErr := w.spill.openCursor()
+	if spillErr != nil {
+		ps.failSpill(spillErr)
+	}
 	if spillCur != nil {
 		defer spillCur.close()
 	}
@@ -924,6 +978,11 @@ func (w *shardWorker) processLevel(items []workItem, ps *pipeline, level int) (i
 			(spillCur != nil && spillCur.seek(it.node.key)) {
 			w.recycle(it)
 			continue
+		}
+		if spillCur != nil && spillCur.err != nil {
+			ps.failSpill(spillCur.err)
+			spillCur.close()
+			spillCur = nil
 		}
 		w.fresh.insert(it.node.key, it.node)
 		newStates++
@@ -1096,14 +1155,16 @@ func treeSteps(n *pathNode) []stepRec {
 	return steps
 }
 
-func mergeNodes(shards []*shardWorker) map[[2]uint64]*pathNode {
+func mergeNodes(shards []*shardWorker) (map[[2]uint64]*pathNode, error) {
 	out := make(map[[2]uint64]*pathNode)
 	for _, s := range shards {
-		s.spill.forEach(func(k [2]uint64, n *pathNode) { out[k] = n })
+		if err := s.spill.forEach(func(k [2]uint64, n *pathNode) { out[k] = n }); err != nil {
+			return nil, err
+		}
 		s.sealed.forEach(func(k [2]uint64, n *pathNode) { out[k] = n })
 		s.fresh.forEach(func(k [2]uint64, n *pathNode) { out[k] = n })
 	}
-	return out
+	return out, nil
 }
 
 // replayTrace re-executes a delivery sequence from the initial

@@ -2,8 +2,17 @@ package explore
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 )
+
+// ErrCorruptRunState tags every structural failure DecodeRunState can
+// report — bad magic, truncation, out-of-range indices, broken tree
+// invariants. Callers holding untrusted bytes (checkpoint files read
+// back from disk) match it with errors.Is to distinguish "this
+// document is damaged, re-verify from scratch" from operational
+// errors.
+var ErrCorruptRunState = errors.New("corrupt run state")
 
 // RunState is a serializable snapshot of a budget-capped CheckParallel
 // run: the exploration tree over every state processed so far, the
@@ -156,7 +165,7 @@ type runStateReader struct {
 
 func (r *runStateReader) fail(format string, args ...any) {
 	if r.err == nil {
-		r.err = fmt.Errorf("explore: run state: "+format, args...)
+		r.err = fmt.Errorf("explore: run state: %s: %w", fmt.Sprintf(format, args...), ErrCorruptRunState)
 	}
 }
 
@@ -231,7 +240,7 @@ func (r *runStateReader) count(min int) int {
 // structure (magic, bounds, index ranges, tree shape) strictly.
 func DecodeRunState(data []byte) (*RunState, error) {
 	if len(data) < len(runStateMagic) || string(data[:len(runStateMagic)]) != runStateMagic {
-		return nil, fmt.Errorf("explore: run state: bad magic (not a run-state document)")
+		return nil, fmt.Errorf("explore: run state: bad magic (not a run-state document): %w", ErrCorruptRunState)
 	}
 	r := &runStateReader{buf: data, pos: len(runStateMagic)}
 	rs := &RunState{
@@ -277,7 +286,7 @@ func DecodeRunState(data []byte) (*RunState, error) {
 		return nil, r.err
 	}
 	if r.pos != len(data) {
-		return nil, fmt.Errorf("explore: run state: %d bytes of trailing data", len(data)-r.pos)
+		return nil, fmt.Errorf("explore: run state: %d bytes of trailing data: %w", len(data)-r.pos, ErrCorruptRunState)
 	}
 	if err := rs.validate(); err != nil {
 		return nil, err
@@ -288,7 +297,7 @@ func DecodeRunState(data []byte) (*RunState, error) {
 // validate checks the structural invariants resume relies on.
 func (rs *RunState) validate() error {
 	fail := func(format string, args ...any) error {
-		return fmt.Errorf("explore: run state: "+format, args...)
+		return fmt.Errorf("explore: run state: %s: %w", fmt.Sprintf(format, args...), ErrCorruptRunState)
 	}
 	if rs.NextLevel < 1 {
 		return fail("next level %d (capped runs stop after level 0 at the earliest)", rs.NextLevel)

@@ -83,9 +83,15 @@ func (s *spillStore) maybeSpill(t *sealedTable) {
 	}
 	// Merge the existing segment stream (sorted, disjoint from the
 	// fresh batch: arrival dedup consults the segment, so a spilled key
-	// is never sealed again) with the sorted fresh entries.
+	// is never sealed again) with the sorted fresh entries. A cursor
+	// read error aborts the merge exactly like a write error — the old
+	// segment and the sealed table both stay intact, so disabling spill
+	// keeps the run exact, just back in memory.
 	werr := func() error {
-		cur := s.openCursor()
+		cur, err := s.openCursor()
+		if err != nil {
+			return err
+		}
 		if cur != nil {
 			defer cur.close()
 		}
@@ -108,6 +114,9 @@ func (s *spillStore) maybeSpill(t *sealedTable) {
 			}
 			oldIdx++
 			cur.next()
+		}
+		if cur != nil && cur.err != nil {
+			return cur.err
 		}
 		return bw.Flush()
 	}()
@@ -139,20 +148,26 @@ func (s *spillStore) maybeSpill(t *sealedTable) {
 }
 
 // forEach streams every spilled (key, node) pair in key order. Callers
-// run it only when the worker fleet is quiescent.
-func (s *spillStore) forEach(f func(k [2]uint64, n *pathNode)) {
+// run it only when the worker fleet is quiescent. A segment read
+// failure aborts the stream and is returned — the caller's view is
+// incomplete and must not be trusted.
+func (s *spillStore) forEach(f func(k [2]uint64, n *pathNode)) error {
 	if s == nil || s.path == "" {
-		return
+		return nil
 	}
-	cur := s.openCursor()
+	cur, err := s.openCursor()
+	if err != nil {
+		return err
+	}
 	if cur == nil {
-		return
+		return nil
 	}
 	defer cur.close()
 	for i := 0; cur.valid; i++ {
 		f(cur.cur, s.nodes[i])
 		cur.next()
 	}
+	return cur.err
 }
 
 // addToStats accumulates the spilled-entry counts into st.
@@ -165,41 +180,49 @@ func (s *spillStore) addToStats(st *StoreStats) {
 }
 
 // openCursor opens a sequential reader over the current segment, or
-// returns nil when nothing is spilled.
-func (s *spillStore) openCursor() *segCursor {
+// returns (nil, nil) when nothing is spilled. The segment was written
+// and renamed by this process; losing it mid-run cannot be recovered
+// without giving up exact dedup (and with it verdict determinism), so
+// the error must abort the run — as a hard StatusError, never a wrong
+// verdict and never a panic.
+func (s *spillStore) openCursor() (*segCursor, error) {
 	if s == nil || s.path == "" {
-		return nil
+		return nil, nil
 	}
 	f, err := os.Open(s.path)
 	if err != nil {
-		// The segment was written and renamed by this process; losing it
-		// mid-run cannot be recovered without giving up exact dedup (and
-		// with it verdict determinism).
-		panic(fmt.Sprintf("explore: spill segment %s unreadable: %v", s.path, err))
+		return nil, fmt.Errorf("explore: spill segment %s unreadable: %w", s.path, err)
 	}
 	c := &segCursor{f: f, r: bufio.NewReaderSize(f, 1<<16), remaining: s.count}
 	c.next()
-	return c
+	return c, nil
 }
 
-// segCursor is a sequential reader over one sorted segment file.
+// segCursor is a sequential reader over one sorted segment file. A
+// read failure latches err and ends the stream (valid goes false);
+// callers that must distinguish EOF from damage check err after the
+// scan.
 type segCursor struct {
 	f         *os.File
 	r         *bufio.Reader
 	cur       [2]uint64
 	valid     bool
 	remaining int
+	err       error
 }
 
-// next advances to the following record; valid goes false at EOF.
+// next advances to the following record; valid goes false at EOF or on
+// a read error (latched in err).
 func (c *segCursor) next() {
-	if c.remaining == 0 {
+	if c.remaining == 0 || c.err != nil {
 		c.valid = false
 		return
 	}
 	var rec [spillRecordSize]byte
 	if _, err := io.ReadFull(c.r, rec[:]); err != nil {
-		panic(fmt.Sprintf("explore: spill segment read: %v", err))
+		c.err = fmt.Errorf("explore: spill segment %s read: %w", c.f.Name(), err)
+		c.valid = false
+		return
 	}
 	c.cur[0] = binary.LittleEndian.Uint64(rec[0:8])
 	c.cur[1] = binary.LittleEndian.Uint64(rec[8:16])

@@ -1,0 +1,124 @@
+package fleet
+
+import (
+	"sync"
+	"time"
+)
+
+// breaker states. Closed admits dispatches normally; open fails them
+// fast; half-open admits exactly one probe dispatch whose outcome
+// decides between closing and reopening.
+const (
+	breakerClosed = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// breakerMaxCooldown caps the open interval no matter how many times a
+// worker reopens — mirroring the dispatch backoff cap, so a worker
+// that recovers is rediscovered within seconds.
+const breakerMaxCooldown = 2 * time.Second
+
+// breaker is one worker's circuit breaker. It replaces the old
+// probe-before-claim probation: threshold consecutive dispatch
+// failures open it, a cooldown (doubled per consecutive open, capped)
+// must elapse before a single half-open probe dispatch is admitted,
+// and that probe's outcome closes it or reopens it. Admission
+// rejections (429) are not failures and never move it.
+//
+// The breaker only decides *fast-fail versus real dispatch*; it never
+// blocks batch progress. A fast-failed unit still consumes an attempt,
+// so when every breaker is open the attempt cap drives every unit into
+// coordinator-local fallback exactly as a dead fleet does.
+type breaker struct {
+	mu        sync.Mutex
+	threshold int
+	cooldown  time.Duration
+	state     int
+	failures  int // consecutive failures while closed
+	opens     int // consecutive opens without an intervening success
+	openUntil time.Time
+}
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	return &breaker{threshold: threshold, cooldown: cooldown}
+}
+
+// allow reports whether a dispatch may go to the worker now. The call
+// that first finds an expired cooldown flips open to half-open and is
+// thereby elected the probe; concurrent callers keep fast-failing
+// until the probe reports.
+func (b *breaker) allow(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if now.Before(b.openUntil) {
+			return false
+		}
+		b.state = breakerHalfOpen
+		return true
+	default: // half-open: the one probe is already in flight
+		return false
+	}
+}
+
+// onSuccess closes the breaker and clears all streaks.
+func (b *breaker) onSuccess() {
+	b.mu.Lock()
+	b.state = breakerClosed
+	b.failures = 0
+	b.opens = 0
+	b.mu.Unlock()
+}
+
+// onFailure records a dispatch failure: a failed half-open probe
+// reopens immediately with a doubled cooldown; under closed it opens
+// once the consecutive streak reaches the threshold. Failures of
+// dispatches that were in flight when the breaker opened are ignored —
+// they carry no information the open didn't.
+func (b *breaker) onFailure(now time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerHalfOpen:
+		b.reopen(now)
+	case breakerClosed:
+		b.failures++
+		if b.failures >= b.threshold {
+			b.reopen(now)
+		}
+	}
+}
+
+// reopen (callers hold b.mu) opens the breaker for the current
+// cooldown, doubling it for the next open up to the cap.
+func (b *breaker) reopen(now time.Time) {
+	b.state = breakerOpen
+	b.failures = 0
+	d := b.cooldown
+	if b.opens > 0 && b.opens < 32 {
+		d <<= b.opens
+	}
+	if b.opens >= 32 || d <= 0 || d > breakerMaxCooldown {
+		d = breakerMaxCooldown
+	}
+	b.opens++
+	b.openUntil = now.Add(d)
+}
+
+// label renders the state for status endpoints and /metrics.
+func (b *breaker) label() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half_open"
+	default:
+		return "closed"
+	}
+}

@@ -1,0 +1,113 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBreakerLifecycle walks the full state machine: closed under the
+// threshold, open at it, fast-failing through the cooldown, a single
+// half-open probe after it, and closed again on probe success.
+func TestBreakerLifecycle(t *testing.T) {
+	t.Parallel()
+	t0 := time.Unix(0, 0)
+	b := newBreaker(2, 100*time.Millisecond)
+
+	if !b.allow(t0) || b.label() != "closed" {
+		t.Fatalf("fresh breaker: allow=%v label=%s", b.allow(t0), b.label())
+	}
+	b.onFailure(t0)
+	if !b.allow(t0) {
+		t.Fatal("one failure under threshold 2 opened the breaker")
+	}
+	b.onFailure(t0)
+	if b.label() != "open" {
+		t.Fatalf("threshold failures left state %s", b.label())
+	}
+	if b.allow(t0.Add(50 * time.Millisecond)) {
+		t.Fatal("open breaker admitted a dispatch inside the cooldown")
+	}
+
+	// Cooldown expiry elects exactly one half-open probe.
+	probeAt := t0.Add(150 * time.Millisecond)
+	if !b.allow(probeAt) {
+		t.Fatal("expired cooldown refused the probe")
+	}
+	if b.label() != "half_open" {
+		t.Fatalf("probe election left state %s", b.label())
+	}
+	if b.allow(probeAt) {
+		t.Fatal("second caller admitted while the probe is in flight")
+	}
+	b.onSuccess()
+	if b.label() != "closed" || !b.allow(probeAt) {
+		t.Fatal("probe success did not close the breaker")
+	}
+}
+
+// TestBreakerReopenDoublesCooldown: a failed probe reopens immediately
+// with a doubled interval, and the doubling is capped.
+func TestBreakerReopenDoublesCooldown(t *testing.T) {
+	t.Parallel()
+	t0 := time.Unix(0, 0)
+	b := newBreaker(1, 100*time.Millisecond)
+
+	b.onFailure(t0) // open #1: 100ms
+	if b.allow(t0.Add(50 * time.Millisecond)) {
+		t.Fatal("inside first cooldown")
+	}
+	if !b.allow(t0.Add(150 * time.Millisecond)) {
+		t.Fatal("first cooldown never expired")
+	}
+	b.onFailure(t0.Add(150 * time.Millisecond)) // failed probe, open #2: 200ms
+	if b.allow(t0.Add(300 * time.Millisecond)) {
+		t.Fatal("second cooldown was not doubled")
+	}
+	if !b.allow(t0.Add(400 * time.Millisecond)) {
+		t.Fatal("second cooldown never expired")
+	}
+
+	// Pile on failures: the interval must stay at the cap, not overflow.
+	now := t0.Add(400 * time.Millisecond)
+	for i := 0; i < 40; i++ {
+		b.onFailure(now)
+		if !b.allow(now.Add(breakerMaxCooldown + time.Millisecond)) {
+			t.Fatalf("reopen %d: cooldown exceeded the %v cap", i, breakerMaxCooldown)
+		}
+		now = now.Add(breakerMaxCooldown + time.Millisecond)
+	}
+}
+
+// TestBreakerIgnoresFailuresWhileOpen: stragglers that were already in
+// flight when the breaker opened carry no new information.
+func TestBreakerIgnoresFailuresWhileOpen(t *testing.T) {
+	t.Parallel()
+	t0 := time.Unix(0, 0)
+	b := newBreaker(1, 100*time.Millisecond)
+	b.onFailure(t0)
+	deadline := t0.Add(100 * time.Millisecond)
+	b.onFailure(t0.Add(10 * time.Millisecond)) // straggler must not extend the window
+	if !b.allow(deadline.Add(time.Millisecond)) {
+		t.Fatal("straggler failure extended the open interval")
+	}
+}
+
+// TestParseRetryAfterClamps: the worker hint stretches a retry but can
+// never park a unit past the backoff cap.
+func TestParseRetryAfterClamps(t *testing.T) {
+	t.Parallel()
+	for v, want := range map[string]time.Duration{
+		"1":      time.Second,
+		"2":      2 * time.Second,
+		"9999":   2 * time.Second,
+		"0":      0,
+		"-3":     0,
+		"":       0,
+		"potato": 0,
+		"1.5":    0,
+	} {
+		if got := parseRetryAfter(v); got != want {
+			t.Errorf("parseRetryAfter(%q) = %v, want %v", v, got, want)
+		}
+	}
+}

@@ -3,10 +3,14 @@ package fleet
 import (
 	"bytes"
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -47,11 +51,20 @@ type CoordinatorOptions struct {
 	// and capped at 2s (default 50ms).
 	RetryBackoff time.Duration
 	// UnitTimeout bounds one dispatch round trip including the remote
-	// verification (default 2m). A unit that times out is re-dispatched.
+	// verification (default 2m). The remaining budget travels with the
+	// request (X-Fleet-Deadline-Ms), so the worker's engine context
+	// expires with the coordinator's interest in the answer. A unit
+	// that times out is re-dispatched.
 	UnitTimeout time.Duration
-	// HealthThreshold is the consecutive-failure count after which a
-	// worker is health-probed before claiming more units (default 2).
+	// HealthThreshold is the consecutive-failure count that opens a
+	// worker's circuit breaker (default 2). An open breaker fails
+	// dispatches fast — without an HTTP round trip — until
+	// BreakerCooldown elapses and a half-open probe dispatch decides.
 	HealthThreshold int
+	// BreakerCooldown is the base open interval of the per-worker
+	// circuit breaker (default 500ms), doubled per consecutive reopen
+	// and capped at 2s.
+	BreakerCooldown time.Duration
 }
 
 func (o CoordinatorOptions) withDefaults() CoordinatorOptions {
@@ -76,16 +89,21 @@ func (o CoordinatorOptions) withDefaults() CoordinatorOptions {
 	if o.HealthThreshold <= 0 {
 		o.HealthThreshold = 2
 	}
+	if o.BreakerCooldown <= 0 {
+		o.BreakerCooldown = 500 * time.Millisecond
+	}
 	return o
 }
 
 // workerState is one worker's live view: health is derived from the
-// consecutive-failure counter, which any dispatch outcome updates.
+// consecutive-failure counter, which any dispatch outcome updates, and
+// the circuit breaker decides fast-fail versus real dispatch.
 type workerState struct {
 	url         string
 	completed   atomic.Uint64
 	failures    atomic.Uint64
 	consecutive atomic.Int64
+	br          *breaker
 }
 
 // Stats is a point-in-time snapshot of the coordinator's counters.
@@ -104,6 +122,9 @@ type Stats struct {
 	LocalFallbacks uint64 `json:"local_fallbacks"`
 	CacheHits      uint64 `json:"cache_hits"`
 	Drained        uint64 `json:"drained"`
+	// BreakerFastFails counts dispatch attempts answered by an open
+	// circuit breaker instead of an HTTP round trip.
+	BreakerFastFails uint64 `json:"breaker_fast_fails"`
 	// Workers is the per-worker health view.
 	Workers []WorkerStatus `json:"workers"`
 }
@@ -114,6 +135,9 @@ type WorkerStatus struct {
 	Healthy   bool   `json:"healthy"`
 	Completed uint64 `json:"completed"`
 	Failures  uint64 `json:"failures"`
+	// Breaker is the worker's circuit-breaker state: "closed", "open",
+	// or "half_open".
+	Breaker string `json:"breaker"`
 }
 
 // Coordinator dispatches verification batches across a worker fleet.
@@ -126,13 +150,14 @@ type Coordinator struct {
 	quiesceOnce sync.Once
 	quiesce     chan struct{}
 
-	dispatches     atomic.Uint64
-	completed      atomic.Uint64
-	retries        atomic.Uint64
-	rejections     atomic.Uint64
-	localFallbacks atomic.Uint64
-	cacheHits      atomic.Uint64
-	drained        atomic.Uint64
+	dispatches       atomic.Uint64
+	completed        atomic.Uint64
+	retries          atomic.Uint64
+	rejections       atomic.Uint64
+	localFallbacks   atomic.Uint64
+	cacheHits        atomic.Uint64
+	drained          atomic.Uint64
+	breakerFastFails atomic.Uint64
 }
 
 // NewCoordinator builds a coordinator over the configured workers.
@@ -143,7 +168,10 @@ func NewCoordinator(o CoordinatorOptions) (*Coordinator, error) {
 	}
 	c := &Coordinator{opts: o, quiesce: make(chan struct{})}
 	for _, u := range o.Workers {
-		c.workers = append(c.workers, &workerState{url: u})
+		c.workers = append(c.workers, &workerState{
+			url: u,
+			br:  newBreaker(o.HealthThreshold, o.BreakerCooldown),
+		})
 	}
 	return c, nil
 }
@@ -160,13 +188,14 @@ func (c *Coordinator) Quiesce() {
 // Stats snapshots the dispatch counters and worker health.
 func (c *Coordinator) Stats() Stats {
 	st := Stats{
-		Dispatches:     c.dispatches.Load(),
-		Completed:      c.completed.Load(),
-		Retries:        c.retries.Load(),
-		Rejections:     c.rejections.Load(),
-		LocalFallbacks: c.localFallbacks.Load(),
-		CacheHits:      c.cacheHits.Load(),
-		Drained:        c.drained.Load(),
+		Dispatches:       c.dispatches.Load(),
+		Completed:        c.completed.Load(),
+		Retries:          c.retries.Load(),
+		Rejections:       c.rejections.Load(),
+		LocalFallbacks:   c.localFallbacks.Load(),
+		CacheHits:        c.cacheHits.Load(),
+		Drained:          c.drained.Load(),
+		BreakerFastFails: c.breakerFastFails.Load(),
 	}
 	for _, w := range c.workers {
 		st.Workers = append(st.Workers, WorkerStatus{
@@ -174,6 +203,7 @@ func (c *Coordinator) Stats() Stats {
 			Healthy:   w.consecutive.Load() < int64(c.opts.HealthThreshold),
 			Completed: w.completed.Load(),
 			Failures:  w.failures.Load(),
+			Breaker:   w.br.label(),
 		})
 	}
 	return st
@@ -392,24 +422,28 @@ func (c *Coordinator) cachedResult(s *engine.Scenario, eng engine.Engine) (engin
 	return res, true
 }
 
-// dispatchLoop is one worker slot: claim a unit, dispatch it, deliver
-// or requeue. It exits when the batch completes, the context dies, or
-// the coordinator quiesces.
+// dispatchLoop is one worker slot: claim a unit, consult the worker's
+// circuit breaker, dispatch or fast-fail, deliver or requeue. It exits
+// when the batch completes, the context dies, or the coordinator
+// quiesces.
 func (c *Coordinator) dispatchLoop(ctx context.Context, ws *workerState, eng engine.Engine, scenarios []engine.Scenario, b *batch, out chan<- engine.Result) {
 	for {
-		if ws.consecutive.Load() >= int64(c.opts.HealthThreshold) {
-			// A failing worker is probed before claiming more units.
-			// The probe is advisory: after one failed round it claims
-			// anyway, because the attempt cap (local fallback) — not
-			// the probe — is what guarantees batch progress.
-			c.probe(ctx, ws)
-		}
 		u := b.take(ctx, c.quiesce)
 		if u == nil {
 			return
 		}
-		res, rejected, err := c.dispatch(ctx, ws, u)
+		if !ws.br.allow(time.Now()) {
+			// Open breaker: fail fast without an HTTP round trip. The
+			// fast-fail still consumes an attempt — the attempt cap
+			// (local fallback), not the breaker, is what guarantees
+			// batch progress when every worker is sick.
+			c.breakerFastFails.Add(1)
+			c.requeueOrFallback(ctx, u, 0, eng, scenarios, b, out)
+			continue
+		}
+		res, rejected, retryAfter, err := c.dispatch(ctx, ws, u)
 		if err == nil {
+			ws.br.onSuccess()
 			ws.consecutive.Store(0)
 			ws.completed.Add(1)
 			c.completed.Add(1)
@@ -423,26 +457,39 @@ func (c *Coordinator) dispatchLoop(ctx context.Context, ws *workerState, eng eng
 			return
 		}
 		if rejected {
+			// Admission, not failure: a 429 proves the worker is alive,
+			// so it does not dent health or the breaker.
 			c.rejections.Add(1)
 		} else {
 			ws.failures.Add(1)
 			ws.consecutive.Add(1)
+			ws.br.onFailure(time.Now())
 		}
-		u.attempts++
-		if u.attempts >= c.opts.MaxAttempts {
-			// Remote attempts exhausted: the coordinator verifies the
-			// unit itself, so fleet-wide failure degrades to
-			// single-process verification instead of a lost sweep.
-			c.localFallbacks.Add(1)
-			res := engine.VerifyCached(ctx, eng, scenarios[u.index], c.opts.Cache)
-			res.Index = u.index
-			b.deliver(out, res)
-			continue
-		}
-		c.retries.Add(1)
-		u.notBefore = time.Now().Add(c.backoff(u.attempts))
-		b.enqueue(u)
+		c.requeueOrFallback(ctx, u, retryAfter, eng, scenarios, b, out)
 	}
+}
+
+// requeueOrFallback charges one attempt against u and either requeues
+// it with backoff — stretched to honor a worker-provided Retry-After,
+// clamped to the same 2s the backoff is — or, at the attempt cap,
+// verifies it on the coordinator so fleet-wide failure degrades to
+// single-process verification instead of a lost sweep.
+func (c *Coordinator) requeueOrFallback(ctx context.Context, u *unitState, retryAfter time.Duration, eng engine.Engine, scenarios []engine.Scenario, b *batch, out chan<- engine.Result) {
+	u.attempts++
+	if u.attempts >= c.opts.MaxAttempts {
+		c.localFallbacks.Add(1)
+		res := engine.VerifyCached(ctx, eng, scenarios[u.index], c.opts.Cache)
+		res.Index = u.index
+		b.deliver(out, res)
+		return
+	}
+	c.retries.Add(1)
+	delay := c.backoff(u.attempts)
+	if retryAfter > delay {
+		delay = retryAfter
+	}
+	u.notBefore = time.Now().Add(delay)
+	b.enqueue(u)
 }
 
 // backoff is the exponential re-dispatch delay, capped at 2s. The
@@ -486,70 +533,91 @@ func (c *Coordinator) storeConclusive(s *engine.Scenario, eng engine.Engine, res
 }
 
 // dispatch posts one unit to one worker. rejected reports a 429 —
-// admission, not failure — which does not dent the worker's health.
-func (c *Coordinator) dispatch(ctx context.Context, ws *workerState, u *unitState) (res engine.Result, rejected bool, err error) {
+// admission, not failure — which does not dent the worker's health;
+// retryAfter carries the worker's clamped Retry-After hint with it.
+// The remaining deadline budget travels in X-Fleet-Deadline-Ms so the
+// worker's engine context expires with the coordinator's interest, and
+// the response body is verified against the worker's X-Fleet-Checksum
+// (when present) — a response corrupted in transit could otherwise
+// decode into a plausible but wrong Result.
+func (c *Coordinator) dispatch(ctx context.Context, ws *workerState, u *unitState) (res engine.Result, rejected bool, retryAfter time.Duration, err error) {
 	c.dispatches.Add(1)
 	dctx, cancel := context.WithTimeout(ctx, c.opts.UnitTimeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(dctx, http.MethodPost, ws.url+"/fleet/work", bytes.NewReader(u.data))
 	if err != nil {
-		return engine.Result{}, false, err
+		return engine.Result{}, false, 0, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if dl, ok := dctx.Deadline(); ok {
+		ms := time.Until(dl).Milliseconds()
+		if ms < 1 {
+			ms = 1
+		}
+		req.Header.Set(deadlineHeader, strconv.FormatInt(ms, 10))
+	}
 	resp, err := c.opts.Client.Do(req)
 	if err != nil {
-		return engine.Result{}, false, err
+		return engine.Result{}, false, 0, err
 	}
 	defer resp.Body.Close()
 	body, err := io.ReadAll(io.LimitReader(resp.Body, remoteResultLimit))
 	if err != nil {
-		return engine.Result{}, false, err
+		return engine.Result{}, false, 0, err
 	}
 	switch resp.StatusCode {
 	case http.StatusOK:
 	case http.StatusTooManyRequests:
-		return engine.Result{}, true, fmt.Errorf("fleet: worker %s at capacity", ws.url)
+		return engine.Result{}, true, parseRetryAfter(resp.Header.Get("Retry-After")),
+			fmt.Errorf("fleet: worker %s at capacity", ws.url)
 	default:
-		return engine.Result{}, false, fmt.Errorf("fleet: worker %s: status %d: %s", ws.url, resp.StatusCode, bytes.TrimSpace(body))
+		return engine.Result{}, false, 0, fmt.Errorf("fleet: worker %s: status %d: %s", ws.url, resp.StatusCode, bytes.TrimSpace(body))
+	}
+	if want := resp.Header.Get(resultChecksumHeader); want != "" {
+		sum := sha256.Sum256(body)
+		if hex.EncodeToString(sum[:]) != want {
+			return engine.Result{}, false, 0, fmt.Errorf("fleet: worker %s: response checksum mismatch", ws.url)
+		}
 	}
 	res, err = engine.DecodeResult(body)
 	if err != nil {
-		return engine.Result{}, false, fmt.Errorf("fleet: worker %s: %w", ws.url, err)
+		return engine.Result{}, false, 0, fmt.Errorf("fleet: worker %s: %w", ws.url, err)
 	}
 	if res.Index != u.index {
-		return engine.Result{}, false, fmt.Errorf("fleet: worker %s answered unit %d with unit %d", ws.url, u.index, res.Index)
+		return engine.Result{}, false, 0, fmt.Errorf("fleet: worker %s answered unit %d with unit %d", ws.url, u.index, res.Index)
 	}
-	return res, false, nil
+	return res, false, 0, nil
+}
+
+// parseRetryAfter reads an integer-seconds Retry-After value, clamped
+// to the same 2s cap as the dispatch backoff: the hint stretches a
+// retry, it can never park a unit — a hostile or confused 9999 must
+// not stall the sweep when local fallback could finish it.
+func parseRetryAfter(v string) time.Duration {
+	secs, err := strconv.Atoi(strings.TrimSpace(v))
+	if err != nil || secs <= 0 {
+		return 0
+	}
+	d := time.Duration(secs) * time.Second
+	if d > 2*time.Second {
+		d = 2 * time.Second
+	}
+	return d
 }
 
 // remoteResultLimit caps a worker response body; results are small.
 const remoteResultLimit = 64 << 20
 
-// probe is one heartbeat round trip against a failing worker: on
-// success the failure streak resets, on failure the slot sleeps one
-// backoff so a dead worker's slots do not spin-claim units.
-func (c *Coordinator) probe(ctx context.Context, ws *workerState) {
-	pctx, cancel := context.WithTimeout(ctx, 2*time.Second)
-	defer cancel()
-	req, err := http.NewRequestWithContext(pctx, http.MethodGet, ws.url+"/fleet/health", nil)
-	if err == nil {
-		var resp *http.Response
-		if resp, err = c.opts.Client.Do(req); err == nil {
-			io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
-			resp.Body.Close()
-			if resp.StatusCode == http.StatusOK {
-				ws.consecutive.Store(0)
-				return
-			}
-			err = fmt.Errorf("status %d", resp.StatusCode)
-		}
-	}
-	select {
-	case <-ctx.Done():
-	case <-c.quiesce:
-	case <-time.After(c.backoff(int(ws.consecutive.Load()))):
-	}
-}
+// deadlineHeader carries the dispatch's remaining deadline budget in
+// milliseconds; the worker derives its engine context from it so a
+// verification the coordinator has given up on stops burning worker
+// CPU.
+const deadlineHeader = "X-Fleet-Deadline-Ms"
+
+// resultChecksumHeader carries the hex SHA-256 of the worker's
+// response body; the coordinator rejects mismatches as dispatch
+// failures (and retries) instead of decoding corrupted bytes.
+const resultChecksumHeader = "X-Fleet-Checksum"
 
 // Health probes every worker once and returns the fleet view; it is
 // the coordinator-side liveness check ops endpoints expose.
@@ -560,7 +628,7 @@ func (c *Coordinator) Health(ctx context.Context) []WorkerStatus {
 		wg.Add(1)
 		go func(i int, ws *workerState) {
 			defer wg.Done()
-			st := WorkerStatus{URL: ws.url, Completed: ws.completed.Load(), Failures: ws.failures.Load()}
+			st := WorkerStatus{URL: ws.url, Completed: ws.completed.Load(), Failures: ws.failures.Load(), Breaker: ws.br.label()}
 			pctx, cancel := context.WithTimeout(ctx, 2*time.Second)
 			defer cancel()
 			req, err := http.NewRequestWithContext(pctx, http.MethodGet, ws.url+"/fleet/health", nil)

@@ -1,0 +1,77 @@
+package fleet_test
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/fleet"
+)
+
+// TestCoordinatorSurvivesRetryAfterStorm drives the coordinator through
+// an admission storm: the worker 429s its first several requests with a
+// hostile Retry-After of 9999 seconds. The pin is threefold — the sweep
+// still completes byte-identically to the Runner, the hint is honored
+// only up to the 2s backoff clamp (the test would time out otherwise),
+// and 429s count as rejections, never as worker failures that would
+// trip the breaker.
+func TestCoordinatorSurvivesRetryAfterStorm(t *testing.T) {
+	scenarios := fleetScenarios()[:4]
+	_, baseSum := runnerBaseline(t, scenarios)
+	want := encodeSummary(t, baseSum)
+
+	const stormLen = 3
+	var served atomic.Int64
+	inner := fleet.NewWorker(fleet.WorkerOptions{Slots: 2}).Handler()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if served.Add(1) <= stormLen {
+			w.Header().Set("Retry-After", "9999")
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	t.Cleanup(srv.Close)
+
+	coord, err := fleet.NewCoordinator(fleet.CoordinatorOptions{
+		Workers:        []string{srv.URL},
+		SlotsPerWorker: 2,
+		MaxAttempts:    4,
+		RetryBackoff:   time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, sum := coord.Run(context.Background(), nil, scenarios)
+	elapsed := time.Since(start)
+
+	if got := encodeSummary(t, sum); got != want {
+		t.Fatalf("summary diverged after the storm:\n got %s\nwant %s", got, want)
+	}
+	// An honored-but-unclamped 9999s hint would park each stormed unit
+	// for hours; the 2s clamp bounds the whole sweep to a few retries.
+	if elapsed > 30*time.Second {
+		t.Fatalf("sweep took %v: Retry-After clamp is not working", elapsed)
+	}
+	st := coord.Stats()
+	if st.Rejections < stormLen {
+		t.Fatalf("stats %+v: want >= %d rejections", st, stormLen)
+	}
+	if st.Drained != 0 {
+		t.Fatalf("stats %+v: storm dropped units", st)
+	}
+	// 429s are admission, not sickness: the breaker must still be closed
+	// and the worker healthy.
+	for _, w := range st.Workers {
+		if !w.Healthy || w.Breaker != "closed" {
+			t.Fatalf("worker after storm: %+v (429s must not dent health)", w)
+		}
+	}
+	if sum.Holds+sum.Violated+sum.Inconclusive != len(scenarios) {
+		t.Fatalf("summary %+v does not cover the batch", sum)
+	}
+}

@@ -1,13 +1,18 @@
 package fleet
 
 import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"runtime"
+	"strconv"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/engine"
 )
@@ -145,8 +150,13 @@ func writeJSONError(rw http.ResponseWriter, code int, err error) {
 }
 
 // HandleWork verifies one work unit. The verification runs under the
-// request context, so a coordinator timing out (or draining) cancels
-// the unit cooperatively.
+// request context — further bounded by the coordinator's
+// X-Fleet-Deadline-Ms budget when present — so a coordinator timing
+// out (or draining) cancels the unit cooperatively, and a dispatch
+// whose deadline has passed cannot keep burning worker CPU even if the
+// connection lingers. The response carries X-Fleet-Checksum over the
+// exact body bytes so the coordinator can reject in-transit
+// corruption.
 func (w *Worker) HandleWork(rw http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeJSONError(rw, http.StatusMethodNotAllowed, errors.New("POST a work unit"))
@@ -180,7 +190,13 @@ func (w *Worker) HandleWork(rw http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	res := engine.VerifyCached(r.Context(), eng, scenario, w.opts.Cache)
+	ctx := r.Context()
+	if ms, err := strconv.ParseInt(r.Header.Get(deadlineHeader), 10, 64); err == nil && ms > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(ms)*time.Millisecond)
+		defer cancel()
+	}
+	res := engine.VerifyCached(ctx, eng, scenario, w.opts.Cache)
 	res.Index = index
 	data, err := engine.EncodeResult(&res)
 	if err != nil {
@@ -188,8 +204,11 @@ func (w *Worker) HandleWork(rw http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.units.Add(1)
+	data = append(data, '\n')
+	sum := sha256.Sum256(data)
 	rw.Header().Set("Content-Type", "application/json")
-	rw.Write(append(data, '\n'))
+	rw.Header().Set(resultChecksumHeader, hex.EncodeToString(sum[:]))
+	rw.Write(data)
 }
 
 // HandleHealth is the heartbeat the coordinator probes.

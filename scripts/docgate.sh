@@ -18,4 +18,4 @@ if [ -n "$missing" ]; then
     exit 1
 fi
 echo "doc gate: all packages documented"
-go run ./scripts/docgate . ./internal/gen ./internal/sat ./internal/portfolio ./internal/explore
+go run ./scripts/docgate . ./internal/gen ./internal/sat ./internal/portfolio ./internal/explore ./internal/chaos
